@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench accepts an optional `--scale <f>` argument multiplying
+ * the default workload extent (so paper-sized inputs can be run on a
+ * bigger machine) and prints its series with the common table format.
+ */
+
+#ifndef ANYTIME_BENCH_COMMON_HPP
+#define ANYTIME_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace anytime {
+
+/** Parse `--scale <f>` from argv; defaults to 1.0. */
+inline double
+parseScale(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--scale")
+            return std::atof(argv[i + 1]);
+    }
+    return 1.0;
+}
+
+/** Scaled image extent, clamped to a sane minimum. */
+inline std::size_t
+scaledExtent(std::size_t base, double scale)
+{
+    const double value = static_cast<double>(base) * scale;
+    return value < 16 ? 16 : static_cast<std::size_t>(value);
+}
+
+/** Print the experiment banner with the paper's reference result. */
+inline void
+printBanner(const std::string &experiment, const std::string &reference)
+{
+    std::cout << "### " << experiment << "\n";
+    std::cout << "paper reference: " << reference << "\n";
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_BENCH_COMMON_HPP

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Section III-D / Figure 10: comparing automaton organizations on the
+ * paper's running example — stage f produces a fixed-point matrix at
+ * two precision halves ([AA] then [.BB]) and stage g computes a dot
+ * product on it.
+ *
+ *   1. baseline                  : f_full ; g
+ *   2. f iterative, sequential   : f_half ; g ; f_full ; g
+ *   3. f iterative, async pipe   : g(F_1) overlaps f_full
+ *   4. f diffusive, async pipe   : f_full replaced by the +[.BB] update
+ *   5. f diffusive, g distributive, sync pipe: g folds the updates
+ *
+ * Work per phase is a calibrated spin so the components have the
+ * paper's relative costs. Wall-clock overlap requires >= 2 hardware
+ * threads; the analytic critical-path model is printed alongside the
+ * measurements so the ordering is visible on any machine.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/buffer.hpp"
+#include "core/channel.hpp"
+#include "harness/report.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace anytime;
+
+namespace {
+
+volatile std::uint64_t workSink = 0;
+
+/** Busy-work of a given size (the matrix-computation stand-in). */
+void
+spin(std::uint64_t units)
+{
+    // Serially dependent LCG chain: cannot be strength-reduced to a
+    // closed form, so the loop really burns `units` of work.
+    std::uint64_t acc = workSink + 1;
+    for (std::uint64_t i = 0; i < units; ++i)
+        acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    workSink = acc;
+}
+
+// Relative phase costs (paper's example): computing the low-precision
+// half costs W_HALF, the full recompute costs 2*W_HALF, the dependent
+// dot product costs W_G, and the distributive child splits W_G across
+// the two updates.
+constexpr std::uint64_t W_HALF = 12'000'000;
+constexpr std::uint64_t W_FULL = 2 * W_HALF;
+constexpr std::uint64_t W_G = 16'000'000;
+
+struct OrgResult
+{
+    std::string name;
+    double firstOutput;   // seconds to the first whole-app output
+    double preciseOutput; // seconds to the precise output
+    double modelFirst;    // analytic critical path (2 cores), units
+    double modelPrecise;
+};
+
+OrgResult
+runBaseline()
+{
+    Stopwatch watch;
+    spin(W_FULL);
+    spin(W_G);
+    const double t = watch.seconds();
+    return {"baseline", t, t, static_cast<double>(W_FULL + W_G),
+            static_cast<double>(W_FULL + W_G)};
+}
+
+OrgResult
+runIterativeSequential()
+{
+    Stopwatch watch;
+    spin(W_HALF);
+    spin(W_G);
+    const double first = watch.seconds();
+    spin(W_FULL);
+    spin(W_G);
+    return {"f iterative, sequential", first, watch.seconds(),
+            static_cast<double>(W_HALF + W_G),
+            static_cast<double>(W_HALF + W_G + W_FULL + W_G)};
+}
+
+OrgResult
+runIterativeAsync()
+{
+    // f publishes F_1 then recomputes F_2 in full; g consumes each.
+    VersionedBuffer<int> f_out("F");
+    Stopwatch watch;
+    double first = 0, precise = 0;
+    std::thread g_thread([&] {
+        std::stop_source never;
+        auto snap = f_out.waitNewer(0, never.get_token());
+        spin(W_G);
+        first = watch.seconds();
+        if (!snap.final) {
+            snap = f_out.waitNewer(snap.version, never.get_token());
+            spin(W_G);
+        }
+        precise = watch.seconds();
+    });
+    spin(W_HALF);
+    f_out.publish(1, false);
+    spin(W_FULL); // iterative: full recompute
+    f_out.publish(2, true);
+    g_thread.join();
+    return {"f iterative, async pipeline", first, precise,
+            static_cast<double>(W_HALF + W_G),
+            static_cast<double>(
+                std::max(W_HALF + W_FULL, W_HALF + W_G) + W_G)};
+}
+
+OrgResult
+runDiffusiveAsync()
+{
+    // Diffusive f: the second computation only adds the low bits.
+    VersionedBuffer<int> f_out("F");
+    Stopwatch watch;
+    double first = 0, precise = 0;
+    std::thread g_thread([&] {
+        std::stop_source never;
+        auto snap = f_out.waitNewer(0, never.get_token());
+        spin(W_G);
+        first = watch.seconds();
+        if (!snap.final) {
+            snap = f_out.waitNewer(snap.version, never.get_token());
+            spin(W_G);
+        }
+        precise = watch.seconds();
+    });
+    spin(W_HALF);
+    f_out.publish(1, false);
+    spin(W_HALF); // diffusive: just the +[.BB] update
+    f_out.publish(2, true);
+    g_thread.join();
+    return {"f diffusive, async pipeline", first, precise,
+            static_cast<double>(W_HALF + W_G),
+            static_cast<double>(
+                std::max(W_HALF + W_HALF, W_HALF + W_G) + W_G)};
+}
+
+OrgResult
+runDiffusiveSync()
+{
+    // Distributive g folds each update X_i at half the dot-product cost.
+    UpdateChannel<int> updates(1);
+    Stopwatch watch;
+    double first = 0, precise = 0;
+    std::thread g_thread([&] {
+        std::stop_source never;
+        (void)updates.pop(never.get_token());
+        spin(W_G / 2);
+        first = watch.seconds();
+        (void)updates.pop(never.get_token());
+        spin(W_G / 2);
+        precise = watch.seconds();
+    });
+    std::stop_source never;
+    spin(W_HALF);
+    updates.push(1, never.get_token());
+    spin(W_HALF);
+    updates.push(2, never.get_token());
+    updates.close();
+    g_thread.join();
+    return {"f diffusive, g distributive, sync pipeline", first, precise,
+            static_cast<double>(W_HALF + W_G / 2),
+            static_cast<double>(
+                std::max<std::uint64_t>(2 * W_HALF, W_HALF + W_G / 2) +
+                W_G / 2)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    (void)parseScale(argc, argv);
+    printBanner("Figure 10 / Section III-D: automaton organizations",
+                "runtime ordering: iterative-seq > iterative-async > "
+                "diffusive-async > sync > baseline-precise-only; "
+                "pipelined orgs add early approximate outputs");
+    std::cout << "hardware threads: "
+              << std::thread::hardware_concurrency()
+              << " (wall-clock overlap needs >= 2; the model column is "
+                 "the 2-core critical path in work units)\n";
+
+    const OrgResult results[] = {
+        runBaseline(),
+        runIterativeSequential(),
+        runIterativeAsync(),
+        runDiffusiveAsync(),
+        runDiffusiveSync(),
+    };
+
+    SeriesTable table;
+    table.title = "fig10_organizations";
+    table.columns = {"organization", "first_s", "precise_s",
+                     "model_first", "model_precise"};
+    for (const OrgResult &r : results) {
+        table.rows.push_back({r.name, formatDouble(r.firstOutput, 4),
+                              formatDouble(r.preciseOutput, 4),
+                              formatDouble(r.modelFirst / 1e6, 1),
+                              formatDouble(r.modelPrecise / 1e6, 1)});
+    }
+    printTable(table);
+    std::cout << '\n';
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 15: runtime-accuracy profile of the kmeans anytime automaton
+ * (diffusive assignment + non-anytime reduce; acceptable ~0.6x, precise
+ * delayed past 1x by the non-anytime stage's re-execution).
+ */
+
+#include <iostream>
+
+#include "apps/kmeans.hpp"
+#include "bench_common.hpp"
+#include "harness/profiler.hpp"
+#include "harness/report.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+using namespace anytime;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv);
+    const std::size_t extent = scaledExtent(256, scale);
+
+    printBanner("Figure 15: kmeans runtime-accuracy",
+                "16.7 dB at 0.63x runtime; precise past 1x (non-anytime "
+                "reduce stage)");
+
+    const RgbImage scene = generateColorScene(extent, extent, 15);
+    const unsigned k = 8;
+    const KmeansResult precise = kmeansCluster(scene, k);
+
+    const double baseline =
+        timeBestOf([&] { (void)kmeansCluster(scene, k); }, 3);
+    std::cout << "input: " << extent << "x" << extent << ", k = " << k
+              << ", baseline precise runtime: "
+              << formatDouble(baseline, 4) << " s\n";
+
+    KmeansConfig config;
+    config.clusters = k;
+    config.publishCount = 24;
+    auto bundle = makeKmeansAutomaton(scene, config);
+    const auto profile = profileToCompletion<KmeansResult>(
+        *bundle.automaton, *bundle.output,
+        [&](const KmeansResult &result) {
+            return signalToNoiseDb(precise.image, result.image);
+        },
+        baseline);
+
+    printTable(profileTable("fig15_kmeans", profile));
+
+    double first_acceptable = -1;
+    for (const auto &point : profile) {
+        if (point.accuracyDb >= 16.7) {
+            first_acceptable = point.normalizedRuntime;
+            break;
+        }
+    }
+    std::cout << "first >=16.7 dB output at "
+              << formatDouble(first_acceptable, 2)
+              << "x runtime (paper: 0.63x)\n\n";
+    return 0;
+}

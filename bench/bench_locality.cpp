@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Section IV-C3 experiment: cache locality of the sampling
+ * permutations, and how much of it a deterministic permutation-aware
+ * prefetcher recovers.
+ *
+ * Sweeps a 1-byte-per-element array through a small LRU cache in
+ * sequential, tree, and LFSR order, with and without the prefetcher
+ * (an address unit driven by the same deterministic counters, as the
+ * paper proposes). Demand miss rates are the figure of merit.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cachesim/cache.hpp"
+#include "harness/report.hpp"
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/tree_permutation.hpp"
+
+using namespace anytime;
+
+namespace {
+
+CacheStats
+sweep(const Permutation &perm, bool with_prefetcher, unsigned distance)
+{
+    CacheModel cache({32 * 1024, 64, 8});
+    PermutationPrefetcher prefetcher(cache, perm, 0, 1, distance);
+    for (std::uint64_t i = 0; i < perm.size(); ++i) {
+        if (with_prefetcher)
+            prefetcher.onSample(i ? i - 1 : 0);
+        cache.access(perm.map(i));
+    }
+    return cache.stats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv);
+    const std::size_t side = scaledExtent(512, scale);
+    const std::uint64_t elements =
+        static_cast<std::uint64_t>(side) * side;
+
+    printBanner("Section IV-C3: sampling locality and deterministic "
+                "prefetching",
+                "non-sequential permutations suffer high miss rates; a "
+                "prefetcher driven by the same deterministic counters "
+                "recovers them");
+    std::cout << "array: " << elements
+              << " x 1B elements; cache: 32 KiB, 64B lines, 8-way; "
+                 "prefetch distance 8\n";
+
+    std::vector<std::pair<std::string, std::unique_ptr<Permutation>>>
+        orders;
+    orders.emplace_back("sequential", std::make_unique<SequentialPermutation>(
+                                          elements));
+    orders.emplace_back("tree",
+                        std::make_unique<TreePermutation>(
+                            TreePermutation::twoDim(side, side)));
+    orders.emplace_back("lfsr",
+                        std::make_unique<LfsrPermutation>(elements, 9));
+
+    SeriesTable table;
+    table.title = "locality";
+    table.columns = {"permutation", "miss_rate", "miss_rate_prefetch",
+                     "prefetch_fills"};
+    for (const auto &[name, perm] : orders) {
+        const CacheStats base = sweep(*perm, false, 8);
+        const CacheStats helped = sweep(*perm, true, 8);
+        table.rows.push_back({name, formatDouble(base.missRate(), 4),
+                              formatDouble(helped.missRate(), 4),
+                              std::to_string(helped.prefetchFills)});
+    }
+    printTable(table);
+    std::cout << "prefetching trades demand misses for deterministic "
+                 "fills issued ahead of the stream (paper: 'overhead "
+                 "and complexity of such prefetchers is minimal')\n\n";
+    return 0;
+}

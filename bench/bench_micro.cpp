@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the substrate primitives:
+ * permutation mapping throughput, versioned-buffer publish/read, update
+ * channel transfer, fault injection, and progressive block fill. These
+ * quantify the model's bookkeeping overheads relative to application
+ * work (Section IV-C3's locality discussion motivates the permutation
+ * cost numbers).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "approx/storage.hpp"
+#include "core/buffer.hpp"
+#include "core/channel.hpp"
+#include "image/progressive.hpp"
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/tree_permutation.hpp"
+
+namespace anytime {
+namespace {
+
+void
+BM_TreePermutationPow2(benchmark::State &state)
+{
+    TreePermutation perm = TreePermutation::twoDim(256, 256);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(perm.map(i));
+        i = (i + 1) % perm.size();
+    }
+}
+BENCHMARK(BM_TreePermutationPow2);
+
+void
+BM_TreePermutationNonPow2(benchmark::State &state)
+{
+    TreePermutation perm = TreePermutation::twoDim(240, 250);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(perm.map(i));
+        i = (i + 1) % perm.size();
+    }
+}
+BENCHMARK(BM_TreePermutationNonPow2);
+
+void
+BM_LfsrPermutationBuild(benchmark::State &state)
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        LfsrPermutation perm(n, 1);
+        benchmark::DoNotOptimize(perm.map(n / 2));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LfsrPermutationBuild)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_LfsrPermutationMap(benchmark::State &state)
+{
+    LfsrPermutation perm(1 << 16, 1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(perm.map(i));
+        i = (i + 1) % perm.size();
+    }
+}
+BENCHMARK(BM_LfsrPermutationMap);
+
+void
+BM_BufferPublish(benchmark::State &state)
+{
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    VersionedBuffer<std::vector<std::uint8_t>> buffer("bench");
+    const std::vector<std::uint8_t> payload(bytes, 1);
+    for (auto _ : state)
+        buffer.publish(payload, false);
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BufferPublish)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_BufferRead(benchmark::State &state)
+{
+    VersionedBuffer<std::vector<std::uint8_t>> buffer("bench");
+    buffer.publish(std::vector<std::uint8_t>(4096, 1), false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buffer.read());
+}
+BENCHMARK(BM_BufferRead);
+
+void
+BM_ChannelTransfer(benchmark::State &state)
+{
+    UpdateChannel<int> channel(16);
+    std::stop_source source;
+    for (auto _ : state) {
+        (void)channel.push(1, source.get_token());
+        benchmark::DoNotOptimize(channel.pop(source.get_token()));
+    }
+}
+BENCHMARK(BM_ChannelTransfer);
+
+void
+BM_FaultInjectorConsume(benchmark::State &state)
+{
+    FaultInjector injector(1e-6, 42);
+    std::uint64_t flips = 0;
+    for (auto _ : state)
+        injector.consume(4096, [&](std::uint64_t) { ++flips; });
+    benchmark::DoNotOptimize(flips);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_FaultInjectorConsume);
+
+void
+BM_TreeBlockFillSweep(benchmark::State &state)
+{
+    TreePermutation perm = TreePermutation::twoDim(128, 128);
+    GrayImage image(128, 128, 0);
+    for (auto _ : state) {
+        for (std::uint64_t step = 0; step < perm.size(); ++step)
+            fillTreeBlock(image, perm, step, std::uint8_t(step & 0xff));
+        benchmark::DoNotOptimize(image.data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(perm.size()));
+}
+BENCHMARK(BM_TreeBlockFillSweep);
+
+} // namespace
+} // namespace anytime
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Command-line driver: run any of the library's anytime applications
+ * on a PGM/PPM file (or a generated scene) under a time budget, and
+ * write the best output available when time runs out.
+ *
+ * Usage:
+ *   anytime_cli <app> [--input file.pgm|file.ppm] [--budget-ms N]
+ *               [--output out] [--size N] [--seed S]
+ *
+ *   app: conv2d | histeq | dwt53 | debayer | kmeans
+ *
+ * Examples:
+ *   anytime_cli conv2d --budget-ms 5
+ *   anytime_cli kmeans --input photo.ppm --budget-ms 50 --output seg
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "apps/conv2d.hpp"
+#include "apps/debayer.hpp"
+#include "apps/dwt53.hpp"
+#include "apps/histeq.hpp"
+#include "apps/kmeans.hpp"
+#include "core/controller.hpp"
+#include "harness/report.hpp"
+#include "image/generate.hpp"
+#include "image/io.hpp"
+
+using namespace anytime;
+
+namespace {
+
+struct Options
+{
+    std::string app;
+    std::string input;
+    std::string output = "anytime_out";
+    double budgetMs = 1e9; // effectively "run to completion"
+    std::size_t size = 256;
+    std::uint64_t seed = 1;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    fatalIf(argc < 2, "usage: anytime_cli <app> [--input f] "
+                      "[--budget-ms N] [--output f] [--size N] "
+                      "[--seed S]");
+    Options options;
+    options.app = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--input")
+            options.input = value;
+        else if (flag == "--budget-ms")
+            options.budgetMs = std::atof(value.c_str());
+        else if (flag == "--output")
+            options.output = value;
+        else if (flag == "--size")
+            options.size = static_cast<std::size_t>(
+                std::atoll(value.c_str()));
+        else if (flag == "--seed")
+            options.seed = static_cast<std::uint64_t>(
+                std::atoll(value.c_str()));
+        else
+            fatal("unknown flag ", flag);
+    }
+    return options;
+}
+
+std::chrono::nanoseconds
+budgetOf(const Options &options)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double, std::milli>(options.budgetMs));
+}
+
+GrayImage
+loadGray(const Options &options)
+{
+    if (!options.input.empty())
+        return readPgm(options.input);
+    return generateScene(options.size, options.size, options.seed);
+}
+
+RgbImage
+loadColor(const Options &options)
+{
+    if (!options.input.empty())
+        return readPpm(options.input);
+    return generateColorScene(options.size, options.size, options.seed);
+}
+
+template <typename Bundle>
+void
+report(const Bundle &bundle, const RunOutcome &outcome)
+{
+    std::cout << (outcome.reachedPrecise ? "precise" : "approximate")
+              << " output after "
+              << formatDouble(outcome.seconds * 1e3, 2) << " ms ("
+              << bundle.output->read().version << " versions)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options options = parse(argc, argv);
+
+        if (options.app == "conv2d") {
+            auto bundle = makeConv2dAutomaton(loadGray(options),
+                                              Kernel::gaussianBlur(3));
+            const RunOutcome outcome =
+                runWithTimeBudget(*bundle.automaton, budgetOf(options));
+            report(bundle, outcome);
+            if (const auto snap = bundle.output->read())
+                writePgm(*snap.value, options.output + ".pgm");
+        } else if (options.app == "histeq") {
+            auto bundle = makeHisteqAutomaton(loadGray(options));
+            const RunOutcome outcome =
+                runWithTimeBudget(*bundle.automaton, budgetOf(options));
+            report(bundle, outcome);
+            if (const auto snap = bundle.output->read())
+                writePgm(*snap.value, options.output + ".pgm");
+        } else if (options.app == "dwt53") {
+            auto bundle = makeDwt53Automaton(loadGray(options));
+            const RunOutcome outcome =
+                runWithTimeBudget(*bundle.automaton, budgetOf(options));
+            report(bundle, outcome);
+            if (const auto snap = bundle.output->read())
+                writePgm(dwt53Inverse(*snap.value),
+                         options.output + ".pgm");
+        } else if (options.app == "debayer") {
+            // A color input is mosaiced first (single-sensor model).
+            const GrayImage mosaic =
+                options.input.empty()
+                    ? bayerMosaic(loadColor(options))
+                    : loadGray(options);
+            auto bundle = makeDebayerAutomaton(mosaic);
+            const RunOutcome outcome =
+                runWithTimeBudget(*bundle.automaton, budgetOf(options));
+            report(bundle, outcome);
+            if (const auto snap = bundle.output->read())
+                writePpm(*snap.value, options.output + ".ppm");
+        } else if (options.app == "kmeans") {
+            auto bundle = makeKmeansAutomaton(loadColor(options));
+            const RunOutcome outcome =
+                runWithTimeBudget(*bundle.automaton, budgetOf(options));
+            report(bundle, outcome);
+            if (const auto snap = bundle.output->read())
+                writePpm(snap.value->image, options.output + ".ppm");
+        } else {
+            fatal("unknown app '", options.app,
+                  "' (conv2d|histeq|dwt53|debayer|kmeans)");
+        }
+        std::cout << "wrote " << options.output << ".{pgm|ppm}\n";
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << error.what() << '\n';
+        return 1;
+    }
+}

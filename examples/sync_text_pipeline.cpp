@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The paper's Figure 8 made concrete: a diffusive parent grows a string
+ * letter-by-letter while a distributive child capitalizes it. The
+ * asynchronous organization re-capitalizes the whole prefix on every
+ * version; the synchronous pipeline streams the updates so each letter
+ * is processed exactly once. Both reach the same precise output — the
+ * example prints the work counters side by side.
+ *
+ * Run: ./sync_text_pipeline [text]
+ */
+
+#include <cctype>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/buffer.hpp"
+#include "core/channel.hpp"
+#include "core/sync_stage.hpp"
+#include "core/transform_stage.hpp"
+
+using namespace anytime;
+
+namespace {
+
+char
+capitalize(char c)
+{
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+struct ManualRig
+{
+    PauseGate gate;
+    StageStats stats;
+    std::stop_source source;
+
+    StageContext
+    ctx()
+    {
+        return StageContext(source.get_token(), gate, stats, 0, 1);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string text =
+        argc > 1 ? argv[1]
+                 : "the anytime automaton diffuses data through a "
+                   "parallel pipeline of anytime approximations";
+
+    // --- Asynchronous organization: g(F_i) recapitalizes the prefix.
+    std::uint64_t async_work = 0;
+    {
+        auto f_out = std::make_shared<VersionedBuffer<std::string>>("f");
+        auto g_out = std::make_shared<VersionedBuffer<std::string>>("g");
+        TransformStage<std::string, std::string> child(
+            "g", f_out, g_out,
+            [&](const std::string &prefix, Emitter<std::string> &emitter,
+                StageContext &) {
+                std::string upper;
+                for (char c : prefix) {
+                    upper.push_back(capitalize(c));
+                    ++async_work; // every letter of every version
+                }
+                emitter.emit(std::move(upper), true);
+            });
+
+        ManualRig rig;
+        std::thread child_thread([&] {
+            StageContext ctx = rig.ctx();
+            child.run(ctx);
+        });
+        std::string grown;
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            grown.push_back(text[i]);
+            f_out->publish(grown, i + 1 == text.size());
+            // Give the child a chance to observe versions (the paper's
+            // "whichever output happens to be in the buffer").
+            if (i % 8 == 0)
+                std::this_thread::yield();
+        }
+        child_thread.join();
+        std::cout << "async : " << *g_out->read().value << '\n';
+    }
+
+    // --- Synchronous organization: gS folds each update X_i once.
+    std::uint64_t sync_work = 0;
+    {
+        auto f_out = std::make_shared<VersionedBuffer<std::string>>("f");
+        auto g_out = std::make_shared<VersionedBuffer<std::string>>("g");
+        auto channel = std::make_shared<UpdateChannel<char>>(4);
+
+        SyncSourceStage<std::string, char> parent(
+            "f", f_out, channel, std::string(), text.size(),
+            [&](std::uint64_t step, StageContext &) {
+                return text[step];
+            },
+            [](std::string &state, const char &c) { state.push_back(c); },
+            /*publish_period=*/8);
+        SyncTransformStage<char, std::string> child(
+            "gS", channel, g_out, std::string(),
+            [&](std::string &acc, const char &c, StageContext &) {
+                acc.push_back(capitalize(c));
+                ++sync_work; // each letter exactly once
+            },
+            /*publish_period=*/8);
+
+        ManualRig rig;
+        std::thread child_thread([&] {
+            StageContext ctx = rig.ctx();
+            child.run(ctx);
+        });
+        StageContext ctx = rig.ctx();
+        parent.run(ctx);
+        child_thread.join();
+        std::cout << "sync  : " << *g_out->read().value << '\n';
+    }
+
+    std::cout << "letters capitalized — async: " << async_work
+              << ", sync: " << sync_work << " (input length "
+              << text.size()
+              << "; the sync pipeline does no redundant child work)\n";
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Reduced fixed-point precision (paper Section III-B2, Figure 6).
+ *
+ * Integer/fixed-point data is a sum of powers of two, so computing with
+ * a subset of bit planes is a form of input sampling with a sequential
+ * (MSB-first) permutation. A dot product computed plane by plane is
+ * *diffusive*: each plane's partial product adds usefully to the
+ * accumulator and the full-precision result is reached after all planes,
+ * with no work beyond the baseline (this is classic bit-serial /
+ * distributed arithmetic).
+ */
+
+#ifndef ANYTIME_APPROX_FIXED_POINT_HPP
+#define ANYTIME_APPROX_FIXED_POINT_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Signed fixed-point value with a compile-time binary point.
+ *
+ * @tparam FracBits Number of fractional bits (Q(31-FracBits).FracBits).
+ */
+template <unsigned FracBits>
+class Fixed
+{
+    static_assert(FracBits < 31, "fractional bits must fit in int32");
+
+  public:
+    constexpr Fixed() = default;
+
+    /** Wrap an already-scaled raw value. */
+    static constexpr Fixed
+    fromRaw(std::int32_t raw)
+    {
+        Fixed f;
+        f.value = raw;
+        return f;
+    }
+
+    /** Convert from double, rounding to nearest. */
+    static Fixed
+    fromDouble(double x)
+    {
+        const double scaled = x * static_cast<double>(1 << FracBits);
+        return fromRaw(static_cast<std::int32_t>(
+            scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+    }
+
+    /** Raw scaled integer representation. */
+    constexpr std::int32_t raw() const { return value; }
+
+    /** Convert back to double. */
+    constexpr double
+    toDouble() const
+    {
+        return static_cast<double>(value) /
+               static_cast<double>(1 << FracBits);
+    }
+
+    constexpr Fixed
+    operator+(Fixed other) const
+    {
+        return fromRaw(value + other.value);
+    }
+
+    constexpr Fixed
+    operator-(Fixed other) const
+    {
+        return fromRaw(value - other.value);
+    }
+
+    /** Full-precision product, rescaled back to this Q format. */
+    constexpr Fixed
+    operator*(Fixed other) const
+    {
+        const std::int64_t wide =
+            static_cast<std::int64_t>(value) * other.value;
+        return fromRaw(static_cast<std::int32_t>(wide >> FracBits));
+    }
+
+    constexpr bool operator==(const Fixed &) const = default;
+
+    /**
+     * Keep only the @p keep most significant magnitude bits (of the 32
+     * in the representation), zeroing the rest. keep == 32 is identity.
+     * This is the "W & 2^32 - i" masking of the paper's anytime
+     * reduced-precision dot product.
+     */
+    constexpr Fixed
+    truncated(unsigned keep) const
+    {
+        if (keep >= 32)
+            return *this;
+        const std::uint32_t mask =
+            (keep == 0) ? 0u : ~((std::uint32_t(1) << (32 - keep)) - 1);
+        return fromRaw(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(value) & mask));
+    }
+
+  private:
+    std::int32_t value = 0;
+};
+
+/** Zero out the low @p drop bits of an integer (precision reduction). */
+constexpr std::int32_t
+maskLowBits(std::int32_t value, unsigned drop)
+{
+    if (drop == 0)
+        return value;
+    if (drop >= 32)
+        return 0;
+    const std::uint32_t mask = ~((std::uint32_t(1) << drop) - 1);
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(value) & mask);
+}
+
+/**
+ * Quantize an unsigned 8-bit sample to @p bits bits of precision by
+ * zeroing the (8 - bits) low bits. Used for the paper's Figure 19
+ * (2dconv at 8/6/4/2-bit pixel precision).
+ */
+constexpr std::uint8_t
+quantizePixel(std::uint8_t value, unsigned bits)
+{
+    if (bits >= 8)
+        return value;
+    if (bits == 0)
+        return 0;
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0xffu << (8 - bits));
+    return static_cast<std::uint8_t>(value & mask);
+}
+
+/**
+ * Anytime (diffusive) dot product over integer weight bit planes.
+ *
+ * Given input vector I and weight vector W of 32-bit integers, the
+ * precise dot product is reached by accumulating one weight bit plane
+ * per step, MSB first (sequential permutation over planes, as the paper
+ * prescribes: "the most-significant bits should be prioritized"). After
+ * k steps the accumulator equals the dot product of I with W truncated
+ * to its top k bits — identical to the masked expression
+ * O_{i-1} + (I . (W & mask_i)) in the paper, but with no redundant work.
+ */
+class BitPlaneDotProduct
+{
+  public:
+    /**
+     * @param inputs  Input vector I (not owned; must outlive this).
+     * @param weights Weight vector W, same length as @p inputs.
+     */
+    BitPlaneDotProduct(std::span<const std::int32_t> inputs,
+                       std::span<const std::int32_t> weights)
+        : inputs(inputs), weights(weights)
+    {
+        fatalIf(inputs.size() != weights.size(),
+                "BitPlaneDotProduct: length mismatch ", inputs.size(),
+                " vs ", weights.size());
+    }
+
+    /** Total number of diffusive steps (bit planes). */
+    static constexpr unsigned planes() { return 32; }
+
+    /** Number of planes consumed so far. */
+    unsigned consumed() const { return plane; }
+
+    /** True once all planes are folded in (accumulator is precise). */
+    bool precise() const { return plane == planes(); }
+
+    /**
+     * Fold in the next most significant weight bit plane.
+     * @return The updated accumulator O_i.
+     */
+    std::int64_t
+    step()
+    {
+        panicIf(precise(), "BitPlaneDotProduct stepped past precision");
+        const unsigned bit = 31 - plane;
+        std::int64_t partial = 0;
+        for (std::size_t j = 0; j < weights.size(); ++j) {
+            if ((static_cast<std::uint32_t>(weights[j]) >> bit) & 1)
+                partial += static_cast<std::int64_t>(inputs[j]);
+        }
+        // Two's complement: the top plane carries weight -2^31.
+        const std::int64_t scale =
+            (bit == 31) ? -(std::int64_t(1) << 31)
+                        : (std::int64_t(1) << bit);
+        accumulator += partial * scale;
+        ++plane;
+        return accumulator;
+    }
+
+    /** Current anytime accumulator O_i. */
+    std::int64_t value() const { return accumulator; }
+
+  private:
+    std::span<const std::int32_t> inputs;
+    std::span<const std::int32_t> weights;
+    std::int64_t accumulator = 0;
+    unsigned plane = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_APPROX_FIXED_POINT_HPP

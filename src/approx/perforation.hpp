@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Anytime loop perforation (paper Section III-B1, "Loop Perforation").
+ *
+ * Loop perforation skips loop iterations with a fixed stride. Made
+ * anytime, the perforated loop is re-executed with progressively smaller
+ * strides s_1 > s_2 > ... > s_n = 1; the final stride-1 pass is the
+ * precise computation. This is the canonical *iterative* technique: each
+ * level overwrites the previous output and redundant work grows with the
+ * number of levels (the paper's dwt53 exhibits exactly this steep,
+ * non-smooth runtime-accuracy curve).
+ */
+
+#ifndef ANYTIME_APPROX_PERFORATION_HPP
+#define ANYTIME_APPROX_PERFORATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * A validated sequence of perforation strides: strictly decreasing and
+ * ending at 1 so the final level is precise.
+ */
+class PerforationSchedule
+{
+  public:
+    /** Build from an explicit stride list (validated). */
+    explicit PerforationSchedule(std::vector<std::uint32_t> strides_in)
+        : strideList(std::move(strides_in))
+    {
+        fatalIf(strideList.empty(), "PerforationSchedule: empty");
+        for (std::size_t i = 0; i < strideList.size(); ++i) {
+            fatalIf(strideList[i] == 0,
+                    "PerforationSchedule: zero stride");
+            fatalIf(i > 0 && strideList[i] >= strideList[i - 1],
+                    "PerforationSchedule: strides must strictly decrease");
+        }
+        fatalIf(strideList.back() != 1,
+                "PerforationSchedule: final stride must be 1 (precise)");
+    }
+
+    /**
+     * Geometric schedule {2^(n-1), ..., 4, 2, 1}.
+     * @param levels Number of levels n (>= 1).
+     */
+    static PerforationSchedule
+    geometric(unsigned levels)
+    {
+        fatalIf(levels == 0 || levels > 31,
+                "PerforationSchedule: bad level count ", levels);
+        std::vector<std::uint32_t> strides;
+        for (unsigned i = 0; i < levels; ++i)
+            strides.push_back(std::uint32_t(1) << (levels - 1 - i));
+        return PerforationSchedule(std::move(strides));
+    }
+
+    /** Number of levels n. */
+    std::size_t levels() const { return strideList.size(); }
+
+    /** Stride s_i of level @p level (0-based). */
+    std::uint32_t
+    stride(std::size_t level) const
+    {
+        panicIf(level >= strideList.size(),
+                "perforation level ", level, " out of range");
+        return strideList[level];
+    }
+
+    /** The raw stride list. */
+    const std::vector<std::uint32_t> &strides() const { return strideList; }
+
+    /**
+     * Total iterations executed across all levels for a trip count of
+     * @p trip_count, counting the redundant re-execution the iterative
+     * construction implies. Used by benches to report overhead.
+     */
+    std::uint64_t
+    totalWork(std::uint64_t trip_count) const
+    {
+        std::uint64_t work = 0;
+        for (std::uint32_t s : strideList)
+            work += (trip_count + s - 1) / s;
+        return work;
+    }
+
+  private:
+    std::vector<std::uint32_t> strideList;
+};
+
+/**
+ * Run @p body for every index in [0, trip_count) hit by @p stride
+ * (i.e., indices 0, stride, 2*stride, ...).
+ */
+template <typename Body>
+void
+forEachPerforated(std::uint64_t trip_count, std::uint32_t stride,
+                  Body &&body)
+{
+    panicIf(stride == 0, "perforation stride must be nonzero");
+    for (std::uint64_t i = 0; i < trip_count; i += stride)
+        body(i);
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_APPROX_PERFORATION_HPP

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Simulated approximate storage (paper Sections III-B1 and IV-B2).
+ *
+ * The paper evaluates iterative anytime stages built on approximate
+ * storage — drowsy SRAM caches, low-refresh DRAM, approximate PCM —
+ * where lowering the device accuracy level (e.g., SRAM supply voltage)
+ * raises the bit-failure probability. Two semantics matter for the
+ * anytime construction and are modeled faithfully here:
+ *
+ *  1. *Read upsets*: every read of a word may flip bits with a
+ *     per-bit probability determined by the current level.
+ *  2. *Data destructiveness*: a corrupted bit stays corrupted even after
+ *     the accuracy level is raised; the device must be flushed
+ *     (reinitialized with precise values) between iterative levels.
+ *
+ * We substitute the real hardware with a deterministic fault-injection
+ * model: per-bit Bernoulli upsets drawn via geometric skipping from a
+ * seeded Xoshiro generator, so experiments are reproducible bit-for-bit.
+ */
+
+#ifndef ANYTIME_APPROX_STORAGE_HPP
+#define ANYTIME_APPROX_STORAGE_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anytime {
+
+/**
+ * Streams per-bit Bernoulli faults with geometric skipping: instead of
+ * one coin flip per bit, the gap to the next upset is drawn from a
+ * geometric distribution, making tiny probabilities (1e-7 per bit)
+ * cheap to simulate.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param probability Per-bit upset probability in [0, 1].
+     * @param seed        RNG seed (deterministic stream).
+     */
+    FaultInjector(double probability, std::uint64_t seed)
+        : rng(seed)
+    {
+        setProbability(probability);
+    }
+
+    /** Change the per-bit upset probability (restarts the gap draw). */
+    void
+    setProbability(double probability)
+    {
+        fatalIf(probability < 0.0 || probability > 1.0,
+                "fault probability ", probability, " out of [0, 1]");
+        prob = probability;
+        gap = drawGap();
+    }
+
+    /** Current per-bit upset probability. */
+    double probability() const { return prob; }
+
+    /**
+     * Consume a window of @p bits bits and invoke @p on_flip with the
+     * offset (in [0, bits)) of every upset bit inside the window.
+     */
+    template <typename OnFlip>
+    void
+    consume(std::uint64_t bits, OnFlip &&on_flip)
+    {
+        if (prob <= 0.0)
+            return;
+        std::uint64_t pos = 0;
+        while (gap < bits - pos) {
+            pos += gap;
+            on_flip(pos);
+            ++pos;
+            gap = drawGap();
+        }
+        gap -= bits - pos;
+    }
+
+  private:
+    /** Geometric(prob) gap: number of clean bits before the next flip. */
+    std::uint64_t
+    drawGap()
+    {
+        if (prob <= 0.0)
+            return std::numeric_limits<std::uint64_t>::max();
+        if (prob >= 1.0)
+            return 0;
+        const double u = rng.nextDouble();
+        const double g = std::floor(std::log1p(-u) / std::log1p(-prob));
+        if (g >= 9.2e18)
+            return std::numeric_limits<std::uint64_t>::max();
+        return static_cast<std::uint64_t>(g);
+    }
+
+    Xoshiro256 rng;
+    double prob = 0.0;
+    std::uint64_t gap = std::numeric_limits<std::uint64_t>::max();
+};
+
+/**
+ * One accuracy level of an approximate storage device: a nominal supply
+ * voltage (volts, informational) and the per-bit read-upset probability
+ * it implies.
+ */
+struct StorageLevel
+{
+    double voltage;
+    double readUpsetProbability;
+};
+
+/**
+ * Drowsy-SRAM-style level schedule: levels ordered from least to most
+ * accurate, the last being precise (probability 0), as required for an
+ * iterative anytime stage whose final computation f_n is exact.
+ */
+class StorageSchedule
+{
+  public:
+    explicit StorageSchedule(std::vector<StorageLevel> levels_in)
+        : levelList(std::move(levels_in))
+    {
+        fatalIf(levelList.empty(), "StorageSchedule: empty");
+        for (std::size_t i = 1; i < levelList.size(); ++i) {
+            fatalIf(levelList[i].readUpsetProbability >
+                        levelList[i - 1].readUpsetProbability,
+                    "StorageSchedule: upset probability must not increase");
+        }
+        fatalIf(levelList.back().readUpsetProbability != 0.0,
+                "StorageSchedule: final level must be precise");
+    }
+
+    /** The paper's Figure 20 sweep: {1e-5, 1e-7, 0} per-bit upsets. */
+    static StorageSchedule
+    drowsySram()
+    {
+        return StorageSchedule({
+            {0.23, 1e-5}, // deep drowsy: ~90% supply power savings [19]
+            {0.27, 1e-7},
+            {1.00, 0.0},  // nominal voltage, precise
+        });
+    }
+
+    std::size_t levels() const { return levelList.size(); }
+
+    const StorageLevel &
+    level(std::size_t i) const
+    {
+        panicIf(i >= levelList.size(), "storage level out of range");
+        return levelList[i];
+    }
+
+  private:
+    std::vector<StorageLevel> levelList;
+};
+
+/**
+ * Simulated approximate storage array of trivially-copyable words.
+ *
+ * Reads inject upsets per the current level's probability and write the
+ * corrupted word back (data-destructive, like a real cell losing
+ * charge). Raising the level does NOT heal existing corruption; only
+ * flush() restores precise contents, which is exactly why the paper's
+ * iterative construction flushes between intermediate computations.
+ */
+template <typename T>
+class ApproxStorage
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ApproxStorage requires trivially copyable words");
+
+  public:
+    /**
+     * @param size  Number of words.
+     * @param seed  Deterministic fault-stream seed.
+     * @param probability Initial per-bit read-upset probability.
+     */
+    ApproxStorage(std::size_t size, std::uint64_t seed,
+                  double probability = 0.0)
+        : words(size), injector(probability, seed)
+    {
+    }
+
+    std::size_t size() const { return words.size(); }
+
+    /** Set the per-bit read-upset probability (the "voltage knob"). */
+    void
+    setUpsetProbability(double probability)
+    {
+        injector.setProbability(probability);
+    }
+
+    /** Reinitialize all words to precise values from @p precise. */
+    void
+    flush(const std::vector<T> &precise)
+    {
+        fatalIf(precise.size() != words.size(),
+                "ApproxStorage flush size mismatch");
+        words = precise;
+        upsets = 0;
+    }
+
+    /** Store one word (writes are precise in this model). */
+    void
+    write(std::size_t index, const T &value)
+    {
+        panicIf(index >= words.size(), "ApproxStorage write OOB");
+        words[index] = value;
+    }
+
+    /**
+     * Read one word, possibly corrupting it. Any injected upset is
+     * written back into the array (destructive).
+     */
+    T
+    read(std::size_t index)
+    {
+        panicIf(index >= words.size(), "ApproxStorage read OOB");
+        constexpr std::uint64_t bits = sizeof(T) * 8;
+        injector.consume(bits, [&](std::uint64_t bit) {
+            auto *bytes = reinterpret_cast<unsigned char *>(&words[index]);
+            bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+            ++upsets;
+        });
+        return words[index];
+    }
+
+    /** Read without fault injection (for verification in tests). */
+    const T &
+    peek(std::size_t index) const
+    {
+        panicIf(index >= words.size(), "ApproxStorage peek OOB");
+        return words[index];
+    }
+
+    /** Total upsets injected since the last flush. */
+    std::uint64_t upsetCount() const { return upsets; }
+
+  private:
+    std::vector<T> words;
+    FaultInjector injector;
+    std::uint64_t upsets = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_APPROX_STORAGE_HPP

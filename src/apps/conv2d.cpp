@@ -1,0 +1,169 @@
+#include "apps/conv2d.hpp"
+
+#include <cmath>
+
+#include "approx/fixed_point.hpp"
+#include "core/source_stage.hpp"
+#include "image/progressive.hpp"
+#include "sampling/tree_permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+Kernel::Kernel(unsigned radius, std::vector<float> taps_in)
+    : r(radius), taps(std::move(taps_in))
+{
+    const unsigned side = 2 * radius + 1;
+    fatalIf(taps.size() != static_cast<std::size_t>(side) * side,
+            "Kernel: expected ", side * side, " taps, got ", taps.size());
+}
+
+Kernel
+Kernel::boxBlur(unsigned radius)
+{
+    const unsigned side = 2 * radius + 1;
+    const float weight = 1.0f / static_cast<float>(side * side);
+    return Kernel(radius, std::vector<float>(
+                              static_cast<std::size_t>(side) * side,
+                              weight));
+}
+
+Kernel
+Kernel::gaussianBlur(unsigned radius)
+{
+    const unsigned side = 2 * radius + 1;
+    const double sigma = std::max(0.5, radius / 2.0);
+    std::vector<float> taps(static_cast<std::size_t>(side) * side);
+    double sum = 0.0;
+    for (int dy = -static_cast<int>(radius);
+         dy <= static_cast<int>(radius); ++dy) {
+        for (int dx = -static_cast<int>(radius);
+             dx <= static_cast<int>(radius); ++dx) {
+            const double v =
+                std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+            taps[static_cast<std::size_t>(dy + static_cast<int>(radius)) *
+                     side +
+                 static_cast<std::size_t>(dx + static_cast<int>(radius))] =
+                static_cast<float>(v);
+            sum += v;
+        }
+    }
+    for (auto &tap : taps)
+        tap = static_cast<float>(tap / sum);
+    return Kernel(radius, std::move(taps));
+}
+
+Kernel
+Kernel::sharpen3x3()
+{
+    return Kernel(1, {0.f, -1.f, 0.f, -1.f, 5.f, -1.f, 0.f, -1.f, 0.f});
+}
+
+namespace {
+
+std::uint8_t
+clampToByte(float v)
+{
+    return static_cast<std::uint8_t>(
+        v <= 0.f ? 0 : (v >= 255.f ? 255 : v + 0.5f));
+}
+
+} // namespace
+
+std::uint8_t
+convolvePixel(const GrayImage &src, const Kernel &kernel, std::size_t x,
+              std::size_t y)
+{
+    const int r = static_cast<int>(kernel.radius());
+    float acc = 0.f;
+    for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+            acc += kernel.tap(dx, dy) *
+                   static_cast<float>(src.clampedAt(
+                       static_cast<std::ptrdiff_t>(x) + dx,
+                       static_cast<std::ptrdiff_t>(y) + dy));
+        }
+    }
+    return clampToByte(acc);
+}
+
+std::uint8_t
+convolvePixelQuantized(const GrayImage &src, const Kernel &kernel,
+                       std::size_t x, std::size_t y,
+                       unsigned precision_bits)
+{
+    const int r = static_cast<int>(kernel.radius());
+    float acc = 0.f;
+    for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+            const std::uint8_t pixel = src.clampedAt(
+                static_cast<std::ptrdiff_t>(x) + dx,
+                static_cast<std::ptrdiff_t>(y) + dy);
+            acc += kernel.tap(dx, dy) *
+                   static_cast<float>(quantizePixel(pixel,
+                                                    precision_bits));
+        }
+    }
+    return clampToByte(acc);
+}
+
+GrayImage
+convolve(const GrayImage &src, const Kernel &kernel)
+{
+    GrayImage out(src.width(), src.height());
+    for (std::size_t y = 0; y < src.height(); ++y) {
+        for (std::size_t x = 0; x < src.width(); ++x)
+            out.at(x, y) = convolvePixel(src, kernel, x, y);
+    }
+    return out;
+}
+
+Conv2dAutomaton
+makeConv2dAutomaton(GrayImage src, Kernel kernel,
+                    const Conv2dConfig &config)
+{
+    fatalIf(src.empty(), "conv2d: empty input");
+    auto automaton = std::make_unique<Automaton>();
+    auto output = automaton->makeBuffer<GrayImage>("conv2d.out");
+
+    const std::uint64_t pixels = src.size();
+    // Each diffusive step handles a small run of samples so the
+    // per-step dispatch overhead amortizes over real convolution work.
+    constexpr std::uint64_t chunk = 16;
+    const std::uint64_t steps = (pixels + chunk - 1) / chunk;
+    const std::uint64_t period = std::max<std::uint64_t>(
+        1, steps / std::max<std::uint64_t>(1, config.publishCount));
+
+    // Shared, immutable inputs for the stage closure (Property 1: the
+    // stage reads only these and writes only its output buffer).
+    auto input = std::make_shared<const GrayImage>(std::move(src));
+    auto plan = std::make_shared<const TreeSweepPlan>(
+        TreePermutation::twoDim(input->height(), input->width()));
+    auto blur = std::make_shared<const Kernel>(std::move(kernel));
+    const unsigned precision = config.precisionBits;
+
+    auto stage = std::make_shared<DiffusiveSourceStage<GrayImage>>(
+        "conv2d", output, GrayImage(input->width(), input->height()),
+        steps,
+        [input, plan, blur, precision, pixels](std::uint64_t step,
+                                               GrayImage &out,
+                                               StageContext &) {
+            const std::uint64_t end =
+                std::min(pixels, (step + 1) * chunk);
+            for (std::uint64_t s = step * chunk; s < end; ++s) {
+                const std::size_t x = plan->x(s), y = plan->y(s);
+                const std::uint8_t value =
+                    (precision >= 8)
+                        ? convolvePixel(*input, *blur, x, y)
+                        : convolvePixelQuantized(*input, *blur, x, y,
+                                                 precision);
+                plan->fill(out, s, value);
+            }
+        },
+        period);
+
+    automaton->addStage(std::move(stage), config.workers);
+    return Conv2dAutomaton{std::move(automaton), std::move(output)};
+}
+
+} // namespace anytime

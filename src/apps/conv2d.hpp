@@ -1,0 +1,110 @@
+/**
+ * @file
+ * 2-D convolution (PERFECT "2dconv", paper Section IV-A2).
+ *
+ * Applies a convolutional kernel to spatially filter an image — in the
+ * paper's evaluation, a blur filter. Each output pixel is a dot product
+ * of the kernel with the neighborhood around the input pixel (clamped at
+ * borders). The application is a single map computation, so its anytime
+ * automaton is one diffusive stage using output sampling with a 2-D tree
+ * permutation: output pixels are produced at progressively increasing
+ * resolution, each sample filling its unrefined block so a complete
+ * (low-resolution) approximation of the whole output exists from the
+ * very first samples.
+ */
+
+#ifndef ANYTIME_APPS_CONV2D_HPP
+#define ANYTIME_APPS_CONV2D_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** Small dense convolution kernel with float taps. */
+class Kernel
+{
+  public:
+    /** @param radius Kernel radius r; the kernel is (2r+1) x (2r+1). */
+    Kernel(unsigned radius, std::vector<float> taps);
+
+    /** Normalized box blur of the given radius. */
+    static Kernel boxBlur(unsigned radius);
+
+    /** Gaussian blur of the given radius (sigma = radius / 2). */
+    static Kernel gaussianBlur(unsigned radius);
+
+    /** 3x3 edge-sharpening kernel. */
+    static Kernel sharpen3x3();
+
+    unsigned radius() const { return r; }
+
+    /** Tap at kernel offset (dx, dy), each in [-r, r]. */
+    float
+    tap(int dx, int dy) const
+    {
+        const unsigned side = 2 * r + 1;
+        return taps[static_cast<unsigned>(dy + static_cast<int>(r)) * side +
+                    static_cast<unsigned>(dx + static_cast<int>(r))];
+    }
+
+  private:
+    unsigned r;
+    std::vector<float> taps;
+};
+
+/** One output pixel of the convolution (clamped borders). */
+std::uint8_t convolvePixel(const GrayImage &src, const Kernel &kernel,
+                           std::size_t x, std::size_t y);
+
+/**
+ * One output pixel with the input quantized to @p precision_bits bits
+ * (the paper's reduced fixed-point precision variant, Figure 19).
+ */
+std::uint8_t convolvePixelQuantized(const GrayImage &src,
+                                    const Kernel &kernel, std::size_t x,
+                                    std::size_t y, unsigned precision_bits);
+
+/** Precise baseline: full-image convolution. */
+GrayImage convolve(const GrayImage &src, const Kernel &kernel);
+
+/** Anytime conv2d automaton configuration. */
+struct Conv2dConfig
+{
+    /** Output versions published across the sweep (publish period is
+     *  pixels / publishCount). */
+    std::uint64_t publishCount = 64;
+    /** Worker threads for the diffusive stage. */
+    unsigned workers = 1;
+    /** Input pixel precision in bits (8 = exact; <8 quantizes). Note:
+     *  with <8 bits the automaton's final output is the quantized
+     *  convolution, which is *its* precise output per the iterative
+     *  composition of techniques. */
+    unsigned precisionBits = 8;
+};
+
+/** Automaton bundle: the pipeline plus its application output buffer. */
+struct Conv2dAutomaton
+{
+    std::unique_ptr<Automaton> automaton;
+    std::shared_ptr<VersionedBuffer<GrayImage>> output;
+};
+
+/**
+ * Build the single-diffusive-stage conv2d automaton: tree-permuted
+ * output sampling with progressive block fill.
+ *
+ * @param src    Input image (copied into the automaton).
+ * @param kernel Convolution kernel.
+ * @param config Tuning knobs.
+ */
+Conv2dAutomaton makeConv2dAutomaton(GrayImage src, Kernel kernel,
+                                    const Conv2dConfig &config = {});
+
+} // namespace anytime
+
+#endif // ANYTIME_APPS_CONV2D_HPP

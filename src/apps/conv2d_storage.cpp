@@ -1,0 +1,92 @@
+#include "apps/conv2d_storage.hpp"
+
+#include "core/source_stage.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+namespace {
+
+std::size_t
+clampIndex(std::ptrdiff_t k, std::size_t n)
+{
+    if (k < 0)
+        return 0;
+    if (k >= static_cast<std::ptrdiff_t>(n))
+        return n - 1;
+    return static_cast<std::size_t>(k);
+}
+
+} // namespace
+
+GrayImage
+convolveFromStorage(ApproxStorage<std::uint8_t> &storage,
+                    std::size_t width, std::size_t height,
+                    const Kernel &kernel)
+{
+    fatalIf(storage.size() != width * height,
+            "convolveFromStorage: storage size mismatch");
+    const int r = static_cast<int>(kernel.radius());
+    GrayImage out(width, height);
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            float acc = 0.f;
+            for (int dy = -r; dy <= r; ++dy) {
+                for (int dx = -r; dx <= r; ++dx) {
+                    const std::size_t sx = clampIndex(
+                        static_cast<std::ptrdiff_t>(x) + dx, width);
+                    const std::size_t sy = clampIndex(
+                        static_cast<std::ptrdiff_t>(y) + dy, height);
+                    acc += kernel.tap(dx, dy) *
+                           static_cast<float>(
+                               storage.read(sy * width + sx));
+                }
+            }
+            out.at(x, y) = static_cast<std::uint8_t>(
+                acc <= 0.f ? 0 : (acc >= 255.f ? 255 : acc + 0.5f));
+        }
+    }
+    return out;
+}
+
+Conv2dStorageAutomaton
+makeConv2dStorageAutomaton(GrayImage src, Kernel kernel,
+                           const Conv2dStorageConfig &config)
+{
+    fatalIf(src.empty(), "conv2d_storage: empty input");
+    auto automaton = std::make_unique<Automaton>();
+    auto output = automaton->makeBuffer<GrayImage>("conv2d_storage.out");
+
+    const std::size_t width = src.width();
+    const std::size_t height = src.height();
+    auto precise_input =
+        std::make_shared<const GrayImage>(std::move(src));
+    auto blur = std::make_shared<const Kernel>(std::move(kernel));
+    auto schedule =
+        std::make_shared<const StorageSchedule>(config.schedule);
+    // The storage device persists across levels (it models one physical
+    // array); Property 1 still holds at the automaton level because the
+    // flush at the top of each level erases all cross-level state.
+    auto storage = std::make_shared<ApproxStorage<std::uint8_t>>(
+        width * height, config.faultSeed);
+
+    auto stage = std::make_shared<IterativeSourceStage<GrayImage>>(
+        "conv2d_storage", output, schedule->levels(),
+        [precise_input, blur, schedule, storage, width,
+         height](std::size_t level, GrayImage &out, StageContext &ctx) {
+            const StorageLevel &voltage = schedule->level(level);
+            // Flush: reinitialize to precise contents so corruption
+            // from the previous (lower-voltage) level does not degrade
+            // this one (data-destructive semantics, paper §III-B1).
+            storage->flush(precise_input->data());
+            storage->setUpsetProbability(voltage.readUpsetProbability);
+            out = convolveFromStorage(*storage, width, height, *blur);
+            ctx.addWork(width * height);
+        });
+
+    automaton->addStage(std::move(stage));
+    return Conv2dStorageAutomaton{std::move(automaton),
+                                  std::move(output)};
+}
+
+} // namespace anytime

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Iterative anytime conv2d via approximate storage (paper §III-B1
+ * "Approximate Storage" and §IV-B2).
+ *
+ * The input image lives in a simulated drowsy-SRAM array whose supply
+ * voltage — i.e., per-bit read-upset probability — rises across
+ * iterative levels. Each level flushes the storage back to precise
+ * contents (corruption is data-destructive, so without the flush a
+ * later, higher-voltage level would inherit the earlier level's bit
+ * errors), then recomputes the whole convolution reading through the
+ * faulty storage. The final level runs at nominal voltage (zero upset
+ * probability) and therefore produces the precise output.
+ */
+
+#ifndef ANYTIME_APPS_CONV2D_STORAGE_HPP
+#define ANYTIME_APPS_CONV2D_STORAGE_HPP
+
+#include <memory>
+
+#include "approx/storage.hpp"
+#include "apps/conv2d.hpp"
+
+namespace anytime {
+
+/** Configuration for the storage-backed iterative conv2d automaton. */
+struct Conv2dStorageConfig
+{
+    /** Voltage/upset schedule, least to most accurate (last precise). */
+    StorageSchedule schedule = StorageSchedule::drowsySram();
+    /** Deterministic fault-stream seed. */
+    std::uint64_t faultSeed = 0x5eed;
+};
+
+/** Automaton bundle for the storage-backed conv2d. */
+struct Conv2dStorageAutomaton
+{
+    std::unique_ptr<Automaton> automaton;
+    std::shared_ptr<VersionedBuffer<GrayImage>> output;
+};
+
+/**
+ * Convolve the whole image reading the input through @p storage
+ * (upsets are injected and written back per the device's current
+ * probability). Exposed for tests and the Figure 20 sweep.
+ */
+GrayImage convolveFromStorage(ApproxStorage<std::uint8_t> &storage,
+                              std::size_t width, std::size_t height,
+                              const Kernel &kernel);
+
+/**
+ * Build the iterative storage-backed conv2d automaton: one level per
+ * schedule entry, flush-then-convolve at each, precise at the last.
+ */
+Conv2dStorageAutomaton
+makeConv2dStorageAutomaton(GrayImage src, Kernel kernel,
+                           const Conv2dStorageConfig &config = {});
+
+} // namespace anytime
+
+#endif // ANYTIME_APPS_CONV2D_STORAGE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Debayering / demosaicing (PERFECT "debayer", Section IV-A2).
+ *
+ * Reconstructs a full RGB image from a single-sensor RGGB Bayer mosaic
+ * by bilinear interpolation of the missing color samples at each pixel.
+ * Structurally similar to 2dconv (the interpolations are small
+ * convolutions), so the automaton is likewise a single diffusive stage
+ * with tree-permuted output sampling and progressive block fill.
+ */
+
+#ifndef ANYTIME_APPS_DEBAYER_HPP
+#define ANYTIME_APPS_DEBAYER_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/automaton.hpp"
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** One demosaiced pixel of an RGGB mosaic (bilinear, clamped borders). */
+RgbPixel debayerPixel(const GrayImage &mosaic, std::size_t x,
+                      std::size_t y);
+
+/** Precise baseline: demosaic the whole image. */
+RgbImage debayer(const GrayImage &mosaic);
+
+/** Anytime debayer automaton configuration. */
+struct DebayerConfig
+{
+    /** Output versions published across the sweep. */
+    std::uint64_t publishCount = 64;
+    /** Worker threads for the diffusive stage. */
+    unsigned workers = 1;
+};
+
+/** Automaton bundle for debayer. */
+struct DebayerAutomaton
+{
+    std::unique_ptr<Automaton> automaton;
+    std::shared_ptr<VersionedBuffer<RgbImage>> output;
+};
+
+/** Build the single-diffusive-stage debayer automaton. */
+DebayerAutomaton makeDebayerAutomaton(GrayImage mosaic,
+                                      const DebayerConfig &config = {});
+
+} // namespace anytime
+
+#endif // ANYTIME_APPS_DEBAYER_HPP

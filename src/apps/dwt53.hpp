@@ -1,0 +1,80 @@
+/**
+ * @file
+ * 5/3 discrete wavelet transform (PERFECT "dwt53", Section IV-A2).
+ *
+ * A single-level 2-D LeGall 5/3 integer lifting transform (the
+ * reversible JPEG 2000 filter): predict/update lifting over rows, then
+ * over columns, coefficients stored deinterleaved (low | high). The
+ * inverse transform reconstructs the input exactly.
+ *
+ * The paper's automaton approximates the *forward* transform with
+ * iterative loop perforation over the row/column processing loops, then
+ * executes the inverse transform precisely; accuracy is measured on the
+ * reconstructed image relative to the original. Because the construction
+ * is iterative (each stride level recomputes the whole transform), the
+ * runtime-accuracy curve is steep and non-smooth — the paper's
+ * motivating contrast with diffusive sampling.
+ */
+
+#ifndef ANYTIME_APPS_DWT53_HPP
+#define ANYTIME_APPS_DWT53_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "approx/perforation.hpp"
+#include "core/automaton.hpp"
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** Signed coefficient plane produced by the forward transform. */
+using WaveletImage = Image<std::int32_t>;
+
+/** Precise single-level 2-D forward 5/3 transform. */
+WaveletImage dwt53Forward(const GrayImage &src);
+
+/**
+ * Forward transform with loop perforation of stride @p stride over the
+ * row pass and the column pass: only every stride-th row (then column)
+ * is lifted; skipped lines replicate the most recent processed line's
+ * coefficients. stride == 1 is the precise transform.
+ */
+WaveletImage dwt53ForwardPerforated(const GrayImage &src,
+                                    std::uint32_t stride);
+
+/** Precise inverse transform (exact reconstruction for stride 1). */
+GrayImage dwt53Inverse(const WaveletImage &coefficients);
+
+/** Anytime dwt53 automaton configuration. */
+struct Dwt53Config
+{
+    /** Perforation stride schedule (must end at stride 1). */
+    PerforationSchedule schedule = PerforationSchedule::geometric(4);
+};
+
+/** Automaton bundle for dwt53. */
+struct Dwt53Automaton
+{
+    std::unique_ptr<Automaton> automaton;
+    /**
+     * Approximate transform coefficients. The application output is the
+     * transform itself; the paper scores accuracy by applying the
+     * precise *inverse* to each version and comparing the
+     * reconstruction against the original image (an evaluation step,
+     * not part of the automaton's runtime).
+     */
+    std::shared_ptr<VersionedBuffer<WaveletImage>> output;
+};
+
+/**
+ * Build the single-iterative-stage dwt53 automaton: each level runs the
+ * perforated forward transform at its stride, publishing the
+ * coefficient plane.
+ */
+Dwt53Automaton makeDwt53Automaton(GrayImage src,
+                                  const Dwt53Config &config = {});
+
+} // namespace anytime
+
+#endif // ANYTIME_APPS_DWT53_HPP

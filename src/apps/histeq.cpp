@@ -1,0 +1,169 @@
+#include "apps/histeq.hpp"
+
+#include <cmath>
+
+#include "core/source_stage.hpp"
+#include "core/transform_stage.hpp"
+#include "image/progressive.hpp"
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/tree_permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+PixelHistogram
+buildHistogram(const GrayImage &src)
+{
+    PixelHistogram histogram;
+    for (std::size_t i = 0; i < src.size(); ++i)
+        ++histogram.bins[src[i]];
+    histogram.samples = src.size();
+    return histogram;
+}
+
+PixelCdf
+buildCdf(const PixelHistogram &histogram)
+{
+    fatalIf(histogram.samples == 0, "buildCdf: empty histogram");
+    PixelCdf cdf{};
+    std::uint64_t running = 0;
+    for (std::size_t v = 0; v < cdf.size(); ++v) {
+        running += histogram.bins[v];
+        cdf[v] = static_cast<double>(running) /
+                 static_cast<double>(histogram.samples);
+    }
+    return cdf;
+}
+
+PixelLut
+buildLut(const PixelCdf &cdf)
+{
+    // Classic histogram-equalization remap anchored at the first
+    // occupied intensity: values map to 255 * (cdf - cdf_min) /
+    // (1 - cdf_min), which stretches the occupied range to full scale.
+    double cdf_min = 1.0;
+    for (double value : cdf) {
+        if (value > 0.0) {
+            cdf_min = value;
+            break;
+        }
+    }
+    PixelLut lut{};
+    const double denom = 1.0 - cdf_min;
+    for (std::size_t v = 0; v < lut.size(); ++v) {
+        double mapped = 255.0;
+        if (denom > 0.0)
+            mapped = 255.0 * (cdf[v] - cdf_min) / denom;
+        if (mapped < 0.0)
+            mapped = 0.0;
+        if (mapped > 255.0)
+            mapped = 255.0;
+        lut[v] = static_cast<std::uint8_t>(mapped + 0.5);
+    }
+    return lut;
+}
+
+GrayImage
+applyLut(const GrayImage &src, const PixelLut &lut)
+{
+    GrayImage out(src.width(), src.height());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        out[i] = lut[src[i]];
+    return out;
+}
+
+GrayImage
+histogramEqualize(const GrayImage &src)
+{
+    return applyLut(src, buildLut(buildCdf(buildHistogram(src))));
+}
+
+HisteqAutomaton
+makeHisteqAutomaton(GrayImage src, const HisteqConfig &config)
+{
+    fatalIf(src.empty(), "histeq: empty input");
+    auto automaton = std::make_unique<Automaton>();
+    auto hist_buf =
+        automaton->makeBuffer<PixelHistogram>("histeq.histogram");
+    auto cdf_buf = automaton->makeBuffer<PixelCdf>("histeq.cdf");
+    auto lut_buf = automaton->makeBuffer<PixelLut>("histeq.lut");
+    auto out_buf = automaton->makeBuffer<GrayImage>("histeq.out");
+
+    auto input = std::make_shared<const GrayImage>(std::move(src));
+    const std::uint64_t pixels = input->size();
+
+    // Stage 1: anytime histogram via pseudo-random input sampling.
+    // Chunked steps amortize the per-step dispatch over real work.
+    constexpr std::uint64_t chunk = 32;
+    const std::uint64_t hist_steps = (pixels + chunk - 1) / chunk;
+    auto lfsr = std::make_shared<const LfsrPermutation>(pixels,
+                                                        config.lfsrSeed);
+    const std::uint64_t hist_period = std::max<std::uint64_t>(
+        1, hist_steps /
+               std::max<std::uint64_t>(1, config.histogramVersions));
+    auto hist_stage = std::make_shared<DiffusiveSourceStage<PixelHistogram>>(
+        "histogram", hist_buf, PixelHistogram{}, hist_steps,
+        [input, lfsr, pixels](std::uint64_t step, PixelHistogram &state,
+                              StageContext &) {
+            const std::uint64_t end = std::min(pixels, (step + 1) * chunk);
+            for (std::uint64_t s = step * chunk; s < end; ++s) {
+                const std::uint64_t index = lfsr->map(s);
+                ++state.bins[(*input)[static_cast<std::size_t>(index)]];
+                ++state.samples;
+            }
+        },
+        hist_period);
+
+    // Stage 2 (non-anytime): normalized CDF.
+    auto cdf_stage = makeFunctionStage<PixelCdf, PixelHistogram>(
+        "cdf", hist_buf, cdf_buf,
+        [](const PixelHistogram &histogram) {
+            return buildCdf(histogram);
+        });
+
+    // Stage 3 (non-anytime): remap table.
+    auto lut_stage = makeFunctionStage<PixelLut, PixelCdf>(
+        "lut", cdf_buf, lut_buf,
+        [](const PixelCdf &cdf) { return buildLut(cdf); });
+
+    // Stage 4: anytime apply via tree-permuted output sampling. Each
+    // consumed LUT version triggers a fresh full sweep (asynchronous
+    // pipeline semantics: the paper's source of histeq's 6x tail).
+    auto plan = std::make_shared<const TreeSweepPlan>(
+        TreePermutation::twoDim(input->height(), input->width()));
+    const std::uint64_t apply_period = std::max<std::uint64_t>(
+        1, pixels / std::max<std::uint64_t>(1, config.applyVersions));
+    auto apply_stage = std::make_shared<TransformStage<GrayImage, PixelLut>>(
+        "apply", lut_buf, out_buf,
+        [input, plan, pixels, apply_period](const PixelLut &lut,
+                                            Emitter<GrayImage> &emitter,
+                                            StageContext &ctx) {
+            GrayImage out(input->width(), input->height());
+            for (std::uint64_t step = 0; step < pixels; ++step) {
+                plan->fill(out, step,
+                           lut[input->at(plan->x(step), plan->y(step))]);
+                const bool last = (step + 1 == pixels);
+                if (!last && (step + 1) % apply_period == 0) {
+                    ctx.addWork(apply_period);
+                    emitter.emit(out, false);
+                    if (!ctx.checkpoint())
+                        return;
+                    // A fresher LUT supersedes this sweep; abandon it
+                    // (never possible for the final LUT, so the
+                    // precise output is still guaranteed).
+                    if (!emitter.inputsFinal() && emitter.stale())
+                        return;
+                }
+            }
+            emitter.emit(std::move(out), true);
+        });
+
+    automaton->addStage(std::move(hist_stage), config.histogramWorkers);
+    automaton->addStage(std::move(cdf_stage));
+    automaton->addStage(std::move(lut_stage));
+    automaton->addStage(std::move(apply_stage));
+    return HisteqAutomaton{std::move(automaton), std::move(out_buf),
+                           std::move(hist_buf), std::move(lut_buf)};
+}
+
+} // namespace anytime

@@ -1,0 +1,171 @@
+#include "apps/kmeans.hpp"
+
+#include "core/source_stage.hpp"
+#include "core/transform_stage.hpp"
+#include "image/progressive.hpp"
+#include "sampling/tree_permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+std::vector<RgbPixel>
+kmeansSeeds(const RgbImage &src, unsigned k)
+{
+    fatalIf(k == 0, "kmeans: zero clusters");
+    fatalIf(k > 255, "kmeans: labels are 8-bit, k must be <= 255");
+    std::vector<RgbPixel> seeds;
+    seeds.reserve(k);
+    // Evenly strided deterministic sampling; the +i term staggers the
+    // picks so uniform regions still yield distinct seeds.
+    const std::size_t stride = src.size() / k;
+    for (unsigned i = 0; i < k; ++i) {
+        const std::size_t index =
+            std::min(src.size() - 1, i * stride + stride / 2);
+        seeds.push_back(src[index]);
+    }
+    return seeds;
+}
+
+unsigned
+nearestCentroid(const std::vector<RgbPixel> &centroids,
+                const RgbPixel &pixel)
+{
+    panicIf(centroids.empty(), "nearestCentroid: no centroids");
+    unsigned best = 0;
+    std::int64_t best_dist = -1;
+    for (unsigned c = 0; c < centroids.size(); ++c) {
+        const std::int64_t dr =
+            static_cast<std::int64_t>(pixel.r) - centroids[c].r;
+        const std::int64_t dg =
+            static_cast<std::int64_t>(pixel.g) - centroids[c].g;
+        const std::int64_t db =
+            static_cast<std::int64_t>(pixel.b) - centroids[c].b;
+        const std::int64_t dist = dr * dr + dg * dg + db * db;
+        if (best_dist < 0 || dist < best_dist) {
+            best_dist = dist;
+            best = c;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/** Reduce accumulated sums into centroid colors (seed on empties). */
+std::vector<RgbPixel>
+reduceCentroids(const std::vector<ClusterSum> &sums,
+                const std::vector<RgbPixel> &seeds)
+{
+    std::vector<RgbPixel> centroids(sums.size());
+    for (std::size_t c = 0; c < sums.size(); ++c) {
+        if (sums[c].count == 0) {
+            centroids[c] = seeds[c];
+            continue;
+        }
+        const std::uint64_t n = sums[c].count;
+        centroids[c] = RgbPixel{
+            static_cast<std::uint8_t>((sums[c].r + n / 2) / n),
+            static_cast<std::uint8_t>((sums[c].g + n / 2) / n),
+            static_cast<std::uint8_t>((sums[c].b + n / 2) / n)};
+    }
+    return centroids;
+}
+
+/** Recolor a label map with centroid colors. */
+RgbImage
+recolor(const Image<std::uint8_t> &labels,
+        const std::vector<RgbPixel> &centroids)
+{
+    RgbImage out(labels.width(), labels.height());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        out[i] = centroids[labels[i]];
+    return out;
+}
+
+} // namespace
+
+KmeansResult
+kmeansCluster(const RgbImage &src, unsigned k)
+{
+    const std::vector<RgbPixel> seeds = kmeansSeeds(src, k);
+    Image<std::uint8_t> labels(src.width(), src.height());
+    std::vector<ClusterSum> sums(k);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const unsigned c = nearestCentroid(seeds, src[i]);
+        labels[i] = static_cast<std::uint8_t>(c);
+        sums[c].r += src[i].r;
+        sums[c].g += src[i].g;
+        sums[c].b += src[i].b;
+        ++sums[c].count;
+    }
+    const std::vector<RgbPixel> centroids = reduceCentroids(sums, seeds);
+    return KmeansResult{recolor(labels, centroids), centroids};
+}
+
+KmeansAutomaton
+makeKmeansAutomaton(RgbImage src, const KmeansConfig &config)
+{
+    fatalIf(src.empty(), "kmeans: empty input");
+    auto automaton = std::make_unique<Automaton>();
+    auto assign_buf =
+        automaton->makeBuffer<KmeansAssignment>("kmeans.assign");
+    auto out_buf = automaton->makeBuffer<KmeansResult>("kmeans.out");
+
+    auto input = std::make_shared<const RgbImage>(std::move(src));
+    auto seeds = std::make_shared<const std::vector<RgbPixel>>(
+        kmeansSeeds(*input, config.clusters));
+    auto plan = std::make_shared<const TreeSweepPlan>(
+        TreePermutation::twoDim(input->height(), input->width()));
+
+    const std::uint64_t pixels = input->size();
+    // Chunked steps amortize the per-step dispatch over real work.
+    constexpr std::uint64_t chunk = 16;
+    const std::uint64_t steps = (pixels + chunk - 1) / chunk;
+    const std::uint64_t period = std::max<std::uint64_t>(
+        1, steps / std::max<std::uint64_t>(1, config.publishCount));
+
+    // Stage 1: diffusive assignment with tree output sampling. Labels
+    // are block-filled so every intermediate version covers the whole
+    // image; sums accumulate only truly sampled pixels.
+    KmeansAssignment initial{
+        Image<std::uint8_t>(input->width(), input->height()),
+        std::vector<ClusterSum>(config.clusters)};
+    auto assign_stage =
+        std::make_shared<DiffusiveSourceStage<KmeansAssignment>>(
+            "assign", assign_buf, std::move(initial), steps,
+            [input, seeds, plan, pixels](std::uint64_t step,
+                                         KmeansAssignment &state,
+                                         StageContext &) {
+                const std::uint64_t end =
+                    std::min(pixels, (step + 1) * chunk);
+                for (std::uint64_t s = step * chunk; s < end; ++s) {
+                    const RgbPixel &pixel =
+                        input->at(plan->x(s), plan->y(s));
+                    const unsigned c = nearestCentroid(*seeds, pixel);
+                    plan->fill(state.labels, s,
+                               static_cast<std::uint8_t>(c));
+                    state.sums[c].r += pixel.r;
+                    state.sums[c].g += pixel.g;
+                    state.sums[c].b += pixel.b;
+                    ++state.sums[c].count;
+                }
+            },
+            period);
+
+    // Stage 2 (non-anytime): reduce sums to centroids and recolor.
+    auto reduce_stage = makeFunctionStage<KmeansResult, KmeansAssignment>(
+        "reduce", assign_buf, out_buf,
+        [seeds](const KmeansAssignment &assignment) {
+            const std::vector<RgbPixel> centroids =
+                reduceCentroids(assignment.sums, *seeds);
+            return KmeansResult{recolor(assignment.labels, centroids),
+                                centroids};
+        });
+
+    automaton->addStage(std::move(assign_stage), config.workers);
+    automaton->addStage(std::move(reduce_stage));
+    return KmeansAutomaton{std::move(automaton), std::move(out_buf),
+                           std::move(assign_buf)};
+}
+
+} // namespace anytime

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * K-means clustering over image pixels (AxBench "kmeans", §IV-A2).
+ *
+ * Clusters pixels in RGB space and renders each pixel as its cluster's
+ * centroid color (the standard AxBench visualization). The paper's
+ * automaton has two stages in an asynchronous pipeline:
+ *
+ *  1. assign — diffusive; tree-permuted output sampling: pixels are
+ *     assigned to their nearest (seed) centroid in progressive-
+ *     resolution order while per-cluster color sums accumulate;
+ *  2. reduce — non-anytime; reduces the accumulated sums into updated
+ *     centroids and recolors the assignment map with them.
+ *
+ * The application (baseline and automaton alike) performs one
+ * assignment sweep plus one centroid update — one Lloyd step with
+ * visualization — so the automaton's final output is bit-identical to
+ * the precise baseline.
+ */
+
+#ifndef ANYTIME_APPS_KMEANS_HPP
+#define ANYTIME_APPS_KMEANS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** Running per-cluster color accumulation. */
+struct ClusterSum
+{
+    std::uint64_t r = 0;
+    std::uint64_t g = 0;
+    std::uint64_t b = 0;
+    std::uint64_t count = 0;
+
+    bool operator==(const ClusterSum &) const = default;
+};
+
+/** Output of the diffusive assignment stage. */
+struct KmeansAssignment
+{
+    /** Per-pixel cluster label (block-filled at low resolutions). */
+    Image<std::uint8_t> labels;
+    /** Per-cluster accumulated color sums over sampled pixels. */
+    std::vector<ClusterSum> sums;
+
+    bool operator==(const KmeansAssignment &) const = default;
+};
+
+/** Output of the reduce stage: the clustered image and its palette. */
+struct KmeansResult
+{
+    RgbImage image;
+    std::vector<RgbPixel> centroids;
+
+    bool operator==(const KmeansResult &) const = default;
+};
+
+/**
+ * Deterministic seed centroids: k pixels sampled at evenly strided
+ * positions of the image.
+ */
+std::vector<RgbPixel> kmeansSeeds(const RgbImage &src, unsigned k);
+
+/** Index of the centroid nearest to @p pixel (squared RGB distance). */
+unsigned nearestCentroid(const std::vector<RgbPixel> &centroids,
+                         const RgbPixel &pixel);
+
+/** Precise baseline: assign, reduce, recolor. */
+KmeansResult kmeansCluster(const RgbImage &src, unsigned k);
+
+/** Anytime kmeans automaton configuration. */
+struct KmeansConfig
+{
+    unsigned clusters = 8;
+    /** Assignment versions published across the sweep. */
+    std::uint64_t publishCount = 32;
+    /** Worker threads for the assignment stage. */
+    unsigned workers = 1;
+};
+
+/** Automaton bundle for kmeans. */
+struct KmeansAutomaton
+{
+    std::unique_ptr<Automaton> automaton;
+    std::shared_ptr<VersionedBuffer<KmeansResult>> output;
+    std::shared_ptr<VersionedBuffer<KmeansAssignment>> assignment;
+};
+
+/** Build the two-stage asynchronous-pipeline kmeans automaton. */
+KmeansAutomaton makeKmeansAutomaton(RgbImage src,
+                                    const KmeansConfig &config = {});
+
+} // namespace anytime
+
+#endif // ANYTIME_APPS_KMEANS_HPP

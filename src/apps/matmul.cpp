@@ -1,0 +1,104 @@
+#include "apps/matmul.hpp"
+
+#include "approx/fixed_point.hpp"
+#include "core/source_stage.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+namespace {
+
+void
+checkShapes(const IntMatrix &a, const IntMatrix &b)
+{
+    // Image<T> is (width, height); treat height as rows.
+    fatalIf(a.width() != b.height(), "matmul: inner dimensions differ (",
+            a.width(), " vs ", b.height(), ")");
+}
+
+/**
+ * Add the contribution of bit plane `bit` of B into the accumulator:
+ * C += scale * (A x plane(B, bit)), where plane entries are 0/1 and the
+ * top plane carries the two's-complement weight -2^31.
+ */
+void
+addPlane(const IntMatrix &a, const IntMatrix &b, unsigned bit,
+         LongMatrix &acc)
+{
+    const std::size_t m = a.height();
+    const std::size_t k = a.width();
+    const std::size_t n = b.width();
+    const std::int64_t scale = (bit == 31)
+                                   ? -(std::int64_t(1) << 31)
+                                   : (std::int64_t(1) << bit);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const std::int64_t aik = a.at(kk, i);
+            if (aik == 0)
+                continue;
+            const std::int64_t contribution = aik * scale;
+            for (std::size_t j = 0; j < n; ++j) {
+                if ((static_cast<std::uint32_t>(b.at(j, kk)) >> bit) & 1)
+                    acc.at(j, i) += contribution;
+            }
+        }
+    }
+}
+
+} // namespace
+
+LongMatrix
+matmulExact(const IntMatrix &a, const IntMatrix &b)
+{
+    checkShapes(a, b);
+    LongMatrix c(b.width(), a.height(), 0);
+    for (std::size_t i = 0; i < a.height(); ++i) {
+        for (std::size_t kk = 0; kk < a.width(); ++kk) {
+            const std::int64_t aik = a.at(kk, i);
+            if (aik == 0)
+                continue;
+            for (std::size_t j = 0; j < b.width(); ++j)
+                c.at(j, i) += aik * static_cast<std::int64_t>(b.at(j, kk));
+        }
+    }
+    return c;
+}
+
+LongMatrix
+matmulTruncated(const IntMatrix &a, const IntMatrix &b,
+                unsigned keep_bits)
+{
+    checkShapes(a, b);
+    IntMatrix truncated(b.width(), b.height());
+    for (std::size_t i = 0; i < b.size(); ++i)
+        truncated[i] = maskLowBits(b[i], 32 - std::min(32u, keep_bits));
+    return matmulExact(a, truncated);
+}
+
+MatmulAutomaton
+makeMatmulAutomaton(IntMatrix a, IntMatrix b, const MatmulConfig &config)
+{
+    checkShapes(a, b);
+    fatalIf(config.planesPerPublish == 0, "matmul: zero publish period");
+
+    auto automaton = std::make_unique<Automaton>();
+    auto output = automaton->makeBuffer<LongMatrix>("matmul.out");
+
+    auto lhs = std::make_shared<const IntMatrix>(std::move(a));
+    auto rhs = std::make_shared<const IntMatrix>(std::move(b));
+
+    // One diffusive step per bit plane, MSB first (sequential
+    // permutation over planes: most significant bits are prioritized).
+    auto stage = std::make_shared<DiffusiveSourceStage<LongMatrix>>(
+        "matmul", output, LongMatrix(rhs->width(), lhs->height(), 0), 32,
+        [lhs, rhs](std::uint64_t step, LongMatrix &acc, StageContext &ctx) {
+            addPlane(*lhs, *rhs, 31 - static_cast<unsigned>(step), acc);
+            ctx.addWork(lhs->size());
+        },
+        /*publish_period=*/config.planesPerPublish, /*batch=*/1);
+
+    automaton->addStage(std::move(stage), config.workers);
+    return MatmulAutomaton{std::move(automaton), std::move(output)};
+}
+
+} // namespace anytime

@@ -1,0 +1,136 @@
+#include "cachesim/cache.hpp"
+
+#include "support/bits.hpp"
+
+namespace anytime {
+
+CacheModel::CacheModel(const CacheConfig &config) : geometry(config)
+{
+    fatalIf(!isPow2(geometry.lineBytes), "cache line size must be 2^k");
+    fatalIf(geometry.ways == 0, "cache needs at least one way");
+    fatalIf(geometry.sizeBytes %
+                    (geometry.lineBytes * geometry.ways) !=
+                0,
+            "cache size must be a multiple of line size * ways");
+    setCount =
+        geometry.sizeBytes / (geometry.lineBytes * geometry.ways);
+    fatalIf(setCount == 0, "cache too small for its geometry");
+    lines.resize(setCount * geometry.ways);
+}
+
+std::uint64_t
+CacheModel::lineOf(std::uint64_t address) const
+{
+    return address / geometry.lineBytes;
+}
+
+std::size_t
+CacheModel::setOf(std::uint64_t line) const
+{
+    return static_cast<std::size_t>(line % setCount);
+}
+
+unsigned
+CacheModel::find(std::size_t set, std::uint64_t line) const
+{
+    const Line *base = &lines[set * geometry.ways];
+    for (unsigned way = 0; way < geometry.ways; ++way) {
+        if (base[way].valid && base[way].tag == line)
+            return way;
+    }
+    return geometry.ways;
+}
+
+unsigned
+CacheModel::insert(std::size_t set, std::uint64_t line, bool prefetch)
+{
+    Line *base = &lines[set * geometry.ways];
+    unsigned victim = 0;
+    for (unsigned way = 0; way < geometry.ways; ++way) {
+        if (!base[way].valid) {
+            victim = way;
+            break;
+        }
+        if (base[way].lastUse < base[victim].lastUse)
+            victim = way;
+    }
+    base[victim] = Line{line, ++clock, true, prefetch};
+    return victim;
+}
+
+bool
+CacheModel::access(std::uint64_t address)
+{
+    ++statistics.accesses;
+    const std::uint64_t line = lineOf(address);
+    const std::size_t set = setOf(line);
+    const unsigned way = find(set, line);
+    if (way != geometry.ways) {
+        Line &hit = lines[set * geometry.ways + way];
+        if (hit.fromPrefetch) {
+            ++statistics.prefetchHits;
+            hit.fromPrefetch = false;
+        }
+        hit.lastUse = ++clock;
+        return true;
+    }
+    ++statistics.misses;
+    insert(set, line, false);
+    return false;
+}
+
+void
+CacheModel::prefetch(std::uint64_t address)
+{
+    const std::uint64_t line = lineOf(address);
+    const std::size_t set = setOf(line);
+    if (find(set, line) != geometry.ways)
+        return; // already resident
+    ++statistics.prefetchFills;
+    insert(set, line, true);
+}
+
+bool
+CacheModel::resident(std::uint64_t address) const
+{
+    const std::uint64_t line = lineOf(address);
+    return find(setOf(line), line) != geometry.ways;
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &line : lines)
+        line = Line{};
+    clock = 0;
+    statistics = CacheStats{};
+}
+
+PermutationPrefetcher::PermutationPrefetcher(CacheModel &cache,
+                                             const Permutation &perm,
+                                             std::uint64_t base_address,
+                                             std::size_t element_size,
+                                             unsigned distance)
+    : cache(&cache), perm(&perm), base(base_address),
+      elementSize(element_size), distance(distance)
+{
+    fatalIf(distance == 0, "prefetch distance must be >= 1");
+    fatalIf(element_size == 0, "element size must be >= 1");
+}
+
+void
+PermutationPrefetcher::onSample(std::uint64_t ordinal)
+{
+    // Run `distance` samples ahead of the demand stream, issuing each
+    // future address exactly once.
+    const std::uint64_t horizon =
+        std::min<std::uint64_t>(ordinal + distance + 1, perm->size());
+    for (std::uint64_t next = std::max(issuedUpTo, ordinal + 1);
+         next < horizon; ++next) {
+        cache->prefetch(base + perm->map(next) * elementSize);
+    }
+    if (horizon > issuedUpTo)
+        issuedUpTo = horizon;
+}
+
+} // namespace anytime

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Set-associative cache model (paper Section IV-C3, "Data Locality").
+ *
+ * The automaton's non-sequential sampling permutations trade cache and
+ * row-buffer locality for early availability; the paper argues this is
+ * recoverable because the permutations are *deterministic*, so "simple
+ * hardware prefetchers can be implemented to alleviate the high miss
+ * rates" — an address computation unit driven by the tree/LFSR
+ * counters. This module provides the cache model and that
+ * permutation-aware prefetcher so the claim can be measured (see
+ * bench_locality).
+ *
+ * The model is a classic LRU set-associative cache over a flat address
+ * space: enough to compare the miss behavior of sweep orders, with no
+ * pretense of timing accuracy.
+ */
+
+#ifndef ANYTIME_CACHESIM_CACHE_HPP
+#define ANYTIME_CACHESIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+/** Geometry of a cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::size_t sizeBytes = 32 * 1024;
+    /** Line size in bytes (power of two). */
+    std::size_t lineBytes = 64;
+    /** Associativity (ways per set). */
+    unsigned ways = 8;
+};
+
+/** Access statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prefetchFills = 0;
+    /** Demand misses on lines that a prefetch had already filled. */
+    std::uint64_t prefetchHits = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** LRU set-associative cache over flat byte addresses. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Demand access to @p address.
+     * @return True on hit.
+     */
+    bool access(std::uint64_t address);
+
+    /** Fill the line containing @p address without a demand access. */
+    void prefetch(std::uint64_t address);
+
+    /** True iff the line containing @p address is currently resident. */
+    bool resident(std::uint64_t address) const;
+
+    const CacheStats &stats() const { return statistics; }
+    const CacheConfig &config() const { return geometry; }
+
+    /** Invalidate everything and zero the statistics. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool fromPrefetch = false;
+    };
+
+    std::uint64_t lineOf(std::uint64_t address) const;
+    std::size_t setOf(std::uint64_t line) const;
+    /** Lookup a line in its set; returns way index or ways() if absent. */
+    unsigned find(std::size_t set, std::uint64_t line) const;
+    /** Insert a line (evicting LRU); returns the way used. */
+    unsigned insert(std::size_t set, std::uint64_t line, bool prefetch);
+
+    CacheConfig geometry;
+    std::size_t setCount;
+    std::vector<Line> lines; // sets * ways, row-major by set
+    std::uint64_t clock = 0;
+    CacheStats statistics;
+};
+
+/**
+ * Permutation-aware prefetcher: given the deterministic sample
+ * permutation and the element layout, it runs @c distance samples ahead
+ * of the demand stream and fills the lines those samples will touch —
+ * the paper's "address computation unit coupled with the deterministic
+ * tree or pseudo-random (e.g., LFSR) counters".
+ */
+class PermutationPrefetcher
+{
+  public:
+    /**
+     * @param cache        The cache to fill (not owned).
+     * @param perm         The sampling permutation (not owned).
+     * @param base_address Base address of the sampled array.
+     * @param element_size Bytes per element.
+     * @param distance     Samples of lookahead (>= 1).
+     */
+    PermutationPrefetcher(CacheModel &cache, const Permutation &perm,
+                          std::uint64_t base_address,
+                          std::size_t element_size, unsigned distance);
+
+    /** Notify that the demand stream is at sample ordinal @p ordinal. */
+    void onSample(std::uint64_t ordinal);
+
+  private:
+    CacheModel *cache;
+    const Permutation *perm;
+    std::uint64_t base;
+    std::size_t elementSize;
+    unsigned distance;
+    std::uint64_t issuedUpTo = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CACHESIM_CACHE_HPP

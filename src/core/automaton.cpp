@@ -1,0 +1,209 @@
+#include "core/automaton.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+Automaton::~Automaton()
+{
+    shutdown();
+}
+
+void
+Automaton::addStage(std::shared_ptr<Stage> stage, unsigned workers)
+{
+    fatalIf(startedFlag, "cannot add stages after start()");
+    fatalIf(stage == nullptr, "addStage: null stage");
+    fatalIf(workers == 0, "addStage: zero workers for stage ",
+            stage->name());
+    placements.push_back({std::move(stage), workers});
+}
+
+void
+Automaton::validate() const
+{
+    // Property 2: at most one writer per buffer.
+    std::map<const BufferBase *, const Stage *> writer_of;
+    for (const auto &placement : placements) {
+        const BufferBase *out = placement.stage->writes();
+        if (out == nullptr)
+            continue;
+        const auto [it, inserted] =
+            writer_of.emplace(out, placement.stage.get());
+        fatalIf(!inserted, "buffer '", out->name(),
+                "' has two writer stages: '", it->second->name(),
+                "' and '", placement.stage->name(),
+                "' (violates Property 2)");
+    }
+
+    // Read buffers must have a writer or an externally published value.
+    for (const auto &placement : placements) {
+        for (const BufferBase *in : placement.stage->reads()) {
+            fatalIf(writer_of.find(in) == writer_of.end() &&
+                        in->version() == 0,
+                    "stage '", placement.stage->name(), "' reads buffer '",
+                    in->name(),
+                    "' which has no writer stage and no external input");
+        }
+    }
+
+    // Acyclicity of the stage graph (edges: writer -> reader).
+    std::map<const Stage *, std::vector<const Stage *>> successors;
+    for (const auto &placement : placements) {
+        for (const BufferBase *in : placement.stage->reads()) {
+            const auto it = writer_of.find(in);
+            if (it != writer_of.end())
+                successors[it->second].push_back(placement.stage.get());
+        }
+    }
+    // Iterative DFS with colors: 0 = white, 1 = gray, 2 = black.
+    std::map<const Stage *, int> color;
+    for (const auto &placement : placements) {
+        const Stage *root = placement.stage.get();
+        if (color[root] != 0)
+            continue;
+        std::vector<std::pair<const Stage *, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        color[root] = 1;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            const auto &outs = successors[node];
+            if (next < outs.size()) {
+                const Stage *succ = outs[next++];
+                fatalIf(color[succ] == 1,
+                        "stage graph has a cycle through '",
+                        succ->name(), "' (must be a DAG)");
+                if (color[succ] == 0) {
+                    color[succ] = 1;
+                    stack.emplace_back(succ, 0);
+                }
+            } else {
+                color[node] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+void
+Automaton::start()
+{
+    fatalIf(startedFlag, "automaton already started");
+    fatalIf(placements.empty(), "automaton has no stages");
+    validate();
+    startedFlag = true;
+
+    unsigned total_workers = 0;
+    for (const auto &placement : placements)
+        total_workers += placement.workers;
+    {
+        std::lock_guard lock(doneMutex);
+        activeWorkers = total_workers;
+    }
+
+    for (auto &placement : placements) {
+        for (unsigned worker = 0; worker < placement.workers; ++worker) {
+            Stage *stage = placement.stage.get();
+            const unsigned count = placement.workers;
+            threads.emplace_back([this, stage, worker, count] {
+                StageContext ctx(stopSource.get_token(), gate,
+                                 stage->stats(), worker, count);
+                try {
+                    stage->run(ctx);
+                } catch (const std::exception &error) {
+                    // A failing stage must not take the process down:
+                    // record the error, stop the pipeline, and let the
+                    // buffers keep their last valid versions.
+                    {
+                        std::lock_guard lock(doneMutex);
+                        failureMessages.push_back(
+                            std::string("stage '") + stage->name() +
+                            "': " + error.what());
+                    }
+                    stopSource.request_stop();
+                    gate.resume();
+                }
+                {
+                    std::lock_guard lock(doneMutex);
+                    --activeWorkers;
+                }
+                doneCv.notify_all();
+            });
+        }
+    }
+}
+
+void
+Automaton::stop()
+{
+    stopSource.request_stop();
+    // A paused automaton must still be stoppable: wake the gate.
+    gate.resume();
+}
+
+void
+Automaton::pause()
+{
+    gate.pause();
+}
+
+void
+Automaton::resume()
+{
+    gate.resume();
+}
+
+bool
+Automaton::waitUntilDone(std::optional<std::chrono::nanoseconds> timeout)
+{
+    std::unique_lock lock(doneMutex);
+    const auto done = [&] { return activeWorkers == 0; };
+    if (timeout)
+        return doneCv.wait_for(lock, *timeout, done);
+    doneCv.wait(lock, done);
+    return true;
+}
+
+void
+Automaton::shutdown()
+{
+    if (!startedFlag)
+        return;
+    stop();
+    for (auto &thread : threads) {
+        if (thread.joinable())
+            thread.join();
+    }
+    threads.clear();
+}
+
+bool
+Automaton::failed() const
+{
+    std::lock_guard lock(doneMutex);
+    return !failureMessages.empty();
+}
+
+std::vector<std::string>
+Automaton::failures() const
+{
+    std::lock_guard lock(doneMutex);
+    return failureMessages;
+}
+
+bool
+Automaton::complete() const
+{
+    for (const auto &placement : placements) {
+        const BufferBase *out = placement.stage->writes();
+        if (out != nullptr && !out->final())
+            return false;
+    }
+    return true;
+}
+
+} // namespace anytime

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The Anytime Automaton (paper Section III).
+ *
+ * An Automaton owns a set of versioned buffers and a DAG of computation
+ * stages, executes the stages as a parallel pipeline on dedicated worker
+ * threads, and exposes the anytime controls: the automaton can be
+ * stopped (or paused) at any moment while every output buffer retains a
+ * valid approximate version, and if left alone it is guaranteed to reach
+ * the precise output of every stage.
+ *
+ * Graph invariants checked at start():
+ *  - every buffer has at most one writer stage (Property 2);
+ *  - the stage graph induced by buffer read/write edges is acyclic;
+ *  - every buffer read by a stage either has a writer or already holds
+ *    a user-published (external input) version.
+ */
+
+#ifndef ANYTIME_CORE_AUTOMATON_HPP
+#define ANYTIME_CORE_AUTOMATON_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/stage.hpp"
+
+namespace anytime {
+
+/** Worker-thread allocation for one stage (pipeline scheduling knob). */
+struct StagePlacement
+{
+    std::shared_ptr<Stage> stage;
+    unsigned workers = 1;
+};
+
+/**
+ * A parallel pipeline of anytime computation stages.
+ */
+class Automaton
+{
+  public:
+    Automaton() = default;
+    ~Automaton();
+
+    Automaton(const Automaton &) = delete;
+    Automaton &operator=(const Automaton &) = delete;
+
+    /**
+     * Create (and register) a versioned buffer owned by this automaton.
+     *
+     * @tparam T   Buffer value type.
+     * @param name Buffer name for diagnostics.
+     */
+    template <typename T>
+    std::shared_ptr<VersionedBuffer<T>>
+    makeBuffer(std::string name)
+    {
+        auto buffer = std::make_shared<VersionedBuffer<T>>(std::move(name));
+        buffers.push_back(buffer);
+        return buffer;
+    }
+
+    /**
+     * Add a stage to the pipeline.
+     *
+     * @param stage   The stage (automaton shares ownership).
+     * @param workers Worker threads to dedicate to this stage (>= 1).
+     */
+    void addStage(std::shared_ptr<Stage> stage, unsigned workers = 1);
+
+    /** Validate the graph and launch all stage worker threads. */
+    void start();
+
+    /** Request cooperative stop; returns immediately. */
+    void stop();
+
+    /** Freeze all stages at their next checkpoint. */
+    void pause();
+
+    /** Release paused stages. */
+    void resume();
+
+    /**
+     * Block until every stage worker has finished (all precise outputs
+     * published), or @p timeout elapses.
+     *
+     * @return True iff all workers finished within the timeout.
+     */
+    bool waitUntilDone(
+        std::optional<std::chrono::nanoseconds> timeout = std::nullopt);
+
+    /** Stop and join all worker threads (idempotent). */
+    void shutdown();
+
+    /** True after start() until shutdown()/destruction. */
+    bool started() const { return startedFlag; }
+
+    /** True once every stage-written buffer holds its final version. */
+    bool complete() const;
+
+    /** Stages in insertion order. */
+    const std::vector<StagePlacement> &stages() const { return placements; }
+
+    /** Buffers in creation order. */
+    const std::vector<std::shared_ptr<BufferBase>> &
+    allBuffers() const
+    {
+        return buffers;
+    }
+
+    /**
+     * True if any stage worker terminated with an exception. A failing
+     * stage stops the whole automaton (its buffers keep their last
+     * valid version — the anytime guarantee degrades gracefully).
+     */
+    bool failed() const;
+
+    /** Messages of the exceptions captured from failed stage workers. */
+    std::vector<std::string> failures() const;
+
+  private:
+    /** Throw FatalError if the graph violates the model invariants. */
+    void validate() const;
+
+    std::vector<std::shared_ptr<BufferBase>> buffers;
+    std::vector<StagePlacement> placements;
+    std::vector<std::jthread> threads;
+    std::stop_source stopSource;
+    PauseGate gate;
+    bool startedFlag = false;
+
+    mutable std::mutex doneMutex;
+    std::condition_variable doneCv;
+    unsigned activeWorkers = 0;
+    std::vector<std::string> failureMessages;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_AUTOMATON_HPP

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Versioned output buffers (paper Properties 2 and 3).
+ *
+ * Every anytime computation stage owns exactly one output buffer
+ * (Property 2: no other stage may modify it) and writes each
+ * intermediate output into it atomically (Property 3: consumers never
+ * observe a torn version). A consumer reads "whichever output happens to
+ * be in the buffer" — the essence of the asynchronous pipeline — via an
+ * immutable snapshot that stays valid even while the producer publishes
+ * newer versions.
+ *
+ * Implementation: the current version is a shared_ptr<const T> swapped
+ * under a mutex; readers grab the pointer (O(1), never blocks the
+ * producer for long) and keep the old version alive for as long as they
+ * need it. A monotonically increasing version number and a `final` flag
+ * let consumers detect progress and termination; a condition variable
+ * supports blocking waits with cooperative stop.
+ */
+
+#ifndef ANYTIME_CORE_BUFFER_HPP
+#define ANYTIME_CORE_BUFFER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/** Type-erased buffer interface for graph bookkeeping and stats. */
+class BufferBase
+{
+  public:
+    explicit BufferBase(std::string name) : bufferName(std::move(name)) {}
+    virtual ~BufferBase() = default;
+
+    BufferBase(const BufferBase &) = delete;
+    BufferBase &operator=(const BufferBase &) = delete;
+
+    /** Buffer name for diagnostics. */
+    const std::string &name() const { return bufferName; }
+
+    /** Number of versions published so far (0 = nothing yet). */
+    virtual std::uint64_t version() const = 0;
+
+    /** True once the precise (final) version has been published. */
+    virtual bool final() const = 0;
+
+  private:
+    std::string bufferName;
+};
+
+/**
+ * One immutable published version of a buffer's contents.
+ *
+ * @tparam T Value type.
+ */
+template <typename T>
+struct Snapshot
+{
+    /** The published value; null if nothing has been published yet. */
+    std::shared_ptr<const T> value;
+    /** Version number (1-based); 0 when value is null. */
+    std::uint64_t version = 0;
+    /** True iff this is the precise, final version. */
+    bool final = false;
+
+    /** True if any version is present. */
+    explicit operator bool() const { return value != nullptr; }
+};
+
+/**
+ * Single-writer, multi-reader versioned buffer.
+ *
+ * @tparam T Value type of the stage output.
+ */
+template <typename T>
+class VersionedBuffer : public BufferBase
+{
+  public:
+    using Observer =
+        std::function<void(const Snapshot<T> &snapshot)>;
+
+    explicit VersionedBuffer(std::string name)
+        : BufferBase(std::move(name))
+    {
+    }
+
+    /**
+     * Publish a new version (Property 3: atomic with respect to
+     * readers). Copies @p value into a fresh immutable snapshot.
+     *
+     * @param value    The new output version O_i.
+     * @param is_final True iff this is the precise output O_n.
+     */
+    void
+    publish(const T &value, bool is_final)
+    {
+        publishShared(std::make_shared<const T>(value), is_final);
+    }
+
+    /** Publish by move (avoids one copy for large outputs). */
+    void
+    publish(T &&value, bool is_final)
+    {
+        publishShared(std::make_shared<const T>(std::move(value)),
+                      is_final);
+    }
+
+    /** Publish an already-shared immutable value. */
+    void
+    publishShared(std::shared_ptr<const T> value, bool is_final)
+    {
+        panicIf(value == nullptr, "publishing null into buffer ", name());
+        Snapshot<T> snapshot;
+        {
+            std::lock_guard lock(mutex);
+            panicIf(finalSeen,
+                    "buffer ", name(), ": publish after final version");
+            current = std::move(value);
+            ++versionCount;
+            finalSeen = is_final;
+            snapshot = Snapshot<T>{current, versionCount, finalSeen};
+        }
+        changed.notify_all();
+        // Observers run outside the lock; they receive an immutable
+        // snapshot so racing with the next publish is harmless.
+        for (const auto &observer : observers)
+            observer(snapshot);
+    }
+
+    /** Latest snapshot (null value if nothing published yet). */
+    Snapshot<T>
+    read() const
+    {
+        std::lock_guard lock(mutex);
+        return Snapshot<T>{current, versionCount, finalSeen};
+    }
+
+    /**
+     * Block until a version newer than @p after_version is available,
+     * the final version has been published, or @p stop is requested.
+     *
+     * @return The latest snapshot at wake-up (may be unchanged if the
+     *         wait was cancelled by @p stop).
+     */
+    Snapshot<T>
+    waitNewer(std::uint64_t after_version, std::stop_token stop) const
+    {
+        std::unique_lock lock(mutex);
+        std::condition_variable_any &cv = changed;
+        cv.wait(lock, stop, [&] {
+            return versionCount > after_version || finalSeen;
+        });
+        return Snapshot<T>{current, versionCount, finalSeen};
+    }
+
+    /**
+     * Register an observer invoked after every publish (used by the
+     * profiling harness to timestamp versions). Not thread-safe against
+     * concurrent publishing: register all observers before the
+     * automaton starts.
+     */
+    void
+    addObserver(Observer observer)
+    {
+        observers.push_back(std::move(observer));
+    }
+
+    std::uint64_t
+    version() const override
+    {
+        std::lock_guard lock(mutex);
+        return versionCount;
+    }
+
+    bool
+    final() const override
+    {
+        std::lock_guard lock(mutex);
+        return finalSeen;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    mutable std::condition_variable_any changed;
+    std::shared_ptr<const T> current;
+    std::uint64_t versionCount = 0;
+    bool finalSeen = false;
+    std::vector<Observer> observers;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_BUFFER_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Synchronous pipeline machinery (paper Section III-C2).
+ *
+ * When a diffusive parent's updates X_1..X_n feed a child g that is
+ * *distributive* over the parent's update operator, streaming the
+ * updates avoids the redundant work of recomputing g on every full
+ * output version. Unlike the asynchronous pipeline, every update must be
+ * delivered exactly once — "f and gS must synchronize such that f does
+ * not overwrite X_i with X_{i+1} before gS(X_i) begins executing" — so
+ * the parent and child communicate through a bounded blocking queue.
+ *
+ * UpdateChannel is a small single-producer single-consumer bounded
+ * queue with close semantics and cooperative-stop-aware blocking.
+ */
+
+#ifndef ANYTIME_CORE_CHANNEL_HPP
+#define ANYTIME_CORE_CHANNEL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Bounded blocking SPSC queue carrying diffusive updates X_i.
+ *
+ * @tparam X Update value type.
+ */
+template <typename X>
+class UpdateChannel
+{
+  public:
+    /**
+     * @param capacity Maximum in-flight updates; 1 reproduces the
+     *                 paper's strict "don't overwrite X_i before
+     *                 gS(X_i) starts" synchronization, larger values
+     *                 trade buffer space for pipeline slack.
+     */
+    explicit UpdateChannel(std::size_t capacity = 1)
+        : capacity(capacity)
+    {
+        fatalIf(capacity == 0, "UpdateChannel: zero capacity");
+    }
+
+    /**
+     * Block until there is room, then enqueue @p update.
+     * @return False iff @p stop was requested (update not enqueued).
+     */
+    bool
+    push(X update, std::stop_token stop)
+    {
+        std::unique_lock lock(mutex);
+        panicIf(closedFlag, "push into closed UpdateChannel");
+        notFull.wait(lock, stop,
+                     [&] { return queue.size() < capacity; });
+        if (stop.stop_requested())
+            return false;
+        queue.push_back(std::move(update));
+        ++pushed;
+        lock.unlock();
+        notEmpty.notify_all();
+        return true;
+    }
+
+    /**
+     * Block until an update is available, the channel is closed and
+     * drained, or @p stop is requested.
+     * @return The update, or nullopt on close/stop.
+     */
+    std::optional<X>
+    pop(std::stop_token stop)
+    {
+        std::unique_lock lock(mutex);
+        notEmpty.wait(lock, stop,
+                      [&] { return !queue.empty() || closedFlag; });
+        if (queue.empty())
+            return std::nullopt; // closed-and-drained or stopped
+        X update = std::move(queue.front());
+        queue.pop_front();
+        ++popped;
+        lock.unlock();
+        notFull.notify_all();
+        return update;
+    }
+
+    /** Producer is done: wakes the consumer once the queue drains. */
+    void
+    close()
+    {
+        {
+            std::lock_guard lock(mutex);
+            closedFlag = true;
+        }
+        notEmpty.notify_all();
+    }
+
+    /** True once close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard lock(mutex);
+        return closedFlag;
+    }
+
+    /** Total updates pushed (for tests and stats). */
+    std::uint64_t
+    pushCount() const
+    {
+        std::lock_guard lock(mutex);
+        return pushed;
+    }
+
+    /** Total updates popped. */
+    std::uint64_t
+    popCount() const
+    {
+        std::lock_guard lock(mutex);
+        return popped;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    std::condition_variable_any notFull;
+    std::condition_variable_any notEmpty;
+    std::deque<X> queue;
+    std::size_t capacity;
+    bool closedFlag = false;
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_CHANNEL_HPP

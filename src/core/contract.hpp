@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Contract-anytime planning (paper Section II-B background).
+ *
+ * Anytime algorithms come in two flavors: *interruptible* (this
+ * library's automata — stoppable at any instant) and *contract*
+ * (given a deadline up front, schedule computations to make the best
+ * use of it). A contract plan is easily derived from an interruptible
+ * automaton: measure (or model) the cumulative latency of each version
+ * and pick the deepest accuracy level whose cumulative latency fits the
+ * deadline. ContractPlanner implements that selection over a measured
+ * latency/quality table, which the harness produces from profiling
+ * runs.
+ */
+
+#ifndef ANYTIME_CORE_CONTRACT_HPP
+#define ANYTIME_CORE_CONTRACT_HPP
+
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/** One attainable operating point of an automaton. */
+struct ContractPoint
+{
+    /** Cumulative seconds from start until this version is available. */
+    double seconds = 0.0;
+    /** Quality of this version (any monotone metric, e.g., SNR dB). */
+    double quality = 0.0;
+    /** True iff this is the precise output. */
+    bool precise = false;
+};
+
+/**
+ * Selects operating points under deadlines from a profiled
+ * runtime-quality table.
+ */
+class ContractPlanner
+{
+  public:
+    /**
+     * @param points Operating points sorted by ascending seconds (as a
+     *               profiling run naturally produces). Validated.
+     */
+    explicit ContractPlanner(std::vector<ContractPoint> points_in)
+        : points(std::move(points_in))
+    {
+        fatalIf(points.empty(), "ContractPlanner: no operating points");
+        for (std::size_t i = 1; i < points.size(); ++i) {
+            fatalIf(points[i].seconds < points[i - 1].seconds,
+                    "ContractPlanner: points must be time-sorted");
+        }
+    }
+
+    /**
+     * Best operating point reachable within @p deadline_seconds, or
+     * nullopt if even the first version does not fit (the caller must
+     * then either extend the deadline or accept no output).
+     */
+    std::optional<ContractPoint>
+    best(double deadline_seconds) const
+    {
+        std::optional<ContractPoint> chosen;
+        for (const ContractPoint &point : points) {
+            if (point.seconds > deadline_seconds)
+                break;
+            if (!chosen || point.quality >= chosen->quality)
+                chosen = point;
+        }
+        return chosen;
+    }
+
+    /**
+     * Minimum deadline that guarantees at least @p quality, or nullopt
+     * if no profiled point reaches it.
+     */
+    std::optional<double>
+    deadlineFor(double quality) const
+    {
+        for (const ContractPoint &point : points) {
+            if (point.quality >= quality)
+                return point.seconds;
+        }
+        return std::nullopt;
+    }
+
+    /** Seconds to the precise output, if the profile reached it. */
+    std::optional<double>
+    preciseDeadline() const
+    {
+        for (const ContractPoint &point : points) {
+            if (point.precise)
+                return point.seconds;
+        }
+        return std::nullopt;
+    }
+
+    /** The underlying table. */
+    const std::vector<ContractPoint> &table() const { return points; }
+
+  private:
+    std::vector<ContractPoint> points;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_CONTRACT_HPP

@@ -1,0 +1,48 @@
+#include "core/controller.hpp"
+
+#include "support/stopwatch.hpp"
+
+namespace anytime {
+
+RunOutcome
+runWithTimeBudget(Automaton &automaton, std::chrono::nanoseconds budget)
+{
+    Stopwatch watch;
+    automaton.start();
+    const bool done = automaton.waitUntilDone(budget);
+    if (!done)
+        automaton.stop();
+    automaton.shutdown();
+    return RunOutcome{automaton.complete(), watch.seconds()};
+}
+
+RunOutcome
+runUntilAcceptable(Automaton &automaton,
+                   const std::function<bool()> &acceptable,
+                   std::chrono::nanoseconds poll)
+{
+    Stopwatch watch;
+    automaton.start();
+    for (;;) {
+        if (automaton.waitUntilDone(poll))
+            break;
+        if (acceptable()) {
+            automaton.stop();
+            break;
+        }
+    }
+    automaton.shutdown();
+    return RunOutcome{automaton.complete(), watch.seconds()};
+}
+
+RunOutcome
+runToCompletion(Automaton &automaton)
+{
+    Stopwatch watch;
+    automaton.start();
+    automaton.waitUntilDone();
+    automaton.shutdown();
+    return RunOutcome{automaton.complete(), watch.seconds()};
+}
+
+} // namespace anytime

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Run controllers: the "decision of stopping" policies.
+ *
+ * Paper Section III-A: "The decision of stopping can either be automated
+ * via dynamic accuracy metrics, user-specified or enforced by
+ * time/energy constraints." These helpers implement the three families
+ * on top of Automaton's stop()/pause() controls:
+ *
+ *  - runWithTimeBudget: hard wall-clock (real-time) constraint;
+ *  - runUntilAcceptable: dynamic accuracy metric evaluated on the whole
+ *    application output (the early-availability property makes this
+ *    meaningful, unlike per-segment metrics);
+ *  - runToCompletion: let the automaton reach the precise output.
+ */
+
+#ifndef ANYTIME_CORE_CONTROLLER_HPP
+#define ANYTIME_CORE_CONTROLLER_HPP
+
+#include <chrono>
+#include <functional>
+
+#include "core/automaton.hpp"
+#include "core/buffer.hpp"
+
+namespace anytime {
+
+/** Outcome of a controlled run. */
+struct RunOutcome
+{
+    /** True iff every stage published its precise output. */
+    bool reachedPrecise = false;
+    /** Wall-clock seconds from start() to stop/completion. */
+    double seconds = 0.0;
+};
+
+/**
+ * Start @p automaton and let it run until done or until @p budget
+ * elapses, then stop and join it. The output buffers retain the most
+ * accurate versions published within the budget.
+ */
+RunOutcome runWithTimeBudget(Automaton &automaton,
+                             std::chrono::nanoseconds budget);
+
+/**
+ * Start @p automaton and poll @p acceptable every @p poll interval,
+ * stopping as soon as it returns true (or the automaton completes).
+ * The predicate should inspect the sink buffer's latest snapshot —
+ * i.e., a dynamic accuracy metric on the whole application output.
+ */
+RunOutcome runUntilAcceptable(Automaton &automaton,
+                              const std::function<bool()> &acceptable,
+                              std::chrono::nanoseconds poll);
+
+/** Start @p automaton and wait for the precise output of every stage. */
+RunOutcome runToCompletion(Automaton &automaton);
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_CONTROLLER_HPP

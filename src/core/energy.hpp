@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Work-proportional energy accounting ("hold-the-power-button
+ * computing").
+ *
+ * The paper's thesis is that the acceptability of the output should
+ * directly govern the time AND energy expended. Real energy needs
+ * hardware counters; as a substitute this model charges each stage a
+ * configurable cost per work unit (StageContext::addWork) plus a static
+ * per-second cost per worker thread, which is enough to reproduce the
+ * qualitative energy-accuracy tradeoffs (e.g., stopping a diffusive
+ * sweep at 25% of samples spends ~25% of its dynamic energy).
+ */
+
+#ifndef ANYTIME_CORE_ENERGY_HPP
+#define ANYTIME_CORE_ENERGY_HPP
+
+#include <map>
+#include <string>
+
+#include "core/automaton.hpp"
+
+namespace anytime {
+
+/** Energy cost coefficients for one stage. */
+struct StageEnergyCost
+{
+    /** Dynamic energy per recorded work unit (nanojoules). */
+    double nanojoulesPerStep = 1.0;
+    /** Static (leakage/idle) power per worker thread (milliwatts). */
+    double milliwattsStatic = 0.0;
+};
+
+/** Per-stage and total energy estimate for one automaton run. */
+struct EnergyReport
+{
+    std::map<std::string, double> dynamicNanojoules;
+    double totalDynamicNanojoules = 0.0;
+    double totalStaticNanojoules = 0.0;
+
+    double
+    totalNanojoules() const
+    {
+        return totalDynamicNanojoules + totalStaticNanojoules;
+    }
+};
+
+/**
+ * Simple energy model: per-stage dynamic cost plus static cost
+ * proportional to run time and worker count.
+ */
+class EnergyModel
+{
+  public:
+    /** Default coefficients applied to stages without an override. */
+    explicit EnergyModel(StageEnergyCost default_cost = {})
+        : defaultCost(default_cost)
+    {
+    }
+
+    /** Override the cost of the stage named @p stage. */
+    void
+    setStageCost(const std::string &stage, StageEnergyCost cost)
+    {
+        overrides[stage] = cost;
+    }
+
+    /**
+     * Estimate the energy spent by @p automaton so far.
+     *
+     * @param automaton     The (started or finished) automaton.
+     * @param elapsed_seconds Wall-clock runtime charged for static power.
+     */
+    EnergyReport
+    estimate(const Automaton &automaton, double elapsed_seconds) const
+    {
+        EnergyReport report;
+        for (const auto &placement : automaton.stages()) {
+            const std::string &name = placement.stage->name();
+            const auto it = overrides.find(name);
+            const StageEnergyCost &cost =
+                (it != overrides.end()) ? it->second : defaultCost;
+
+            const double steps = static_cast<double>(
+                placement.stage->stats().steps.load());
+            const double dynamic = steps * cost.nanojoulesPerStep;
+            report.dynamicNanojoules[name] = dynamic;
+            report.totalDynamicNanojoules += dynamic;
+            // mW * s = mJ = 1e6 nJ.
+            report.totalStaticNanojoules += cost.milliwattsStatic *
+                                            placement.workers *
+                                            elapsed_seconds * 1e6;
+        }
+        return report;
+    }
+
+  private:
+    StageEnergyCost defaultCost;
+    std::map<std::string, StageEnergyCost> overrides;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_ENERGY_HPP

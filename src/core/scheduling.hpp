@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pipeline thread-scheduling policies (paper Section IV-C2).
+ *
+ * Given per-stage latency estimates and a hardware-thread budget,
+ * choose how many workers each stage gets. The paper identifies that
+ * the conventional "balance stage latencies" rule is not always right
+ * for automata: to minimize time-to-first-output, threads should go to
+ * the longest *upstream* stage; to minimize the gap between consecutive
+ * outputs, they should go to the *final* stage. All three policies are
+ * provided; correctness never depends on the choice (scheduling is
+ * "merely an optimization problem").
+ */
+
+#ifndef ANYTIME_CORE_SCHEDULING_HPP
+#define ANYTIME_CORE_SCHEDULING_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/** Scheduling input for one stage. */
+struct StageLoad
+{
+    std::string name;
+    /** Estimated latency (seconds or any consistent unit). */
+    double latency = 0.0;
+    /** Whether the stage's internal work can use extra workers. */
+    bool parallelizable = true;
+    /** Topological depth: 0 for sources, increasing downstream. */
+    unsigned depth = 0;
+};
+
+/** Scheduling policies from the paper's discussion. */
+enum class SchedulePolicy
+{
+    /** Balance stage latencies (the conventional pipeline rule). */
+    balanced,
+    /** Favor the longest upstream stage: earliest first output. */
+    firstOutput,
+    /** Favor the final stage: smallest inter-output gap. */
+    outputGap,
+};
+
+/**
+ * Allocate @p thread_budget workers across @p stages.
+ *
+ * Every stage gets at least one worker; the remainder is distributed
+ * per the policy. Non-parallelizable stages are capped at one worker.
+ *
+ * @return Worker count per stage, parallel to @p stages.
+ */
+inline std::vector<unsigned>
+allocateWorkers(const std::vector<StageLoad> &stages,
+                unsigned thread_budget, SchedulePolicy policy)
+{
+    fatalIf(stages.empty(), "allocateWorkers: no stages");
+    fatalIf(thread_budget < stages.size(),
+            "allocateWorkers: need at least one thread per stage (",
+            stages.size(), " stages, ", thread_budget, " threads)");
+
+    std::vector<unsigned> workers(stages.size(), 1);
+    unsigned spare = thread_budget - static_cast<unsigned>(stages.size());
+
+    // Effective per-stage weight under the policy.
+    const auto weight = [&](std::size_t i) {
+        const StageLoad &stage = stages[i];
+        if (!stage.parallelizable || workers[i] == 0)
+            return 0.0;
+        const double current_latency =
+            stage.latency / static_cast<double>(workers[i]);
+        switch (policy) {
+          case SchedulePolicy::balanced:
+            return current_latency;
+          case SchedulePolicy::firstOutput: {
+            // Upstream-first: weight decays with depth.
+            const double depth_bias =
+                1.0 / (1.0 + static_cast<double>(stage.depth));
+            return current_latency * depth_bias * 4.0;
+          }
+          case SchedulePolicy::outputGap: {
+            // Downstream-first: weight grows with depth.
+            const double depth_bias =
+                1.0 + static_cast<double>(stage.depth);
+            return current_latency * depth_bias;
+          }
+        }
+        return current_latency;
+    };
+
+    // Greedy water-filling: repeatedly give a worker to the heaviest
+    // stage under the policy's weighting.
+    while (spare > 0) {
+        std::size_t best = stages.size();
+        double best_weight = 0.0;
+        for (std::size_t i = 0; i < stages.size(); ++i) {
+            const double w = weight(i);
+            if (w > best_weight) {
+                best_weight = w;
+                best = i;
+            }
+        }
+        if (best == stages.size())
+            break; // nothing parallelizable left
+        ++workers[best];
+        --spare;
+    }
+    return workers;
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_SCHEDULING_HPP

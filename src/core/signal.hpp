@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Change notification for stages that wait on multiple input buffers.
+ *
+ * A transform stage reading several parents needs to sleep until *any*
+ * parent publishes. Each VersionedBuffer has its own condition variable,
+ * so the stage registers a publish observer on every input that pokes
+ * one shared ChangeSignal, then waits on that.
+ */
+
+#ifndef ANYTIME_CORE_SIGNAL_HPP
+#define ANYTIME_CORE_SIGNAL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stop_token>
+
+namespace anytime {
+
+/** Counting event: notify() bumps, wait() blocks until the count moves. */
+class ChangeSignal
+{
+  public:
+    /** Record one change event and wake waiters. */
+    void
+    notify()
+    {
+        {
+            std::lock_guard lock(mutex);
+            ++count;
+        }
+        changed.notify_all();
+    }
+
+    /** Current change count (use as the `seen` baseline). */
+    std::uint64_t
+    current() const
+    {
+        std::lock_guard lock(mutex);
+        return count;
+    }
+
+    /**
+     * Block until the change count exceeds @p seen or stop is requested.
+     * @return The change count at wake-up.
+     */
+    std::uint64_t
+    wait(std::uint64_t seen, std::stop_token stop) const
+    {
+        std::unique_lock lock(mutex);
+        changed.wait(lock, stop, [&] { return count > seen; });
+        return count;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    mutable std::condition_variable_any changed;
+    std::uint64_t count = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_SIGNAL_HPP

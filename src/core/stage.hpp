@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Computation stages and their execution context.
+ *
+ * An anytime automaton breaks an application into computation stages
+ * connected in a directed acyclic graph (paper Figure 1). Each stage's
+ * run() owns the full lifetime of one worker thread: it reads input
+ * snapshots, performs its (possibly anytime) computation, and publishes
+ * output versions. Stage bodies must be pure in the sense of Property 1:
+ * no semantic state outside their input and output buffers.
+ *
+ * Interruptibility and pause are cooperative: stage bodies call
+ * StageContext::checkpoint() between units of work; it returns false
+ * once the automaton is being stopped and blocks while paused.
+ */
+
+#ifndef ANYTIME_CORE_STAGE_HPP
+#define ANYTIME_CORE_STAGE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "core/buffer.hpp"
+
+namespace anytime {
+
+/**
+ * Shared pause/resume gate. The paper's model allows the automaton to be
+ * "stopped (or paused)" at any moment while the current output stays
+ * valid; pause freezes all stages at their next checkpoint without
+ * losing any published version.
+ */
+class PauseGate
+{
+  public:
+    /** Freeze all stages at their next checkpoint. */
+    void
+    pause()
+    {
+        std::lock_guard lock(mutex);
+        paused = true;
+    }
+
+    /** Release paused stages. */
+    void
+    resume()
+    {
+        {
+            std::lock_guard lock(mutex);
+            paused = false;
+        }
+        resumed.notify_all();
+    }
+
+    /** True while the gate is closed. */
+    bool
+    isPaused() const
+    {
+        std::lock_guard lock(mutex);
+        return paused;
+    }
+
+    /**
+     * Block while paused; wake on resume() or stop.
+     * @return False iff @p stop was requested.
+     */
+    bool
+    wait(std::stop_token stop) const
+    {
+        std::unique_lock lock(mutex);
+        resumed.wait(lock, stop, [&] { return !paused; });
+        return !stop.stop_requested();
+    }
+
+  private:
+    mutable std::mutex mutex;
+    mutable std::condition_variable_any resumed;
+    bool paused = false;
+};
+
+/** Per-stage execution statistics (work-done proxy for energy). */
+struct StageStats
+{
+    /** Fine-grained work units completed (stage-defined meaning). */
+    std::atomic<std::uint64_t> steps{0};
+    /** Checkpoints taken (cooperative-cancellation granularity). */
+    std::atomic<std::uint64_t> checkpoints{0};
+};
+
+/**
+ * Execution context handed to Stage::run() on each worker thread.
+ */
+class StageContext
+{
+  public:
+    StageContext(std::stop_token stop, const PauseGate &gate,
+                 StageStats &stats, unsigned worker_id,
+                 unsigned worker_count)
+        : stop(std::move(stop)), gate(&gate), stats(&stats),
+          workerIdValue(worker_id), workerCountValue(worker_count)
+    {
+    }
+
+    /** Cooperative stop token for blocking waits. */
+    const std::stop_token &stopToken() const { return stop; }
+
+    /** True once the automaton is being stopped. */
+    bool stopRequested() const { return stop.stop_requested(); }
+
+    /**
+     * Checkpoint between units of work: honors pause, counts progress.
+     * @return False iff the stage should exit (stop requested).
+     */
+    bool
+    checkpoint()
+    {
+        stats->checkpoints.fetch_add(1, std::memory_order_relaxed);
+        if (stop.stop_requested())
+            return false;
+        if (gate->isPaused())
+            return gate->wait(stop);
+        return true;
+    }
+
+    /** Record @p count completed work units (energy proxy). */
+    void
+    addWork(std::uint64_t count = 1)
+    {
+        stats->steps.fetch_add(count, std::memory_order_relaxed);
+    }
+
+    /** This worker's index within the stage, in [0, workerCount()). */
+    unsigned workerId() const { return workerIdValue; }
+
+    /** Number of worker threads running this stage. */
+    unsigned workerCount() const { return workerCountValue; }
+
+  private:
+    std::stop_token stop;
+    const PauseGate *gate;
+    StageStats *stats;
+    unsigned workerIdValue;
+    unsigned workerCountValue;
+};
+
+/**
+ * Abstract computation stage.
+ *
+ * run() is invoked once per worker thread and owns the stage's whole
+ * execution; multi-worker stages coordinate internally (see the
+ * sampling partitions). A stage must publish its final output version
+ * before returning (unless stopped early).
+ */
+class Stage
+{
+  public:
+    explicit Stage(std::string name) : stageName(std::move(name)) {}
+    virtual ~Stage() = default;
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    /** Stage name for diagnostics and scheduling reports. */
+    const std::string &name() const { return stageName; }
+
+    /** Execute this stage on one worker thread. */
+    virtual void run(StageContext &ctx) = 0;
+
+    /** Buffers this stage reads (graph edges; may be empty). */
+    virtual std::vector<const BufferBase *> reads() const = 0;
+
+    /** The single buffer this stage writes (Property 2). */
+    virtual const BufferBase *writes() const = 0;
+
+    /** Execution statistics (shared across this stage's workers). */
+    StageStats &stats() { return stageStats; }
+    const StageStats &stats() const { return stageStats; }
+
+  private:
+    std::string stageName;
+    StageStats stageStats;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_STAGE_HPP

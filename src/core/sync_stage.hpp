@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Synchronous-pipeline stage templates (paper Section III-C2).
+ *
+ * SyncSourceStage is a diffusive source that additionally exposes its
+ * updates X_i through an UpdateChannel. SyncTransformStage is the
+ * distributive child gS that folds each update into its accumulator:
+ * gS(X, G_{i-1}) = G_{i-1} <> g(X_i). Every update contributes usefully
+ * to the final precise output — none of the child work of the
+ * asynchronous pipeline is repeated.
+ */
+
+#ifndef ANYTIME_CORE_SYNC_STAGE_HPP
+#define ANYTIME_CORE_SYNC_STAGE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "core/channel.hpp"
+#include "core/stage.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Diffusive source that streams its updates into an UpdateChannel
+ * while also publishing full output versions F_i for observers.
+ *
+ * @tparam O Output (state) value type.
+ * @tparam X Update value type.
+ */
+template <typename O, typename X>
+class SyncSourceStage : public Stage
+{
+  public:
+    /** Produce update X_{p(step)}. */
+    using MakeUpdateFn =
+        std::function<X(std::uint64_t step, StageContext &ctx)>;
+    /** Apply an update to the running state: F_i = F_{i-1} <> X_i. */
+    using ApplyFn = std::function<void(O &state, const X &update)>;
+
+    SyncSourceStage(std::string name,
+                    std::shared_ptr<VersionedBuffer<O>> out,
+                    std::shared_ptr<UpdateChannel<X>> channel, O initial,
+                    std::uint64_t steps, MakeUpdateFn make, ApplyFn apply,
+                    std::uint64_t publish_period)
+        : Stage(std::move(name)), out(std::move(out)),
+          channel(std::move(channel)), state(std::move(initial)),
+          steps(steps), make(std::move(make)), apply(std::move(apply)),
+          publishPeriod(publish_period)
+    {
+        fatalIf(steps == 0, "SyncSourceStage: zero steps");
+        fatalIf(publish_period == 0, "SyncSourceStage: zero period");
+    }
+
+    void
+    run(StageContext &ctx) override
+    {
+        fatalIf(ctx.workerCount() != 1,
+                "SyncSourceStage: the update channel is single-producer");
+        for (std::uint64_t step = 0; step < steps; ++step) {
+            if (!ctx.checkpoint())
+                return;
+            X update = make(step, ctx);
+            apply(state, update);
+            ctx.addWork();
+            // Synchronization point: block until the child has room,
+            // so no update is ever overwritten before delivery.
+            if (!channel->push(std::move(update), ctx.stopToken()))
+                return;
+            const bool is_final = (step + 1 == steps);
+            if (is_final || (step + 1) % publishPeriod == 0)
+                out->publish(state, is_final);
+        }
+        channel->close();
+    }
+
+    std::vector<const BufferBase *>
+    reads() const override
+    {
+        return {};
+    }
+
+    const BufferBase *writes() const override { return out.get(); }
+
+  private:
+    std::shared_ptr<VersionedBuffer<O>> out;
+    std::shared_ptr<UpdateChannel<X>> channel;
+    O state;
+    std::uint64_t steps;
+    MakeUpdateFn make;
+    ApplyFn apply;
+    std::uint64_t publishPeriod;
+};
+
+/**
+ * Distributive child stage of a synchronous pipeline: folds streamed
+ * updates into its accumulator and publishes anytime versions of G.
+ *
+ * @tparam X Update value type.
+ * @tparam G Accumulator (output) value type.
+ */
+template <typename X, typename G>
+class SyncTransformStage : public Stage
+{
+  public:
+    /** Fold one update: G_i = G_{i-1} <> g(X_i). */
+    using FoldFn = std::function<void(G &accumulator, const X &update,
+                                      StageContext &ctx)>;
+
+    SyncTransformStage(std::string name,
+                       std::shared_ptr<UpdateChannel<X>> channel,
+                       std::shared_ptr<VersionedBuffer<G>> out, G initial,
+                       FoldFn fold, std::uint64_t publish_period)
+        : Stage(std::move(name)), channel(std::move(channel)),
+          out(std::move(out)), accumulator(std::move(initial)),
+          fold(std::move(fold)), publishPeriod(publish_period)
+    {
+        fatalIf(publish_period == 0, "SyncTransformStage: zero period");
+    }
+
+    void
+    run(StageContext &ctx) override
+    {
+        fatalIf(ctx.workerCount() != 1,
+                "SyncTransformStage: the update channel is "
+                "single-consumer");
+        std::uint64_t folded = 0;
+        for (;;) {
+            if (!ctx.checkpoint())
+                return;
+            std::optional<X> update = channel->pop(ctx.stopToken());
+            if (!update) {
+                if (ctx.stopRequested())
+                    return;
+                // Channel closed and drained: all updates folded, the
+                // accumulator is the precise output.
+                out->publish(accumulator, true);
+                return;
+            }
+            fold(accumulator, *update, ctx);
+            ctx.addWork();
+            ++folded;
+            if (folded % publishPeriod == 0)
+                out->publish(accumulator, false);
+        }
+    }
+
+    std::vector<const BufferBase *>
+    reads() const override
+    {
+        return {};
+    }
+
+    const BufferBase *writes() const override { return out.get(); }
+
+  private:
+    std::shared_ptr<UpdateChannel<X>> channel;
+    std::shared_ptr<VersionedBuffer<G>> out;
+    G accumulator;
+    FoldFn fold;
+    std::uint64_t publishPeriod;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_SYNC_STAGE_HPP

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Transform (child) stages of the asynchronous pipeline.
+ *
+ * Paper Section III-C1: a child stage g simply processes whichever
+ * parent output version is currently in the buffer. No synchronization
+ * with the parent is needed for correctness; the only requirement is
+ * that g eventually runs on the parent's final version F_n, which the
+ * run loop guarantees by re-processing until all inputs are final.
+ * Child stages may themselves be anytime: the body can emit several
+ * output versions per input version, with the buffer-final flag set only
+ * when the inputs were final AND the body emitted its own final level.
+ */
+
+#ifndef ANYTIME_CORE_TRANSFORM_STAGE_HPP
+#define ANYTIME_CORE_TRANSFORM_STAGE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "core/signal.hpp"
+#include "core/stage.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Publication handle passed to transform bodies. Combines the stage's
+ * own anytime finality with the finality of the inputs the version was
+ * computed from (only g_m(F_n) may be buffer-final).
+ *
+ * @tparam O Output value type.
+ */
+template <typename O>
+class Emitter
+{
+  public:
+    Emitter(VersionedBuffer<O> &buffer, bool inputs_final,
+            std::function<bool()> stale_check = {})
+        : buffer(&buffer), finalInputs(inputs_final),
+          staleCheck(std::move(stale_check))
+    {
+    }
+
+    /**
+     * Publish one output version.
+     *
+     * @param value       The output version.
+     * @param stage_final True iff this is the body's own final
+     *                    (most accurate) version for this input.
+     */
+    void
+    emit(O value, bool stage_final)
+    {
+        buffer->publish(std::move(value), finalInputs && stage_final);
+        ++emitted;
+    }
+
+    /** True iff the inputs this body invocation saw were all final. */
+    bool inputsFinal() const { return finalInputs; }
+
+    /**
+     * True iff newer input versions have been published since this
+     * body invocation started. A long anytime body may abandon its
+     * sweep when stale (and not final): the run loop will re-invoke it
+     * on the fresher inputs, and the precise output is still guaranteed
+     * because the final inputs are never stale.
+     */
+    bool
+    stale() const
+    {
+        return staleCheck && staleCheck();
+    }
+
+    /** Versions emitted by this body invocation so far. */
+    std::uint64_t count() const { return emitted; }
+
+  private:
+    VersionedBuffer<O> *buffer;
+    bool finalInputs;
+    std::function<bool()> staleCheck;
+    std::uint64_t emitted = 0;
+};
+
+/**
+ * Asynchronous-pipeline transform stage with one or more typed inputs.
+ *
+ * The body is invoked with the *latest* snapshot of every input each
+ * time any input changes; intermediate input versions may be skipped if
+ * the body is still busy (by design — data diffuses, it does not queue).
+ *
+ * @tparam O  Output value type.
+ * @tparam Is Input value types.
+ */
+template <typename O, typename... Is>
+class TransformStage : public Stage
+{
+    static_assert(sizeof...(Is) >= 1, "transform needs at least 1 input");
+
+  public:
+    /** Body: consume input values, emit output versions. */
+    using ProcessFn = std::function<void(const Is &..., Emitter<O> &,
+                                         StageContext &)>;
+
+    TransformStage(std::string name,
+                   std::shared_ptr<VersionedBuffer<Is>>... inputs,
+                   std::shared_ptr<VersionedBuffer<O>> output,
+                   ProcessFn fn)
+        : Stage(std::move(name)), ins(std::move(inputs)...),
+          out(std::move(output)), fn(std::move(fn))
+    {
+        // Wake this stage whenever any input publishes.
+        std::apply(
+            [this](auto &...in) {
+                (in->addObserver([this](const auto &) { signal.notify(); }),
+                 ...);
+            },
+            ins);
+    }
+
+    void
+    run(StageContext &ctx) override
+    {
+        fatalIf(ctx.workerCount() != 1,
+                "TransformStage supports a single worker; parallelize "
+                "inside the body instead");
+        std::uint64_t seen_signal = 0;
+        std::uint64_t processed_sum = 0;
+        for (;;) {
+            if (!ctx.checkpoint())
+                return;
+
+            auto snaps = std::apply(
+                [](auto &...in) { return std::make_tuple(in->read()...); },
+                ins);
+            const bool all_present = std::apply(
+                [](const auto &...s) { return ((s.value != nullptr) && ...); },
+                snaps);
+            const std::uint64_t version_sum = std::apply(
+                [](const auto &...s) { return (s.version + ...); }, snaps);
+            const bool all_final = std::apply(
+                [](const auto &...s) { return (s.final && ...); }, snaps);
+
+            if (!all_present || version_sum == processed_sum) {
+                if (all_present && all_final)
+                    return; // final inputs already processed
+                seen_signal = signal.wait(seen_signal, ctx.stopToken());
+                continue;
+            }
+
+            Emitter<O> emitter(*out, all_final, [this, version_sum] {
+                const std::uint64_t now = std::apply(
+                    [](auto &...in) { return (in->version() + ...); },
+                    ins);
+                return now > version_sum;
+            });
+            std::apply(
+                [&](const auto &...s) { fn(*s.value..., emitter, ctx); },
+                snaps);
+            if (ctx.stopRequested())
+                return;
+            processed_sum = version_sum;
+            if (all_final)
+                return; // g(F_n) done: precise output published
+        }
+    }
+
+    std::vector<const BufferBase *>
+    reads() const override
+    {
+        std::vector<const BufferBase *> result;
+        std::apply([&](const auto &...in) { (result.push_back(in.get()), ...); },
+                   ins);
+        return result;
+    }
+
+    const BufferBase *writes() const override { return out.get(); }
+
+  private:
+    std::tuple<std::shared_ptr<VersionedBuffer<Is>>...> ins;
+    std::shared_ptr<VersionedBuffer<O>> out;
+    ProcessFn fn;
+    ChangeSignal signal;
+};
+
+/**
+ * Convenience non-anytime transform: a pure function applied once per
+ * consumed input version (n = 1 in the paper's terms; the pipeline
+ * supports non-anytime stages transparently).
+ */
+template <typename O, typename... Is>
+std::shared_ptr<TransformStage<O, Is...>>
+makeFunctionStage(std::string name,
+                  std::shared_ptr<VersionedBuffer<Is>>... inputs,
+                  std::shared_ptr<VersionedBuffer<O>> output,
+                  std::function<O(const Is &...)> fn)
+{
+    return std::make_shared<TransformStage<O, Is...>>(
+        std::move(name), std::move(inputs)..., std::move(output),
+        [fn = std::move(fn)](const Is &...in, Emitter<O> &emitter,
+                             StageContext &) {
+            emitter.emit(fn(in...), true);
+        });
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_TRANSFORM_STAGE_HPP

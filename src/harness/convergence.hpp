@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Online convergence estimation for automatic stopping.
+ *
+ * Paper Section III-A: "The decision of stopping can either be
+ * automated via dynamic accuracy metrics, user-specified or enforced by
+ * time/energy constraints." At runtime the precise output is unknown,
+ * so an absolute error metric cannot be evaluated — but the *distance
+ * between successive versions* can. For a diffusive stage, version
+ * deltas shrink as the remaining unsampled fraction shrinks, so a small
+ * successive-version delta (sustained over a few versions) is a strong
+ * signal that further refinement buys little. This is the
+ * whole-application-output analogue of the dynamic quality-control
+ * loops (e.g., Rumba) the paper contrasts with — enabled precisely by
+ * the automaton's early availability of whole outputs.
+ */
+
+#ifndef ANYTIME_HARNESS_CONVERGENCE_HPP
+#define ANYTIME_HARNESS_CONVERGENCE_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Tracks the distance between successive output versions and decides
+ * when the sequence has converged "well enough".
+ */
+class ConvergenceEstimator
+{
+  public:
+    /**
+     * @param threshold Converged once the relative delta (delta
+     *                  divided by the output magnitude) stays below
+     *                  this for @p patience consecutive versions.
+     * @param patience  Consecutive below-threshold deltas required
+     *                  (guards against plateaus in staircase profiles).
+     */
+    explicit ConvergenceEstimator(double threshold = 0.01,
+                                  unsigned patience = 2)
+        : threshold(threshold), patience(patience)
+    {
+        fatalIf(threshold <= 0.0, "convergence threshold must be > 0");
+        fatalIf(patience == 0, "convergence patience must be >= 1");
+    }
+
+    /**
+     * Feed the next version's distance-to-previous and magnitude.
+     *
+     * @param delta     Distance between version i and version i-1
+     *                  (e.g., RMSE between images).
+     * @param magnitude Scale of the output (e.g., RMS of the image);
+     *                  used to normalize the delta.
+     */
+    void
+    observe(double delta, double magnitude)
+    {
+        ++versions;
+        const double relative =
+            (magnitude > 0.0) ? delta / magnitude : delta;
+        lastRelative = relative;
+        if (relative < threshold)
+            ++belowCount;
+        else
+            belowCount = 0;
+    }
+
+    /** Versions observed so far (deltas, so first version not counted). */
+    std::uint64_t observed() const { return versions; }
+
+    /** Latest relative delta. */
+    double lastRelativeDelta() const { return lastRelative; }
+
+    /** True once the sequence has been quiet for `patience` versions. */
+    bool converged() const { return belowCount >= patience; }
+
+  private:
+    double threshold;
+    unsigned patience;
+    unsigned belowCount = 0;
+    std::uint64_t versions = 0;
+    double lastRelative = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Convenience: successive-version RMS distance and RMS magnitude for
+ * containers with size() and operator[] (images, vectors).
+ */
+template <typename Container>
+std::pair<double, double>
+versionDeltaRms(const Container &previous, const Container &current)
+{
+    fatalIf(previous.size() != current.size(),
+            "versionDeltaRms: size mismatch");
+    double delta_sq = 0.0;
+    double magnitude_sq = 0.0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        const double c = static_cast<double>(current[i]);
+        const double d = c - static_cast<double>(previous[i]);
+        delta_sq += d * d;
+        magnitude_sq += c * c;
+    }
+    const double n = static_cast<double>(current.size());
+    return {std::sqrt(delta_sq / n), std::sqrt(magnitude_sq / n)};
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_HARNESS_CONVERGENCE_HPP

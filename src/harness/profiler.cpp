@@ -1,0 +1,19 @@
+#include "harness/profiler.hpp"
+
+namespace anytime {
+
+double
+timeBestOf(const std::function<void()> &fn, unsigned repeats)
+{
+    double best = 0.0;
+    for (unsigned i = 0; i < std::max(1u, repeats); ++i) {
+        Stopwatch watch;
+        fn();
+        const double t = watch.seconds();
+        if (i == 0 || t < best)
+            best = t;
+    }
+    return best;
+}
+
+} // namespace anytime

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime-accuracy profiling harness.
+ *
+ * Reproduces the paper's Figures 11-15 methodology: run an automaton,
+ * timestamp every published version of the application output, and
+ * score each version against the precise baseline output with an
+ * accuracy metric (SNR dB). Runtime is reported normalized to the
+ * measured baseline (precise, non-automaton) execution time, exactly
+ * like the paper's x-axes.
+ */
+
+#ifndef ANYTIME_HARNESS_PROFILER_HPP
+#define ANYTIME_HARNESS_PROFILER_HPP
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/buffer.hpp"
+#include "support/stopwatch.hpp"
+
+namespace anytime {
+
+/**
+ * Records every version published into a buffer, with a wall-clock
+ * timestamp relative to startClock().
+ *
+ * @tparam T Buffer value type.
+ */
+template <typename T>
+class TimelineRecorder
+{
+  public:
+    struct Entry
+    {
+        double seconds = 0.0;
+        std::uint64_t version = 0;
+        bool final = false;
+        std::shared_ptr<const T> value;
+    };
+
+    /**
+     * Subscribe to @p buffer. Must be called before the automaton
+     * starts (observer registration is not thread-safe afterwards).
+     */
+    explicit TimelineRecorder(VersionedBuffer<T> &buffer)
+    {
+        buffer.addObserver([this](const Snapshot<T> &snapshot) {
+            const double t = watch.seconds();
+            std::lock_guard lock(mutex);
+            entryList.push_back(Entry{t, snapshot.version, snapshot.final,
+                                      snapshot.value});
+        });
+    }
+
+    /** Zero the timeline clock (call immediately before start()). */
+    void startClock() { watch.reset(); }
+
+    /** Snapshot of the recorded timeline. */
+    std::vector<Entry>
+    entries() const
+    {
+        std::lock_guard lock(mutex);
+        return entryList;
+    }
+
+  private:
+    Stopwatch watch;
+    mutable std::mutex mutex;
+    std::vector<Entry> entryList;
+};
+
+/** One point of a runtime-accuracy profile (a figure data point). */
+struct ProfilePoint
+{
+    /** Wall-clock seconds from automaton start to this version. */
+    double seconds = 0.0;
+    /** seconds / baseline precise runtime (the paper's x-axis). */
+    double normalizedRuntime = 0.0;
+    /** Buffer version number. */
+    std::uint64_t version = 0;
+    /** Accuracy in dB (the paper's y-axis); +inf when bit-exact. */
+    double accuracyDb = 0.0;
+    /** True iff this is the precise output. */
+    bool final = false;
+};
+
+/**
+ * Run @p automaton to completion while recording @p output, then score
+ * every recorded version with @p metric against the baseline.
+ *
+ * @tparam T               Output value type.
+ * @param automaton        The automaton (not yet started).
+ * @param output           Its application output buffer.
+ * @param metric           Accuracy metric in dB: metric(version value).
+ * @param baselineSeconds  Measured precise baseline runtime.
+ */
+template <typename T>
+std::vector<ProfilePoint>
+profileToCompletion(Automaton &automaton, VersionedBuffer<T> &output,
+                    const std::function<double(const T &)> &metric,
+                    double baseline_seconds)
+{
+    TimelineRecorder<T> recorder(output);
+    recorder.startClock();
+    automaton.start();
+    automaton.waitUntilDone();
+    automaton.shutdown();
+
+    std::vector<ProfilePoint> profile;
+    for (const auto &entry : recorder.entries()) {
+        ProfilePoint point;
+        point.seconds = entry.seconds;
+        point.normalizedRuntime =
+            (baseline_seconds > 0.0) ? entry.seconds / baseline_seconds
+                                     : 0.0;
+        point.version = entry.version;
+        point.accuracyDb = metric(*entry.value);
+        point.final = entry.final;
+        profile.push_back(point);
+    }
+    return profile;
+}
+
+/**
+ * Time a callable: best of @p repeats runs (seconds). The callable's
+ * result is discarded; it must be side-effect-free.
+ */
+double timeBestOf(const std::function<void()> &fn, unsigned repeats = 3);
+
+} // namespace anytime
+
+#endif // ANYTIME_HARNESS_PROFILER_HPP

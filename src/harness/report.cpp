@@ -1,0 +1,84 @@
+#include "harness/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+std::string
+formatDouble(double value, int precision)
+{
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+    if (std::isnan(value))
+        return "nan";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+void
+printTable(const SeriesTable &table)
+{
+    std::vector<std::size_t> widths(table.columns.size());
+    for (std::size_t c = 0; c < table.columns.size(); ++c)
+        widths[c] = table.columns[c].size();
+    for (const auto &row : table.rows) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::cout << "== " << table.title << " ==\n";
+    const auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::cout << (c == 0 ? "" : "  ");
+            std::cout.width(static_cast<std::streamsize>(widths[c]));
+            std::cout << row[c];
+        }
+        std::cout << '\n';
+    };
+    std::cout.setf(std::ios::right);
+    print_row(table.columns);
+    for (const auto &row : table.rows)
+        print_row(row);
+    std::cout.flush();
+}
+
+void
+writeCsv(const SeriesTable &table, const std::string &path)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open ", path, " for writing");
+    for (std::size_t c = 0; c < table.columns.size(); ++c)
+        out << (c ? "," : "") << table.columns[c];
+    out << '\n';
+    for (const auto &row : table.rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << row[c];
+        out << '\n';
+    }
+}
+
+SeriesTable
+profileTable(const std::string &title,
+             const std::vector<ProfilePoint> &profile)
+{
+    SeriesTable table;
+    table.title = title;
+    table.columns = {"runtime_norm", "seconds", "version", "snr_db",
+                     "final"};
+    for (const auto &point : profile) {
+        table.rows.push_back({formatDouble(point.normalizedRuntime),
+                              formatDouble(point.seconds, 4),
+                              std::to_string(point.version),
+                              formatDouble(point.accuracyDb, 1),
+                              point.final ? "yes" : "no"});
+    }
+    return table;
+}
+
+} // namespace anytime

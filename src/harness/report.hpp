@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text series reporting for the figure-reproduction benches.
+ *
+ * Each bench prints the same rows/series the paper's figures plot:
+ * a header naming the experiment, column labels, and aligned data rows.
+ * A CSV sink is also provided so profiles can be re-plotted externally.
+ */
+
+#ifndef ANYTIME_HARNESS_REPORT_HPP
+#define ANYTIME_HARNESS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "harness/profiler.hpp"
+
+namespace anytime {
+
+/** A printable table: column headers plus stringified rows. */
+struct SeriesTable
+{
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed precision ("inf" for infinities). */
+std::string formatDouble(double value, int precision = 3);
+
+/** Print @p table to stdout with aligned columns. */
+void printTable(const SeriesTable &table);
+
+/** Write @p table as CSV to @p path. */
+void writeCsv(const SeriesTable &table, const std::string &path);
+
+/**
+ * Build the standard runtime-accuracy table (the paper's Figure 11-15
+ * format) from a profile.
+ */
+SeriesTable profileTable(const std::string &title,
+                         const std::vector<ProfilePoint> &profile);
+
+} // namespace anytime
+
+#endif // ANYTIME_HARNESS_REPORT_HPP

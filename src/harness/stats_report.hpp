@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Per-stage execution statistics reporting.
+ *
+ * Summarizes an automaton's stages after (or during) a run: worker
+ * counts, work units completed (the energy proxy), checkpoints taken,
+ * and output buffer state. Benches and the CLI print this to make the
+ * pipeline's behavior inspectable ("where did the time/energy go?").
+ */
+
+#ifndef ANYTIME_HARNESS_STATS_REPORT_HPP
+#define ANYTIME_HARNESS_STATS_REPORT_HPP
+
+#include "core/automaton.hpp"
+#include "harness/report.hpp"
+
+namespace anytime {
+
+/** Build a printable per-stage statistics table for @p automaton. */
+inline SeriesTable
+stageStatsTable(const Automaton &automaton)
+{
+    SeriesTable table;
+    table.title = "stage stats";
+    table.columns = {"stage", "workers", "steps", "checkpoints",
+                     "out_versions", "out_final"};
+    for (const auto &placement : automaton.stages()) {
+        const Stage &stage = *placement.stage;
+        const BufferBase *out = stage.writes();
+        table.rows.push_back(
+            {stage.name(), std::to_string(placement.workers),
+             std::to_string(stage.stats().steps.load()),
+             std::to_string(stage.stats().checkpoints.load()),
+             out ? std::to_string(out->version()) : "-",
+             out ? (out->final() ? "yes" : "no") : "-"});
+    }
+    return table;
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_HARNESS_STATS_REPORT_HPP

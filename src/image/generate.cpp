@@ -1,0 +1,210 @@
+#include "image/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace anytime {
+
+namespace {
+
+/** Clamp a float to [0, 255] and round to uint8. */
+std::uint8_t
+toByte(double v)
+{
+    return static_cast<std::uint8_t>(
+        v <= 0.0 ? 0 : (v >= 255.0 ? 255 : v + 0.5));
+}
+
+/** Single-octave value noise lattice sampler. */
+class NoiseLattice
+{
+  public:
+    NoiseLattice(std::size_t cells_x, std::size_t cells_y,
+                 std::uint64_t seed)
+        : cx(cells_x + 2), cy(cells_y + 2), values(cx * cy)
+    {
+        Xoshiro256 rng(seed);
+        for (auto &v : values)
+            v = rng.nextDouble();
+    }
+
+    /** Bilinear sample at lattice coordinates (u, v). */
+    double
+    sample(double u, double v) const
+    {
+        const std::size_t x0 = std::min<std::size_t>(
+            static_cast<std::size_t>(u), cx - 2);
+        const std::size_t y0 = std::min<std::size_t>(
+            static_cast<std::size_t>(v), cy - 2);
+        const double fx = u - static_cast<double>(x0);
+        const double fy = v - static_cast<double>(y0);
+        const double a = values[y0 * cx + x0];
+        const double b = values[y0 * cx + x0 + 1];
+        const double c = values[(y0 + 1) * cx + x0];
+        const double d = values[(y0 + 1) * cx + x0 + 1];
+        return a * (1 - fx) * (1 - fy) + b * fx * (1 - fy) +
+               c * (1 - fx) * fy + d * fx * fy;
+    }
+
+  private:
+    std::size_t cx, cy;
+    std::vector<double> values;
+};
+
+} // namespace
+
+FloatImage
+generateValueNoise(std::size_t width, std::size_t height,
+                   std::uint64_t seed, unsigned octaves,
+                   std::size_t base_period)
+{
+    FloatImage out(width, height, 0.f);
+    double amplitude = 1.0;
+    double total_amplitude = 0.0;
+    std::size_t period = std::max<std::size_t>(base_period, 2);
+
+    for (unsigned octave = 0; octave < octaves; ++octave) {
+        NoiseLattice lattice(width / period + 1, height / period + 1,
+                             seed + octave * 0x9e3779b9ULL);
+        for (std::size_t y = 0; y < height; ++y) {
+            for (std::size_t x = 0; x < width; ++x) {
+                const double u = static_cast<double>(x) / period;
+                const double v = static_cast<double>(y) / period;
+                out.at(x, y) += static_cast<float>(
+                    amplitude * lattice.sample(u, v));
+            }
+        }
+        total_amplitude += amplitude;
+        amplitude *= 0.5;
+        period = std::max<std::size_t>(period / 2, 2);
+    }
+
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<float>(out[i] / total_amplitude);
+    return out;
+}
+
+GrayImage
+generateScene(std::size_t width, std::size_t height, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    const FloatImage noise =
+        generateValueNoise(width, height, seed ^ 0xabcdefULL, 4,
+                           std::max<std::size_t>(width / 8, 4));
+
+    GrayImage image(width, height);
+    // Diagonal gradient base plus texture noise.
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            const double grad =
+                170.0 * (static_cast<double>(x) / width) +
+                110.0 * (static_cast<double>(y) / height);
+            image.at(x, y) = toByte(grad + 80.0 * noise.at(x, y) - 30.0);
+        }
+    }
+
+    // Hard-edged shapes: filled circles and rectangles of varied
+    // intensity give the convolution and wavelet kernels real edges.
+    const unsigned shape_count = 12;
+    for (unsigned s = 0; s < shape_count; ++s) {
+        const std::size_t cx0 = rng.nextBelow(width);
+        const std::size_t cy0 = rng.nextBelow(height);
+        const std::size_t extent =
+            2 + rng.nextBelow(std::max<std::size_t>(width / 6, 3));
+        const std::uint8_t shade =
+            static_cast<std::uint8_t>(20 + rng.nextBelow(216));
+        const bool circle = (rng.next() & 1) != 0;
+        for (std::size_t y = (cy0 > extent ? cy0 - extent : 0);
+             y < std::min(height, cy0 + extent); ++y) {
+            for (std::size_t x = (cx0 > extent ? cx0 - extent : 0);
+                 x < std::min(width, cx0 + extent); ++x) {
+                if (circle) {
+                    const double dx = static_cast<double>(x) -
+                                      static_cast<double>(cx0);
+                    const double dy = static_cast<double>(y) -
+                                      static_cast<double>(cy0);
+                    if (dx * dx + dy * dy >
+                        static_cast<double>(extent) * extent)
+                        continue;
+                }
+                image.at(x, y) = shade;
+            }
+        }
+    }
+
+    // A sinusoidal patch exercises mid-frequency content for the DWT.
+    for (std::size_t y = 0; y < height / 3; ++y) {
+        for (std::size_t x = 0; x < width / 3; ++x) {
+            const double wave =
+                127.5 + 80.0 * std::sin(0.35 * static_cast<double>(x)) *
+                            std::cos(0.27 * static_cast<double>(y));
+            const std::size_t px = width - width / 3 + x;
+            image.at(px, y) = toByte(
+                0.5 * image.at(px, y) + 0.5 * wave);
+        }
+    }
+    return image;
+}
+
+RgbImage
+generateColorScene(std::size_t width, std::size_t height,
+                   std::uint64_t seed)
+{
+    // Three decorrelated grayscale scenes become the channels; then a
+    // handful of saturated color blobs give k-means real clusters.
+    const GrayImage r = generateScene(width, height, seed);
+    const GrayImage g = generateScene(width, height, seed + 101);
+    const GrayImage b = generateScene(width, height, seed + 202);
+
+    RgbImage image(width, height);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        image[i] = RgbPixel{r[i], g[i], b[i]};
+
+    Xoshiro256 rng(seed ^ 0x5eedULL);
+    const unsigned blob_count = 8;
+    for (unsigned s = 0; s < blob_count; ++s) {
+        const std::size_t cx0 = rng.nextBelow(width);
+        const std::size_t cy0 = rng.nextBelow(height);
+        const std::size_t extent =
+            3 + rng.nextBelow(std::max<std::size_t>(width / 5, 4));
+        const RgbPixel color{
+            static_cast<std::uint8_t>(rng.nextBelow(256)),
+            static_cast<std::uint8_t>(rng.nextBelow(256)),
+            static_cast<std::uint8_t>(rng.nextBelow(256))};
+        for (std::size_t y = (cy0 > extent ? cy0 - extent : 0);
+             y < std::min(height, cy0 + extent); ++y) {
+            for (std::size_t x = (cx0 > extent ? cx0 - extent : 0);
+                 x < std::min(width, cx0 + extent); ++x) {
+                const double dx =
+                    static_cast<double>(x) - static_cast<double>(cx0);
+                const double dy =
+                    static_cast<double>(y) - static_cast<double>(cy0);
+                if (dx * dx + dy * dy <=
+                    static_cast<double>(extent) * extent)
+                    image.at(x, y) = color;
+            }
+        }
+    }
+    return image;
+}
+
+GrayImage
+bayerMosaic(const RgbImage &source)
+{
+    GrayImage mosaic(source.width(), source.height());
+    for (std::size_t y = 0; y < source.height(); ++y) {
+        for (std::size_t x = 0; x < source.width(); ++x) {
+            const RgbPixel &p = source.at(x, y);
+            if (y % 2 == 0)
+                mosaic.at(x, y) = (x % 2 == 0) ? p.r : p.g;
+            else
+                mosaic.at(x, y) = (x % 2 == 0) ? p.g : p.b;
+        }
+    }
+    return mosaic;
+}
+
+} // namespace anytime

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Minimal 2-D image container used by every application kernel.
+ *
+ * Row-major storage, value semantics. The automaton's output buffers
+ * hold whole images (the paper's stages produce whole-output versions),
+ * so Image<T> must be cheap to copy-assign into a preallocated buffer
+ * and trivially comparable for the bit-exactness tests.
+ */
+
+#ifndef ANYTIME_IMAGE_IMAGE_HPP
+#define ANYTIME_IMAGE_IMAGE_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/** 8-bit RGB pixel. */
+struct RgbPixel
+{
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+
+    bool operator==(const RgbPixel &) const = default;
+};
+
+/**
+ * Row-major 2-D image of pixels of type T.
+ *
+ * @tparam T Pixel type (std::uint8_t, float, RgbPixel, ...).
+ */
+template <typename T>
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Create a width x height image filled with @p fill. */
+    Image(std::size_t width, std::size_t height, T fill = T{})
+        : w(width), h(height), pixels(width * height, fill)
+    {
+        fatalIf(width == 0 || height == 0, "Image: zero dimension");
+    }
+
+    std::size_t width() const { return w; }
+    std::size_t height() const { return h; }
+    std::size_t size() const { return pixels.size(); }
+    bool empty() const { return pixels.empty(); }
+
+    /** Pixel accessor (column x, row y). */
+    T &
+    at(std::size_t x, std::size_t y)
+    {
+        panicIf(x >= w || y >= h, "Image access (", x, ",", y,
+                ") out of ", w, "x", h);
+        return pixels[y * w + x];
+    }
+
+    const T &
+    at(std::size_t x, std::size_t y) const
+    {
+        panicIf(x >= w || y >= h, "Image access (", x, ",", y,
+                ") out of ", w, "x", h);
+        return pixels[y * w + x];
+    }
+
+    /** Flat accessor (row-major index). */
+    T &operator[](std::size_t i) { return pixels[i]; }
+    const T &operator[](std::size_t i) const { return pixels[i]; }
+
+    /** Clamped accessor: coordinates are clamped to the border. */
+    const T &
+    clampedAt(std::ptrdiff_t x, std::ptrdiff_t y) const
+    {
+        const std::size_t cx = static_cast<std::size_t>(
+            x < 0 ? 0 : (x >= static_cast<std::ptrdiff_t>(w) ? w - 1 : x));
+        const std::size_t cy = static_cast<std::size_t>(
+            y < 0 ? 0 : (y >= static_cast<std::ptrdiff_t>(h) ? h - 1 : y));
+        return pixels[cy * w + cx];
+    }
+
+    /** Underlying row-major pixel storage. */
+    std::vector<T> &data() { return pixels; }
+    const std::vector<T> &data() const { return pixels; }
+
+    /** Fill every pixel with @p value. */
+    void
+    fill(T value)
+    {
+        std::fill(pixels.begin(), pixels.end(), value);
+    }
+
+    bool operator==(const Image &) const = default;
+
+  private:
+    std::size_t w = 0;
+    std::size_t h = 0;
+    std::vector<T> pixels;
+};
+
+using GrayImage = Image<std::uint8_t>;
+using FloatImage = Image<float>;
+using RgbImage = Image<RgbPixel>;
+
+/** Convert a float image to 8-bit with clamping and rounding. */
+inline GrayImage
+toGray(const FloatImage &src)
+{
+    GrayImage out(src.width(), src.height());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const float v = src[i];
+        out[i] = static_cast<std::uint8_t>(
+            v <= 0.f ? 0 : (v >= 255.f ? 255 : v + 0.5f));
+    }
+    return out;
+}
+
+/** Convert an 8-bit image to float. */
+inline FloatImage
+toFloat(const GrayImage &src)
+{
+    FloatImage out(src.width(), src.height());
+    for (std::size_t i = 0; i < src.size(); ++i)
+        out[i] = static_cast<float>(src[i]);
+    return out;
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_IMAGE_IMAGE_HPP

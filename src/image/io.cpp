@@ -1,0 +1,112 @@
+#include "image/io.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+namespace {
+
+/** Skip whitespace and '#' comment lines in a PNM header. */
+void
+skipPnmSeparators(std::istream &in)
+{
+    for (;;) {
+        const int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+/** Read one unsigned decimal token from a PNM header. */
+std::size_t
+readPnmValue(std::istream &in, const std::string &path)
+{
+    skipPnmSeparators(in);
+    std::size_t value = 0;
+    in >> value;
+    fatalIf(!in, "malformed PNM header in ", path);
+    return value;
+}
+
+void
+readPnmHeader(std::istream &in, const std::string &path,
+              const char *magic, std::size_t &width, std::size_t &height)
+{
+    char m0 = 0, m1 = 0;
+    in.get(m0);
+    in.get(m1);
+    fatalIf(!in || m0 != magic[0] || m1 != magic[1],
+            path, ": not a ", magic, " file");
+    width = readPnmValue(in, path);
+    height = readPnmValue(in, path);
+    const std::size_t maxval = readPnmValue(in, path);
+    fatalIf(maxval != 255, path, ": only maxval 255 supported, got ",
+            maxval);
+    in.get(); // the single whitespace byte before the raster
+    fatalIf(width == 0 || height == 0, path, ": zero dimension");
+}
+
+} // namespace
+
+void
+writePgm(const GrayImage &image, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open ", path, " for writing");
+    out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(image.data().data()),
+              static_cast<std::streamsize>(image.size()));
+    fatalIf(!out, "write failed for ", path);
+}
+
+GrayImage
+readPgm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open ", path);
+    std::size_t width = 0, height = 0;
+    readPnmHeader(in, path, "P5", width, height);
+    GrayImage image(width, height);
+    in.read(reinterpret_cast<char *>(image.data().data()),
+            static_cast<std::streamsize>(image.size()));
+    fatalIf(in.gcount() != static_cast<std::streamsize>(image.size()),
+            path, ": truncated raster");
+    return image;
+}
+
+void
+writePpm(const RgbImage &image, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open ", path, " for writing");
+    out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+    static_assert(sizeof(RgbPixel) == 3, "RgbPixel must pack to 3 bytes");
+    out.write(reinterpret_cast<const char *>(image.data().data()),
+              static_cast<std::streamsize>(image.size() * 3));
+    fatalIf(!out, "write failed for ", path);
+}
+
+RgbImage
+readPpm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open ", path);
+    std::size_t width = 0, height = 0;
+    readPnmHeader(in, path, "P6", width, height);
+    RgbImage image(width, height);
+    in.read(reinterpret_cast<char *>(image.data().data()),
+            static_cast<std::streamsize>(image.size() * 3));
+    fatalIf(in.gcount() != static_cast<std::streamsize>(image.size() * 3),
+            path, ": truncated raster");
+    return image;
+}
+
+} // namespace anytime

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary PGM (P5) / PPM (P6) image I/O.
+ *
+ * Used by the Figure 16/17/18 benches and the examples to write the
+ * progressive automaton outputs for visual inspection, and by tests for
+ * round-trip verification. Only 8-bit-per-channel maxval-255 files are
+ * supported — all this repo ever produces.
+ */
+
+#ifndef ANYTIME_IMAGE_IO_HPP
+#define ANYTIME_IMAGE_IO_HPP
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** Write an 8-bit grayscale image as binary PGM (P5). */
+void writePgm(const GrayImage &image, const std::string &path);
+
+/** Read a binary PGM (P5) file; throws FatalError on malformed input. */
+GrayImage readPgm(const std::string &path);
+
+/** Write an 8-bit RGB image as binary PPM (P6). */
+void writePpm(const RgbImage &image, const std::string &path);
+
+/** Read a binary PPM (P6) file; throws FatalError on malformed input. */
+RgbImage readPpm(const std::string &path);
+
+} // namespace anytime
+
+#endif // ANYTIME_IMAGE_IO_HPP

@@ -1,0 +1,51 @@
+#include "image/metrics.hpp"
+
+namespace anytime {
+
+double
+meanSquaredError(const RgbImage &reference, const RgbImage &approx)
+{
+    fatalIf(reference.width() != approx.width() ||
+                reference.height() != approx.height(),
+            "MSE: image dimensions differ");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double dr = static_cast<double>(reference[i].r) - approx[i].r;
+        const double dg = static_cast<double>(reference[i].g) - approx[i].g;
+        const double db = static_cast<double>(reference[i].b) - approx[i].b;
+        sum += dr * dr + dg * dg + db * db;
+    }
+    return sum / (static_cast<double>(reference.size()) * 3.0);
+}
+
+double
+signalToNoiseDb(const RgbImage &reference, const RgbImage &approx)
+{
+    fatalIf(reference.width() != approx.width() ||
+                reference.height() != approx.height(),
+            "SNR: image dimensions differ");
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double chans[3][2] = {
+            {static_cast<double>(reference[i].r),
+             static_cast<double>(approx[i].r)},
+            {static_cast<double>(reference[i].g),
+             static_cast<double>(approx[i].g)},
+            {static_cast<double>(reference[i].b),
+             static_cast<double>(approx[i].b)},
+        };
+        for (const auto &chan : chans) {
+            const double d = chan[0] - chan[1];
+            signal += chan[0] * chan[0];
+            noise += d * d;
+        }
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(signal / noise);
+}
+
+} // namespace anytime

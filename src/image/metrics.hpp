@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Image accuracy metrics.
+ *
+ * The paper measures accuracy as the signal-to-noise ratio (SNR) in
+ * decibels of the approximate output relative to the baseline precise
+ * output, with infinity dB meaning bit-exact. We implement SNR exactly
+ * that way plus the usual companions (MSE, RMSE, PSNR) used by the test
+ * suite and the ablation benches.
+ */
+
+#ifndef ANYTIME_IMAGE_METRICS_HPP
+#define ANYTIME_IMAGE_METRICS_HPP
+
+#include <cmath>
+#include <limits>
+
+#include "image/image.hpp"
+
+namespace anytime {
+
+/** Mean squared error between two same-sized images. */
+template <typename T>
+double
+meanSquaredError(const Image<T> &reference, const Image<T> &approx)
+{
+    fatalIf(reference.width() != approx.width() ||
+                reference.height() != approx.height(),
+            "MSE: image dimensions differ");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double d = static_cast<double>(reference[i]) -
+                         static_cast<double>(approx[i]);
+        sum += d * d;
+    }
+    return sum / static_cast<double>(reference.size());
+}
+
+/** Root mean squared error. */
+template <typename T>
+double
+rootMeanSquaredError(const Image<T> &reference, const Image<T> &approx)
+{
+    return std::sqrt(meanSquaredError(reference, approx));
+}
+
+/**
+ * Signal-to-noise ratio in dB of @p approx relative to @p reference:
+ * 10 * log10(sum(ref^2) / sum((ref - approx)^2)). Returns +infinity for
+ * a bit-exact match (the paper's "infinity dB is perfect accuracy").
+ */
+template <typename T>
+double
+signalToNoiseDb(const Image<T> &reference, const Image<T> &approx)
+{
+    fatalIf(reference.width() != approx.width() ||
+                reference.height() != approx.height(),
+            "SNR: image dimensions differ");
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double r = static_cast<double>(reference[i]);
+        const double d = r - static_cast<double>(approx[i]);
+        signal += r * r;
+        noise += d * d;
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(signal / noise);
+}
+
+/**
+ * Peak signal-to-noise ratio in dB for 8-bit content (peak 255).
+ * Returns +infinity for a bit-exact match.
+ */
+template <typename T>
+double
+peakSignalToNoiseDb(const Image<T> &reference, const Image<T> &approx)
+{
+    const double mse = meanSquaredError(reference, approx);
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+/** SNR overload for RGB images: channels are flattened together. */
+double signalToNoiseDb(const RgbImage &reference, const RgbImage &approx);
+
+/** MSE overload for RGB images. */
+double meanSquaredError(const RgbImage &reference, const RgbImage &approx);
+
+} // namespace anytime
+
+#endif // ANYTIME_IMAGE_METRICS_HPP

@@ -1,0 +1,85 @@
+#include "sampling/lfsr.hpp"
+
+
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+namespace {
+
+/**
+ * Maximal-length (primitive polynomial) tap masks for Galois LFSRs,
+ * indexed by width. Taps follow Xilinx XAPP052; tap t corresponds to bit
+ * t-1. Entry [w] is valid for w in [2, 32].
+ */
+const std::uint32_t maximalTaps[33] = {
+    0, 0,
+    0x00000003, // 2: 2,1
+    0x00000006, // 3: 3,2
+    0x0000000c, // 4: 4,3
+    0x00000014, // 5: 5,3
+    0x00000030, // 6: 6,5
+    0x00000060, // 7: 7,6
+    0x000000b8, // 8: 8,6,5,4
+    0x00000110, // 9: 9,5
+    0x00000240, // 10: 10,7
+    0x00000500, // 11: 11,9
+    0x00000829, // 12: 12,6,4,1
+    0x0000100d, // 13: 13,4,3,1
+    0x00002015, // 14: 14,5,3,1
+    0x00006000, // 15: 15,14
+    0x0000d008, // 16: 16,15,13,4
+    0x00012000, // 17: 17,14
+    0x00020400, // 18: 18,11
+    0x00040023, // 19: 19,6,2,1
+    0x00090000, // 20: 20,17
+    0x00140000, // 21: 21,19
+    0x00300000, // 22: 22,21
+    0x00420000, // 23: 23,18
+    0x00e10000, // 24: 24,23,22,17
+    0x01200000, // 25: 25,22
+    0x02000023, // 26: 26,6,2,1
+    0x04000013, // 27: 27,5,2,1
+    0x09000000, // 28: 28,25
+    0x14000000, // 29: 29,27
+    0x20000029, // 30: 30,6,4,1
+    0x48000000, // 31: 31,28
+    0x80200003, // 32: 32,22,2,1
+};
+
+} // namespace
+
+std::uint32_t
+LfsrEngine::tapsFor(unsigned width)
+{
+    fatalIf(width < 2 || width > 32,
+            "LFSR width ", width, " outside supported range [2, 32]");
+    return maximalTaps[width];
+}
+
+LfsrEngine::LfsrEngine(unsigned width, std::uint32_t seed)
+    : bits(width), taps(tapsFor(width))
+{
+    const std::uint32_t mask =
+        (width == 32) ? 0xffffffffu
+                      : ((std::uint32_t(1) << width) - 1);
+    current = seed & mask;
+    if (current == 0)
+        current = 1; // all-zeros is the lock-up state of an XOR LFSR
+}
+
+std::uint32_t
+LfsrEngine::step()
+{
+    // Galois (one-to-many) right-shift form: the tap mask is XORed in
+    // whenever a 1 falls off the low end. Every mask in the table has
+    // bit (width - 1) set, so the state stays inside [1, 2^width).
+    const std::uint32_t lsb = current & 1;
+    current >>= 1;
+    if (lsb)
+        current ^= taps;
+    return current;
+}
+
+} // namespace anytime

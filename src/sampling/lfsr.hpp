@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Maximal-length linear-feedback shift register.
+ *
+ * The paper's pseudo-random sampling permutation is computed "using any
+ * deterministic pseudo-random number generator. In our experiments, we
+ * use a linear-feedback shift register (LFSR), which is very simple to
+ * implement in hardware" (Section III-B2). This models exactly that: a
+ * Galois-form LFSR with primitive feedback polynomials for widths
+ * 2..32, cycling through all 2^w - 1 nonzero states.
+ */
+
+#ifndef ANYTIME_SAMPLING_LFSR_HPP
+#define ANYTIME_SAMPLING_LFSR_HPP
+
+#include <cstdint>
+
+namespace anytime {
+
+/**
+ * Galois LFSR of a given width with a maximal-length tap polynomial.
+ *
+ * The state is always nonzero; step() advances one shift and returns the
+ * new state. Starting from any nonzero seed, the register visits every
+ * value in [1, 2^width) exactly once before repeating.
+ */
+class LfsrEngine
+{
+  public:
+    /**
+     * Construct an LFSR.
+     *
+     * @param width Register width in bits; must be in [2, 32].
+     * @param seed  Initial state; reduced to a nonzero value mod 2^width.
+     */
+    LfsrEngine(unsigned width, std::uint32_t seed);
+
+    /** Advance one step and return the new (nonzero) state. */
+    std::uint32_t step();
+
+    /** Current (nonzero) state. */
+    std::uint32_t state() const { return current; }
+
+    /** Register width in bits. */
+    unsigned width() const { return bits; }
+
+    /** Period of a maximal LFSR of this width: 2^width - 1. */
+    std::uint64_t
+    period() const
+    {
+        return (std::uint64_t(1) << bits) - 1;
+    }
+
+    /** Maximal-length tap mask for @p width (bit t-1 set for tap t). */
+    static std::uint32_t tapsFor(unsigned width);
+
+  private:
+    unsigned bits;
+    std::uint32_t taps;
+    std::uint32_t current;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_LFSR_HPP

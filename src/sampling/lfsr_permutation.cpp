@@ -1,0 +1,39 @@
+#include "sampling/lfsr_permutation.hpp"
+
+#include "sampling/lfsr.hpp"
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+LfsrPermutation::LfsrPermutation(std::uint64_t n, std::uint32_t seed)
+    : seedValue(seed)
+{
+    fatalIf(n == 0, "LfsrPermutation: empty domain");
+    fatalIf(n > (std::uint64_t(1) << 32),
+            "LfsrPermutation: domain too large for a 32-bit LFSR");
+
+    table.reserve(n);
+    table.push_back(0); // the LFSR never emits index 0
+
+    if (n == 1)
+        return;
+
+    const unsigned width = std::max(2u, indexBits(n));
+    LfsrEngine lfsr(width, seed);
+
+    // One full period visits every state in [1, 2^width) exactly once;
+    // values outside [1, n) are skipped to keep the map bijective.
+    const std::uint64_t period = lfsr.period();
+    for (std::uint64_t step = 0; step < period; ++step) {
+        const std::uint32_t state = lfsr.state();
+        if (state < n)
+            table.push_back(state);
+        lfsr.step();
+    }
+    panicIf(table.size() != n,
+            "LFSR permutation visited ", table.size(),
+            " indices, expected ", n, " (non-maximal taps?)");
+}
+
+} // namespace anytime

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pseudo-random sampling permutation backed by a maximal-length LFSR.
+ *
+ * Paper Section III-B2: for unordered data sets, a pseudo-random
+ * permutation avoids memory-order bias. A true random permutation would
+ * not be bijective under fixed hardware state, so the paper (and this
+ * implementation) uses a deterministic LFSR whose full period visits
+ * every nonzero register value exactly once.
+ *
+ * For a domain of size n the register width is the smallest w with
+ * 2^w >= n; states >= n are skipped ("cycle walking"), and index 0 —
+ * which an LFSR can never emit — is visited first. The resulting forward
+ * table is a bijection of [0, n).
+ */
+
+#ifndef ANYTIME_SAMPLING_LFSR_PERMUTATION_HPP
+#define ANYTIME_SAMPLING_LFSR_PERMUTATION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sampling/permutation.hpp"
+
+namespace anytime {
+
+/** Pseudo-random bijective permutation of [0, n) from an LFSR sweep. */
+class LfsrPermutation : public TabulatedPermutation
+{
+  public:
+    /**
+     * Build the permutation table by sweeping one full LFSR period.
+     *
+     * @param n    Domain size (n >= 1).
+     * @param seed Seed selecting the starting state (rotation of the
+     *             LFSR cycle); any value is accepted.
+     */
+    explicit LfsrPermutation(std::uint64_t n, std::uint32_t seed = 1);
+
+    std::string name() const override { return "lfsr"; }
+
+    std::unique_ptr<Permutation>
+    clone() const override
+    {
+        return std::make_unique<LfsrPermutation>(*this);
+    }
+
+    /** Seed this permutation was built with. */
+    std::uint32_t seed() const { return seedValue; }
+
+  private:
+    std::uint32_t seedValue;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_LFSR_PERMUTATION_HPP

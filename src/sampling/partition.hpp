@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multi-threaded sampling partitions (paper Section IV-C1).
+ *
+ * A permutation sequence p(0), p(1), ... can be divided among worker
+ * threads while keeping the anytime property. For the tree permutation
+ * the paper prescribes *cyclic* distribution — thread t processing p(i)
+ * next processes p(i + T) — so a low-resolution output is completed as
+ * early as possible. For the LFSR permutation either cyclic or block
+ * (round-robin chunk) distribution is acceptable.
+ */
+
+#ifndef ANYTIME_SAMPLING_PARTITION_HPP
+#define ANYTIME_SAMPLING_PARTITION_HPP
+
+#include <cstdint>
+
+#include "sampling/permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Cyclic slice of a permutation sequence for one worker thread: thread
+ * @c id of @c count visits ordinals id, id + count, id + 2*count, ...
+ */
+class CyclicPartition
+{
+  public:
+    /**
+     * @param perm  Shared permutation (not owned; must outlive this).
+     * @param count Total number of worker threads (>= 1).
+     * @param id    This worker's index in [0, count).
+     */
+    CyclicPartition(const Permutation &perm, unsigned count, unsigned id)
+        : perm(&perm), threadCount(count), threadId(id)
+    {
+        fatalIf(count == 0, "CyclicPartition: zero thread count");
+        fatalIf(id >= count, "CyclicPartition: thread id ", id,
+                " out of range ", count);
+    }
+
+    /** Number of samples assigned to this worker. */
+    std::uint64_t
+    size() const
+    {
+        const std::uint64_t n = perm->size();
+        if (threadId >= n)
+            return 0;
+        return (n - threadId + threadCount - 1) / threadCount;
+    }
+
+    /** Global sample ordinal of this worker's k-th sample. */
+    std::uint64_t
+    ordinal(std::uint64_t k) const
+    {
+        return threadId + k * static_cast<std::uint64_t>(threadCount);
+    }
+
+    /** Permuted element index of this worker's k-th sample. */
+    std::uint64_t
+    map(std::uint64_t k) const
+    {
+        return perm->map(ordinal(k));
+    }
+
+  private:
+    const Permutation *perm;
+    unsigned threadCount;
+    unsigned threadId;
+};
+
+/**
+ * Block slice of a permutation sequence: the ordinal range is split into
+ * @c count contiguous chunks and thread @c id owns chunk @c id. Suitable
+ * for the LFSR permutation where ordinal locality carries no resolution
+ * meaning.
+ */
+class BlockPartition
+{
+  public:
+    BlockPartition(const Permutation &perm, unsigned count, unsigned id)
+        : perm(&perm)
+    {
+        fatalIf(count == 0, "BlockPartition: zero thread count");
+        fatalIf(id >= count, "BlockPartition: thread id ", id,
+                " out of range ", count);
+        const std::uint64_t n = perm.size();
+        const std::uint64_t base = n / count;
+        const std::uint64_t extra = n % count;
+        // First `extra` chunks get one extra element.
+        first = base * id + std::min<std::uint64_t>(id, extra);
+        chunk = base + (id < extra ? 1 : 0);
+    }
+
+    /** Number of samples assigned to this worker. */
+    std::uint64_t size() const { return chunk; }
+
+    /** Global sample ordinal of this worker's k-th sample. */
+    std::uint64_t ordinal(std::uint64_t k) const { return first + k; }
+
+    /** Permuted element index of this worker's k-th sample. */
+    std::uint64_t
+    map(std::uint64_t k) const
+    {
+        return perm->map(ordinal(k));
+    }
+
+  private:
+    const Permutation *perm;
+    std::uint64_t first = 0;
+    std::uint64_t chunk = 0;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_PARTITION_HPP

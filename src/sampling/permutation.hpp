@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sampling permutations (paper Section III-B2, "Sampling Permutations").
+ *
+ * A permutation p is a bijective map of [0, n) onto itself that defines
+ * the order in which a diffusive anytime stage visits its input or
+ * output elements. Bijectivity is the property that makes the precise
+ * output reachable: every element is visited exactly once, so once all n
+ * indices have been consumed the aggregate output equals the precise
+ * output.
+ *
+ * The paper identifies three families:
+ *  - sequential, for priority-ordered data sets;
+ *  - tree (N-dimensional bit-reverse), for ordered data sets without
+ *    priority (images, time series) — progressive-resolution sampling;
+ *  - pseudo-random (LFSR), for unordered data sets.
+ * This header defines the abstract interface plus the trivially
+ * closed-form permutations; tree and LFSR live in their own headers.
+ */
+
+#ifndef ANYTIME_SAMPLING_PERMUTATION_HPP
+#define ANYTIME_SAMPLING_PERMUTATION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Abstract bijective permutation of [0, size()).
+ *
+ * Implementations must guarantee that map() restricted to
+ * [0, size()) is a bijection onto [0, size()); the property tests in
+ * tests/sampling exercise this exhaustively for representative sizes.
+ */
+class Permutation
+{
+  public:
+    virtual ~Permutation() = default;
+
+    /** Number of elements n in the permuted domain. */
+    virtual std::uint64_t size() const = 0;
+
+    /**
+     * The permuted index p(i).
+     *
+     * @param i Sample ordinal in [0, size()).
+     * @return Element index to visit at ordinal @p i.
+     */
+    virtual std::uint64_t map(std::uint64_t i) const = 0;
+
+    /** Human-readable name for logs and bench output. */
+    virtual std::string name() const = 0;
+
+    /** Deep copy (permutations are shared across worker threads). */
+    virtual std::unique_ptr<Permutation> clone() const = 0;
+};
+
+/** Identity permutation: p(i) = i (ascending memory order). */
+class SequentialPermutation : public Permutation
+{
+  public:
+    explicit SequentialPermutation(std::uint64_t n) : n(n) {}
+
+    std::uint64_t size() const override { return n; }
+    std::uint64_t map(std::uint64_t i) const override { return i; }
+    std::string name() const override { return "sequential"; }
+
+    std::unique_ptr<Permutation>
+    clone() const override
+    {
+        return std::make_unique<SequentialPermutation>(n);
+    }
+
+  private:
+    std::uint64_t n;
+};
+
+/** Descending permutation: p(i) = n - 1 - i. */
+class ReversePermutation : public Permutation
+{
+  public:
+    explicit ReversePermutation(std::uint64_t n) : n(n) {}
+
+    std::uint64_t size() const override { return n; }
+    std::uint64_t map(std::uint64_t i) const override { return n - 1 - i; }
+    std::string name() const override { return "reverse"; }
+
+    std::unique_ptr<Permutation>
+    clone() const override
+    {
+        return std::make_unique<ReversePermutation>(n);
+    }
+
+  private:
+    std::uint64_t n;
+};
+
+/**
+ * Strided permutation: p(i) = (i * stride) mod n, bijective iff
+ * gcd(stride, n) == 1. A cheap low-discrepancy alternative to the LFSR
+ * for unordered data; construction rejects non-coprime strides.
+ */
+class StridedPermutation : public Permutation
+{
+  public:
+    StridedPermutation(std::uint64_t n, std::uint64_t stride)
+        : n(n), stride(stride % n)
+    {
+        fatalIf(n == 0, "StridedPermutation: empty domain");
+        fatalIf(std::gcd(n, this->stride) != 1,
+                "StridedPermutation: stride ", stride,
+                " not coprime with size ", n);
+    }
+
+    std::uint64_t size() const override { return n; }
+
+    std::uint64_t
+    map(std::uint64_t i) const override
+    {
+        // 128-bit intermediate avoids overflow for large domains.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(i) * stride) % n);
+    }
+
+    std::string name() const override { return "strided"; }
+
+    std::unique_ptr<Permutation>
+    clone() const override
+    {
+        return std::make_unique<StridedPermutation>(n, stride);
+    }
+
+  private:
+    std::uint64_t n;
+    std::uint64_t stride;
+};
+
+/**
+ * Permutation backed by an explicit forward table. Base class for
+ * permutations with no O(1) closed form over arbitrary domain sizes
+ * (tree over non-power-of-two extents, LFSR).
+ */
+class TabulatedPermutation : public Permutation
+{
+  public:
+    std::uint64_t size() const override { return table.size(); }
+
+    std::uint64_t
+    map(std::uint64_t i) const override
+    {
+        panicIf(i >= table.size(),
+                "permutation ordinal ", i, " out of range ", table.size());
+        return table[i];
+    }
+
+  protected:
+    std::vector<std::uint64_t> table;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_PERMUTATION_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Input-sampling reduction helpers (paper Section III-B2, "Input
+ * Sampling").
+ *
+ * A commutative reduction f_i(I, O_{i-1}) = O_{i-1} <> x_{p(i)}(I) can be
+ * stopped after any prefix of the permuted input sequence. If the
+ * operator is not idempotent (e.g., addition), the intermediate output
+ * must be re-weighted by population/sample to serve as an estimate of
+ * the precise output: O'_i = O_i * n / i. Idempotent operators (min,
+ * max, bitwise-and/or, set union) need no weighting.
+ */
+
+#ifndef ANYTIME_SAMPLING_REDUCER_HPP
+#define ANYTIME_SAMPLING_REDUCER_HPP
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Population/sample weight n/i applied to non-idempotent reduction
+ * outputs. Returns 0 for an empty sample (no information yet).
+ */
+inline double
+sampleWeight(std::uint64_t sample_size, std::uint64_t population)
+{
+    if (sample_size == 0)
+        return 0.0;
+    return static_cast<double>(population) /
+           static_cast<double>(sample_size);
+}
+
+/**
+ * Incremental commutative reduction over a sampled input sequence.
+ *
+ * @tparam T  Accumulator type.
+ * @tparam Op Binary commutative operator (T, T) -> T.
+ */
+template <typename T, typename Op>
+class SampledReducer
+{
+  public:
+    /**
+     * @param identity   Identity element of @p op (initial O_0).
+     * @param population Total number of input elements n.
+     * @param op         The commutative reduction operator.
+     * @param idempotent True if op(a, a) == a; disables weighting.
+     */
+    SampledReducer(T identity, std::uint64_t population, Op op,
+                   bool idempotent = false)
+        : accumulator(identity), population(population), op(op),
+          idempotent(idempotent)
+    {
+    }
+
+    /** Fold one more sampled element into the accumulator. */
+    void
+    consume(const T &value)
+    {
+        panicIf(consumed >= population,
+                "SampledReducer consumed more than the population");
+        accumulator = op(accumulator, value);
+        ++consumed;
+    }
+
+    /** Number of elements consumed so far (the sample size i). */
+    std::uint64_t sampleSize() const { return consumed; }
+
+    /** True once every element has been consumed (output is precise). */
+    bool precise() const { return consumed == population; }
+
+    /** Raw accumulated value O_i (unweighted). */
+    const T &raw() const { return accumulator; }
+
+    /**
+     * Weighted anytime estimate O'_i of the precise output. For
+     * idempotent operators this is the raw accumulator; otherwise it is
+     * raw() scaled by n/i (computed in double).
+     */
+    double
+    estimate() const
+    {
+        if (idempotent)
+            return static_cast<double>(accumulator);
+        return static_cast<double>(accumulator) *
+               sampleWeight(consumed, population);
+    }
+
+  private:
+    T accumulator;
+    std::uint64_t population;
+    std::uint64_t consumed = 0;
+    Op op;
+    bool idempotent;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_REDUCER_HPP

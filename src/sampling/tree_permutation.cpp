@@ -1,0 +1,162 @@
+#include "sampling/tree_permutation.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+TreePermutation::TreePermutation(std::vector<std::uint64_t> extents_in)
+    : extents(std::move(extents_in))
+{
+    fatalIf(extents.empty(), "TreePermutation: no dimensions");
+    fatalIf(extents.size() > 16,
+            "TreePermutation supports at most 16 dimensions");
+    totalSize = 1;
+    paddedSize = 1;
+    allPow2 = true;
+    for (std::uint64_t extent : extents) {
+        fatalIf(extent == 0, "TreePermutation: zero extent");
+        totalSize *= extent;
+        const unsigned bits = (extent == 1) ? 0 : indexBits(extent);
+        bitsPerDim.push_back(bits);
+        paddedSize *= std::uint64_t(1) << bits;
+        totalBits += bits;
+        allPow2 = allPow2 && isPow2(extent);
+    }
+
+    // Fix the bit-assignment schedule once: ordinal bits are dealt
+    // round-robin starting from the fastest-varying (last) dimension,
+    // and each dimension fills its index from the most significant bit
+    // downward (paper Figures 4 and 5).
+    const unsigned dims = static_cast<unsigned>(extents.size());
+    {
+        unsigned received[16] = {};
+        unsigned cursor = 0;
+        blockCache.resize(static_cast<std::size_t>(totalBits + 1) * dims);
+        for (unsigned bits_used = 0; bits_used <= totalBits;
+             ++bits_used) {
+            for (unsigned d = 0; d < dims; ++d) {
+                const std::uint64_t padded_extent =
+                    std::uint64_t(1) << bitsPerDim[d];
+                blockCache[static_cast<std::size_t>(bits_used) * dims +
+                           d] =
+                    std::max<std::uint64_t>(
+                        padded_extent >> received[d], 1);
+            }
+            if (bits_used == totalBits)
+                break;
+            unsigned d = 0;
+            for (unsigned probe = 0; probe < dims; ++probe) {
+                d = dims - 1 - ((cursor + probe) % dims);
+                if (received[d] < bitsPerDim[d]) {
+                    cursor = (cursor + probe + 1) % dims;
+                    break;
+                }
+            }
+            schedDim.push_back(static_cast<std::uint8_t>(d));
+            schedBit.push_back(static_cast<std::uint8_t>(
+                bitsPerDim[d] - 1 - received[d]));
+            ++received[d];
+        }
+    }
+
+    if (!allPow2) {
+        table.reserve(totalSize);
+        paddedOrdinals.reserve(totalSize);
+        for (std::uint64_t i = 0; i < paddedSize; ++i) {
+            const std::uint64_t flat = mapPadded(i);
+            if (flat != totalSize) {
+                table.push_back(flat);
+                paddedOrdinals.push_back(i);
+            }
+        }
+        panicIf(table.size() != totalSize,
+                "tree permutation table has ", table.size(),
+                " entries, expected ", totalSize);
+    }
+}
+
+std::uint64_t
+TreePermutation::mapPadded(std::uint64_t i) const
+{
+    const unsigned dims = static_cast<unsigned>(extents.size());
+
+    // Scatter the set bits of the ordinal through the precomputed
+    // schedule; the loop ends once the remaining ordinal bits are zero.
+    std::uint64_t coords[16] = {};
+    std::uint64_t remaining = i;
+    for (unsigned j = 0; remaining != 0; ++j, remaining >>= 1) {
+        if (remaining & 1)
+            coords[schedDim[j]] |= std::uint64_t(1) << schedBit[j];
+    }
+
+    // Flatten row-major, rejecting coordinates outside true extents.
+    std::uint64_t flat = 0;
+    for (unsigned d = 0; d < dims; ++d) {
+        if (coords[d] >= extents[d])
+            return totalSize;
+        flat = flat * extents[d] + coords[d];
+    }
+    return flat;
+}
+
+std::uint64_t
+TreePermutation::map(std::uint64_t i) const
+{
+    panicIf(i >= totalSize, "tree permutation ordinal ", i,
+            " out of range ", totalSize);
+    if (allPow2)
+        return mapPadded(i);
+    return table[i];
+}
+
+unsigned
+TreePermutation::levelAfter(std::uint64_t samples) const
+{
+    if (samples <= 1)
+        return 0;
+    // Number of low ordinal bits fully swept by `samples` samples.
+    unsigned bits_used = ilog2(samples);
+    bits_used = std::min(bits_used, totalBits);
+
+    // Count how many of those bits each dimension received; report the
+    // deepest (fastest-refining) dimension.
+    unsigned received[16] = {};
+    unsigned level = 0;
+    for (unsigned j = 0; j < bits_used; ++j)
+        level = std::max(level, ++received[schedDim[j]]);
+    return level;
+}
+
+std::uint64_t
+TreePermutation::blockExtent(std::uint64_t ordinal, unsigned dim) const
+{
+    panicIf(ordinal >= totalSize, "tree block ordinal ", ordinal,
+            " out of range ", totalSize);
+    panicIf(dim >= extents.size(), "tree block dimension out of range");
+    const std::uint64_t padded =
+        allPow2 ? ordinal : paddedOrdinals[ordinal];
+    const unsigned bits_used = (padded == 0) ? 0 : ilog2(padded) + 1;
+    return blockCache[static_cast<std::size_t>(bits_used) *
+                          extents.size() +
+                      dim];
+}
+
+std::vector<std::uint64_t>
+TreePermutation::blockExtents(std::uint64_t ordinal) const
+{
+    std::vector<std::uint64_t> block(extents.size());
+    for (unsigned d = 0; d < extents.size(); ++d)
+        block[d] = blockExtent(ordinal, d);
+    return block;
+}
+
+std::unique_ptr<Permutation>
+TreePermutation::clone() const
+{
+    return std::make_unique<TreePermutation>(*this);
+}
+
+} // namespace anytime

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * N-dimensional tree (bit-reverse) sampling permutation.
+ *
+ * Paper Section III-B2, Figures 4 and 5. The data set is visited at
+ * progressively increasing resolution: for a 2-D image, after 4 samples
+ * a 2x2 grid has been visited, after 16 samples a 4x4 grid, and so on.
+ * The permutation de-interleaves the bits of the set index into one
+ * sub-index per dimension and reverses each sub-index.
+ *
+ * Arbitrary (non-power-of-two) extents are supported by walking the
+ * padded power-of-two domain and skipping out-of-range coordinates; in
+ * that case the forward table is precomputed at construction. When every
+ * extent is a power of two, map() is computed in closed form with no
+ * table.
+ */
+
+#ifndef ANYTIME_SAMPLING_TREE_PERMUTATION_HPP
+#define ANYTIME_SAMPLING_TREE_PERMUTATION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sampling/permutation.hpp"
+
+namespace anytime {
+
+/**
+ * Bit-reverse ("tree") permutation over an N-dimensional index space.
+ *
+ * Ordinal i is interpreted in the padded power-of-two domain: its bits
+ * are de-interleaved round-robin across dimensions (dimension 0 gets bit
+ * 0, dimension 1 gets bit 1, ...), each per-dimension index is
+ * bit-reversed, and the resulting coordinates are flattened in row-major
+ * order over the true extents. Coordinates falling outside the true
+ * extents are skipped, preserving bijectivity over [0, n).
+ */
+class TreePermutation : public Permutation
+{
+  public:
+    /**
+     * Build a tree permutation.
+     *
+     * @param extents Extent of each dimension, slowest-varying first
+     *                (row-major: extents.back() is contiguous).
+     */
+    explicit TreePermutation(std::vector<std::uint64_t> extents);
+
+    /** Convenience 1-D constructor. */
+    static TreePermutation
+    oneDim(std::uint64_t n)
+    {
+        return TreePermutation(std::vector<std::uint64_t>{n});
+    }
+
+    /** Convenience 2-D (rows x cols) constructor. */
+    static TreePermutation
+    twoDim(std::uint64_t rows, std::uint64_t cols)
+    {
+        return TreePermutation(std::vector<std::uint64_t>{rows, cols});
+    }
+
+    std::uint64_t size() const override { return totalSize; }
+    std::uint64_t map(std::uint64_t i) const override;
+    std::string name() const override { return "tree"; }
+    std::unique_ptr<Permutation> clone() const override;
+
+    /** Extents of the permuted index space. */
+    const std::vector<std::uint64_t> &dims() const { return extents; }
+
+    /**
+     * Resolution level reached after @p samples samples: the base-2 log
+     * of the number of distinct per-dimension positions covered along
+     * the fastest-refining dimension. Used by benches to report
+     * "2^k x 2^k image sampled" milestones.
+     */
+    unsigned levelAfter(std::uint64_t samples) const;
+
+    /**
+     * Extent, per dimension, of the unrefined block that the sample at
+     * @p ordinal represents. The sample's own coordinates (from map())
+     * are the block origin; until later samples refine it, the whole
+     * block can be filled with the sampled value to reconstruct a
+     * complete low-resolution output (progressive block fill).
+     */
+    std::vector<std::uint64_t> blockExtents(std::uint64_t ordinal) const;
+
+    /**
+     * Single-dimension variant of blockExtents(): the extent along
+     * dimension @p dim of the block refined by sample @p ordinal.
+     * O(1) (cached per bit depth); the hot path for block fill.
+     */
+    std::uint64_t blockExtent(std::uint64_t ordinal, unsigned dim) const;
+
+  private:
+    /** Closed-form mapping in the padded domain; returns row-major
+     *  flattened coordinates or size() if out of the true extents. */
+    std::uint64_t mapPadded(std::uint64_t i) const;
+
+    std::vector<std::uint64_t> extents;
+    std::vector<unsigned> bitsPerDim;
+    std::uint64_t totalSize = 0;
+    std::uint64_t paddedSize = 0;
+    unsigned totalBits = 0;
+    bool allPow2 = false;
+    /** Forward table, built only when some extent is not a power of 2. */
+    std::vector<std::uint64_t> table;
+    /** Padded-domain ordinal per table ordinal (non-power-of-2 only). */
+    std::vector<std::uint64_t> paddedOrdinals;
+    /** Block extents cached per consumed-bit count: entry
+     *  [bits_used * dims + d] is the dim-d extent. */
+    std::vector<std::uint64_t> blockCache;
+    /** Bit-assignment schedule: ordinal bit j lands in dimension
+     *  schedDim[j] at bit position schedBit[j]. */
+    std::vector<std::uint8_t> schedDim;
+    std::vector<std::uint8_t> schedBit;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_TREE_PERMUTATION_HPP

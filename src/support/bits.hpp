@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bit-manipulation primitives used by the sampling permutations.
+ *
+ * The tree (bit-reverse) permutation of Section III-B2 of the paper is
+ * built from bit reversal and bit de-interleaving of set indices; the
+ * LFSR permutation needs power-of-two sizing helpers. Everything here is
+ * constexpr so permutations can be unit-tested exhaustively and used in
+ * compile-time contexts.
+ */
+
+#ifndef ANYTIME_SUPPORT_BITS_HPP
+#define ANYTIME_SUPPORT_BITS_HPP
+
+#include <cstdint>
+
+namespace anytime {
+
+/** True iff @p value is a power of two (zero is not). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2(@p value); ilog2(0) is defined as 0. */
+constexpr unsigned
+ilog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Smallest power of two >= @p value; nextPow2(0) == 1. */
+constexpr std::uint64_t
+nextPow2(std::uint64_t value)
+{
+    std::uint64_t result = 1;
+    while (result < value)
+        result <<= 1;
+    return result;
+}
+
+/** Number of bits needed to represent indices [0, value); at least 1. */
+constexpr unsigned
+indexBits(std::uint64_t value)
+{
+    unsigned bits = 1;
+    while ((std::uint64_t(1) << bits) < value)
+        ++bits;
+    return bits;
+}
+
+/**
+ * Reverse the low @p bits bits of @p value (higher bits are dropped).
+ * This is the 1-D tree permutation of the paper's Figure 4.
+ */
+constexpr std::uint64_t
+reverseBits(std::uint64_t value, unsigned bits)
+{
+    std::uint64_t result = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        result = (result << 1) | (value & 1);
+        value >>= 1;
+    }
+    return result;
+}
+
+/**
+ * Extract every @p stride-th bit of @p value starting at bit @p phase,
+ * packing them contiguously from bit 0. Used to de-interleave an
+ * N-dimensional set index into per-dimension indices (Figure 5).
+ */
+constexpr std::uint64_t
+extractEveryNth(std::uint64_t value, unsigned phase, unsigned stride,
+                unsigned total_bits)
+{
+    std::uint64_t result = 0;
+    unsigned out = 0;
+    for (unsigned i = phase; i < total_bits; i += stride) {
+        result |= ((value >> i) & 1) << out;
+        ++out;
+    }
+    return result;
+}
+
+/**
+ * Interleave the low bits of @p parts[0..count) so that bit j of part d
+ * lands at bit j*count + d of the result. Inverse of extractEveryNth
+ * applied per dimension.
+ */
+constexpr std::uint64_t
+interleaveBits(const std::uint64_t *parts, unsigned count,
+               unsigned bits_per_part)
+{
+    std::uint64_t result = 0;
+    for (unsigned j = 0; j < bits_per_part; ++j) {
+        for (unsigned d = 0; d < count; ++d) {
+            result |= ((parts[d] >> j) & 1)
+                   << (static_cast<std::uint64_t>(j) * count + d);
+        }
+    }
+    return result;
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_SUPPORT_BITS_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Error reporting helpers, in the spirit of gem5's panic()/fatal().
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for unrecoverable user errors (bad configuration, bad
+ * arguments). Both throw typed exceptions rather than aborting so that
+ * tests can assert on them.
+ */
+
+#ifndef ANYTIME_SUPPORT_ERROR_HPP
+#define ANYTIME_SUPPORT_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anytime {
+
+/** Exception thrown on internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown on unrecoverable user/configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Raise a PanicError with a message built from the stream-formatted
+ * arguments. Use for conditions that indicate a bug in this library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/**
+ * Raise a FatalError with a message built from the stream-formatted
+ * arguments. Use for user-caused errors the library cannot recover from.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Panic unless the given invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+/** Fatal unless the given user-facing precondition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_SUPPORT_ERROR_HPP

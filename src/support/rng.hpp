@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The reproduction must be deterministic end-to-end: synthetic input
+ * generation, LFSR seeding, and the approximate-storage bit-upset model
+ * all draw from SplitMix64/Xoshiro256** generators seeded explicitly.
+ * std::mt19937 is avoided because its distributions are not portable
+ * across standard library implementations.
+ */
+
+#ifndef ANYTIME_SUPPORT_RNG_HPP
+#define ANYTIME_SUPPORT_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace anytime {
+
+/**
+ * SplitMix64: tiny, high-quality 64-bit generator. Used mainly to expand
+ * user seeds into Xoshiro state.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman & Vigna: fast, statistically strong generator
+ * for all stochastic simulation in this repo (bit upsets, synthetic
+ * noise). Deterministic given the seed.
+ */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(std::uint64_t seed)
+    {
+        SplitMix64 mix(seed);
+        for (auto &word : state)
+            word = mix.next();
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t value = next();
+            if (value >= threshold)
+                return value % bound;
+        }
+    }
+
+    /** Bernoulli trial with success probability @p probability. */
+    bool
+    nextBernoulli(double probability)
+    {
+        if (probability <= 0.0)
+            return false;
+        if (probability >= 1.0)
+            return true;
+        return nextDouble() < probability;
+    }
+
+    /** Standard normal via Marsaglia polar method (deterministic). */
+    double
+    nextGaussian()
+    {
+        for (;;) {
+            const double u = 2.0 * nextDouble() - 1.0;
+            const double v = 2.0 * nextDouble() - 1.0;
+            const double s = u * u + v * v;
+            if (s > 0.0 && s < 1.0) {
+                // Only one of the pair is used; simplicity over speed.
+                return u * std::sqrt(-2.0 * std::log(s) / s);
+            }
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SUPPORT_RNG_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the runtime-accuracy profiler.
+ *
+ * The paper reports runtime normalized to the precise baseline; all
+ * timing in this repo goes through Stopwatch so that benches and the
+ * harness agree on the clock (steady_clock, immune to NTP slew).
+ */
+
+#ifndef ANYTIME_SUPPORT_STOPWATCH_HPP
+#define ANYTIME_SUPPORT_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace anytime {
+
+/** Simple steady-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Stopwatch() : origin(Clock::now()) {}
+
+    /** Reset the origin to now. */
+    void reset() { origin = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - origin).count();
+    }
+
+    /** Nanoseconds elapsed since construction or the last reset(). */
+    std::chrono::nanoseconds
+    elapsed() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - origin);
+    }
+
+  private:
+    Clock::time_point origin;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SUPPORT_STOPWATCH_HPP

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for reduced fixed-point precision: Q-format arithmetic, bit
+ * masking, and the diffusive bit-plane dot product of paper Figure 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/fixed_point.hpp"
+#include "support/rng.hpp"
+
+namespace anytime {
+namespace {
+
+using Q16 = Fixed<16>;
+
+TEST(Fixed, DoubleRoundTrip)
+{
+    for (double v : {0.0, 1.0, -1.0, 3.25, -2.5, 100.0625}) {
+        EXPECT_DOUBLE_EQ(Q16::fromDouble(v).toDouble(), v);
+    }
+}
+
+TEST(Fixed, Arithmetic)
+{
+    const Q16 a = Q16::fromDouble(2.5);
+    const Q16 b = Q16::fromDouble(1.25);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 3.75);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 1.25);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), 3.125);
+    EXPECT_DOUBLE_EQ((a * Q16::fromDouble(-1.0)).toDouble(), -2.5);
+}
+
+TEST(Fixed, TruncatedKeepsTopBits)
+{
+    const Q16 v = Q16::fromRaw(0x7fffffff);
+    EXPECT_EQ(v.truncated(32).raw(), 0x7fffffff);
+    EXPECT_EQ(v.truncated(8).raw(), 0x7f000000);
+    EXPECT_EQ(v.truncated(1).raw(), 0);
+    EXPECT_EQ(v.truncated(0).raw(), 0);
+}
+
+TEST(Fixed, TruncationErrorShrinksWithMoreBits)
+{
+    const Q16 v = Q16::fromDouble(123.456);
+    double prev_err = 1e18;
+    for (unsigned keep = 4; keep <= 32; keep += 4) {
+        const double err =
+            std::abs(v.toDouble() - v.truncated(keep).toDouble());
+        EXPECT_LE(err, prev_err) << "keep=" << keep;
+        prev_err = err;
+    }
+    EXPECT_DOUBLE_EQ(v.truncated(32).toDouble(), v.toDouble());
+}
+
+TEST(MaskLowBits, Basics)
+{
+    EXPECT_EQ(maskLowBits(0xff, 4), 0xf0);
+    EXPECT_EQ(maskLowBits(0xff, 0), 0xff);
+    EXPECT_EQ(maskLowBits(0x12345678, 32), 0);
+    EXPECT_EQ(maskLowBits(-1, 8), -256);
+}
+
+TEST(QuantizePixel, Basics)
+{
+    EXPECT_EQ(quantizePixel(0xff, 8), 0xff);
+    EXPECT_EQ(quantizePixel(0xff, 6), 0xfc);
+    EXPECT_EQ(quantizePixel(0xff, 4), 0xf0);
+    EXPECT_EQ(quantizePixel(0xff, 2), 0xc0);
+    EXPECT_EQ(quantizePixel(0xff, 0), 0x00);
+    EXPECT_EQ(quantizePixel(0x5a, 4), 0x50);
+}
+
+TEST(QuantizePixel, ErrorBoundedByDroppedBits)
+{
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        const unsigned max_err = (1u << (8 - bits)) - 1;
+        for (unsigned v = 0; v < 256; ++v) {
+            const unsigned q = quantizePixel(
+                static_cast<std::uint8_t>(v), bits);
+            ASSERT_LE(q, v);
+            ASSERT_LE(v - q, max_err);
+        }
+    }
+}
+
+std::int64_t
+exactDot(const std::vector<std::int32_t> &a,
+         const std::vector<std::int32_t> &b)
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+TEST(BitPlaneDotProduct, ReachesExactDotProduct)
+{
+    Xoshiro256 rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::int32_t> inputs(17), weights(17);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            inputs[i] = static_cast<std::int32_t>(rng.next());
+            weights[i] = static_cast<std::int32_t>(rng.next());
+        }
+        BitPlaneDotProduct dot(inputs, weights);
+        while (!dot.precise())
+            dot.step();
+        EXPECT_EQ(dot.value(), exactDot(inputs, weights));
+    }
+}
+
+TEST(BitPlaneDotProduct, PartialEqualsMaskedDotProduct)
+{
+    // After k planes, the accumulator equals the dot product with
+    // weights truncated to their top k bits — the paper's
+    // O_{i-1} + I . (W & 2^{32-i}) formulation.
+    Xoshiro256 rng(2);
+    std::vector<std::int32_t> inputs(9), weights(9);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        inputs[i] = static_cast<std::int32_t>(rng.nextBelow(1000)) - 500;
+        weights[i] = static_cast<std::int32_t>(rng.next());
+    }
+    BitPlaneDotProduct dot(inputs, weights);
+    for (unsigned k = 1; k <= 32; ++k) {
+        dot.step();
+        std::vector<std::int32_t> masked(weights.size());
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            // Top k bits of a two's-complement word.
+            const std::uint32_t mask =
+                (k >= 32) ? 0xffffffffu
+                          : ~((std::uint32_t(1) << (32 - k)) - 1);
+            masked[i] = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(weights[i]) & mask);
+        }
+        ASSERT_EQ(dot.value(), exactDot(inputs, masked)) << "k=" << k;
+    }
+}
+
+TEST(BitPlaneDotProduct, NegativeWeightsHandled)
+{
+    const std::vector<std::int32_t> inputs{3, -7, 11};
+    const std::vector<std::int32_t> weights{-1, -123456, 2147483647};
+    BitPlaneDotProduct dot(inputs, weights);
+    while (!dot.precise())
+        dot.step();
+    EXPECT_EQ(dot.value(), exactDot(inputs, weights));
+}
+
+TEST(BitPlaneDotProduct, LengthMismatchRejected)
+{
+    const std::vector<std::int32_t> a{1, 2};
+    const std::vector<std::int32_t> b{1};
+    EXPECT_THROW(BitPlaneDotProduct(a, b), FatalError);
+}
+
+TEST(BitPlaneDotProduct, StepPastPrecisionPanics)
+{
+    const std::vector<std::int32_t> a{1};
+    const std::vector<std::int32_t> b{1};
+    BitPlaneDotProduct dot(a, b);
+    for (unsigned i = 0; i < 32; ++i)
+        dot.step();
+    EXPECT_THROW(dot.step(), PanicError);
+}
+
+TEST(BitPlaneDotProduct, MsbFirstConvergesFast)
+{
+    // With positive weights, after 8 planes the remaining error is
+    // bounded by the untouched low 24 bits: |err| < sum(I) * 2^24.
+    const std::vector<std::int32_t> inputs{100, 200, 300};
+    const std::vector<std::int32_t> weights{0x7fffffff, 0x12345678,
+                                            0x0fedcba9};
+    BitPlaneDotProduct dot(inputs, weights);
+    for (unsigned i = 0; i < 8; ++i)
+        dot.step();
+    const std::int64_t exact = exactDot(inputs, weights);
+    const std::int64_t bound =
+        static_cast<std::int64_t>(600) * (std::int64_t(1) << 24);
+    EXPECT_LT(std::abs(exact - dot.value()), bound);
+}
+
+} // namespace
+} // namespace anytime

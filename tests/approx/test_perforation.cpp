@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for anytime loop perforation schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "approx/perforation.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(PerforationSchedule, ValidatesStrides)
+{
+    EXPECT_NO_THROW(PerforationSchedule({8, 4, 2, 1}));
+    EXPECT_NO_THROW(PerforationSchedule({1}));
+    EXPECT_THROW(PerforationSchedule({}), FatalError);
+    EXPECT_THROW(PerforationSchedule({4, 4, 1}), FatalError); // not strict
+    EXPECT_THROW(PerforationSchedule({2, 4, 1}), FatalError); // increasing
+    EXPECT_THROW(PerforationSchedule({4, 2}), FatalError);    // no 1
+    EXPECT_THROW(PerforationSchedule({4, 0}), FatalError);    // zero
+}
+
+TEST(PerforationSchedule, Geometric)
+{
+    const PerforationSchedule sched = PerforationSchedule::geometric(4);
+    EXPECT_EQ(sched.levels(), 4u);
+    EXPECT_EQ(sched.stride(0), 8u);
+    EXPECT_EQ(sched.stride(1), 4u);
+    EXPECT_EQ(sched.stride(2), 2u);
+    EXPECT_EQ(sched.stride(3), 1u);
+    EXPECT_THROW(PerforationSchedule::geometric(0), FatalError);
+    EXPECT_THROW(PerforationSchedule::geometric(32), FatalError);
+}
+
+TEST(PerforationSchedule, TotalWorkCountsRedundancy)
+{
+    // Strides {2, 1} over 10 iterations: 5 + 10 = 15 total.
+    const PerforationSchedule sched({2, 1});
+    EXPECT_EQ(sched.totalWork(10), 15u);
+    // Geometric 4 over 64: 8 + 16 + 32 + 64 = 120.
+    EXPECT_EQ(PerforationSchedule::geometric(4).totalWork(64), 120u);
+}
+
+TEST(PerforationSchedule, StrideOutOfRangePanics)
+{
+    const PerforationSchedule sched({2, 1});
+    EXPECT_THROW(sched.stride(2), PanicError);
+}
+
+TEST(ForEachPerforated, VisitsStrideMultiples)
+{
+    std::vector<std::uint64_t> visited;
+    forEachPerforated(10, 3,
+                      [&](std::uint64_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited, (std::vector<std::uint64_t>{0, 3, 6, 9}));
+}
+
+TEST(ForEachPerforated, StrideOneIsPrecise)
+{
+    std::vector<std::uint64_t> visited;
+    forEachPerforated(5, 1,
+                      [&](std::uint64_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ForEachPerforated, EmptyTripCount)
+{
+    bool called = false;
+    forEachPerforated(0, 2, [&](std::uint64_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ForEachPerforated, WorkMatchesSchedulePrediction)
+{
+    const PerforationSchedule sched = PerforationSchedule::geometric(3);
+    std::uint64_t work = 0;
+    for (std::size_t level = 0; level < sched.levels(); ++level) {
+        forEachPerforated(100, sched.stride(level),
+                          [&](std::uint64_t) { ++work; });
+    }
+    EXPECT_EQ(work, sched.totalWork(100));
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the simulated approximate storage: fault-stream statistics,
+ * data-destructive read semantics, and the flush contract that the
+ * paper's iterative storage stages rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/storage.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(FaultInjector, ZeroProbabilityNeverFlips)
+{
+    FaultInjector injector(0.0, 1);
+    std::uint64_t flips = 0;
+    injector.consume(1u << 20, [&](std::uint64_t) { ++flips; });
+    EXPECT_EQ(flips, 0u);
+}
+
+TEST(FaultInjector, ProbabilityOneFlipsEveryBit)
+{
+    FaultInjector injector(1.0, 1);
+    std::vector<std::uint64_t> offsets;
+    injector.consume(8, [&](std::uint64_t o) { offsets.push_back(o); });
+    EXPECT_EQ(offsets,
+              (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(FaultInjector, RateMatchesProbability)
+{
+    const double p = 1e-3;
+    FaultInjector injector(p, 42);
+    const std::uint64_t bits = 4'000'000;
+    std::uint64_t flips = 0;
+    injector.consume(bits, [&](std::uint64_t) { ++flips; });
+    const double rate = static_cast<double>(flips) / bits;
+    EXPECT_NEAR(rate, p, p * 0.1);
+}
+
+TEST(FaultInjector, OffsetsWithinWindow)
+{
+    FaultInjector injector(0.01, 7);
+    for (int i = 0; i < 1000; ++i) {
+        injector.consume(64, [&](std::uint64_t offset) {
+            ASSERT_LT(offset, 64u);
+        });
+    }
+}
+
+TEST(FaultInjector, DeterministicPerSeed)
+{
+    FaultInjector a(0.001, 5), b(0.001, 5);
+    std::vector<std::uint64_t> fa, fb;
+    a.consume(1u << 18, [&](std::uint64_t o) { fa.push_back(o); });
+    b.consume(1u << 18, [&](std::uint64_t o) { fb.push_back(o); });
+    EXPECT_EQ(fa, fb);
+    EXPECT_FALSE(fa.empty());
+}
+
+TEST(FaultInjector, RejectsBadProbability)
+{
+    EXPECT_THROW(FaultInjector(-0.1, 1), FatalError);
+    EXPECT_THROW(FaultInjector(1.5, 1), FatalError);
+}
+
+TEST(StorageSchedule, ValidatesMonotonicity)
+{
+    EXPECT_NO_THROW(StorageSchedule({{0.2, 1e-5}, {1.0, 0.0}}));
+    EXPECT_THROW(StorageSchedule({{0.2, 1e-7}, {0.3, 1e-5}, {1.0, 0.0}}),
+                 FatalError);
+    EXPECT_THROW(StorageSchedule({{0.2, 1e-5}}), FatalError); // no precise
+    EXPECT_THROW(StorageSchedule({}), FatalError);
+}
+
+TEST(StorageSchedule, DrowsySramMatchesPaperSweep)
+{
+    const StorageSchedule sched = StorageSchedule::drowsySram();
+    ASSERT_EQ(sched.levels(), 3u);
+    EXPECT_DOUBLE_EQ(sched.level(0).readUpsetProbability, 1e-5);
+    EXPECT_DOUBLE_EQ(sched.level(1).readUpsetProbability, 1e-7);
+    EXPECT_DOUBLE_EQ(sched.level(2).readUpsetProbability, 0.0);
+}
+
+TEST(ApproxStorage, PreciseModeIsTransparent)
+{
+    ApproxStorage<std::uint32_t> storage(16, 1, 0.0);
+    for (std::size_t i = 0; i < 16; ++i)
+        storage.write(i, static_cast<std::uint32_t>(i * 7));
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(storage.read(i), i * 7);
+    EXPECT_EQ(storage.upsetCount(), 0u);
+}
+
+TEST(ApproxStorage, ReadsAreDataDestructive)
+{
+    // With p = 1 every bit of a read word flips, and the corruption is
+    // written back: a second read (now precise) sees the flipped word.
+    ApproxStorage<std::uint8_t> storage(1, 1, 1.0);
+    storage.write(0, 0x0f);
+    EXPECT_EQ(storage.read(0), 0xf0);
+    EXPECT_GT(storage.upsetCount(), 0u);
+
+    // Raising the accuracy level does NOT heal the corruption.
+    storage.setUpsetProbability(0.0);
+    EXPECT_EQ(storage.read(0), 0xf0);
+    EXPECT_EQ(storage.peek(0), 0xf0);
+}
+
+TEST(ApproxStorage, FlushRestoresPreciseContents)
+{
+    ApproxStorage<std::uint8_t> storage(4, 2, 1.0);
+    const std::vector<std::uint8_t> precise{1, 2, 3, 4};
+    storage.flush(precise);
+    (void)storage.read(0); // corrupts word 0
+    storage.setUpsetProbability(0.0);
+    storage.flush(precise);
+    EXPECT_EQ(storage.upsetCount(), 0u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(storage.read(i), precise[i]);
+}
+
+TEST(ApproxStorage, FlushSizeMismatchRejected)
+{
+    ApproxStorage<std::uint8_t> storage(4, 3);
+    EXPECT_THROW(storage.flush(std::vector<std::uint8_t>{1, 2}),
+                 FatalError);
+}
+
+TEST(ApproxStorage, OutOfBoundsPanics)
+{
+    ApproxStorage<std::uint8_t> storage(4, 4);
+    EXPECT_THROW(storage.read(4), PanicError);
+    EXPECT_THROW(storage.write(5, 0), PanicError);
+    EXPECT_THROW(storage.peek(4), PanicError);
+}
+
+TEST(ApproxStorage, UpsetCountScalesWithReads)
+{
+    // The paper notes bit flips are "directly related to number of data
+    // elements processed so far": reading twice as many words should
+    // roughly double the upsets.
+    ApproxStorage<std::uint32_t> storage(4096, 5, 1e-3);
+    std::vector<std::uint32_t> zeros(4096, 0);
+    storage.flush(zeros);
+    for (std::size_t i = 0; i < 2048; ++i)
+        (void)storage.read(i);
+    const std::uint64_t half = storage.upsetCount();
+    for (std::size_t i = 2048; i < 4096; ++i)
+        (void)storage.read(i);
+    const std::uint64_t full = storage.upsetCount();
+    EXPECT_GT(half, 0u);
+    EXPECT_GT(full, half);
+    EXPECT_NEAR(static_cast<double>(full),
+                2.0 * static_cast<double>(half),
+                0.8 * static_cast<double>(half));
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Edge-case tests across the application kernels: degenerate inputs,
+ * minimum sizes, and configuration extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/conv2d.hpp"
+#include "apps/debayer.hpp"
+#include "apps/dwt53.hpp"
+#include "apps/histeq.hpp"
+#include "apps/kmeans.hpp"
+#include "core/controller.hpp"
+#include "image/generate.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(HisteqEdges, UniformImageDoesNotDivideByZero)
+{
+    // A single-intensity image: cdf_min == 1, so the stretch
+    // denominator is zero; the LUT must still be well-defined and the
+    // automaton must still reach a precise output.
+    const GrayImage flat(16, 16, 123);
+    const GrayImage precise = histogramEqualize(flat);
+    for (std::size_t i = 0; i < precise.size(); ++i)
+        EXPECT_EQ(precise[i], 255);
+
+    auto bundle = makeHisteqAutomaton(flat);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(HisteqEdges, TwoPixelImage)
+{
+    GrayImage tiny(2, 1);
+    tiny[0] = 10;
+    tiny[1] = 200;
+    const GrayImage precise = histogramEqualize(tiny);
+    auto bundle = makeHisteqAutomaton(tiny);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(Conv2dEdges, RadiusZeroKernelIsIdentityish)
+{
+    const Kernel identity(0, {1.f});
+    const GrayImage scene = generateScene(8, 8, 1);
+    EXPECT_EQ(convolve(scene, identity), scene);
+
+    auto bundle = makeConv2dAutomaton(scene, identity);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, scene);
+}
+
+TEST(Conv2dEdges, SinglePixelImage)
+{
+    const GrayImage one(1, 1, 77);
+    EXPECT_EQ(convolve(one, Kernel::boxBlur(2))[0], 77);
+    auto bundle = makeConv2dAutomaton(one, Kernel::boxBlur(1));
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ((*bundle.output->read().value)[0], 77);
+}
+
+TEST(Conv2dEdges, SharpenKernelPreservesFlats)
+{
+    const GrayImage flat(8, 8, 100);
+    const GrayImage out = convolve(flat, Kernel::sharpen3x3());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 100); // 5 - 4 = 1x gain on flat regions
+}
+
+TEST(Dwt53Edges, TinyAndSingleRowImages)
+{
+    for (const auto &[w, h] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {1, 8}, {8, 1}, {1, 1}, {2, 1}}) {
+        const GrayImage scene = generateScene(w, h, 2);
+        EXPECT_EQ(dwt53Inverse(dwt53Forward(scene)), scene)
+            << w << "x" << h;
+    }
+}
+
+TEST(Dwt53Edges, StrideLargerThanImageStillValid)
+{
+    const GrayImage scene = generateScene(8, 8, 3);
+    // Stride 64 > both extents: only line 0 is lifted, everything else
+    // replicates — still a structurally valid coefficient plane.
+    const WaveletImage coeffs = dwt53ForwardPerforated(scene, 64);
+    EXPECT_EQ(coeffs.width(), 8u);
+    const GrayImage restored = dwt53Inverse(coeffs);
+    EXPECT_EQ(restored.width(), 8u);
+}
+
+TEST(KmeansEdges, SingleClusterMapsToGlobalMean)
+{
+    const RgbImage scene = generateColorScene(16, 16, 4);
+    const KmeansResult result = kmeansCluster(scene, 1);
+    // All pixels get the single centroid color.
+    for (std::size_t i = 1; i < result.image.size(); ++i)
+        EXPECT_EQ(result.image[i], result.image[0]);
+    // And the automaton agrees.
+    KmeansConfig config;
+    config.clusters = 1;
+    auto bundle = makeKmeansAutomaton(scene, config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, result);
+}
+
+TEST(KmeansEdges, MoreClustersThanPixels)
+{
+    const RgbImage tiny = generateColorScene(2, 2, 5);
+    const KmeansResult result = kmeansCluster(tiny, 16);
+    EXPECT_EQ(result.centroids.size(), 16u);
+    auto bundle = makeKmeansAutomaton(tiny, KmeansConfig{16, 4, 1});
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, result);
+}
+
+TEST(DebayerEdges, TwoByTwoMosaic)
+{
+    RgbImage color(2, 2, RgbPixel{40, 80, 120});
+    const GrayImage mosaic = bayerMosaic(color);
+    const RgbImage restored = debayer(mosaic);
+    for (std::size_t i = 0; i < restored.size(); ++i)
+        EXPECT_EQ(restored[i], (RgbPixel{40, 80, 120}));
+}
+
+TEST(AppEdges, EmptyInputsRejected)
+{
+    // Image construction already rejects zero dimensions, so the app
+    // factories can never see an empty image; the guards exist for
+    // default-constructed (moved-from) images.
+    GrayImage moved = generateScene(4, 4, 6);
+    GrayImage stolen = std::move(moved);
+    (void)stolen;
+    EXPECT_THROW(makeConv2dAutomaton(GrayImage{}, Kernel::boxBlur(1)),
+                 FatalError);
+    EXPECT_THROW(makeHisteqAutomaton(GrayImage{}), FatalError);
+    EXPECT_THROW(makeDwt53Automaton(GrayImage{}), FatalError);
+    EXPECT_THROW(makeDebayerAutomaton(GrayImage{}), FatalError);
+    EXPECT_THROW(makeKmeansAutomaton(RgbImage{}), FatalError);
+}
+
+} // namespace
+} // namespace anytime

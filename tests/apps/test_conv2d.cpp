@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the 2dconv kernel and its anytime automaton: the paper's
+ * key guarantee that the automaton's final output equals the precise
+ * baseline bit-for-bit, plus monotone accuracy over versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "apps/conv2d.hpp"
+#include "core/controller.hpp"
+#include "harness/profiler.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Kernel, BoxBlurIsNormalized)
+{
+    const Kernel k = Kernel::boxBlur(2);
+    float sum = 0;
+    for (int dy = -2; dy <= 2; ++dy)
+        for (int dx = -2; dx <= 2; ++dx)
+            sum += k.tap(dx, dy);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Kernel, GaussianBlurIsNormalizedAndPeaked)
+{
+    const Kernel k = Kernel::gaussianBlur(3);
+    float sum = 0;
+    for (int dy = -3; dy <= 3; ++dy)
+        for (int dx = -3; dx <= 3; ++dx)
+            sum += k.tap(dx, dy);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_GT(k.tap(0, 0), k.tap(3, 3));
+    EXPECT_GT(k.tap(0, 0), k.tap(1, 0));
+}
+
+TEST(Kernel, TapCountValidated)
+{
+    EXPECT_THROW(Kernel(1, std::vector<float>(4, 0.f)), FatalError);
+}
+
+TEST(Conv2d, ConstantImageStaysConstantUnderBlur)
+{
+    const GrayImage flat(16, 16, 77);
+    const GrayImage out = convolve(flat, Kernel::boxBlur(1));
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 77);
+}
+
+TEST(Conv2d, BlurSmoothsAnEdge)
+{
+    GrayImage image(8, 1, 0);
+    for (std::size_t x = 4; x < 8; ++x)
+        image.at(x, 0) = 200;
+    const GrayImage out = convolve(image, Kernel::boxBlur(1));
+    // At the edge, the blurred value is between the two plateaus.
+    EXPECT_GT(out.at(4, 0), 0);
+    EXPECT_LT(out.at(4, 0), 200);
+    // Far from the edge, plateaus are preserved (clamped borders).
+    EXPECT_EQ(out.at(0, 0), 0);
+    EXPECT_EQ(out.at(7, 0), 200);
+}
+
+TEST(Conv2d, QuantizedMatchesPreciseAtFullPrecision)
+{
+    const GrayImage scene = generateScene(24, 18, 1);
+    const Kernel k = Kernel::gaussianBlur(2);
+    for (std::size_t y = 0; y < scene.height(); y += 3) {
+        for (std::size_t x = 0; x < scene.width(); x += 3) {
+            EXPECT_EQ(convolvePixelQuantized(scene, k, x, y, 8),
+                      convolvePixel(scene, k, x, y));
+        }
+    }
+}
+
+TEST(Conv2d, QuantizationErrorShrinksWithMoreBits)
+{
+    const GrayImage scene = generateScene(32, 32, 2);
+    const Kernel k = Kernel::boxBlur(2);
+    const GrayImage precise = convolve(scene, k);
+
+    double prev_snr = -1e9;
+    for (unsigned bits : {2u, 4u, 6u, 8u}) {
+        GrayImage quantized(scene.width(), scene.height());
+        for (std::size_t y = 0; y < scene.height(); ++y)
+            for (std::size_t x = 0; x < scene.width(); ++x)
+                quantized.at(x, y) =
+                    convolvePixelQuantized(scene, k, x, y, bits);
+        const double snr = signalToNoiseDb(precise, quantized);
+        EXPECT_GT(snr, prev_snr) << "bits=" << bits;
+        prev_snr = snr;
+    }
+    EXPECT_TRUE(std::isinf(prev_snr)); // 8 bits == precise
+}
+
+TEST(Conv2dAutomaton, FinalOutputIsBitExact)
+{
+    const GrayImage scene = generateScene(33, 29, 3); // non-pow2 on purpose
+    const Kernel k = Kernel::gaussianBlur(2);
+    const GrayImage precise = convolve(scene, k);
+
+    Conv2dConfig config;
+    config.publishCount = 16;
+    auto bundle = makeConv2dAutomaton(scene, k, config);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    const auto snap = bundle.output->read();
+    ASSERT_TRUE(snap);
+    EXPECT_TRUE(snap.final);
+    EXPECT_EQ(*snap.value, precise);
+}
+
+TEST(Conv2dAutomaton, MultiWorkerFinalOutputIsBitExact)
+{
+    const GrayImage scene = generateScene(32, 32, 4);
+    const Kernel k = Kernel::boxBlur(1);
+    const GrayImage precise = convolve(scene, k);
+
+    Conv2dConfig config;
+    config.workers = 3;
+    auto bundle = makeConv2dAutomaton(scene, k, config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(Conv2dAutomaton, AccuracyIsNonDecreasingAcrossVersions)
+{
+    const GrayImage scene = generateScene(64, 64, 5);
+    const Kernel k = Kernel::boxBlur(2);
+    const GrayImage precise = convolve(scene, k);
+
+    Conv2dConfig config;
+    config.publishCount = 32;
+    auto bundle = makeConv2dAutomaton(scene, k, config);
+    const auto profile = profileToCompletion<GrayImage>(
+        *bundle.automaton, *bundle.output,
+        [&](const GrayImage &img) {
+            return signalToNoiseDb(precise, img);
+        },
+        1.0);
+
+    ASSERT_GE(profile.size(), 8u);
+    // Tree-sampled refinement of a map computation is monotone in the
+    // number of refined pixels; allow a whisker of dB slack for block
+    // boundary effects.
+    for (std::size_t i = 1; i < profile.size(); ++i) {
+        EXPECT_GE(profile[i].accuracyDb, profile[i - 1].accuracyDb - 1.0)
+            << "version " << i;
+    }
+    EXPECT_TRUE(std::isinf(profile.back().accuracyDb));
+    EXPECT_TRUE(profile.back().final);
+}
+
+TEST(Conv2dAutomaton, EarlyStopGivesValidWholeImage)
+{
+    const GrayImage scene = generateScene(128, 128, 6);
+    const Kernel k = Kernel::boxBlur(2);
+
+    auto bundle = makeConv2dAutomaton(scene, k);
+    bundle.automaton->start();
+    while (bundle.output->version() < 2)
+        std::this_thread::yield();
+    bundle.automaton->stop();
+    bundle.automaton->shutdown();
+
+    const auto snap = bundle.output->read();
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap.value->width(), scene.width());
+    // Early availability: whether or not the run outpaced the stop
+    // request, the whole output is already a plausible blurred image,
+    // not mostly empty.
+    const GrayImage precise = convolve(scene, k);
+    EXPECT_GT(signalToNoiseDb(precise, *snap.value), 5.0);
+}
+
+TEST(Conv2dAutomaton, ReducedPrecisionFinalIsQuantizedConvolution)
+{
+    const GrayImage scene = generateScene(16, 16, 7);
+    const Kernel k = Kernel::boxBlur(1);
+
+    Conv2dConfig config;
+    config.precisionBits = 4;
+    auto bundle = makeConv2dAutomaton(scene, k, config);
+    runToCompletion(*bundle.automaton);
+
+    GrayImage expected(scene.width(), scene.height());
+    for (std::size_t y = 0; y < scene.height(); ++y)
+        for (std::size_t x = 0; x < scene.width(); ++x)
+            expected.at(x, y) = convolvePixelQuantized(scene, k, x, y, 4);
+    EXPECT_EQ(*bundle.output->read().value, expected);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the iterative storage-backed conv2d automaton: precise
+ * final level, per-level flush semantics, and accuracy improving with
+ * the voltage schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/conv2d_storage.hpp"
+#include "core/controller.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(ConvolveFromStorage, PreciseStorageMatchesPlainConvolution)
+{
+    const GrayImage scene = generateScene(24, 18, 1);
+    const Kernel kernel = Kernel::gaussianBlur(2);
+    ApproxStorage<std::uint8_t> storage(scene.size(), 7, 0.0);
+    storage.flush(scene.data());
+    const GrayImage out = convolveFromStorage(
+        storage, scene.width(), scene.height(), kernel);
+    // Borders use clamping in both paths.
+    GrayImage expected(scene.width(), scene.height());
+    for (std::size_t y = 0; y < scene.height(); ++y)
+        for (std::size_t x = 0; x < scene.width(); ++x)
+            expected.at(x, y) = convolvePixel(scene, kernel, x, y);
+    EXPECT_EQ(out, expected);
+}
+
+TEST(ConvolveFromStorage, SizeMismatchRejected)
+{
+    const GrayImage scene = generateScene(8, 8, 2);
+    ApproxStorage<std::uint8_t> storage(17, 7);
+    EXPECT_THROW(convolveFromStorage(storage, 8, 8, Kernel::boxBlur(1)),
+                 FatalError);
+}
+
+TEST(Conv2dStorageAutomaton, FinalLevelIsPrecise)
+{
+    const GrayImage scene = generateScene(31, 27, 3);
+    const Kernel kernel = Kernel::boxBlur(2);
+    const GrayImage precise = convolve(scene, kernel);
+
+    auto bundle = makeConv2dStorageAutomaton(scene, kernel);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_TRUE(bundle.output->final());
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(Conv2dStorageAutomaton, OneVersionPerVoltageLevel)
+{
+    const GrayImage scene = generateScene(16, 16, 4);
+    Conv2dStorageConfig config;
+    config.schedule = StorageSchedule({{0.2, 1e-3}, {0.3, 1e-4},
+                                       {1.0, 0.0}});
+    auto bundle =
+        makeConv2dStorageAutomaton(scene, Kernel::boxBlur(1), config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(bundle.output->version(), 3u);
+}
+
+TEST(Conv2dStorageAutomaton, AccuracyImprovesAlongTheSchedule)
+{
+    // Aggressive probabilities so every level shows measurable error.
+    const GrayImage scene = generateScene(64, 64, 5);
+    const Kernel kernel = Kernel::gaussianBlur(2);
+    const GrayImage precise = convolve(scene, kernel);
+
+    Conv2dStorageConfig config;
+    config.schedule = StorageSchedule(
+        {{0.2, 1e-3}, {0.25, 1e-4}, {0.3, 1e-5}, {1.0, 0.0}});
+    auto bundle = makeConv2dStorageAutomaton(scene, kernel, config);
+
+    std::vector<double> snrs;
+    bundle.output->addObserver([&](const Snapshot<GrayImage> &snap) {
+        snrs.push_back(signalToNoiseDb(precise, *snap.value));
+    });
+    runToCompletion(*bundle.automaton);
+
+    ASSERT_EQ(snrs.size(), 4u);
+    // Each level flushes, so its error reflects only its own voltage:
+    // the sequence improves (allow slack: upsets are stochastic).
+    EXPECT_LT(snrs.front(), snrs.back());
+    EXPECT_TRUE(std::isinf(snrs.back()));
+    for (std::size_t i = 1; i < snrs.size(); ++i)
+        EXPECT_GE(snrs[i], snrs[i - 1] - 3.0) << "level " << i;
+}
+
+TEST(Conv2dStorageAutomaton, FaultStreamIsDeterministic)
+{
+    const GrayImage scene = generateScene(32, 32, 6);
+    const Kernel kernel = Kernel::boxBlur(1);
+    Conv2dStorageConfig config;
+    config.schedule = StorageSchedule({{0.2, 1e-3}, {1.0, 0.0}});
+    config.faultSeed = 1234;
+
+    const auto run_once = [&] {
+        auto bundle =
+            makeConv2dStorageAutomaton(scene, kernel, config);
+        std::vector<GrayImage> versions;
+        bundle.output->addObserver(
+            [&](const Snapshot<GrayImage> &snap) {
+                versions.push_back(*snap.value);
+            });
+        runToCompletion(*bundle.automaton);
+        return versions;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the debayer kernel and its anytime automaton.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/debayer.hpp"
+#include "core/controller.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Debayer, UniformColorReconstructsExactly)
+{
+    RgbImage color(8, 8, RgbPixel{60, 120, 180});
+    const GrayImage mosaic = bayerMosaic(color);
+    const RgbImage restored = debayer(mosaic);
+    for (std::size_t i = 0; i < restored.size(); ++i) {
+        EXPECT_EQ(restored[i].r, 60);
+        EXPECT_EQ(restored[i].g, 120);
+        EXPECT_EQ(restored[i].b, 180);
+    }
+}
+
+TEST(Debayer, SitesKeepTheirOwnSample)
+{
+    const RgbImage color = generateColorScene(16, 16, 1);
+    const GrayImage mosaic = bayerMosaic(color);
+    const RgbImage restored = debayer(mosaic);
+    // Red sites keep red, green sites green, blue sites blue.
+    for (std::size_t y = 0; y < 16; ++y) {
+        for (std::size_t x = 0; x < 16; ++x) {
+            if (y % 2 == 0 && x % 2 == 0)
+                EXPECT_EQ(restored.at(x, y).r, mosaic.at(x, y));
+            else if (y % 2 == 1 && x % 2 == 1)
+                EXPECT_EQ(restored.at(x, y).b, mosaic.at(x, y));
+            else
+                EXPECT_EQ(restored.at(x, y).g, mosaic.at(x, y));
+        }
+    }
+}
+
+TEST(Debayer, RoundTripIsReasonablyFaithful)
+{
+    const RgbImage color = generateColorScene(64, 64, 2);
+    const RgbImage restored = debayer(bayerMosaic(color));
+    // Bilinear demosaic on a natural-ish scene: double-digit SNR.
+    EXPECT_GT(signalToNoiseDb(color, restored), 10.0);
+}
+
+TEST(DebayerAutomaton, FinalOutputIsBitExact)
+{
+    const RgbImage color = generateColorScene(29, 22, 3); // non-pow2
+    const GrayImage mosaic = bayerMosaic(color);
+    const RgbImage precise = debayer(mosaic);
+
+    DebayerConfig config;
+    config.publishCount = 8;
+    auto bundle = makeDebayerAutomaton(mosaic, config);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_TRUE(bundle.output->final());
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(DebayerAutomaton, MultiWorkerFinalOutputIsBitExact)
+{
+    const RgbImage color = generateColorScene(32, 24, 4);
+    const GrayImage mosaic = bayerMosaic(color);
+    DebayerConfig config;
+    config.workers = 2;
+    auto bundle = makeDebayerAutomaton(mosaic, config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, debayer(mosaic));
+}
+
+TEST(DebayerAutomaton, IntermediateVersionsApproximateTheOutput)
+{
+    const RgbImage color = generateColorScene(64, 64, 5);
+    const GrayImage mosaic = bayerMosaic(color);
+    const RgbImage precise = debayer(mosaic);
+
+    DebayerConfig config;
+    config.publishCount = 16;
+    auto bundle = makeDebayerAutomaton(mosaic, config);
+
+    std::vector<double> snrs;
+    bundle.output->addObserver([&](const Snapshot<RgbImage> &snap) {
+        snrs.push_back(signalToNoiseDb(precise, *snap.value));
+    });
+    runToCompletion(*bundle.automaton);
+
+    ASSERT_GE(snrs.size(), 8u);
+    EXPECT_GT(snrs.front(), 0.0) << "even the first version is a "
+                                    "complete (coarse) image";
+    for (std::size_t i = 1; i < snrs.size(); ++i)
+        EXPECT_GE(snrs[i], snrs[i - 1] - 1.0);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the 5/3 wavelet kernel: perfect reconstruction (the LeGall
+ * 5/3 lifting transform is integer-reversible), perforation semantics,
+ * and the iterative automaton's steep accuracy staircase.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dwt53.hpp"
+#include "core/controller.hpp"
+#include "harness/profiler.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+/** Sizes including odd and tiny extents (boundary-extension paths). */
+class Dwt53Reconstruction
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(Dwt53Reconstruction, ForwardInverseIsIdentity)
+{
+    const auto [w, h] = GetParam();
+    const GrayImage scene = generateScene(w, h, 42);
+    const GrayImage restored = dwt53Inverse(dwt53Forward(scene));
+    EXPECT_EQ(restored, scene);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Dwt53Reconstruction,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{5, 8},
+                      std::pair<std::size_t, std::size_t>{8, 5},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{31, 17},
+                      std::pair<std::size_t, std::size_t>{64, 33}));
+
+TEST(Dwt53, ForwardConcentratesEnergyInLowBand)
+{
+    // For a smooth image the high band (second half of each line)
+    // should carry far less energy than the low band.
+    GrayImage smooth(32, 32);
+    for (std::size_t y = 0; y < 32; ++y)
+        for (std::size_t x = 0; x < 32; ++x)
+            smooth.at(x, y) = static_cast<std::uint8_t>(4 * x + 3 * y);
+    const WaveletImage coeffs = dwt53Forward(smooth);
+    double low = 0, high = 0;
+    for (std::size_t y = 0; y < 32; ++y) {
+        for (std::size_t x = 0; x < 32; ++x) {
+            const double e = static_cast<double>(coeffs.at(x, y)) *
+                             coeffs.at(x, y);
+            if (x < 16 && y < 16)
+                low += e;
+            else
+                high += e;
+        }
+    }
+    EXPECT_GT(low, 20 * high);
+}
+
+TEST(Dwt53, PerforatedStrideOneIsPrecise)
+{
+    const GrayImage scene = generateScene(24, 24, 1);
+    EXPECT_EQ(dwt53ForwardPerforated(scene, 1), dwt53Forward(scene));
+}
+
+TEST(Dwt53, PerforationErrorShrinksWithSmallerStride)
+{
+    const GrayImage scene = generateScene(64, 64, 2);
+    double prev_mse = -1.0;
+    for (std::uint32_t stride : {8u, 4u, 2u, 1u}) {
+        const GrayImage restored =
+            dwt53Inverse(dwt53ForwardPerforated(scene, stride));
+        const double mse = meanSquaredError(scene, restored);
+        if (prev_mse >= 0) {
+            EXPECT_LE(mse, prev_mse) << "stride " << stride;
+        }
+        prev_mse = mse;
+    }
+    EXPECT_EQ(prev_mse, 0.0); // stride 1 reconstructs exactly
+}
+
+TEST(Dwt53Automaton, FinalOutputIsThePreciseTransform)
+{
+    const GrayImage scene = generateScene(33, 21, 3);
+    auto bundle = makeDwt53Automaton(scene);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_TRUE(bundle.output->final());
+    EXPECT_EQ(*bundle.output->read().value, dwt53Forward(scene));
+    // And its precise inverse reconstructs the input exactly.
+    EXPECT_EQ(dwt53Inverse(*bundle.output->read().value), scene);
+}
+
+TEST(Dwt53Automaton, PublishesOneVersionPerPerforationLevel)
+{
+    const GrayImage scene = generateScene(16, 16, 4);
+    Dwt53Config config;
+    config.schedule = PerforationSchedule({4, 2, 1});
+    auto bundle = makeDwt53Automaton(scene, config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(bundle.output->version(), 3u);
+}
+
+TEST(Dwt53Automaton, IterativeAccuracyStaircaseIsMonotone)
+{
+    const GrayImage scene = generateScene(48, 48, 5);
+    auto bundle = makeDwt53Automaton(scene);
+    const auto profile = profileToCompletion<WaveletImage>(
+        *bundle.automaton, *bundle.output,
+        [&](const WaveletImage &coeffs) {
+            return signalToNoiseDb(scene, dwt53Inverse(coeffs));
+        },
+        1.0);
+
+    ASSERT_EQ(profile.size(), 4u); // geometric(4) levels
+    for (std::size_t i = 1; i < profile.size(); ++i)
+        EXPECT_GE(profile[i].accuracyDb, profile[i - 1].accuracyDb);
+    EXPECT_TRUE(std::isinf(profile.back().accuracyDb));
+}
+
+} // namespace
+} // namespace anytime

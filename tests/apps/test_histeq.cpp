@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for histogram equalization and its four-stage asynchronous
+ * pipeline automaton.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/histeq.hpp"
+#include "core/controller.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Histeq, HistogramCountsEveryPixelOnce)
+{
+    const GrayImage scene = generateScene(40, 30, 1);
+    const PixelHistogram histogram = buildHistogram(scene);
+    std::uint64_t total = 0;
+    for (std::uint64_t bin : histogram.bins)
+        total += bin;
+    EXPECT_EQ(total, scene.size());
+    EXPECT_EQ(histogram.samples, scene.size());
+}
+
+TEST(Histeq, CdfIsMonotoneEndingAtOne)
+{
+    const PixelHistogram histogram =
+        buildHistogram(generateScene(32, 32, 2));
+    const PixelCdf cdf = buildCdf(histogram);
+    for (std::size_t v = 1; v < cdf.size(); ++v)
+        EXPECT_GE(cdf[v], cdf[v - 1]);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+    PixelHistogram empty;
+    EXPECT_THROW(buildCdf(empty), FatalError);
+}
+
+TEST(Histeq, LutOnUniformHistogramIsNearIdentityRamp)
+{
+    // A perfectly uniform histogram equalizes to a full-range ramp.
+    PixelHistogram histogram;
+    histogram.bins.fill(4);
+    histogram.samples = 4 * 256;
+    const PixelLut lut = buildLut(buildCdf(histogram));
+    EXPECT_EQ(lut[0], 0);
+    EXPECT_EQ(lut[255], 255);
+    for (std::size_t v = 1; v < 256; ++v)
+        EXPECT_GE(lut[v], lut[v - 1]);
+}
+
+TEST(Histeq, TwoLevelImageStretchesToFullRange)
+{
+    GrayImage image(4, 2);
+    for (std::size_t i = 0; i < 4; ++i)
+        image[i] = 100;
+    for (std::size_t i = 4; i < 8; ++i)
+        image[i] = 150;
+    const GrayImage out = histogramEqualize(image);
+    // Half the mass at each level: cdf(100)=0.5 -> 0, cdf(150)=1 -> 255
+    // after anchoring at cdf_min.
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[7], 255);
+}
+
+TEST(Histeq, EqualizationWidensDynamicRange)
+{
+    // Compress a scene into [90, 160] and verify equalization stretches
+    // it back out.
+    GrayImage squashed = generateScene(48, 48, 3);
+    for (std::size_t i = 0; i < squashed.size(); ++i)
+        squashed[i] =
+            static_cast<std::uint8_t>(90 + (squashed[i] * 70) / 255);
+    const GrayImage out = histogramEqualize(squashed);
+    std::uint8_t lo = 255, hi = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        lo = std::min(lo, out[i]);
+        hi = std::max(hi, out[i]);
+    }
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 255);
+}
+
+TEST(HisteqAutomaton, FinalOutputIsBitExact)
+{
+    const GrayImage scene = generateScene(37, 26, 4); // non-pow2
+    const GrayImage precise = histogramEqualize(scene);
+
+    HisteqConfig config;
+    config.histogramVersions = 4;
+    config.applyVersions = 4;
+    auto bundle = makeHisteqAutomaton(scene, config);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_TRUE(bundle.output->final());
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(HisteqAutomaton, HistogramStageSamplesEveryPixelExactlyOnce)
+{
+    const GrayImage scene = generateScene(30, 20, 5);
+    auto bundle = makeHisteqAutomaton(scene);
+    runToCompletion(*bundle.automaton);
+
+    const auto hist = bundle.histogram->read();
+    ASSERT_TRUE(hist);
+    EXPECT_TRUE(hist.final);
+    EXPECT_EQ(*hist.value, buildHistogram(scene));
+}
+
+TEST(HisteqAutomaton, IntermediateHistogramIsValidSample)
+{
+    const GrayImage scene = generateScene(64, 64, 6);
+    HisteqConfig config;
+    config.histogramVersions = 16;
+    auto bundle = makeHisteqAutomaton(scene, config);
+
+    std::vector<PixelHistogram> versions;
+    bundle.histogram->addObserver(
+        [&](const Snapshot<PixelHistogram> &snap) {
+            versions.push_back(*snap.value);
+        });
+    runToCompletion(*bundle.automaton);
+
+    ASSERT_GE(versions.size(), 8u);
+    // Sample counts grow monotonically; each intermediate histogram has
+    // exactly `samples` total mass (Figure 3's anytime histogram).
+    std::uint64_t prev = 0;
+    for (const auto &histogram : versions) {
+        std::uint64_t total = 0;
+        for (std::uint64_t bin : histogram.bins)
+            total += bin;
+        EXPECT_EQ(total, histogram.samples);
+        EXPECT_GE(histogram.samples, prev);
+        prev = histogram.samples;
+    }
+    EXPECT_EQ(versions.back().samples, scene.size());
+}
+
+TEST(HisteqAutomaton, LutVersionsEventuallyFinal)
+{
+    const GrayImage scene = generateScene(32, 32, 7);
+    auto bundle = makeHisteqAutomaton(scene);
+    runToCompletion(*bundle.automaton);
+    const auto lut = bundle.lut->read();
+    ASSERT_TRUE(lut);
+    EXPECT_TRUE(lut.final);
+    EXPECT_EQ(*lut.value,
+              buildLut(buildCdf(buildHistogram(scene))));
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for k-means clustering and its two-stage automaton.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/kmeans.hpp"
+#include "core/controller.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Kmeans, SeedsAreDeterministicAndBounded)
+{
+    const RgbImage scene = generateColorScene(32, 32, 1);
+    const auto a = kmeansSeeds(scene, 8);
+    const auto b = kmeansSeeds(scene, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 8u);
+    EXPECT_THROW(kmeansSeeds(scene, 0), FatalError);
+    EXPECT_THROW(kmeansSeeds(scene, 300), FatalError);
+}
+
+TEST(Kmeans, NearestCentroidPicksClosest)
+{
+    const std::vector<RgbPixel> centroids{
+        {0, 0, 0}, {255, 255, 255}, {255, 0, 0}};
+    EXPECT_EQ(nearestCentroid(centroids, {10, 10, 10}), 0u);
+    EXPECT_EQ(nearestCentroid(centroids, {250, 250, 250}), 1u);
+    EXPECT_EQ(nearestCentroid(centroids, {200, 30, 30}), 2u);
+    // Ties break to the lower index (deterministic).
+    const std::vector<RgbPixel> pair{{0, 0, 0}, {0, 0, 0}};
+    EXPECT_EQ(nearestCentroid(pair, {5, 5, 5}), 0u);
+}
+
+TEST(Kmeans, ClusterImageUsesOnlyCentroidColors)
+{
+    const RgbImage scene = generateColorScene(24, 24, 2);
+    const KmeansResult result = kmeansCluster(scene, 5);
+    std::set<std::uint32_t> palette;
+    for (const RgbPixel &c : result.centroids)
+        palette.insert((std::uint32_t(c.r) << 16) |
+                       (std::uint32_t(c.g) << 8) | c.b);
+    for (std::size_t i = 0; i < result.image.size(); ++i) {
+        const RgbPixel &p = result.image[i];
+        EXPECT_TRUE(palette.count((std::uint32_t(p.r) << 16) |
+                                  (std::uint32_t(p.g) << 8) | p.b))
+            << "pixel " << i << " not a centroid color";
+    }
+}
+
+TEST(Kmeans, ClusteringApproximatesTheScene)
+{
+    const RgbImage scene = generateColorScene(48, 48, 3);
+    const KmeansResult few = kmeansCluster(scene, 2);
+    const KmeansResult many = kmeansCluster(scene, 16);
+    // More clusters -> better approximation of the original image.
+    EXPECT_GT(signalToNoiseDb(scene, many.image),
+              signalToNoiseDb(scene, few.image));
+}
+
+TEST(KmeansAutomaton, FinalOutputIsBitExact)
+{
+    const RgbImage scene = generateColorScene(27, 19, 4); // non-pow2
+    KmeansConfig config;
+    config.clusters = 6;
+    config.publishCount = 8;
+    const KmeansResult precise = kmeansCluster(scene, config.clusters);
+
+    auto bundle = makeKmeansAutomaton(scene, config);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_TRUE(bundle.output->final());
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+TEST(KmeansAutomaton, AssignmentSumsCountEveryPixelOnce)
+{
+    const RgbImage scene = generateColorScene(20, 20, 5);
+    auto bundle = makeKmeansAutomaton(scene);
+    runToCompletion(*bundle.automaton);
+
+    const auto snap = bundle.assignment->read();
+    ASSERT_TRUE(snap);
+    std::uint64_t total = 0;
+    for (const ClusterSum &sum : snap.value->sums)
+        total += sum.count;
+    EXPECT_EQ(total, scene.size());
+}
+
+TEST(KmeansAutomaton, IntermediateAssignmentsCoverWholeImage)
+{
+    // The diffusive assignment stage publishes versions at a fixed
+    // period regardless of downstream scheduling, so its version
+    // sequence is deterministic (unlike the reduce stage, which may
+    // legitimately skip straight to the final assignment on a busy
+    // machine — asynchronous-pipeline semantics).
+    const RgbImage scene = generateColorScene(64, 64, 6);
+    const KmeansResult precise = kmeansCluster(scene, 8);
+    const auto seeds = kmeansSeeds(scene, 8);
+
+    KmeansConfig config;
+    config.publishCount = 16;
+    auto bundle = makeKmeansAutomaton(scene, config);
+    std::vector<double> snrs;
+    bundle.assignment->addObserver(
+        [&](const Snapshot<KmeansAssignment> &snap) {
+            // Recolor the (block-filled) labels with the seed palette:
+            // every intermediate version must be a whole, plausible
+            // clustered image.
+            RgbImage preview(snap.value->labels.width(),
+                             snap.value->labels.height());
+            for (std::size_t i = 0; i < preview.size(); ++i)
+                preview[i] = seeds[snap.value->labels[i]];
+            snrs.push_back(signalToNoiseDb(scene, preview));
+        });
+    runToCompletion(*bundle.automaton);
+
+    ASSERT_GE(snrs.size(), 8u);
+    EXPECT_GT(snrs.front(), 0.0);
+    // The final output buffer holds the exact clustered image.
+    EXPECT_EQ(*bundle.output->read().value, precise);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the anytime bit-plane matrix multiply (the Figure 6
+ * generalization): exactness after all planes, the masked-operand
+ * equivalence, MSB-first monotone convergence, and multi-worker
+ * commutativity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <limits>
+
+#include "apps/matmul.hpp"
+#include "core/controller.hpp"
+#include "support/rng.hpp"
+
+namespace anytime {
+namespace {
+
+IntMatrix
+randomMatrix(std::size_t cols, std::size_t rows, std::uint64_t seed,
+             std::int32_t span)
+{
+    IntMatrix m(cols, rows);
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m[i] = static_cast<std::int32_t>(rng.nextBelow(2 * span)) - span;
+    return m;
+}
+
+TEST(Matmul, ExactSmallCase)
+{
+    IntMatrix a(2, 2); // 2x2
+    a.at(0, 0) = 1;
+    a.at(1, 0) = 2;
+    a.at(0, 1) = 3;
+    a.at(1, 1) = 4;
+    IntMatrix b(2, 2);
+    b.at(0, 0) = 5;
+    b.at(1, 0) = 6;
+    b.at(0, 1) = 7;
+    b.at(1, 1) = 8;
+    const LongMatrix c = matmulExact(a, b);
+    EXPECT_EQ(c.at(0, 0), 19); // 1*5 + 2*7
+    EXPECT_EQ(c.at(1, 0), 22);
+    EXPECT_EQ(c.at(0, 1), 43);
+    EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, ShapeMismatchRejected)
+{
+    IntMatrix a(3, 2); // 2x3
+    IntMatrix b(2, 2); // 2x2: inner dim 3 != 2
+    EXPECT_THROW(matmulExact(a, b), FatalError);
+}
+
+TEST(Matmul, TruncatedFullWidthIsExact)
+{
+    const IntMatrix a = randomMatrix(5, 4, 1, 1000);
+    const IntMatrix b = randomMatrix(3, 5, 2, 1000);
+    EXPECT_EQ(matmulTruncated(a, b, 32), matmulExact(a, b));
+}
+
+TEST(Matmul, TruncationErrorShrinksWithBits)
+{
+    const IntMatrix a = randomMatrix(8, 8, 3, 100000);
+    const IntMatrix b = randomMatrix(8, 8, 4, 100000);
+    const LongMatrix exact = matmulExact(a, b);
+    double prev = 1e300;
+    for (unsigned bits : {8u, 16u, 24u, 32u}) {
+        const LongMatrix approx = matmulTruncated(a, b, bits);
+        double err = 0;
+        for (std::size_t i = 0; i < exact.size(); ++i)
+            err += std::abs(static_cast<double>(exact[i] - approx[i]));
+        EXPECT_LE(err, prev) << "bits=" << bits;
+        prev = err;
+    }
+    EXPECT_EQ(prev, 0.0);
+}
+
+TEST(MatmulAutomaton, FinalOutputIsExact)
+{
+    const IntMatrix a = randomMatrix(6, 7, 5, 1 << 30);
+    const IntMatrix b = randomMatrix(4, 6, 6, 1 << 30);
+    auto bundle = makeMatmulAutomaton(a, b);
+    const RunOutcome outcome = runToCompletion(*bundle.automaton);
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_EQ(*bundle.output->read().value, matmulExact(a, b));
+}
+
+TEST(MatmulAutomaton, NegativeEntriesAreExact)
+{
+    IntMatrix a(2, 1);
+    a.at(0, 0) = -3;
+    a.at(1, 0) = 7;
+    IntMatrix b(1, 2);
+    b.at(0, 0) = std::numeric_limits<std::int32_t>::min(); // sign plane
+    b.at(0, 1) = 2147483647;
+    auto bundle = makeMatmulAutomaton(a, b);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, matmulExact(a, b));
+}
+
+TEST(MatmulAutomaton, VersionsConvergeMsbFirst)
+{
+    const IntMatrix a = randomMatrix(8, 8, 7, 1000);
+    const IntMatrix b = randomMatrix(8, 8, 8, 1 << 20);
+    const LongMatrix exact = matmulExact(a, b);
+
+    MatmulConfig config;
+    config.planesPerPublish = 4;
+    auto bundle = makeMatmulAutomaton(a, b, config);
+
+    std::vector<double> errors;
+    bundle.output->addObserver([&](const Snapshot<LongMatrix> &snap) {
+        double err = 0;
+        for (std::size_t i = 0; i < exact.size(); ++i)
+            err += std::abs(
+                static_cast<double>(exact[i] - (*snap.value)[i]));
+        errors.push_back(err);
+    });
+    runToCompletion(*bundle.automaton);
+
+    ASSERT_GE(errors.size(), 8u);
+    for (std::size_t i = 1; i < errors.size(); ++i)
+        EXPECT_LE(errors[i], errors[i - 1]) << "version " << i;
+    EXPECT_EQ(errors.back(), 0.0);
+}
+
+TEST(MatmulAutomaton, MultiWorkerStillExact)
+{
+    const IntMatrix a = randomMatrix(8, 6, 9, 1 << 28);
+    const IntMatrix b = randomMatrix(5, 8, 10, 1 << 28);
+    MatmulConfig config;
+    config.workers = 3;
+    auto bundle = makeMatmulAutomaton(a, b, config);
+    runToCompletion(*bundle.automaton);
+    EXPECT_EQ(*bundle.output->read().value, matmulExact(a, b));
+}
+
+TEST(MatmulAutomaton, EarlyStopKeepsValidPartialProduct)
+{
+    const IntMatrix a = randomMatrix(32, 32, 11, 1 << 24);
+    const IntMatrix b = randomMatrix(32, 32, 12, 1 << 24);
+    auto bundle = makeMatmulAutomaton(a, b);
+    bundle.automaton->start();
+    while (bundle.output->version() < 4)
+        std::this_thread::yield();
+    bundle.automaton->stop();
+    bundle.automaton->shutdown();
+    const auto snap = bundle.output->read();
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap.value->width(), 32u);
+    if (snap.final) {
+        // The run outpaced the stop request; then it must be exact.
+        EXPECT_EQ(*snap.value, matmulExact(a, b));
+    } else {
+        // Interrupted: the partial product is a valid prefix of the
+        // MSB-first plane sequence (some versions were published).
+        EXPECT_GE(snap.version, 4u);
+    }
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the cache model and the permutation-aware prefetcher
+ * (paper Section IV-C3): cold/capacity/conflict behavior, LRU
+ * replacement, and the headline claim — a deterministic-permutation
+ * prefetcher eliminates the demand misses of non-sequential sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/tree_permutation.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(CacheModel, ValidatesGeometry)
+{
+    EXPECT_THROW(CacheModel({1024, 48, 4}), FatalError);  // non-pow2 line
+    EXPECT_THROW(CacheModel({1024, 64, 0}), FatalError);  // zero ways
+    EXPECT_THROW(CacheModel({1000, 64, 4}), FatalError);  // ragged size
+    EXPECT_NO_THROW(CacheModel({1024, 64, 4}));
+}
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel cache({1024, 64, 2});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63)); // same line
+    EXPECT_FALSE(cache.access(64)); // next line
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheModel, LruEvictionWithinSet)
+{
+    // 2-way, 8 sets of 64B lines: lines 0, 8, 16 map to set 0.
+    CacheModel cache({1024, 64, 2});
+    cache.access(0 * 64);
+    cache.access(8 * 64);
+    cache.access(0 * 64);  // line 0 is now MRU
+    cache.access(16 * 64); // evicts line 8 (LRU)
+    EXPECT_TRUE(cache.resident(0 * 64));
+    EXPECT_FALSE(cache.resident(8 * 64));
+    EXPECT_TRUE(cache.resident(16 * 64));
+}
+
+TEST(CacheModel, SequentialSweepMissesOncePerLine)
+{
+    CacheModel cache({32 * 1024, 64, 8});
+    const std::size_t bytes = 16 * 1024; // fits
+    for (std::size_t address = 0; address < bytes; ++address)
+        cache.access(address);
+    EXPECT_EQ(cache.stats().misses, bytes / 64);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(),
+                     1.0 / 64.0);
+}
+
+TEST(CacheModel, CapacityThrashing)
+{
+    // Sweeping 4x the capacity twice: the second sweep still misses
+    // every line (LRU on a looping pattern keeps evicting ahead).
+    CacheModel cache({4 * 1024, 64, 4});
+    const std::size_t bytes = 16 * 1024;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t address = 0; address < bytes; address += 64)
+            cache.access(address);
+    }
+    EXPECT_EQ(cache.stats().misses, 2 * bytes / 64);
+}
+
+TEST(CacheModel, ResetClearsStateAndStats)
+{
+    CacheModel cache({1024, 64, 2});
+    cache.access(0);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.resident(0));
+}
+
+TEST(CacheModel, PrefetchFillsWithoutDemandAccounting)
+{
+    CacheModel cache({1024, 64, 2});
+    cache.prefetch(128);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_EQ(cache.stats().prefetchFills, 1u);
+    EXPECT_TRUE(cache.resident(128));
+    EXPECT_TRUE(cache.access(128));
+    EXPECT_EQ(cache.stats().prefetchHits, 1u);
+    // Re-prefetching a resident line is a no-op.
+    cache.prefetch(128);
+    EXPECT_EQ(cache.stats().prefetchFills, 1u);
+}
+
+/** Miss rate of sweeping n 1-byte elements in permutation order. */
+CacheStats
+sweep(const Permutation &perm, bool with_prefetcher,
+      unsigned distance = 8,
+      CacheConfig config = CacheConfig{8 * 1024, 64, 4})
+{
+    CacheModel cache(config); // far smaller than the array
+    PermutationPrefetcher prefetcher(cache, perm, 0, 1, distance);
+    for (std::uint64_t i = 0; i < perm.size(); ++i) {
+        if (with_prefetcher)
+            prefetcher.onSample(i ? i - 1 : 0);
+        cache.access(perm.map(i));
+    }
+    return cache.stats();
+}
+
+TEST(PermutationPrefetcher, TwoDimTreeSweepMissesCollapse)
+{
+    // Array (256 KiB) >> cache (32 KiB), so the sweep cannot just fit.
+    TreePermutation perm = TreePermutation::twoDim(512, 512);
+    const CacheConfig config{32 * 1024, 64, 8}; // 64 sets: conflict-free
+    const CacheStats without = sweep(perm, false, 8, config);
+    const CacheStats with = sweep(perm, true, 8, config);
+    // The tree order revisits lines at wide strides: misses abound
+    // without help.
+    EXPECT_GT(without.missRate(), 0.4);
+    // The deterministic prefetcher runs ahead of the demand stream and
+    // removes nearly all demand misses (paper §IV-C3). Each prefetched
+    // line is credited once, on its first demand hit.
+    EXPECT_LT(with.missRate(), 0.02);
+    EXPECT_GT(with.prefetchHits, 0u);
+    EXPECT_LT(with.misses, without.misses / 20);
+}
+
+TEST(PermutationPrefetcher, OneDimTreeNeedsAssociativity)
+{
+    // Pathology worth pinning down: consecutive 1-D bit-reverse samples
+    // differ only in high address bits, so they map to the SAME cache
+    // set; a distance-8 prefetch overwhelms a 4-way set and the lines
+    // are evicted before the demand stream arrives. With enough
+    // associativity (or, equivalently, set-hashing hardware) the
+    // prefetcher works as intended — the paper's "minimal complexity"
+    // claim implicitly assumes the prefetch buffer is conflict-free.
+    TreePermutation perm = TreePermutation::oneDim(64 * 1024);
+    const CacheStats low_assoc =
+        sweep(perm, true, 8, CacheConfig{8 * 1024, 64, 4});
+    EXPECT_GT(low_assoc.missRate(), 0.5) << "conflict pathology gone?";
+
+    const CacheStats full_assoc =
+        sweep(perm, true, 8, CacheConfig{8 * 1024, 64, 128});
+    EXPECT_LT(full_assoc.missRate(), 0.02);
+}
+
+TEST(PermutationPrefetcher, LfsrSweepMissesCollapse)
+{
+    LfsrPermutation perm(64 * 1024, 3);
+    const CacheStats without = sweep(perm, false);
+    const CacheStats with = sweep(perm, true);
+    EXPECT_GT(without.missRate(), 0.5);
+    EXPECT_LT(with.missRate(), 0.02);
+}
+
+TEST(PermutationPrefetcher, SequentialSweepAlreadyFine)
+{
+    SequentialPermutation perm(64 * 1024);
+    const CacheStats without = sweep(perm, false);
+    EXPECT_LE(without.missRate(), 1.0 / 64.0 + 1e-9);
+}
+
+TEST(PermutationPrefetcher, ValidatesArguments)
+{
+    CacheModel cache({1024, 64, 2});
+    SequentialPermutation perm(16);
+    EXPECT_THROW(PermutationPrefetcher(cache, perm, 0, 1, 0),
+                 FatalError);
+    EXPECT_THROW(PermutationPrefetcher(cache, perm, 0, 0, 1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace anytime

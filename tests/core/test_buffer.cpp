@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the versioned output buffer: Property 2/3 semantics,
+ * version/final bookkeeping, blocking waits, observers, and a
+ * concurrent torn-read stress test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/buffer.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(VersionedBuffer, StartsEmpty)
+{
+    VersionedBuffer<int> buffer("b");
+    EXPECT_EQ(buffer.version(), 0u);
+    EXPECT_FALSE(buffer.final());
+    const Snapshot<int> snap = buffer.read();
+    EXPECT_FALSE(snap);
+    EXPECT_EQ(snap.version, 0u);
+}
+
+TEST(VersionedBuffer, PublishAdvancesVersions)
+{
+    VersionedBuffer<int> buffer("b");
+    buffer.publish(10, false);
+    buffer.publish(20, false);
+    const Snapshot<int> snap = buffer.read();
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(*snap.value, 20);
+    EXPECT_EQ(snap.version, 2u);
+    EXPECT_FALSE(snap.final);
+}
+
+TEST(VersionedBuffer, SnapshotsAreImmutable)
+{
+    VersionedBuffer<std::vector<int>> buffer("b");
+    buffer.publish(std::vector<int>{1, 2, 3}, false);
+    const auto old = buffer.read();
+    buffer.publish(std::vector<int>{9}, true);
+    EXPECT_EQ(old.value->size(), 3u); // old snapshot still intact
+    EXPECT_EQ(buffer.read().value->size(), 1u);
+}
+
+TEST(VersionedBuffer, FinalFlagSticksAndBlocksFurtherPublish)
+{
+    VersionedBuffer<int> buffer("b");
+    buffer.publish(1, true);
+    EXPECT_TRUE(buffer.final());
+    EXPECT_TRUE(buffer.read().final);
+    EXPECT_THROW(buffer.publish(2, false), PanicError);
+}
+
+TEST(VersionedBuffer, NullPublishPanics)
+{
+    VersionedBuffer<int> buffer("b");
+    EXPECT_THROW(buffer.publishShared(nullptr, false), PanicError);
+}
+
+TEST(VersionedBuffer, WaitNewerReturnsOnPublish)
+{
+    VersionedBuffer<int> buffer("b");
+    std::stop_source source;
+    std::thread publisher([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        buffer.publish(5, false);
+    });
+    const auto snap = buffer.waitNewer(0, source.get_token());
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(*snap.value, 5);
+    publisher.join();
+}
+
+TEST(VersionedBuffer, WaitNewerReturnsOnFinalEvenIfSeen)
+{
+    VersionedBuffer<int> buffer("b");
+    buffer.publish(5, true);
+    std::stop_source source;
+    // after_version == current version, but final is set: no block.
+    const auto snap = buffer.waitNewer(1, source.get_token());
+    EXPECT_TRUE(snap.final);
+}
+
+TEST(VersionedBuffer, WaitNewerHonorsStop)
+{
+    VersionedBuffer<int> buffer("b");
+    std::stop_source source;
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        source.request_stop();
+    });
+    const auto snap = buffer.waitNewer(0, source.get_token());
+    EXPECT_FALSE(snap); // nothing was ever published
+    stopper.join();
+}
+
+TEST(VersionedBuffer, ObserversSeeEveryVersion)
+{
+    VersionedBuffer<int> buffer("b");
+    std::vector<std::pair<std::uint64_t, int>> seen;
+    buffer.addObserver([&](const Snapshot<int> &snap) {
+        seen.emplace_back(snap.version, *snap.value);
+    });
+    buffer.publish(10, false);
+    buffer.publish(11, true);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], (std::pair<std::uint64_t, int>{1, 10}));
+    EXPECT_EQ(seen[1], (std::pair<std::uint64_t, int>{2, 11}));
+}
+
+TEST(VersionedBuffer, MovePublishAvoidsCopy)
+{
+    VersionedBuffer<std::vector<int>> buffer("b");
+    std::vector<int> big(1000, 7);
+    const int *data = big.data();
+    buffer.publish(std::move(big), true);
+    EXPECT_EQ(buffer.read().value->data(), data);
+}
+
+TEST(VersionedBuffer, ConcurrentReadersNeverSeeTornVersions)
+{
+    // Property 3: every published version is internally consistent. The
+    // writer publishes vectors whose elements all equal their version;
+    // readers must never observe a mixed vector.
+    VersionedBuffer<std::vector<int>> buffer("b");
+    std::atomic<bool> done{false};
+    std::atomic<int> torn{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            while (!done.load(std::memory_order_relaxed)) {
+                const auto snap = buffer.read();
+                if (!snap)
+                    continue;
+                const std::vector<int> &v = *snap.value;
+                for (int x : v) {
+                    if (x != v[0]) {
+                        torn.fetch_add(1);
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    for (int version = 1; version <= 500; ++version)
+        buffer.publish(std::vector<int>(64, version), version == 500);
+    done = true;
+    for (auto &t : readers)
+        t.join();
+    EXPECT_EQ(torn.load(), 0);
+}
+
+} // namespace
+} // namespace anytime

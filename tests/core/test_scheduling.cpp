@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the pipeline scheduling policies (paper Section IV-C2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/scheduling.hpp"
+
+namespace anytime {
+namespace {
+
+/** The Figure 2 diamond: long source f, medium g/h, final i. */
+std::vector<StageLoad>
+diamond()
+{
+    return {
+        {"f", 8.0, true, 0},
+        {"g", 2.0, true, 1},
+        {"h", 2.0, true, 1},
+        {"i", 3.0, true, 2},
+    };
+}
+
+unsigned
+total(const std::vector<unsigned> &workers)
+{
+    return std::accumulate(workers.begin(), workers.end(), 0u);
+}
+
+TEST(Scheduling, ValidatesInput)
+{
+    EXPECT_THROW(
+        allocateWorkers({}, 4, SchedulePolicy::balanced), FatalError);
+    EXPECT_THROW(allocateWorkers(diamond(), 3, SchedulePolicy::balanced),
+                 FatalError);
+}
+
+TEST(Scheduling, EveryStageGetsAtLeastOneWorker)
+{
+    for (const auto policy :
+         {SchedulePolicy::balanced, SchedulePolicy::firstOutput,
+          SchedulePolicy::outputGap}) {
+        const auto workers = allocateWorkers(diamond(), 4, policy);
+        ASSERT_EQ(workers.size(), 4u);
+        for (unsigned w : workers)
+            EXPECT_GE(w, 1u);
+        EXPECT_EQ(total(workers), 4u);
+    }
+}
+
+TEST(Scheduling, BudgetIsFullySpentWhenParallelizable)
+{
+    const auto workers =
+        allocateWorkers(diamond(), 16, SchedulePolicy::balanced);
+    EXPECT_EQ(total(workers), 16u);
+}
+
+TEST(Scheduling, BalancedEqualizesLatencies)
+{
+    const auto workers =
+        allocateWorkers(diamond(), 8, SchedulePolicy::balanced);
+    // f is 8/2/3x longer than g/h/i: balanced allocation gives f the
+    // lion's share so per-stage latencies converge.
+    EXPECT_GE(workers[0], 3u);
+    // Effective latencies after allocation are within ~2x of each
+    // other.
+    const auto stages = diamond();
+    double lo = 1e18, hi = 0.0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const double effective = stages[i].latency / workers[i];
+        lo = std::min(lo, effective);
+        hi = std::max(hi, effective);
+    }
+    EXPECT_LE(hi / lo, 3.0);
+}
+
+TEST(Scheduling, FirstOutputFavorsUpstream)
+{
+    const auto workers =
+        allocateWorkers(diamond(), 8, SchedulePolicy::firstOutput);
+    // The longest upstream stage (f, depth 0) dominates.
+    EXPECT_GT(workers[0], workers[3]);
+    EXPECT_GE(workers[0], 4u);
+}
+
+TEST(Scheduling, OutputGapFavorsFinalStage)
+{
+    const auto workers_gap =
+        allocateWorkers(diamond(), 8, SchedulePolicy::outputGap);
+    const auto workers_first =
+        allocateWorkers(diamond(), 8, SchedulePolicy::firstOutput);
+    // The final stage (i) gets more under outputGap than firstOutput.
+    EXPECT_GT(workers_gap[3], workers_first[3]);
+}
+
+TEST(Scheduling, NonParallelizableStagesStayAtOne)
+{
+    std::vector<StageLoad> stages = diamond();
+    stages[0].parallelizable = false; // f can't scale
+    const auto workers =
+        allocateWorkers(stages, 12, SchedulePolicy::balanced);
+    EXPECT_EQ(workers[0], 1u);
+    EXPECT_EQ(total(workers), 12u); // spare redirected elsewhere
+}
+
+TEST(Scheduling, AllSerialStagesLeaveBudgetUnspent)
+{
+    std::vector<StageLoad> stages = diamond();
+    for (auto &stage : stages)
+        stage.parallelizable = false;
+    const auto workers =
+        allocateWorkers(stages, 10, SchedulePolicy::balanced);
+    EXPECT_EQ(total(workers), 4u); // 1 each; spare unusable
+}
+
+} // namespace
+} // namespace anytime

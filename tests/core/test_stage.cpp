@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the stage execution context: pause gate and cooperative
+ * checkpointing (the anytime model's stop/pause controls).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/stage.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(PauseGate, StartsOpen)
+{
+    PauseGate gate;
+    EXPECT_FALSE(gate.isPaused());
+    std::stop_source source;
+    EXPECT_TRUE(gate.wait(source.get_token()));
+}
+
+TEST(PauseGate, PauseBlocksUntilResume)
+{
+    PauseGate gate;
+    gate.pause();
+    std::stop_source source;
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+        gate.wait(source.get_token());
+        released = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(released.load());
+    gate.resume();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+}
+
+TEST(PauseGate, StopReleasesPausedWaiter)
+{
+    PauseGate gate;
+    gate.pause();
+    std::stop_source source;
+    std::atomic<bool> result{true};
+    std::thread waiter([&] { result = gate.wait(source.get_token()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    source.request_stop();
+    waiter.join();
+    EXPECT_FALSE(result.load()) << "wait must report stop";
+}
+
+TEST(StageContext, CheckpointCountsAndHonorsStop)
+{
+    PauseGate gate;
+    StageStats stats;
+    std::stop_source source;
+    StageContext ctx(source.get_token(), gate, stats, 0, 1);
+
+    EXPECT_TRUE(ctx.checkpoint());
+    EXPECT_TRUE(ctx.checkpoint());
+    EXPECT_EQ(stats.checkpoints.load(), 2u);
+
+    source.request_stop();
+    EXPECT_TRUE(ctx.stopRequested());
+    EXPECT_FALSE(ctx.checkpoint());
+}
+
+TEST(StageContext, AddWorkAccumulates)
+{
+    PauseGate gate;
+    StageStats stats;
+    std::stop_source source;
+    StageContext ctx(source.get_token(), gate, stats, 2, 4);
+    ctx.addWork();
+    ctx.addWork(10);
+    EXPECT_EQ(stats.steps.load(), 11u);
+    EXPECT_EQ(ctx.workerId(), 2u);
+    EXPECT_EQ(ctx.workerCount(), 4u);
+}
+
+TEST(StageContext, CheckpointBlocksWhilePaused)
+{
+    PauseGate gate;
+    StageStats stats;
+    std::stop_source source;
+    StageContext ctx(source.get_token(), gate, stats, 0, 1);
+
+    gate.pause();
+    std::atomic<bool> passed{false};
+    std::thread worker([&] {
+        ctx.checkpoint();
+        passed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(passed.load());
+    gate.resume();
+    worker.join();
+    EXPECT_TRUE(passed.load());
+}
+
+} // namespace
+} // namespace anytime

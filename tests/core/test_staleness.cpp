@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for Emitter staleness: a long anytime transform body can detect
+ * that newer input versions superseded the one it is processing and
+ * abandon the sweep, without ever losing the precise-output guarantee
+ * (final inputs are never stale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/transform_stage.hpp"
+
+namespace anytime {
+namespace {
+
+struct ManualContext
+{
+    PauseGate gate;
+    StageStats stats;
+    std::stop_source source;
+
+    StageContext
+    make()
+    {
+        return StageContext(source.get_token(), gate, stats, 0, 1);
+    }
+};
+
+TEST(EmitterStaleness, DefaultEmitterIsNeverStale)
+{
+    VersionedBuffer<int> out("out");
+    Emitter<int> emitter(out, false);
+    EXPECT_FALSE(emitter.stale());
+}
+
+TEST(EmitterStaleness, BecomesStaleWhenInputAdvances)
+{
+    auto in = std::make_shared<VersionedBuffer<int>>("in");
+    auto out = std::make_shared<VersionedBuffer<int>>("out");
+
+    bool was_stale_initially = true;
+    bool stale_after_publish = false;
+    TransformStage<int, int> stage(
+        "probe", in, out,
+        [&](const int &v, Emitter<int> &emitter, StageContext &) {
+            if (v == 1) {
+                was_stale_initially = emitter.stale();
+                in->publish(2, true); // a newer version lands mid-body
+                stale_after_publish = emitter.stale();
+                return; // abandon: emit nothing for the stale input
+            }
+            emitter.emit(v, true);
+        });
+
+    in->publish(1, false);
+    ManualContext mc;
+    StageContext ctx = mc.make();
+    stage.run(ctx);
+
+    EXPECT_FALSE(was_stale_initially);
+    EXPECT_TRUE(stale_after_publish);
+    // The run loop re-invoked the body on the final version.
+    EXPECT_TRUE(out->final());
+    EXPECT_EQ(*out->read().value, 2);
+}
+
+TEST(EmitterStaleness, FinalInputsAreNeverStale)
+{
+    auto in = std::make_shared<VersionedBuffer<int>>("in");
+    auto out = std::make_shared<VersionedBuffer<int>>("out");
+    bool stale_seen = false;
+    TransformStage<int, int> stage(
+        "probe", in, out,
+        [&](const int &v, Emitter<int> &emitter, StageContext &) {
+            stale_seen = emitter.stale();
+            emitter.emit(v, true);
+        });
+    in->publish(9, true);
+    ManualContext mc;
+    StageContext ctx = mc.make();
+    stage.run(ctx);
+    EXPECT_FALSE(stale_seen)
+        << "nothing can supersede the final version";
+    EXPECT_TRUE(out->final());
+}
+
+TEST(EmitterStaleness, AbandoningSweepsStillReachesPrecise)
+{
+    // A parent publishes many versions; the child abandons every stale
+    // sweep; the final sweep must still complete and be precise.
+    auto in = std::make_shared<VersionedBuffer<int>>("in");
+    auto out = std::make_shared<VersionedBuffer<int>>("out");
+    unsigned abandoned = 0;
+    TransformStage<int, int> stage(
+        "child", in, out,
+        [&](const int &v, Emitter<int> &emitter, StageContext &) {
+            for (int part = 0; part < 8; ++part) {
+                if (!emitter.inputsFinal() && emitter.stale()) {
+                    ++abandoned;
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+            emitter.emit(v * 10, true);
+        });
+
+    ManualContext mc;
+    std::thread runner([&] {
+        StageContext ctx = mc.make();
+        stage.run(ctx);
+    });
+    for (int v = 1; v <= 5; ++v) {
+        in->publish(v, v == 5);
+        std::this_thread::sleep_for(std::chrono::microseconds(400));
+    }
+    runner.join();
+
+    EXPECT_TRUE(out->final());
+    EXPECT_EQ(*out->read().value, 50);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the online convergence estimator (dynamic accuracy-metric
+ * stopping) and the contract planner (deadline-driven operating-point
+ * selection), including an end-to-end auto-stop of a real automaton.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "apps/conv2d.hpp"
+#include "core/contract.hpp"
+#include "core/controller.hpp"
+#include "harness/convergence.hpp"
+#include "harness/profiler.hpp"
+#include "image/generate.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ConvergenceEstimator, ValidatesParameters)
+{
+    EXPECT_THROW(ConvergenceEstimator(0.0), FatalError);
+    EXPECT_THROW(ConvergenceEstimator(0.1, 0), FatalError);
+}
+
+TEST(ConvergenceEstimator, ConvergesAfterQuietVersions)
+{
+    ConvergenceEstimator estimator(0.05, 2);
+    EXPECT_FALSE(estimator.converged());
+    estimator.observe(10.0, 100.0); // 10% delta: loud
+    EXPECT_FALSE(estimator.converged());
+    estimator.observe(2.0, 100.0); // 2%: quiet (1/2)
+    EXPECT_FALSE(estimator.converged());
+    estimator.observe(1.0, 100.0); // 1%: quiet (2/2)
+    EXPECT_TRUE(estimator.converged());
+    EXPECT_EQ(estimator.observed(), 3u);
+}
+
+TEST(ConvergenceEstimator, LoudVersionResetsPatience)
+{
+    ConvergenceEstimator estimator(0.05, 2);
+    estimator.observe(1.0, 100.0);
+    estimator.observe(20.0, 100.0); // plateau ends: loud again
+    estimator.observe(1.0, 100.0);
+    EXPECT_FALSE(estimator.converged());
+    estimator.observe(1.0, 100.0);
+    EXPECT_TRUE(estimator.converged());
+}
+
+TEST(ConvergenceEstimator, ZeroMagnitudeUsesAbsoluteDelta)
+{
+    ConvergenceEstimator estimator(0.5, 1);
+    estimator.observe(0.1, 0.0);
+    EXPECT_TRUE(estimator.converged());
+}
+
+TEST(VersionDeltaRms, KnownValues)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{1.0, 2.0, 5.0};
+    const auto [delta, magnitude] = versionDeltaRms(a, b);
+    EXPECT_NEAR(delta, std::sqrt(4.0 / 3.0), 1e-12);
+    EXPECT_NEAR(magnitude, std::sqrt(30.0 / 3.0), 1e-12);
+    const std::vector<double> wrong{1.0};
+    EXPECT_THROW(versionDeltaRms(a, wrong), FatalError);
+}
+
+TEST(ConvergenceEstimator, AutoStopsConv2dWithGoodAccuracy)
+{
+    // End-to-end: stop the conv2d automaton from its own version
+    // stream, with no access to the precise output; then check (with
+    // the oracle) that the result was actually accurate.
+    const GrayImage scene = generateScene(128, 128, 21);
+    const Kernel kernel = Kernel::boxBlur(2);
+    const GrayImage precise = convolve(scene, kernel);
+
+    Conv2dConfig config;
+    config.publishCount = 64;
+    auto bundle = makeConv2dAutomaton(scene, kernel, config);
+
+    auto estimator =
+        std::make_shared<ConvergenceEstimator>(0.02, 2);
+    auto previous = std::make_shared<std::shared_ptr<const GrayImage>>();
+    bundle.output->addObserver([=](const Snapshot<GrayImage> &snap) {
+        if (*previous) {
+            const auto [delta, magnitude] =
+                versionDeltaRms((*previous)->data(),
+                                snap.value->data());
+            estimator->observe(delta, magnitude);
+        }
+        *previous = snap.value;
+    });
+
+    const RunOutcome outcome = runUntilAcceptable(
+        *bundle.automaton, [=] { return estimator->converged(); },
+        200us);
+
+    const auto snap = bundle.output->read();
+    ASSERT_TRUE(snap);
+    // Whether it auto-stopped early or completed, the output must be a
+    // good approximation of the precise result by the time the
+    // estimator called convergence.
+    EXPECT_GT(signalToNoiseDb(precise, *snap.value), 15.0);
+    (void)outcome;
+}
+
+TEST(ContractPlanner, ValidatesInput)
+{
+    EXPECT_THROW(ContractPlanner({}), FatalError);
+    EXPECT_THROW(ContractPlanner({{2.0, 1.0, false}, {1.0, 2.0, true}}),
+                 FatalError);
+}
+
+TEST(ContractPlanner, BestRespectsDeadline)
+{
+    ContractPlanner planner({{0.1, 10.0, false},
+                             {0.2, 16.0, false},
+                             {0.5, 24.0, false},
+                             {1.2, 1e9, true}});
+    EXPECT_FALSE(planner.best(0.05).has_value());
+    EXPECT_DOUBLE_EQ(planner.best(0.15)->quality, 10.0);
+    EXPECT_DOUBLE_EQ(planner.best(0.6)->quality, 24.0);
+    EXPECT_TRUE(planner.best(2.0)->precise);
+}
+
+TEST(ContractPlanner, DeadlineForQuality)
+{
+    ContractPlanner planner(
+        {{0.1, 10.0, false}, {0.5, 24.0, false}, {1.2, 1e9, true}});
+    EXPECT_DOUBLE_EQ(*planner.deadlineFor(10.0), 0.1);
+    EXPECT_DOUBLE_EQ(*planner.deadlineFor(20.0), 0.5);
+    EXPECT_DOUBLE_EQ(*planner.deadlineFor(1e9), 1.2);
+    EXPECT_DOUBLE_EQ(*planner.preciseDeadline(), 1.2);
+
+    ContractPlanner no_precise({{0.1, 10.0, false}});
+    EXPECT_FALSE(no_precise.deadlineFor(99.0).has_value());
+    EXPECT_FALSE(no_precise.preciseDeadline().has_value());
+}
+
+TEST(ContractPlanner, BuiltFromRealProfile)
+{
+    // Profile a real automaton once, then plan contracts against it.
+    const GrayImage scene = generateScene(96, 96, 22);
+    const Kernel kernel = Kernel::boxBlur(1);
+    const GrayImage precise = convolve(scene, kernel);
+
+    auto bundle = makeConv2dAutomaton(scene, kernel);
+    const auto profile = profileToCompletion<GrayImage>(
+        *bundle.automaton, *bundle.output,
+        [&](const GrayImage &img) {
+            return signalToNoiseDb(precise, img);
+        },
+        1.0);
+
+    std::vector<ContractPoint> points;
+    for (const auto &p : profile)
+        points.push_back({p.seconds, p.accuracyDb, p.final});
+    ContractPlanner planner(std::move(points));
+
+    ASSERT_TRUE(planner.preciseDeadline().has_value());
+    const auto best =
+        planner.best(*planner.preciseDeadline());
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->precise);
+}
+
+} // namespace
+} // namespace anytime

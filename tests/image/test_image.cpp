@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the image container and conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/image.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Image, ConstructionAndFill)
+{
+    GrayImage image(4, 3, 7);
+    EXPECT_EQ(image.width(), 4u);
+    EXPECT_EQ(image.height(), 3u);
+    EXPECT_EQ(image.size(), 12u);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        EXPECT_EQ(image[i], 7);
+    image.fill(9);
+    EXPECT_EQ(image.at(3, 2), 9);
+}
+
+TEST(Image, ZeroDimensionRejected)
+{
+    EXPECT_THROW(GrayImage(0, 4), FatalError);
+    EXPECT_THROW(GrayImage(4, 0), FatalError);
+}
+
+TEST(Image, RowMajorLayout)
+{
+    GrayImage image(3, 2);
+    image.at(2, 1) = 42;
+    EXPECT_EQ(image[1 * 3 + 2], 42);
+    image[0] = 5;
+    EXPECT_EQ(image.at(0, 0), 5);
+}
+
+TEST(Image, OutOfBoundsPanics)
+{
+    GrayImage image(3, 2);
+    EXPECT_THROW(image.at(3, 0), PanicError);
+    EXPECT_THROW(image.at(0, 2), PanicError);
+}
+
+TEST(Image, ClampedAtBorders)
+{
+    GrayImage image(2, 2);
+    image.at(0, 0) = 1;
+    image.at(1, 0) = 2;
+    image.at(0, 1) = 3;
+    image.at(1, 1) = 4;
+    EXPECT_EQ(image.clampedAt(-5, -5), 1);
+    EXPECT_EQ(image.clampedAt(9, -1), 2);
+    EXPECT_EQ(image.clampedAt(-1, 9), 3);
+    EXPECT_EQ(image.clampedAt(9, 9), 4);
+    EXPECT_EQ(image.clampedAt(0, 1), 3);
+}
+
+TEST(Image, EqualityIsDeep)
+{
+    GrayImage a(2, 2, 1), b(2, 2, 1);
+    EXPECT_EQ(a, b);
+    b.at(1, 1) = 2;
+    EXPECT_NE(a, b);
+}
+
+TEST(Image, FloatGrayConversionRoundTrip)
+{
+    GrayImage gray(3, 1);
+    gray[0] = 0;
+    gray[1] = 128;
+    gray[2] = 255;
+    const FloatImage f = toFloat(gray);
+    EXPECT_FLOAT_EQ(f[1], 128.f);
+    EXPECT_EQ(toGray(f), gray);
+}
+
+TEST(Image, ToGrayClampsAndRounds)
+{
+    FloatImage f(4, 1);
+    f[0] = -10.f;
+    f[1] = 300.f;
+    f[2] = 99.4f;
+    f[3] = 99.6f;
+    const GrayImage g = toGray(f);
+    EXPECT_EQ(g[0], 0);
+    EXPECT_EQ(g[1], 255);
+    EXPECT_EQ(g[2], 99);
+    EXPECT_EQ(g[3], 100);
+}
+
+TEST(RgbPixel, PacksToThreeBytes)
+{
+    static_assert(sizeof(RgbPixel) == 3);
+    RgbImage image(2, 2, RgbPixel{1, 2, 3});
+    EXPECT_EQ(image.at(1, 1).g, 2);
+}
+
+} // namespace
+} // namespace anytime

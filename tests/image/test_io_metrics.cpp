@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for PGM/PPM I/O and the accuracy metrics (SNR as the paper
+ * defines it: dB relative to the precise output, infinity when exact).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "image/generate.hpp"
+#include "image/io.hpp"
+#include "image/metrics.hpp"
+
+namespace anytime {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ImageIo, PgmRoundTrip)
+{
+    const GrayImage original = generateScene(37, 23, 1);
+    const std::string path = tempPath("anytime_test.pgm");
+    writePgm(original, path);
+    const GrayImage loaded = readPgm(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRoundTrip)
+{
+    const RgbImage original = generateColorScene(16, 9, 2);
+    const std::string path = tempPath("anytime_test.ppm");
+    writePpm(original, path);
+    const RgbImage loaded = readPpm(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, CommentsInHeaderAreSkipped)
+{
+    const std::string path = tempPath("anytime_comment.pgm");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n# a comment\n2 1\n# another\n255\n";
+        out.put(static_cast<char>(11));
+        out.put(static_cast<char>(22));
+    }
+    const GrayImage loaded = readPgm(path);
+    EXPECT_EQ(loaded.width(), 2u);
+    EXPECT_EQ(loaded[0], 11);
+    EXPECT_EQ(loaded[1], 22);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, MalformedFilesRejected)
+{
+    const std::string path = tempPath("anytime_bad.pgm");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n4 4\n255\nXY"; // truncated raster
+    }
+    EXPECT_THROW(readPgm(path), FatalError);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P6\n1 1\n255\nabc";
+    }
+    EXPECT_THROW(readPgm(path), FatalError); // wrong magic
+    EXPECT_THROW(readPgm(tempPath("anytime_missing.pgm")), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Metrics, IdenticalImagesAreInfiniteSnr)
+{
+    const GrayImage image = generateScene(16, 16, 3);
+    EXPECT_TRUE(std::isinf(signalToNoiseDb(image, image)));
+    EXPECT_GT(signalToNoiseDb(image, image), 0);
+    EXPECT_EQ(meanSquaredError(image, image), 0.0);
+    EXPECT_TRUE(std::isinf(peakSignalToNoiseDb(image, image)));
+}
+
+TEST(Metrics, KnownMse)
+{
+    GrayImage a(2, 1), b(2, 1);
+    a[0] = 10;
+    a[1] = 20;
+    b[0] = 13; // diff 3
+    b[1] = 16; // diff 4
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, b), (9.0 + 16.0) / 2.0);
+    EXPECT_DOUBLE_EQ(rootMeanSquaredError(a, b), std::sqrt(12.5));
+}
+
+TEST(Metrics, KnownSnr)
+{
+    GrayImage ref(1, 1), approx(1, 1);
+    ref[0] = 100;
+    approx[0] = 90; // signal 10000, noise 100 -> 20 dB
+    EXPECT_NEAR(signalToNoiseDb(ref, approx), 20.0, 1e-9);
+}
+
+TEST(Metrics, SnrDecreasesWithMoreNoise)
+{
+    const GrayImage ref = generateScene(32, 32, 4);
+    GrayImage light = ref, heavy = ref;
+    for (std::size_t i = 0; i < ref.size(); i += 7)
+        light[i] = static_cast<std::uint8_t>(light[i] ^ 0x04);
+    for (std::size_t i = 0; i < ref.size(); i += 2)
+        heavy[i] = static_cast<std::uint8_t>(heavy[i] ^ 0x20);
+    EXPECT_GT(signalToNoiseDb(ref, light), signalToNoiseDb(ref, heavy));
+}
+
+TEST(Metrics, DimensionMismatchRejected)
+{
+    GrayImage a(2, 2), b(3, 2);
+    EXPECT_THROW(meanSquaredError(a, b), FatalError);
+    EXPECT_THROW(signalToNoiseDb(a, b), FatalError);
+}
+
+TEST(Metrics, RgbOverloadsMatchChannelFlattening)
+{
+    RgbImage ref(1, 1, RgbPixel{100, 0, 0});
+    RgbImage approx(1, 1, RgbPixel{90, 0, 0});
+    EXPECT_NEAR(signalToNoiseDb(ref, approx), 20.0, 1e-9);
+    EXPECT_DOUBLE_EQ(meanSquaredError(ref, approx), 100.0 / 3.0);
+}
+
+TEST(Generate, Deterministic)
+{
+    EXPECT_EQ(generateScene(32, 32, 7), generateScene(32, 32, 7));
+    EXPECT_NE(generateScene(32, 32, 7), generateScene(32, 32, 8));
+    EXPECT_EQ(generateColorScene(16, 16, 7),
+              generateColorScene(16, 16, 7));
+}
+
+TEST(Generate, SceneHasSpreadHistogram)
+{
+    // histeq needs non-degenerate intensity mass.
+    const GrayImage scene = generateScene(64, 64, 9);
+    unsigned buckets[4] = {};
+    for (std::size_t i = 0; i < scene.size(); ++i)
+        ++buckets[scene[i] / 64];
+    for (unsigned count : buckets)
+        EXPECT_GT(count, scene.size() / 100)
+            << "intensity quartile nearly empty";
+}
+
+TEST(Generate, ValueNoiseInUnitRange)
+{
+    const FloatImage noise = generateValueNoise(40, 30, 11);
+    for (std::size_t i = 0; i < noise.size(); ++i) {
+        ASSERT_GE(noise[i], 0.f);
+        ASSERT_LE(noise[i], 1.f);
+    }
+}
+
+TEST(Generate, BayerMosaicPattern)
+{
+    RgbImage color(4, 4);
+    for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x)
+            color.at(x, y) = RgbPixel{10, 20, 30};
+    const GrayImage mosaic = bayerMosaic(color);
+    EXPECT_EQ(mosaic.at(0, 0), 10); // R
+    EXPECT_EQ(mosaic.at(1, 0), 20); // G
+    EXPECT_EQ(mosaic.at(0, 1), 20); // G
+    EXPECT_EQ(mosaic.at(1, 1), 30); // B
+}
+
+} // namespace
+} // namespace anytime

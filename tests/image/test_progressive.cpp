@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for progressive block-fill reconstruction: at every prefix of a
+ * tree-sampled sweep the image is completely covered, and after the
+ * full sweep every pixel holds exactly its own sampled value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/progressive.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Progressive, FirstSampleFillsWholeImage)
+{
+    TreePermutation perm = TreePermutation::twoDim(8, 8);
+    GrayImage image(8, 8, 0);
+    fillTreeBlock(image, perm, 0, std::uint8_t{42});
+    for (std::size_t i = 0; i < image.size(); ++i)
+        EXPECT_EQ(image[i], 42);
+}
+
+TEST(Progressive, FullSweepEqualsPerPixelValues)
+{
+    // After all samples, every pixel holds f(x, y) exactly: block fill
+    // refines away completely.
+    TreePermutation perm = TreePermutation::twoDim(8, 8);
+    GrayImage image(8, 8, 0);
+    const auto f = [](std::size_t x, std::size_t y) {
+        return static_cast<std::uint8_t>(31 * x + 7 * y + 1);
+    };
+    for (std::uint64_t step = 0; step < perm.size(); ++step) {
+        const auto [x, y] = treeSampleCoords(perm, step, 8);
+        fillTreeBlock(image, perm, step, f(x, y));
+    }
+    for (std::size_t y = 0; y < 8; ++y)
+        for (std::size_t x = 0; x < 8; ++x)
+            ASSERT_EQ(image.at(x, y), f(x, y)) << x << "," << y;
+}
+
+TEST(Progressive, NonPow2FullSweepEqualsPerPixelValues)
+{
+    TreePermutation perm = TreePermutation::twoDim(6, 10);
+    GrayImage image(10, 6, 0);
+    const auto f = [](std::size_t x, std::size_t y) {
+        return static_cast<std::uint8_t>(13 * x + 5 * y + 3);
+    };
+    for (std::uint64_t step = 0; step < perm.size(); ++step) {
+        const auto [x, y] = treeSampleCoords(perm, step, 10);
+        fillTreeBlock(image, perm, step, f(x, y));
+    }
+    for (std::size_t y = 0; y < 6; ++y)
+        for (std::size_t x = 0; x < 10; ++x)
+            ASSERT_EQ(image.at(x, y), f(x, y)) << x << "," << y;
+}
+
+TEST(Progressive, EveryPrefixIsFullyCovered)
+{
+    TreePermutation perm = TreePermutation::twoDim(16, 12);
+    GrayImage image(12, 16, 0); // 0 = uncovered sentinel
+    for (std::uint64_t step = 0; step < perm.size(); ++step) {
+        fillTreeBlock(image, perm, step, std::uint8_t{1});
+        if (step == 0 || step == 3 || step == 17 || step == 100) {
+            for (std::size_t i = 0; i < image.size(); ++i)
+                ASSERT_EQ(image[i], 1)
+                    << "pixel " << i << " uncovered at step " << step;
+        }
+    }
+}
+
+TEST(Progressive, IntermediateSweepApproximatesSmoothField)
+{
+    // On a smooth field, a quarter sweep should already be a decent
+    // approximation (this is the essence of the paper's Figure 16).
+    TreePermutation perm = TreePermutation::twoDim(32, 32);
+    GrayImage precise(32, 32), approx(32, 32, 0);
+    const auto f = [](std::size_t x, std::size_t y) {
+        return static_cast<std::uint8_t>(4 * x + 3 * y);
+    };
+    for (std::size_t y = 0; y < 32; ++y)
+        for (std::size_t x = 0; x < 32; ++x)
+            precise.at(x, y) = f(x, y);
+    for (std::uint64_t step = 0; step < perm.size() / 4; ++step) {
+        const auto [x, y] = treeSampleCoords(perm, step, 32);
+        fillTreeBlock(approx, perm, step, f(x, y));
+    }
+    double max_err = 0;
+    for (std::size_t i = 0; i < precise.size(); ++i)
+        max_err = std::max(max_err,
+                           std::abs(static_cast<double>(precise[i]) -
+                                    approx[i]));
+    // A quarter sweep resolves 16x16 blocks of 2x2: error bounded by
+    // one block's worth of field variation.
+    EXPECT_LE(max_err, 4.0 + 3.0 + 1.0);
+}
+
+} // namespace
+} // namespace anytime

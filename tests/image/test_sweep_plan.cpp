@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the precomputed tree-sweep plan: it must agree exactly with
+ * the on-the-fly permutation + block-extent computation it caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/progressive.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(TreeSweepPlan, MatchesPermutationCoordinates)
+{
+    const std::pair<std::size_t, std::size_t> shapes[] = {
+        {8, 8}, {16, 4}, {6, 10}, {13, 7}};
+    for (const auto &[h, w] : shapes) {
+        TreePermutation perm = TreePermutation::twoDim(h, w);
+        TreeSweepPlan plan(perm);
+        ASSERT_EQ(plan.size(), perm.size());
+        for (std::uint64_t i = 0; i < perm.size(); ++i) {
+            const auto [x, y] = treeSampleCoords(perm, i, w);
+            ASSERT_EQ(plan.x(i), x) << "ordinal " << i;
+            ASSERT_EQ(plan.y(i), y) << "ordinal " << i;
+        }
+    }
+}
+
+TEST(TreeSweepPlan, FillMatchesFillTreeBlock)
+{
+    TreePermutation perm = TreePermutation::twoDim(12, 20);
+    TreeSweepPlan plan(perm);
+    GrayImage via_plan(20, 12, 0), via_block(20, 12, 0);
+    for (std::uint64_t i = 0; i < perm.size(); ++i) {
+        const auto value = static_cast<std::uint8_t>((i * 37 + 5) & 0xff);
+        plan.fill(via_plan, i, value);
+        fillTreeBlock(via_block, perm, i, value);
+        if (i % 16 == 0) {
+            ASSERT_EQ(via_plan, via_block) << "diverged at ordinal " << i;
+        }
+    }
+    EXPECT_EQ(via_plan, via_block);
+}
+
+TEST(TreeSweepPlan, FullSweepAssignsEveryPixelItsOwnValue)
+{
+    TreePermutation perm = TreePermutation::twoDim(9, 11);
+    TreeSweepPlan plan(perm);
+    GrayImage image(11, 9, 0);
+    for (std::uint64_t i = 0; i < plan.size(); ++i) {
+        plan.fill(image, i,
+                  static_cast<std::uint8_t>(
+                      (plan.x(i) * 31 + plan.y(i) * 7 + 1) & 0xff));
+    }
+    for (std::size_t y = 0; y < 9; ++y)
+        for (std::size_t x = 0; x < 11; ++x)
+            ASSERT_EQ(image.at(x, y),
+                      static_cast<std::uint8_t>((x * 31 + y * 7 + 1) &
+                                                0xff));
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation primitives behind the tree
+ * permutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(4));
+    EXPECT_FALSE(isPow2(6));
+    EXPECT_TRUE(isPow2(std::uint64_t(1) << 63));
+    EXPECT_FALSE(isPow2((std::uint64_t(1) << 63) + 1));
+}
+
+TEST(Bits, Ilog2)
+{
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(4), 2u);
+    EXPECT_EQ(ilog2(255), 7u);
+    EXPECT_EQ(ilog2(256), 8u);
+    EXPECT_EQ(ilog2(std::uint64_t(1) << 40), 40u);
+}
+
+TEST(Bits, NextPow2)
+{
+    EXPECT_EQ(nextPow2(0), 1u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(1000), 1024u);
+}
+
+TEST(Bits, IndexBits)
+{
+    EXPECT_EQ(indexBits(1), 1u);
+    EXPECT_EQ(indexBits(2), 1u);
+    EXPECT_EQ(indexBits(3), 2u);
+    EXPECT_EQ(indexBits(4), 2u);
+    EXPECT_EQ(indexBits(5), 3u);
+    EXPECT_EQ(indexBits(256), 8u);
+    EXPECT_EQ(indexBits(257), 9u);
+}
+
+TEST(Bits, ReverseBitsKnownValues)
+{
+    // The paper's Figure 4: p: b3b2b1b0 -> b0b1b2b3 over 16 elements.
+    EXPECT_EQ(reverseBits(0b0001, 4), 0b1000u);
+    EXPECT_EQ(reverseBits(0b0010, 4), 0b0100u);
+    EXPECT_EQ(reverseBits(0b0011, 4), 0b1100u);
+    EXPECT_EQ(reverseBits(0b1000, 4), 0b0001u);
+    EXPECT_EQ(reverseBits(0, 4), 0u);
+    EXPECT_EQ(reverseBits(0b1111, 4), 0b1111u);
+}
+
+TEST(Bits, ReverseBitsInvolution)
+{
+    for (unsigned bits = 1; bits <= 12; ++bits) {
+        for (std::uint64_t v = 0; v < (std::uint64_t(1) << bits);
+             v += 7) {
+            EXPECT_EQ(reverseBits(reverseBits(v, bits), bits), v)
+                << "bits=" << bits << " v=" << v;
+        }
+    }
+}
+
+TEST(Bits, ReverseBitsDropsHighBits)
+{
+    EXPECT_EQ(reverseBits(0b110001, 4), 0b1000u);
+}
+
+TEST(Bits, ExtractEveryNth)
+{
+    // The paper's Figure 5: b5b4b3b2b1b0 deinterleaves to rows b5b3b1
+    // and cols b4b2b0.
+    const std::uint64_t v = 0b110100; // b5..b0 = 1,1,0,1,0,0
+    EXPECT_EQ(extractEveryNth(v, 1, 2, 6), 0b100u); // b5 b3 b1
+    EXPECT_EQ(extractEveryNth(v, 0, 2, 6), 0b110u); // b4 b2 b0
+}
+
+TEST(Bits, InterleaveRoundTrip)
+{
+    for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+            const std::uint64_t parts[2] = {a, b};
+            const std::uint64_t combined = interleaveBits(parts, 2, 4);
+            EXPECT_EQ(extractEveryNth(combined, 0, 2, 8), a);
+            EXPECT_EQ(extractEveryNth(combined, 1, 2, 8), b);
+        }
+    }
+}
+
+} // namespace
+} // namespace anytime

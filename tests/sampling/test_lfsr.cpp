@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the LFSR engine and the pseudo-random permutation built on
+ * it. Maximality of the tap polynomials is verified exhaustively for
+ * small widths (the bijectivity of LfsrPermutation re-verifies it
+ * indirectly for every width it uses).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sampling/lfsr.hpp"
+#include "sampling/lfsr_permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(LfsrEngine, RejectsBadWidths)
+{
+    EXPECT_THROW(LfsrEngine(1, 1), FatalError);
+    EXPECT_THROW(LfsrEngine(33, 1), FatalError);
+    EXPECT_NO_THROW(LfsrEngine(2, 1));
+    EXPECT_NO_THROW(LfsrEngine(32, 1));
+}
+
+TEST(LfsrEngine, ZeroSeedIsCoerced)
+{
+    LfsrEngine lfsr(8, 0);
+    EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(LfsrEngine, StateStaysNonZeroAndInRange)
+{
+    LfsrEngine lfsr(5, 1);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint32_t s = lfsr.step();
+        EXPECT_NE(s, 0u);
+        EXPECT_LT(s, 32u);
+    }
+}
+
+/** Exhaustive maximal-period check per width. */
+class LfsrPeriod : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrPeriod, FullPeriodVisitsEveryNonZeroState)
+{
+    const unsigned width = GetParam();
+    LfsrEngine lfsr(width, 1);
+    const std::uint64_t period = lfsr.period();
+    std::vector<bool> seen(period + 1, false);
+    for (std::uint64_t i = 0; i < period; ++i) {
+        const std::uint32_t s = lfsr.state();
+        ASSERT_NE(s, 0u);
+        ASSERT_LE(s, period);
+        ASSERT_FALSE(seen[s]) << "width " << width
+                              << " repeats state " << s << " at step "
+                              << i << " (taps not maximal)";
+        seen[s] = true;
+        lfsr.step();
+    }
+    // And the cycle closes.
+    EXPECT_EQ(lfsr.state(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriod,
+                         ::testing::Range(2u, 19u));
+
+TEST(LfsrPermutation, SmallDomains)
+{
+    LfsrPermutation one(1);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.map(0), 0u);
+
+    LfsrPermutation two(2);
+    EXPECT_EQ(two.size(), 2u);
+    EXPECT_EQ(two.map(0), 0u);
+    EXPECT_EQ(two.map(1), 1u);
+}
+
+TEST(LfsrPermutation, RejectsEmptyDomain)
+{
+    EXPECT_THROW(LfsrPermutation(0), FatalError);
+}
+
+TEST(LfsrPermutation, IndexZeroComesFirst)
+{
+    // The LFSR can never emit 0, so the permutation visits it first.
+    LfsrPermutation perm(1000, 42);
+    EXPECT_EQ(perm.map(0), 0u);
+}
+
+TEST(LfsrPermutation, SeedsRotateTheSequence)
+{
+    LfsrPermutation a(257, 1);
+    LfsrPermutation b(257, 12345);
+    bool differs = false;
+    for (std::uint64_t i = 1; i < 20 && !differs; ++i)
+        differs = (a.map(i) != b.map(i));
+    EXPECT_TRUE(differs) << "different seeds gave identical sequences";
+}
+
+TEST(LfsrPermutation, SequenceLooksScattered)
+{
+    // Pseudo-randomness sanity: among the first 64 samples of a 4096
+    // domain, consecutive samples should rarely be close in memory.
+    LfsrPermutation perm(4096, 7);
+    unsigned near = 0;
+    for (std::uint64_t i = 1; i < 64; ++i) {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(perm.map(i)) -
+            static_cast<std::int64_t>(perm.map(i - 1));
+        if (delta > -16 && delta < 16)
+            ++near;
+    }
+    EXPECT_LT(near, 8u);
+}
+
+/** Property sweep: bijectivity across domain sizes. */
+class LfsrBijectivity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LfsrBijectivity, Bijective)
+{
+    LfsrPermutation perm(GetParam(), 99);
+    std::vector<bool> seen(perm.size(), false);
+    for (std::uint64_t i = 0; i < perm.size(); ++i) {
+        const std::uint64_t p = perm.map(i);
+        ASSERT_LT(p, perm.size());
+        ASSERT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LfsrBijectivity,
+                         ::testing::Values<std::uint64_t>(
+                             1, 2, 3, 4, 5, 7, 8, 9, 100, 255, 256, 257,
+                             1000, 4095, 4096, 4097, 65536, 100000));
+
+} // namespace
+} // namespace anytime

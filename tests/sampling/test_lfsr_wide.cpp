@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Spot checks for wide LFSRs (widths 19-32), whose full periods are too
+ * long to sweep exhaustively in unit tests. A maximal LFSR never
+ * revisits its seed state before the full period, so observing the seed
+ * again within a 2^20-step prefix disproves maximality; we also verify
+ * the state stays in range and the tap table is populated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sampling/lfsr.hpp"
+
+namespace anytime {
+namespace {
+
+class WideLfsr : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WideLfsr, NoEarlyCycleAndInRange)
+{
+    const unsigned width = GetParam();
+    LfsrEngine lfsr(width, 1);
+    const std::uint32_t seed = lfsr.state();
+    const std::uint64_t limit =
+        std::min<std::uint64_t>(lfsr.period(), std::uint64_t(1) << 20);
+    const std::uint64_t bound = std::uint64_t(1) << width;
+    for (std::uint64_t i = 1; i < limit; ++i) {
+        const std::uint32_t s = lfsr.step();
+        ASSERT_NE(s, 0u) << "width " << width << " hit lock-up";
+        ASSERT_LT(static_cast<std::uint64_t>(s), bound);
+        ASSERT_FALSE(s == seed && i + 1 < lfsr.period())
+            << "width " << width << " cycled after " << i
+            << " steps (non-maximal taps)";
+    }
+}
+
+TEST_P(WideLfsr, TapsHaveTopBitSet)
+{
+    const unsigned width = GetParam();
+    const std::uint32_t taps = LfsrEngine::tapsFor(width);
+    EXPECT_NE(taps, 0u);
+    EXPECT_TRUE((taps >> (width - 1)) & 1)
+        << "taps must include the feedback term x^" << width;
+    if (width < 32)
+        EXPECT_EQ(taps >> width, 0u) << "taps beyond the register";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideLfsr,
+                         ::testing::Values(19u, 20u, 22u, 24u, 26u, 28u,
+                                           30u, 31u, 32u));
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for multi-threaded sampling partitions (paper Section IV-C1):
+ * the per-thread slices must tile the permutation sequence exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/partition.hpp"
+#include "sampling/tree_permutation.hpp"
+
+namespace anytime {
+namespace {
+
+template <typename Part>
+void
+expectExactCover(const Permutation &perm, unsigned threads)
+{
+    std::vector<unsigned> visits(perm.size(), 0);
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        Part part(perm, threads, t);
+        total += part.size();
+        for (std::uint64_t k = 0; k < part.size(); ++k) {
+            const std::uint64_t element = part.map(k);
+            ASSERT_LT(element, perm.size());
+            ++visits[element];
+        }
+    }
+    EXPECT_EQ(total, perm.size());
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        ASSERT_EQ(visits[i], 1u) << "element " << i;
+}
+
+TEST(CyclicPartition, CoversTreePermutationExactlyOnce)
+{
+    TreePermutation perm = TreePermutation::twoDim(8, 8);
+    for (unsigned threads : {1u, 2u, 3u, 4u, 7u, 64u, 100u})
+        expectExactCover<CyclicPartition>(perm, threads);
+}
+
+TEST(BlockPartition, CoversLfsrPermutationExactlyOnce)
+{
+    LfsrPermutation perm(1000, 3);
+    for (unsigned threads : {1u, 2u, 3u, 9u, 999u, 1001u})
+        expectExactCover<BlockPartition>(perm, threads);
+}
+
+TEST(CyclicPartition, OrdinalsInterleave)
+{
+    // Cyclic distribution: thread t visits ordinals t, t+T, t+2T...
+    // so each thread contributes to every resolution level early.
+    SequentialPermutation perm(12);
+    CyclicPartition part(perm, 4, 1);
+    EXPECT_EQ(part.size(), 3u);
+    EXPECT_EQ(part.ordinal(0), 1u);
+    EXPECT_EQ(part.ordinal(1), 5u);
+    EXPECT_EQ(part.ordinal(2), 9u);
+}
+
+TEST(BlockPartition, ChunksAreContiguousAndBalanced)
+{
+    SequentialPermutation perm(10);
+    BlockPartition first(perm, 3, 0);
+    BlockPartition second(perm, 3, 1);
+    BlockPartition third(perm, 3, 2);
+    EXPECT_EQ(first.size(), 4u); // 10 = 4 + 3 + 3
+    EXPECT_EQ(second.size(), 3u);
+    EXPECT_EQ(third.size(), 3u);
+    EXPECT_EQ(first.ordinal(0), 0u);
+    EXPECT_EQ(second.ordinal(0), 4u);
+    EXPECT_EQ(third.ordinal(0), 7u);
+}
+
+TEST(Partition, RejectsBadArguments)
+{
+    SequentialPermutation perm(10);
+    EXPECT_THROW(CyclicPartition(perm, 0, 0), FatalError);
+    EXPECT_THROW(CyclicPartition(perm, 2, 2), FatalError);
+    EXPECT_THROW(BlockPartition(perm, 0, 0), FatalError);
+    EXPECT_THROW(BlockPartition(perm, 3, 3), FatalError);
+}
+
+TEST(CyclicPartition, MoreThreadsThanElements)
+{
+    SequentialPermutation perm(2);
+    CyclicPartition a(perm, 5, 0);
+    CyclicPartition b(perm, 5, 1);
+    CyclicPartition c(perm, 5, 4);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit and property tests for the closed-form permutations. The key
+ * invariant for every permutation in this library is bijectivity: the
+ * paper's precise-output guarantee rests on every element being visited
+ * exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sampling/permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+namespace {
+
+/** Assert that perm.map is a bijection of [0, n). */
+void
+expectBijective(const Permutation &perm)
+{
+    const std::uint64_t n = perm.size();
+    std::vector<bool> seen(n, false);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t p = perm.map(i);
+        ASSERT_LT(p, n) << perm.name() << " out of range at " << i;
+        ASSERT_FALSE(seen[p])
+            << perm.name() << " duplicate at ordinal " << i;
+        seen[p] = true;
+    }
+}
+
+TEST(SequentialPermutation, Identity)
+{
+    SequentialPermutation perm(10);
+    EXPECT_EQ(perm.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(perm.map(i), i);
+    expectBijective(perm);
+}
+
+TEST(ReversePermutation, Descending)
+{
+    ReversePermutation perm(10);
+    EXPECT_EQ(perm.map(0), 9u);
+    EXPECT_EQ(perm.map(9), 0u);
+    expectBijective(perm);
+}
+
+TEST(StridedPermutation, CoprimeStrideIsBijective)
+{
+    StridedPermutation perm(100, 7);
+    EXPECT_EQ(perm.map(0), 0u);
+    EXPECT_EQ(perm.map(1), 7u);
+    EXPECT_EQ(perm.map(15), 5u); // 105 mod 100
+    expectBijective(perm);
+}
+
+TEST(StridedPermutation, NonCoprimeStrideIsRejected)
+{
+    EXPECT_THROW(StridedPermutation(100, 10), FatalError);
+    EXPECT_THROW(StridedPermutation(12, 0), FatalError); // stride%n == 0
+    EXPECT_THROW(StridedPermutation(0, 3), FatalError);
+}
+
+TEST(StridedPermutation, LargeDomainNoOverflow)
+{
+    // stride * i would overflow 64 bits without the 128-bit product.
+    const std::uint64_t n = (std::uint64_t(1) << 62) + 1;
+    StridedPermutation perm(n, n - 2);
+    EXPECT_LT(perm.map(n - 1), n);
+    EXPECT_LT(perm.map(n / 2), n);
+}
+
+TEST(Permutation, CloneIsIndependentAndEqual)
+{
+    StridedPermutation perm(101, 13);
+    const std::unique_ptr<Permutation> copy = perm.clone();
+    EXPECT_EQ(copy->size(), perm.size());
+    for (std::uint64_t i = 0; i < perm.size(); ++i)
+        EXPECT_EQ(copy->map(i), perm.map(i));
+}
+
+/** Property sweep: bijectivity across assorted domain sizes. */
+class ClosedFormBijectivity
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ClosedFormBijectivity, Sequential)
+{
+    expectBijective(SequentialPermutation(GetParam()));
+}
+
+TEST_P(ClosedFormBijectivity, Reverse)
+{
+    expectBijective(ReversePermutation(GetParam()));
+}
+
+TEST_P(ClosedFormBijectivity, Strided)
+{
+    const std::uint64_t n = GetParam();
+    // Pick the largest stride < n coprime with n.
+    std::uint64_t stride = 1;
+    for (std::uint64_t s = n - 1; s >= 1; --s) {
+        if (std::gcd(s, n) == 1) {
+            stride = s;
+            break;
+        }
+    }
+    expectBijective(StridedPermutation(n, stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClosedFormBijectivity,
+                         ::testing::Values<std::uint64_t>(
+                             1, 2, 3, 5, 16, 17, 64, 100, 255, 256, 257,
+                             1000, 4096));
+
+} // namespace
+} // namespace anytime

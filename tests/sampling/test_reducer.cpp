@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for input-sampling reduction: the n/i weighting of the paper's
+ * non-idempotent reductions and the precision guarantee at full sample.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/lfsr_permutation.hpp"
+#include "sampling/reducer.hpp"
+#include "support/rng.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(SampleWeight, Basics)
+{
+    EXPECT_EQ(sampleWeight(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(sampleWeight(50, 100), 2.0);
+    EXPECT_DOUBLE_EQ(sampleWeight(100, 100), 1.0);
+}
+
+TEST(SampledReducer, FullSampleIsPrecise)
+{
+    const std::vector<int> data{3, 1, 4, 1, 5, 9, 2, 6};
+    SampledReducer<long, std::plus<long>> reducer(0, data.size(),
+                                                  std::plus<long>());
+    for (int v : data)
+        reducer.consume(v);
+    EXPECT_TRUE(reducer.precise());
+    EXPECT_EQ(reducer.raw(), 31);
+    EXPECT_DOUBLE_EQ(reducer.estimate(), 31.0);
+}
+
+TEST(SampledReducer, WeightedEstimateTracksSum)
+{
+    // A uniform data set: the weighted estimate from any prefix should
+    // be near the precise sum.
+    const std::size_t n = 10000;
+    std::vector<std::uint32_t> data(n);
+    Xoshiro256 rng(7);
+    std::uint64_t precise = 0;
+    for (auto &v : data) {
+        v = static_cast<std::uint32_t>(rng.nextBelow(1000));
+        precise += v;
+    }
+
+    LfsrPermutation perm(n, 11);
+    SampledReducer<std::uint64_t, std::plus<std::uint64_t>> reducer(
+        0, n, std::plus<std::uint64_t>());
+    for (std::uint64_t i = 0; i < n / 10; ++i)
+        reducer.consume(data[perm.map(i)]);
+
+    const double estimate = reducer.estimate();
+    const double error =
+        std::abs(estimate - static_cast<double>(precise)) /
+        static_cast<double>(precise);
+    EXPECT_LT(error, 0.05) << "10% sample estimate off by "
+                           << error * 100 << "%";
+}
+
+TEST(SampledReducer, IdempotentNeedsNoWeighting)
+{
+    const std::vector<std::uint64_t> data{5, 17, 3, 9, 11};
+    const auto max_op = [](std::uint64_t a, std::uint64_t b) {
+        return std::max(a, b);
+    };
+    SampledReducer<std::uint64_t, decltype(max_op)> reducer(
+        0, data.size(), max_op, /*idempotent=*/true);
+    reducer.consume(data[0]);
+    reducer.consume(data[1]);
+    EXPECT_DOUBLE_EQ(reducer.estimate(), 17.0); // unweighted
+    for (std::size_t i = 2; i < data.size(); ++i)
+        reducer.consume(data[i]);
+    EXPECT_TRUE(reducer.precise());
+    EXPECT_DOUBLE_EQ(reducer.estimate(), 17.0);
+}
+
+TEST(SampledReducer, OverConsumePanics)
+{
+    SampledReducer<int, std::plus<int>> reducer(0, 1, std::plus<int>());
+    reducer.consume(1);
+    EXPECT_THROW(reducer.consume(2), PanicError);
+}
+
+TEST(SampledReducer, EstimateConvergesMonotonically)
+{
+    // The estimate error should trend to zero (not necessarily
+    // monotone pointwise, so compare coarse prefixes).
+    const std::size_t n = 4096;
+    std::vector<std::uint32_t> data(n);
+    Xoshiro256 rng(99);
+    double precise = 0;
+    for (auto &v : data) {
+        v = static_cast<std::uint32_t>(rng.nextBelow(256));
+        precise += v;
+    }
+    LfsrPermutation perm(n, 5);
+    SampledReducer<std::uint64_t, std::plus<std::uint64_t>> reducer(
+        0, n, std::plus<std::uint64_t>());
+
+    double err_quarter = 0, err_full = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        reducer.consume(data[perm.map(i)]);
+        if (i + 1 == n / 4)
+            err_quarter = std::abs(reducer.estimate() - precise);
+        if (i + 1 == n)
+            err_full = std::abs(reducer.estimate() - precise);
+    }
+    EXPECT_LT(err_full, 1e-9);
+    EXPECT_LT(err_full, err_quarter + 1e-9);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the deterministic RNG substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(SplitMix64, KnownSequence)
+{
+    // Reference values for seed 0 from the SplitMix64 reference
+    // implementation (Steele, Lea, Flood).
+    SplitMix64 mix(0);
+    EXPECT_EQ(mix.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(mix.next(), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(mix.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed)
+{
+    Xoshiro256 a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_differs_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        const auto vb = b.next();
+        const auto vc = c.next();
+        all_equal = all_equal && (va == vb);
+        any_differs_from_c = any_differs_from_c || (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval)
+{
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound)
+{
+    Xoshiro256 rng(2);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform)
+{
+    Xoshiro256 rng(3);
+    const std::uint64_t bound = 10;
+    std::uint64_t counts[10] = {};
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.nextBelow(bound)];
+    for (std::uint64_t count : counts) {
+        EXPECT_GT(count, trials / 10 * 0.9);
+        EXPECT_LT(count, trials / 10 * 1.1);
+    }
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases)
+{
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBernoulli(0.0));
+        EXPECT_TRUE(rng.nextBernoulli(1.0));
+    }
+}
+
+TEST(Xoshiro256, BernoulliFrequency)
+{
+    Xoshiro256 rng(5);
+    const double p = 0.25;
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBernoulli(p) ? 1 : 0;
+    const double freq = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(freq, p, 0.01);
+}
+
+TEST(Xoshiro256, GaussianMoments)
+{
+    Xoshiro256 rng(6);
+    const int trials = 50000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < trials; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / trials;
+    const double var = sum_sq / trials - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace anytime

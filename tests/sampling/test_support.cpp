@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the support substrate: error reporting and the stopwatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace anytime {
+namespace {
+
+TEST(Error, PanicCarriesFormattedMessage)
+{
+    try {
+        panic("bad index ", 42, " in ", "buffer");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &error) {
+        EXPECT_STREQ(error.what(), "panic: bad index 42 in buffer");
+    }
+}
+
+TEST(Error, FatalCarriesFormattedMessage)
+{
+    try {
+        fatal("cannot open ", "/no/such/file");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "fatal: cannot open /no/such/file");
+    }
+}
+
+TEST(Error, ConditionalFormsOnlyThrowWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "nope"));
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Error, PanicAndFatalAreDistinctTypes)
+{
+    // panic() = library bug, fatal() = user error; handlers must be
+    // able to tell them apart.
+    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime)
+{
+    Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const double t = watch.seconds();
+    EXPECT_GE(t, 0.009);
+    EXPECT_LT(t, 5.0);
+    EXPECT_GE(watch.elapsed().count(), 9'000'000);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock)
+{
+    Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    watch.reset();
+    EXPECT_LT(watch.seconds(), 0.005);
+}
+
+TEST(Stopwatch, MonotonicNonDecreasing)
+{
+    Stopwatch watch;
+    double prev = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double now = watch.seconds();
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the N-dimensional tree (bit-reverse) permutation: paper
+ * Figures 4 and 5 exactly, bijectivity over arbitrary extents, the
+ * progressive-resolution property, and block-fill geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sampling/tree_permutation.hpp"
+
+namespace anytime {
+namespace {
+
+void
+expectBijective(const Permutation &perm)
+{
+    const std::uint64_t n = perm.size();
+    std::vector<bool> seen(n, false);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t p = perm.map(i);
+        ASSERT_LT(p, n);
+        ASSERT_FALSE(seen[p]) << "duplicate at ordinal " << i;
+        seen[p] = true;
+    }
+}
+
+TEST(TreePermutation, OneDimMatchesPaperFigure4)
+{
+    // 16 elements: p is bit reversal b3b2b1b0 -> b0b1b2b3. After 2^k
+    // samples, the visited indices are the multiples of 16/2^k.
+    TreePermutation perm = TreePermutation::oneDim(16);
+    EXPECT_EQ(perm.map(0), 0u);
+    EXPECT_EQ(perm.map(1), 8u);
+    EXPECT_EQ(perm.map(2), 4u);
+    EXPECT_EQ(perm.map(3), 12u);
+    EXPECT_EQ(perm.map(4), 2u);
+    EXPECT_EQ(perm.map(5), 10u);
+    EXPECT_EQ(perm.map(6), 6u);
+    EXPECT_EQ(perm.map(7), 14u);
+    EXPECT_EQ(perm.map(8), 1u);
+    expectBijective(perm);
+}
+
+TEST(TreePermutation, TwoDimMatchesPaperFigure5)
+{
+    // 8x8: after 1 sample, a 1x1 grid; after 4, the 2x2 corners of 4x4
+    // blocks; after 16, a 4x4 grid; after 64, everything.
+    TreePermutation perm = TreePermutation::twoDim(8, 8);
+    EXPECT_EQ(perm.map(0), 0u); // (row 0, col 0)
+
+    // First 4 samples cover the 2x2 sub-sampled grid {0,4} x {0,4}.
+    std::set<std::uint64_t> first4;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        first4.insert(perm.map(i));
+    const std::set<std::uint64_t> expected4 = {
+        0 * 8 + 0, 0 * 8 + 4, 4 * 8 + 0, 4 * 8 + 4};
+    EXPECT_EQ(first4, expected4);
+
+    // First 16 samples cover the 4x4 grid {0,2,4,6} x {0,2,4,6}.
+    std::set<std::uint64_t> first16;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        first16.insert(perm.map(i));
+    std::set<std::uint64_t> expected16;
+    for (std::uint64_t r = 0; r < 8; r += 2)
+        for (std::uint64_t c = 0; c < 8; c += 2)
+            expected16.insert(r * 8 + c);
+    EXPECT_EQ(first16, expected16);
+
+    expectBijective(perm);
+}
+
+TEST(TreePermutation, SingleElement)
+{
+    TreePermutation perm = TreePermutation::oneDim(1);
+    EXPECT_EQ(perm.size(), 1u);
+    EXPECT_EQ(perm.map(0), 0u);
+}
+
+TEST(TreePermutation, RejectsEmptyAndZero)
+{
+    EXPECT_THROW(TreePermutation(std::vector<std::uint64_t>{}),
+                 FatalError);
+    EXPECT_THROW(TreePermutation({8, 0}), FatalError);
+}
+
+TEST(TreePermutation, ThreeDimBijective)
+{
+    TreePermutation perm({4, 8, 2});
+    EXPECT_EQ(perm.size(), 64u);
+    expectBijective(perm);
+}
+
+TEST(TreePermutation, LevelAfterTracksResolution)
+{
+    TreePermutation perm = TreePermutation::twoDim(16, 16);
+    EXPECT_EQ(perm.levelAfter(0), 0u);
+    EXPECT_EQ(perm.levelAfter(1), 0u);
+    EXPECT_EQ(perm.levelAfter(4), 1u);   // 2x2 resolved
+    EXPECT_EQ(perm.levelAfter(16), 2u);  // 4x4 resolved
+    EXPECT_EQ(perm.levelAfter(256), 4u); // fully resolved
+}
+
+TEST(TreePermutation, BlockExtentsShrinkToOne)
+{
+    TreePermutation perm = TreePermutation::twoDim(8, 8);
+    // Sample 0 represents the whole padded domain.
+    EXPECT_EQ(perm.blockExtents(0), (std::vector<std::uint64_t>{8, 8}));
+    // The final samples refine single pixels.
+    EXPECT_EQ(perm.blockExtents(63), (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(TreePermutation, BlockUnionCoversDomainAtEveryPrefix)
+{
+    // Progressive block fill must yield a complete image after any
+    // prefix of samples: the blocks of samples [0, s) tile the domain.
+    TreePermutation perm = TreePermutation::twoDim(8, 16);
+    const std::size_t rows = 8, cols = 16;
+    for (std::uint64_t prefix : {1ull, 3ull, 7ull, 16ull, 50ull, 128ull}) {
+        std::vector<int> covered(rows * cols, 0);
+        for (std::uint64_t i = 0; i < prefix; ++i) {
+            const std::uint64_t flat = perm.map(i);
+            const std::uint64_t r = flat / cols, c = flat % cols;
+            const auto block = perm.blockExtents(i);
+            for (std::uint64_t dr = 0; dr < block[0] && r + dr < rows;
+                 ++dr) {
+                for (std::uint64_t dc = 0;
+                     dc < block[1] && c + dc < cols; ++dc)
+                    covered[(r + dr) * cols + (c + dc)] = 1;
+            }
+        }
+        for (std::size_t i = 0; i < covered.size(); ++i)
+            ASSERT_EQ(covered[i], 1)
+                << "pixel " << i << " uncovered after " << prefix;
+    }
+}
+
+/** Property sweep: bijectivity across shapes, incl. non-powers of 2. */
+class TreeBijectivity
+    : public ::testing::TestWithParam<std::vector<std::uint64_t>>
+{
+};
+
+TEST_P(TreeBijectivity, Bijective)
+{
+    expectBijective(TreePermutation(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeBijectivity,
+    ::testing::Values(std::vector<std::uint64_t>{1},
+                      std::vector<std::uint64_t>{2},
+                      std::vector<std::uint64_t>{31},
+                      std::vector<std::uint64_t>{32},
+                      std::vector<std::uint64_t>{33},
+                      std::vector<std::uint64_t>{100},
+                      std::vector<std::uint64_t>{8, 8},
+                      std::vector<std::uint64_t>{16, 4},
+                      std::vector<std::uint64_t>{5, 7},
+                      std::vector<std::uint64_t>{12, 20},
+                      std::vector<std::uint64_t>{9, 16},
+                      std::vector<std::uint64_t>{3, 3, 3},
+                      std::vector<std::uint64_t>{4, 4, 4},
+                      std::vector<std::uint64_t>{2, 3, 5, 7}));
+
+TEST(TreePermutation, NonPow2KeepsProgressiveOrder)
+{
+    // For non-power-of-two extents the padded schedule is filtered; the
+    // first sample must still be the origin and early samples must be
+    // spread out (no two of the first four samples adjacent).
+    TreePermutation perm = TreePermutation::twoDim(6, 10);
+    EXPECT_EQ(perm.map(0), 0u);
+    std::vector<std::pair<std::int64_t, std::int64_t>> coords;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const std::uint64_t flat = perm.map(i);
+        coords.emplace_back(flat / 10, flat % 10);
+    }
+    for (std::size_t a = 0; a < coords.size(); ++a) {
+        for (std::size_t b = a + 1; b < coords.size(); ++b) {
+            const auto dist =
+                std::abs(coords[a].first - coords[b].first) +
+                std::abs(coords[a].second - coords[b].second);
+            EXPECT_GE(dist, 3) << "samples " << a << "," << b
+                               << " too close";
+        }
+    }
+}
+
+} // namespace
+} // namespace anytime
