@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_accuracy.dir/bench_energy_accuracy.cpp.o"
+  "CMakeFiles/bench_energy_accuracy.dir/bench_energy_accuracy.cpp.o.d"
+  "bench_energy_accuracy"
+  "bench_energy_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_organizations.dir/bench_fig10_organizations.cpp.o"
+  "CMakeFiles/bench_fig10_organizations.dir/bench_fig10_organizations.cpp.o.d"
+  "bench_fig10_organizations"
+  "bench_fig10_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_histeq.dir/bench_fig12_histeq.cpp.o"
+  "CMakeFiles/bench_fig12_histeq.dir/bench_fig12_histeq.cpp.o.d"
+  "bench_fig12_histeq"
+  "bench_fig12_histeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_histeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dwt53.dir/bench_fig13_dwt53.cpp.o"
+  "CMakeFiles/bench_fig13_dwt53.dir/bench_fig13_dwt53.cpp.o.d"
+  "bench_fig13_dwt53"
+  "bench_fig13_dwt53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dwt53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

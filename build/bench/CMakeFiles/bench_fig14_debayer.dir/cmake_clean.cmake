@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_debayer.dir/bench_fig14_debayer.cpp.o"
+  "CMakeFiles/bench_fig14_debayer.dir/bench_fig14_debayer.cpp.o.d"
+  "bench_fig14_debayer"
+  "bench_fig14_debayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_debayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_conv2d_outputs.dir/bench_fig16_conv2d_outputs.cpp.o"
+  "CMakeFiles/bench_fig16_conv2d_outputs.dir/bench_fig16_conv2d_outputs.cpp.o.d"
+  "bench_fig16_conv2d_outputs"
+  "bench_fig16_conv2d_outputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_conv2d_outputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

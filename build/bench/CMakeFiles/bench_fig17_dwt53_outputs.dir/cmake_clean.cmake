@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_dwt53_outputs.dir/bench_fig17_dwt53_outputs.cpp.o"
+  "CMakeFiles/bench_fig17_dwt53_outputs.dir/bench_fig17_dwt53_outputs.cpp.o.d"
+  "bench_fig17_dwt53_outputs"
+  "bench_fig17_dwt53_outputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dwt53_outputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_kmeans_outputs.dir/bench_fig18_kmeans_outputs.cpp.o"
+  "CMakeFiles/bench_fig18_kmeans_outputs.dir/bench_fig18_kmeans_outputs.cpp.o.d"
+  "bench_fig18_kmeans_outputs"
+  "bench_fig18_kmeans_outputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_kmeans_outputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_precision.dir/bench_fig19_precision.cpp.o"
+  "CMakeFiles/bench_fig19_precision.dir/bench_fig19_precision.cpp.o.d"
+  "bench_fig19_precision"
+  "bench_fig19_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

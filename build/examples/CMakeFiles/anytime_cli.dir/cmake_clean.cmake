@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_cli.dir/anytime_cli.cpp.o"
+  "CMakeFiles/anytime_cli.dir/anytime_cli.cpp.o.d"
+  "anytime_cli"
+  "anytime_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_kmeans.dir/deadline_kmeans.cpp.o"
+  "CMakeFiles/deadline_kmeans.dir/deadline_kmeans.cpp.o.d"
+  "deadline_kmeans"
+  "deadline_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hold_to_search.dir/hold_to_search.cpp.o"
+  "CMakeFiles/hold_to_search.dir/hold_to_search.cpp.o.d"
+  "hold_to_search"
+  "hold_to_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hold_to_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_blur.dir/progressive_blur.cpp.o"
+  "CMakeFiles/progressive_blur.dir/progressive_blur.cpp.o.d"
+  "progressive_blur"
+  "progressive_blur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_blur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_text_pipeline.dir/sync_text_pipeline.cpp.o"
+  "CMakeFiles/sync_text_pipeline.dir/sync_text_pipeline.cpp.o.d"
+  "sync_text_pipeline"
+  "sync_text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

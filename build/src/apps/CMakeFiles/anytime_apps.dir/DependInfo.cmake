@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/conv2d.cpp" "src/apps/CMakeFiles/anytime_apps.dir/conv2d.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/conv2d.cpp.o.d"
+  "/root/repo/src/apps/conv2d_storage.cpp" "src/apps/CMakeFiles/anytime_apps.dir/conv2d_storage.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/conv2d_storage.cpp.o.d"
+  "/root/repo/src/apps/debayer.cpp" "src/apps/CMakeFiles/anytime_apps.dir/debayer.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/debayer.cpp.o.d"
+  "/root/repo/src/apps/dwt53.cpp" "src/apps/CMakeFiles/anytime_apps.dir/dwt53.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/dwt53.cpp.o.d"
+  "/root/repo/src/apps/histeq.cpp" "src/apps/CMakeFiles/anytime_apps.dir/histeq.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/histeq.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/anytime_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/anytime_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/anytime_apps.dir/matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anytime_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/anytime_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

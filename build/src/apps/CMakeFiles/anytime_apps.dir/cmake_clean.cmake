@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_apps.dir/conv2d.cpp.o"
+  "CMakeFiles/anytime_apps.dir/conv2d.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/conv2d_storage.cpp.o"
+  "CMakeFiles/anytime_apps.dir/conv2d_storage.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/debayer.cpp.o"
+  "CMakeFiles/anytime_apps.dir/debayer.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/dwt53.cpp.o"
+  "CMakeFiles/anytime_apps.dir/dwt53.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/histeq.cpp.o"
+  "CMakeFiles/anytime_apps.dir/histeq.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/anytime_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/anytime_apps.dir/matmul.cpp.o"
+  "CMakeFiles/anytime_apps.dir/matmul.cpp.o.d"
+  "libanytime_apps.a"
+  "libanytime_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

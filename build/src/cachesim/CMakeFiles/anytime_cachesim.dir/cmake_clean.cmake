@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/anytime_cachesim.dir/cache.cpp.o.d"
+  "libanytime_cachesim.a"
+  "libanytime_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_core.dir/automaton.cpp.o"
+  "CMakeFiles/anytime_core.dir/automaton.cpp.o.d"
+  "CMakeFiles/anytime_core.dir/controller.cpp.o"
+  "CMakeFiles/anytime_core.dir/controller.cpp.o.d"
+  "libanytime_core.a"
+  "libanytime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/profiler.cpp" "src/harness/CMakeFiles/anytime_harness.dir/profiler.cpp.o" "gcc" "src/harness/CMakeFiles/anytime_harness.dir/profiler.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/anytime_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/anytime_harness.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_harness.dir/profiler.cpp.o"
+  "CMakeFiles/anytime_harness.dir/profiler.cpp.o.d"
+  "CMakeFiles/anytime_harness.dir/report.cpp.o"
+  "CMakeFiles/anytime_harness.dir/report.cpp.o.d"
+  "libanytime_harness.a"
+  "libanytime_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

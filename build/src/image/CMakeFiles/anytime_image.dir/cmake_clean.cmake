@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_image.dir/generate.cpp.o"
+  "CMakeFiles/anytime_image.dir/generate.cpp.o.d"
+  "CMakeFiles/anytime_image.dir/io.cpp.o"
+  "CMakeFiles/anytime_image.dir/io.cpp.o.d"
+  "CMakeFiles/anytime_image.dir/metrics.cpp.o"
+  "CMakeFiles/anytime_image.dir/metrics.cpp.o.d"
+  "libanytime_image.a"
+  "libanytime_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/lfsr.cpp" "src/sampling/CMakeFiles/anytime_sampling.dir/lfsr.cpp.o" "gcc" "src/sampling/CMakeFiles/anytime_sampling.dir/lfsr.cpp.o.d"
+  "/root/repo/src/sampling/lfsr_permutation.cpp" "src/sampling/CMakeFiles/anytime_sampling.dir/lfsr_permutation.cpp.o" "gcc" "src/sampling/CMakeFiles/anytime_sampling.dir/lfsr_permutation.cpp.o.d"
+  "/root/repo/src/sampling/tree_permutation.cpp" "src/sampling/CMakeFiles/anytime_sampling.dir/tree_permutation.cpp.o" "gcc" "src/sampling/CMakeFiles/anytime_sampling.dir/tree_permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_sampling.dir/lfsr.cpp.o"
+  "CMakeFiles/anytime_sampling.dir/lfsr.cpp.o.d"
+  "CMakeFiles/anytime_sampling.dir/lfsr_permutation.cpp.o"
+  "CMakeFiles/anytime_sampling.dir/lfsr_permutation.cpp.o.d"
+  "CMakeFiles/anytime_sampling.dir/tree_permutation.cpp.o"
+  "CMakeFiles/anytime_sampling.dir/tree_permutation.cpp.o.d"
+  "libanytime_sampling.a"
+  "libanytime_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanytime_sampling.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/approx/test_fixed_point.cpp" "tests/CMakeFiles/tests_approx.dir/approx/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/tests_approx.dir/approx/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/approx/test_perforation.cpp" "tests/CMakeFiles/tests_approx.dir/approx/test_perforation.cpp.o" "gcc" "tests/CMakeFiles/tests_approx.dir/approx/test_perforation.cpp.o.d"
+  "/root/repo/tests/approx/test_storage.cpp" "tests/CMakeFiles/tests_approx.dir/approx/test_storage.cpp.o" "gcc" "tests/CMakeFiles/tests_approx.dir/approx/test_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/anytime_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/anytime_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anytime_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/anytime_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

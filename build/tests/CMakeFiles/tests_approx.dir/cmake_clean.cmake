@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_approx.dir/approx/test_fixed_point.cpp.o"
+  "CMakeFiles/tests_approx.dir/approx/test_fixed_point.cpp.o.d"
+  "CMakeFiles/tests_approx.dir/approx/test_perforation.cpp.o"
+  "CMakeFiles/tests_approx.dir/approx/test_perforation.cpp.o.d"
+  "CMakeFiles/tests_approx.dir/approx/test_storage.cpp.o"
+  "CMakeFiles/tests_approx.dir/approx/test_storage.cpp.o.d"
+  "tests_approx"
+  "tests_approx.pdb"
+  "tests_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_app_edges.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_app_edges.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_app_edges.cpp.o.d"
+  "/root/repo/tests/apps/test_conv2d.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_conv2d.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_conv2d.cpp.o.d"
+  "/root/repo/tests/apps/test_conv2d_storage.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_conv2d_storage.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_conv2d_storage.cpp.o.d"
+  "/root/repo/tests/apps/test_debayer.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_debayer.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_debayer.cpp.o.d"
+  "/root/repo/tests/apps/test_dwt53.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_dwt53.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_dwt53.cpp.o.d"
+  "/root/repo/tests/apps/test_histeq.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_histeq.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_histeq.cpp.o.d"
+  "/root/repo/tests/apps/test_kmeans.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_kmeans.cpp.o.d"
+  "/root/repo/tests/apps/test_matmul.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_matmul.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/anytime_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/anytime_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anytime_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/anytime_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

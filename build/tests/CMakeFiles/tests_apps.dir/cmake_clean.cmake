@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_apps.dir/apps/test_app_edges.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_app_edges.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_conv2d.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_conv2d.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_conv2d_storage.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_conv2d_storage.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_debayer.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_debayer.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_dwt53.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_dwt53.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_histeq.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_histeq.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_kmeans.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_kmeans.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_matmul.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_matmul.cpp.o.d"
+  "tests_apps"
+  "tests_apps.pdb"
+  "tests_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cachesim.dir/cachesim/test_cache.cpp.o"
+  "CMakeFiles/tests_cachesim.dir/cachesim/test_cache.cpp.o.d"
+  "tests_cachesim"
+  "tests_cachesim.pdb"
+  "tests_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

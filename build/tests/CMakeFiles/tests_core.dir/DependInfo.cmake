@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_automaton.cpp" "tests/CMakeFiles/tests_core.dir/core/test_automaton.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_automaton.cpp.o.d"
+  "/root/repo/tests/core/test_buffer.cpp" "tests/CMakeFiles/tests_core.dir/core/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_buffer.cpp.o.d"
+  "/root/repo/tests/core/test_channel.cpp" "tests/CMakeFiles/tests_core.dir/core/test_channel.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_channel.cpp.o.d"
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/tests_core.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_failure_energy.cpp" "tests/CMakeFiles/tests_core.dir/core/test_failure_energy.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_failure_energy.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_scheduling.cpp" "tests/CMakeFiles/tests_core.dir/core/test_scheduling.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_scheduling.cpp.o.d"
+  "/root/repo/tests/core/test_source_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_source_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_source_stage.cpp.o.d"
+  "/root/repo/tests/core/test_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_stage.cpp.o.d"
+  "/root/repo/tests/core/test_staleness.cpp" "tests/CMakeFiles/tests_core.dir/core/test_staleness.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_staleness.cpp.o.d"
+  "/root/repo/tests/core/test_sync_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_sync_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_sync_stage.cpp.o.d"
+  "/root/repo/tests/core/test_transform_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_transform_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_transform_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/anytime_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/anytime_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anytime_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/anytime_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_automaton.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_automaton.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_buffer.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_buffer.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_channel.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_channel.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_failure_energy.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_failure_energy.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_scheduling.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_scheduling.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_source_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_source_stage.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_stage.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_staleness.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_staleness.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_sync_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_sync_stage.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_transform_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_transform_stage.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

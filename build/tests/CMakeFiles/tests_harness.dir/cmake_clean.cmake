@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_harness.dir/harness/test_convergence_contract.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_convergence_contract.cpp.o.d"
+  "CMakeFiles/tests_harness.dir/harness/test_profiler.cpp.o"
+  "CMakeFiles/tests_harness.dir/harness/test_profiler.cpp.o.d"
+  "tests_harness"
+  "tests_harness.pdb"
+  "tests_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

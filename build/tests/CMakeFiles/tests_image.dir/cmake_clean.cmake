@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_image.dir/image/test_image.cpp.o"
+  "CMakeFiles/tests_image.dir/image/test_image.cpp.o.d"
+  "CMakeFiles/tests_image.dir/image/test_io_metrics.cpp.o"
+  "CMakeFiles/tests_image.dir/image/test_io_metrics.cpp.o.d"
+  "CMakeFiles/tests_image.dir/image/test_progressive.cpp.o"
+  "CMakeFiles/tests_image.dir/image/test_progressive.cpp.o.d"
+  "CMakeFiles/tests_image.dir/image/test_sweep_plan.cpp.o"
+  "CMakeFiles/tests_image.dir/image/test_sweep_plan.cpp.o.d"
+  "tests_image"
+  "tests_image.pdb"
+  "tests_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling/test_bits.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_bits.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_bits.cpp.o.d"
+  "/root/repo/tests/sampling/test_lfsr.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_lfsr.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_lfsr.cpp.o.d"
+  "/root/repo/tests/sampling/test_lfsr_wide.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_lfsr_wide.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_lfsr_wide.cpp.o.d"
+  "/root/repo/tests/sampling/test_partition.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_partition.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_partition.cpp.o.d"
+  "/root/repo/tests/sampling/test_permutation.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_permutation.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_permutation.cpp.o.d"
+  "/root/repo/tests/sampling/test_reducer.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_reducer.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_reducer.cpp.o.d"
+  "/root/repo/tests/sampling/test_rng.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_rng.cpp.o.d"
+  "/root/repo/tests/sampling/test_support.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_support.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_support.cpp.o.d"
+  "/root/repo/tests/sampling/test_tree_permutation.cpp" "tests/CMakeFiles/tests_sampling.dir/sampling/test_tree_permutation.cpp.o" "gcc" "tests/CMakeFiles/tests_sampling.dir/sampling/test_tree_permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/anytime_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/anytime_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anytime_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/anytime_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anytime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sampling.dir/sampling/test_bits.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_bits.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_lfsr.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_lfsr.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_lfsr_wide.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_lfsr_wide.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_partition.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_partition.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_permutation.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_permutation.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_reducer.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_reducer.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_rng.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_rng.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_support.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_support.cpp.o.d"
+  "CMakeFiles/tests_sampling.dir/sampling/test_tree_permutation.cpp.o"
+  "CMakeFiles/tests_sampling.dir/sampling/test_tree_permutation.cpp.o.d"
+  "tests_sampling"
+  "tests_sampling.pdb"
+  "tests_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_sampling[1]_include.cmake")
+include("/root/repo/build/tests/tests_approx[1]_include.cmake")
+include("/root/repo/build/tests/tests_image[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_apps[1]_include.cmake")
+include("/root/repo/build/tests/tests_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/tests_harness[1]_include.cmake")
