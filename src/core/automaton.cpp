@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "core/worker_pool.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -89,49 +90,98 @@ Automaton::validate() const
     }
 }
 
+unsigned
+Automaton::totalWorkers() const
+{
+    unsigned total = 0;
+    for (const auto &placement : placements)
+        total += placement.workers;
+    return total;
+}
+
 void
-Automaton::start()
+Automaton::setDoneCallback(std::function<void()> callback)
+{
+    fatalIf(startedFlag, "setDoneCallback after start()");
+    doneCallback = std::move(callback);
+}
+
+void
+Automaton::beginRun()
 {
     fatalIf(startedFlag, "automaton already started");
     fatalIf(placements.empty(), "automaton has no stages");
     validate();
     startedFlag = true;
-
-    unsigned total_workers = 0;
-    for (const auto &placement : placements)
-        total_workers += placement.workers;
     {
         std::lock_guard lock(doneMutex);
-        activeWorkers = total_workers;
+        activeWorkers = totalWorkers();
     }
+}
 
+void
+Automaton::workerMain(Stage *stage, unsigned worker, unsigned count)
+{
+    StageContext ctx(stopSource.get_token(), gate, stage->stats(), worker,
+                     count);
+    try {
+        stage->run(ctx);
+    } catch (const std::exception &error) {
+        // A failing stage must not take the process down: record the
+        // error, stop the pipeline, and let the buffers keep their
+        // last valid versions.
+        {
+            std::lock_guard lock(doneMutex);
+            failureMessages.push_back(std::string("stage '") +
+                                      stage->name() + "': " + error.what());
+        }
+        stopSource.request_stop();
+        gate.resume();
+    }
+    // The decrement/notify is the last touch of this automaton: once
+    // activeWorkers hits zero a thread in waitUntilDone() may return
+    // and destroy us, so notify under the lock and run the (copied)
+    // done callback without dereferencing `this` again.
+    std::function<void()> on_done;
+    {
+        std::lock_guard lock(doneMutex);
+        if (--activeWorkers == 0)
+            on_done = doneCallback;
+        doneCv.notify_all();
+    }
+    if (on_done)
+        on_done();
+}
+
+void
+Automaton::start()
+{
+    beginRun();
     for (auto &placement : placements) {
         for (unsigned worker = 0; worker < placement.workers; ++worker) {
             Stage *stage = placement.stage.get();
             const unsigned count = placement.workers;
             threads.emplace_back([this, stage, worker, count] {
-                StageContext ctx(stopSource.get_token(), gate,
-                                 stage->stats(), worker, count);
-                try {
-                    stage->run(ctx);
-                } catch (const std::exception &error) {
-                    // A failing stage must not take the process down:
-                    // record the error, stop the pipeline, and let the
-                    // buffers keep their last valid versions.
-                    {
-                        std::lock_guard lock(doneMutex);
-                        failureMessages.push_back(
-                            std::string("stage '") + stage->name() +
-                            "': " + error.what());
-                    }
-                    stopSource.request_stop();
-                    gate.resume();
-                }
-                {
-                    std::lock_guard lock(doneMutex);
-                    --activeWorkers;
-                }
-                doneCv.notify_all();
+                workerMain(stage, worker, count);
+            });
+        }
+    }
+}
+
+void
+Automaton::start(WorkerPool &pool)
+{
+    fatalIf(totalWorkers() > pool.size(), "automaton needs ",
+            totalWorkers(), " workers but the pool only has ",
+            pool.size());
+    beginRun();
+    borrowedWorkers = true;
+    for (auto &placement : placements) {
+        for (unsigned worker = 0; worker < placement.workers; ++worker) {
+            Stage *stage = placement.stage.get();
+            const unsigned count = placement.workers;
+            pool.submit([this, stage, worker, count] {
+                workerMain(stage, worker, count);
             });
         }
     }
@@ -174,6 +224,11 @@ Automaton::shutdown()
     if (!startedFlag)
         return;
     stop();
+    // Borrowed pool workers cannot be joined; wait for each to pass its
+    // final decrement instead (equivalent to joining for our purposes —
+    // workerMain touches nothing of this automaton afterwards).
+    if (borrowedWorkers)
+        waitUntilDone();
     for (auto &thread : threads) {
         if (thread.joinable())
             thread.join();

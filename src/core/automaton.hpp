@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -33,6 +34,8 @@
 #include "core/stage.hpp"
 
 namespace anytime {
+
+class WorkerPool;
 
 /** Worker-thread allocation for one stage (pipeline scheduling knob). */
 struct StagePlacement
@@ -79,7 +82,35 @@ class Automaton
     /** Validate the graph and launch all stage worker threads. */
     void start();
 
-    /** Request cooperative stop; returns immediately. */
+    /**
+     * Validate the graph and run every stage worker as a task on
+     * @p pool instead of spawning dedicated threads. The pool must have
+     * enough idle workers for the whole gang (see totalWorkers());
+     * otherwise queued stage workers never start and upstream stages
+     * can stall forever. The pool must outlive this automaton's
+     * shutdown().
+     */
+    void start(WorkerPool &pool);
+
+    /** Sum of the per-stage worker counts (the gang size start needs). */
+    unsigned totalWorkers() const;
+
+    /**
+     * Register a callback fired exactly once, by the last worker to
+     * finish, after all workers have decremented out (i.e., when
+     * waitUntilDone() would return). Must be set before start(); the
+     * callback must not touch this automaton (the owner may already be
+     * inside waitUntilDone() and about to destroy it) — it is meant to
+     * post a completion event to an external scheduler.
+     */
+    void setDoneCallback(std::function<void()> callback);
+
+    /**
+     * Request cooperative stop; returns immediately. Safe to call on a
+     * paused automaton: the pause gate is released so frozen workers
+     * wake, observe the stop, and exit — waitUntilDone()/shutdown()
+     * then join cleanly (no resume() required, no deadlock).
+     */
     void stop();
 
     /** Freeze all stages at their next checkpoint. */
@@ -130,12 +161,20 @@ class Automaton
     /** Throw FatalError if the graph violates the model invariants. */
     void validate() const;
 
+    /** Common start(): validate, flip startedFlag, arm activeWorkers. */
+    void beginRun();
+
+    /** Body shared by owned threads and borrowed pool workers. */
+    void workerMain(Stage *stage, unsigned worker, unsigned count);
+
     std::vector<std::shared_ptr<BufferBase>> buffers;
     std::vector<StagePlacement> placements;
     std::vector<std::jthread> threads;
     std::stop_source stopSource;
     PauseGate gate;
     bool startedFlag = false;
+    bool borrowedWorkers = false;
+    std::function<void()> doneCallback;
 
     mutable std::mutex doneMutex;
     std::condition_variable doneCv;

@@ -23,13 +23,27 @@ runUntilAcceptable(Automaton &automaton,
 {
     Stopwatch watch;
     automaton.start();
-    for (;;) {
-        if (automaton.waitUntilDone(poll))
-            break;
-        if (acceptable()) {
-            automaton.stop();
-            break;
+    try {
+        for (;;) {
+            // Evaluate the predicate before sleeping so a condition
+            // that is already satisfied (even before the first output)
+            // stops the run after at most one poll interval has been
+            // spent computing, not after it.
+            if (acceptable()) {
+                automaton.stop();
+                break;
+            }
+            // waitUntilDone wakes on completion, so an automaton that
+            // finishes between polls does not wait out the interval.
+            if (automaton.waitUntilDone(poll))
+                break;
         }
+    } catch (...) {
+        // A throwing predicate must not leak a running automaton: stop
+        // and join, then let the caller see the exception. The buffers
+        // keep their last valid versions (anytime guarantee).
+        automaton.shutdown();
+        throw;
     }
     automaton.shutdown();
     return RunOutcome{automaton.complete(), watch.seconds()};

@@ -1,0 +1,95 @@
+#include "core/worker_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+WorkerPool::WorkerPool(unsigned thread_count)
+{
+    fatalIf(thread_count == 0, "WorkerPool: zero threads");
+    threads.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i)
+        threads.emplace_back(
+            [this](std::stop_token stop) { workerLoop(std::move(stop)); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown();
+}
+
+void
+WorkerPool::submit(Task task)
+{
+    fatalIf(task == nullptr, "WorkerPool::submit: null task");
+    {
+        std::lock_guard lock(mutex);
+        fatalIf(stopped, "WorkerPool::submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+unsigned
+WorkerPool::idle() const
+{
+    std::lock_guard lock(mutex);
+    return static_cast<unsigned>(threads.size()) - busyCount;
+}
+
+std::size_t
+WorkerPool::queued() const
+{
+    std::lock_guard lock(mutex);
+    return queue.size();
+}
+
+std::uint64_t
+WorkerPool::tasksCompleted() const
+{
+    std::lock_guard lock(mutex);
+    return completedCount;
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard lock(mutex);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    for (auto &thread : threads)
+        thread.request_stop();
+    workAvailable.notify_all();
+    for (auto &thread : threads) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+void
+WorkerPool::workerLoop(std::stop_token stop)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lock(mutex);
+            workAvailable.wait(lock, stop, [&] { return !queue.empty(); });
+            if (queue.empty())
+                return; // stop requested and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++busyCount;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex);
+            --busyCount;
+            ++completedCount;
+        }
+    }
+}
+
+} // namespace anytime

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reusable worker-thread pool for automaton execution.
+ *
+ * Automaton::start() historically spawned fresh jthreads for every run;
+ * a serving system multiplexing many short automaton runs cannot afford
+ * per-request thread creation. WorkerPool owns a fixed set of long-lived
+ * threads and executes submitted tasks to completion; an automaton
+ * started with Automaton::start(WorkerPool &) runs every stage worker as
+ * one pool task instead of spawning threads.
+ *
+ * Tasks may be long-running and may block on each other (pipeline
+ * stages wait for upstream publishes), so a group of mutually dependent
+ * tasks must only be submitted when the pool has enough idle workers to
+ * run the whole group concurrently — otherwise the queued members never
+ * start and the running members never finish. The serving runtime
+ * enforces this by dispatching an automaton only when its full worker
+ * gang fits (see service/server.cpp); direct users of submit() must
+ * uphold the same rule.
+ */
+
+#ifndef ANYTIME_CORE_WORKER_POOL_HPP
+#define ANYTIME_CORE_WORKER_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anytime {
+
+/** Fixed-size pool of recyclable worker threads. */
+class WorkerPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads Number of worker threads (>= 1). */
+    explicit WorkerPool(unsigned threads);
+
+    /** Drains queued tasks, waits for running ones, joins all threads. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Enqueue @p task for execution on the next free worker. Tasks run
+     * to completion; the pool never interrupts them.
+     */
+    void submit(Task task);
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(threads.size()); }
+
+    /** Workers currently not executing a task. */
+    unsigned idle() const;
+
+    /** Tasks submitted but not yet started. */
+    std::size_t queued() const;
+
+    /** Tasks that have run to completion (recycling evidence). */
+    std::uint64_t tasksCompleted() const;
+
+    /**
+     * Stop accepting tasks, run everything already queued, and join all
+     * workers (idempotent; also called by the destructor). Queued tasks
+     * are executed, not dropped, so that partially started task groups
+     * can still make progress and finish.
+     */
+    void shutdown();
+
+  private:
+    void workerLoop(std::stop_token stop);
+
+    mutable std::mutex mutex;
+    std::condition_variable_any workAvailable;
+    std::deque<Task> queue;
+    std::vector<std::jthread> threads;
+    unsigned busyCount = 0;
+    std::uint64_t completedCount = 0;
+    bool stopped = false;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_WORKER_POOL_HPP

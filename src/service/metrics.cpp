@@ -1,0 +1,123 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+const char *
+serviceStatusName(ServiceStatus status)
+{
+    switch (status) {
+      case ServiceStatus::preciseCompleted:
+        return "precise";
+      case ServiceStatus::deadlineApprox:
+        return "deadline-approx";
+      case ServiceStatus::qualityStopped:
+        return "quality-stop";
+      case ServiceStatus::shedQueueFull:
+        return "shed-queue-full";
+      case ServiceStatus::shedPredictedMiss:
+        return "shed-predicted-miss";
+      case ServiceStatus::expired:
+        return "expired";
+      case ServiceStatus::failed:
+        return "failed";
+      case ServiceStatus::cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+void
+ServiceMetrics::record(const ServiceResponse &response)
+{
+    ++totalCount;
+    if (response.deadlineMet)
+        ++deadlineHits;
+    switch (response.status) {
+      case ServiceStatus::preciseCompleted:
+        ++preciseCount;
+        [[fallthrough]];
+      case ServiceStatus::deadlineApprox:
+      case ServiceStatus::qualityStopped:
+        ++servedCount;
+        servedLatencies.push_back(response.totalSeconds);
+        if (!std::isnan(response.quality)) {
+            qualitySum += response.quality;
+            ++qualitySamples;
+        }
+        break;
+      case ServiceStatus::shedQueueFull:
+      case ServiceStatus::shedPredictedMiss:
+        ++shedCount;
+        break;
+      case ServiceStatus::expired:
+        ++expiredCount;
+        break;
+      case ServiceStatus::failed:
+        ++failedCount;
+        break;
+      case ServiceStatus::cancelled:
+        break;
+    }
+}
+
+double
+ServiceMetrics::hitRate() const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(deadlineHits) /
+           static_cast<double>(totalCount);
+}
+
+double
+ServiceMetrics::latencyPercentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0, "latencyPercentile: p out of range: ",
+            p);
+    if (servedLatencies.empty())
+        return 0.0;
+    std::vector<double> sorted = servedLatencies;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank percentile: the smallest value with at least p% of
+    // observations at or below it.
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t index =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+double
+ServiceMetrics::meanQuality() const
+{
+    if (qualitySamples == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return qualitySum / static_cast<double>(qualitySamples);
+}
+
+SeriesTable
+ServiceMetrics::table(const std::string &title) const
+{
+    SeriesTable result;
+    result.title = title;
+    result.columns = {"requests", "served",   "precise",  "shed",
+                      "expired",  "failed",   "hit_rate", "p50_ms",
+                      "p95_ms",   "p99_ms",   "mean_quality"};
+    result.rows.push_back(
+        {std::to_string(totalCount), std::to_string(servedCount),
+         std::to_string(preciseCount), std::to_string(shedCount),
+         std::to_string(expiredCount), std::to_string(failedCount),
+         formatDouble(hitRate(), 3),
+         formatDouble(latencyPercentile(50) * 1e3, 2),
+         formatDouble(latencyPercentile(95) * 1e3, 2),
+         formatDouble(latencyPercentile(99) * 1e3, 2),
+         formatDouble(meanQuality(), 3)});
+    return result;
+}
+
+} // namespace anytime

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Aggregate service metrics: latency percentiles, deadline-hit rate,
+ * shed/failure accounting, and mean quality at deadline.
+ *
+ * The server records every response; snapshots are exported through the
+ * same SeriesTable machinery the figure benches use, so service-level
+ * results print (and CSV-dump) like every other experiment in the repo.
+ */
+
+#ifndef ANYTIME_SERVICE_METRICS_HPP
+#define ANYTIME_SERVICE_METRICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "service/request.hpp"
+
+namespace anytime {
+
+/** Accumulates per-response observations; copyable snapshot type. */
+class ServiceMetrics
+{
+  public:
+    /** Fold one response into the aggregates. */
+    void record(const ServiceResponse &response);
+
+    /** Requests responded to (served + shed + expired + failed). */
+    std::size_t total() const { return totalCount; }
+
+    /** Requests that were dispatched and ran. */
+    std::size_t served() const { return servedCount; }
+
+    /** Requests shed by admission control (both shed statuses). */
+    std::size_t shed() const { return shedCount; }
+
+    /** Requests whose deadline passed before dispatch. */
+    std::size_t expired() const { return expiredCount; }
+
+    /** Requests whose pipeline failed. */
+    std::size_t failed() const { return failedCount; }
+
+    /** Served requests that ran to the precise output. */
+    std::size_t precise() const { return preciseCount; }
+
+    /** Fraction of all requests that met their deadline with output. */
+    double hitRate() const;
+
+    /**
+     * Latency percentile in seconds over *served* requests
+     * (submission to response). @p p in [0, 100].
+     */
+    double latencyPercentile(double p) const;
+
+    /** Mean progress-probe quality over served requests with a probe. */
+    double meanQuality() const;
+
+    /** Printable summary (harness report format). */
+    SeriesTable table(const std::string &title) const;
+
+  private:
+    std::size_t totalCount = 0;
+    std::size_t servedCount = 0;
+    std::size_t shedCount = 0;
+    std::size_t expiredCount = 0;
+    std::size_t failedCount = 0;
+    std::size_t preciseCount = 0;
+    std::size_t deadlineHits = 0;
+    double qualitySum = 0.0;
+    std::size_t qualitySamples = 0;
+    std::vector<double> servedLatencies;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SERVICE_METRICS_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Request/response model of the anytime serving runtime.
+ *
+ * A request is a (pipeline factory, deadline, min quality) tuple. The
+ * factory is invoked at dispatch time on the scheduler thread and
+ * returns a PreparedPipeline: the automaton to run plus optional
+ * progress/version probes. Output values stay typed on the client side:
+ * the factory closes over the application's output buffer (e.g. the
+ * bundle returned by makeConv2dAutomaton), so the service never needs
+ * to know the output type — it only manages execution, deadlines, and
+ * quality-of-result metadata.
+ *
+ * The anytime contract is what makes deadline serving possible at all:
+ * because every automaton holds a valid approximate output at every
+ * moment, the server can answer *any* request at its deadline with
+ * whatever the pipeline has published, and slack time buys accuracy
+ * instead of being the difference between an answer and a timeout.
+ */
+
+#ifndef ANYTIME_SERVICE_REQUEST_HPP
+#define ANYTIME_SERVICE_REQUEST_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+
+namespace anytime {
+
+/** An automaton instantiated for one request, plus its QoR probes. */
+struct PreparedPipeline
+{
+    /** The pipeline to execute (not yet started). */
+    std::unique_ptr<Automaton> automaton;
+
+    /**
+     * Optional progress/quality probe in [0, 1]: e.g. the fraction of
+     * the output sweep published. Sampled by the scheduler to drive
+     * min-quality early stopping and reported in the response. Must be
+     * cheap and thread-safe against the running pipeline (reading a
+     * VersionedBuffer snapshot is both).
+     */
+    std::function<double()> progress;
+
+    /**
+     * Optional published-version counter for the application output.
+     * When absent, the server falls back to the maximum version over
+     * all of the automaton's buffers.
+     */
+    std::function<std::uint64_t()> versionCount;
+};
+
+/** One unit of service work. */
+struct ServiceRequest
+{
+    /** Label for diagnostics and metrics breakdowns. */
+    std::string name;
+
+    /** Builds the pipeline; called once, at dispatch time. */
+    std::function<PreparedPipeline()> factory;
+
+    /** Response-by deadline, relative to submission time. */
+    std::chrono::nanoseconds deadline{std::chrono::seconds(1)};
+
+    /**
+     * Minimum acceptable quality in progress units [0, 1]. Zero means
+     * "run until the deadline (or precise)". When positive and the
+     * server has a backlog, the request is stopped as soon as its
+     * progress probe reaches this value, freeing workers for queued
+     * requests (graceful degradation to the client's stated floor).
+     */
+    double minQuality = 0.0;
+};
+
+/** Terminal disposition of a request. */
+enum class ServiceStatus
+{
+    /** Ran to the precise output before the deadline. */
+    preciseCompleted,
+    /** Stopped at the deadline; response carries the best snapshot. */
+    deadlineApprox,
+    /** Stopped early at minQuality to free capacity for the backlog. */
+    qualityStopped,
+    /** Shed at admission: queue at capacity. */
+    shedQueueFull,
+    /** Shed at admission: predicted to miss its deadline in queue. */
+    shedPredictedMiss,
+    /** Deadline passed before dispatch (e.g. a zero deadline). */
+    expired,
+    /** A pipeline stage threw; see ServiceResponse::failures. */
+    failed,
+    /** Server shut down before the request finished. */
+    cancelled,
+};
+
+/** True if the request actually executed (was dispatched and ran). */
+constexpr bool
+servedStatus(ServiceStatus status)
+{
+    return status == ServiceStatus::preciseCompleted ||
+           status == ServiceStatus::deadlineApprox ||
+           status == ServiceStatus::qualityStopped;
+}
+
+/** Human-readable status name. */
+const char *serviceStatusName(ServiceStatus status);
+
+/** What the client gets back: QoR metadata for the snapshot it holds. */
+struct ServiceResponse
+{
+    ServiceStatus status = ServiceStatus::cancelled;
+    /** True iff every stage published its precise output. */
+    bool reachedPrecise = false;
+    /** Output versions published by deadline (0 = empty-quality). */
+    std::uint64_t versionsPublished = 0;
+    /** Last progress-probe sample in [0, 1]; NaN if no probe. */
+    double quality = std::numeric_limits<double>::quiet_NaN();
+    /** Seconds from submission to dispatch (queueing delay). */
+    double queueSeconds = 0.0;
+    /** Seconds the pipeline actually ran. */
+    double execSeconds = 0.0;
+    /** Seconds from submission to response. */
+    double totalSeconds = 0.0;
+    /**
+     * True iff the client got a usable output by its deadline: the
+     * request was served and at least one version was published. This
+     * is the SLO the aggregate deadline-hit rate is computed from.
+     */
+    bool deadlineMet = false;
+    /** Stage failure messages when status == failed. */
+    std::vector<std::string> failures;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SERVICE_REQUEST_HPP

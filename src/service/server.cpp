@@ -1,0 +1,470 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace anytime {
+
+namespace {
+
+double
+secondsBetween(Stopwatch::Clock::time_point from,
+               Stopwatch::Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+/** Fallback version probe: most-published buffer in the automaton. */
+std::uint64_t
+maxBufferVersion(const Automaton &automaton)
+{
+    std::uint64_t best = 0;
+    for (const auto &buffer : automaton.allBuffers())
+        best = std::max(best, buffer->version());
+    return best;
+}
+
+} // namespace
+
+AnytimeServer::AnytimeServer(ServerConfig config)
+    : configuration(config), workers(config.workers)
+{
+    fatalIf(configuration.maxQueueDepth == 0,
+            "AnytimeServer: zero queue depth admits nothing");
+    builder = std::jthread(
+        [this](std::stop_token stop) { builderLoop(std::move(stop)); });
+    scheduler = std::jthread(
+        [this](std::stop_token stop) { schedulerLoop(std::move(stop)); });
+}
+
+AnytimeServer::~AnytimeServer()
+{
+    {
+        std::lock_guard lock(mutex);
+        stopping = true;
+    }
+    scheduler.request_stop();
+    wake.notify_all();
+    if (scheduler.joinable())
+        scheduler.join();
+    // The builder may still be inside a factory; its result is simply
+    // discarded (the automaton was never started, so destruction is
+    // safe). Join before members are torn down.
+    builder.request_stop();
+    buildCv.notify_all();
+    if (builder.joinable())
+        builder.join();
+    workers.shutdown();
+}
+
+void
+AnytimeServer::builderLoop(std::stop_token stop)
+{
+    std::unique_lock lock(mutex);
+    for (;;) {
+        buildCv.wait(lock, stop, [&] { return buildJob.has_value(); });
+        if (stop.stop_requested())
+            return;
+        BuildJob job = std::move(*buildJob);
+        buildJob.reset();
+
+        lock.unlock();
+        BuildResult result;
+        result.id = job.id;
+        const auto build_begin = Clock::now();
+        try {
+            result.pipeline = job.factory();
+            if (!result.pipeline.automaton)
+                result.error = "pipeline factory returned no automaton";
+        } catch (const std::exception &exception) {
+            result.error = exception.what();
+        }
+        result.seconds = secondsBetween(build_begin, Clock::now());
+        lock.lock();
+
+        buildResults.push_back(std::move(result));
+        wake.notify_all();
+    }
+}
+
+std::future<ServiceResponse>
+AnytimeServer::submit(ServiceRequest request)
+{
+    fatalIf(!request.factory, "submit: request '", request.name,
+            "' has no pipeline factory");
+    fatalIf(request.minQuality < 0.0 || request.minQuality > 1.0,
+            "submit: minQuality out of [0, 1]: ", request.minQuality);
+
+    std::promise<ServiceResponse> promise;
+    std::future<ServiceResponse> future = promise.get_future();
+    const auto now = Clock::now();
+    const auto deadline = now + request.deadline;
+
+    std::lock_guard lock(mutex);
+    if (stopping) {
+        respondImmediately(promise, ServiceStatus::cancelled, now);
+        return future;
+    }
+    // A deadline at or before "now" can never be met by dispatching:
+    // answer immediately (empty quality) instead of queueing a request
+    // that would only ever expire. This is the zero-deadline guarantee.
+    if (request.deadline <= std::chrono::nanoseconds::zero()) {
+        respondImmediately(promise, ServiceStatus::expired, now);
+        return future;
+    }
+    if (const auto shed = admissionVerdict(now, deadline)) {
+        respondImmediately(promise, *shed, now);
+        return future;
+    }
+
+    PendingEntry entry;
+    entry.id = nextId++;
+    entry.request = std::move(request);
+    entry.promise = std::move(promise);
+    entry.submitted = now;
+    entry.deadline = deadline;
+    pending.emplace(deadline, std::move(entry));
+    pendingDirty = true;
+    wake.notify_all();
+    return future;
+}
+
+std::optional<ServiceStatus>
+AnytimeServer::admissionVerdict(Clock::time_point now,
+                                Clock::time_point deadline) const
+{
+    if (pending.size() >= configuration.maxQueueDepth)
+        return ServiceStatus::shedQueueFull;
+    if (!configuration.predictiveShedding)
+        return std::nullopt;
+    // EDF position: everything running plus every queued request with
+    // an earlier-or-equal deadline runs before this one. Queued entries
+    // that still lack a pipeline also occupy the single builder first.
+    std::size_t ahead = running.size();
+    std::size_t unbuilt_ahead = 0;
+    for (const auto &[queued_deadline, entry] : pending) {
+        if (queued_deadline > deadline)
+            break; // multimap is deadline-ordered
+        ++ahead;
+        if (!entry.pipeline.automaton)
+            ++unbuilt_ahead;
+    }
+    double predicted_wait = 0.0;
+    if (ewmaValid) {
+        // Predicted queueing delay from the EWMA service model:
+        // requests drain in "lanes" of gang-sized worker groups.
+        const double gang = std::max(1.0, ewmaGang);
+        const double lanes = std::max(
+            1.0, std::floor(static_cast<double>(workers.size()) / gang));
+        predicted_wait =
+            ewmaExecSeconds * (static_cast<double>(ahead) / lanes);
+    }
+    if (ewmaBuildValid) {
+        // Builds serialize on the one builder thread, so dispatch can
+        // be build-bound: this request waits for every unbuilt entry
+        // ahead of it, plus its own build.
+        const double build_wait =
+            ewmaBuildSeconds * static_cast<double>(unbuilt_ahead + 1);
+        predicted_wait = std::max(predicted_wait, build_wait);
+    }
+    if (predicted_wait <= 0.0)
+        return std::nullopt;
+    const auto wait = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(predicted_wait));
+    if (now + wait >= deadline)
+        return ServiceStatus::shedPredictedMiss;
+    return std::nullopt;
+}
+
+void
+AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
+                                  ServiceStatus status,
+                                  Clock::time_point submitted,
+                                  std::vector<std::string> failures)
+{
+    ServiceResponse response;
+    response.status = status;
+    response.totalSeconds = secondsBetween(submitted, Clock::now());
+    response.failures = std::move(failures);
+    metrics.record(response);
+    promise.set_value(std::move(response));
+    idleCv.notify_all();
+}
+
+void
+AnytimeServer::stopOverdueLocked(Clock::time_point now)
+{
+    for (auto &[id, entry] : running) {
+        if (entry.stopReason == StopReason::none &&
+            entry.deadline <= now) {
+            entry.stopReason = StopReason::deadline;
+            entry.pipeline.automaton->stop();
+        }
+    }
+}
+
+void
+AnytimeServer::integrateBuildResultsLocked()
+{
+    while (!buildResults.empty()) {
+        BuildResult result = std::move(buildResults.back());
+        buildResults.pop_back();
+        if (buildInFlight == result.id)
+            buildInFlight = 0;
+        const double alpha = ewmaBuildValid ? 0.2 : 1.0;
+        ewmaBuildSeconds =
+            (1.0 - alpha) * ewmaBuildSeconds + alpha * result.seconds;
+        ewmaBuildValid = true;
+        const auto it = std::find_if(
+            pending.begin(), pending.end(),
+            [&](const auto &kv) { return kv.second.id == result.id; });
+        if (it == pending.end())
+            continue; // expired or cancelled while being built
+        if (!result.error.empty()) {
+            respondImmediately(it->second.promise, ServiceStatus::failed,
+                               it->second.submitted,
+                               {std::move(result.error)});
+            pending.erase(it);
+        } else {
+            it->second.pipeline = std::move(result.pipeline);
+        }
+    }
+}
+
+void
+AnytimeServer::harvest(RunningEntry entry)
+{
+    Automaton &automaton = *entry.pipeline.automaton;
+    automaton.shutdown(); // workers already drained; joins bookkeeping
+
+    const auto now = Clock::now();
+    ServiceResponse response;
+    response.queueSeconds =
+        secondsBetween(entry.submitted, entry.dispatched);
+    response.execSeconds = secondsBetween(entry.dispatched, now);
+    response.totalSeconds = secondsBetween(entry.submitted, now);
+    response.reachedPrecise = automaton.complete();
+    response.versionsPublished = entry.pipeline.versionCount
+                                     ? entry.pipeline.versionCount()
+                                     : maxBufferVersion(automaton);
+    if (entry.pipeline.progress)
+        response.quality = entry.pipeline.progress();
+    // A precise result is by definition full quality, even when the
+    // progress probe is a conservative proxy that undercounts.
+    if (response.reachedPrecise)
+        response.quality = 1.0;
+
+    if (automaton.failed()) {
+        response.status = ServiceStatus::failed;
+        response.failures = automaton.failures();
+    } else if (response.reachedPrecise) {
+        response.status = ServiceStatus::preciseCompleted;
+    } else if (entry.stopReason == StopReason::quality) {
+        response.status = ServiceStatus::qualityStopped;
+    } else if (entry.stopReason == StopReason::shutdown) {
+        response.status = ServiceStatus::cancelled;
+    } else {
+        response.status = ServiceStatus::deadlineApprox;
+    }
+    response.deadlineMet = servedStatus(response.status) &&
+                           response.versionsPublished > 0;
+
+    if (servedStatus(response.status)) {
+        const double alpha = ewmaValid ? 0.2 : 1.0;
+        ewmaExecSeconds = (1.0 - alpha) * ewmaExecSeconds +
+                          alpha * response.execSeconds;
+        ewmaGang = (1.0 - alpha) * ewmaGang +
+                   alpha * static_cast<double>(entry.gang);
+        ewmaValid = true;
+    }
+
+    metrics.record(response);
+    entry.promise.set_value(std::move(response));
+    idleCv.notify_all();
+}
+
+void
+AnytimeServer::schedulerLoop(std::stop_token stop)
+{
+    std::unique_lock lock(mutex);
+    for (;;) {
+        pendingDirty = false;
+
+        // 1. Completions: harvest every pipeline whose done callback
+        // fired, releasing its worker slots first so dispatch below
+        // sees the freed capacity. Then attach any pipelines the
+        // builder finished to their queued entries.
+        while (!finishedIds.empty()) {
+            const std::uint64_t id = finishedIds.back();
+            finishedIds.pop_back();
+            const auto it = running.find(id);
+            panicIf(it == running.end(),
+                    "completion event for unknown request id ", id);
+            RunningEntry entry = std::move(it->second);
+            running.erase(it);
+            slotsUsed -= entry.gang;
+            harvest(std::move(entry));
+        }
+        integrateBuildResultsLocked();
+
+        const auto now = Clock::now();
+
+        // 2. Hard deadlines: stop every overdue pipeline; the anytime
+        // model guarantees its buffers hold a valid snapshot.
+        stopOverdueLocked(now);
+
+        // 3. Graceful degradation: a backlogged server stops requests
+        // that have reached their stated quality floor, trading their
+        // surplus accuracy for the queue's latency.
+        const bool backlogged =
+            !pending.empty() || !configuration.degradeOnlyWhenBacklogged;
+        if (backlogged) {
+            for (auto &[id, entry] : running) {
+                if (entry.stopReason == StopReason::none &&
+                    entry.minQuality > 0.0 && entry.pipeline.progress &&
+                    entry.pipeline.progress() >= entry.minQuality) {
+                    entry.stopReason = StopReason::quality;
+                    entry.pipeline.automaton->stop();
+                }
+            }
+        }
+
+        if (stop.stop_requested())
+            stopping = true;
+        if (stopping) {
+            for (auto &[deadline, entry] : pending)
+                respondImmediately(entry.promise, ServiceStatus::cancelled,
+                                   entry.submitted);
+            pending.clear();
+            for (auto &[id, entry] : running) {
+                if (entry.stopReason == StopReason::none) {
+                    entry.stopReason = StopReason::shutdown;
+                    entry.pipeline.automaton->stop();
+                }
+            }
+            if (running.empty())
+                return;
+            // Everything running has been stopped; wait only for their
+            // completion events (the stop token is already triggered,
+            // so a token-aware wait would spin).
+            wake.wait(lock, [&] { return !finishedIds.empty(); });
+            continue;
+        }
+
+        // 4. Dispatch: earliest deadline first, whole gangs only.
+        while (!stopping && !pending.empty()) {
+            const auto it = pending.begin();
+            PendingEntry &head = it->second;
+            if (head.deadline <= Clock::now()) {
+                respondImmediately(head.promise, ServiceStatus::expired,
+                                   head.submitted);
+                pending.erase(it);
+                continue;
+            }
+            if (!head.pipeline.automaton) {
+                // Hand the head's factory to the builder thread and
+                // wait for its result event; the scheduler stays free
+                // to enforce deadlines while the pipeline is built.
+                if (buildInFlight == 0) {
+                    buildInFlight = head.id;
+                    buildJob = BuildJob{head.id, head.request.factory};
+                    buildCv.notify_all();
+                }
+                break; // strict EDF: nothing dispatches past the head
+            }
+            const unsigned gang = head.pipeline.automaton->totalWorkers();
+            if (gang > workers.size()) {
+                respondImmediately(
+                    head.promise, ServiceStatus::failed, head.submitted,
+                    {"pipeline needs " + std::to_string(gang) +
+                     " workers but the pool has " +
+                     std::to_string(workers.size())});
+                pending.erase(it);
+                continue;
+            }
+            if (slotsUsed + gang > workers.size())
+                break; // strict EDF: wait for the head's gang to fit
+
+            RunningEntry entry;
+            entry.id = head.id;
+            entry.promise = std::move(head.promise);
+            entry.submitted = head.submitted;
+            entry.dispatched = Clock::now();
+            entry.deadline = head.deadline;
+            entry.pipeline = std::move(head.pipeline);
+            entry.gang = gang;
+            entry.minQuality = head.request.minQuality;
+            pending.erase(it);
+
+            Automaton *automaton = entry.pipeline.automaton.get();
+            const std::uint64_t id = entry.id;
+            automaton->setDoneCallback([this, id] {
+                std::lock_guard callback_lock(mutex);
+                finishedIds.push_back(id);
+                wake.notify_all();
+            });
+            slotsUsed += gang;
+            running.emplace(id, std::move(entry));
+            automaton->start(workers);
+        }
+
+        // 5. Sleep until the next actionable moment: a completion,
+        // finished build, or submission (event), the earliest running
+        // deadline, a queued head expiring, or the next quality poll.
+        auto next_wake = Clock::time_point::max();
+        for (const auto &[id, entry] : running) {
+            if (entry.stopReason != StopReason::none)
+                continue;
+            next_wake = std::min(next_wake, entry.deadline);
+            if (entry.minQuality > 0.0 && entry.pipeline.progress)
+                next_wake = std::min(
+                    next_wake, now + configuration.qualityPollInterval);
+        }
+        if (!pending.empty())
+            next_wake = std::min(next_wake, pending.begin()->first);
+
+        if (!finishedIds.empty() || !buildResults.empty() ||
+            pendingDirty || stop.stop_requested())
+            continue;
+        const auto event = [&] {
+            return !finishedIds.empty() || !buildResults.empty() ||
+                   pendingDirty;
+        };
+        if (next_wake == Clock::time_point::max())
+            wake.wait(lock, stop, event);
+        else
+            wake.wait_until(lock, stop, next_wake, event);
+    }
+}
+
+void
+AnytimeServer::drain()
+{
+    std::unique_lock lock(mutex);
+    idleCv.wait(lock, [&] { return pending.empty() && running.empty(); });
+}
+
+ServiceMetrics
+AnytimeServer::metricsSnapshot() const
+{
+    std::lock_guard lock(mutex);
+    return metrics;
+}
+
+std::size_t
+AnytimeServer::pendingCount() const
+{
+    std::lock_guard lock(mutex);
+    return pending.size();
+}
+
+std::size_t
+AnytimeServer::runningCount() const
+{
+    std::lock_guard lock(mutex);
+    return running.size();
+}
+
+} // namespace anytime

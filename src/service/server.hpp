@@ -1,0 +1,233 @@
+/**
+ * @file
+ * AnytimeServer: an in-process anytime serving runtime.
+ *
+ * Accepts many concurrent requests — each a (pipeline factory, input,
+ * deadline, min quality) tuple — and multiplexes them over a bounded
+ * WorkerPool of recyclable executor threads instead of spawning fresh
+ * threads per request. One scheduler thread owns all service state and
+ * runs an event loop over five event sources: submissions, pipeline
+ * completions (Automaton done callbacks), finished pipeline builds,
+ * deadline expiry, and quality-probe polls. Pipeline factories run on
+ * a dedicated builder thread, never on the scheduler: a factory takes
+ * real time (milliseconds for the image pipelines), and building
+ * inline would starve deadline enforcement for everything already
+ * running — under a dispatch storm a tight-deadline request could run
+ * all the way to precise before the scheduler got to stop it.
+ *
+ * Scheduling policy:
+ *  - dispatch is earliest-deadline-first; a request only starts when
+ *    its whole stage-worker gang fits in the free pool slots (partial
+ *    gangs could stall forever, see worker_pool.hpp);
+ *  - every running request is hard-stopped at its deadline; thanks to
+ *    the anytime model the response always carries a valid snapshot
+ *    (possibly empty-quality when the deadline precedes the first
+ *    publish);
+ *  - a request with a positive minQuality is stopped as soon as its
+ *    progress probe reaches that floor while a backlog exists —
+ *    graceful degradation that trades its surplus accuracy for the
+ *    backlog's latency;
+ *  - admission control sheds at submission when the queue is at
+ *    capacity or when the EWMA service-time model predicts the request
+ *    would still be queued at its deadline, so overload degrades into
+ *    prompt shed responses, never into hangs or silent misses.
+ */
+
+#ifndef ANYTIME_SERVICE_SERVER_HPP
+#define ANYTIME_SERVICE_SERVER_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "support/stopwatch.hpp"
+
+namespace anytime {
+
+/** Serving-runtime tuning knobs. */
+struct ServerConfig
+{
+    /** Executor pool size (stage-worker slots shared by all requests). */
+    unsigned workers = 4;
+    /** Admission: maximum queued (accepted, undispatched) requests. */
+    std::size_t maxQueueDepth = 64;
+    /** Admission: shed when the EWMA model predicts a deadline miss. */
+    bool predictiveShedding = true;
+    /** How often running minQuality probes are sampled. */
+    std::chrono::nanoseconds qualityPollInterval =
+        std::chrono::milliseconds(1);
+    /** Only degrade to minQuality when requests are waiting. */
+    bool degradeOnlyWhenBacklogged = true;
+};
+
+/** In-process anytime serving runtime. */
+class AnytimeServer
+{
+  public:
+    explicit AnytimeServer(ServerConfig config = {});
+
+    /** Cancels pending requests, stops running ones, joins everything. */
+    ~AnytimeServer();
+
+    AnytimeServer(const AnytimeServer &) = delete;
+    AnytimeServer &operator=(const AnytimeServer &) = delete;
+
+    /**
+     * Submit a request. Always returns a future that will be fulfilled
+     * — immediately for shed/expired requests, at stop/completion for
+     * dispatched ones. Never blocks on pipeline execution.
+     */
+    std::future<ServiceResponse> submit(ServiceRequest request);
+
+    /** Block until every accepted request has been responded to. */
+    void drain();
+
+    /** Copy of the aggregate metrics so far. */
+    ServiceMetrics metricsSnapshot() const;
+
+    /** Accepted requests waiting for dispatch. */
+    std::size_t pendingCount() const;
+
+    /** Requests currently executing on the pool. */
+    std::size_t runningCount() const;
+
+    const ServerConfig &config() const { return configuration; }
+
+    /** The executor pool (exposed for recycling/occupancy stats). */
+    const WorkerPool &pool() const { return workers; }
+
+  private:
+    using Clock = Stopwatch::Clock;
+
+    /** Why a running request was told to stop. */
+    enum class StopReason
+    {
+        none,
+        deadline,
+        quality,
+        shutdown,
+    };
+
+    struct PendingEntry
+    {
+        std::uint64_t id = 0;
+        ServiceRequest request;
+        std::promise<ServiceResponse> promise;
+        Clock::time_point submitted;
+        Clock::time_point deadline;
+        /** Built by the builder thread once this entry reaches the
+         *  queue head; may then wait head-of-line for free slots. */
+        PreparedPipeline pipeline;
+    };
+
+    /** Factory handed to the builder thread. */
+    struct BuildJob
+    {
+        std::uint64_t id = 0;
+        std::function<PreparedPipeline()> factory;
+    };
+
+    /** Builder thread's answer; delivered back under the mutex. */
+    struct BuildResult
+    {
+        std::uint64_t id = 0;
+        PreparedPipeline pipeline;
+        std::string error;
+        /** Wall time the factory took (feeds the admission model). */
+        double seconds = 0.0;
+    };
+
+    struct RunningEntry
+    {
+        std::uint64_t id = 0;
+        std::promise<ServiceResponse> promise;
+        Clock::time_point submitted;
+        Clock::time_point dispatched;
+        Clock::time_point deadline;
+        PreparedPipeline pipeline;
+        unsigned gang = 0;
+        double minQuality = 0.0;
+        StopReason stopReason = StopReason::none;
+    };
+
+    void schedulerLoop(std::stop_token stop);
+
+    /** Runs pipeline factories off the scheduler thread. */
+    void builderLoop(std::stop_token stop);
+
+    /** Respond without dispatching (shed/expired/cancelled/failed). */
+    void respondImmediately(std::promise<ServiceResponse> &promise,
+                            ServiceStatus status,
+                            Clock::time_point submitted,
+                            std::vector<std::string> failures = {});
+
+    /** Harvest a finished pipeline and fulfill its promise. */
+    void harvest(RunningEntry entry);
+
+    /** Stop every running pipeline whose deadline has passed (caller
+     *  locked). */
+    void stopOverdueLocked(Clock::time_point now);
+
+    /** Attach finished builds to their pending entries (caller locked);
+     *  results for entries that expired or were cancelled while being
+     *  built are discarded (their automatons were never started). */
+    void integrateBuildResultsLocked();
+
+    /**
+     * Admission-control verdict for a new request (caller locked):
+     * nullopt admits; a shed status rejects.
+     */
+    std::optional<ServiceStatus>
+    admissionVerdict(Clock::time_point now,
+                     Clock::time_point deadline) const;
+
+    ServerConfig configuration;
+
+    mutable std::mutex mutex;
+    std::condition_variable_any wake;
+    std::condition_variable_any idleCv;
+
+    std::multimap<Clock::time_point, PendingEntry> pending;
+    std::map<std::uint64_t, RunningEntry> running;
+    std::vector<std::uint64_t> finishedIds;
+    /** One factory in flight at a time (builder thread input/output). */
+    std::optional<BuildJob> buildJob;
+    std::vector<BuildResult> buildResults;
+    std::uint64_t buildInFlight = 0; ///< request id being built; 0 = none
+    std::condition_variable_any buildCv;
+    unsigned slotsUsed = 0;
+    std::uint64_t nextId = 1;
+    bool stopping = false;
+    /** Set by submit(), cleared by the scheduler each iteration. */
+    bool pendingDirty = false;
+
+    /** EWMA model of observed service behavior (admission control). */
+    double ewmaExecSeconds = 0.0;
+    double ewmaGang = 0.0;
+    bool ewmaValid = false;
+    /** EWMA of factory build time: dispatch throughput is bounded by
+     *  the single builder, so queueing delay is too. */
+    double ewmaBuildSeconds = 0.0;
+    bool ewmaBuildValid = false;
+
+    ServiceMetrics metrics;
+
+    WorkerPool workers;
+    std::jthread builder;
+    std::jthread scheduler;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SERVICE_SERVER_HPP

@@ -212,6 +212,59 @@ TEST(Automaton, CannotAddStagesAfterStart)
     automaton.shutdown();
 }
 
+TEST(Automaton, StopWhilePausedReleasesGateAndJoins)
+{
+    Automaton automaton;
+    auto out = automaton.makeBuffer<long>("out");
+    automaton.addStage(std::make_shared<DiffusiveSourceStage<long>>(
+        "counter", out, 0L, 1u << 18,
+        [](std::uint64_t, long &state, StageContext &) {
+            state += 1;
+            std::this_thread::sleep_for(5us);
+        },
+        /*publish_period=*/16, /*batch=*/4));
+
+    automaton.start();
+    while (out->version() < 1)
+        std::this_thread::yield();
+    automaton.pause();
+    // Give the workers time to actually block on the pause gate...
+    std::this_thread::sleep_for(20ms);
+    // ...then stop without resuming first: stop() must release the
+    // gate, so the paused workers wake, observe the stop, and exit.
+    automaton.stop();
+    EXPECT_TRUE(automaton.waitUntilDone(5s)) << "stop on a paused "
+        "automaton deadlocked instead of releasing the pause gate";
+    automaton.shutdown();
+    // The anytime guarantee held throughout: a valid snapshot remains.
+    const auto snap = out->read();
+    ASSERT_TRUE(snap);
+    EXPECT_GT(*snap.value, 0);
+    EXPECT_FALSE(automaton.complete());
+}
+
+TEST(Automaton, ShutdownWhilePausedJoinsCleanly)
+{
+    Automaton automaton;
+    auto out = automaton.makeBuffer<long>("out");
+    automaton.addStage(std::make_shared<DiffusiveSourceStage<long>>(
+        "counter", out, 0L, 1u << 18,
+        [](std::uint64_t, long &state, StageContext &) {
+            state += 1;
+            std::this_thread::sleep_for(5us);
+        },
+        /*publish_period=*/16, /*batch=*/4));
+
+    automaton.start();
+    while (out->version() < 1)
+        std::this_thread::yield();
+    automaton.pause();
+    std::this_thread::sleep_for(10ms);
+    // shutdown() = stop() + join: must terminate despite the pause.
+    automaton.shutdown();
+    EXPECT_TRUE(automaton.waitUntilDone(0ms));
+}
+
 TEST(Automaton, StatsAccumulateWork)
 {
     Automaton automaton;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "core/controller.hpp"
@@ -89,6 +90,49 @@ TEST(Controller, AcceptabilityPredicateNeverTrueRunsToEnd)
     const RunOutcome outcome = runUntilAcceptable(
         rig.automaton, [] { return false; }, 1ms);
     EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_EQ(*rig.out->read().value, 32);
+}
+
+TEST(Controller, PredicateAlreadyTrueStopsBeforeFirstPoll)
+{
+    SlowCounter rig(1u << 20); // ~50 s if left alone
+    // The condition holds before the automaton produces anything: the
+    // run must stop immediately, not sleep out a poll interval first.
+    const RunOutcome outcome = runUntilAcceptable(
+        rig.automaton, [] { return true; }, 10s);
+    EXPECT_FALSE(outcome.reachedPrecise);
+    EXPECT_LT(outcome.seconds, 5.0);
+}
+
+TEST(Controller, ThrowingPredicateShutsDownAndPropagates)
+{
+    SlowCounter rig(1u << 20);
+    EXPECT_THROW(
+        runUntilAcceptable(
+            rig.automaton,
+            []() -> bool {
+                throw std::runtime_error("metric exploded");
+            },
+            1ms),
+        std::runtime_error);
+    // The automaton was stopped and joined before the throw escaped:
+    // no workers remain (a timed wait returns immediately) and the
+    // failure did not come from a stage.
+    EXPECT_TRUE(rig.automaton.waitUntilDone(std::chrono::nanoseconds{0}));
+    EXPECT_FALSE(rig.automaton.failed());
+    // The anytime guarantee still holds for whatever was published.
+    EXPECT_FALSE(rig.automaton.complete());
+}
+
+TEST(Controller, CompletionBetweenPollsReturnsPromptly)
+{
+    SlowCounter rig(32, 5); // finishes in a few milliseconds
+    // A poll interval far longer than the run: completion must wake
+    // the controller, not wait out the interval.
+    const RunOutcome outcome = runUntilAcceptable(
+        rig.automaton, [] { return false; }, 60s);
+    EXPECT_TRUE(outcome.reachedPrecise);
+    EXPECT_LT(outcome.seconds, 10.0);
     EXPECT_EQ(*rig.out->read().value, 32);
 }
 

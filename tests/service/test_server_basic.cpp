@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Basic serving-runtime behavior: single requests through the full
+ * lifecycle — precise completion under a generous deadline, hard
+ * deadline stops with a valid approximate snapshot, zero deadlines
+ * answered immediately, and QoR metadata consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "service/server.hpp"
+#include "service_test_util.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ServerBasic, GenerousDeadlineReachesPrecise)
+{
+    AnytimeServer server({.workers = 2});
+    auto probe = std::make_shared<CounterProbe>();
+    auto future = server.submit(
+        counterRequest("small", 64, 5, 10s, 0.0, probe));
+
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::preciseCompleted);
+    EXPECT_TRUE(response.reachedPrecise);
+    EXPECT_TRUE(response.deadlineMet);
+    EXPECT_GT(response.versionsPublished, 0u);
+    EXPECT_DOUBLE_EQ(response.quality, 1.0);
+    // The client-side buffer holds the precise output.
+    ASSERT_TRUE(probe->out);
+    EXPECT_TRUE(probe->out->final());
+    EXPECT_EQ(*probe->out->read().value, 64);
+}
+
+TEST(ServerBasic, TightDeadlineAnswersWithApproximateSnapshot)
+{
+    AnytimeServer server({.workers = 1});
+    auto probe = std::make_shared<CounterProbe>();
+    // ~10 s of work, 50 ms deadline, publishing every ~1.3 ms.
+    auto future = server.submit(counterRequest(
+        "big", 1u << 20, 10, 50ms, 0.0, probe, /*publish_period=*/128));
+
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::deadlineApprox);
+    EXPECT_FALSE(response.reachedPrecise);
+    EXPECT_GT(response.versionsPublished, 0u);
+    EXPECT_TRUE(response.deadlineMet);
+    EXPECT_GT(response.quality, 0.0);
+    EXPECT_LT(response.quality, 1.0);
+    // The deadline selected the accuracy; the snapshot is valid.
+    ASSERT_TRUE(probe->out);
+    EXPECT_GT(*probe->out->read().value, 0);
+    // Stopped near the deadline, not after running to completion.
+    EXPECT_LT(response.totalSeconds, 5.0);
+}
+
+TEST(ServerBasic, ZeroDeadlineRespondsImmediatelyNotHangs)
+{
+    AnytimeServer server({.workers = 1});
+    auto future =
+        server.submit(counterRequest("now", 1u << 20, 10, 0ns));
+
+    ASSERT_EQ(future.wait_for(1s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::expired);
+    EXPECT_EQ(response.versionsPublished, 0u);
+    EXPECT_FALSE(response.deadlineMet);
+    EXPECT_LT(response.totalSeconds, 1.0);
+}
+
+TEST(ServerBasic, NegativeDeadlineTreatedAsExpired)
+{
+    AnytimeServer server({.workers = 1});
+    auto future =
+        server.submit(counterRequest("past", 64, 1, -5ms));
+    ASSERT_EQ(future.wait_for(1s), std::future_status::ready);
+    EXPECT_EQ(future.get().status, ServiceStatus::expired);
+}
+
+TEST(ServerBasic, TimingMetadataIsConsistent)
+{
+    AnytimeServer server({.workers = 1});
+    auto future = server.submit(counterRequest("timed", 256, 5, 10s));
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_GE(response.queueSeconds, 0.0);
+    EXPECT_GT(response.execSeconds, 0.0);
+    EXPECT_LE(response.queueSeconds + response.execSeconds,
+              response.totalSeconds + 1e-3);
+}
+
+TEST(ServerBasic, MetricsAccumulateAcrossRequests)
+{
+    AnytimeServer server({.workers = 2});
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(server.submit(
+            counterRequest("m" + std::to_string(i), 64, 2, 10s)));
+    for (auto &future : futures)
+        ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    server.drain();
+
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 4u);
+    EXPECT_EQ(metrics.served(), 4u);
+    EXPECT_EQ(metrics.precise(), 4u);
+    EXPECT_DOUBLE_EQ(metrics.hitRate(), 1.0);
+    EXPECT_GT(metrics.latencyPercentile(95), 0.0);
+    EXPECT_GE(metrics.latencyPercentile(95),
+              metrics.latencyPercentile(50));
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Serving runtime under load: many concurrent requests with mixed
+ * deadlines all get valid responses, admission control sheds at
+ * saturation instead of hanging, the predictive model sheds requests
+ * that could never meet their deadline, and the executor pool recycles
+ * its threads across requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service_test_util.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+/** Spin until @p server has @p count running requests (bounded). */
+void
+awaitRunning(const AnytimeServer &server, std::size_t count)
+{
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.runningCount() < count &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(200us);
+    ASSERT_GE(server.runningCount(), count);
+}
+
+TEST(ServerLoad, MixedDeadlines32ConcurrentAllAnswered)
+{
+    AnytimeServer server({.workers = 4, .maxQueueDepth = 64});
+    const std::chrono::nanoseconds deadlines[] = {2ms, 10ms, 50ms, 2s};
+
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 36; ++i) {
+        // ~20 ms of work each; deadlines from well-under to well-over.
+        futures.push_back(server.submit(counterRequest(
+            "req" + std::to_string(i), 2000, 10, deadlines[i % 4], 0.0,
+            nullptr, /*publish_period=*/50)));
+    }
+
+    std::size_t served = 0;
+    std::size_t immediate = 0;
+    for (auto &future : futures) {
+        // Every request resolves — the load test's core assertion.
+        ASSERT_EQ(future.wait_for(60s), std::future_status::ready);
+        const ServiceResponse response = future.get();
+        if (servedStatus(response.status))
+            ++served;
+        else
+            ++immediate;
+        if (response.status == ServiceStatus::preciseCompleted) {
+            EXPECT_TRUE(response.reachedPrecise);
+        }
+    }
+    EXPECT_EQ(served + immediate, 36u);
+    EXPECT_GT(served, 0u);
+
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 36u);
+    EXPECT_EQ(metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed(),
+              36u);
+}
+
+TEST(ServerLoad, QueueCapacityShedsExcessLoad)
+{
+    AnytimeServer server({.workers = 1,
+                          .maxQueueDepth = 2,
+                          .predictiveShedding = false});
+    // Occupy the only worker...
+    auto blocker =
+        server.submit(counterRequest("blocker", 20000, 10, 5s));
+    awaitRunning(server, 1);
+
+    // ...then flood: 2 fit in the queue, the rest must shed.
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(server.submit(
+            counterRequest("flood" + std::to_string(i), 64, 2, 5s)));
+
+    std::size_t shed = 0;
+    for (auto &future : futures) {
+        ASSERT_EQ(future.wait_for(60s), std::future_status::ready);
+        if (future.get().status == ServiceStatus::shedQueueFull)
+            ++shed;
+    }
+    EXPECT_GE(shed, 8u);
+    ASSERT_EQ(blocker.wait_for(60s), std::future_status::ready);
+}
+
+TEST(ServerLoad, PredictiveSheddingRefusesHopelessDeadlines)
+{
+    AnytimeServer server({.workers = 1, .maxQueueDepth = 64});
+    // Teach the EWMA model: one ~50 ms request served to completion.
+    auto teacher =
+        server.submit(counterRequest("teacher", 5000, 10, 10s));
+    ASSERT_EQ(teacher.wait_for(60s), std::future_status::ready);
+    ASSERT_EQ(teacher.get().status, ServiceStatus::preciseCompleted);
+
+    // Occupy the worker, then ask for 5 ms turnarounds: the model
+    // predicts ~50 ms of queueing, so these can only be shed.
+    auto blocker =
+        server.submit(counterRequest("blocker", 20000, 10, 5s));
+    awaitRunning(server, 1);
+
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(server.submit(
+            counterRequest("tight" + std::to_string(i), 64, 2, 5ms)));
+
+    std::size_t predicted = 0;
+    for (auto &future : futures) {
+        ASSERT_EQ(future.wait_for(60s), std::future_status::ready);
+        if (future.get().status == ServiceStatus::shedPredictedMiss)
+            ++predicted;
+    }
+    EXPECT_GE(predicted, 1u);
+    ASSERT_EQ(blocker.wait_for(60s), std::future_status::ready);
+}
+
+TEST(ServerLoad, ExecutorPoolRecyclesThreadsAcrossRequests)
+{
+    AnytimeServer server({.workers = 2});
+    for (int i = 0; i < 8; ++i) {
+        auto future = server.submit(
+            counterRequest("seq" + std::to_string(i), 64, 2, 10s));
+        ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+        EXPECT_EQ(future.get().status, ServiceStatus::preciseCompleted);
+    }
+    // 8 automaton runs were multiplexed over 2 pooled threads: many
+    // more tasks completed than threads exist, and no run spawned its
+    // own thread. The response is fulfilled from inside the pool task,
+    // so the last task's completion bookkeeping can trail briefly.
+    EXPECT_EQ(server.pool().size(), 2u);
+    const auto give_up = std::chrono::steady_clock::now() + 10s;
+    while (server.pool().tasksCompleted() < 8u &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    EXPECT_GE(server.pool().tasksCompleted(), 8u);
+}
+
+} // namespace
+} // namespace anytime
