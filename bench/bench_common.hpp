@@ -27,6 +27,17 @@ parseScale(int argc, char **argv)
     return 1.0;
 }
 
+/** Parse a `--flag <value>` string option; empty when absent. */
+inline std::string
+parseStringOption(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return {};
+}
+
 /** Scaled image extent, clamped to a sane minimum. */
 inline std::size_t
 scaledExtent(std::size_t base, double scale)

@@ -28,6 +28,8 @@
 #include "bench_common.hpp"
 #include "harness/report.hpp"
 #include "image/generate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 
 using namespace anytime;
@@ -155,6 +157,15 @@ main(int argc, char **argv)
 {
     const double scale = parseScale(argc, argv);
     const std::size_t extent = scaledExtent(160, scale);
+    // --trace <path>: capture a Chrome trace-event JSON of the whole
+    // run (open in Perfetto / chrome://tracing). --metrics <path>:
+    // dump the live registry as Prometheus text at exit.
+    const std::string trace_path =
+        parseStringOption(argc, argv, "--trace");
+    const std::string metrics_path =
+        parseStringOption(argc, argv, "--metrics");
+    if (!trace_path.empty())
+        obs::setTracingEnabled(true);
     printBanner("anytime serving runtime under load",
                 "no paper figure: serving-layer extension; every "
                 "response is a valid snapshot, slack buys accuracy");
@@ -180,5 +191,27 @@ main(int argc, char **argv)
                  "admission control converts most of the overload into "
                  "prompt sheds, and every request — served, shed, or "
                  "expired — gets an answer\n";
+
+    if (!metrics_path.empty()) {
+        std::cout << '\n';
+        printTable(metricsTable(obs::defaultRegistry(),
+                                "live metrics registry"));
+        if (obs::defaultRegistry().writePrometheus(metrics_path))
+            std::cout << "\nmetrics snapshot written to " << metrics_path
+                      << " (Prometheus text format)\n";
+        else
+            std::cerr << "cannot write metrics to " << metrics_path
+                      << "\n";
+    }
+    if (!trace_path.empty()) {
+        if (obs::writeChromeTrace(trace_path))
+            std::cout << "trace written to " << trace_path << " ("
+                      << obs::retainedRecords() << " events, "
+                      << obs::droppedRecords()
+                      << " dropped); open in Perfetto or "
+                         "chrome://tracing\n";
+        else
+            std::cerr << "cannot write trace to " << trace_path << "\n";
+    }
     return 0;
 }

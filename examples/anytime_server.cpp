@@ -13,19 +13,46 @@
 
 #include <chrono>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "apps/conv2d.hpp"
 #include "image/generate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/metrics.hpp"
 #include "service/server.hpp"
 
 using namespace anytime;
 using namespace std::chrono_literals;
 
-int
-main()
+namespace {
+
+/** Parse a `--flag <value>` string option; empty when absent. */
+std::string
+stringOption(int argc, char **argv, const std::string &flag)
 {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --trace <path> captures the request lifecycle as Chrome
+    // trace-event JSON (open in Perfetto); --metrics <path> writes a
+    // Prometheus text snapshot of the live registry at exit.
+    const std::string trace_path = stringOption(argc, argv, "--trace");
+    const std::string metrics_path =
+        stringOption(argc, argv, "--metrics");
+    if (!trace_path.empty())
+        obs::setTracingEnabled(true);
+
     const GrayImage scene = generateScene(192, 192, 7);
 
     AnytimeServer server({.workers = 4, .maxQueueDepth = 16});
@@ -87,5 +114,21 @@ main()
     server.drain();
     std::cout << "\nevery deadline produced an answer; none produced "
                  "an error or a hang\n";
+
+    if (!metrics_path.empty()) {
+        if (obs::defaultRegistry().writePrometheus(metrics_path))
+            std::cout << "metrics snapshot written to " << metrics_path
+                      << "\n";
+        else
+            std::cerr << "cannot write metrics to " << metrics_path
+                      << "\n";
+    }
+    if (!trace_path.empty()) {
+        if (obs::writeChromeTrace(trace_path))
+            std::cout << "trace written to " << trace_path
+                      << "; open in Perfetto or chrome://tracing\n";
+        else
+            std::cerr << "cannot write trace to " << trace_path << "\n";
+    }
     return 0;
 }

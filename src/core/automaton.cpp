@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/worker_pool.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -112,6 +113,10 @@ Automaton::beginRun()
     fatalIf(startedFlag, "automaton already started");
     fatalIf(placements.empty(), "automaton has no stages");
     validate();
+    obs::traceInstant(
+        "automaton.start", "automaton",
+        {"stages", static_cast<double>(placements.size())},
+        {"workers", static_cast<double>(totalWorkers())});
     startedFlag = true;
     {
         std::lock_guard lock(doneMutex);
@@ -124,6 +129,12 @@ Automaton::workerMain(Stage *stage, unsigned worker, unsigned count)
 {
     StageContext ctx(stopSource.get_token(), gate, stage->stats(), worker,
                      count);
+    // One span per stage worker, from first instruction to exit; the
+    // per-publish instants from this stage's output buffer mark the
+    // iteration boundaries inside it.
+    obs::TraceSpan span(stage->name(), "stage",
+                        {"worker", static_cast<double>(worker)},
+                        {"workers", static_cast<double>(count)});
     try {
         stage->run(ctx);
     } catch (const std::exception &error) {
@@ -190,6 +201,7 @@ Automaton::start(WorkerPool &pool)
 void
 Automaton::stop()
 {
+    obs::traceInstant("automaton.stop", "automaton");
     stopSource.request_stop();
     // A paused automaton must still be stoppable: wake the gate.
     gate.resume();

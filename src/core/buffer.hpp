@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -130,6 +131,16 @@ class VersionedBuffer : public BufferBase
             snapshot = Snapshot<T>{current, versionCount, finalSeen};
         }
         changed.notify_all();
+        if (obs::tracingEnabled()) {
+            // Single-writer buffer: only the producer thread touches
+            // the cached interned name, so no synchronization needed.
+            if (traceName == nullptr)
+                traceName = obs::internName(name());
+            obs::traceInstant(
+                traceName, "publish",
+                {"version", static_cast<double>(snapshot.version)},
+                {"final", snapshot.final ? 1.0 : 0.0});
+        }
         // Observers run outside the lock; they receive an immutable
         // snapshot so racing with the next publish is harmless.
         for (const auto &observer : observers)
@@ -195,6 +206,8 @@ class VersionedBuffer : public BufferBase
     std::uint64_t versionCount = 0;
     bool finalSeen = false;
     std::vector<Observer> observers;
+    /** Interned buffer name for publish trace events (producer-only). */
+    const char *traceName = nullptr;
 };
 
 } // namespace anytime

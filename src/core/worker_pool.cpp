@@ -1,8 +1,32 @@
 #include "core/worker_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
+
+namespace {
+
+/** Process-wide pool occupancy metrics (aggregated over all pools). */
+struct PoolMetrics
+{
+    obs::Gauge &busy = obs::defaultRegistry().gauge(
+        "anytime_pool_busy_workers",
+        "Worker-pool threads currently executing a task.");
+    obs::Counter &completed = obs::defaultRegistry().counter(
+        "anytime_pool_tasks_completed_total",
+        "Tasks run to completion by the worker pools.");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics instance;
+    return instance;
+}
+
+} // namespace
 
 WorkerPool::WorkerPool(unsigned thread_count)
 {
@@ -74,6 +98,7 @@ WorkerPool::workerLoop(std::stop_token stop)
 {
     for (;;) {
         Task task;
+        unsigned busy_now = 0;
         {
             std::unique_lock lock(mutex);
             workAvailable.wait(lock, stop, [&] { return !queue.empty(); });
@@ -81,14 +106,26 @@ WorkerPool::workerLoop(std::stop_token stop)
                 return; // stop requested and nothing left to drain
             task = std::move(queue.front());
             queue.pop_front();
-            ++busyCount;
+            busy_now = ++busyCount;
         }
-        task();
+        poolMetrics().busy.add(1.0);
+        if (obs::tracingEnabled())
+            obs::traceCounter("pool.busy",
+                              static_cast<double>(busy_now));
+        {
+            obs::TraceSpan span("pool.task", "pool");
+            task();
+        }
         {
             std::lock_guard lock(mutex);
-            --busyCount;
+            busy_now = --busyCount;
             ++completedCount;
         }
+        poolMetrics().busy.add(-1.0);
+        poolMetrics().completed.add();
+        if (obs::tracingEnabled())
+            obs::traceCounter("pool.busy",
+                              static_cast<double>(busy_now));
     }
 }
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -61,6 +62,45 @@ writeCsv(const SeriesTable &table, const std::string &path)
             out << (c ? "," : "") << row[c];
         out << '\n';
     }
+}
+
+SeriesTable
+metricsTable(const obs::MetricsRegistry &registry,
+             const std::string &title)
+{
+    SeriesTable table;
+    table.title = title;
+    table.columns = {"metric", "type",    "value", "mean_ms",
+                     "p50_ms", "p95_ms", "p99_ms"};
+    for (const obs::MetricSnapshot &metric : registry.snapshot()) {
+        std::vector<std::string> row;
+        row.push_back(metric.name);
+        switch (metric.kind) {
+          case obs::MetricKind::counter:
+            row.insert(row.end(),
+                       {"counter", formatDouble(metric.value, 0), "-",
+                        "-", "-", "-"});
+            break;
+          case obs::MetricKind::gauge:
+            row.insert(row.end(),
+                       {"gauge", formatDouble(metric.value, 3), "-", "-",
+                        "-", "-"});
+            break;
+          case obs::MetricKind::histogram: {
+            const double n = static_cast<double>(metric.count);
+            const double mean = metric.count == 0 ? 0.0 : metric.sum / n;
+            row.insert(row.end(),
+                       {"histogram", std::to_string(metric.count),
+                        formatDouble(mean * 1e3, 3),
+                        formatDouble(metric.p50 * 1e3, 3),
+                        formatDouble(metric.p95 * 1e3, 3),
+                        formatDouble(metric.p99 * 1e3, 3)});
+            break;
+          }
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
 }
 
 SeriesTable

@@ -17,6 +17,10 @@
 
 namespace anytime {
 
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
+
 /** A printable table: column headers plus stringified rows. */
 struct SeriesTable
 {
@@ -40,6 +44,14 @@ void writeCsv(const SeriesTable &table, const std::string &path);
  */
 SeriesTable profileTable(const std::string &title,
                          const std::vector<ProfilePoint> &profile);
+
+/**
+ * Bridge the live metrics registry into the repo's standard report
+ * format: one row per metric (counters/gauges print their value,
+ * histograms their count, mean, and p50/p95/p99 in milliseconds).
+ */
+SeriesTable metricsTable(const obs::MetricsRegistry &registry,
+                         const std::string &title);
 
 } // namespace anytime
 

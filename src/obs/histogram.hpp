@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Bounded log-bucketed histogram for latency-style distributions.
+ *
+ * A fixed array of geometrically spaced buckets replaces the unbounded
+ * store-every-sample approach: memory is O(buckets) forever, observe()
+ * is lock-free (relaxed atomic increments plus CAS min/max/sum), and
+ * percentiles are answered from the bucket counts with a bounded
+ * relative error set by the growth factor (defaults: 1.25 => <= ~12%
+ * within a bucket). Exact min and max are tracked on the side, and
+ * every percentile estimate is clamped into [min, max], so p=0 returns
+ * the true minimum, p=100 the true maximum, and a single-sample
+ * histogram answers every percentile exactly.
+ *
+ * The bucket layout (upper bounds firstBound * growth^i, last bucket
+ * unbounded) is exactly what Prometheus histogram exposition wants, so
+ * the metrics registry exports these buckets as-is.
+ */
+
+#ifndef ANYTIME_OBS_HISTOGRAM_HPP
+#define ANYTIME_OBS_HISTOGRAM_HPP
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anytime::obs {
+
+/** Bucket layout of a LogHistogram. */
+struct HistogramOptions
+{
+    /** Upper bound of the first bucket (values <= this land there). */
+    double firstBound = 1e-6;
+    /** Geometric growth factor between consecutive bucket bounds. */
+    double growth = 1.25;
+    /** Total bucket count, including the unbounded overflow bucket. */
+    std::size_t buckets = 96;
+};
+
+/** Lock-free, bounded-memory, log-bucketed histogram. */
+class LogHistogram
+{
+  public:
+    explicit LogHistogram(HistogramOptions options = {})
+        : opts(options), counts(options.buckets)
+    {
+        fatalIf(opts.buckets < 2, "LogHistogram: need >= 2 buckets");
+        fatalIf(opts.firstBound <= 0.0,
+                "LogHistogram: firstBound must be positive");
+        fatalIf(opts.growth <= 1.0,
+                "LogHistogram: growth must exceed 1");
+        invLogGrowth = 1.0 / std::log(opts.growth);
+    }
+
+    /** Deep copy (relaxed snapshot of the atomics). */
+    LogHistogram(const LogHistogram &other)
+        : opts(other.opts), invLogGrowth(other.invLogGrowth),
+          counts(other.opts.buckets)
+    {
+        copyFrom(other);
+    }
+
+    LogHistogram &
+    operator=(const LogHistogram &other)
+    {
+        if (this == &other)
+            return *this;
+        opts = other.opts;
+        invLogGrowth = other.invLogGrowth;
+        std::vector<std::atomic<std::uint64_t>> fresh(opts.buckets);
+        counts.swap(fresh);
+        copyFrom(other);
+        return *this;
+    }
+
+    /** Record one sample (lock-free; negative values clamp to 0). */
+    void
+    observe(double value)
+    {
+        if (std::isnan(value))
+            return;
+        if (value < 0.0)
+            value = 0.0;
+        counts[bucketIndex(value)].fetch_add(1,
+                                             std::memory_order_relaxed);
+        total.fetch_add(1, std::memory_order_relaxed);
+        atomicAdd(sumValue, value);
+        atomicMin(minValue, value);
+        atomicMax(maxValue, value);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sumValue.load(std::memory_order_relaxed); }
+
+    /** Exact minimum observed; 0 when empty. */
+    double
+    min() const
+    {
+        const double value = minValue.load(std::memory_order_relaxed);
+        return count() == 0 ? 0.0 : value;
+    }
+
+    /** Exact maximum observed; 0 when empty. */
+    double
+    max() const
+    {
+        const double value = maxValue.load(std::memory_order_relaxed);
+        return count() == 0 ? 0.0 : value;
+    }
+
+    double
+    mean() const
+    {
+        const std::uint64_t n = count();
+        return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+    }
+
+    /**
+     * Nearest-rank percentile estimate, @p p in [0, 100]. Resolution
+     * is one bucket (relative error bounded by the growth factor);
+     * estimates are clamped into the exact [min, max] envelope.
+     * Returns 0 when empty.
+     */
+    double
+    percentile(double p) const
+    {
+        fatalIf(p < 0.0 || p > 100.0,
+                "LogHistogram::percentile: p out of range: ", p);
+        const std::uint64_t n = count();
+        if (n == 0)
+            return 0.0;
+        if (p <= 0.0)
+            return min();
+        const double exact_rank =
+            std::ceil(p / 100.0 * static_cast<double>(n));
+        const std::uint64_t rank = exact_rank < 1.0
+                                       ? 1
+                                       : static_cast<std::uint64_t>(
+                                             std::min(exact_rank,
+                                                      static_cast<double>(n)));
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i].load(std::memory_order_relaxed);
+            if (cumulative >= rank)
+                return std::min(std::max(representative(i), min()), max());
+        }
+        return max();
+    }
+
+    /** Number of buckets (fixed at construction). */
+    std::size_t bucketCount() const { return counts.size(); }
+
+    /** Inclusive upper bound of bucket @p i; +inf for the last. */
+    double
+    bucketUpperBound(std::size_t i) const
+    {
+        if (i + 1 >= counts.size())
+            return std::numeric_limits<double>::infinity();
+        return opts.firstBound *
+               std::pow(opts.growth, static_cast<double>(i));
+    }
+
+    /** Samples recorded into bucket @p i. */
+    std::uint64_t
+    bucketSamples(std::size_t i) const
+    {
+        return counts[i].load(std::memory_order_relaxed);
+    }
+
+    const HistogramOptions &options() const { return opts; }
+
+  private:
+    std::size_t
+    bucketIndex(double value) const
+    {
+        if (value <= opts.firstBound)
+            return 0;
+        const double exponent =
+            std::log(value / opts.firstBound) * invLogGrowth;
+        // ceil() so a value sits in the first bucket whose inclusive
+        // upper bound covers it (Prometheus `le` semantics); the tiny
+        // epsilon keeps values that land exactly on a bound (up to
+        // float rounding) from spilling into the next bucket.
+        const double index = std::ceil(exponent - 1e-9);
+        if (index >= static_cast<double>(counts.size() - 1))
+            return counts.size() - 1;
+        return index < 0.0 ? 0 : static_cast<std::size_t>(index);
+    }
+
+    /** Representative value reported for bucket @p i (geometric mid). */
+    double
+    representative(std::size_t i) const
+    {
+        if (i == 0)
+            return opts.firstBound / std::sqrt(opts.growth);
+        if (i + 1 >= counts.size())
+            return max(); // unbounded overflow bucket
+        const double upper = bucketUpperBound(i);
+        return upper / std::sqrt(opts.growth);
+    }
+
+    static void
+    atomicAdd(std::atomic<double> &target, double delta)
+    {
+        double expected = target.load(std::memory_order_relaxed);
+        while (!target.compare_exchange_weak(expected, expected + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    static void
+    atomicMin(std::atomic<double> &target, double value)
+    {
+        double expected = target.load(std::memory_order_relaxed);
+        while (value < expected &&
+               !target.compare_exchange_weak(expected, value,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    static void
+    atomicMax(std::atomic<double> &target, double value)
+    {
+        double expected = target.load(std::memory_order_relaxed);
+        while (value > expected &&
+               !target.compare_exchange_weak(expected, value,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    copyFrom(const LogHistogram &other)
+    {
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            counts[i].store(
+                other.counts[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        total.store(other.total.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        sumValue.store(other.sumValue.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        minValue.store(other.minValue.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        maxValue.store(other.maxValue.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+
+    HistogramOptions opts;
+    double invLogGrowth = 1.0;
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<double> sumValue{0.0};
+    std::atomic<double> minValue{
+        std::numeric_limits<double>::infinity()};
+    std::atomic<double> maxValue{
+        -std::numeric_limits<double>::infinity()};
+};
+
+} // namespace anytime::obs
+
+#endif // ANYTIME_OBS_HISTOGRAM_HPP

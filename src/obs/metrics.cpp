@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace anytime::obs {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto head = static_cast<unsigned char>(name[0]);
+    if (!std::isalpha(head) && name[0] != '_' && name[0] != ':')
+        return false;
+    for (const char ch : name) {
+        const auto c = static_cast<unsigned char>(ch);
+        if (!std::isalnum(c) && ch != '_' && ch != ':')
+            return false;
+    }
+    return true;
+}
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::counter:
+        return "counter";
+      case MetricKind::gauge:
+        return "gauge";
+      case MetricKind::histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+prometheusNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    return buf;
+}
+
+// Requires: caller holds `mutex` (keeps entry creation and metric
+// object construction atomic with respect to exporters).
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &name,
+                              const std::string &help, MetricKind kind)
+{
+    fatalIf(!validMetricName(name),
+            "metric name violates Prometheus naming rules: '", name, "'");
+    const auto it = entries.find(name);
+    if (it != entries.end()) {
+        fatalIf(it->second.kind != kind, "metric '", name,
+                "' already registered as ", kindName(it->second.kind),
+                ", requested as ", kindName(kind));
+        return it->second;
+    }
+    Entry entry;
+    entry.kind = kind;
+    entry.help = help;
+    return entries.emplace(name, std::move(entry)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    std::lock_guard lock(mutex);
+    Entry &entry = findOrCreate(name, help, MetricKind::counter);
+    if (!entry.counter)
+        entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard lock(mutex);
+    Entry &entry = findOrCreate(name, help, MetricKind::gauge);
+    if (!entry.gauge)
+        entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name, const std::string &help,
+                           HistogramOptions options)
+{
+    std::lock_guard lock(mutex);
+    Entry &entry = findOrCreate(name, help, MetricKind::histogram);
+    if (!entry.histogram)
+        entry.histogram = std::make_unique<LogHistogram>(options);
+    return *entry.histogram;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &out) const
+{
+    std::lock_guard lock(mutex);
+    for (const auto &[name, entry] : entries) {
+        if (!entry.help.empty())
+            out << "# HELP " << name << ' ' << entry.help << '\n';
+        out << "# TYPE " << name << ' ' << kindName(entry.kind) << '\n';
+        switch (entry.kind) {
+          case MetricKind::counter:
+            out << name << ' ' << entry.counter->value() << '\n';
+            break;
+          case MetricKind::gauge:
+            out << name << ' '
+                << prometheusNumber(entry.gauge->value()) << '\n';
+            break;
+          case MetricKind::histogram: {
+            const LogHistogram &h = *entry.histogram;
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+                cumulative += h.bucketSamples(i);
+                out << name << "_bucket{le=\""
+                    << prometheusNumber(h.bucketUpperBound(i)) << "\"} "
+                    << cumulative << '\n';
+            }
+            out << name << "_sum " << prometheusNumber(h.sum()) << '\n';
+            out << name << "_count " << h.count() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+bool
+MetricsRegistry::writePrometheus(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writePrometheus(out);
+    return static_cast<bool>(out);
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard lock(mutex);
+    std::vector<MetricSnapshot> result;
+    result.reserve(entries.size());
+    for (const auto &[name, entry] : entries) {
+        MetricSnapshot row;
+        row.name = name;
+        row.help = entry.help;
+        row.kind = entry.kind;
+        switch (entry.kind) {
+          case MetricKind::counter:
+            row.value = static_cast<double>(entry.counter->value());
+            break;
+          case MetricKind::gauge:
+            row.value = entry.gauge->value();
+            break;
+          case MetricKind::histogram: {
+            const LogHistogram &h = *entry.histogram;
+            row.count = h.count();
+            row.value = static_cast<double>(row.count);
+            row.sum = h.sum();
+            row.min = h.min();
+            row.max = h.max();
+            row.p50 = h.percentile(50);
+            row.p95 = h.percentile(95);
+            row.p99 = h.percentile(99);
+            break;
+          }
+        }
+        result.push_back(std::move(row));
+    }
+    return result;
+}
+
+MetricsRegistry &
+defaultRegistry()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+} // namespace anytime::obs

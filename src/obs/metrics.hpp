@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Named-metric registry with Prometheus text exposition.
+ *
+ * Three metric kinds, all lock-free once registered:
+ *  - Counter: monotonically increasing count;
+ *  - Gauge: instantaneous value (set or add);
+ *  - LogHistogram: bounded log-bucketed distribution (histogram.hpp).
+ *
+ * A MetricsRegistry owns its metrics for the process lifetime;
+ * registration (by Prometheus-legal name) is idempotent, so
+ * subsystems can look up "their" metric without coordinating. The
+ * registry renders the standard Prometheus text format (HELP/TYPE
+ * comments, cumulative `le` buckets, `_sum`/`_count`) and exposes a
+ * flat snapshot used by the harness SeriesTable bridge, so a metrics
+ * dump prints like every other experiment table in the repo.
+ *
+ * defaultRegistry() is the process-wide instance the runtime layers
+ * (worker pool, serving runtime) publish into; tests build private
+ * registries for deterministic golden output.
+ */
+
+#ifndef ANYTIME_OBS_METRICS_HPP
+#define ANYTIME_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace anytime::obs {
+
+/** Monotonically increasing counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        count.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count{0};
+};
+
+/** Instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        current.store(value, std::memory_order_relaxed);
+    }
+
+    void
+    add(double delta)
+    {
+        double expected = current.load(std::memory_order_relaxed);
+        while (!current.compare_exchange_weak(
+            expected, expected + delta, std::memory_order_relaxed)) {
+        }
+    }
+
+    double
+    value() const
+    {
+        return current.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> current{0.0};
+};
+
+/** Metric kind tag (registry bookkeeping and snapshot rows). */
+enum class MetricKind
+{
+    counter,
+    gauge,
+    histogram,
+};
+
+/** Flat read-only view of one metric (for table bridges). */
+struct MetricSnapshot
+{
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::counter;
+    /** Counter/gauge value; histogram sample count for histograms. */
+    double value = 0.0;
+    /** Histogram-only fields (zero otherwise). */
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Thread-safe registry of named metrics. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Find or create the counter @p name. @p name must match
+     * [a-zA-Z_:][a-zA-Z0-9_:]* (Prometheus rules); registering the
+     * same name as a different kind is fatal.
+     */
+    Counter &counter(const std::string &name, const std::string &help);
+
+    /** Find or create the gauge @p name. */
+    Gauge &gauge(const std::string &name, const std::string &help);
+
+    /** Find or create the histogram @p name. @p options is only used
+     *  on first registration. */
+    LogHistogram &histogram(const std::string &name,
+                            const std::string &help,
+                            HistogramOptions options = {});
+
+    /** Render the Prometheus text exposition format (sorted by name). */
+    void writePrometheus(std::ostream &out) const;
+
+    /** writePrometheus() to a file; false (no throw) on I/O error. */
+    bool writePrometheus(const std::string &path) const;
+
+    /** Flat snapshot of every metric, sorted by name. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind = MetricKind::counter;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name, const std::string &help,
+                        MetricKind kind);
+
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+};
+
+/** Process-wide registry the runtime layers publish into. */
+MetricsRegistry &defaultRegistry();
+
+/** Prometheus-style number rendering ("+Inf", integral shortcuts). */
+std::string prometheusNumber(double value);
+
+} // namespace anytime::obs
+
+#endif // ANYTIME_OBS_METRICS_HPP

@@ -1,0 +1,460 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+namespace anytime::obs {
+
+namespace {
+
+constexpr std::size_t kCapacityPerThread = std::size_t(1) << 14;
+
+#if ANYTIME_TRACE_COMPILED_IN
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t
+clockNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * One thread's ring. The owning thread is the only writer; `written`
+ * is published with release stores so a drainer that loads it with
+ * acquire sees every record below it. A drain that races with an
+ * actively wrapping writer may read the oldest in-window slots while
+ * they are being overwritten; exports are meant to happen at quiesce
+ * points (end of run / scenario), where this cannot occur.
+ */
+struct ThreadBuffer
+{
+    std::vector<TraceRecord> slots{kCapacityPerThread};
+    std::atomic<std::uint64_t> written{0}; ///< records ever written
+    std::uint32_t tid = 0;
+};
+
+struct Collector
+{
+    std::atomic<bool> enabled{false};
+    std::atomic<std::int64_t> epochNs{clockNs()};
+    std::mutex mutex; ///< guards buffers registry and interned names
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    std::unordered_set<std::string> names;
+};
+
+Collector &
+collector()
+{
+    static Collector instance;
+    return instance;
+}
+
+thread_local ThreadBuffer *tlsBuffer = nullptr;
+
+ThreadBuffer &
+threadBuffer()
+{
+    if (tlsBuffer == nullptr) {
+        Collector &c = collector();
+        std::lock_guard lock(c.mutex);
+        auto buffer = std::make_unique<ThreadBuffer>();
+        buffer->tid = static_cast<std::uint32_t>(c.buffers.size());
+        tlsBuffer = buffer.get();
+        c.buffers.push_back(std::move(buffer));
+    }
+    return *tlsBuffer;
+}
+
+std::uint64_t
+nowNs()
+{
+    const std::int64_t delta =
+        clockNs() - collector().epochNs.load(std::memory_order_relaxed);
+    return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+void
+appendEscaped(std::string &out, const char *text)
+{
+    if (text == nullptr)
+        return;
+    for (const char *p = text; *p != '\0'; ++p) {
+        const unsigned char ch = static_cast<unsigned char>(*p);
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    // JSON has no NaN/Infinity literals; null keeps the trace loadable.
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    // Integral values (version counts, flags, ids) print exactly;
+    // everything else keeps enough digits to round-trip visually.
+    if (std::abs(value) < 9e15 && value == std::floor(value)) {
+        out += std::to_string(static_cast<std::int64_t>(value));
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    out += buf;
+}
+
+/** Microsecond timestamp with nanosecond resolution (Chrome "ts"). */
+void
+appendMicros(std::string &out, std::uint64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    out += buf;
+}
+
+void
+appendArgs(std::string &out, const TraceRecord &record)
+{
+    out += "\"args\":{";
+    bool first = true;
+    for (const TraceArg &arg : record.args) {
+        if (arg.key == nullptr)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        appendEscaped(out, arg.key);
+        out += "\":";
+        appendNumber(out, arg.value);
+    }
+    out += '}';
+}
+
+void
+appendEvent(std::string &out, const TraceRecord &record)
+{
+    out += "{\"name\":\"";
+    appendEscaped(out, record.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out,
+                  record.category != nullptr ? record.category : "misc");
+    out += "\",\"ph\":\"";
+    switch (record.kind) {
+      case TraceRecord::Kind::complete:
+        out += 'X';
+        break;
+      case TraceRecord::Kind::instant:
+        out += 'i';
+        break;
+      case TraceRecord::Kind::counter:
+        out += 'C';
+        break;
+      case TraceRecord::Kind::asyncBegin:
+        out += 'b';
+        break;
+      case TraceRecord::Kind::asyncEnd:
+        out += 'e';
+        break;
+    }
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(record.tid);
+    out += ",\"ts\":";
+    appendMicros(out, record.startNs);
+    if (record.kind == TraceRecord::Kind::complete) {
+        out += ",\"dur\":";
+        appendMicros(out, record.durationNs);
+    }
+    if (record.kind == TraceRecord::Kind::instant)
+        out += ",\"s\":\"t\"";
+    if (record.kind == TraceRecord::Kind::asyncBegin ||
+        record.kind == TraceRecord::Kind::asyncEnd) {
+        out += ",\"id\":";
+        out += std::to_string(record.id);
+    }
+    out += ',';
+    appendArgs(out, record);
+    out += '}';
+}
+
+/** Snapshot every ring's retained window (registry lock held). */
+std::vector<TraceRecord>
+collectRecords()
+{
+    Collector &c = collector();
+    std::lock_guard lock(c.mutex);
+    std::vector<TraceRecord> records;
+    for (const auto &buffer : c.buffers) {
+        const std::uint64_t written =
+            buffer->written.load(std::memory_order_acquire);
+        const std::uint64_t capacity = buffer->slots.size();
+        const std::uint64_t first =
+            written > capacity ? written - capacity : 0;
+        for (std::uint64_t i = first; i < written; ++i)
+            records.push_back(buffer->slots[i % capacity]);
+    }
+    // Chronological order across threads; async begin sorts before its
+    // end when both carry the same timestamp.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         if (a.startNs != b.startNs)
+                             return a.startNs < b.startNs;
+                         return static_cast<int>(a.kind) <
+                                static_cast<int>(b.kind);
+                     });
+    return records;
+}
+
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+} // namespace
+
+std::size_t
+traceCapacityPerThread()
+{
+    return kCapacityPerThread;
+}
+
+#if ANYTIME_TRACE_COMPILED_IN
+
+bool
+tracingEnabled()
+{
+    return collector().enabled.load(std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool on)
+{
+    collector().enabled.store(on, std::memory_order_relaxed);
+}
+
+const char *
+internName(const std::string &name)
+{
+    Collector &c = collector();
+    std::lock_guard lock(c.mutex);
+    return c.names.insert(name).first->c_str();
+}
+
+void
+traceRecord(TraceRecord record)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    record.tid = buffer.tid;
+    const std::uint64_t index =
+        buffer.written.load(std::memory_order_relaxed);
+    buffer.slots[index % buffer.slots.size()] = record;
+    buffer.written.store(index + 1, std::memory_order_release);
+}
+
+void
+traceInstant(const char *name, const char *category, TraceArg arg0,
+             TraceArg arg1)
+{
+    if (!tracingEnabled())
+        return;
+    TraceRecord record;
+    record.kind = TraceRecord::Kind::instant;
+    record.name = name;
+    record.category = category;
+    record.startNs = nowNs();
+    record.args[0] = arg0;
+    record.args[1] = arg1;
+    traceRecord(record);
+}
+
+void
+traceCounter(const char *name, double value)
+{
+    if (!tracingEnabled())
+        return;
+    TraceRecord record;
+    record.kind = TraceRecord::Kind::counter;
+    record.name = name;
+    record.category = "counter";
+    record.startNs = nowNs();
+    record.args[0] = {"value", value};
+    traceRecord(record);
+}
+
+void
+traceAsyncBegin(const char *name, const char *category, std::uint64_t id,
+                TraceArg arg0, TraceArg arg1)
+{
+    if (!tracingEnabled())
+        return;
+    TraceRecord record;
+    record.kind = TraceRecord::Kind::asyncBegin;
+    record.name = name;
+    record.category = category;
+    record.startNs = nowNs();
+    record.id = id;
+    record.args[0] = arg0;
+    record.args[1] = arg1;
+    traceRecord(record);
+}
+
+void
+traceAsyncEnd(const char *name, const char *category, std::uint64_t id,
+              TraceArg arg0, TraceArg arg1)
+{
+    if (!tracingEnabled())
+        return;
+    TraceRecord record;
+    record.kind = TraceRecord::Kind::asyncEnd;
+    record.name = name;
+    record.category = category;
+    record.startNs = nowNs();
+    record.id = id;
+    record.args[0] = arg0;
+    record.args[1] = arg1;
+    traceRecord(record);
+}
+
+std::uint64_t
+droppedRecords()
+{
+    Collector &c = collector();
+    std::lock_guard lock(c.mutex);
+    std::uint64_t dropped = 0;
+    for (const auto &buffer : c.buffers) {
+        const std::uint64_t written =
+            buffer->written.load(std::memory_order_acquire);
+        const std::uint64_t capacity = buffer->slots.size();
+        if (written > capacity)
+            dropped += written - capacity;
+    }
+    return dropped;
+}
+
+std::uint64_t
+retainedRecords()
+{
+    Collector &c = collector();
+    std::lock_guard lock(c.mutex);
+    std::uint64_t retained = 0;
+    for (const auto &buffer : c.buffers) {
+        const std::uint64_t written =
+            buffer->written.load(std::memory_order_acquire);
+        retained += std::min<std::uint64_t>(written, buffer->slots.size());
+    }
+    return retained;
+}
+
+void
+clearTrace()
+{
+    Collector &c = collector();
+    std::lock_guard lock(c.mutex);
+    for (const auto &buffer : c.buffers)
+        buffer->written.store(0, std::memory_order_release);
+    c.epochNs.store(clockNs(), std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char *name, const char *category, TraceArg arg0,
+                     TraceArg arg1)
+{
+    if (!tracingEnabled())
+        return;
+    active = true;
+    record.kind = TraceRecord::Kind::complete;
+    record.name = name;
+    record.category = category;
+    record.startNs = nowNs();
+    record.args[0] = arg0;
+    record.args[1] = arg1;
+}
+
+TraceSpan::TraceSpan(const std::string &name, const char *category,
+                     TraceArg arg0, TraceArg arg1)
+    : TraceSpan(tracingEnabled() ? internName(name) : nullptr, category,
+                arg0, arg1)
+{
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active)
+        return;
+    record.durationNs = nowNs() - record.startNs;
+    traceRecord(record);
+}
+
+void
+TraceSpan::arg(unsigned slot, const char *key, double value)
+{
+    if (!active || slot >= 2)
+        return;
+    record.args[slot] = {key, value};
+}
+
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+void
+writeChromeTrace(std::ostream &out)
+{
+    std::string json;
+    json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+#if ANYTIME_TRACE_COMPILED_IN
+    const std::vector<TraceRecord> records = collectRecords();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i != 0)
+            json += ',';
+        json += '\n';
+        appendEvent(json, records[i]);
+    }
+#endif
+    json += "\n]}\n";
+    out << json;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace anytime::obs

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Low-overhead execution tracing with Chrome trace-event JSON export.
+ *
+ * The collector keeps one fixed-size ring buffer of binary records per
+ * emitting thread. The record path is lock-free: a thread writes into
+ * its own ring and publishes a monotonic write counter with a release
+ * store; no lock, no allocation, no formatting. Draining (JSON export)
+ * walks all rings under the registry mutex. When a ring wraps, the
+ * oldest records are overwritten and counted as dropped — memory stays
+ * bounded no matter how long the process runs.
+ *
+ * Tracing is off by default. Runtime gating is one relaxed atomic
+ * load; every emitter returns immediately when disabled, so leaving
+ * the instrumentation compiled in costs a predictable branch on the
+ * hot paths. Defining ANYTIME_TRACE_COMPILED_IN=0 compiles all
+ * emitters down to empty inlines for zero cost.
+ *
+ * Event names and categories are `const char *` so records stay POD.
+ * String literals can be passed directly; dynamic names (stage and
+ * buffer names) must be interned first via internName(), which returns
+ * a pointer that stays valid for the process lifetime.
+ *
+ * The exported JSON uses the Chrome trace-event format (object form,
+ * {"traceEvents": [...]}) and loads in Perfetto and chrome://tracing:
+ *  - TraceSpan        -> complete events ("ph":"X") with duration;
+ *  - traceInstant     -> instant events ("ph":"i");
+ *  - traceCounter     -> counter events ("ph":"C") plotted as a track;
+ *  - traceAsyncBegin/ -> async nestable events ("ph":"b"/"e") keyed by
+ *    traceAsyncEnd       id, for request lifecycles that hop threads.
+ */
+
+#ifndef ANYTIME_OBS_TRACE_HPP
+#define ANYTIME_OBS_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#ifndef ANYTIME_TRACE_COMPILED_IN
+#define ANYTIME_TRACE_COMPILED_IN 1
+#endif
+
+namespace anytime::obs {
+
+/** One optional named numeric argument attached to a trace event. */
+struct TraceArg
+{
+    const char *key = nullptr; ///< nullptr = argument absent
+    double value = 0.0;
+};
+
+/** Fixed-size binary trace record (one ring-buffer slot). */
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        complete,   ///< span with duration ("ph":"X")
+        instant,    ///< point event ("ph":"i")
+        counter,    ///< sampled value ("ph":"C")
+        asyncBegin, ///< async span open ("ph":"b", keyed by id)
+        asyncEnd,   ///< async span close ("ph":"e", keyed by id)
+    };
+
+    Kind kind = Kind::instant;
+    std::uint32_t tid = 0; ///< collector-assigned thread index
+    const char *name = nullptr;
+    const char *category = nullptr;
+    std::uint64_t startNs = 0;    ///< nanoseconds since collector epoch
+    std::uint64_t durationNs = 0; ///< complete events only
+    std::uint64_t id = 0;         ///< async correlation id
+    TraceArg args[2];
+};
+
+/** Ring capacity (records) of each per-thread buffer. */
+std::size_t traceCapacityPerThread();
+
+#if ANYTIME_TRACE_COMPILED_IN
+
+/** True while trace collection is on (one relaxed atomic load). */
+bool tracingEnabled();
+
+/** Turn collection on or off at runtime. */
+void setTracingEnabled(bool on);
+
+/**
+ * Intern @p name into the collector's string table; the returned
+ * pointer is valid for the process lifetime. Takes a lock — callers on
+ * hot paths should cache the result, and should only call this when
+ * tracingEnabled().
+ */
+const char *internName(const std::string &name);
+
+/** Append a fully formed record to this thread's ring (lock-free). */
+void traceRecord(TraceRecord record);
+
+/** Emit an instant event; no-op while disabled. */
+void traceInstant(const char *name, const char *category,
+                  TraceArg arg0 = {}, TraceArg arg1 = {});
+
+/** Emit a counter sample; no-op while disabled. */
+void traceCounter(const char *name, double value);
+
+/** Open an async span keyed by @p id; no-op while disabled. */
+void traceAsyncBegin(const char *name, const char *category,
+                     std::uint64_t id, TraceArg arg0 = {},
+                     TraceArg arg1 = {});
+
+/** Close the async span keyed by @p id; no-op while disabled. */
+void traceAsyncEnd(const char *name, const char *category,
+                   std::uint64_t id, TraceArg arg0 = {},
+                   TraceArg arg1 = {});
+
+/** Records overwritten before export, summed over all threads. */
+std::uint64_t droppedRecords();
+
+/** Records currently held in the rings, summed over all threads. */
+std::uint64_t retainedRecords();
+
+/**
+ * Reset all rings and the trace epoch (records are discarded). Meant
+ * for tests and for delimiting scenarios; quiesce emitters first.
+ */
+void clearTrace();
+
+/** Write everything collected so far as Chrome trace-event JSON. */
+void writeChromeTrace(std::ostream &out);
+
+/** writeChromeTrace() to a file; false (with no throw) on I/O error. */
+bool writeChromeTrace(const std::string &path);
+
+/**
+ * RAII span: measures construction to destruction and emits one
+ * complete event. When tracing is disabled at construction the span is
+ * inert (destructor does nothing). The std::string overload interns
+ * the name only when tracing is enabled.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *name, const char *category, TraceArg arg0 = {},
+              TraceArg arg1 = {});
+    TraceSpan(const std::string &name, const char *category,
+              TraceArg arg0 = {}, TraceArg arg1 = {});
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Set or overwrite argument slot 0 or 1 before destruction. */
+    void arg(unsigned slot, const char *key, double value);
+
+  private:
+    TraceRecord record;
+    bool active = false;
+};
+
+#else // !ANYTIME_TRACE_COMPILED_IN — zero-cost stubs
+
+inline bool tracingEnabled() { return false; }
+inline void setTracingEnabled(bool) {}
+inline const char *internName(const std::string &) { return ""; }
+inline void traceRecord(TraceRecord) {}
+inline void traceInstant(const char *, const char *, TraceArg = {},
+                         TraceArg = {})
+{
+}
+inline void traceCounter(const char *, double) {}
+inline void traceAsyncBegin(const char *, const char *, std::uint64_t,
+                            TraceArg = {}, TraceArg = {})
+{
+}
+inline void traceAsyncEnd(const char *, const char *, std::uint64_t,
+                          TraceArg = {}, TraceArg = {})
+{
+}
+inline std::uint64_t droppedRecords() { return 0; }
+inline std::uint64_t retainedRecords() { return 0; }
+inline void clearTrace() {}
+void writeChromeTrace(std::ostream &out); // writes an empty trace
+bool writeChromeTrace(const std::string &path);
+
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *, const char *, TraceArg = {}, TraceArg = {}) {}
+    TraceSpan(const std::string &, const char *, TraceArg = {},
+              TraceArg = {})
+    {
+    }
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+    void arg(unsigned, const char *, double) {}
+};
+
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+} // namespace anytime::obs
+
+#endif // ANYTIME_OBS_TRACE_HPP

@@ -44,7 +44,7 @@ ServiceMetrics::record(const ServiceResponse &response)
       case ServiceStatus::deadlineApprox:
       case ServiceStatus::qualityStopped:
         ++servedCount;
-        servedLatencies.push_back(response.totalSeconds);
+        servedLatencies.observe(response.totalSeconds);
         if (!std::isnan(response.quality)) {
             qualitySum += response.quality;
             ++qualitySamples;
@@ -61,6 +61,7 @@ ServiceMetrics::record(const ServiceResponse &response)
         ++failedCount;
         break;
       case ServiceStatus::cancelled:
+        ++cancelledCount;
         break;
     }
 }
@@ -79,17 +80,7 @@ ServiceMetrics::latencyPercentile(double p) const
 {
     fatalIf(p < 0.0 || p > 100.0, "latencyPercentile: p out of range: ",
             p);
-    if (servedLatencies.empty())
-        return 0.0;
-    std::vector<double> sorted = servedLatencies;
-    std::sort(sorted.begin(), sorted.end());
-    // Nearest-rank percentile: the smallest value with at least p% of
-    // observations at or below it.
-    const double rank =
-        std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-    const std::size_t index =
-        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-    return sorted[std::min(index, sorted.size() - 1)];
+    return servedLatencies.percentile(p);
 }
 
 double
@@ -105,14 +96,15 @@ ServiceMetrics::table(const std::string &title) const
 {
     SeriesTable result;
     result.title = title;
-    result.columns = {"requests", "served",   "precise",  "shed",
-                      "expired",  "failed",   "hit_rate", "p50_ms",
-                      "p95_ms",   "p99_ms",   "mean_quality"};
+    result.columns = {"requests", "served",    "precise", "shed",
+                      "expired",  "failed",    "cancelled", "hit_rate",
+                      "p50_ms",   "p95_ms",    "p99_ms",
+                      "mean_quality"};
     result.rows.push_back(
         {std::to_string(totalCount), std::to_string(servedCount),
          std::to_string(preciseCount), std::to_string(shedCount),
          std::to_string(expiredCount), std::to_string(failedCount),
-         formatDouble(hitRate(), 3),
+         std::to_string(cancelledCount), formatDouble(hitRate(), 3),
          formatDouble(latencyPercentile(50) * 1e3, 2),
          formatDouble(latencyPercentile(95) * 1e3, 2),
          formatDouble(latencyPercentile(99) * 1e3, 2),

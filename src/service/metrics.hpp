@@ -6,15 +6,21 @@
  * The server records every response; snapshots are exported through the
  * same SeriesTable machinery the figure benches use, so service-level
  * results print (and CSV-dump) like every other experiment in the repo.
+ *
+ * Served latencies are folded into a bounded log-bucketed histogram
+ * (obs/histogram.hpp) rather than stored per sample, so memory stays
+ * constant under sustained load; percentiles keep their nearest-rank
+ * meaning to within one bucket (and p=0 / p=100 / single-sample cases
+ * stay exact thanks to the histogram's exact min/max envelope).
  */
 
 #ifndef ANYTIME_SERVICE_METRICS_HPP
 #define ANYTIME_SERVICE_METRICS_HPP
 
 #include <cstddef>
-#include <vector>
 
 #include "harness/report.hpp"
+#include "obs/histogram.hpp"
 #include "service/request.hpp"
 
 namespace anytime {
@@ -26,7 +32,8 @@ class ServiceMetrics
     /** Fold one response into the aggregates. */
     void record(const ServiceResponse &response);
 
-    /** Requests responded to (served + shed + expired + failed). */
+    /** Requests responded to
+     *  (served + shed + expired + failed + cancelled). */
     std::size_t total() const { return totalCount; }
 
     /** Requests that were dispatched and ran. */
@@ -41,6 +48,9 @@ class ServiceMetrics
     /** Requests whose pipeline failed. */
     std::size_t failed() const { return failedCount; }
 
+    /** Requests cancelled by server shutdown before completion. */
+    std::size_t cancelled() const { return cancelledCount; }
+
     /** Served requests that ran to the precise output. */
     std::size_t precise() const { return preciseCount; }
 
@@ -49,7 +59,9 @@ class ServiceMetrics
 
     /**
      * Latency percentile in seconds over *served* requests
-     * (submission to response). @p p in [0, 100].
+     * (submission to response). @p p in [0, 100]. Answered from the
+     * bounded histogram: one-bucket resolution, exact at p=0 (min),
+     * p=100 (max), and when only one sample was recorded.
      */
     double latencyPercentile(double p) const;
 
@@ -59,17 +71,22 @@ class ServiceMetrics
     /** Printable summary (harness report format). */
     SeriesTable table(const std::string &title) const;
 
+    /** The served-latency distribution (seconds). */
+    const obs::LogHistogram &latencies() const { return servedLatencies; }
+
   private:
     std::size_t totalCount = 0;
     std::size_t servedCount = 0;
     std::size_t shedCount = 0;
     std::size_t expiredCount = 0;
     std::size_t failedCount = 0;
+    std::size_t cancelledCount = 0;
     std::size_t preciseCount = 0;
     std::size_t deadlineHits = 0;
     double qualitySum = 0.0;
     std::size_t qualitySamples = 0;
-    std::vector<double> servedLatencies;
+    /** Bounded log-bucketed latency distribution (seconds). */
+    obs::LogHistogram servedLatencies;
 };
 
 } // namespace anytime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -33,6 +34,48 @@ AnytimeServer::AnytimeServer(ServerConfig config)
 {
     fatalIf(configuration.maxQueueDepth == 0,
             "AnytimeServer: zero queue depth admits nothing");
+    obs::MetricsRegistry &registry =
+        configuration.metricsRegistry != nullptr
+            ? *configuration.metricsRegistry
+            : obs::defaultRegistry();
+    live.submitted = &registry.counter(
+        "anytime_requests_submitted_total", "Requests submitted.");
+    live.served = &registry.counter(
+        "anytime_responses_served_total",
+        "Requests that were dispatched and ran.");
+    live.precise = &registry.counter(
+        "anytime_responses_precise_total",
+        "Served requests that reached the precise output.");
+    live.shed = &registry.counter(
+        "anytime_responses_shed_total",
+        "Requests shed by admission control.");
+    live.expired = &registry.counter(
+        "anytime_responses_expired_total",
+        "Requests whose deadline passed before dispatch.");
+    live.failed = &registry.counter(
+        "anytime_responses_failed_total",
+        "Requests whose pipeline failed.");
+    live.cancelled = &registry.counter(
+        "anytime_responses_cancelled_total",
+        "Requests cancelled by server shutdown.");
+    live.pendingDepth = &registry.gauge(
+        "anytime_requests_pending",
+        "Accepted requests waiting for dispatch.");
+    live.runningDepth = &registry.gauge(
+        "anytime_requests_running",
+        "Requests currently executing on the pool.");
+    live.latency = &registry.histogram(
+        "anytime_request_latency_seconds",
+        "Submission-to-response latency of served requests.");
+    live.queueDelay = &registry.histogram(
+        "anytime_request_queue_seconds",
+        "Submission-to-dispatch delay of served requests.");
+    live.execTime = &registry.histogram(
+        "anytime_request_exec_seconds",
+        "Pipeline execution time of served requests.");
+    live.buildTime = &registry.histogram(
+        "anytime_build_seconds",
+        "Pipeline factory (build) wall time.");
     builder = std::jthread(
         [this](std::stop_token stop) { builderLoop(std::move(stop)); });
     scheduler = std::jthread(
@@ -74,14 +117,21 @@ AnytimeServer::builderLoop(std::stop_token stop)
         BuildResult result;
         result.id = job.id;
         const auto build_begin = Clock::now();
-        try {
-            result.pipeline = job.factory();
-            if (!result.pipeline.automaton)
-                result.error = "pipeline factory returned no automaton";
-        } catch (const std::exception &exception) {
-            result.error = exception.what();
+        {
+            obs::TraceSpan span(
+                "build", "service",
+                {"request", static_cast<double>(job.id)});
+            try {
+                result.pipeline = job.factory();
+                if (!result.pipeline.automaton)
+                    result.error =
+                        "pipeline factory returned no automaton";
+            } catch (const std::exception &exception) {
+                result.error = exception.what();
+            }
         }
         result.seconds = secondsBetween(build_begin, Clock::now());
+        live.buildTime->observe(result.seconds);
         lock.lock();
 
         buildResults.push_back(std::move(result));
@@ -103,29 +153,38 @@ AnytimeServer::submit(ServiceRequest request)
     const auto deadline = now + request.deadline;
 
     std::lock_guard lock(mutex);
+    const std::uint64_t id = nextId++;
+    live.submitted->add();
+    obs::traceAsyncBegin(
+        "request", "service", id,
+        {"deadline_ms",
+         std::chrono::duration<double, std::milli>(request.deadline)
+             .count()},
+        {"min_quality", request.minQuality});
     if (stopping) {
-        respondImmediately(promise, ServiceStatus::cancelled, now);
+        respondImmediately(promise, ServiceStatus::cancelled, now, id);
         return future;
     }
     // A deadline at or before "now" can never be met by dispatching:
     // answer immediately (empty quality) instead of queueing a request
     // that would only ever expire. This is the zero-deadline guarantee.
     if (request.deadline <= std::chrono::nanoseconds::zero()) {
-        respondImmediately(promise, ServiceStatus::expired, now);
+        respondImmediately(promise, ServiceStatus::expired, now, id);
         return future;
     }
     if (const auto shed = admissionVerdict(now, deadline)) {
-        respondImmediately(promise, *shed, now);
+        respondImmediately(promise, *shed, now, id);
         return future;
     }
 
     PendingEntry entry;
-    entry.id = nextId++;
+    entry.id = id;
     entry.request = std::move(request);
     entry.promise = std::move(promise);
     entry.submitted = now;
     entry.deadline = deadline;
     pending.emplace(deadline, std::move(entry));
+    updateDepthGaugesLocked();
     pendingDirty = true;
     wake.notify_all();
     return future;
@@ -173,8 +232,15 @@ AnytimeServer::admissionVerdict(Clock::time_point now,
         return std::nullopt;
     const auto wait = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(predicted_wait));
-    if (now + wait >= deadline)
+    if (now + wait >= deadline) {
+        obs::traceInstant(
+            "admission.predicted-miss", "service",
+            {"predicted_wait_ms", predicted_wait * 1e3},
+            {"slack_ms", std::chrono::duration<double, std::milli>(
+                             deadline - now)
+                             .count()});
         return ServiceStatus::shedPredictedMiss;
+    }
     return std::nullopt;
 }
 
@@ -182,6 +248,7 @@ void
 AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
                                   ServiceStatus status,
                                   Clock::time_point submitted,
+                                  std::uint64_t id,
                                   std::vector<std::string> failures)
 {
     ServiceResponse response;
@@ -189,6 +256,12 @@ AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
     response.totalSeconds = secondsBetween(submitted, Clock::now());
     response.failures = std::move(failures);
     metrics.record(response);
+    updateLiveMetrics(response);
+    if (id != 0)
+        obs::traceAsyncEnd("request", "service", id,
+                           {"served", 0.0});
+    obs::traceInstant(serviceStatusName(status), "service",
+                      {"request", static_cast<double>(id)});
     promise.set_value(std::move(response));
     idleCv.notify_all();
 }
@@ -200,6 +273,8 @@ AnytimeServer::stopOverdueLocked(Clock::time_point now)
         if (entry.stopReason == StopReason::none &&
             entry.deadline <= now) {
             entry.stopReason = StopReason::deadline;
+            obs::traceInstant("deadline.stop", "service",
+                              {"request", static_cast<double>(id)});
             entry.pipeline.automaton->stop();
         }
     }
@@ -217,6 +292,10 @@ AnytimeServer::integrateBuildResultsLocked()
         ewmaBuildSeconds =
             (1.0 - alpha) * ewmaBuildSeconds + alpha * result.seconds;
         ewmaBuildValid = true;
+        obs::traceInstant(
+            "ewma.build", "service",
+            {"build_ms", result.seconds * 1e3},
+            {"ewma_ms", ewmaBuildSeconds * 1e3});
         const auto it = std::find_if(
             pending.begin(), pending.end(),
             [&](const auto &kv) { return kv.second.id == result.id; });
@@ -224,9 +303,10 @@ AnytimeServer::integrateBuildResultsLocked()
             continue; // expired or cancelled while being built
         if (!result.error.empty()) {
             respondImmediately(it->second.promise, ServiceStatus::failed,
-                               it->second.submitted,
+                               it->second.submitted, it->second.id,
                                {std::move(result.error)});
             pending.erase(it);
+            updateDepthGaugesLocked();
         } else {
             it->second.pipeline = std::move(result.pipeline);
         }
@@ -278,11 +358,68 @@ AnytimeServer::harvest(RunningEntry entry)
         ewmaGang = (1.0 - alpha) * ewmaGang +
                    alpha * static_cast<double>(entry.gang);
         ewmaValid = true;
+        obs::traceInstant("ewma.exec", "service",
+                          {"exec_ms", response.execSeconds * 1e3},
+                          {"ewma_ms", ewmaExecSeconds * 1e3});
     }
 
     metrics.record(response);
+    updateLiveMetrics(response);
+    if (obs::tracingEnabled()) {
+        obs::traceInstant(serviceStatusName(response.status), "service",
+                          {"request", static_cast<double>(entry.id)},
+                          {"quality", response.quality});
+        obs::traceAsyncEnd(
+            "request", "service", entry.id,
+            {"versions",
+             static_cast<double>(response.versionsPublished)},
+            {"quality", response.quality});
+    }
     entry.promise.set_value(std::move(response));
     idleCv.notify_all();
+}
+
+void
+AnytimeServer::updateLiveMetrics(const ServiceResponse &response)
+{
+    switch (response.status) {
+      case ServiceStatus::preciseCompleted:
+        live.precise->add();
+        [[fallthrough]];
+      case ServiceStatus::deadlineApprox:
+      case ServiceStatus::qualityStopped:
+        live.served->add();
+        live.latency->observe(response.totalSeconds);
+        live.queueDelay->observe(response.queueSeconds);
+        live.execTime->observe(response.execSeconds);
+        break;
+      case ServiceStatus::shedQueueFull:
+      case ServiceStatus::shedPredictedMiss:
+        live.shed->add();
+        break;
+      case ServiceStatus::expired:
+        live.expired->add();
+        break;
+      case ServiceStatus::failed:
+        live.failed->add();
+        break;
+      case ServiceStatus::cancelled:
+        live.cancelled->add();
+        break;
+    }
+}
+
+void
+AnytimeServer::updateDepthGaugesLocked()
+{
+    live.pendingDepth->set(static_cast<double>(pending.size()));
+    live.runningDepth->set(static_cast<double>(running.size()));
+    if (obs::tracingEnabled()) {
+        obs::traceCounter("service.pending",
+                          static_cast<double>(pending.size()));
+        obs::traceCounter("service.running",
+                          static_cast<double>(running.size()));
+    }
 }
 
 void
@@ -305,6 +442,7 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             RunningEntry entry = std::move(it->second);
             running.erase(it);
             slotsUsed -= entry.gang;
+            updateDepthGaugesLocked();
             harvest(std::move(entry));
         }
         integrateBuildResultsLocked();
@@ -323,10 +461,16 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
         if (backlogged) {
             for (auto &[id, entry] : running) {
                 if (entry.stopReason == StopReason::none &&
-                    entry.minQuality > 0.0 && entry.pipeline.progress &&
-                    entry.pipeline.progress() >= entry.minQuality) {
-                    entry.stopReason = StopReason::quality;
-                    entry.pipeline.automaton->stop();
+                    entry.minQuality > 0.0 && entry.pipeline.progress) {
+                    const double progress = entry.pipeline.progress();
+                    if (progress >= entry.minQuality) {
+                        entry.stopReason = StopReason::quality;
+                        obs::traceInstant(
+                            "quality.stop", "service",
+                            {"request", static_cast<double>(id)},
+                            {"progress", progress});
+                        entry.pipeline.automaton->stop();
+                    }
                 }
             }
         }
@@ -336,11 +480,15 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
         if (stopping) {
             for (auto &[deadline, entry] : pending)
                 respondImmediately(entry.promise, ServiceStatus::cancelled,
-                                   entry.submitted);
+                                   entry.submitted, entry.id);
             pending.clear();
+            updateDepthGaugesLocked();
             for (auto &[id, entry] : running) {
                 if (entry.stopReason == StopReason::none) {
                     entry.stopReason = StopReason::shutdown;
+                    obs::traceInstant(
+                        "shutdown.stop", "service",
+                        {"request", static_cast<double>(id)});
                     entry.pipeline.automaton->stop();
                 }
             }
@@ -359,8 +507,9 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             PendingEntry &head = it->second;
             if (head.deadline <= Clock::now()) {
                 respondImmediately(head.promise, ServiceStatus::expired,
-                                   head.submitted);
+                                   head.submitted, head.id);
                 pending.erase(it);
+                updateDepthGaugesLocked();
                 continue;
             }
             if (!head.pipeline.automaton) {
@@ -378,10 +527,12 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             if (gang > workers.size()) {
                 respondImmediately(
                     head.promise, ServiceStatus::failed, head.submitted,
+                    head.id,
                     {"pipeline needs " + std::to_string(gang) +
                      " workers but the pool has " +
                      std::to_string(workers.size())});
                 pending.erase(it);
+                updateDepthGaugesLocked();
                 continue;
             }
             if (slotsUsed + gang > workers.size())
@@ -406,7 +557,12 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                 wake.notify_all();
             });
             slotsUsed += gang;
+            obs::traceInstant(
+                "edf.dispatch", "service",
+                {"request", static_cast<double>(id)},
+                {"gang", static_cast<double>(gang)});
             running.emplace(id, std::move(entry));
+            updateDepthGaugesLocked();
             automaton->start(workers);
         }
 

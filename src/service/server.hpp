@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/worker_pool.hpp"
+#include "obs/metrics.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 #include "support/stopwatch.hpp"
@@ -69,6 +70,9 @@ struct ServerConfig
         std::chrono::milliseconds(1);
     /** Only degrade to minQuality when requests are waiting. */
     bool degradeOnlyWhenBacklogged = true;
+    /** Registry the server publishes live counters/gauges/histograms
+     *  into; nullptr means obs::defaultRegistry(). */
+    obs::MetricsRegistry *metricsRegistry = nullptr;
 };
 
 /** In-process anytime serving runtime. */
@@ -166,10 +170,12 @@ class AnytimeServer
     /** Runs pipeline factories off the scheduler thread. */
     void builderLoop(std::stop_token stop);
 
-    /** Respond without dispatching (shed/expired/cancelled/failed). */
+    /** Respond without dispatching (shed/expired/cancelled/failed).
+     *  @p id closes the request's trace span (0 = no span open). */
     void respondImmediately(std::promise<ServiceResponse> &promise,
                             ServiceStatus status,
                             Clock::time_point submitted,
+                            std::uint64_t id = 0,
                             std::vector<std::string> failures = {});
 
     /** Harvest a finished pipeline and fulfill its promise. */
@@ -222,6 +228,32 @@ class AnytimeServer
     bool ewmaBuildValid = false;
 
     ServiceMetrics metrics;
+
+    /** Live exposition metrics (owned by the configured registry). */
+    struct LiveMetrics
+    {
+        obs::Counter *submitted = nullptr;
+        obs::Counter *served = nullptr;
+        obs::Counter *precise = nullptr;
+        obs::Counter *shed = nullptr;
+        obs::Counter *expired = nullptr;
+        obs::Counter *failed = nullptr;
+        obs::Counter *cancelled = nullptr;
+        obs::Gauge *pendingDepth = nullptr;
+        obs::Gauge *runningDepth = nullptr;
+        obs::LogHistogram *latency = nullptr;
+        obs::LogHistogram *queueDelay = nullptr;
+        obs::LogHistogram *execTime = nullptr;
+        obs::LogHistogram *buildTime = nullptr;
+    };
+
+    /** Fold a terminal response into the live registry metrics. */
+    void updateLiveMetrics(const ServiceResponse &response);
+
+    /** Refresh the queue-depth gauges (caller locked). */
+    void updateDepthGaugesLocked();
+
+    LiveMetrics live;
 
     WorkerPool workers;
     std::jthread builder;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Metrics registry and log-bucketed histogram tests: counter/gauge
+ * semantics, idempotent registration, percentile edge cases (p=0,
+ * p=100, single sample stay exact), and a golden-format check of the
+ * Prometheus text exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace anytime::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndRegistrationIsIdempotent)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("reqs_total", "Requests.");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+    // Same name resolves to the same metric object.
+    EXPECT_EQ(&registry.counter("reqs_total", "ignored"), &c);
+}
+
+TEST(Metrics, GaugeSetsAndAdds)
+{
+    MetricsRegistry registry;
+    Gauge &g = registry.gauge("depth", "Queue depth.");
+    g.set(3.0);
+    g.add(2.5);
+    g.add(-1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, KindMismatchIsFatal)
+{
+    MetricsRegistry registry;
+    registry.counter("clash", "A counter.");
+    EXPECT_THROW(registry.gauge("clash", "Now a gauge?"), FatalError);
+    EXPECT_THROW(registry.histogram("clash", "Now a histogram?"),
+                 FatalError);
+}
+
+TEST(Metrics, InvalidPrometheusNamesAreFatal)
+{
+    MetricsRegistry registry;
+    EXPECT_THROW(registry.counter("", "empty"), FatalError);
+    EXPECT_THROW(registry.counter("has space", "space"), FatalError);
+    EXPECT_THROW(registry.counter("1leading_digit", "digit"),
+                 FatalError);
+    EXPECT_THROW(registry.counter("dash-ed", "dash"), FatalError);
+    // Legal names: leading underscore/colon, embedded colons.
+    registry.counter("_ok", "ok");
+    registry.counter("ns:sub:metric_total", "ok");
+}
+
+TEST(Histogram, SingleSampleAnswersEveryPercentileExactly)
+{
+    LogHistogram h;
+    h.observe(0.42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.42);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.42);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.42);
+    EXPECT_DOUBLE_EQ(h.min(), 0.42);
+    EXPECT_DOUBLE_EQ(h.max(), 0.42);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.42);
+}
+
+TEST(Histogram, ExtremePercentilesReturnExactMinAndMax)
+{
+    LogHistogram h;
+    const std::vector<double> samples = {0.0031, 0.017, 0.0009, 0.29,
+                                         0.072,  0.0031};
+    for (const double s : samples)
+        h.observe(s);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0009);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.29);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0009);
+    EXPECT_DOUBLE_EQ(h.max(), 0.29);
+}
+
+TEST(Histogram, MidPercentilesAreWithinOneBucket)
+{
+    LogHistogram h; // growth 1.25 => <= ~12% relative error
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(static_cast<double>(i) * 1e-3);
+    const double p50 = h.percentile(50);
+    EXPECT_GE(p50, 0.5 / 1.25);
+    EXPECT_LE(p50, 0.5 * 1.25);
+    const double p99 = h.percentile(99);
+    EXPECT_GE(p99, 0.99 / 1.25);
+    EXPECT_LE(p99, 1.0); // clamped into [min, max]
+    EXPECT_GE(h.percentile(95), p50);
+}
+
+TEST(Histogram, EmptyAndOutOfRangeEdges)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+    EXPECT_THROW(h.percentile(-0.1), FatalError);
+    EXPECT_THROW(h.percentile(100.1), FatalError);
+    // NaN samples are ignored; negative samples clamp to zero.
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u);
+    h.observe(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, ConcurrentObserversLoseNoSamples)
+{
+    LogHistogram h;
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (unsigned i = 0; i < kPerThread; ++i)
+                h.observe(1e-4 * static_cast<double>(i + 1));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_DOUBLE_EQ(h.min(), 1e-4);
+    EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(Metrics, PrometheusExpositionMatchesGolden)
+{
+    MetricsRegistry registry;
+    registry.counter("anytime_requests_total", "Requests observed.")
+        .add(3);
+    registry.gauge("anytime_queue_depth", "Current depth.").set(2.5);
+    // Deterministic layout: bounds 0.001, 0.01, 0.1, +Inf.
+    LogHistogram &h = registry.histogram(
+        "anytime_latency_seconds", "Latency.",
+        {.firstBound = 0.001, .growth = 10.0, .buckets = 4});
+    h.observe(0.0005);
+    h.observe(0.005);
+    h.observe(0.05);
+    h.observe(5.0);
+
+    std::ostringstream out;
+    registry.writePrometheus(out);
+    const std::string expected =
+        "# HELP anytime_latency_seconds Latency.\n"
+        "# TYPE anytime_latency_seconds histogram\n"
+        "anytime_latency_seconds_bucket{le=\"0.001\"} 1\n"
+        "anytime_latency_seconds_bucket{le=\"0.01\"} 2\n"
+        "anytime_latency_seconds_bucket{le=\"0.1\"} 3\n"
+        "anytime_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+        "anytime_latency_seconds_sum 5.0555\n"
+        "anytime_latency_seconds_count 4\n"
+        "# HELP anytime_queue_depth Current depth.\n"
+        "# TYPE anytime_queue_depth gauge\n"
+        "anytime_queue_depth 2.5\n"
+        "# HELP anytime_requests_total Requests observed.\n"
+        "# TYPE anytime_requests_total counter\n"
+        "anytime_requests_total 3\n";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Metrics, SnapshotReportsHistogramStatistics)
+{
+    MetricsRegistry registry;
+    registry.counter("b_counter", "B.").add(7);
+    LogHistogram &h = registry.histogram("a_histogram", "A.");
+    h.observe(0.010);
+    h.observe(0.020);
+    h.observe(0.030);
+
+    const std::vector<MetricSnapshot> rows = registry.snapshot();
+    ASSERT_EQ(rows.size(), 2u);
+    // Sorted by name.
+    EXPECT_EQ(rows[0].name, "a_histogram");
+    EXPECT_EQ(rows[0].kind, MetricKind::histogram);
+    EXPECT_EQ(rows[0].count, 3u);
+    EXPECT_DOUBLE_EQ(rows[0].min, 0.010);
+    EXPECT_DOUBLE_EQ(rows[0].max, 0.030);
+    EXPECT_NEAR(rows[0].sum, 0.060, 1e-12);
+    EXPECT_GT(rows[0].p95, rows[0].p50 * 0.99);
+    EXPECT_EQ(rows[1].name, "b_counter");
+    EXPECT_EQ(rows[1].kind, MetricKind::counter);
+    EXPECT_DOUBLE_EQ(rows[1].value, 7.0);
+}
+
+TEST(Metrics, PrometheusNumberFormatting)
+{
+    EXPECT_EQ(prometheusNumber(0.0), "0");
+    EXPECT_EQ(prometheusNumber(42.0), "42");
+    EXPECT_EQ(prometheusNumber(-3.0), "-3");
+    EXPECT_EQ(prometheusNumber(2.5), "2.5");
+    EXPECT_EQ(prometheusNumber(
+                  std::numeric_limits<double>::infinity()),
+              "+Inf");
+    EXPECT_EQ(prometheusNumber(
+                  -std::numeric_limits<double>::infinity()),
+              "-Inf");
+    EXPECT_EQ(prometheusNumber(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "NaN");
+}
+
+} // namespace
+} // namespace anytime::obs

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Trace collector tests: multi-threaded emission must produce
+ * well-formed, chronologically ordered Chrome trace-event JSON; rings
+ * must stay bounded (overwriting, not growing, when full); and the
+ * disabled path must record nothing.
+ *
+ * JSON well-formedness is checked with a small recursive-descent
+ * validator rather than eyeballing substrings, so a malformed escape,
+ * a trailing comma, or a bare NaN in the output fails the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace anytime::obs {
+namespace {
+
+// --- minimal JSON validator (RFC 8259 grammar, no semantics) --------
+
+bool parseValue(const std::string &s, std::size_t &pos);
+
+void
+skipWs(const std::string &s, std::size_t &pos)
+{
+    while (pos < s.size() && std::isspace(
+                                 static_cast<unsigned char>(s[pos])))
+        ++pos;
+}
+
+bool
+parseLiteral(const std::string &s, std::size_t &pos, const char *word)
+{
+    for (const char *c = word; *c; ++c) {
+        if (pos >= s.size() || s[pos] != *c)
+            return false;
+        ++pos;
+    }
+    return true;
+}
+
+bool
+parseString(const std::string &s, std::size_t &pos)
+{
+    if (pos >= s.size() || s[pos] != '"')
+        return false;
+    ++pos;
+    while (pos < s.size()) {
+        const char c = s[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            return false; // raw control character
+        if (c == '\\') {
+            ++pos;
+            if (pos >= s.size())
+                return false;
+            const char esc = s[pos];
+            if (esc == 'u') {
+                for (int i = 0; i < 4; ++i) {
+                    ++pos;
+                    if (pos >= s.size() ||
+                        !std::isxdigit(
+                            static_cast<unsigned char>(s[pos])))
+                        return false;
+                }
+            } else if (std::string("\"\\/bfnrt").find(esc) ==
+                       std::string::npos) {
+                return false;
+            }
+        }
+        ++pos;
+    }
+    return false; // unterminated
+}
+
+bool
+parseNumber(const std::string &s, std::size_t &pos)
+{
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-')
+        ++pos;
+    if (pos >= s.size() ||
+        !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return false;
+    if (s[pos] == '0') {
+        ++pos; // no leading zeros
+    } else {
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    if (pos < s.size() && s[pos] == '.') {
+        ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+        ++pos;
+        if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    return pos > start;
+}
+
+bool
+parseObject(const std::string &s, std::size_t &pos)
+{
+    ++pos; // consume '{'
+    skipWs(s, pos);
+    if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        skipWs(s, pos);
+        if (!parseString(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size() || s[pos] != ':')
+            return false;
+        ++pos;
+        if (!parseValue(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        if (s[pos] != ',')
+            return false;
+        ++pos;
+    }
+}
+
+bool
+parseArray(const std::string &s, std::size_t &pos)
+{
+    ++pos; // consume '['
+    skipWs(s, pos);
+    if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        if (!parseValue(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        if (s[pos] != ',')
+            return false;
+        ++pos;
+    }
+}
+
+bool
+parseValue(const std::string &s, std::size_t &pos)
+{
+    skipWs(s, pos);
+    if (pos >= s.size())
+        return false;
+    switch (s[pos]) {
+      case '{':
+        return parseObject(s, pos);
+      case '[':
+        return parseArray(s, pos);
+      case '"':
+        return parseString(s, pos);
+      case 't':
+        return parseLiteral(s, pos, "true");
+      case 'f':
+        return parseLiteral(s, pos, "false");
+      case 'n':
+        return parseLiteral(s, pos, "null");
+      default:
+        return parseNumber(s, pos);
+    }
+}
+
+bool
+isValidJson(const std::string &text)
+{
+    std::size_t pos = 0;
+    if (!parseValue(text, pos))
+        return false;
+    skipWs(text, pos);
+    return pos == text.size();
+}
+
+/** All numbers following occurrences of `"key":`, in document order. */
+std::vector<double>
+numbersAfterKey(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        values.push_back(std::strtod(text.c_str() + pos, nullptr));
+    }
+    return values;
+}
+
+std::string
+exportTrace()
+{
+    std::ostringstream out;
+    writeChromeTrace(out);
+    return out.str();
+}
+
+/** Reset collector state and fail fast if a prior test leaked it on. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setTracingEnabled(false);
+        clearTrace();
+    }
+
+    void
+    TearDown() override
+    {
+        setTracingEnabled(false);
+        clearTrace();
+    }
+};
+
+TEST_F(TraceTest, DisabledEmittersRecordNothing)
+{
+    ASSERT_FALSE(tracingEnabled());
+    traceInstant("quiet", "test");
+    traceCounter("quiet.count", 7.0);
+    traceAsyncBegin("quiet.async", "test", 1);
+    traceAsyncEnd("quiet.async", "test", 1);
+    {
+        TraceSpan span("quiet.span", "test");
+    }
+    EXPECT_EQ(retainedRecords(), 0u);
+    EXPECT_EQ(droppedRecords(), 0u);
+
+    const std::string json = exportTrace();
+    EXPECT_TRUE(isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// Everything below exercises actual recording, which only exists when
+// the emitters are compiled in (the -DANYTIME_TRACE=OFF build checks
+// the stub path through DisabledEmittersRecordNothing above).
+#if ANYTIME_TRACE_COMPILED_IN
+
+TEST_F(TraceTest, MultiThreadedEmissionYieldsWellFormedOrderedJson)
+{
+    setTracingEnabled(true);
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kPerThread = 200;
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                const std::uint64_t id = t * kPerThread + i;
+                traceAsyncBegin("request", "test", id,
+                                {"thread", static_cast<double>(t)});
+                {
+                    TraceSpan span("work", "test",
+                                   {"i", static_cast<double>(i)});
+                    span.arg(1, "t", static_cast<double>(t));
+                }
+                traceCounter("progress", static_cast<double>(i));
+                traceAsyncEnd("request", "test", id);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    setTracingEnabled(false);
+
+    // 4 events per iteration, well below the per-thread ring capacity.
+    EXPECT_EQ(retainedRecords(), kThreads * kPerThread * 4u);
+    EXPECT_EQ(droppedRecords(), 0u);
+
+    const std::string json = exportTrace();
+    ASSERT_TRUE(isValidJson(json)) << "invalid JSON ("
+                                   << json.size() << " bytes)";
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+
+    // Export merges the per-thread rings into one chronological stream.
+    const std::vector<double> stamps = numbersAfterKey(json, "ts");
+    ASSERT_EQ(stamps.size(), kThreads * kPerThread * 4u);
+    for (std::size_t i = 1; i < stamps.size(); ++i)
+        ASSERT_GE(stamps[i], stamps[i - 1]) << "out of order at " << i;
+}
+
+TEST_F(TraceTest, FullRingOverwritesOldestAndCountsDropped)
+{
+    setTracingEnabled(true);
+    const std::size_t capacity = traceCapacityPerThread();
+    const std::size_t excess = 100;
+    for (std::size_t i = 0; i < capacity + excess; ++i)
+        traceInstant("tick", "test", {"i", static_cast<double>(i)});
+    setTracingEnabled(false);
+
+    EXPECT_EQ(retainedRecords(), capacity);
+    EXPECT_EQ(droppedRecords(), excess);
+
+    const std::string json = exportTrace();
+    EXPECT_TRUE(isValidJson(json));
+    // The survivors are the newest records, so the oldest surviving
+    // argument value is exactly `excess`.
+    const std::vector<double> args = numbersAfterKey(json, "i");
+    ASSERT_EQ(args.size(), capacity);
+    EXPECT_DOUBLE_EQ(args.front(), static_cast<double>(excess));
+    EXPECT_DOUBLE_EQ(args.back(),
+                     static_cast<double>(capacity + excess - 1));
+}
+
+TEST_F(TraceTest, SpanMeasuresElapsedTime)
+{
+    setTracingEnabled(true);
+    {
+        TraceSpan span("sleep", "test");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    setTracingEnabled(false);
+
+    const std::string json = exportTrace();
+    ASSERT_TRUE(isValidJson(json));
+    const std::vector<double> durations = numbersAfterKey(json, "dur");
+    ASSERT_EQ(durations.size(), 1u);
+    EXPECT_GE(durations[0], 1000.0); // microseconds
+}
+
+TEST_F(TraceTest, NonFiniteArgumentsStayValidJson)
+{
+    setTracingEnabled(true);
+    traceInstant("edge", "test",
+                 {"nan", std::numeric_limits<double>::quiet_NaN()},
+                 {"inf", std::numeric_limits<double>::infinity()});
+    setTracingEnabled(false);
+
+    // A bare `nan`/`inf` token would fail the validator; the collector
+    // serializes non-finite argument values as JSON null instead.
+    const std::string json = exportTrace();
+    EXPECT_TRUE(isValidJson(json)) << json;
+    EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+TEST_F(TraceTest, EscapesQuotesAndBackslashesInNames)
+{
+    setTracingEnabled(true);
+    const char *tricky = internName("a\"b\\c\n");
+    traceInstant(tricky, "test");
+    setTracingEnabled(false);
+    const std::string json = exportTrace();
+    EXPECT_TRUE(isValidJson(json)) << json;
+}
+
+TEST_F(TraceTest, InternedNamesAreStableAndDeduplicated)
+{
+    const char *first = internName(std::string("stage.alpha"));
+    const char *second = internName(std::string("stage.alpha"));
+    EXPECT_EQ(first, second);
+    EXPECT_STREQ(first, "stage.alpha");
+}
+
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+} // namespace
+} // namespace anytime::obs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ServiceMetrics accounting tests: every terminal status lands in
+ * exactly one bucket (total == served + shed + expired + failed +
+ * cancelled), latency percentiles keep their contract on the bounded
+ * histogram (p=0 / p=100 / single sample exact, out-of-range fatal),
+ * and the summary table carries the cancelled column.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "service/metrics.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+namespace {
+
+ServiceResponse
+response(ServiceStatus status, double total_seconds = 0.01,
+         bool deadline_met = true)
+{
+    ServiceResponse r;
+    r.status = status;
+    r.totalSeconds = total_seconds;
+    r.deadlineMet = deadline_met;
+    r.quality = servedStatus(status) ? 0.5 : 0.0;
+    return r;
+}
+
+TEST(ServiceMetrics, EveryStatusLandsInExactlyOneBucket)
+{
+    ServiceMetrics metrics;
+    metrics.record(response(ServiceStatus::preciseCompleted));
+    metrics.record(response(ServiceStatus::deadlineApprox));
+    metrics.record(response(ServiceStatus::qualityStopped));
+    metrics.record(response(ServiceStatus::shedQueueFull, 0.0, false));
+    metrics.record(
+        response(ServiceStatus::shedPredictedMiss, 0.0, false));
+    metrics.record(response(ServiceStatus::expired, 0.0, false));
+    metrics.record(response(ServiceStatus::failed, 0.0, false));
+    metrics.record(response(ServiceStatus::cancelled, 0.0, false));
+
+    EXPECT_EQ(metrics.total(), 8u);
+    EXPECT_EQ(metrics.served(), 3u);
+    EXPECT_EQ(metrics.precise(), 1u);
+    EXPECT_EQ(metrics.shed(), 2u);
+    EXPECT_EQ(metrics.expired(), 1u);
+    EXPECT_EQ(metrics.failed(), 1u);
+    EXPECT_EQ(metrics.cancelled(), 1u);
+    // The accounting invariant the table reports.
+    EXPECT_EQ(metrics.total(), metrics.served() + metrics.shed() +
+                                   metrics.expired() + metrics.failed() +
+                                   metrics.cancelled());
+    // Only served responses contribute latency samples.
+    EXPECT_EQ(metrics.latencies().count(), metrics.served());
+}
+
+TEST(ServiceMetrics, CancelledDoesNotDisappearFromTotals)
+{
+    ServiceMetrics metrics;
+    metrics.record(response(ServiceStatus::cancelled, 0.0, false));
+    metrics.record(response(ServiceStatus::cancelled, 0.0, false));
+    EXPECT_EQ(metrics.total(), 2u);
+    EXPECT_EQ(metrics.cancelled(), 2u);
+    EXPECT_EQ(metrics.served(), 0u);
+    EXPECT_DOUBLE_EQ(metrics.hitRate(), 0.0);
+}
+
+TEST(ServiceMetrics, LatencyPercentileEdgeCases)
+{
+    ServiceMetrics metrics;
+    // Empty: all percentiles answer 0.
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(100), 0.0);
+
+    // Single sample: every percentile is that sample, exactly.
+    metrics.record(response(ServiceStatus::deadlineApprox, 0.0123));
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(0), 0.0123);
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(50), 0.0123);
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(100), 0.0123);
+
+    // More samples: p=0 and p=100 stay exact min/max.
+    metrics.record(response(ServiceStatus::preciseCompleted, 0.0017));
+    metrics.record(response(ServiceStatus::qualityStopped, 0.44));
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(0), 0.0017);
+    EXPECT_DOUBLE_EQ(metrics.latencyPercentile(100), 0.44);
+    const double p50 = metrics.latencyPercentile(50);
+    EXPECT_GE(p50, 0.0017);
+    EXPECT_LE(p50, 0.44);
+}
+
+TEST(ServiceMetrics, OutOfRangePercentileIsFatal)
+{
+    ServiceMetrics metrics;
+    metrics.record(response(ServiceStatus::preciseCompleted));
+    EXPECT_THROW(metrics.latencyPercentile(-1.0), FatalError);
+    EXPECT_THROW(metrics.latencyPercentile(100.5), FatalError);
+}
+
+TEST(ServiceMetrics, TableCarriesCancelledColumn)
+{
+    ServiceMetrics metrics;
+    metrics.record(response(ServiceStatus::preciseCompleted));
+    metrics.record(response(ServiceStatus::cancelled, 0.0, false));
+
+    const SeriesTable table = metrics.table("test");
+    const auto column = std::find(table.columns.begin(),
+                                  table.columns.end(), "cancelled");
+    ASSERT_NE(column, table.columns.end());
+    const auto index = static_cast<std::size_t>(
+        column - table.columns.begin());
+    ASSERT_EQ(table.rows.size(), 1u);
+    ASSERT_LT(index, table.rows[0].size());
+    EXPECT_EQ(table.rows[0][index], "1");
+}
+
+TEST(ServiceMetrics, SnapshotIsCopyable)
+{
+    ServiceMetrics metrics;
+    metrics.record(response(ServiceStatus::preciseCompleted, 0.020));
+    const ServiceMetrics copy = metrics;
+    metrics.record(response(ServiceStatus::preciseCompleted, 0.030));
+    EXPECT_EQ(copy.total(), 1u);
+    EXPECT_EQ(metrics.total(), 2u);
+    EXPECT_DOUBLE_EQ(copy.latencyPercentile(100), 0.020);
+}
+
+} // namespace
+} // namespace anytime
