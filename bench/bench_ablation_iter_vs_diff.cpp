@@ -39,8 +39,14 @@ double
 meanAbsError(const LongMatrix &a, const LongMatrix &b)
 {
     double err = 0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        err += std::abs(static_cast<double>(a[i] - b[i]));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Difference in uint64: intermediate bit-plane accumulators
+        // wrap int64 by design, so the signed subtraction could too.
+        const auto delta = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[i]) -
+            static_cast<std::uint64_t>(b[i]));
+        err += std::abs(static_cast<double>(delta));
+    }
     return err / static_cast<double>(a.size());
 }
 

@@ -38,6 +38,18 @@ parseStringOption(int argc, char **argv, const std::string &flag)
     return {};
 }
 
+/** Parse a `--flag <n>` unsigned option; @p fallback when absent. */
+inline unsigned
+parseUnsignedOption(int argc, char **argv, const std::string &flag,
+                    unsigned fallback)
+{
+    const std::string text = parseStringOption(argc, argv, flag);
+    if (text.empty())
+        return fallback;
+    const long value = std::atol(text.c_str());
+    return value <= 0 ? fallback : static_cast<unsigned>(value);
+}
+
 /** Scaled image extent, clamped to a sane minimum. */
 inline std::size_t
 scaledExtent(std::size_t base, double scale)

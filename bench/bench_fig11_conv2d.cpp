@@ -8,9 +8,22 @@
  * the non-sequential sampling order's cache behavior). This bench runs
  * the same construction on a synthetic scene and prints the
  * (normalized runtime, SNR) series the figure plots.
+ *
+ * A second section measures the Section IV-C1 multi-threaded sampling:
+ * the diffusive stage's windows are divided cyclically among k workers
+ * and the bench reports time-to-90%-quality per worker count, plus a
+ * bit-identity check of the final outputs (the partitioned merge is
+ * deterministic, so every k must produce the single-worker image
+ * exactly). `--workers <k>` sets the widest gang, `--repeats <n>`
+ * takes the best of n runs per gang size (minimum t90 — the
+ * least-noise estimator on shared/loaded hosts), `--json <path>`
+ * writes the measurements for the CI perf gate.
  */
 
+#include <cstdio>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "apps/conv2d.hpp"
 #include "bench_common.hpp"
@@ -21,11 +34,92 @@
 
 using namespace anytime;
 
+namespace {
+
+struct ScalingPoint
+{
+    unsigned workers = 0;
+    double t90Seconds = 0.0;
+    double totalSeconds = 0.0;
+    bool bitIdentical = false;
+};
+
+/**
+ * Run the automaton at @p workers and report the wall-clock time of
+ * the version reaching 90% of the published version count. Versions
+ * are bit-identical across worker counts (deterministic partitioned
+ * merge), so equal version indices mean equal quality — t90 compares
+ * the same quality level at every k.
+ */
+ScalingPoint
+measureScalingOnce(const GrayImage &scene, const Kernel &kernel,
+                   unsigned workers, const GrayImage &reference)
+{
+    Conv2dConfig config;
+    config.publishCount = 48;
+    config.workers = workers;
+    auto bundle = makeConv2dAutomaton(scene, kernel, config);
+    TimelineRecorder<GrayImage> recorder(*bundle.output);
+    recorder.startClock();
+    bundle.automaton->start();
+    bundle.automaton->waitUntilDone();
+    bundle.automaton->shutdown();
+
+    ScalingPoint point;
+    point.workers = workers;
+    const auto entries = recorder.entries();
+    if (entries.empty())
+        return point;
+    const std::uint64_t total = entries.back().version;
+    const std::uint64_t v90 = (total * 9 + 9) / 10; // ceil(0.9 * total)
+    for (const auto &entry : entries) {
+        if (entry.version >= v90 && point.t90Seconds == 0.0)
+            point.t90Seconds = entry.seconds;
+        point.totalSeconds = entry.seconds;
+    }
+    point.bitIdentical = (*entries.back().value == reference);
+    return point;
+}
+
+/** Best of @p repeats runs: minimum t90 (scheduler noise only ever
+ *  inflates the time), bit-identity required by every run. */
+ScalingPoint
+measureScaling(const GrayImage &scene, const Kernel &kernel,
+               unsigned workers, const GrayImage &reference,
+               unsigned repeats)
+{
+    ScalingPoint best;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const ScalingPoint run =
+            measureScalingOnce(scene, kernel, workers, reference);
+        if (r == 0) {
+            best = run;
+        } else {
+            best.bitIdentical = best.bitIdentical && run.bitIdentical;
+            if (run.t90Seconds > 0.0 &&
+                (best.t90Seconds == 0.0 ||
+                 run.t90Seconds < best.t90Seconds)) {
+                best.t90Seconds = run.t90Seconds;
+                best.totalSeconds = run.totalSeconds;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const double scale = parseScale(argc, argv);
     const std::size_t extent = scaledExtent(288, scale);
+    const unsigned max_workers =
+        parseUnsignedOption(argc, argv, "--workers", 4);
+    const unsigned repeats =
+        parseUnsignedOption(argc, argv, "--repeats", 3);
+    const std::string json_path =
+        parseStringOption(argc, argv, "--json");
 
     printBanner("Figure 11: 2dconv runtime-accuracy",
                 "15.8 dB at 0.21x runtime; precise (inf dB) reached "
@@ -59,5 +153,71 @@ main(int argc, char **argv)
     }
     std::cout << "measured SNR at <=0.21x runtime: "
               << formatDouble(snr_at_21, 1) << " dB (paper: 15.8 dB)\n\n";
+
+    // Worker scaling (Section IV-C1 cyclic partitions): t90 per gang
+    // size against the single-worker final image.
+    const unsigned hardware =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::cout << "### worker scaling (cyclic partitions, "
+              << hardware << " hardware threads)\n";
+    std::vector<ScalingPoint> scaling;
+    GrayImage reference;
+    for (unsigned workers = 1; workers <= max_workers; workers *= 2) {
+        if (workers == 1) {
+            Conv2dConfig ref_config;
+            ref_config.publishCount = 48;
+            auto ref_bundle = makeConv2dAutomaton(scene, kernel, ref_config);
+            ref_bundle.automaton->start();
+            ref_bundle.automaton->waitUntilDone();
+            ref_bundle.automaton->shutdown();
+            reference = *ref_bundle.output->read().value;
+        }
+        scaling.push_back(
+            measureScaling(scene, kernel, workers, reference, repeats));
+    }
+    const double t90_w1 = scaling.front().t90Seconds;
+    for (const auto &point : scaling) {
+        const double speedup =
+            point.t90Seconds > 0.0 ? t90_w1 / point.t90Seconds : 0.0;
+        std::cout << "workers=" << point.workers
+                  << "  t90=" << formatDouble(point.t90Seconds, 4)
+                  << " s  speedup=" << formatDouble(speedup, 2)
+                  << "x  final "
+                  << (point.bitIdentical ? "bit-identical"
+                                         : "DIVERGED (BUG)")
+                  << "\n";
+    }
+    std::cout << "(speedup needs real cores; on a 1-hardware-thread "
+                 "host the gang only adds coordination overhead)\n";
+
+    if (!json_path.empty()) {
+        std::FILE *out = std::fopen(json_path.c_str(), "w");
+        if (!out) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        std::fprintf(out, "{\n");
+        std::fprintf(out, "  \"bench\": \"fig11_conv2d\",\n");
+        std::fprintf(out, "  \"extent\": %zu,\n", extent);
+        std::fprintf(out, "  \"hardware_threads\": %u,\n", hardware);
+        std::fprintf(out, "  \"baseline_seconds\": %.6f,\n", baseline);
+        std::fprintf(out, "  \"snr_at_021\": %.3f,\n", snr_at_21);
+        std::fprintf(out, "  \"scaling\": [\n");
+        for (std::size_t i = 0; i < scaling.size(); ++i) {
+            const auto &point = scaling[i];
+            std::fprintf(
+                out,
+                "    {\"workers\": %u, \"t90_seconds\": %.6f, "
+                "\"total_seconds\": %.6f, \"t90_norm\": %.6f, "
+                "\"bit_identical\": %s}%s\n",
+                point.workers, point.t90Seconds, point.totalSeconds,
+                baseline > 0.0 ? point.t90Seconds / baseline : 0.0,
+                point.bitIdentical ? "true" : "false",
+                i + 1 < scaling.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+        std::cout << "json written to " << json_path << "\n";
+    }
     return 0;
 }

@@ -40,14 +40,17 @@ namespace {
 const std::chrono::nanoseconds kDeadlineMix[] = {5ms, 20ms, 80ms};
 
 ServiceRequest
-conv2dRequest(const GrayImage &scene, std::chrono::nanoseconds deadline)
+conv2dRequest(const GrayImage &scene, std::chrono::nanoseconds deadline,
+              unsigned stage_workers)
 {
     ServiceRequest request;
     request.name = "conv2d";
     request.deadline = deadline;
-    request.factory = [&scene] {
+    request.stageWorkers = stage_workers;
+    request.factory = [&scene, stage_workers] {
         Conv2dConfig config;
         config.publishCount = 32;
+        config.workers = stage_workers;
         auto bundle = makeConv2dAutomaton(scene, Kernel::gaussianBlur(3),
                                           config);
         PreparedPipeline pipeline;
@@ -67,15 +70,18 @@ conv2dRequest(const GrayImage &scene, std::chrono::nanoseconds deadline)
 }
 
 ServiceRequest
-kmeansRequest(const RgbImage &scene, std::chrono::nanoseconds deadline)
+kmeansRequest(const RgbImage &scene, std::chrono::nanoseconds deadline,
+              unsigned stage_workers)
 {
     ServiceRequest request;
     request.name = "kmeans";
     request.deadline = deadline;
-    request.factory = [&scene] {
+    request.stageWorkers = stage_workers;
+    request.factory = [&scene, stage_workers] {
         KmeansConfig config;
         config.clusters = 6;
         config.publishCount = 32;
+        config.workers = stage_workers;
         auto bundle = makeKmeansAutomaton(scene, config);
         PreparedPipeline pipeline;
         auto out = bundle.output;
@@ -164,6 +170,11 @@ main(int argc, char **argv)
         parseStringOption(argc, argv, "--trace");
     const std::string metrics_path =
         parseStringOption(argc, argv, "--metrics");
+    // --stage-workers <k>: partition each request's diffusive stage
+    // among k workers (Section IV-C1); the request declares the gang
+    // so admission prediction accounts for the wider footprint.
+    const unsigned stage_workers =
+        parseUnsignedOption(argc, argv, "--stage-workers", 1);
     if (!trace_path.empty())
         obs::setTracingEnabled(true);
     printBanner("anytime serving runtime under load",
@@ -173,13 +184,14 @@ main(int argc, char **argv)
     const GrayImage gray_scene = generateScene(extent, extent, 11);
     const RgbImage color_scene = generateColorScene(extent, extent, 13);
     std::cout << "scene: " << extent << "x" << extent
-              << ", deadline mix 5/20/80 ms, pool of 4 workers\n\n";
+              << ", deadline mix 5/20/80 ms, pool of 4 workers, "
+              << stage_workers << " worker(s) per stage\n\n";
 
     const RequestMaker conv = [&](std::chrono::nanoseconds deadline) {
-        return conv2dRequest(gray_scene, deadline);
+        return conv2dRequest(gray_scene, deadline, stage_workers);
     };
     const RequestMaker kmeans = [&](std::chrono::nanoseconds deadline) {
-        return kmeansRequest(color_scene, deadline);
+        return kmeansRequest(color_scene, deadline, stage_workers);
     };
 
     runClosedLoop("conv2d", conv, /*clients=*/4, /*per_client=*/8);

@@ -11,7 +11,9 @@
  * error or an unbounded wait.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -50,8 +52,15 @@ main(int argc, char **argv)
     const std::string trace_path = stringOption(argc, argv, "--trace");
     const std::string metrics_path =
         stringOption(argc, argv, "--metrics");
-    if (!trace_path.empty())
-        obs::setTracingEnabled(true);
+    // --stage-workers <k> partitions each request's diffusive stage
+    // among k workers (Section IV-C1): tighter deadlines reach higher
+    // quality because every published version lands k times sooner.
+    const std::string workers_text =
+        stringOption(argc, argv, "--stage-workers");
+    const unsigned stage_workers =
+        workers_text.empty()
+            ? 1
+            : std::max(1, std::atoi(workers_text.c_str()));
 
     const GrayImage scene = generateScene(192, 192, 7);
 
@@ -72,9 +81,11 @@ main(int argc, char **argv)
         ServiceRequest request;
         request.name = client.name;
         request.deadline = client.deadline;
-        request.factory = [&scene] {
+        request.stageWorkers = stage_workers;
+        request.factory = [&scene, stage_workers] {
             Conv2dConfig config;
             config.publishCount = 48;
+            config.workers = stage_workers;
             auto bundle =
                 makeConv2dAutomaton(scene, Kernel::gaussianBlur(4),
                                     config);

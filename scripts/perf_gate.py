@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the anytime automaton benches.
+
+Compares a fresh ``bench_fig11_conv2d --json`` measurement against the
+committed baseline (``bench/baselines/BENCH_baseline.json``) and fails
+the build when the anytime pipeline got meaningfully slower or the
+multi-worker merge stopped being deterministic.
+
+Checks, in order of importance:
+
+1. **Determinism (always enforced).** Every scaling point must report
+   ``bit_identical: true`` — the partitioned merge guarantees the final
+   output equals the single-worker image exactly, on any host.
+2. **t90 regression (always enforced).** The single-worker normalized
+   time-to-90%-quality (``t90_norm`` = t90 / measured precise baseline)
+   must not exceed the committed baseline by more than ``--margin``
+   (default 1.25, i.e. a >25% regression fails).
+3. **Worker scaling (enforced only on multi-core hosts).** With >= 4
+   hardware threads, the 4-worker gang must reach 90% quality at least
+   ``2.5 / margin`` times faster than the single worker. On hosts with
+   fewer hardware threads the check is SKIPPED (reported, not failed):
+   parallel speedup is physically unmeasurable there and the gang can
+   only add coordination overhead.
+
+Normalizing by each run's own measured precise baseline makes the
+committed numbers portable across machine generations; the margin
+absorbs scheduler noise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SPEEDUP = 2.5  # acceptance target for the 4-worker gang
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def scaling_point(report, workers):
+    for point in report.get("scaling", []):
+        if point.get("workers") == workers:
+            return point
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="fresh bench JSON (BENCH_ci.json)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--margin", type=float, default=1.25,
+                        help="allowed regression factor (default 1.25)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+    skipped = []
+
+    # 1. Determinism: bit-identical finals at every worker count.
+    for point in current.get("scaling", []):
+        if not point.get("bit_identical", False):
+            failures.append(
+                f"workers={point.get('workers')}: final output diverged "
+                "from the single-worker image (merge no longer "
+                "deterministic)")
+
+    # 2. Single-worker t90 regression against the committed baseline.
+    cur_w1 = scaling_point(current, 1)
+    base_w1 = scaling_point(baseline, 1)
+    if cur_w1 is None or base_w1 is None:
+        failures.append("missing workers=1 scaling point")
+    else:
+        cur_norm = cur_w1.get("t90_norm", 0.0)
+        base_norm = base_w1.get("t90_norm", 0.0)
+        limit = base_norm * args.margin
+        line = (f"t90_norm w1: current {cur_norm:.3f} vs baseline "
+                f"{base_norm:.3f} (limit {limit:.3f})")
+        if base_norm > 0.0 and cur_norm > limit:
+            failures.append("REGRESSION " + line)
+        else:
+            print("ok:", line)
+
+    # 3. Multi-worker speedup — only meaningful with real cores.
+    hardware = current.get("hardware_threads", 1)
+    cur_w4 = scaling_point(current, 4)
+    if cur_w4 is None:
+        skipped.append("no workers=4 point measured")
+    elif hardware < 4:
+        skipped.append(
+            f"speedup check (host has {hardware} hardware thread(s); "
+            "4-worker scaling is unmeasurable)")
+    else:
+        t90_w1 = cur_w1.get("t90_seconds", 0.0) if cur_w1 else 0.0
+        t90_w4 = cur_w4.get("t90_seconds", 0.0)
+        speedup = t90_w1 / t90_w4 if t90_w4 > 0.0 else 0.0
+        required = REQUIRED_SPEEDUP / args.margin
+        line = (f"4-worker t90 speedup {speedup:.2f}x "
+                f"(required >= {required:.2f}x)")
+        if speedup < required:
+            failures.append("REGRESSION " + line)
+        else:
+            print("ok:", line)
+
+    for item in skipped:
+        print("SKIP:", item)
+    if failures:
+        for item in failures:
+            print("FAIL:", item, file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

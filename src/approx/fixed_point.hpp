@@ -191,7 +191,13 @@ class BitPlaneDotProduct
         const std::int64_t scale =
             (bit == 31) ? -(std::int64_t(1) << 31)
                         : (std::int64_t(1) << bit);
-        accumulator += partial * scale;
+        // Intermediate plane sums may transiently exceed int64 range
+        // even when the telescoped final product fits; accumulate in
+        // uint64 (well-defined wraparound) to keep the result exact.
+        accumulator = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(accumulator) +
+            static_cast<std::uint64_t>(partial) *
+                static_cast<std::uint64_t>(scale));
         ++plane;
         return accumulator;
     }

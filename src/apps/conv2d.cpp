@@ -3,8 +3,9 @@
 #include <cmath>
 
 #include "approx/fixed_point.hpp"
-#include "core/source_stage.hpp"
+#include "core/parallel_stage.hpp"
 #include "image/progressive.hpp"
+#include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
 #include "support/error.hpp"
 
@@ -142,11 +143,23 @@ makeConv2dAutomaton(GrayImage src, Kernel kernel,
     auto blur = std::make_shared<const Kernel>(std::move(kernel));
     const unsigned precision = config.precisionBits;
 
-    auto stage = std::make_shared<DiffusiveSourceStage<GrayImage>>(
+    // Partitioned sweep (Section IV-C1): the tree permutation demands
+    // cyclic distribution. Each worker logs its (sample, value) pairs;
+    // the window leader replays all logs in global sample order, so the
+    // resolution-ordered block fills land exactly as in a single-worker
+    // sweep — every published version is bit-identical.
+    using Partial = OrdinalLog<std::uint8_t>;
+    SweepLayout layout;
+    layout.steps = steps;
+    layout.window = period;
+    layout.kind = PartitionKind::cyclic;
+    layout.checkpointStride = 16;
+    auto stage = std::make_shared<PartitionedDiffusiveStage<GrayImage, Partial>>(
         "conv2d", output, GrayImage(input->width(), input->height()),
-        steps,
+        layout, [] { return Partial{}; },
+        [](Partial &partial) { partial.clear(); },
         [input, plan, blur, precision, pixels](std::uint64_t step,
-                                               GrayImage &out,
+                                               Partial &partial,
                                                StageContext &) {
             const std::uint64_t end =
                 std::min(pixels, (step + 1) * chunk);
@@ -157,10 +170,20 @@ makeConv2dAutomaton(GrayImage src, Kernel kernel,
                         ? convolvePixel(*input, *blur, x, y)
                         : convolvePixelQuantized(*input, *blur, x, y,
                                                  precision);
-                plan->fill(out, s, value);
+                partial.push_back({s, value});
             }
         },
-        period);
+        [plan](GrayImage &state, std::vector<Partial> &partials,
+               std::uint64_t, std::uint64_t) {
+            std::vector<const Partial *> logs;
+            logs.reserve(partials.size());
+            for (const Partial &partial : partials)
+                logs.push_back(&partial);
+            replayOrdinalLogs<std::uint8_t>(
+                logs, [&](std::uint64_t s, std::uint8_t value) {
+                    plan->fill(state, s, value);
+                });
+        });
 
     automaton->addStage(std::move(stage), config.workers);
     return Conv2dAutomaton{std::move(automaton), std::move(output)};

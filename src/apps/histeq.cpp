@@ -2,10 +2,11 @@
 
 #include <cmath>
 
-#include "core/source_stage.hpp"
+#include "core/parallel_stage.hpp"
 #include "core/transform_stage.hpp"
 #include "image/progressive.hpp"
 #include "sampling/lfsr_permutation.hpp"
+#include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
 #include "support/error.hpp"
 
@@ -101,18 +102,37 @@ makeHisteqAutomaton(GrayImage src, const HisteqConfig &config)
     const std::uint64_t hist_period = std::max<std::uint64_t>(
         1, hist_steps /
                std::max<std::uint64_t>(1, config.histogramVersions));
-    auto hist_stage = std::make_shared<DiffusiveSourceStage<PixelHistogram>>(
-        "histogram", hist_buf, PixelHistogram{}, hist_steps,
-        [input, lfsr, pixels](std::uint64_t step, PixelHistogram &state,
+    // Histograms are pure commutative counting, so the partial is just
+    // another histogram and the merge adds bins in partition order
+    // (bit-identical to single-worker by commutativity of u64 sums).
+    // The LFSR permits block or cyclic distribution (Section IV-C1).
+    SweepLayout hist_layout;
+    hist_layout.steps = hist_steps;
+    hist_layout.window = hist_period;
+    hist_layout.kind = config.histogramPartition;
+    hist_layout.checkpointStride = 16;
+    auto hist_stage = std::make_shared<
+        PartitionedDiffusiveStage<PixelHistogram, PixelHistogram>>(
+        "histogram", hist_buf, PixelHistogram{}, hist_layout,
+        [] { return PixelHistogram{}; },
+        [](PixelHistogram &partial) { partial = PixelHistogram{}; },
+        [input, lfsr, pixels](std::uint64_t step, PixelHistogram &partial,
                               StageContext &) {
             const std::uint64_t end = std::min(pixels, (step + 1) * chunk);
             for (std::uint64_t s = step * chunk; s < end; ++s) {
                 const std::uint64_t index = lfsr->map(s);
-                ++state.bins[(*input)[static_cast<std::size_t>(index)]];
-                ++state.samples;
+                ++partial.bins[(*input)[static_cast<std::size_t>(index)]];
+                ++partial.samples;
             }
         },
-        hist_period);
+        [](PixelHistogram &state, std::vector<PixelHistogram> &partials,
+           std::uint64_t, std::uint64_t) {
+            for (const PixelHistogram &partial : partials) {
+                for (std::size_t v = 0; v < state.bins.size(); ++v)
+                    state.bins[v] += partial.bins[v];
+                state.samples += partial.samples;
+            }
+        });
 
     // Stage 2 (non-anytime): normalized CDF.
     auto cdf_stage = makeFunctionStage<PixelCdf, PixelHistogram>(
@@ -133,35 +153,50 @@ makeHisteqAutomaton(GrayImage src, const HisteqConfig &config)
         TreePermutation::twoDim(input->height(), input->width()));
     const std::uint64_t apply_period = std::max<std::uint64_t>(
         1, pixels / std::max<std::uint64_t>(1, config.applyVersions));
+    // Partitioned body: each consumed LUT version triggers a fresh
+    // sweep; windows are sliced cyclically (tree permutation) and
+    // worker write logs are replayed in global sample order, so the
+    // output matches the single-worker sweep bit for bit. A sweep over
+    // a non-final LUT is abandoned when a fresher LUT lands (never
+    // possible for the final LUT — the precise output is guaranteed).
+    using ApplyPartial = OrdinalLog<std::uint8_t>;
+    PartitionedBody<ApplyPartial, GrayImage, PixelLut> apply_body;
+    apply_body.layout.steps = pixels;
+    apply_body.layout.window = apply_period;
+    apply_body.layout.kind = PartitionKind::cyclic;
+    apply_body.layout.checkpointStride = 256;
+    apply_body.makePartial = [] { return ApplyPartial{}; };
+    apply_body.resetPartial = [](ApplyPartial &partial) {
+        partial.clear();
+    };
+    apply_body.init = [input](const PixelLut &) {
+        return GrayImage(input->width(), input->height());
+    };
+    apply_body.step = [input, plan](const PixelLut &lut,
+                                    std::uint64_t step,
+                                    ApplyPartial &partial, StageContext &) {
+        partial.push_back(
+            {step, lut[input->at(plan->x(step), plan->y(step))]});
+    };
+    apply_body.merge = [plan](GrayImage &state,
+                              std::vector<ApplyPartial> &partials,
+                              std::uint64_t, std::uint64_t) {
+        std::vector<const ApplyPartial *> logs;
+        logs.reserve(partials.size());
+        for (const ApplyPartial &partial : partials)
+            logs.push_back(&partial);
+        replayOrdinalLogs<std::uint8_t>(
+            logs, [&](std::uint64_t s, std::uint8_t value) {
+                plan->fill(state, s, value);
+            });
+    };
     auto apply_stage = std::make_shared<TransformStage<GrayImage, PixelLut>>(
-        "apply", lut_buf, out_buf,
-        [input, plan, pixels, apply_period](const PixelLut &lut,
-                                            Emitter<GrayImage> &emitter,
-                                            StageContext &ctx) {
-            GrayImage out(input->width(), input->height());
-            for (std::uint64_t step = 0; step < pixels; ++step) {
-                plan->fill(out, step,
-                           lut[input->at(plan->x(step), plan->y(step))]);
-                const bool last = (step + 1 == pixels);
-                if (!last && (step + 1) % apply_period == 0) {
-                    ctx.addWork(apply_period);
-                    emitter.emit(out, false);
-                    if (!ctx.checkpoint())
-                        return;
-                    // A fresher LUT supersedes this sweep; abandon it
-                    // (never possible for the final LUT, so the
-                    // precise output is still guaranteed).
-                    if (!emitter.inputsFinal() && emitter.stale())
-                        return;
-                }
-            }
-            emitter.emit(std::move(out), true);
-        });
+        "apply", lut_buf, out_buf, std::move(apply_body));
 
     automaton->addStage(std::move(hist_stage), config.histogramWorkers);
     automaton->addStage(std::move(cdf_stage));
     automaton->addStage(std::move(lut_stage));
-    automaton->addStage(std::move(apply_stage));
+    automaton->addStage(std::move(apply_stage), config.applyWorkers);
     return HisteqAutomaton{std::move(automaton), std::move(out_buf),
                            std::move(hist_buf), std::move(lut_buf)};
 }

@@ -29,6 +29,7 @@
 
 #include "core/automaton.hpp"
 #include "image/image.hpp"
+#include "sampling/partition.hpp"
 
 namespace anytime {
 
@@ -73,6 +74,15 @@ struct HisteqConfig
     std::uint32_t lfsrSeed = 0x5eed;
     /** Worker threads for the histogram stage. */
     unsigned histogramWorkers = 1;
+    /** Worker threads for the apply stage (tree output sampling). */
+    unsigned applyWorkers = 1;
+    /**
+     * Partition strategy for the histogram sweep. The LFSR permutation
+     * accepts either (Section IV-C1); block is the default because
+     * ordinal locality carries no resolution meaning there. The apply
+     * stage's tree permutation always partitions cyclically.
+     */
+    PartitionKind histogramPartition = PartitionKind::block;
 };
 
 /** Automaton bundle for histeq. */

@@ -1,8 +1,9 @@
 #include "apps/kmeans.hpp"
 
-#include "core/source_stage.hpp"
+#include "core/parallel_stage.hpp"
 #include "core/transform_stage.hpp"
 #include "image/progressive.hpp"
+#include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
 #include "support/error.hpp"
 
@@ -126,31 +127,71 @@ makeKmeansAutomaton(RgbImage src, const KmeansConfig &config)
 
     // Stage 1: diffusive assignment with tree output sampling. Labels
     // are block-filled so every intermediate version covers the whole
-    // image; sums accumulate only truly sampled pixels.
+    // image; sums accumulate only truly sampled pixels. Partitioned
+    // per Section IV-C1 (tree -> cyclic): workers log their label
+    // writes and accumulate private cluster sums; the window leader
+    // replays labels in global sample order and adds the sums in fixed
+    // partition order, keeping every version bit-identical to a
+    // single-worker sweep (integer sums commute exactly).
+    struct AssignPartial
+    {
+        OrdinalLog<std::uint8_t> labels;
+        std::vector<ClusterSum> sums;
+    };
+    const unsigned clusters = config.clusters;
     KmeansAssignment initial{
         Image<std::uint8_t>(input->width(), input->height()),
         std::vector<ClusterSum>(config.clusters)};
-    auto assign_stage =
-        std::make_shared<DiffusiveSourceStage<KmeansAssignment>>(
-            "assign", assign_buf, std::move(initial), steps,
-            [input, seeds, plan, pixels](std::uint64_t step,
-                                         KmeansAssignment &state,
-                                         StageContext &) {
-                const std::uint64_t end =
-                    std::min(pixels, (step + 1) * chunk);
-                for (std::uint64_t s = step * chunk; s < end; ++s) {
-                    const RgbPixel &pixel =
-                        input->at(plan->x(s), plan->y(s));
-                    const unsigned c = nearestCentroid(*seeds, pixel);
-                    plan->fill(state.labels, s,
-                               static_cast<std::uint8_t>(c));
-                    state.sums[c].r += pixel.r;
-                    state.sums[c].g += pixel.g;
-                    state.sums[c].b += pixel.b;
-                    ++state.sums[c].count;
+    SweepLayout layout;
+    layout.steps = steps;
+    layout.window = period;
+    layout.kind = PartitionKind::cyclic;
+    layout.checkpointStride = 16;
+    auto assign_stage = std::make_shared<
+        PartitionedDiffusiveStage<KmeansAssignment, AssignPartial>>(
+        "assign", assign_buf, std::move(initial), layout,
+        [clusters] {
+            return AssignPartial{{}, std::vector<ClusterSum>(clusters)};
+        },
+        [](AssignPartial &partial) {
+            partial.labels.clear();
+            partial.sums.assign(partial.sums.size(), ClusterSum{});
+        },
+        [input, seeds, plan, pixels](std::uint64_t step,
+                                     AssignPartial &partial,
+                                     StageContext &) {
+            const std::uint64_t end = std::min(pixels, (step + 1) * chunk);
+            for (std::uint64_t s = step * chunk; s < end; ++s) {
+                const RgbPixel &pixel = input->at(plan->x(s), plan->y(s));
+                const unsigned c = nearestCentroid(*seeds, pixel);
+                partial.labels.push_back(
+                    {s, static_cast<std::uint8_t>(c)});
+                partial.sums[c].r += pixel.r;
+                partial.sums[c].g += pixel.g;
+                partial.sums[c].b += pixel.b;
+                ++partial.sums[c].count;
+            }
+        },
+        [plan](KmeansAssignment &state,
+               std::vector<AssignPartial> &partials, std::uint64_t,
+               std::uint64_t) {
+            std::vector<const OrdinalLog<std::uint8_t> *> logs;
+            logs.reserve(partials.size());
+            for (const AssignPartial &partial : partials)
+                logs.push_back(&partial.labels);
+            replayOrdinalLogs<std::uint8_t>(
+                logs, [&](std::uint64_t s, std::uint8_t label) {
+                    plan->fill(state.labels, s, label);
+                });
+            for (const AssignPartial &partial : partials) {
+                for (std::size_t c = 0; c < partial.sums.size(); ++c) {
+                    state.sums[c].r += partial.sums[c].r;
+                    state.sums[c].g += partial.sums[c].g;
+                    state.sums[c].b += partial.sums[c].b;
+                    state.sums[c].count += partial.sums[c].count;
                 }
-            },
-            period);
+            }
+        });
 
     // Stage 2 (non-anytime): reduce sums to centroids and recolor.
     auto reduce_stage = makeFunctionStage<KmeansResult, KmeansAssignment>(

@@ -1,12 +1,27 @@
 #include "apps/matmul.hpp"
 
 #include "approx/fixed_point.hpp"
-#include "core/source_stage.hpp"
+#include "core/parallel_stage.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
 
 namespace {
+
+/**
+ * Wraparound int64 addition. Plane contributions are accumulated MSB
+ * first, so intermediate sums can transiently exceed the int64 range
+ * even when the telescoped final product fits (and on adversarial
+ * inputs the product itself may wrap); two's-complement wraparound
+ * keeps every path — exact, truncated, single- and multi-worker —
+ * bit-identical instead of UB.
+ */
+inline std::int64_t
+wrapAdd(std::int64_t lhs, std::int64_t rhs)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) +
+                                     static_cast<std::uint64_t>(rhs));
+}
 
 void
 checkShapes(const IntMatrix &a, const IntMatrix &b)
@@ -36,10 +51,12 @@ addPlane(const IntMatrix &a, const IntMatrix &b, unsigned bit,
             const std::int64_t aik = a.at(kk, i);
             if (aik == 0)
                 continue;
-            const std::int64_t contribution = aik * scale;
+            const std::int64_t contribution = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(aik) *
+                static_cast<std::uint64_t>(scale));
             for (std::size_t j = 0; j < n; ++j) {
                 if ((static_cast<std::uint32_t>(b.at(j, kk)) >> bit) & 1)
-                    acc.at(j, i) += contribution;
+                    acc.at(j, i) = wrapAdd(acc.at(j, i), contribution);
             }
         }
     }
@@ -58,7 +75,11 @@ matmulExact(const IntMatrix &a, const IntMatrix &b)
             if (aik == 0)
                 continue;
             for (std::size_t j = 0; j < b.width(); ++j)
-                c.at(j, i) += aik * static_cast<std::int64_t>(b.at(j, kk));
+                c.at(j, i) = wrapAdd(
+                    c.at(j, i),
+                    static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(aik) *
+                        static_cast<std::uint64_t>(b.at(j, kk))));
         }
     }
     return c;
@@ -89,13 +110,36 @@ makeMatmulAutomaton(IntMatrix a, IntMatrix b, const MatmulConfig &config)
 
     // One diffusive step per bit plane, MSB first (sequential
     // permutation over planes: most significant bits are prioritized).
-    auto stage = std::make_shared<DiffusiveSourceStage<LongMatrix>>(
-        "matmul", output, LongMatrix(rhs->width(), lhs->height(), 0), 32,
-        [lhs, rhs](std::uint64_t step, LongMatrix &acc, StageContext &ctx) {
-            addPlane(*lhs, *rhs, 31 - static_cast<unsigned>(step), acc);
-            ctx.addWork(lhs->size());
-        },
-        /*publish_period=*/config.planesPerPublish, /*batch=*/1);
+    // Partitioned cyclically: each worker accumulates its planes of
+    // the window into a private matrix, and the leader adds the
+    // partials in fixed partition order — int64 sums commute exactly,
+    // so every version matches the single-worker run bit for bit.
+    // Intra-window parallelism is bounded by planesPerPublish.
+    SweepLayout layout;
+    layout.steps = 32;
+    layout.window = config.planesPerPublish;
+    layout.kind = PartitionKind::cyclic;
+    layout.checkpointStride = 1;
+    const std::size_t rows = lhs->height();
+    const std::size_t cols = rhs->width();
+    auto stage =
+        std::make_shared<PartitionedDiffusiveStage<LongMatrix, LongMatrix>>(
+            "matmul", output, LongMatrix(cols, rows, 0), layout,
+            [cols, rows] { return LongMatrix(cols, rows, 0); },
+            [](LongMatrix &partial) { partial.fill(0); },
+            [lhs, rhs](std::uint64_t step, LongMatrix &partial,
+                       StageContext &ctx) {
+                addPlane(*lhs, *rhs, 31 - static_cast<unsigned>(step),
+                         partial);
+                ctx.addWork(lhs->size());
+            },
+            [](LongMatrix &state, std::vector<LongMatrix> &partials,
+               std::uint64_t, std::uint64_t) {
+                for (const LongMatrix &partial : partials) {
+                    for (std::size_t i = 0; i < state.size(); ++i)
+                        state[i] = wrapAdd(state[i], partial[i]);
+                }
+            });
 
     automaton->addStage(std::move(stage), config.workers);
     return MatmulAutomaton{std::move(automaton), std::move(output)};

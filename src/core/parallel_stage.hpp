@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Intra-stage data parallelism: partitioned anytime sweeps.
+ *
+ * Paper Section IV-C1: a diffusive sweep's permutation sequence can be
+ * divided among worker threads — cyclically for the tree permutation
+ * (so low-resolution whole-output versions still complete as early as
+ * possible), cyclically or in blocks for the LFSR — while keeping the
+ * anytime property. This file supplies the pieces the stages build on:
+ *
+ *  - SweepBarrier: a reusable per-version completion barrier. The last
+ *    worker to arrive is elected leader and merges the partials while
+ *    the rest block; a version is published only after every partition
+ *    has drained its slice of the window (Property 3 is preserved: the
+ *    buffer's single writer is the momentary leader, and publishes stay
+ *    atomic).
+ *  - runPartitionedSweep(): the window loop shared by the partitioned
+ *    source and transform stages. Each publish period ("window") is
+ *    sliced with a CyclicPartition/BlockPartition, each worker folds
+ *    its slice into a private partial, and the leader merges partials
+ *    in fixed partition order — so the published version sequence is
+ *    bit-identical to a single-worker run, for every version.
+ *  - PartitionedDiffusiveStage: the multi-worker counterpart of
+ *    DiffusiveSourceStage (which serializes its state updates under a
+ *    mutex and therefore cannot scale).
+ *
+ * All blocking waits take the automaton's stop token, so stop/pause
+ * never deadlocks a gang: a worker that exits early leaves the barrier,
+ * and departing workers promote any fully-arrived remainder so nobody
+ * waits for a leader that will never come.
+ */
+
+#ifndef ANYTIME_CORE_PARALLEL_STAGE_HPP
+#define ANYTIME_CORE_PARALLEL_STAGE_HPP
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/stage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sampling/partition.hpp"
+#include "sampling/permutation.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+/**
+ * Reusable completion barrier for one gang of stage workers.
+ *
+ * Protocol per window: every worker calls arrive(); the last arriver
+ * returns Outcome::leader *without* blocking, merges the partials, and
+ * calls release() to wake the rest (who return Outcome::released).
+ * A worker exiting the gang for good calls leave(); arrive() returning
+ * Outcome::stopped has already retracted the arrival, so the caller
+ * only needs leave() before returning.
+ */
+class SweepBarrier
+{
+  public:
+    enum class Outcome
+    {
+        /** Last to arrive: merge, then call release(). */
+        leader,
+        /** Woken by the leader's release(). */
+        released,
+        /** Woken by a stop request; arrival already retracted. */
+        stopped,
+    };
+
+    explicit SweepBarrier(unsigned count) : participants(count)
+    {
+        fatalIf(count == 0, "SweepBarrier: zero participants");
+    }
+
+    /** Rendezvous; blocks until leader release or stop. */
+    Outcome
+    arrive(const std::stop_token &stop)
+    {
+        std::unique_lock lock(mutex);
+        if (++arrivedCount == participants)
+            return Outcome::leader;
+        const std::uint64_t my_generation = generation;
+        const bool released = wake.wait(
+            lock, stop, [&] { return generation != my_generation; });
+        if (!released) {
+            // Stop while waiting: retract so a later leader election
+            // among the survivors still counts correctly.
+            --arrivedCount;
+            return Outcome::stopped;
+        }
+        return Outcome::released;
+    }
+
+    /** Leader: open the barrier for the next window. */
+    void
+    release()
+    {
+        {
+            std::lock_guard lock(mutex);
+            arrivedCount = 0;
+            ++generation;
+        }
+        wake.notify_all();
+    }
+
+    /**
+     * Permanently exit the gang (stop path). If every remaining worker
+     * is already blocked in arrive(), no future arrival can elect a
+     * leader — promote them by opening the barrier; they observe the
+     * stop themselves at their next checkpoint.
+     */
+    void
+    leave()
+    {
+        std::unique_lock lock(mutex);
+        panicIf(participants == 0, "SweepBarrier: leave with no "
+                                   "participants");
+        --participants;
+        if (participants > 0 && arrivedCount == participants) {
+            arrivedCount = 0;
+            ++generation;
+            lock.unlock();
+            wake.notify_all();
+        }
+    }
+
+  private:
+    std::mutex mutex;
+    std::condition_variable_any wake;
+    unsigned participants;
+    unsigned arrivedCount = 0;
+    std::uint64_t generation = 0;
+};
+
+/** Shape of a partitioned sweep. */
+struct SweepLayout
+{
+    /** Total diffusive steps n. */
+    std::uint64_t steps = 0;
+    /** Steps per published version (the publish period). */
+    std::uint64_t window = 1;
+    /** How each window is sliced among workers (Section IV-C1). */
+    PartitionKind kind = PartitionKind::cyclic;
+    /** Steps between cooperative checkpoints inside a slice. */
+    std::uint64_t checkpointStride = 64;
+};
+
+/** Cached observability handles for one partitioned stage. */
+struct SweepObs
+{
+    /** Interned span names (nullptr disables the span). */
+    const char *sliceSpan = nullptr;
+    const char *mergeSpan = nullptr;
+    /** Registry metrics (nullptr disables the metric). */
+    obs::Counter *windows = nullptr;
+    obs::Counter *steps = nullptr;
+    obs::Gauge *workers = nullptr;
+};
+
+/**
+ * Shared state of one stage's worker gang: the barrier, one private
+ * partial per worker (merged in fixed index order for determinism),
+ * and the leader's verdict channel for the just-merged window.
+ */
+template <typename P>
+struct SweepGang
+{
+    SweepGang(unsigned workers, const std::function<P()> &make,
+              SweepObs obs_handles = {})
+        : barrier(workers), obs(obs_handles)
+    {
+        partials.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            partials.push_back(make());
+    }
+
+    SweepBarrier barrier;
+    std::vector<P> partials;
+    SweepObs obs;
+    /**
+     * Leader verdict for the just-merged window: true when the sweep
+     * should be abandoned (stale inputs, or stop). Written by the
+     * leader before release(), read by the others after wake-up; the
+     * barrier mutex orders both.
+     */
+    bool abandoned = false;
+};
+
+/** How a partitioned sweep ended. */
+enum class SweepStatus
+{
+    /** All windows merged and published; final version out. */
+    completed,
+    /** Stop requested; this worker has already left the barrier. */
+    stopped,
+    /** Leader abandoned the sweep (stale inputs); gang still joined. */
+    abandoned,
+};
+
+/**
+ * The shared window loop: run @p layout.steps diffusive steps on this
+ * worker's slice of every window, with a completion barrier and a
+ * leader-side merge per window.
+ *
+ * @param reset   reset(partial): recycle this worker's partial at the
+ *                start of each window (capacity is reused).
+ * @param step    step(global_step, partial, ctx): fold one diffusive
+ *                step into the private partial.
+ * @param window  Leader only — window(partials, begin, end): merge all
+ *                partials (fixed order 0..k-1) into the stage state
+ *                and publish; return false to abandon the sweep.
+ *
+ * Returns SweepStatus::stopped only after leaving the barrier; on
+ * SweepStatus::abandoned the caller is still a barrier participant.
+ */
+template <typename P, typename ResetFn, typename StepFn, typename WindowFn>
+SweepStatus
+runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
+                    const SweepLayout &layout, ResetFn &&reset,
+                    StepFn &&step, WindowFn &&window)
+{
+    const unsigned worker = ctx.workerId();
+    P &partial = gang.partials[worker];
+    for (std::uint64_t begin = 0; begin < layout.steps;
+         begin += layout.window) {
+        const std::uint64_t end =
+            std::min(begin + layout.window, layout.steps);
+        const double window_index =
+            static_cast<double>(begin / layout.window);
+        if (!ctx.checkpoint()) {
+            gang.barrier.leave();
+            return SweepStatus::stopped;
+        }
+
+        reset(partial);
+        // This worker's slice of the window (Section IV-C1). Workers
+        // beyond the window length get an empty slice but still take
+        // part in the barrier below.
+        const SequentialPermutation ordinals(end - begin);
+        std::uint64_t done = 0;
+        bool alive = true;
+        {
+            std::optional<obs::TraceSpan> span;
+            if (obs::tracingEnabled() && gang.obs.sliceSpan)
+                span.emplace(gang.obs.sliceSpan, "partition",
+                             obs::TraceArg{"worker",
+                                           static_cast<double>(worker)},
+                             obs::TraceArg{"window", window_index});
+            const auto run_slice = [&](const auto &part) {
+                const std::uint64_t samples = part.size();
+                for (std::uint64_t k = 0; k < samples; ++k) {
+                    step(begin + part.map(k), partial, ctx);
+                    if (++done % layout.checkpointStride == 0 &&
+                        !ctx.checkpoint())
+                        return false;
+                }
+                return true;
+            };
+            alive = (layout.kind == PartitionKind::cyclic)
+                        ? run_slice(CyclicPartition(
+                              ordinals, ctx.workerCount(), worker))
+                        : run_slice(BlockPartition(
+                              ordinals, ctx.workerCount(), worker));
+        }
+        if (done > 0) {
+            ctx.addWork(done);
+            if (gang.obs.steps)
+                gang.obs.steps->add(done);
+        }
+        if (!alive) {
+            gang.barrier.leave();
+            return SweepStatus::stopped;
+        }
+
+        switch (gang.barrier.arrive(ctx.stopToken())) {
+        case SweepBarrier::Outcome::stopped:
+            gang.barrier.leave();
+            return SweepStatus::stopped;
+        case SweepBarrier::Outcome::leader: {
+            // An incomplete gang must never publish: skip the merge
+            // when stopping (the buffer keeps its previous version,
+            // which stays valid — the anytime guarantee).
+            bool keep = false;
+            if (!ctx.stopRequested()) {
+                std::optional<obs::TraceSpan> span;
+                if (obs::tracingEnabled() && gang.obs.mergeSpan)
+                    span.emplace(
+                        gang.obs.mergeSpan, "partition",
+                        obs::TraceArg{"window", window_index},
+                        obs::TraceArg{"steps",
+                                      static_cast<double>(end - begin)});
+                keep = window(gang.partials, begin, end);
+            }
+            gang.abandoned = !keep;
+            gang.barrier.release();
+            if (ctx.stopRequested()) {
+                gang.barrier.leave();
+                return SweepStatus::stopped;
+            }
+            if (!keep)
+                return SweepStatus::abandoned;
+            if (gang.obs.windows)
+                gang.obs.windows->add(1);
+            break;
+        }
+        case SweepBarrier::Outcome::released:
+            if (gang.abandoned)
+                return SweepStatus::abandoned;
+            break;
+        }
+    }
+    return SweepStatus::completed;
+}
+
+namespace detail {
+
+/** Intern the stage's span names and look up the shared metrics. */
+inline SweepObs
+makeSweepObs(const std::string &stage_name)
+{
+    SweepObs handles;
+    handles.sliceSpan = obs::internName(stage_name + ".slice");
+    handles.mergeSpan = obs::internName(stage_name + ".merge");
+    auto &registry = obs::defaultRegistry();
+    handles.windows = &registry.counter(
+        "anytime_partition_windows_total",
+        "Partitioned sweep windows merged and published");
+    handles.steps = &registry.counter(
+        "anytime_partition_steps_total",
+        "Diffusive steps executed by partition workers");
+    handles.workers = &registry.gauge(
+        "anytime_partition_workers",
+        "Worker threads currently inside partitioned sweeps");
+    return handles;
+}
+
+/** Scope guard bumping the partition-worker gauge. */
+class WorkerGaugeGuard
+{
+  public:
+    explicit WorkerGaugeGuard(obs::Gauge *gauge) : gauge(gauge)
+    {
+        if (gauge)
+            gauge->add(1.0);
+    }
+    ~WorkerGaugeGuard()
+    {
+        if (gauge)
+            gauge->add(-1.0);
+    }
+    WorkerGaugeGuard(const WorkerGaugeGuard &) = delete;
+    WorkerGaugeGuard &operator=(const WorkerGaugeGuard &) = delete;
+
+  private:
+    obs::Gauge *gauge;
+};
+
+} // namespace detail
+
+/**
+ * Multi-worker diffusive source stage (the partitioned counterpart of
+ * DiffusiveSourceStage). Each worker folds its partition slice of every
+ * publish window into a private partial of type @c P; the last worker
+ * to finish a window merges all partials — in fixed partition order —
+ * into the running output state and publishes. With commutative
+ * reductions (or ordinal-replayed write logs, see sampling/replay.hpp)
+ * every published version is bit-identical to the single-worker run.
+ *
+ * @tparam O Output value type.
+ * @tparam P Per-worker partial type.
+ */
+template <typename O, typename P>
+class PartitionedDiffusiveStage : public Stage
+{
+  public:
+    /** Construct one (empty) per-worker partial; called k times. */
+    using MakeFn = std::function<P()>;
+    /** Recycle a partial at the start of a window. */
+    using ResetFn = std::function<void(P &)>;
+    /** Fold diffusive step @c step into this worker's partial. */
+    using StepFn = std::function<void(std::uint64_t step, P &partial,
+                                      StageContext &ctx)>;
+    /** Leader: merge partials (order 0..k-1) into the output state. */
+    using MergeFn = std::function<void(O &state, std::vector<P> &partials,
+                                       std::uint64_t begin,
+                                       std::uint64_t end)>;
+
+    PartitionedDiffusiveStage(std::string name,
+                              std::shared_ptr<VersionedBuffer<O>> out,
+                              O initial, SweepLayout layout, MakeFn make,
+                              ResetFn reset, StepFn step, MergeFn merge)
+        : Stage(std::move(name)), out(std::move(out)),
+          state(std::move(initial)), layout(layout),
+          makePartial(std::move(make)), resetPartial(std::move(reset)),
+          stepFn(std::move(step)), mergeFn(std::move(merge)),
+          obsHandles(detail::makeSweepObs(this->name()))
+    {
+        fatalIf(layout.steps == 0, "PartitionedDiffusiveStage: zero steps");
+        fatalIf(layout.window == 0,
+                "PartitionedDiffusiveStage: zero publish window");
+        fatalIf(layout.checkpointStride == 0,
+                "PartitionedDiffusiveStage: zero checkpoint stride");
+    }
+
+    void
+    run(StageContext &ctx) override
+    {
+        std::call_once(gangOnce, [&] {
+            gang = std::make_unique<SweepGang<P>>(ctx.workerCount(),
+                                                  makePartial, obsHandles);
+        });
+        detail::WorkerGaugeGuard guard(obsHandles.workers);
+        const SweepStatus status = runPartitionedSweep(
+            ctx, *gang, layout, resetPartial,
+            [this](std::uint64_t step, P &partial, StageContext &c) {
+                stepFn(step, partial, c);
+            },
+            [this](std::vector<P> &partials, std::uint64_t begin,
+                   std::uint64_t end) {
+                mergeFn(state, partials, begin, end);
+                out->publish(state, end == layout.steps);
+                return true;
+            });
+        // A source sweep is only ever abandoned by a stopping leader;
+        // exit the barrier like the other stop paths.
+        if (status == SweepStatus::abandoned)
+            gang->barrier.leave();
+    }
+
+    std::vector<const BufferBase *>
+    reads() const override
+    {
+        return {};
+    }
+
+    const BufferBase *writes() const override { return out.get(); }
+
+  private:
+    std::shared_ptr<VersionedBuffer<O>> out;
+    O state;
+    SweepLayout layout;
+    MakeFn makePartial;
+    ResetFn resetPartial;
+    StepFn stepFn;
+    MergeFn mergeFn;
+    SweepObs obsHandles;
+    std::once_flag gangOnce;
+    std::unique_ptr<SweepGang<P>> gang;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_CORE_PARALLEL_STAGE_HPP

@@ -18,15 +18,57 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <tuple>
 #include <utility>
 
 #include "core/buffer.hpp"
+#include "core/parallel_stage.hpp"
 #include "core/signal.hpp"
 #include "core/stage.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
+
+/**
+ * Partitioned (multi-worker) transform body: the stage's anytime sweep
+ * expressed as a partitionable diffusive computation instead of an
+ * opaque emit loop, so the run loop can slice each publish window among
+ * k workers per Section IV-C1 and merge deterministically.
+ *
+ * Per consumed input-version set: the leader creates a fresh output
+ * state with init(); every window of layout.steps is sliced among the
+ * workers, each folding step() results into its private partial; the
+ * leader merges partials in fixed order with merge() and publishes the
+ * state. A sweep over non-final inputs is abandoned as soon as fresher
+ * inputs supersede it (the re-run on final inputs always completes, so
+ * the precise output is still guaranteed).
+ *
+ * @tparam P  Per-worker partial type.
+ * @tparam O  Output value type.
+ * @tparam Is Input value types.
+ */
+template <typename P, typename O, typename... Is>
+struct PartitionedBody
+{
+    /** Sweep shape; steps and window are per input-version set. */
+    SweepLayout layout;
+    /** Construct one (empty) per-worker partial. */
+    std::function<P()> makePartial;
+    /** Recycle a partial at the start of a window. */
+    std::function<void(P &)> resetPartial;
+    /** Fresh output state for one consumed input-version set. */
+    std::function<O(const Is &...)> init;
+    /** Fold diffusive step @c step into this worker's partial. */
+    std::function<void(const Is &..., std::uint64_t step, P &partial,
+                       StageContext &ctx)>
+        step;
+    /** Leader: merge partials (order 0..k-1) into the output state. */
+    std::function<void(O &state, std::vector<P> &partials,
+                       std::uint64_t begin, std::uint64_t end)>
+        merge;
+};
 
 /**
  * Publication handle passed to transform bodies. Combines the stage's
@@ -113,21 +155,49 @@ class TransformStage : public Stage
         : Stage(std::move(name)), ins(std::move(inputs)...),
           out(std::move(output)), fn(std::move(fn))
     {
-        // Wake this stage whenever any input publishes.
-        std::apply(
-            [this](auto &...in) {
-                (in->addObserver([this](const auto &) { signal.notify(); }),
-                 ...);
-            },
-            ins);
+        observeInputs();
+    }
+
+    /**
+     * Partitioned-body constructor: the sweep runs on however many
+     * workers the stage is placed with, each window divided per
+     * Section IV-C1 and merged deterministically (every published
+     * version is bit-identical to a single-worker run).
+     */
+    template <typename P>
+    TransformStage(std::string name,
+                   std::shared_ptr<VersionedBuffer<Is>>... inputs,
+                   std::shared_ptr<VersionedBuffer<O>> output,
+                   PartitionedBody<P, O, Is...> body)
+        : Stage(std::move(name)), ins(std::move(inputs)...),
+          out(std::move(output))
+    {
+        fatalIf(body.layout.steps == 0, "TransformStage: zero sweep steps");
+        fatalIf(body.layout.window == 0,
+                "TransformStage: zero publish window");
+        fatalIf(body.layout.checkpointStride == 0,
+                "TransformStage: zero checkpoint stride");
+        observeInputs();
+        auto core = std::make_shared<PartitionedCore<P>>(
+            std::move(body), detail::makeSweepObs(this->name()));
+        partitionedRun = [this, core](StageContext &ctx) {
+            core->run(*this, ctx);
+        };
     }
 
     void
     run(StageContext &ctx) override
     {
+        // The multi-worker dispatch: a partitioned body coordinates any
+        // worker count through its gang barrier.
+        if (partitionedRun) {
+            partitionedRun(ctx);
+            return;
+        }
         fatalIf(ctx.workerCount() != 1,
-                "TransformStage supports a single worker; parallelize "
-                "inside the body instead");
+                "TransformStage with an emit-based body is single-worker; "
+                "construct it with a PartitionedBody to run on multiple "
+                "workers");
         std::uint64_t seen_signal = 0;
         std::uint64_t processed_sum = 0;
         for (;;) {
@@ -181,9 +251,168 @@ class TransformStage : public Stage
     const BufferBase *writes() const override { return out.get(); }
 
   private:
+    /** Wake this stage whenever any input publishes. */
+    void
+    observeInputs()
+    {
+        std::apply(
+            [this](auto &...in) {
+                (in->addObserver([this](const auto &) { signal.notify(); }),
+                 ...);
+            },
+            ins);
+    }
+
+    /** Sum of the current input buffer versions. */
+    std::uint64_t
+    inputVersionSum() const
+    {
+        return std::apply(
+            [](const auto &...in) { return (in->version() + ...); }, ins);
+    }
+
+    /**
+     * Gang-coordinated run loop for a PartitionedBody. All workers move
+     * in lockstep through decision rounds: a barrier elects a leader
+     * that snapshots the inputs and decides whether to sweep, wait for
+     * fresher input, or finish; the sweep itself reuses the shared
+     * partitioned window loop. All cross-worker state below is written
+     * only by the momentary leader between its election and release(),
+     * and read by the others after wake-up — the barrier mutex orders
+     * every handoff.
+     */
+    template <typename P>
+    class PartitionedCore
+    {
+      public:
+        PartitionedCore(PartitionedBody<P, O, Is...> body_in,
+                        SweepObs obs_handles)
+            : body(std::move(body_in)), obsHandles(obs_handles)
+        {
+        }
+
+        void
+        run(TransformStage &stage, StageContext &ctx)
+        {
+            std::call_once(gangOnce, [&] {
+                gang = std::make_unique<SweepGang<P>>(
+                    ctx.workerCount(), body.makePartial, obsHandles);
+            });
+            detail::WorkerGaugeGuard guard(obsHandles.workers);
+            const unsigned worker = ctx.workerId();
+            std::uint64_t seen_signal = 0;
+            for (;;) {
+                if (!ctx.checkpoint()) {
+                    gang->barrier.leave();
+                    return;
+                }
+                switch (gang->barrier.arrive(ctx.stopToken())) {
+                case SweepBarrier::Outcome::stopped:
+                    gang->barrier.leave();
+                    return;
+                case SweepBarrier::Outcome::leader:
+                    decide(stage);
+                    gang->barrier.release();
+                    break;
+                case SweepBarrier::Outcome::released:
+                    break;
+                }
+
+                if (decision == Decision::finish)
+                    return; // g(F_n) done: precise output published
+                if (decision == Decision::waitInput) {
+                    // One worker sleeps on the change signal; the rest
+                    // park at the next barrier until it arrives there.
+                    if (worker == 0)
+                        seen_signal = stage.signal.wait(seen_signal,
+                                                        ctx.stopToken());
+                    continue;
+                }
+
+                const SweepStatus status = runPartitionedSweep(
+                    ctx, *gang, body.layout, body.resetPartial,
+                    [&](std::uint64_t s, P &partial, StageContext &c) {
+                        std::apply(
+                            [&](const auto &...snap) {
+                                body.step(*snap.value..., s, partial, c);
+                            },
+                            snaps);
+                    },
+                    [&](std::vector<P> &partials, std::uint64_t begin,
+                        std::uint64_t end) {
+                        body.merge(*state, partials, begin, end);
+                        const bool last = (end == body.layout.steps);
+                        stage.out->publish(*state, last && sweepFinal);
+                        if (last) {
+                            processedSum = sweepVersionSum;
+                            return true;
+                        }
+                        // Fresher (non-final) inputs supersede this
+                        // sweep: abandon it after the publish; the
+                        // next round re-reads the inputs.
+                        return sweepFinal ||
+                               stage.inputVersionSum() == sweepVersionSum;
+                    });
+                if (status == SweepStatus::stopped)
+                    return; // the sweep already left the barrier
+                // completed or abandoned: decide again on fresh input.
+            }
+        }
+
+      private:
+        enum class Decision
+        {
+            process,
+            waitInput,
+            finish,
+        };
+
+        /** Leader only: snapshot inputs and pick the round's action. */
+        void
+        decide(TransformStage &stage)
+        {
+            snaps = std::apply(
+                [](auto &...in) { return std::make_tuple(in->read()...); },
+                stage.ins);
+            const bool all_present = std::apply(
+                [](const auto &...s) {
+                    return ((s.value != nullptr) && ...);
+                },
+                snaps);
+            const std::uint64_t version_sum = std::apply(
+                [](const auto &...s) { return (s.version + ...); }, snaps);
+            const bool all_final = std::apply(
+                [](const auto &...s) { return (s.final && ...); }, snaps);
+            if (!all_present || version_sum == processedSum) {
+                decision = (all_present && all_final) ? Decision::finish
+                                                      : Decision::waitInput;
+                return;
+            }
+            decision = Decision::process;
+            sweepVersionSum = version_sum;
+            sweepFinal = all_final;
+            state.emplace(std::apply(
+                [&](const auto &...s) { return body.init(*s.value...); },
+                snaps));
+        }
+
+        PartitionedBody<P, O, Is...> body;
+        SweepObs obsHandles;
+        std::once_flag gangOnce;
+        std::unique_ptr<SweepGang<P>> gang;
+        // Leader-owned round state (barrier-ordered handoffs).
+        Decision decision = Decision::waitInput;
+        std::tuple<Snapshot<Is>...> snaps;
+        std::uint64_t sweepVersionSum = 0;
+        bool sweepFinal = false;
+        std::uint64_t processedSum = 0;
+        std::optional<O> state;
+    };
+
     std::tuple<std::shared_ptr<VersionedBuffer<Is>>...> ins;
     std::shared_ptr<VersionedBuffer<O>> out;
     ProcessFn fn;
+    std::function<void(StageContext &)> partitionedRun;
     ChangeSignal signal;
 };
 

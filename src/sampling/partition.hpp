@@ -13,12 +13,31 @@
 #ifndef ANYTIME_SAMPLING_PARTITION_HPP
 #define ANYTIME_SAMPLING_PARTITION_HPP
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sampling/permutation.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
+
+/**
+ * Partition strategy for dividing a permutation sequence among worker
+ * threads (paper Section IV-C1): tree permutations require cyclic;
+ * LFSR permutations accept either.
+ */
+enum class PartitionKind
+{
+    cyclic,
+    block,
+};
+
+/** Human-readable partition-kind name (diagnostics, traces). */
+constexpr const char *
+partitionKindName(PartitionKind kind)
+{
+    return kind == PartitionKind::cyclic ? "cyclic" : "block";
+}
 
 /**
  * Cyclic slice of a permutation sequence for one worker thread: thread
@@ -38,17 +57,16 @@ class CyclicPartition
         fatalIf(count == 0, "CyclicPartition: zero thread count");
         fatalIf(id >= count, "CyclicPartition: thread id ", id,
                 " out of range ", count);
+        // Workers beyond the sequence length own an empty slice (the
+        // threadId >= n edge: more threads than samples in a short
+        // window); they must still participate in any version barrier.
+        const std::uint64_t n = perm.size();
+        sampleCount =
+            (threadId >= n) ? 0 : (n - threadId + threadCount - 1) / threadCount;
     }
 
-    /** Number of samples assigned to this worker. */
-    std::uint64_t
-    size() const
-    {
-        const std::uint64_t n = perm->size();
-        if (threadId >= n)
-            return 0;
-        return (n - threadId + threadCount - 1) / threadCount;
-    }
+    /** Number of samples assigned to this worker (0 when id >= n). */
+    std::uint64_t size() const { return sampleCount; }
 
     /** Global sample ordinal of this worker's k-th sample. */
     std::uint64_t
@@ -61,6 +79,8 @@ class CyclicPartition
     std::uint64_t
     map(std::uint64_t k) const
     {
+        panicIf(k >= sampleCount, "CyclicPartition: sample ", k,
+                " out of range ", sampleCount);
         return perm->map(ordinal(k));
     }
 
@@ -68,6 +88,7 @@ class CyclicPartition
     const Permutation *perm;
     unsigned threadCount;
     unsigned threadId;
+    std::uint64_t sampleCount = 0;
 };
 
 /**
@@ -103,6 +124,8 @@ class BlockPartition
     std::uint64_t
     map(std::uint64_t k) const
     {
+        panicIf(k >= chunk, "BlockPartition: sample ", k,
+                " out of range ", chunk);
         return perm->map(ordinal(k));
     }
 

@@ -110,7 +110,7 @@ class StridedPermutation : public Permutation
 {
   public:
     StridedPermutation(std::uint64_t n, std::uint64_t stride)
-        : n(n), stride(stride % n)
+        : n(n), stride(n == 0 ? 0 : stride % n)
     {
         fatalIf(n == 0, "StridedPermutation: empty domain");
         fatalIf(std::gcd(n, this->stride) != 1,

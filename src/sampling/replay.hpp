@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic replay of partitioned sweep writes.
+ *
+ * Multi-threaded sampling (paper Section IV-C1) hands each worker a
+ * slice of the permutation sequence. Output-sampling stages (tree
+ * block-fill) are order-sensitive *across* the slices: a coarse splat
+ * from a later ordinal must not survive under a finer sample from an
+ * earlier one. Each worker therefore logs its (ordinal, value) writes
+ * during the sweep, and the version leader replays all logs in global
+ * ascending ordinal order — reproducing exactly the writes a single
+ * worker would have made, so every published version (not just the
+ * final one) is bit-identical to the single-worker run.
+ */
+
+#ifndef ANYTIME_SAMPLING_REPLAY_HPP
+#define ANYTIME_SAMPLING_REPLAY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace anytime {
+
+/** One logged write: the global sample ordinal and its payload. */
+template <typename V>
+struct OrdinalWrite
+{
+    std::uint64_t ordinal = 0;
+    V value{};
+};
+
+/**
+ * Per-worker write log. Partition slices visit ordinals in increasing
+ * order, so appending during the sweep keeps each log sorted — the
+ * precondition for the k-way merge below.
+ */
+template <typename V>
+using OrdinalLog = std::vector<OrdinalWrite<V>>;
+
+/**
+ * Replay @p logs in global ascending ordinal order: a k-way merge of
+ * the (sorted) per-worker logs, invoking apply(ordinal, value) once
+ * per logged write. Ties (possible only if partitions overlap, which
+ * they never do for cyclic/block slices) resolve to the lower worker
+ * index, keeping the merge fully deterministic regardless.
+ */
+template <typename V, typename Apply>
+void
+replayOrdinalLogs(const std::vector<const OrdinalLog<V> *> &logs,
+                  Apply &&apply)
+{
+    constexpr std::uint64_t done = std::numeric_limits<std::uint64_t>::max();
+    std::vector<std::size_t> heads(logs.size(), 0);
+    for (;;) {
+        std::uint64_t best = done;
+        std::size_t winner = 0;
+        for (std::size_t w = 0; w < logs.size(); ++w) {
+            if (heads[w] >= logs[w]->size())
+                continue;
+            const std::uint64_t ordinal = (*logs[w])[heads[w]].ordinal;
+            if (ordinal < best) {
+                best = ordinal;
+                winner = w;
+            }
+        }
+        if (best == done)
+            return;
+        const auto &write = (*logs[winner])[heads[winner]++];
+        apply(write.ordinal, write.value);
+    }
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_SAMPLING_REPLAY_HPP

@@ -76,6 +76,18 @@ struct ServiceRequest
      * requests (graceful degradation to the client's stated floor).
      */
     double minQuality = 0.0;
+
+    /**
+     * Declared gang size: the worker count the factory's pipeline will
+     * ask for (its stages' intra-stage partitions, Section IV-C1).
+     * Admission uses it to predict queueing delay before the pipeline
+     * is built — a wide gang occupies more of the pool per request —
+     * and requests declaring more workers than the pool holds are shed
+     * at submit instead of failing after a wasted build. Purely a
+     * hint for prediction; dispatch always sizes from the built
+     * pipeline itself.
+     */
+    unsigned stageWorkers = 1;
 };
 
 /** Terminal disposition of a request. */

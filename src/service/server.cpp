@@ -172,7 +172,8 @@ AnytimeServer::submit(ServiceRequest request)
         respondImmediately(promise, ServiceStatus::expired, now, id);
         return future;
     }
-    if (const auto shed = admissionVerdict(now, deadline)) {
+    if (const auto shed =
+            admissionVerdict(now, deadline, request.stageWorkers)) {
         respondImmediately(promise, *shed, now, id);
         return future;
     }
@@ -192,10 +193,19 @@ AnytimeServer::submit(ServiceRequest request)
 
 std::optional<ServiceStatus>
 AnytimeServer::admissionVerdict(Clock::time_point now,
-                                Clock::time_point deadline) const
+                                Clock::time_point deadline,
+                                unsigned declared_gang) const
 {
     if (pending.size() >= configuration.maxQueueDepth)
         return ServiceStatus::shedQueueFull;
+    // A gang wider than the pool can never fit: shed at submit rather
+    // than build a pipeline the dispatcher must fail.
+    if (declared_gang > workers.size()) {
+        obs::traceInstant("admission.gang-too-wide", "service",
+                          {"declared", static_cast<double>(declared_gang)},
+                          {"pool", static_cast<double>(workers.size())});
+        return ServiceStatus::shedQueueFull;
+    }
     if (!configuration.predictiveShedding)
         return std::nullopt;
     // EDF position: everything running plus every queued request with
@@ -213,8 +223,12 @@ AnytimeServer::admissionVerdict(Clock::time_point now,
     double predicted_wait = 0.0;
     if (ewmaValid) {
         // Predicted queueing delay from the EWMA service model:
-        // requests drain in "lanes" of gang-sized worker groups.
-        const double gang = std::max(1.0, ewmaGang);
+        // requests drain in "lanes" of gang-sized worker groups. The
+        // declared gang floors the learned average — a request that
+        // announces a wide intra-stage partition occupies at least
+        // that many workers regardless of history.
+        const double gang = std::max(
+            {1.0, ewmaGang, static_cast<double>(declared_gang)});
         const double lanes = std::max(
             1.0, std::floor(static_cast<double>(workers.size()) / gang));
         predicted_wait =

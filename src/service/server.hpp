@@ -192,11 +192,13 @@ class AnytimeServer
 
     /**
      * Admission-control verdict for a new request (caller locked):
-     * nullopt admits; a shed status rejects.
+     * nullopt admits; a shed status rejects. @p declared_gang is the
+     * request's stageWorkers hint (gangs wider than the pool can never
+     * dispatch; wide gangs narrow the predicted drain lanes).
      */
     std::optional<ServiceStatus>
-    admissionVerdict(Clock::time_point now,
-                     Clock::time_point deadline) const;
+    admissionVerdict(Clock::time_point now, Clock::time_point deadline,
+                     unsigned declared_gang) const;
 
     ServerConfig configuration;
 

@@ -91,10 +91,14 @@ std::int64_t
 exactDot(const std::vector<std::int32_t> &a,
          const std::vector<std::int32_t> &b)
 {
-    std::int64_t sum = 0;
+    // Accumulate in uint64: full-range random operands can wrap int64,
+    // and the bit-plane accumulator's semantics are two's-complement
+    // wraparound, so the reference must wrap identically.
+    std::uint64_t sum = 0;
     for (std::size_t i = 0; i < a.size(); ++i)
-        sum += static_cast<std::int64_t>(a[i]) * b[i];
-    return sum;
+        sum += static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(a[i]) * b[i]);
+    return static_cast<std::int64_t>(sum);
 }
 
 TEST(BitPlaneDotProduct, ReachesExactDotProduct)

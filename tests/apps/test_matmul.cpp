@@ -28,7 +28,9 @@ randomMatrix(std::size_t cols, std::size_t rows, std::uint64_t seed,
     IntMatrix m(cols, rows);
     Xoshiro256 rng(seed);
     for (std::size_t i = 0; i < m.size(); ++i)
-        m[i] = static_cast<std::int32_t>(rng.nextBelow(2 * span)) - span;
+        m[i] = static_cast<std::int32_t>(rng.nextBelow(
+                   2 * static_cast<std::uint64_t>(span))) -
+               span;
     return m;
 }
 

@@ -95,5 +95,36 @@ TEST(CyclicPartition, MoreThreadsThanElements)
     EXPECT_EQ(c.size(), 0u);
 }
 
+TEST(CyclicPartition, EmptySliceMapPanics)
+{
+    // Regression: a thread whose slice is empty (threadId >= element
+    // count) used to be able to call map() and read past the sequence;
+    // now any out-of-slice ordinal is a panic, empty or not.
+    SequentialPermutation perm(3);
+    CyclicPartition empty(perm, 7, 5);
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_THROW(empty.map(0), PanicError);
+    CyclicPartition one(perm, 7, 2);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_THROW(one.map(1), PanicError);
+}
+
+TEST(BlockPartition, EmptyChunkMapPanics)
+{
+    SequentialPermutation perm(3);
+    BlockPartition empty(perm, 7, 6);
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_THROW(empty.map(0), PanicError);
+    BlockPartition one(perm, 7, 0);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_THROW(one.map(1), PanicError);
+}
+
+TEST(Partition, KindNames)
+{
+    EXPECT_STREQ(partitionKindName(PartitionKind::cyclic), "cyclic");
+    EXPECT_STREQ(partitionKindName(PartitionKind::block), "block");
+}
+
 } // namespace
 } // namespace anytime
