@@ -119,7 +119,7 @@ Automaton::beginRun()
         {"workers", static_cast<double>(totalWorkers())});
     startedFlag = true;
     {
-        std::lock_guard lock(doneMutex);
+        MutexLock lock(doneMutex);
         activeWorkers = totalWorkers();
     }
 }
@@ -142,7 +142,7 @@ Automaton::workerMain(Stage *stage, unsigned worker, unsigned count)
         // error, stop the pipeline, and let the buffers keep their
         // last valid versions.
         {
-            std::lock_guard lock(doneMutex);
+            MutexLock lock(doneMutex);
             failureMessages.push_back(std::string("stage '") +
                                       stage->name() + "': " + error.what());
         }
@@ -155,10 +155,10 @@ Automaton::workerMain(Stage *stage, unsigned worker, unsigned count)
     // done callback without dereferencing `this` again.
     std::function<void()> on_done;
     {
-        std::lock_guard lock(doneMutex);
+        MutexLock lock(doneMutex);
         if (--activeWorkers == 0)
             on_done = doneCallback;
-        doneCv.notify_all();
+        doneCv.notifyAll();
     }
     if (on_done)
         on_done();
@@ -222,10 +222,12 @@ Automaton::resume()
 bool
 Automaton::waitUntilDone(std::optional<std::chrono::nanoseconds> timeout)
 {
-    std::unique_lock lock(doneMutex);
-    const auto done = [&] { return activeWorkers == 0; };
+    MutexLock lock(doneMutex);
+    const auto done = [&]() ANYTIME_REQUIRES(doneMutex) {
+        return activeWorkers == 0;
+    };
     if (timeout)
-        return doneCv.wait_for(lock, *timeout, done);
+        return doneCv.waitFor(lock, *timeout, done);
     doneCv.wait(lock, done);
     return true;
 }
@@ -251,14 +253,14 @@ Automaton::shutdown()
 bool
 Automaton::failed() const
 {
-    std::lock_guard lock(doneMutex);
+    MutexLock lock(doneMutex);
     return !failureMessages.empty();
 }
 
 std::vector<std::string>
 Automaton::failures() const
 {
-    std::lock_guard lock(doneMutex);
+    MutexLock lock(doneMutex);
     return failureMessages;
 }
 

@@ -20,10 +20,8 @@
 #define ANYTIME_CORE_AUTOMATON_HPP
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stop_token>
 #include <string>
@@ -32,6 +30,8 @@
 
 #include "core/buffer.hpp"
 #include "core/stage.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -176,10 +176,11 @@ class Automaton
     bool borrowedWorkers = false;
     std::function<void()> doneCallback;
 
-    mutable std::mutex doneMutex;
-    std::condition_variable doneCv;
-    unsigned activeWorkers = 0;
-    std::vector<std::string> failureMessages;
+    mutable Mutex doneMutex;
+    CondVar doneCv;
+    unsigned activeWorkers ANYTIME_GUARDED_BY(doneMutex) = 0;
+    std::vector<std::string>
+        failureMessages ANYTIME_GUARDED_BY(doneMutex);
 };
 
 } // namespace anytime

@@ -16,22 +16,28 @@
  * need it. A monotonically increasing version number and a `final` flag
  * let consumers detect progress and termination; a condition variable
  * supports blocking waits with cooperative stop.
+ *
+ * The locking discipline is annotated for Clang's thread-safety
+ * analysis (see support/thread_annotations.hpp): all versioned state is
+ * ANYTIME_GUARDED_BY(mutex) and publishes go through the single locked
+ * publish path — the compile-time counterpart of Property 3.
  */
 
 #ifndef ANYTIME_CORE_BUFFER_HPP
 #define ANYTIME_CORE_BUFFER_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stop_token>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -121,16 +127,18 @@ class VersionedBuffer : public BufferBase
     {
         panicIf(value == nullptr, "publishing null into buffer ", name());
         Snapshot<T> snapshot;
+        std::shared_ptr<const std::vector<Observer>> watchers;
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             panicIf(finalSeen,
                     "buffer ", name(), ": publish after final version");
             current = std::move(value);
             ++versionCount;
             finalSeen = is_final;
             snapshot = Snapshot<T>{current, versionCount, finalSeen};
+            watchers = observers;
         }
-        changed.notify_all();
+        changed.notifyAll();
         if (obs::tracingEnabled()) {
             // Single-writer buffer: only the producer thread touches
             // the cached interned name, so no synchronization needed.
@@ -142,16 +150,20 @@ class VersionedBuffer : public BufferBase
                 {"final", snapshot.final ? 1.0 : 0.0});
         }
         // Observers run outside the lock; they receive an immutable
-        // snapshot so racing with the next publish is harmless.
-        for (const auto &observer : observers)
-            observer(snapshot);
+        // snapshot so racing with the next publish is harmless. The
+        // list itself is an immutable copy-on-write vector, so a
+        // concurrent addObserver() never invalidates this walk.
+        if (watchers != nullptr) {
+            for (const auto &observer : *watchers)
+                observer(snapshot);
+        }
     }
 
     /** Latest snapshot (null value if nothing published yet). */
     Snapshot<T>
     read() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return Snapshot<T>{current, versionCount, finalSeen};
     }
 
@@ -165,9 +177,8 @@ class VersionedBuffer : public BufferBase
     Snapshot<T>
     waitNewer(std::uint64_t after_version, std::stop_token stop) const
     {
-        std::unique_lock lock(mutex);
-        std::condition_variable_any &cv = changed;
-        cv.wait(lock, stop, [&] {
+        MutexLock lock(mutex);
+        changed.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
             return versionCount > after_version || finalSeen;
         });
         return Snapshot<T>{current, versionCount, finalSeen};
@@ -175,37 +186,46 @@ class VersionedBuffer : public BufferBase
 
     /**
      * Register an observer invoked after every publish (used by the
-     * profiling harness to timestamp versions). Not thread-safe against
-     * concurrent publishing: register all observers before the
-     * automaton starts.
+     * profiling harness to timestamp versions). Thread-safe at any
+     * time (copy-on-write list): an observer registered while the
+     * producer is publishing starts receiving callbacks from the next
+     * publish after registration.
      */
     void
     addObserver(Observer observer)
     {
-        observers.push_back(std::move(observer));
+        MutexLock lock(mutex);
+        auto grown = observers != nullptr
+                         ? std::make_shared<std::vector<Observer>>(
+                               *observers)
+                         : std::make_shared<std::vector<Observer>>();
+        grown->push_back(std::move(observer));
+        observers = std::move(grown);
     }
 
     std::uint64_t
     version() const override
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return versionCount;
     }
 
     bool
     final() const override
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return finalSeen;
     }
 
   private:
-    mutable std::mutex mutex;
-    mutable std::condition_variable_any changed;
-    std::shared_ptr<const T> current;
-    std::uint64_t versionCount = 0;
-    bool finalSeen = false;
-    std::vector<Observer> observers;
+    mutable Mutex mutex;
+    mutable CondVar changed;
+    std::shared_ptr<const T> current ANYTIME_GUARDED_BY(mutex);
+    std::uint64_t versionCount ANYTIME_GUARDED_BY(mutex) = 0;
+    bool finalSeen ANYTIME_GUARDED_BY(mutex) = false;
+    /** Immutable snapshot list, swapped whole on registration. */
+    std::shared_ptr<const std::vector<Observer>>
+        observers ANYTIME_GUARDED_BY(mutex);
     /** Interned buffer name for publish trace events (producer-only). */
     const char *traceName = nullptr;
 };

@@ -17,14 +17,14 @@
 #ifndef ANYTIME_CORE_CHANNEL_HPP
 #define ANYTIME_CORE_CHANNEL_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stop_token>
 
 #include "support/error.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -56,16 +56,17 @@ class UpdateChannel
     bool
     push(X update, std::stop_token stop)
     {
-        std::unique_lock lock(mutex);
+        MutexLock lock(mutex);
         panicIf(closedFlag, "push into closed UpdateChannel");
-        notFull.wait(lock, stop,
-                     [&] { return queue.size() < capacity; });
+        notFull.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+            return queue.size() < capacity;
+        });
         if (stop.stop_requested())
             return false;
         queue.push_back(std::move(update));
         ++pushed;
         lock.unlock();
-        notEmpty.notify_all();
+        notEmpty.notifyAll();
         return true;
     }
 
@@ -77,16 +78,17 @@ class UpdateChannel
     std::optional<X>
     pop(std::stop_token stop)
     {
-        std::unique_lock lock(mutex);
-        notEmpty.wait(lock, stop,
-                      [&] { return !queue.empty() || closedFlag; });
+        MutexLock lock(mutex);
+        notEmpty.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+            return !queue.empty() || closedFlag;
+        });
         if (queue.empty())
             return std::nullopt; // closed-and-drained or stopped
         X update = std::move(queue.front());
         queue.pop_front();
         ++popped;
         lock.unlock();
-        notFull.notify_all();
+        notFull.notifyAll();
         return update;
     }
 
@@ -95,17 +97,17 @@ class UpdateChannel
     close()
     {
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             closedFlag = true;
         }
-        notEmpty.notify_all();
+        notEmpty.notifyAll();
     }
 
     /** True once close() has been called. */
     bool
     closed() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return closedFlag;
     }
 
@@ -113,7 +115,7 @@ class UpdateChannel
     std::uint64_t
     pushCount() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return pushed;
     }
 
@@ -121,19 +123,19 @@ class UpdateChannel
     std::uint64_t
     popCount() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return popped;
     }
 
   private:
-    mutable std::mutex mutex;
-    std::condition_variable_any notFull;
-    std::condition_variable_any notEmpty;
-    std::deque<X> queue;
+    mutable Mutex mutex;
+    CondVar notFull;
+    CondVar notEmpty;
+    std::deque<X> queue ANYTIME_GUARDED_BY(mutex);
     std::size_t capacity;
-    bool closedFlag = false;
-    std::uint64_t pushed = 0;
-    std::uint64_t popped = 0;
+    bool closedFlag ANYTIME_GUARDED_BY(mutex) = false;
+    std::uint64_t pushed ANYTIME_GUARDED_BY(mutex) = 0;
+    std::uint64_t popped ANYTIME_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace anytime

@@ -34,7 +34,6 @@
 #define ANYTIME_CORE_PARALLEL_STAGE_HPP
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,6 +51,8 @@
 #include "sampling/partition.hpp"
 #include "sampling/permutation.hpp"
 #include "support/error.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -87,12 +88,16 @@ class SweepBarrier
     Outcome
     arrive(const std::stop_token &stop)
     {
-        std::unique_lock lock(mutex);
-        if (++arrivedCount == participants)
+        MutexLock lock(mutex);
+        if (++arrivedCount == participants) {
+            leaderActive = true;
             return Outcome::leader;
+        }
         const std::uint64_t my_generation = generation;
-        const bool released = wake.wait(
-            lock, stop, [&] { return generation != my_generation; });
+        const bool released =
+            wake.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+                return generation != my_generation;
+            });
         if (!released) {
             // Stop while waiting: retract so a later leader election
             // among the survivors still counts correctly.
@@ -107,11 +112,12 @@ class SweepBarrier
     release()
     {
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
+            leaderActive = false;
             arrivedCount = 0;
             ++generation;
         }
-        wake.notify_all();
+        wake.notifyAll();
     }
 
     /**
@@ -123,24 +129,31 @@ class SweepBarrier
     void
     leave()
     {
-        std::unique_lock lock(mutex);
+        MutexLock lock(mutex);
         panicIf(participants == 0, "SweepBarrier: leave with no "
                                    "participants");
         --participants;
-        if (participants > 0 && arrivedCount == participants) {
+        // While an elected leader is merging outside the lock, the
+        // barrier must stay closed: promoting here would release the
+        // blocked workers into a race with the leader's merge and its
+        // verdict write. The leader's own release() opens the barrier.
+        if (!leaderActive && participants > 0 &&
+            arrivedCount == participants) {
             arrivedCount = 0;
             ++generation;
             lock.unlock();
-            wake.notify_all();
+            wake.notifyAll();
         }
     }
 
   private:
-    std::mutex mutex;
-    std::condition_variable_any wake;
-    unsigned participants;
-    unsigned arrivedCount = 0;
-    std::uint64_t generation = 0;
+    Mutex mutex;
+    CondVar wake;
+    unsigned participants ANYTIME_GUARDED_BY(mutex);
+    unsigned arrivedCount ANYTIME_GUARDED_BY(mutex) = 0;
+    /** True from leader election in arrive() until its release(). */
+    bool leaderActive ANYTIME_GUARDED_BY(mutex) = false;
+    std::uint64_t generation ANYTIME_GUARDED_BY(mutex) = 0;
 };
 
 /** Shape of a partitioned sweep. */

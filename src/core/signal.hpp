@@ -11,10 +11,11 @@
 #ifndef ANYTIME_CORE_SIGNAL_HPP
 #define ANYTIME_CORE_SIGNAL_HPP
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <stop_token>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -27,17 +28,17 @@ class ChangeSignal
     notify()
     {
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             ++count;
         }
-        changed.notify_all();
+        changed.notifyAll();
     }
 
     /** Current change count (use as the `seen` baseline). */
     std::uint64_t
     current() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return count;
     }
 
@@ -48,15 +49,17 @@ class ChangeSignal
     std::uint64_t
     wait(std::uint64_t seen, std::stop_token stop) const
     {
-        std::unique_lock lock(mutex);
-        changed.wait(lock, stop, [&] { return count > seen; });
+        MutexLock lock(mutex);
+        changed.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+            return count > seen;
+        });
         return count;
     }
 
   private:
-    mutable std::mutex mutex;
-    mutable std::condition_variable_any changed;
-    std::uint64_t count = 0;
+    mutable Mutex mutex;
+    mutable CondVar changed;
+    std::uint64_t count ANYTIME_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace anytime

@@ -24,12 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "core/buffer.hpp"
 #include "core/stage.hpp"
 #include "support/error.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -154,7 +155,7 @@ class DiffusiveSourceStage : public Stage
                 return; // all work claimed; publisher was the finisher
             const std::uint64_t end = std::min(begin + batchSize, steps);
 
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             for (std::uint64_t step = begin; step < end; ++step)
                 fn(step, state, ctx);
             ctx.addWork(end - begin);
@@ -175,7 +176,7 @@ class DiffusiveSourceStage : public Stage
     /** Publish under the state mutex when a period boundary is crossed
      *  or the computation is complete. */
     void
-    maybePublish()
+    maybePublish() ANYTIME_REQUIRES(mutex)
     {
         const bool is_final = (completed == steps);
         if (!is_final && completed < nextMark)
@@ -186,15 +187,15 @@ class DiffusiveSourceStage : public Stage
     }
 
     std::shared_ptr<VersionedBuffer<O>> out;
-    std::mutex mutex;
-    O state;
+    Mutex mutex;
+    O state ANYTIME_GUARDED_BY(mutex);
     std::uint64_t steps;
     StepFn fn;
     std::uint64_t publishPeriod;
     std::uint64_t batchSize;
     std::atomic<std::uint64_t> claim{0};
-    std::uint64_t completed = 0;
-    std::uint64_t nextMark = 1;
+    std::uint64_t completed ANYTIME_GUARDED_BY(mutex) = 0;
+    std::uint64_t nextMark ANYTIME_GUARDED_BY(mutex) = 1;
 };
 
 } // namespace anytime

@@ -18,15 +18,15 @@
 #define ANYTIME_CORE_STAGE_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stop_token>
 #include <string>
 #include <vector>
 
 #include "core/buffer.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -43,7 +43,7 @@ class PauseGate
     void
     pause()
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         paused = true;
     }
 
@@ -52,17 +52,17 @@ class PauseGate
     resume()
     {
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             paused = false;
         }
-        resumed.notify_all();
+        resumed.notifyAll();
     }
 
     /** True while the gate is closed. */
     bool
     isPaused() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return paused;
     }
 
@@ -73,15 +73,17 @@ class PauseGate
     bool
     wait(std::stop_token stop) const
     {
-        std::unique_lock lock(mutex);
-        resumed.wait(lock, stop, [&] { return !paused; });
+        MutexLock lock(mutex);
+        resumed.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+            return !paused;
+        });
         return !stop.stop_requested();
     }
 
   private:
-    mutable std::mutex mutex;
-    mutable std::condition_variable_any resumed;
-    bool paused = false;
+    mutable Mutex mutex;
+    mutable CondVar resumed;
+    bool paused ANYTIME_GUARDED_BY(mutex) = false;
 };
 
 /** Per-stage execution statistics (work-done proxy for energy). */

@@ -47,31 +47,31 @@ WorkerPool::submit(Task task)
 {
     fatalIf(task == nullptr, "WorkerPool::submit: null task");
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         fatalIf(stopped, "WorkerPool::submit after shutdown");
         queue.push_back(std::move(task));
     }
-    workAvailable.notify_one();
+    workAvailable.notifyOne();
 }
 
 unsigned
 WorkerPool::idle() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return static_cast<unsigned>(threads.size()) - busyCount;
 }
 
 std::size_t
 WorkerPool::queued() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return queue.size();
 }
 
 std::uint64_t
 WorkerPool::tasksCompleted() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return completedCount;
 }
 
@@ -79,14 +79,14 @@ void
 WorkerPool::shutdown()
 {
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         if (stopped)
             return;
         stopped = true;
     }
     for (auto &thread : threads)
         thread.request_stop();
-    workAvailable.notify_all();
+    workAvailable.notifyAll();
     for (auto &thread : threads) {
         if (thread.joinable())
             thread.join();
@@ -100,8 +100,10 @@ WorkerPool::workerLoop(std::stop_token stop)
         Task task;
         unsigned busy_now = 0;
         {
-            std::unique_lock lock(mutex);
-            workAvailable.wait(lock, stop, [&] { return !queue.empty(); });
+            MutexLock lock(mutex);
+            workAvailable.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+                return !queue.empty();
+            });
             if (queue.empty())
                 return; // stop requested and nothing left to drain
             task = std::move(queue.front());
@@ -117,7 +119,7 @@ WorkerPool::workerLoop(std::stop_token stop)
             task();
         }
         {
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             busy_now = --busyCount;
             ++completedCount;
         }

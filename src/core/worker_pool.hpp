@@ -22,13 +22,14 @@
 #ifndef ANYTIME_CORE_WORKER_POOL_HPP
 #define ANYTIME_CORE_WORKER_POOL_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -76,13 +77,14 @@ class WorkerPool
   private:
     void workerLoop(std::stop_token stop);
 
-    mutable std::mutex mutex;
-    std::condition_variable_any workAvailable;
-    std::deque<Task> queue;
+    mutable Mutex mutex;
+    CondVar workAvailable;
+    std::deque<Task> queue ANYTIME_GUARDED_BY(mutex);
+    /** Threads are created in the ctor and joined only in shutdown(). */
     std::vector<std::jthread> threads;
-    unsigned busyCount = 0;
-    std::uint64_t completedCount = 0;
-    bool stopped = false;
+    unsigned busyCount ANYTIME_GUARDED_BY(mutex) = 0;
+    std::uint64_t completedCount ANYTIME_GUARDED_BY(mutex) = 0;
+    bool stopped ANYTIME_GUARDED_BY(mutex) = false;
 };
 
 } // namespace anytime

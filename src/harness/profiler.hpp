@@ -15,12 +15,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/automaton.hpp"
 #include "core/buffer.hpp"
 #include "support/stopwatch.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -42,15 +43,13 @@ class TimelineRecorder
         std::shared_ptr<const T> value;
     };
 
-    /**
-     * Subscribe to @p buffer. Must be called before the automaton
-     * starts (observer registration is not thread-safe afterwards).
-     */
+    /** Subscribe to @p buffer (registration is thread-safe; versions
+     *  published before this call are not recorded). */
     explicit TimelineRecorder(VersionedBuffer<T> &buffer)
     {
         buffer.addObserver([this](const Snapshot<T> &snapshot) {
             const double t = watch.seconds();
-            std::lock_guard lock(mutex);
+            MutexLock lock(mutex);
             entryList.push_back(Entry{t, snapshot.version, snapshot.final,
                                       snapshot.value});
         });
@@ -63,14 +62,14 @@ class TimelineRecorder
     std::vector<Entry>
     entries() const
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         return entryList;
     }
 
   private:
     Stopwatch watch;
-    mutable std::mutex mutex;
-    std::vector<Entry> entryList;
+    mutable Mutex mutex;
+    std::vector<Entry> entryList ANYTIME_GUARDED_BY(mutex);
 };
 
 /** One point of a runtime-accuracy profile (a figure data point). */

@@ -62,8 +62,8 @@ prometheusNumber(double value)
     return buf;
 }
 
-// Requires: caller holds `mutex` (keeps entry creation and metric
-// object construction atomic with respect to exporters).
+// ANYTIME_REQUIRES(mutex): keeps entry creation and metric object
+// construction atomic with respect to exporters.
 MetricsRegistry::Entry &
 MetricsRegistry::findOrCreate(const std::string &name,
                               const std::string &help, MetricKind kind)
@@ -86,7 +86,7 @@ MetricsRegistry::findOrCreate(const std::string &name,
 Counter &
 MetricsRegistry::counter(const std::string &name, const std::string &help)
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     Entry &entry = findOrCreate(name, help, MetricKind::counter);
     if (!entry.counter)
         entry.counter = std::make_unique<Counter>();
@@ -96,7 +96,7 @@ MetricsRegistry::counter(const std::string &name, const std::string &help)
 Gauge &
 MetricsRegistry::gauge(const std::string &name, const std::string &help)
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     Entry &entry = findOrCreate(name, help, MetricKind::gauge);
     if (!entry.gauge)
         entry.gauge = std::make_unique<Gauge>();
@@ -107,7 +107,7 @@ LogHistogram &
 MetricsRegistry::histogram(const std::string &name, const std::string &help,
                            HistogramOptions options)
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     Entry &entry = findOrCreate(name, help, MetricKind::histogram);
     if (!entry.histogram)
         entry.histogram = std::make_unique<LogHistogram>(options);
@@ -117,7 +117,7 @@ MetricsRegistry::histogram(const std::string &name, const std::string &help,
 void
 MetricsRegistry::writePrometheus(std::ostream &out) const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     for (const auto &[name, entry] : entries) {
         if (!entry.help.empty())
             out << "# HELP " << name << ' ' << entry.help << '\n';
@@ -160,7 +160,7 @@ MetricsRegistry::writePrometheus(const std::string &path) const
 std::vector<MetricSnapshot>
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     std::vector<MetricSnapshot> result;
     result.reserve(entries.size());
     for (const auto &[name, entry] : entries) {

@@ -28,11 +28,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime::obs {
 
@@ -155,10 +156,10 @@ class MetricsRegistry
     };
 
     Entry &findOrCreate(const std::string &name, const std::string &help,
-                        MetricKind kind);
+                        MetricKind kind) ANYTIME_REQUIRES(mutex);
 
-    mutable std::mutex mutex;
-    std::map<std::string, Entry> entries;
+    mutable Mutex mutex;
+    std::map<std::string, Entry> entries ANYTIME_GUARDED_BY(mutex);
 };
 
 /** Process-wide registry the runtime layers publish into. */

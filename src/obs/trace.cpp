@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <unordered_set>
 #include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime::obs {
 
@@ -49,9 +51,10 @@ struct Collector
 {
     std::atomic<bool> enabled{false};
     std::atomic<std::int64_t> epochNs{clockNs()};
-    std::mutex mutex; ///< guards buffers registry and interned names
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-    std::unordered_set<std::string> names;
+    Mutex mutex; ///< guards buffers registry and interned names
+    std::vector<std::unique_ptr<ThreadBuffer>>
+        buffers ANYTIME_GUARDED_BY(mutex);
+    std::unordered_set<std::string> names ANYTIME_GUARDED_BY(mutex);
 };
 
 Collector &
@@ -68,7 +71,7 @@ threadBuffer()
 {
     if (tlsBuffer == nullptr) {
         Collector &c = collector();
-        std::lock_guard lock(c.mutex);
+        MutexLock lock(c.mutex);
         auto buffer = std::make_unique<ThreadBuffer>();
         buffer->tid = static_cast<std::uint32_t>(c.buffers.size());
         tlsBuffer = buffer.get();
@@ -220,7 +223,7 @@ std::vector<TraceRecord>
 collectRecords()
 {
     Collector &c = collector();
-    std::lock_guard lock(c.mutex);
+    MutexLock lock(c.mutex);
     std::vector<TraceRecord> records;
     for (const auto &buffer : c.buffers) {
         const std::uint64_t written =
@@ -271,7 +274,7 @@ const char *
 internName(const std::string &name)
 {
     Collector &c = collector();
-    std::lock_guard lock(c.mutex);
+    MutexLock lock(c.mutex);
     return c.names.insert(name).first->c_str();
 }
 
@@ -354,7 +357,7 @@ std::uint64_t
 droppedRecords()
 {
     Collector &c = collector();
-    std::lock_guard lock(c.mutex);
+    MutexLock lock(c.mutex);
     std::uint64_t dropped = 0;
     for (const auto &buffer : c.buffers) {
         const std::uint64_t written =
@@ -370,7 +373,7 @@ std::uint64_t
 retainedRecords()
 {
     Collector &c = collector();
-    std::lock_guard lock(c.mutex);
+    MutexLock lock(c.mutex);
     std::uint64_t retained = 0;
     for (const auto &buffer : c.buffers) {
         const std::uint64_t written =
@@ -384,7 +387,7 @@ void
 clearTrace()
 {
     Collector &c = collector();
-    std::lock_guard lock(c.mutex);
+    MutexLock lock(c.mutex);
     for (const auto &buffer : c.buffers)
         buffer->written.store(0, std::memory_order_release);
     c.epochNs.store(clockNs(), std::memory_order_relaxed);

@@ -85,18 +85,18 @@ AnytimeServer::AnytimeServer(ServerConfig config)
 AnytimeServer::~AnytimeServer()
 {
     {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         stopping = true;
     }
     scheduler.request_stop();
-    wake.notify_all();
+    wake.notifyAll();
     if (scheduler.joinable())
         scheduler.join();
     // The builder may still be inside a factory; its result is simply
     // discarded (the automaton was never started, so destruction is
     // safe). Join before members are torn down.
     builder.request_stop();
-    buildCv.notify_all();
+    buildCv.notifyAll();
     if (builder.joinable())
         builder.join();
     workers.shutdown();
@@ -105,9 +105,11 @@ AnytimeServer::~AnytimeServer()
 void
 AnytimeServer::builderLoop(std::stop_token stop)
 {
-    std::unique_lock lock(mutex);
+    MutexLock lock(mutex);
     for (;;) {
-        buildCv.wait(lock, stop, [&] { return buildJob.has_value(); });
+        buildCv.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
+            return buildJob.has_value();
+        });
         if (stop.stop_requested())
             return;
         BuildJob job = std::move(*buildJob);
@@ -135,7 +137,7 @@ AnytimeServer::builderLoop(std::stop_token stop)
         lock.lock();
 
         buildResults.push_back(std::move(result));
-        wake.notify_all();
+        wake.notifyAll();
     }
 }
 
@@ -152,7 +154,7 @@ AnytimeServer::submit(ServiceRequest request)
     const auto now = Clock::now();
     const auto deadline = now + request.deadline;
 
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     const std::uint64_t id = nextId++;
     live.submitted->add();
     obs::traceAsyncBegin(
@@ -187,7 +189,7 @@ AnytimeServer::submit(ServiceRequest request)
     pending.emplace(deadline, std::move(entry));
     updateDepthGaugesLocked();
     pendingDirty = true;
-    wake.notify_all();
+    wake.notifyAll();
     return future;
 }
 
@@ -277,7 +279,7 @@ AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
     obs::traceInstant(serviceStatusName(status), "service",
                       {"request", static_cast<double>(id)});
     promise.set_value(std::move(response));
-    idleCv.notify_all();
+    idleCv.notifyAll();
 }
 
 void
@@ -390,7 +392,7 @@ AnytimeServer::harvest(RunningEntry entry)
             {"quality", response.quality});
     }
     entry.promise.set_value(std::move(response));
-    idleCv.notify_all();
+    idleCv.notifyAll();
 }
 
 void
@@ -439,7 +441,7 @@ AnytimeServer::updateDepthGaugesLocked()
 void
 AnytimeServer::schedulerLoop(std::stop_token stop)
 {
-    std::unique_lock lock(mutex);
+    MutexLock lock(mutex);
     for (;;) {
         pendingDirty = false;
 
@@ -511,7 +513,9 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             // Everything running has been stopped; wait only for their
             // completion events (the stop token is already triggered,
             // so a token-aware wait would spin).
-            wake.wait(lock, [&] { return !finishedIds.empty(); });
+            wake.wait(lock, [&]() ANYTIME_REQUIRES(mutex) {
+                return !finishedIds.empty();
+            });
             continue;
         }
 
@@ -533,7 +537,7 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                 if (buildInFlight == 0) {
                     buildInFlight = head.id;
                     buildJob = BuildJob{head.id, head.request.factory};
-                    buildCv.notify_all();
+                    buildCv.notifyAll();
                 }
                 break; // strict EDF: nothing dispatches past the head
             }
@@ -566,9 +570,9 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             Automaton *automaton = entry.pipeline.automaton.get();
             const std::uint64_t id = entry.id;
             automaton->setDoneCallback([this, id] {
-                std::lock_guard callback_lock(mutex);
+                MutexLock callback_lock(mutex);
                 finishedIds.push_back(id);
-                wake.notify_all();
+                wake.notifyAll();
             });
             slotsUsed += gang;
             obs::traceInstant(
@@ -598,42 +602,44 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
         if (!finishedIds.empty() || !buildResults.empty() ||
             pendingDirty || stop.stop_requested())
             continue;
-        const auto event = [&] {
+        const auto event = [&]() ANYTIME_REQUIRES(mutex) {
             return !finishedIds.empty() || !buildResults.empty() ||
                    pendingDirty;
         };
         if (next_wake == Clock::time_point::max())
             wake.wait(lock, stop, event);
         else
-            wake.wait_until(lock, stop, next_wake, event);
+            wake.waitUntil(lock, stop, next_wake, event);
     }
 }
 
 void
 AnytimeServer::drain()
 {
-    std::unique_lock lock(mutex);
-    idleCv.wait(lock, [&] { return pending.empty() && running.empty(); });
+    MutexLock lock(mutex);
+    idleCv.wait(lock, [&]() ANYTIME_REQUIRES(mutex) {
+        return pending.empty() && running.empty();
+    });
 }
 
 ServiceMetrics
 AnytimeServer::metricsSnapshot() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return metrics;
 }
 
 std::size_t
 AnytimeServer::pendingCount() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return pending.size();
 }
 
 std::size_t
 AnytimeServer::runningCount() const
 {
-    std::lock_guard lock(mutex);
+    MutexLock lock(mutex);
     return running.size();
 }
 

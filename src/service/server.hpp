@@ -37,12 +37,10 @@
 #define ANYTIME_SERVICE_SERVER_HPP
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -53,6 +51,8 @@
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 #include "support/stopwatch.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace anytime {
 
@@ -176,19 +176,21 @@ class AnytimeServer
                             ServiceStatus status,
                             Clock::time_point submitted,
                             std::uint64_t id = 0,
-                            std::vector<std::string> failures = {});
+                            std::vector<std::string> failures = {})
+        ANYTIME_REQUIRES(mutex);
 
-    /** Harvest a finished pipeline and fulfill its promise. */
-    void harvest(RunningEntry entry);
+    /** Harvest a finished pipeline and fulfill its promise (caller
+     *  locked: folds the response into the EWMA admission model). */
+    void harvest(RunningEntry entry) ANYTIME_REQUIRES(mutex);
 
     /** Stop every running pipeline whose deadline has passed (caller
      *  locked). */
-    void stopOverdueLocked(Clock::time_point now);
+    void stopOverdueLocked(Clock::time_point now) ANYTIME_REQUIRES(mutex);
 
     /** Attach finished builds to their pending entries (caller locked);
      *  results for entries that expired or were cancelled while being
      *  built are discarded (their automatons were never started). */
-    void integrateBuildResultsLocked();
+    void integrateBuildResultsLocked() ANYTIME_REQUIRES(mutex);
 
     /**
      * Admission-control verdict for a new request (caller locked):
@@ -198,38 +200,41 @@ class AnytimeServer
      */
     std::optional<ServiceStatus>
     admissionVerdict(Clock::time_point now, Clock::time_point deadline,
-                     unsigned declared_gang) const;
+                     unsigned declared_gang) const ANYTIME_REQUIRES(mutex);
 
     ServerConfig configuration;
 
-    mutable std::mutex mutex;
-    std::condition_variable_any wake;
-    std::condition_variable_any idleCv;
+    mutable Mutex mutex;
+    CondVar wake;
+    CondVar idleCv;
 
-    std::multimap<Clock::time_point, PendingEntry> pending;
-    std::map<std::uint64_t, RunningEntry> running;
-    std::vector<std::uint64_t> finishedIds;
+    std::multimap<Clock::time_point, PendingEntry>
+        pending ANYTIME_GUARDED_BY(mutex);
+    std::map<std::uint64_t, RunningEntry>
+        running ANYTIME_GUARDED_BY(mutex);
+    std::vector<std::uint64_t> finishedIds ANYTIME_GUARDED_BY(mutex);
     /** One factory in flight at a time (builder thread input/output). */
-    std::optional<BuildJob> buildJob;
-    std::vector<BuildResult> buildResults;
-    std::uint64_t buildInFlight = 0; ///< request id being built; 0 = none
-    std::condition_variable_any buildCv;
-    unsigned slotsUsed = 0;
-    std::uint64_t nextId = 1;
-    bool stopping = false;
+    std::optional<BuildJob> buildJob ANYTIME_GUARDED_BY(mutex);
+    std::vector<BuildResult> buildResults ANYTIME_GUARDED_BY(mutex);
+    /** Request id being built; 0 = none. */
+    std::uint64_t buildInFlight ANYTIME_GUARDED_BY(mutex) = 0;
+    CondVar buildCv;
+    unsigned slotsUsed ANYTIME_GUARDED_BY(mutex) = 0;
+    std::uint64_t nextId ANYTIME_GUARDED_BY(mutex) = 1;
+    bool stopping ANYTIME_GUARDED_BY(mutex) = false;
     /** Set by submit(), cleared by the scheduler each iteration. */
-    bool pendingDirty = false;
+    bool pendingDirty ANYTIME_GUARDED_BY(mutex) = false;
 
     /** EWMA model of observed service behavior (admission control). */
-    double ewmaExecSeconds = 0.0;
-    double ewmaGang = 0.0;
-    bool ewmaValid = false;
+    double ewmaExecSeconds ANYTIME_GUARDED_BY(mutex) = 0.0;
+    double ewmaGang ANYTIME_GUARDED_BY(mutex) = 0.0;
+    bool ewmaValid ANYTIME_GUARDED_BY(mutex) = false;
     /** EWMA of factory build time: dispatch throughput is bounded by
      *  the single builder, so queueing delay is too. */
-    double ewmaBuildSeconds = 0.0;
-    bool ewmaBuildValid = false;
+    double ewmaBuildSeconds ANYTIME_GUARDED_BY(mutex) = 0.0;
+    bool ewmaBuildValid ANYTIME_GUARDED_BY(mutex) = false;
 
-    ServiceMetrics metrics;
+    ServiceMetrics metrics ANYTIME_GUARDED_BY(mutex);
 
     /** Live exposition metrics (owned by the configured registry). */
     struct LiveMetrics
@@ -253,7 +258,7 @@ class AnytimeServer
     void updateLiveMetrics(const ServiceResponse &response);
 
     /** Refresh the queue-depth gauges (caller locked). */
-    void updateDepthGaugesLocked();
+    void updateDepthGaugesLocked() ANYTIME_REQUIRES(mutex);
 
     LiveMetrics live;
 

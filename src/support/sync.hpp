@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Annotated synchronization primitives for the thread-safety analysis.
+ *
+ * Clang's `-Wthread-safety` cannot see through libstdc++'s std::mutex /
+ * std::lock_guard (they carry no capability attributes), so every
+ * lock-protected structure in the tree locks through these thin
+ * wrappers instead:
+ *
+ *  - Mutex: std::mutex tagged as a capability;
+ *  - MutexLock: scoped lock (std::unique_lock underneath) that the
+ *    analysis tracks, including manual unlock()/lock() cycles around
+ *    slow work (the builder-thread pattern in service/server.cpp);
+ *  - CondVar: std::condition_variable_any wrapper whose waits take a
+ *    MutexLock, including the std::stop_token overloads used by every
+ *    cooperative-stop wait in the automaton.
+ *
+ * The wrappers add no state and no behavior on top of the std types;
+ * on non-Clang compilers the annotations vanish and everything inlines
+ * to exactly the code it replaced. Waiting on a CondVar releases and
+ * reacquires the mutex, but — by the usual convention of the analysis —
+ * the capability is treated as held across the wait; predicates run
+ * with the lock held, so guarded reads inside them are legitimate
+ * (annotate predicate lambdas with ANYTIME_REQUIRES(mutex)).
+ */
+
+#ifndef ANYTIME_SUPPORT_SYNC_HPP
+#define ANYTIME_SUPPORT_SYNC_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stop_token>
+
+#include "support/thread_annotations.hpp"
+
+namespace anytime {
+
+/** std::mutex tagged as a thread-safety capability. */
+class ANYTIME_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() ANYTIME_ACQUIRE()
+    {
+        impl.lock();
+    }
+
+    void
+    unlock() ANYTIME_RELEASE()
+    {
+        impl.unlock();
+    }
+
+    bool
+    tryLock() ANYTIME_TRY_ACQUIRE(true)
+    {
+        return impl.try_lock();
+    }
+
+    /** Underlying std::mutex (for MutexLock/CondVar internals only). */
+    std::mutex &native() { return impl; }
+
+  private:
+    std::mutex impl;
+};
+
+/**
+ * Scoped lock over a Mutex, tracked by the analysis. Supports manual
+ * unlock()/lock() for code that drops the lock around slow work; the
+ * destructor releases only if still held (std::unique_lock semantics).
+ */
+class ANYTIME_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ANYTIME_ACQUIRE(mutex)
+        : guard(mutex.native())
+    {
+    }
+
+    ~MutexLock() ANYTIME_RELEASE() = default;
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Reacquire after a manual unlock(). */
+    void
+    lock() ANYTIME_ACQUIRE()
+    {
+        guard.lock();
+    }
+
+    /** Drop the lock before scope exit (e.g. to notify or run work). */
+    void
+    unlock() ANYTIME_RELEASE()
+    {
+        guard.unlock();
+    }
+
+    /** Underlying lock object (for CondVar waits only). */
+    std::unique_lock<std::mutex> &native() { return guard; }
+
+  private:
+    std::unique_lock<std::mutex> guard;
+};
+
+/**
+ * Condition variable whose waits take a MutexLock. Uses
+ * std::condition_variable_any for the std::stop_token overloads; all
+ * predicate waits follow the standard loop-until-predicate contract.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notifyOne() noexcept { impl.notify_one(); }
+    void notifyAll() noexcept { impl.notify_all(); }
+
+    /** Wait until @p predicate holds. */
+    template <typename Predicate>
+    void
+    wait(MutexLock &lock, Predicate predicate)
+    {
+        impl.wait(lock.native(), std::move(predicate));
+    }
+
+    /**
+     * Wait until @p predicate holds or @p stop is requested.
+     * @return The predicate's value at return (false = stopped early).
+     */
+    template <typename Predicate>
+    bool
+    wait(MutexLock &lock, std::stop_token stop, Predicate predicate)
+    {
+        return impl.wait(lock.native(), std::move(stop),
+                         std::move(predicate));
+    }
+
+    /** Timed predicate wait. @return Predicate value at return. */
+    template <typename Rep, typename Period, typename Predicate>
+    bool
+    waitFor(MutexLock &lock,
+            const std::chrono::duration<Rep, Period> &timeout,
+            Predicate predicate)
+    {
+        return impl.wait_for(lock.native(), timeout,
+                             std::move(predicate));
+    }
+
+    /** Deadline + stop-token wait. @return Predicate value at return. */
+    template <typename Clock, typename Duration, typename Predicate>
+    bool
+    waitUntil(MutexLock &lock, std::stop_token stop,
+              const std::chrono::time_point<Clock, Duration> &deadline,
+              Predicate predicate)
+    {
+        return impl.wait_until(lock.native(), std::move(stop), deadline,
+                               std::move(predicate));
+    }
+
+  private:
+    std::condition_variable_any impl;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SUPPORT_SYNC_HPP

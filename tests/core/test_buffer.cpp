@@ -114,6 +114,50 @@ TEST(VersionedBuffer, ObserversSeeEveryVersion)
     EXPECT_EQ(seen[1], (std::pair<std::uint64_t, int>{2, 11}));
 }
 
+TEST(VersionedBuffer, ObserverRegisteredMidStreamSeesLaterVersions)
+{
+    // Regression: addObserver used to append to the observer vector
+    // unsynchronized, so registering while a producer published was a
+    // race (and was documented as forbidden). The copy-on-write
+    // observer list makes registration safe at any time: an observer
+    // added mid-stream sees every version published after its
+    // registration completes.
+    VersionedBuffer<int> buffer("b");
+    std::atomic<bool> stop{false};
+    std::atomic<int> published{0};
+    std::thread producer([&] {
+        int value = 0;
+        while (!stop.load()) {
+            buffer.publish(value++, false);
+            ++published;
+        }
+        buffer.publish(value, true);
+        ++published;
+    });
+
+    // Register observers while the producer is mid-stream.
+    std::atomic<int> notified{0};
+    std::vector<std::uint64_t> seen;
+    while (published.load() < 8)
+        std::this_thread::yield();
+    buffer.addObserver([&](const Snapshot<int> &snap) {
+        seen.push_back(snap.version);
+        ++notified;
+    });
+    while (notified.load() < 8)
+        std::this_thread::yield();
+    stop.store(true);
+    producer.join();
+
+    // Every notification after registration arrived, in order, with
+    // no gaps, and the final version was delivered.
+    ASSERT_FALSE(seen.empty());
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], seen[i - 1] + 1) << "gap at index " << i;
+    EXPECT_EQ(seen.back(), buffer.version());
+    EXPECT_TRUE(buffer.final());
+}
+
 TEST(VersionedBuffer, MovePublishAvoidsCopy)
 {
     VersionedBuffer<std::vector<int>> buffer("b");

@@ -108,6 +108,49 @@ TEST(SweepBarrier, LeavePromotesFullyArrivedRemainder)
     EXPECT_EQ(released.load(), 2);
 }
 
+TEST(SweepBarrier, LeaveDuringLeaderMergeKeepsBarrierClosed)
+{
+    // Regression: while an elected leader is merging outside the lock,
+    // a stopped worker's leave() used to see arrivedCount ==
+    // participants and reopen the barrier, releasing the remaining
+    // waiter into a race with the in-flight merge. The barrier must
+    // stay closed until the leader's own release().
+    SweepBarrier barrier(3);
+    std::stop_source keepRunning;
+    std::stop_source stopOne;
+
+    std::atomic<int> survivorReleased{0};
+    std::thread survivor([&] {
+        EXPECT_EQ(barrier.arrive(keepRunning.get_token()),
+                  SweepBarrier::Outcome::released);
+        ++survivorReleased;
+    });
+    std::thread quitter([&] {
+        EXPECT_EQ(barrier.arrive(stopOne.get_token()),
+                  SweepBarrier::Outcome::stopped);
+        barrier.leave();
+    });
+
+    // Let both workers block, then arrive last: this thread is the
+    // leader, now notionally merging outside the barrier lock.
+    std::this_thread::sleep_for(20ms);
+    ASSERT_EQ(barrier.arrive(keepRunning.get_token()),
+              SweepBarrier::Outcome::leader);
+
+    // Mid-merge, one waiter stops and leaves the gang.
+    stopOne.request_stop();
+    quitter.join();
+
+    // The survivor must still be parked: nobody may pass the barrier
+    // while the leader's merge is in flight.
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(survivorReleased.load(), 0);
+
+    barrier.release();
+    survivor.join();
+    EXPECT_EQ(survivorReleased.load(), 1);
+}
+
 // ------------------------------------------------- partitioned diffusive
 
 /** Sum-reduction stage: version v must equal the sum of f(step) over

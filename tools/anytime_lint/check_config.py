@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sanity-check the static-analysis wiring without needing clang.
+
+Runs on every platform (ctest label ``lint``) so a toolchain without
+clang-tidy still catches configuration drift: every custom check must
+be registered in the tidy module, listed in .clang-tidy, and covered
+by a positive and a negative fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+CHECKS = {
+    "anytime-no-wallclock-in-stage-body": "wallclock",
+    "anytime-publish-discipline": "publish",
+    "anytime-narrow-accumulator": "narrow",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", required=True, type=Path)
+    args = parser.parse_args()
+    root = args.repo_root
+    failures = []
+
+    clang_tidy_config = root / ".clang-tidy"
+    if clang_tidy_config.is_file():
+        config_text = clang_tidy_config.read_text()
+        if "anytime-" not in config_text:
+            failures.append(".clang-tidy does not enable the anytime-* checks")
+    else:
+        failures.append(".clang-tidy missing at repo root")
+
+    module = root / "tools/anytime_lint/src/AnytimeTidyModule.cpp"
+    module_text = module.read_text() if module.is_file() else ""
+    fixture_dir = root / "tools/anytime_lint/fixtures"
+    for check, stem in CHECKS.items():
+        if f'"{check}"' not in module_text:
+            failures.append(f"{check} is not registered in {module.name}")
+        for kind in ("positive", "negative"):
+            fixture = fixture_dir / f"{stem}_{kind}.cpp"
+            if not fixture.is_file():
+                failures.append(f"missing fixture {fixture.name} for {check}")
+                continue
+            has_markers = "// expect-warning" in fixture.read_text()
+            if kind == "positive" and not has_markers:
+                failures.append(
+                    f"{fixture.name} has no // expect-warning markers"
+                )
+            if kind == "negative" and has_markers:
+                failures.append(
+                    f"{fixture.name} is a negative fixture but has markers"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"PASS: {len(CHECKS)} checks wired with fixtures and config")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+// Minimal stand-ins for the anytime types the checks key on. The
+// checks match fully qualified names (::anytime::Stage,
+// ::anytime::Snapshot, ::anytime::runPartitionedSweep), so fixtures
+// only need declarations shaped like the real ones — keeping fixture
+// compilation hermetic and fast (no repo include paths, no libstdc++
+// concurrency headers).
+
+#ifndef ANYTIME_LINT_FIXTURES_ANYTIME_STUB_HPP
+#define ANYTIME_LINT_FIXTURES_ANYTIME_STUB_HPP
+
+#include <cstdint>
+#include <memory>
+
+namespace anytime {
+
+class StageContext {
+public:
+  bool checkpoint() { return true; }
+  unsigned workerId() const { return 0; }
+  unsigned workerCount() const { return 1; }
+};
+
+class Stage {
+public:
+  virtual ~Stage() = default;
+  virtual void run(StageContext &ctx) = 0;
+};
+
+template <typename T>
+struct Snapshot {
+  std::shared_ptr<const T> value;
+  std::uint64_t version = 0;
+  bool final = false;
+};
+
+template <typename P>
+struct SweepGang {
+  P partial{};
+};
+
+struct SweepLayout {
+  std::uint64_t steps = 0;
+};
+
+enum class SweepStatus { completed, stopped, abandoned };
+
+template <typename P, typename ResetFn, typename StepFn, typename WindowFn>
+SweepStatus
+runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
+                    const SweepLayout &layout, ResetFn &&reset,
+                    StepFn &&step, WindowFn &&window) {
+  P &partial = gang.partial;
+  reset(partial);
+  for (std::uint64_t i = 0; i < layout.steps; ++i)
+    step(i, partial, ctx);
+  window(partial, std::uint64_t{0}, layout.steps);
+  return SweepStatus::completed;
+}
+
+} // namespace anytime
+
+#endif // ANYTIME_LINT_FIXTURES_ANYTIME_STUB_HPP

@@ -1,0 +1,58 @@
+// Fixture: anytime-narrow-accumulator must stay silent here. The
+// sanctioned pattern: accumulators are at least as wide as what they
+// absorb (widen first, accumulate second), matching the fixed-point
+// dot-product contract.
+
+#include <cstdint>
+
+namespace {
+
+std::int64_t
+accumulateWide(const std::int32_t *values, unsigned count) {
+  std::int64_t total = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    // Narrow into wide: always representable.
+    total += values[i];
+  }
+  return total;
+}
+
+std::int64_t
+accumulateSameWidth(const std::int64_t *values, unsigned count) {
+  std::int64_t total = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    total += values[i];
+  }
+  return total;
+}
+
+std::int32_t
+explicitNarrowing(std::int64_t wide) {
+  std::int32_t total = 0;
+  // An explicit cast documents intent; the check targets the silent
+  // conversion, not deliberate truncation.
+  total += static_cast<std::int32_t>(wide);
+  return total;
+}
+
+double
+floatingAccumulator(const std::int64_t *values, unsigned count) {
+  double total = 0.0;
+  for (unsigned i = 0; i < count; ++i) {
+    // Non-integer accumulators are out of scope for this check.
+    total += static_cast<double>(values[i]);
+  }
+  return total;
+}
+
+} // namespace
+
+int
+main() {
+  const std::int32_t narrow[3] = {1, 2, 3};
+  const std::int64_t wide[3] = {4, 5, 6};
+  return static_cast<int>(accumulateWide(narrow, 3) +
+                          accumulateSameWidth(wide, 3) +
+                          explicitNarrowing(7)) +
+         static_cast<int>(floatingAccumulator(wide, 3));
+}

@@ -1,0 +1,46 @@
+// Fixture: anytime-narrow-accumulator must fire on every marked line.
+// Accumulating a wide value into a narrower integer silently truncates
+// partial sums — the bug class the fixed-point contract (widen before
+// accumulate) exists to prevent.
+
+#include <cstdint>
+
+namespace {
+
+struct SweepTotals {
+  std::int32_t hits = 0;
+  std::int64_t weight = 0;
+};
+
+std::int32_t
+accumulateNarrow(const std::int64_t *values, unsigned count) {
+  std::int32_t total = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    total += values[i]; // expect-warning
+  }
+  return total;
+}
+
+std::uint16_t
+drainCredits(std::uint16_t credits, std::uint64_t spent) {
+  credits -= spent; // expect-warning
+  return credits;
+}
+
+void
+foldTotals(SweepTotals &totals, std::int64_t delta) {
+  totals.hits += delta; // expect-warning
+  totals.weight += delta;
+}
+
+} // namespace
+
+int
+main() {
+  const std::int64_t values[3] = {1, 2, 3};
+  SweepTotals totals;
+  foldTotals(totals, 4);
+  return accumulateNarrow(values, 3) +
+         static_cast<int>(drainCredits(100, 5)) +
+         static_cast<int>(totals.hits);
+}

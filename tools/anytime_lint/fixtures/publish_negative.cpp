@@ -1,0 +1,56 @@
+// Fixture: anytime-publish-discipline must stay silent here. Clean
+// stage code reads snapshots, mutates only its private state, and
+// whole-snapshot assignment (refreshing a read view) is fine.
+
+#include "anytime_stub.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace {
+
+struct Image {
+  std::vector<int> pixels;
+};
+
+class CleanStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    // Reading published state is the whole point.
+    if (input.value != nullptr && !input.final)
+      scratch.pixels = input.value->pixels;
+    // Private state mutates freely.
+    scratch.pixels.push_back(static_cast<int>(input.version));
+    // Replacing the whole view with a newer snapshot is a read-side
+    // refresh, not a write into a published version.
+    input = anytime::Snapshot<Image>{};
+  }
+
+  anytime::Snapshot<Image> input;
+
+private:
+  Image scratch;
+};
+
+/** Non-stage code may shape snapshot literals (test harnesses do). */
+anytime::Snapshot<Image>
+makeFixtureSnapshot() {
+  anytime::Snapshot<Image> snapshot;
+  snapshot.value = std::make_shared<const Image>();
+  snapshot.version = 1;
+  snapshot.final = true;
+  return snapshot;
+}
+
+} // namespace
+
+int
+main() {
+  CleanStage stage;
+  stage.input = makeFixtureSnapshot();
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fixture: anytime-publish-discipline must fire on every marked line.
+
+#include "anytime_stub.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace {
+
+struct Image {
+  std::vector<int> pixels;
+};
+
+class SneakyStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    // Rewriting snapshot bookkeeping forges a version that was never
+    // published.
+    input.version = 99; // expect-warning
+    input.final = true; // expect-warning
+    // const_cast in a stage body: mutating the shared immutable value
+    // readers hold.
+    if (input.value != nullptr) {
+      auto &cells = const_cast<Image &>(*input.value); // expect-warning
+      cells.pixels.clear();
+    }
+  }
+
+  anytime::Snapshot<Image> input;
+};
+
+} // namespace
+
+int
+main() {
+  SneakyStage stage;
+  stage.input.value = std::make_shared<const Image>();
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  return static_cast<int>(stage.input.version);
+}

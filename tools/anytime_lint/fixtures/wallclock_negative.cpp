@@ -1,0 +1,67 @@
+// Fixture: anytime-no-wallclock-in-stage-body must stay silent here.
+// Stage bodies below are deterministic (seeded generators, ordinal
+// arithmetic), steady_clock is the sanctioned scheduling clock, and
+// wall-clock reads outside stage bodies (harness timing) are fine.
+
+#include "anytime_stub.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace {
+
+class DeterministicStage : public anytime::Stage {
+public:
+  explicit DeterministicStage(unsigned seed) : generator(seed) {}
+
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    // Seeded engine: replays bit-identically.
+    accumulator += static_cast<long>(generator());
+    // steady_clock is allowed — scheduling may depend on time, the
+    // published values may not, and this read feeds no output.
+    lastCheckpoint = std::chrono::steady_clock::now();
+  }
+
+private:
+  std::mt19937 generator;
+  long accumulator = 0;
+  std::chrono::steady_clock::time_point lastCheckpoint;
+};
+
+int
+deterministicSweep() {
+  anytime::StageContext ctx;
+  anytime::SweepGang<int> gang;
+  anytime::SweepLayout layout;
+  layout.steps = 4;
+  anytime::runPartitionedSweep(
+      ctx, gang, layout, [](int &partial) { partial = 0; },
+      [](unsigned long step, int &partial, anytime::StageContext &) {
+        partial += static_cast<int>(step * 2654435761u);
+      },
+      [](int &partial, unsigned long, unsigned long) {
+        return partial != 0;
+      });
+  return gang.partial;
+}
+
+/** Harness code (not a stage body): wall-clock reads are legitimate. */
+double
+harnessWallSeconds() {
+  const auto wall = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(wall.time_since_epoch()).count() +
+         std::rand() % 2;
+}
+
+} // namespace
+
+int
+main() {
+  DeterministicStage stage(42);
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  return deterministicSweep() + static_cast<int>(harnessWallSeconds());
+}

@@ -1,0 +1,62 @@
+// Fixture: anytime-no-wallclock-in-stage-body must fire on every
+// marked line. Each `// expect-warning` marks a line the check is
+// required to diagnose; the runner fails if any marker goes silent.
+
+#include "anytime_stub.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace {
+
+class JitteryStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    seed = std::rand(); // expect-warning
+    startedAt = std::time(nullptr); // expect-warning
+    const auto wall =
+        std::chrono::system_clock::now(); // expect-warning
+    (void)wall;
+    const auto precise =
+        std::chrono::high_resolution_clock::now(); // expect-warning
+    (void)precise;
+    std::random_device entropy; // expect-warning
+    seed += entropy();
+  }
+
+private:
+  unsigned long seed = 0;
+  long startedAt = 0;
+};
+
+int
+sweepWithWallclock() {
+  anytime::StageContext ctx;
+  anytime::SweepGang<int> gang;
+  anytime::SweepLayout layout;
+  layout.steps = 4;
+  anytime::runPartitionedSweep(
+      ctx, gang, layout, [](int &partial) { partial = 0; },
+      [](unsigned long step, int &partial, anytime::StageContext &) {
+        partial += static_cast<int>(step);
+        partial ^= std::rand(); // expect-warning
+      },
+      [](int &partial, unsigned long, unsigned long) {
+        return partial != 0;
+      });
+  return gang.partial;
+}
+
+} // namespace
+
+int
+main() {
+  JitteryStage stage;
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  return sweepWithWallclock();
+}

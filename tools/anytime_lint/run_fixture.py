@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Run one anytime-lint check against one fixture and grade the output.
+
+A fixture marks every line that must produce a diagnostic with a
+trailing ``// expect-warning`` comment; a fixture with no markers is a
+negative fixture and must come back completely clean. The runner fails
+when a marked line stays silent, when an unmarked line fires, or when
+the fixture does not compile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+MARKER = "// expect-warning"
+
+
+def expected_lines(fixture: Path) -> set[int]:
+    lines = set()
+    for number, text in enumerate(fixture.read_text().splitlines(), start=1):
+        if MARKER in text:
+            lines.add(number)
+    return lines
+
+
+def reported_lines(output: str, fixture: Path, check: str) -> set[int]:
+    pattern = re.compile(
+        r"^(?P<file>[^:\n]+):(?P<line>\d+):\d+: warning: .*\["
+        + re.escape(check)
+        + r"\]$",
+        re.MULTILINE,
+    )
+    lines = set()
+    for match in pattern.finditer(output):
+        if Path(match.group("file")).name == fixture.name:
+            lines.add(int(match.group("line")))
+    return lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", required=True)
+    parser.add_argument("--fixture", required=True, type=Path)
+    args = parser.parse_args()
+
+    command = [
+        args.clang_tidy,
+        f"--load={args.plugin}",
+        f"--checks=-*,{args.check}",
+        str(args.fixture),
+        "--",
+        "-std=c++20",
+    ]
+    result = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    output = result.stdout + result.stderr
+    if "error:" in output:
+        print(output)
+        print(f"FAIL: {args.fixture.name} did not compile cleanly")
+        return 1
+
+    expected = expected_lines(args.fixture)
+    reported = reported_lines(result.stdout, args.fixture, args.check)
+    missing = sorted(expected - reported)
+    unexpected = sorted(reported - expected)
+    if missing or unexpected:
+        print(output)
+        if missing:
+            print(
+                f"FAIL: {args.check} stayed silent on marked line(s) "
+                f"{missing} of {args.fixture.name}"
+            )
+        if unexpected:
+            print(
+                f"FAIL: {args.check} fired on unmarked line(s) "
+                f"{unexpected} of {args.fixture.name}"
+            )
+        return 1
+
+    kind = "positive" if expected else "negative"
+    print(
+        f"PASS: {args.check} on {args.fixture.name} "
+        f"({kind}, {len(expected)} expected diagnostics)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

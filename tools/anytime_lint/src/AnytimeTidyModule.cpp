@@ -1,0 +1,43 @@
+//===--- AnytimeTidyModule.cpp --------------------------------------------===//
+//
+// clang-tidy module registering the anytime-* checks. Built as a
+// loadable plugin:
+//
+//   clang-tidy -load libanytime_lint.so -checks=-*,anytime-* file.cpp --
+//
+// Each check enforces one invariant the anytime-automaton paper states
+// but the compiler cannot see (see DESIGN.md section 11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "NarrowAccumulatorCheck.h"
+#include "NoWallclockInStageBodyCheck.h"
+#include "PublishDisciplineCheck.h"
+
+namespace clang::tidy {
+namespace anytime {
+
+class AnytimeModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoWallclockInStageBodyCheck>(
+        "anytime-no-wallclock-in-stage-body");
+    CheckFactories.registerCheck<PublishDisciplineCheck>(
+        "anytime-publish-discipline");
+    CheckFactories.registerCheck<NarrowAccumulatorCheck>(
+        "anytime-narrow-accumulator");
+  }
+};
+
+} // namespace anytime
+
+static ClangTidyModuleRegistry::Add<anytime::AnytimeModule>
+    X("anytime-module", "Checks enforcing anytime-automaton contracts.");
+
+// Referenced by the registry machinery to keep the module linked in.
+volatile int AnytimeModuleAnchorSource = 0;
+
+} // namespace clang::tidy

@@ -1,0 +1,53 @@
+//===--- NarrowAccumulatorCheck.cpp ---------------------------------------===//
+
+#include "NarrowAccumulatorCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+void
+NarrowAccumulatorCheck::registerMatchers(MatchFinder *Finder) {
+  // Additive compound assignments are the accumulator idiom; plain
+  // assignments that narrow are bugprone-narrowing-conversions
+  // territory and stay out of scope here.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("+=", "-="),
+                     hasLHS(expr(hasType(isInteger()))),
+                     hasRHS(expr(hasType(isInteger()))))
+          .bind("accumulate"),
+      this);
+}
+
+void
+NarrowAccumulatorCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Accumulate =
+      Result.Nodes.getNodeAs<BinaryOperator>("accumulate");
+  const Expr *Lhs = Accumulate->getLHS();
+  const Expr *Rhs = Accumulate->getRHS()->IgnoreParenImpCasts();
+  const QualType LhsType = Lhs->getType();
+  const QualType RhsType = Rhs->getType();
+  if (LhsType.isNull() || RhsType.isNull())
+    return;
+  if (LhsType->isDependentType() || RhsType->isDependentType())
+    return;
+  if (LhsType->isBooleanType() || RhsType->isBooleanType())
+    return;
+  ASTContext &Context = *Result.Context;
+  const uint64_t LhsBits = Context.getIntWidth(LhsType);
+  const uint64_t RhsBits = Context.getIntWidth(RhsType);
+  if (RhsBits <= LhsBits)
+    return;
+  diag(Accumulate->getOperatorLoc(),
+       "accumulating a %0-bit value into a %1-bit accumulator "
+       "truncates the widened product; keep the accumulator at the "
+       "widened width (the fixed-point contract accumulates int32 "
+       "plane products in int64)")
+      << static_cast<unsigned>(RhsBits) << static_cast<unsigned>(LhsBits)
+      << Accumulate->getSourceRange();
+}
+
+} // namespace clang::tidy::anytime

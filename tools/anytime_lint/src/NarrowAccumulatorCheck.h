@@ -1,0 +1,40 @@
+//===--- NarrowAccumulatorCheck.h -------------------------------*- C++ -*-===//
+//
+// anytime-narrow-accumulator
+//
+// The reduced-precision constructions (paper Section III-B2) widen
+// before they accumulate: Fixed::operator* widens int32 operands to
+// int64 before rescaling, and BitPlaneDotProduct accumulates plane
+// partial products in a 64-bit accumulator because intermediate sums
+// may transiently exceed the final product's range (see
+// approx/fixed_point.hpp). Accumulating a wider integer expression
+// into a narrower variable silently truncates exactly the bits the
+// anytime refinement is supposed to deliver, so this check flags
+// compound additive assignments (+=, -=) whose right-hand side has a
+// strictly wider integer type than the accumulator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_NARROW_ACCUMULATOR_CHECK_H
+#define ANYTIME_LINT_NARROW_ACCUMULATOR_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class NarrowAccumulatorCheck : public ClangTidyCheck {
+public:
+  NarrowAccumulatorCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_NARROW_ACCUMULATOR_CHECK_H

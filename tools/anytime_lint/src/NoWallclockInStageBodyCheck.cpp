@@ -1,0 +1,79 @@
+//===--- NoWallclockInStageBodyCheck.cpp ----------------------------------===//
+
+#include "NoWallclockInStageBodyCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+namespace {
+
+/** Expression sits in deterministic-replay territory: a Stage method
+ *  or a lambda written inline into a runPartitionedSweep() call. */
+auto
+inStageBody()
+{
+  return anyOf(
+      hasAncestor(cxxMethodDecl(ofClass(cxxRecordDecl(
+          isSameOrDerivedFrom(hasName("::anytime::Stage")))))),
+      hasAncestor(callExpr(callee(functionDecl(
+          hasName("::anytime::runPartitionedSweep"))))));
+}
+
+} // namespace
+
+void
+NoWallclockInStageBodyCheck::registerMatchers(MatchFinder *Finder) {
+  const auto WallclockFree = functionDecl(hasAnyName(
+      "::rand", "::srand", "::random", "::srandom", "::drand48",
+      "::lrand48", "::time", "::clock", "::gettimeofday",
+      "::clock_gettime", "::std::rand", "::std::srand", "::std::time"));
+  Finder->addMatcher(
+      callExpr(callee(WallclockFree), inStageBody()).bind("call"), this);
+
+  const auto WallClock = cxxRecordDecl(hasAnyName(
+      "::std::chrono::system_clock",
+      "::std::chrono::high_resolution_clock"));
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(hasName("now"), ofClass(WallClock))),
+               inStageBody())
+          .bind("call"),
+      this);
+
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                           cxxRecordDecl(hasName("::std::random_device"))))),
+                       inStageBody())
+          .bind("construct"),
+      this);
+}
+
+void
+NoWallclockInStageBodyCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    const FunctionDecl *Callee = Call->getDirectCallee();
+    diag(Call->getBeginLoc(),
+         "wall-clock or randomness source %0 inside an anytime stage "
+         "body; stage output must be a deterministic function of its "
+         "inputs so every published version replays bit-identically "
+         "across worker counts")
+        << (Callee != nullptr ? Callee->getQualifiedNameAsString()
+                              : std::string("<unknown>"))
+        << Call->getSourceRange();
+    return;
+  }
+  if (const auto *Construct =
+          Result.Nodes.getNodeAs<CXXConstructExpr>("construct")) {
+    diag(Construct->getBeginLoc(),
+         "std::random_device construction inside an anytime stage body; "
+         "seed deterministic generators outside the stage and pass the "
+         "seed in so published versions replay bit-identically")
+        << Construct->getSourceRange();
+  }
+}
+
+} // namespace clang::tidy::anytime

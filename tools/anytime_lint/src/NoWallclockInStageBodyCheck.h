@@ -1,0 +1,42 @@
+//===--- NoWallclockInStageBodyCheck.h --------------------------*- C++ -*-===//
+//
+// anytime-no-wallclock-in-stage-body
+//
+// Partitioned anytime sweeps must publish a version sequence that is
+// bit-identical across worker counts (paper Section IV-C1); the repo's
+// determinism tests replay runs and diff every version. Any wall-clock
+// or nondeterministic-randomness read inside a stage body breaks that
+// replay, so this check flags calls to rand()/time()/clock()/
+// gettimeofday(), std::chrono::system_clock::now(),
+// std::chrono::high_resolution_clock::now(), and std::random_device
+// construction when they appear inside a method of a class derived
+// from anytime::Stage or inside a lambda passed to
+// anytime::runPartitionedSweep. steady_clock is deliberately allowed:
+// it is the scheduling clock, and scheduling (unlike stage output) may
+// depend on time.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_NO_WALLCLOCK_IN_STAGE_BODY_CHECK_H
+#define ANYTIME_LINT_NO_WALLCLOCK_IN_STAGE_BODY_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class NoWallclockInStageBodyCheck : public ClangTidyCheck {
+public:
+  NoWallclockInStageBodyCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_NO_WALLCLOCK_IN_STAGE_BODY_CHECK_H

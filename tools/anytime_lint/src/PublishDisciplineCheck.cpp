@@ -1,0 +1,75 @@
+//===--- PublishDisciplineCheck.cpp ---------------------------------------===//
+
+#include "PublishDisciplineCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+namespace {
+
+/** Stage code: a Stage method body or a lambda written inline into a
+ *  runPartitionedSweep() call. Harness/test code that shapes snapshot
+ *  literals stays out of scope. */
+auto
+inStageBody()
+{
+  return anyOf(
+      hasAncestor(cxxMethodDecl(ofClass(cxxRecordDecl(
+          isSameOrDerivedFrom(hasName("::anytime::Stage")))))),
+      hasAncestor(callExpr(callee(functionDecl(
+          hasName("::anytime::runPartitionedSweep"))))));
+}
+
+} // namespace
+
+void
+PublishDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  // Writing a Snapshot field rewrites a published version in place —
+  // VersionedBuffer::publish*() is the only legitimate version writer.
+  // Snapshot<T> is a class template; matching the member's parent
+  // record by name covers every instantiation.
+  Finder->addMatcher(
+      binaryOperator(
+          isAssignmentOperator(),
+          hasLHS(ignoringParenImpCasts(
+              memberExpr(member(fieldDecl(hasParent(cxxRecordDecl(
+                             hasName("::anytime::Snapshot"))))))
+                  .bind("member"))),
+          inStageBody())
+          .bind("assign"),
+      this);
+
+  // const_cast inside a stage body: the only way to mutate the shared
+  // immutable value behind snapshot.value, and never needed by clean
+  // stage code (stages own their private state and publish copies).
+  Finder->addMatcher(cxxConstCastExpr(inStageBody()).bind("cast"), this);
+}
+
+void
+PublishDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Assign =
+          Result.Nodes.getNodeAs<BinaryOperator>("assign")) {
+    const auto *Member = Result.Nodes.getNodeAs<MemberExpr>("member");
+    diag(Assign->getOperatorLoc(),
+         "writing %0 mutates a published buffer version in place; "
+         "versions are immutable once published (Property 3) — produce "
+         "a new value and publish it through the buffer")
+        << Member->getMemberDecl() << Assign->getSourceRange();
+    return;
+  }
+  if (const auto *Cast =
+          Result.Nodes.getNodeAs<CXXConstCastExpr>("cast")) {
+    diag(Cast->getBeginLoc(),
+         "const_cast inside an anytime stage body; snapshots share "
+         "immutable values with concurrent readers, so casting away "
+         "const here can mutate a published version behind the "
+         "publish/merge API")
+        << Cast->getSourceRange();
+  }
+}
+
+} // namespace clang::tidy::anytime

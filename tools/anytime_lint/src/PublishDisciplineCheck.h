@@ -1,0 +1,42 @@
+//===--- PublishDisciplineCheck.h -------------------------------*- C++ -*-===//
+//
+// anytime-publish-discipline
+//
+// Paper Properties 2 and 3: each buffer has exactly one writer stage
+// and every intermediate output is written atomically through the
+// buffer's publish path. Consumers hold Snapshot<T> views whose value
+// is shared_ptr<const T> — immutability is what makes "read whichever
+// output happens to be in the buffer" safe while the producer keeps
+// publishing. This check flags the two ways stage code can write a
+// published version behind the publish API's back:
+//
+//  - assigning to a field of anytime::Snapshot (value/version/final)
+//    instead of waiting for (or publishing) a new version;
+//  - const_cast inside a stage body, the only door to mutating the
+//    shared immutable value a snapshot points at.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_PUBLISH_DISCIPLINE_CHECK_H
+#define ANYTIME_LINT_PUBLISH_DISCIPLINE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class PublishDisciplineCheck : public ClangTidyCheck {
+public:
+  PublishDisciplineCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_PUBLISH_DISCIPLINE_CHECK_H
