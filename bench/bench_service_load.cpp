@@ -26,6 +26,7 @@
 #include "apps/conv2d.hpp"
 #include "apps/kmeans.hpp"
 #include "bench_common.hpp"
+#include "fault/fault.hpp"
 #include "harness/report.hpp"
 #include "image/generate.hpp"
 #include "obs/metrics.hpp"
@@ -175,6 +176,27 @@ main(int argc, char **argv)
     // so admission prediction accounts for the wider footprint.
     const unsigned stage_workers =
         parseUnsignedOption(argc, argv, "--stage-workers", 1);
+    // --fault-plan <file|spec>: arm the deterministic fault injector
+    // for the whole run (chaos mode; see DESIGN.md section 12 for the
+    // grammar, e.g. "stage.body:conv2d.sweep=throw@3"). --chaos-seed
+    // <n>: override the plan's corruption seed for a different but
+    // equally reproducible schedule.
+    const std::string fault_plan_arg =
+        parseStringOption(argc, argv, "--fault-plan");
+    const std::string chaos_seed_arg =
+        parseStringOption(argc, argv, "--chaos-seed");
+    if (!fault_plan_arg.empty()) {
+        fault::FaultPlan plan =
+            fault::FaultPlan::fromSpecOrFile(fault_plan_arg);
+        if (!chaos_seed_arg.empty())
+            plan.seed = std::stoull(chaos_seed_arg);
+        if (!ANYTIME_FAULTS_ENABLED)
+            std::cerr << "warning: built with ANYTIME_FAULTS=OFF — "
+                         "fault sites are compiled out, the plan will "
+                         "inject nothing\n";
+        std::cout << "chaos: " << plan.describe() << "\n";
+        fault::FaultInjector::arm(std::move(plan));
+    }
     if (!trace_path.empty())
         obs::setTracingEnabled(true);
     printBanner("anytime serving runtime under load",
@@ -203,6 +225,13 @@ main(int argc, char **argv)
                  "admission control converts most of the overload into "
                  "prompt sheds, and every request — served, shed, or "
                  "expired — gets an answer\n";
+
+    if (!fault_plan_arg.empty()) {
+        std::cout << "chaos: "
+                  << fault::FaultInjector::instance().injectedTotal()
+                  << " fault(s) injected\n";
+        fault::FaultInjector::disarm();
+    }
 
     if (!metrics_path.empty()) {
         std::cout << '\n';

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "apps/conv2d.hpp"
+#include "fault/fault.hpp"
 #include "image/generate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -61,6 +62,27 @@ main(int argc, char **argv)
         workers_text.empty()
             ? 1
             : std::max(1, std::atoi(workers_text.c_str()));
+    // --fault-plan <file|spec> arms the deterministic fault injector
+    // for the run (grammar in DESIGN.md section 12), demonstrating
+    // graceful degradation: a faulted pipeline answers with its last
+    // good snapshot flagged "degraded" instead of an error.
+    // --chaos-seed <n> overrides the plan's corruption seed.
+    const std::string fault_plan_arg =
+        stringOption(argc, argv, "--fault-plan");
+    const std::string chaos_seed_arg =
+        stringOption(argc, argv, "--chaos-seed");
+    if (!fault_plan_arg.empty()) {
+        fault::FaultPlan plan =
+            fault::FaultPlan::fromSpecOrFile(fault_plan_arg);
+        if (!chaos_seed_arg.empty())
+            plan.seed = std::stoull(chaos_seed_arg);
+        if (!ANYTIME_FAULTS_ENABLED)
+            std::cerr << "warning: built with ANYTIME_FAULTS=OFF — "
+                         "fault sites are compiled out, the plan will "
+                         "inject nothing\n";
+        std::cout << "chaos: " << plan.describe() << "\n";
+        fault::FaultInjector::arm(std::move(plan));
+    }
 
     const GrayImage scene = generateScene(192, 192, 7);
 
@@ -125,6 +147,13 @@ main(int argc, char **argv)
     server.drain();
     std::cout << "\nevery deadline produced an answer; none produced "
                  "an error or a hang\n";
+
+    if (!fault_plan_arg.empty()) {
+        std::cout << "chaos: "
+                  << fault::FaultInjector::instance().injectedTotal()
+                  << " fault(s) injected\n";
+        fault::FaultInjector::disarm();
+    }
 
     if (!metrics_path.empty()) {
         if (obs::defaultRegistry().writePrometheus(metrics_path))

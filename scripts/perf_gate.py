@@ -33,10 +33,31 @@ import sys
 
 REQUIRED_SPEEDUP = 2.5  # acceptance target for the 4-worker gang
 
+SKIP_EPILOG = """\
+skip conditions (reported as SKIP, never failures):
+  - host has fewer than 4 hardware threads: the 4-worker speedup check
+    is physically unmeasurable, only determinism and t90 are enforced
+  - the current report has no workers=4 scaling point: the speedup
+    check has nothing to measure
 
-def load(path):
-    with open(path) as handle:
-        return json.load(handle)
+exit status: 0 = gate passed (possibly with SKIPs), 1 = regression or
+determinism failure, 2 = unusable input (missing/malformed JSON).
+"""
+
+
+def load(path, role):
+    """Read a report, dying with a one-line diagnostic on bad input."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as error:
+        print(f"perf_gate: cannot read {role} report {path!r}: "
+              f"{error.strerror or error}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as error:
+        print(f"perf_gate: {role} report {path!r} is not valid JSON "
+              f"(line {error.lineno}: {error.msg})", file=sys.stderr)
+        sys.exit(2)
 
 
 def scaling_point(report, workers):
@@ -47,7 +68,9 @@ def scaling_point(report, workers):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, epilog=SKIP_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--current", required=True,
                         help="fresh bench JSON (BENCH_ci.json)")
     parser.add_argument("--baseline", required=True,
@@ -56,8 +79,8 @@ def main():
                         help="allowed regression factor (default 1.25)")
     args = parser.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    current = load(args.current, "current")
+    baseline = load(args.baseline, "baseline")
     failures = []
     skipped = []
 

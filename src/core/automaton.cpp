@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/worker_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -108,6 +109,13 @@ Automaton::setDoneCallback(std::function<void()> callback)
 }
 
 void
+Automaton::setFaultPolicy(FaultPolicy fault_policy)
+{
+    fatalIf(startedFlag, "setFaultPolicy after start()");
+    policy = fault_policy;
+}
+
+void
 Automaton::beginRun()
 {
     fatalIf(startedFlag, "automaton already started");
@@ -118,37 +126,140 @@ Automaton::beginRun()
         {"stages", static_cast<double>(placements.size())},
         {"workers", static_cast<double>(totalWorkers())});
     startedFlag = true;
+    stageStops.clear();
+    stageStops.resize(placements.size());
     {
         MutexLock lock(doneMutex);
         activeWorkers = totalWorkers();
+        runtimes.assign(placements.size(), StageRuntime{});
+        for (std::size_t i = 0; i < placements.size(); ++i)
+            runtimes[i].active = placements[i].workers;
     }
 }
 
 void
-Automaton::workerMain(Stage *stage, unsigned worker, unsigned count)
+Automaton::stopAllStages()
 {
-    StageContext ctx(stopSource.get_token(), gate, stage->stats(), worker,
-                     count);
-    // One span per stage worker, from first instruction to exit; the
-    // per-publish instants from this stage's output buffer mark the
-    // iteration boundaries inside it.
-    obs::TraceSpan span(stage->name(), "stage",
-                        {"worker", static_cast<double>(worker)},
-                        {"workers", static_cast<double>(count)});
-    try {
-        stage->run(ctx);
-    } catch (const std::exception &error) {
-        // A failing stage must not take the process down: record the
-        // error, stop the pipeline, and let the buffers keep their
-        // last valid versions.
+    stopSource.request_stop();
+    for (auto &source : stageStops)
+        source.request_stop();
+}
+
+void
+Automaton::handleStageFailure(std::size_t stage_index, Stage *stage,
+                              const std::exception &error)
+{
+    {
+        MutexLock lock(doneMutex);
+        failureMessages.push_back(std::string("stage '") + stage->name() +
+                                  "': " + error.what());
+    }
+    if (policy == FaultPolicy::stopAll) {
+        // Historical behavior: a failing stage stops the whole
+        // automaton; buffers keep their last valid versions.
+        stopAllStages();
+        gate.resume();
+        return;
+    }
+    // Quarantine: stop only the failing stage. Its surviving workers
+    // observe the per-stage stop at their next checkpoint/wait (the
+    // pause gate wakes on the same token), drain, and the last one out
+    // closes the stage's buffer in degraded mode.
+    bool first = false;
+    {
+        MutexLock lock(doneMutex);
+        if (!runtimes[stage_index].quarantined) {
+            runtimes[stage_index].quarantined = true;
+            first = true;
+        }
+    }
+    stageStops[stage_index].request_stop();
+    if (first) {
+        static obs::Counter &quarantined = obs::defaultRegistry().counter(
+            "anytime_stage_quarantined",
+            "Stages quarantined after an uncontained stage-body fault");
+        quarantined.add(1);
+        obs::traceInstant("automaton.quarantine", "automaton");
+    }
+}
+
+void
+Automaton::finalizeQuarantinedStage(Stage *stage)
+{
+    // Degradation contract: the stage's last published version (if
+    // any) becomes its terminal output. The bound is conservative —
+    // a quarantined stage promises validity, not a quality fraction.
+    // The writes() pointer is const in the Stage interface because
+    // readers must not publish; the containment path is the one
+    // privileged writer-of-last-resort, hence the const_cast.
+    auto *out = const_cast<BufferBase *>(stage->writes());
+    if (out == nullptr)
+        return;
+    const bool empty = out->version() == 0;
+    if (!out->final())
+        out->markDegradedFinal(0.0);
+    if (!empty)
+        return;
+    // Cascade: a terminal buffer with no version at all can never be
+    // computed from — quarantine its readers too (transitively, via
+    // their own drain path). Their stop tokens wake any blocking wait,
+    // including the transform input signal, so nobody hangs on a value
+    // that will never arrive.
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        const auto &reads = placements[i].stage->reads();
+        if (std::find(reads.begin(), reads.end(), out) == reads.end())
+            continue;
+        bool fresh = false;
         {
             MutexLock lock(doneMutex);
-            failureMessages.push_back(std::string("stage '") +
-                                      stage->name() + "': " + error.what());
+            if (!runtimes[i].quarantined) {
+                runtimes[i].quarantined = true;
+                fresh = true;
+            }
         }
-        stopSource.request_stop();
-        gate.resume();
+        if (fresh)
+            stageStops[i].request_stop();
     }
+}
+
+void
+Automaton::workerMain(std::size_t stage_index, Stage *stage,
+                      unsigned worker, unsigned count)
+{
+    // Stage contexts take the per-stage stop token so quarantine can
+    // stop one stage without touching the others; stop() requests
+    // every per-stage source, preserving the global-stop behavior.
+    StageContext ctx(stageStops[stage_index].get_token(), gate,
+                     stage->stats(), worker, count, stage->name());
+    {
+        // One span per stage worker, from first instruction to exit;
+        // the per-publish instants from this stage's output buffer
+        // mark the iteration boundaries inside it.
+        obs::TraceSpan span(stage->name(), "stage",
+                            {"worker", static_cast<double>(worker)},
+                            {"workers", static_cast<double>(count)});
+        try {
+            stage->run(ctx);
+        } catch (const std::exception &error) {
+            // A failing stage must not take the process down: record
+            // the error and apply the fault policy (stop everything,
+            // or quarantine just this stage).
+            handleStageFailure(stage_index, stage, error);
+        }
+    }
+    // Per-stage drain: the last worker out of a quarantined stage
+    // closes its output buffer in degraded mode. This must happen
+    // before the global decrement below — after it the automaton may
+    // already be destroyed by a waiter.
+    bool last_of_stage = false;
+    bool was_quarantined = false;
+    {
+        MutexLock lock(doneMutex);
+        last_of_stage = (--runtimes[stage_index].active == 0);
+        was_quarantined = runtimes[stage_index].quarantined;
+    }
+    if (last_of_stage && was_quarantined)
+        finalizeQuarantinedStage(stage);
     // The decrement/notify is the last touch of this automaton: once
     // activeWorkers hits zero a thread in waitUntilDone() may return
     // and destroy us, so notify under the lock and run the (copied)
@@ -168,12 +279,13 @@ void
 Automaton::start()
 {
     beginRun();
-    for (auto &placement : placements) {
+    for (std::size_t index = 0; index < placements.size(); ++index) {
+        auto &placement = placements[index];
         for (unsigned worker = 0; worker < placement.workers; ++worker) {
             Stage *stage = placement.stage.get();
             const unsigned count = placement.workers;
-            threads.emplace_back([this, stage, worker, count] {
-                workerMain(stage, worker, count);
+            threads.emplace_back([this, index, stage, worker, count] {
+                workerMain(index, stage, worker, count);
             });
         }
     }
@@ -187,12 +299,13 @@ Automaton::start(WorkerPool &pool)
             pool.size());
     beginRun();
     borrowedWorkers = true;
-    for (auto &placement : placements) {
+    for (std::size_t index = 0; index < placements.size(); ++index) {
+        auto &placement = placements[index];
         for (unsigned worker = 0; worker < placement.workers; ++worker) {
             Stage *stage = placement.stage.get();
             const unsigned count = placement.workers;
-            pool.submit([this, stage, worker, count] {
-                workerMain(stage, worker, count);
+            pool.submit([this, index, stage, worker, count] {
+                workerMain(index, stage, worker, count);
             });
         }
     }
@@ -202,7 +315,7 @@ void
 Automaton::stop()
 {
     obs::traceInstant("automaton.stop", "automaton");
-    stopSource.request_stop();
+    stopAllStages();
     // A paused automaton must still be stoppable: wake the gate.
     gate.resume();
 }
@@ -267,12 +380,42 @@ Automaton::failures() const
 bool
 Automaton::complete() const
 {
+    // Complete means precise: every stage-written buffer holds its
+    // final version and none was closed degraded.
     for (const auto &placement : placements) {
         const BufferBase *out = placement.stage->writes();
-        if (out != nullptr && !out->final())
+        if (out != nullptr && (!out->final() || out->degraded()))
             return false;
     }
     return true;
+}
+
+bool
+Automaton::degraded() const
+{
+    for (const auto &placement : placements) {
+        const BufferBase *out = placement.stage->writes();
+        if (out != nullptr && out->degraded())
+            return true;
+    }
+    MutexLock lock(doneMutex);
+    for (const auto &runtime : runtimes) {
+        if (runtime.quarantined)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+Automaton::quarantinedStages() const
+{
+    std::vector<std::string> names;
+    MutexLock lock(doneMutex);
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+        if (runtimes[i].quarantined)
+            names.push_back(placements[i].stage->name());
+    }
+    return names;
 }
 
 } // namespace anytime

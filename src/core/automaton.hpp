@@ -45,6 +45,27 @@ struct StagePlacement
 };
 
 /**
+ * What the automaton does when a stage worker throws.
+ *
+ * stopAll (default, the historical behavior): the whole pipeline stops
+ * cooperatively; every buffer keeps its last valid version, failed()
+ * reports the error.
+ *
+ * quarantine (fault containment): only the throwing stage is stopped.
+ * When its last worker has drained, its output buffer is closed in
+ * *degraded* mode — the last published version becomes the stage's
+ * terminal output, flagged with the degraded bit and a QoR bound — and
+ * downstream stages run to completion on it, so the automaton still
+ * terminates with a valid (degraded) output. Faults are involuntary
+ * interruptions; the anytime model absorbs them.
+ */
+enum class FaultPolicy
+{
+    stopAll,
+    quarantine,
+};
+
+/**
  * A parallel pipeline of anytime computation stages.
  */
 class Automaton
@@ -105,6 +126,12 @@ class Automaton
      */
     void setDoneCallback(std::function<void()> callback);
 
+    /** Select the stage-failure policy. Must be set before start(). */
+    void setFaultPolicy(FaultPolicy policy);
+
+    /** The active stage-failure policy. */
+    FaultPolicy faultPolicy() const { return policy; }
+
     /**
      * Request cooperative stop; returns immediately. Safe to call on a
      * paused automaton: the pause gate is released so frozen workers
@@ -148,14 +175,29 @@ class Automaton
     }
 
     /**
-     * True if any stage worker terminated with an exception. A failing
-     * stage stops the whole automaton (its buffers keep their last
-     * valid version — the anytime guarantee degrades gracefully).
+     * True if any stage worker terminated with an exception. Under
+     * FaultPolicy::stopAll a failing stage stops the whole automaton
+     * (its buffers keep their last valid version — the anytime
+     * guarantee degrades gracefully); under FaultPolicy::quarantine
+     * only the failing stage stops and the rest of the pipeline
+     * finishes in degraded mode.
      */
     bool failed() const;
 
     /** Messages of the exceptions captured from failed stage workers. */
     std::vector<std::string> failures() const;
+
+    /**
+     * True once any stage output was degraded: a quarantined stage's
+     * buffer was terminally closed on its last approximate version, or
+     * a sweep gang lost a worker to the stall watchdog. A degraded
+     * automaton still terminates with valid output in every buffer —
+     * just not the precise one.
+     */
+    bool degraded() const;
+
+    /** Names of the stages quarantined so far (insertion order). */
+    std::vector<std::string> quarantinedStages() const;
 
   private:
     /** Throw FatalError if the graph violates the model invariants. */
@@ -165,7 +207,27 @@ class Automaton
     void beginRun();
 
     /** Body shared by owned threads and borrowed pool workers. */
-    void workerMain(Stage *stage, unsigned worker, unsigned count);
+    void workerMain(std::size_t stage_index, Stage *stage,
+                    unsigned worker, unsigned count);
+
+    /** Request stop on every stage (the stopAll path). */
+    void stopAllStages();
+
+    /** Record a stage-worker exception and apply the fault policy. */
+    void handleStageFailure(std::size_t stage_index, Stage *stage,
+                            const std::exception &error);
+
+    /** Last worker of a quarantined stage: close its buffer degraded. */
+    void finalizeQuarantinedStage(Stage *stage);
+
+    /** Per-stage run state (parallel to placements, fixed at start). */
+    struct StageRuntime
+    {
+        /** Workers of this stage still running. */
+        unsigned active = 0;
+        /** True once the fault policy quarantined this stage. */
+        bool quarantined = false;
+    };
 
     std::vector<std::shared_ptr<BufferBase>> buffers;
     std::vector<StagePlacement> placements;
@@ -174,6 +236,7 @@ class Automaton
     PauseGate gate;
     bool startedFlag = false;
     bool borrowedWorkers = false;
+    FaultPolicy policy = FaultPolicy::stopAll;
     std::function<void()> doneCallback;
 
     mutable Mutex doneMutex;
@@ -181,6 +244,17 @@ class Automaton
     unsigned activeWorkers ANYTIME_GUARDED_BY(doneMutex) = 0;
     std::vector<std::string>
         failureMessages ANYTIME_GUARDED_BY(doneMutex);
+    /** One entry per placement; the vector shape is fixed by start(),
+     *  only the entry fields are guarded. */
+    std::vector<StageRuntime> runtimes ANYTIME_GUARDED_BY(doneMutex);
+    /**
+     * Per-stage stop sources (parallel to placements). The vector
+     * shape is fixed by start() and std::stop_source is internally
+     * synchronized, so these are accessed without doneMutex: stage
+     * contexts take the per-stage token, stop() requests them all,
+     * quarantine requests exactly one.
+     */
+    std::vector<std::stop_source> stageStops;
 };
 
 } // namespace anytime

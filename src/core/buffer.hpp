@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/corrupt.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/sync.hpp"
@@ -60,6 +62,21 @@ class BufferBase
     /** True once the precise (final) version has been published. */
     virtual bool final() const = 0;
 
+    /** True once the buffer was degraded (terminal output is the last
+     *  published approximate version, not the precise O_n). */
+    virtual bool degraded() const = 0;
+
+    /**
+     * Containment hook: close this buffer in degraded mode. The last
+     * published version (possibly none) becomes the terminal output;
+     * waiters and observers are notified exactly as for a final
+     * publish. @p qor_bound is the degradation contract carried to
+     * readers: a lower bound on the fraction of full-quality work the
+     * terminal snapshot represents (0 = validity only). Idempotent;
+     * a no-op if the precise final version was already published.
+     */
+    virtual void markDegradedFinal(double qor_bound) = 0;
+
   private:
     std::string bufferName;
 };
@@ -76,8 +93,14 @@ struct Snapshot
     std::shared_ptr<const T> value;
     /** Version number (1-based); 0 when value is null. */
     std::uint64_t version = 0;
-    /** True iff this is the precise, final version. */
+    /** True iff this is the terminal version (precise or degraded). */
     bool final = false;
+    /** True iff the producer was quarantined/expelled: `value` is the
+     *  last good approximate version, not the precise output. */
+    bool degraded = false;
+    /** Lower bound on the fraction of full-quality work this version
+     *  represents (1 = precise/undegraded path, 0 = validity only). */
+    double qorBound = 1.0;
 
     /** True if any version is present. */
     explicit operator bool() const { return value != nullptr; }
@@ -126,6 +149,21 @@ class VersionedBuffer : public BufferBase
     publishShared(std::shared_ptr<const T> value, bool is_final)
     {
         panicIf(value == nullptr, "publishing null into buffer ", name());
+        // Injection site `publish:<buffer>` (corrupt only): scramble
+        // the copy being published, never the producer's internal
+        // state, and only for approximate versions — the precise O_n
+        // is exact by contract, and later clean versions stay
+        // bit-identical to the fault-free run.
+        if constexpr (std::is_copy_constructible_v<T>) {
+            if (!is_final) {
+                if (const std::uint64_t seed =
+                        fault::publishCorruptSeed(name())) {
+                    auto scrambled = std::make_shared<T>(*value);
+                    fault::corruptValue(*scrambled, seed);
+                    value = std::move(scrambled);
+                }
+            }
+        }
         Snapshot<T> snapshot;
         std::shared_ptr<const std::vector<Observer>> watchers;
         {
@@ -135,7 +173,7 @@ class VersionedBuffer : public BufferBase
             current = std::move(value);
             ++versionCount;
             finalSeen = is_final;
-            snapshot = Snapshot<T>{current, versionCount, finalSeen};
+            snapshot = snapshotLocked();
             watchers = observers;
         }
         changed.notifyAll();
@@ -164,7 +202,7 @@ class VersionedBuffer : public BufferBase
     read() const
     {
         MutexLock lock(mutex);
-        return Snapshot<T>{current, versionCount, finalSeen};
+        return snapshotLocked();
     }
 
     /**
@@ -181,7 +219,51 @@ class VersionedBuffer : public BufferBase
         changed.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
             return versionCount > after_version || finalSeen;
         });
-        return Snapshot<T>{current, versionCount, finalSeen};
+        return snapshotLocked();
+    }
+
+    /**
+     * Containment hook (sticky): mark this buffer degraded. Every
+     * snapshot from now on carries the degraded bit and the minimum
+     * of the bounds supplied; the buffer stays open, so the producer
+     * keeps publishing (e.g. a sweep gang running on after a worker
+     * expulsion). Safe from any thread.
+     */
+    void
+    markDegraded(double qor_bound)
+    {
+        MutexLock lock(mutex);
+        degradedFlag = true;
+        if (qor_bound < qorBoundValue)
+            qorBoundValue = qor_bound;
+    }
+
+    void
+    markDegradedFinal(double qor_bound) override
+    {
+        {
+            MutexLock lock(mutex);
+            if (finalSeen)
+                return; // the precise output won the race; keep it
+            degradedFlag = true;
+            if (qor_bound < qorBoundValue)
+                qorBoundValue = qor_bound;
+            finalSeen = true;
+        }
+        // Wake readers exactly as a final publish would; they observe
+        // the last published version (possibly none) as terminal.
+        changed.notifyAll();
+        Snapshot<T> snapshot;
+        std::shared_ptr<const std::vector<Observer>> watchers;
+        {
+            MutexLock lock(mutex);
+            snapshot = snapshotLocked();
+            watchers = observers;
+        }
+        if (watchers != nullptr && snapshot.value != nullptr) {
+            for (const auto &observer : *watchers)
+                observer(snapshot);
+        }
     }
 
     /**
@@ -217,12 +299,36 @@ class VersionedBuffer : public BufferBase
         return finalSeen;
     }
 
+    bool
+    degraded() const override
+    {
+        MutexLock lock(mutex);
+        return degradedFlag;
+    }
+
+    /** Current QoR lower bound (1 until degraded). */
+    double
+    qorBound() const
+    {
+        MutexLock lock(mutex);
+        return qorBoundValue;
+    }
+
   private:
+    Snapshot<T>
+    snapshotLocked() const ANYTIME_REQUIRES(mutex)
+    {
+        return Snapshot<T>{current, versionCount, finalSeen,
+                           degradedFlag, qorBoundValue};
+    }
+
     mutable Mutex mutex;
     mutable CondVar changed;
     std::shared_ptr<const T> current ANYTIME_GUARDED_BY(mutex);
     std::uint64_t versionCount ANYTIME_GUARDED_BY(mutex) = 0;
     bool finalSeen ANYTIME_GUARDED_BY(mutex) = false;
+    bool degradedFlag ANYTIME_GUARDED_BY(mutex) = false;
+    double qorBoundValue ANYTIME_GUARDED_BY(mutex) = 1.0;
     /** Immutable snapshot list, swapped whole on registration. */
     std::shared_ptr<const std::vector<Observer>>
         observers ANYTIME_GUARDED_BY(mutex);

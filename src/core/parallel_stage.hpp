@@ -34,6 +34,7 @@
 #define ANYTIME_CORE_PARALLEL_STAGE_HPP
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,6 +47,7 @@
 
 #include "core/buffer.hpp"
 #include "core/stage.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/partition.hpp"
@@ -57,14 +59,27 @@
 namespace anytime {
 
 /**
- * Reusable completion barrier for one gang of stage workers.
+ * Reusable completion barrier for one gang of stage workers, with an
+ * optional stall watchdog.
  *
- * Protocol per window: every worker calls arrive(); the last arriver
- * returns Outcome::leader *without* blocking, merges the partials, and
- * calls release() to wake the rest (who return Outcome::released).
- * A worker exiting the gang for good calls leave(); arrive() returning
- * Outcome::stopped has already retracted the arrival, so the caller
- * only needs leave() before returning.
+ * Protocol per window: every worker calls arrive(id, stop); the last
+ * arriver returns Outcome::leader *without* blocking, merges the
+ * partials, and calls release() to wake the rest (who return
+ * Outcome::released). A worker exiting the gang for good calls
+ * leave(id); arrive() returning Outcome::stopped has already retracted
+ * the arrival, so the caller only needs leave(id) before returning.
+ *
+ * Watchdog (fault containment): when arrive() is given a nonzero
+ * stall timeout and the barrier is still incomplete after it expires,
+ * the timed-out waiter *expels* every worker that has not arrived —
+ * removing it from the gang exactly as leave() would — and, now being
+ * the last arriver, becomes leader so the window completes without
+ * the stalled workers. An expelled worker's next arrive()/leave()
+ * returns Outcome::expelled / does nothing: it must exit its sweep
+ * without touching the gang again. The watchdog never fires while a
+ * leader is mid-merge (the barrier must stay closed), and a worker
+ * id can only be expelled while it is absent, so the expelled
+ * worker's partial is simply excluded from this and later merges.
  */
 class SweepBarrier
 {
@@ -77,30 +92,73 @@ class SweepBarrier
         released,
         /** Woken by a stop request; arrival already retracted. */
         stopped,
+        /** This worker was expelled by the watchdog; exit the sweep
+         *  without calling leave(). */
+        expelled,
     };
 
-    explicit SweepBarrier(unsigned count) : participants(count)
+    explicit SweepBarrier(unsigned count)
+        : participants(count), activeFlags(count, 1), arrivedFlags(count, 0)
     {
         fatalIf(count == 0, "SweepBarrier: zero participants");
     }
 
-    /** Rendezvous; blocks until leader release or stop. */
+    /**
+     * Rendezvous; blocks until leader release, stop, or — with a
+     * nonzero @p stall_timeout — watchdog expulsion of the laggards.
+     */
     Outcome
-    arrive(const std::stop_token &stop)
+    arrive(unsigned worker, const std::stop_token &stop,
+           std::chrono::nanoseconds stall_timeout =
+               std::chrono::nanoseconds::zero())
     {
         MutexLock lock(mutex);
+        panicIf(worker >= arrivedFlags.size(),
+                "SweepBarrier: worker id out of range");
+        if (!activeFlags[worker])
+            return Outcome::expelled;
+        arrivedFlags[worker] = 1;
         if (++arrivedCount == participants) {
             leaderActive = true;
             return Outcome::leader;
         }
         const std::uint64_t my_generation = generation;
-        const bool released =
-            wake.wait(lock, stop, [&]() ANYTIME_REQUIRES(mutex) {
-                return generation != my_generation;
-            });
+        const auto opened = [&]() ANYTIME_REQUIRES(mutex) {
+            return generation != my_generation;
+        };
+        bool released;
+        if (stall_timeout <= std::chrono::nanoseconds::zero()) {
+            released = wake.wait(lock, stop, opened);
+        } else {
+            for (;;) {
+                const auto deadline =
+                    std::chrono::steady_clock::now() + stall_timeout;
+                released = wake.waitUntil(lock, stop, deadline, opened);
+                if (released || stop.stop_requested())
+                    break;
+                if (!activeFlags[worker])
+                    break; // expelled while waiting (spurious path)
+                // Timed out. Never expel under an active leader: the
+                // barrier must stay closed during its merge.
+                if (leaderActive)
+                    continue;
+                expelAbsentLocked();
+                if (arrivedCount == participants) {
+                    leaderActive = true;
+                    return Outcome::leader;
+                }
+            }
+        }
+        if (!activeFlags[worker]) {
+            // Raced with an expulsion of this very worker: it was not
+            // absent (we arrived), so this only happens when a stop
+            // retracted us first; treat as expelled to be safe.
+            return Outcome::expelled;
+        }
         if (!released) {
             // Stop while waiting: retract so a later leader election
             // among the survivors still counts correctly.
+            arrivedFlags[worker] = 0;
             --arrivedCount;
             return Outcome::stopped;
         }
@@ -109,12 +167,13 @@ class SweepBarrier
 
     /** Leader: open the barrier for the next window. */
     void
-    release()
+    release() noexcept
     {
         {
             MutexLock lock(mutex);
             leaderActive = false;
             arrivedCount = 0;
+            std::fill(arrivedFlags.begin(), arrivedFlags.end(), 0);
             ++generation;
         }
         wake.notifyAll();
@@ -124,15 +183,25 @@ class SweepBarrier
      * Permanently exit the gang (stop path). If every remaining worker
      * is already blocked in arrive(), no future arrival can elect a
      * leader — promote them by opening the barrier; they observe the
-     * stop themselves at their next checkpoint.
+     * stop themselves at their next checkpoint. A no-op for workers
+     * the watchdog already expelled.
      */
     void
-    leave()
+    leave(unsigned worker)
     {
         MutexLock lock(mutex);
+        panicIf(worker >= arrivedFlags.size(),
+                "SweepBarrier: worker id out of range");
+        if (!activeFlags[worker])
+            return; // already expelled; the watchdog did the bookkeeping
+        activeFlags[worker] = 0;
         panicIf(participants == 0, "SweepBarrier: leave with no "
                                    "participants");
         --participants;
+        if (arrivedFlags[worker]) {
+            arrivedFlags[worker] = 0;
+            --arrivedCount;
+        }
         // While an elected leader is merging outside the lock, the
         // barrier must stay closed: promoting here would release the
         // blocked workers into a race with the leader's merge and its
@@ -140,20 +209,55 @@ class SweepBarrier
         if (!leaderActive && participants > 0 &&
             arrivedCount == participants) {
             arrivedCount = 0;
+            std::fill(arrivedFlags.begin(), arrivedFlags.end(), 0);
             ++generation;
             lock.unlock();
             wake.notifyAll();
         }
     }
 
+    /** Workers expelled by the watchdog so far. */
+    unsigned
+    expelledCount() const
+    {
+        MutexLock lock(mutex);
+        return expelledTotal;
+    }
+
+    /** Snapshot of which worker ids are still in the gang. */
+    std::vector<char>
+    activeWorkers() const
+    {
+        MutexLock lock(mutex);
+        return activeFlags;
+    }
+
   private:
-    Mutex mutex;
+    /** Expel every active worker that has not arrived (lock held). */
+    void
+    expelAbsentLocked() ANYTIME_REQUIRES(mutex)
+    {
+        for (std::size_t w = 0; w < activeFlags.size(); ++w) {
+            if (activeFlags[w] && !arrivedFlags[w]) {
+                activeFlags[w] = 0;
+                --participants;
+                ++expelledTotal;
+            }
+        }
+    }
+
+    mutable Mutex mutex;
     CondVar wake;
     unsigned participants ANYTIME_GUARDED_BY(mutex);
     unsigned arrivedCount ANYTIME_GUARDED_BY(mutex) = 0;
     /** True from leader election in arrive() until its release(). */
     bool leaderActive ANYTIME_GUARDED_BY(mutex) = false;
     std::uint64_t generation ANYTIME_GUARDED_BY(mutex) = 0;
+    /** Gang membership by worker id (0 = left or expelled). */
+    std::vector<char> activeFlags ANYTIME_GUARDED_BY(mutex);
+    /** Arrival state for the current window, by worker id. */
+    std::vector<char> arrivedFlags ANYTIME_GUARDED_BY(mutex);
+    unsigned expelledTotal ANYTIME_GUARDED_BY(mutex) = 0;
 };
 
 /** Shape of a partitioned sweep. */
@@ -167,6 +271,15 @@ struct SweepLayout
     PartitionKind kind = PartitionKind::cyclic;
     /** Steps between cooperative checkpoints inside a slice. */
     std::uint64_t checkpointStride = 64;
+    /**
+     * Watchdog: how long a worker may keep the window barrier
+     * incomplete before the waiters expel it and finish without it
+     * (fault containment). Zero disables the watchdog (default —
+     * identical behavior to the pre-watchdog barrier). Set this well
+     * above the worst-case slice time: expulsion is permanent and
+     * degrades every later version of the stage's output.
+     */
+    std::chrono::nanoseconds stallTimeout{0};
 };
 
 /** Cached observability handles for one partitioned stage. */
@@ -219,6 +332,9 @@ enum class SweepStatus
     stopped,
     /** Leader abandoned the sweep (stale inputs); gang still joined. */
     abandoned,
+    /** This worker was expelled by the stall watchdog; the rest of
+     *  the gang carries the sweep on without it (degraded). */
+    expelled,
 };
 
 /**
@@ -252,7 +368,7 @@ runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
         const double window_index =
             static_cast<double>(begin / layout.window);
         if (!ctx.checkpoint()) {
-            gang.barrier.leave();
+            gang.barrier.leave(worker);
             return SweepStatus::stopped;
         }
 
@@ -292,20 +408,30 @@ runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
                 gang.obs.steps->add(done);
         }
         if (!alive) {
-            gang.barrier.leave();
+            gang.barrier.leave(worker);
             return SweepStatus::stopped;
         }
 
-        switch (gang.barrier.arrive(ctx.stopToken())) {
+        switch (gang.barrier.arrive(worker, ctx.stopToken(),
+                                    layout.stallTimeout)) {
         case SweepBarrier::Outcome::stopped:
-            gang.barrier.leave();
+            gang.barrier.leave(worker);
             return SweepStatus::stopped;
+        case SweepBarrier::Outcome::expelled:
+            // The watchdog removed this worker while it was stalled;
+            // the bookkeeping is done, so just exit the sweep.
+            return SweepStatus::expelled;
         case SweepBarrier::Outcome::leader: {
             // An incomplete gang must never publish: skip the merge
             // when stopping (the buffer keeps its previous version,
             // which stays valid — the anytime guarantee).
             bool keep = false;
             if (!ctx.stopRequested()) {
+                // Injection site `sweep.merge:<stage>`: a fault in
+                // the leader's merge exercises Property 3 under the
+                // worst conditions (barrier closed, gang blocked).
+                ANYTIME_FAULT_POINT("sweep.merge", ctx.stageName(),
+                                    begin / layout.window);
                 std::optional<obs::TraceSpan> span;
                 if (obs::tracingEnabled() && gang.obs.mergeSpan)
                     span.emplace(
@@ -313,12 +439,37 @@ runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
                         obs::TraceArg{"window", window_index},
                         obs::TraceArg{"steps",
                                       static_cast<double>(end - begin)});
-                keep = window(gang.partials, begin, end);
+                if (gang.barrier.expelledCount() == 0) {
+                    keep = window(gang.partials, begin, end);
+                } else {
+                    // Expelled workers may still be scribbling on
+                    // their partials: merge a compacted vector of the
+                    // surviving partials (moved out and back, ascending
+                    // worker order preserved) so the merge callback
+                    // never reads a partial it might race with.
+                    const auto active = gang.barrier.activeWorkers();
+                    std::vector<P> survivors;
+                    std::vector<std::size_t> indices;
+                    survivors.reserve(gang.partials.size());
+                    indices.reserve(gang.partials.size());
+                    for (std::size_t w = 0; w < gang.partials.size();
+                         ++w) {
+                        if (active[w]) {
+                            survivors.push_back(
+                                std::move(gang.partials[w]));
+                            indices.push_back(w);
+                        }
+                    }
+                    keep = window(survivors, begin, end);
+                    for (std::size_t i = 0; i < indices.size(); ++i)
+                        gang.partials[indices[i]] =
+                            std::move(survivors[i]);
+                }
             }
             gang.abandoned = !keep;
             gang.barrier.release();
             if (ctx.stopRequested()) {
-                gang.barrier.leave();
+                gang.barrier.leave(worker);
                 return SweepStatus::stopped;
             }
             if (!keep)
@@ -434,13 +585,24 @@ class PartitionedDiffusiveStage : public Stage
                                                   makePartial, obsHandles);
         });
         detail::WorkerGaugeGuard guard(obsHandles.workers);
+        const unsigned gangSize = ctx.workerCount();
         const SweepStatus status = runPartitionedSweep(
             ctx, *gang, layout, resetPartial,
             [this](std::uint64_t step, P &partial, StageContext &c) {
                 stepFn(step, partial, c);
             },
-            [this](std::vector<P> &partials, std::uint64_t begin,
-                   std::uint64_t end) {
+            [this, gangSize](std::vector<P> &partials,
+                             std::uint64_t begin, std::uint64_t end) {
+                // Degradation contract: once the watchdog expelled a
+                // worker, its partition is missing from this and every
+                // later window — mark the buffer (sticky) with the
+                // surviving fraction as the QoR bound before the
+                // publish so each degraded snapshot carries it.
+                const unsigned expelled = gang->barrier.expelledCount();
+                if (expelled > 0)
+                    out->markDegraded(
+                        1.0 - static_cast<double>(expelled) /
+                                  static_cast<double>(gangSize));
                 mergeFn(state, partials, begin, end);
                 out->publish(state, end == layout.steps);
                 return true;
@@ -448,7 +610,7 @@ class PartitionedDiffusiveStage : public Stage
         // A source sweep is only ever abandoned by a stopping leader;
         // exit the barrier like the other stop paths.
         if (status == SweepStatus::abandoned)
-            gang->barrier.leave();
+            gang->barrier.leave(ctx.workerId());
     }
 
     std::vector<const BufferBase *>

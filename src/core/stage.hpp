@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/buffer.hpp"
+#include "fault/fault.hpp"
 #include "support/sync.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -103,9 +104,10 @@ class StageContext
   public:
     StageContext(std::stop_token stop, const PauseGate &gate,
                  StageStats &stats, unsigned worker_id,
-                 unsigned worker_count)
+                 unsigned worker_count, std::string stage_name = "")
         : stop(std::move(stop)), gate(&gate), stats(&stats),
-          workerIdValue(worker_id), workerCountValue(worker_count)
+          workerIdValue(worker_id), workerCountValue(worker_count),
+          stageNameValue(std::move(stage_name))
     {
     }
 
@@ -122,7 +124,14 @@ class StageContext
     bool
     checkpoint()
     {
-        stats->checkpoints.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t ordinal =
+            stats->checkpoints.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        // Injection site `stage.body:<stage>`: a checkpoint is the
+        // natural fault boundary — it is exactly where the paper lets
+        // execution be interrupted, so an injected fault here models
+        // an involuntary interruption mid-body.
+        ANYTIME_FAULT_POINT("stage.body", stageNameValue, ordinal);
         if (stop.stop_requested())
             return false;
         if (gate->isPaused())
@@ -143,12 +152,16 @@ class StageContext
     /** Number of worker threads running this stage. */
     unsigned workerCount() const { return workerCountValue; }
 
+    /** Name of the stage this context executes ("" for ad-hoc rigs). */
+    const std::string &stageName() const { return stageNameValue; }
+
   private:
     std::stop_token stop;
     const PauseGate *gate;
     StageStats *stats;
     unsigned workerIdValue;
     unsigned workerCountValue;
+    std::string stageNameValue;
 };
 
 /**

@@ -15,6 +15,7 @@
 #ifndef ANYTIME_CORE_TRANSFORM_STAGE_HPP
 #define ANYTIME_CORE_TRANSFORM_STAGE_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -218,9 +219,25 @@ class TransformStage : public Stage
             if (!all_present || version_sum == processed_sum) {
                 if (all_present && all_final)
                     return; // final inputs already processed
+                if (!all_present && all_final) {
+                    // Containment cascade: a quarantined upstream
+                    // stage closed its buffer with no version ever
+                    // published. No input will ever arrive, so this
+                    // stage can't compute anything either — close our
+                    // own output in degraded mode (keeping whatever
+                    // we already published) instead of waiting
+                    // forever.
+                    out->markDegradedFinal(0.0);
+                    return;
+                }
                 seen_signal = signal.wait(seen_signal, ctx.stopToken());
                 continue;
             }
+
+            // Degradation is sticky upstream, so it is sticky here:
+            // anything computed from a degraded input is itself
+            // degraded, bounded by the weakest input.
+            propagateInputDegradation(snaps);
 
             Emitter<O> emitter(*out, all_final, [this, version_sum] {
                 const std::uint64_t now = std::apply(
@@ -271,6 +288,24 @@ class TransformStage : public Stage
             [](const auto &...in) { return (in->version() + ...); }, ins);
     }
 
+    /** Mark the output degraded if any input snapshot is. */
+    void
+    propagateInputDegradation(const std::tuple<Snapshot<Is>...> &snaps)
+    {
+        bool any_degraded = false;
+        double bound = 1.0;
+        std::apply(
+            [&](const auto &...s) {
+                (..., (s.degraded
+                           ? (any_degraded = true,
+                              bound = std::min(bound, s.qorBound))
+                           : bound));
+            },
+            snaps);
+        if (any_degraded)
+            out->markDegraded(bound);
+    }
+
     /**
      * Gang-coordinated run loop for a PartitionedBody. All workers move
      * in lockstep through decision rounds: a barrier elects a leader
@@ -303,13 +338,19 @@ class TransformStage : public Stage
             std::uint64_t seen_signal = 0;
             for (;;) {
                 if (!ctx.checkpoint()) {
-                    gang->barrier.leave();
+                    gang->barrier.leave(worker);
                     return;
                 }
-                switch (gang->barrier.arrive(ctx.stopToken())) {
+                // Decision rounds never use the stall watchdog: worker
+                // 0 legitimately sleeps on the input signal here, and
+                // expelling it for that would be a false positive. The
+                // watchdog applies inside the bounded sweep windows.
+                switch (gang->barrier.arrive(worker, ctx.stopToken())) {
                 case SweepBarrier::Outcome::stopped:
-                    gang->barrier.leave();
+                    gang->barrier.leave(worker);
                     return;
+                case SweepBarrier::Outcome::expelled:
+                    return; // watchdog removed us during a sweep
                 case SweepBarrier::Outcome::leader:
                     decide(stage);
                     gang->barrier.release();
@@ -323,7 +364,10 @@ class TransformStage : public Stage
                 if (decision == Decision::waitInput) {
                     // One worker sleeps on the change signal; the rest
                     // park at the next barrier until it arrives there.
-                    if (worker == 0)
+                    // The leader picks the waiter among the *active*
+                    // workers so an expelled worker 0 can't leave the
+                    // round spinning with nobody asleep.
+                    if (worker == waiterId)
                         seen_signal = stage.signal.wait(seen_signal,
                                                         ctx.stopToken());
                     continue;
@@ -355,6 +399,8 @@ class TransformStage : public Stage
                     });
                 if (status == SweepStatus::stopped)
                     return; // the sweep already left the barrier
+                if (status == SweepStatus::expelled)
+                    return; // expelled workers never rejoin the gang
                 // completed or abandoned: decide again on fresh input.
             }
         }
@@ -384,13 +430,39 @@ class TransformStage : public Stage
             const bool all_final = std::apply(
                 [](const auto &...s) { return (s.final && ...); }, snaps);
             if (!all_present || version_sum == processedSum) {
+                if (!all_present && all_final) {
+                    // Containment cascade (see the emit-loop variant):
+                    // a quarantined upstream closed its buffer empty;
+                    // close ours in degraded mode and finish.
+                    stage.out->markDegradedFinal(0.0);
+                    decision = Decision::finish;
+                    return;
+                }
                 decision = (all_present && all_final) ? Decision::finish
                                                       : Decision::waitInput;
+                if (decision == Decision::waitInput) {
+                    const auto active = gang->barrier.activeWorkers();
+                    waiterId = 0;
+                    for (std::size_t w = 0; w < active.size(); ++w) {
+                        if (active[w]) {
+                            waiterId = static_cast<unsigned>(w);
+                            break;
+                        }
+                    }
+                }
                 return;
             }
             decision = Decision::process;
             sweepVersionSum = version_sum;
             sweepFinal = all_final;
+            stage.propagateInputDegradation(snaps);
+            // A gang worker expelled by the watchdog degrades every
+            // later window of this stage's own sweeps too.
+            const unsigned expelled = gang->barrier.expelledCount();
+            if (expelled > 0)
+                stage.out->markDegraded(
+                    1.0 - static_cast<double>(expelled) /
+                              static_cast<double>(gang->partials.size()));
             state.emplace(std::apply(
                 [&](const auto &...s) { return body.init(*s.value...); },
                 snaps));
@@ -402,6 +474,7 @@ class TransformStage : public Stage
         std::unique_ptr<SweepGang<P>> gang;
         // Leader-owned round state (barrier-ordered handoffs).
         Decision decision = Decision::waitInput;
+        unsigned waiterId = 0;
         std::tuple<Snapshot<Is>...> snaps;
         std::uint64_t sweepVersionSum = 0;
         bool sweepFinal = false;

@@ -1,5 +1,8 @@
 #include "core/worker_pool.hpp"
 
+#include <atomic>
+
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -7,6 +10,9 @@
 namespace anytime {
 
 namespace {
+
+/** Process-wide dispatch ordinal for the `pool.dispatch` fault site. */
+std::atomic<std::uint64_t> dispatchOrdinal{0};
 
 /** Process-wide pool occupancy metrics (aggregated over all pools). */
 struct PoolMetrics
@@ -114,6 +120,20 @@ WorkerPool::workerLoop(std::stop_token stop)
         if (obs::tracingEnabled())
             obs::traceCounter("pool.busy",
                               static_cast<double>(busy_now));
+        // Injection site `pool.dispatch`: a throw here is absorbed (the
+        // task MUST still run — dropping it would strand the automaton's
+        // activeWorkers accounting and hang waitUntilDone); stall/delay
+        // kinds sleep before dispatch, modeling a slow scheduler.
+#if ANYTIME_FAULTS_ENABLED
+        try {
+            ANYTIME_FAULT_POINT(
+                "pool.dispatch", std::string(),
+                dispatchOrdinal.fetch_add(1,
+                                          std::memory_order_relaxed) +
+                    1);
+        } catch (const std::exception &) {
+        }
+#endif
         {
             obs::TraceSpan span("pool.task", "pool");
             task();

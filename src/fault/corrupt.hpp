@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic value corruption for publish-site fault injection.
+ *
+ * When a `corrupt` rule fires at a `publish:<buffer>` site, the buffer
+ * scrambles the copy it is about to publish — modelling a bit-flip in
+ * flight between producer and consumer. Corruption is applied only to
+ * approximate (non-final) versions: the paper's contract is that the
+ * precise output O_n is exact, while any approximate O_i is, by
+ * construction, a value consumers must already tolerate being "off".
+ *
+ * The scramble is deterministic in the injection seed so chaos runs
+ * reproduce bit-for-bit, and it keeps values structurally valid (no
+ * NaN/Inf for floating point, container sizes unchanged) so degraded
+ * outputs remain *valid* approximate outputs — degraded, not garbage.
+ *
+ * Supported types: arithmetic scalars and vector/array-like containers
+ * of arithmetic elements (one element scrambled, chosen by the seed).
+ * Anything else is left untouched (corruptValue returns false), which
+ * keeps the hook meaningful for the numeric pipelines without forcing
+ * every value type to define a corruption semantics.
+ */
+
+#ifndef ANYTIME_FAULT_CORRUPT_HPP
+#define ANYTIME_FAULT_CORRUPT_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "fault/fault.hpp"
+
+namespace anytime::fault {
+
+namespace detail {
+
+template <typename T>
+concept ArithmeticScalar = std::is_arithmetic_v<T>;
+
+template <typename C>
+concept ArithmeticContainer = requires(C &c) {
+    { c.size() } -> std::convertible_to<std::size_t>;
+    requires ArithmeticScalar<std::remove_reference_t<decltype(c[0])>>;
+};
+
+template <ArithmeticScalar T>
+void
+scramble(T &value, std::uint64_t seed)
+{
+    if constexpr (std::is_floating_point_v<T>) {
+        // Flip low mantissa bits only: exponent and sign survive, so
+        // the result stays finite and in the value's neighbourhood.
+        using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                        std::uint64_t>;
+        Bits bits{};
+        std::memcpy(&bits, &value, sizeof(T));
+        constexpr int mantissa = sizeof(T) == 4 ? 23 : 52;
+        const Bits mask =
+            static_cast<Bits>(mix64(seed)) &
+            ((static_cast<Bits>(1) << (mantissa - 1)) - 1);
+        bits ^= mask | 1U; // always change at least one bit
+        std::memcpy(&value, &bits, sizeof(T));
+    } else if constexpr (std::is_same_v<T, bool>) {
+        value = !value;
+    } else {
+        using U = std::make_unsigned_t<T>;
+        auto u = static_cast<U>(value);
+        u ^= static_cast<U>(mix64(seed)) | U{1};
+        value = static_cast<T>(u);
+    }
+}
+
+} // namespace detail
+
+/**
+ * Scramble @p value deterministically. @p seed must be nonzero (as
+ * returned by a firing corrupt rule).
+ *
+ * @return True iff the type is corruptible and the value was changed.
+ */
+template <typename T>
+bool
+corruptValue(T &value, std::uint64_t seed)
+{
+    if constexpr (detail::ArithmeticScalar<T>) {
+        detail::scramble(value, seed);
+        return true;
+    } else if constexpr (detail::ArithmeticContainer<T>) {
+        const std::size_t n = value.size();
+        if (n == 0)
+            return false;
+        auto &element = value[static_cast<std::size_t>(mix64(seed) % n)];
+        detail::scramble(element, mix64(seed ^ 0xc0ffeeULL));
+        return true;
+    } else {
+        (void)seed;
+        return false;
+    }
+}
+
+} // namespace anytime::fault
+
+#endif // ANYTIME_FAULT_CORRUPT_HPP

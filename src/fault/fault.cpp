@@ -1,0 +1,311 @@
+#include "fault/fault.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace anytime::fault {
+
+std::atomic<bool> FaultInjector::armedFlag{false};
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::uint64_t
+parseNumber(const std::string &text, const char *what,
+            const std::string &token)
+{
+    if (text.empty())
+        fatal("fault plan: empty ", what, " in '", token, "'");
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            fatal("fault plan: bad ", what, " '", text, "' in '", token,
+                  "'");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+FaultKind
+parseKind(const std::string &text, const std::string &token)
+{
+    for (FaultKind kind :
+         {FaultKind::thrown, FaultKind::stalled, FaultKind::corrupted,
+          FaultKind::overrun}) {
+        if (text == faultKindName(kind))
+            return kind;
+    }
+    fatal("fault plan: unknown kind '", text, "' in '", token,
+          "' (expected throw|stall|corrupt|overrun)");
+}
+
+/** Parse `kind[@first][xcount][:delay_ms]` into @p rule. */
+void
+parseAction(const std::string &action, const std::string &token,
+            FaultRule &rule)
+{
+    std::size_t kindEnd = action.find_first_of("@x:");
+    rule.kind = parseKind(action.substr(0, kindEnd), token);
+    // Per-kind default delays: stall must outlast a typical watchdog
+    // window; overrun models a blown (but finite) time budget.
+    rule.delay = std::chrono::milliseconds(
+        rule.kind == FaultKind::stalled ? 100
+        : rule.kind == FaultKind::overrun ? 50
+                                          : 0);
+    std::size_t pos = kindEnd;
+    while (pos != std::string::npos && pos < action.size()) {
+        const char tag = action[pos];
+        std::size_t next = action.find_first_of("@x:", pos + 1);
+        const std::string field =
+            action.substr(pos + 1, next == std::string::npos
+                                       ? std::string::npos
+                                       : next - pos - 1);
+        if (tag == '@') {
+            rule.firstHit = parseNumber(field, "hit ordinal", token);
+            fatalIf(rule.firstHit == 0,
+                    "fault plan: hit ordinals are 1-based in '", token,
+                    "'");
+        } else if (tag == 'x') {
+            rule.count = parseNumber(field, "repeat count", token);
+            fatalIf(rule.count == 0,
+                    "fault plan: repeat count must be positive in '",
+                    token, "'");
+        } else { // ':'
+            const std::uint64_t ms =
+                parseNumber(field, "delay", token);
+            fatalIf(ms > 10000,
+                    "fault plan: delay ", ms, "ms exceeds the 10s cap in '",
+                    token, "'");
+            rule.delay = std::chrono::milliseconds(ms);
+        }
+        pos = next;
+    }
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string token;
+    std::istringstream stream(spec);
+    while (std::getline(stream, token, ',')) {
+        // File form: newline separated with # comments.
+        std::istringstream lines(token);
+        std::string line;
+        while (std::getline(lines, line)) {
+            line = trim(line);
+            if (line.empty() || line[0] == '#')
+                continue;
+            const std::size_t eq = line.find('=');
+            fatalIf(eq == std::string::npos,
+                    "fault plan: expected site=kind in '", line, "'");
+            const std::string site = trim(line.substr(0, eq));
+            const std::string action = trim(line.substr(eq + 1));
+            fatalIf(site.empty(), "fault plan: empty site in '", line,
+                    "'");
+            if (site == "seed") {
+                plan.seed = parseNumber(action, "seed", line);
+                continue;
+            }
+            FaultRule rule;
+            rule.site = site;
+            parseAction(action, line, rule);
+            plan.rules.push_back(std::move(rule));
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromSpecOrFile(const std::string &arg)
+{
+    std::ifstream file(arg);
+    if (file) {
+        std::ostringstream contents;
+        contents << file.rdbuf();
+        return parse(contents.str());
+    }
+    return parse(arg);
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream out;
+    out << "seed=" << seed;
+    for (const FaultRule &rule : rules) {
+        out << "," << rule.site << "=" << faultKindName(rule.kind);
+        if (rule.firstHit != 1)
+            out << "@" << rule.firstHit;
+        if (rule.count != 1)
+            out << "x" << rule.count;
+        if (rule.delay.count() > 0)
+            out << ":" << rule.delay.count();
+    }
+    return out.str();
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(FaultPlan plan)
+{
+    auto fresh = std::make_shared<State>();
+    fresh->seed = plan.seed;
+    fresh->description = plan.describe();
+    fresh->rules.reserve(plan.rules.size());
+    for (FaultRule &rule : plan.rules) {
+        auto state = std::make_unique<RuleState>();
+        state->rule = std::move(rule);
+        fresh->rules.push_back(std::move(state));
+    }
+    FaultInjector &self = instance();
+    {
+        MutexLock lock(self.mutex);
+        self.state = std::move(fresh);
+    }
+    armedFlag.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm()
+{
+    armedFlag.store(false, std::memory_order_release);
+    FaultInjector &self = instance();
+    MutexLock lock(self.mutex);
+    self.state = nullptr;
+}
+
+std::shared_ptr<FaultInjector::State>
+FaultInjector::currentState() const
+{
+    MutexLock lock(mutex);
+    return state;
+}
+
+void
+FaultInjector::recordInjection(FaultKind kind, const std::string &site)
+{
+    static obs::Counter &injected = obs::defaultRegistry().counter(
+        "anytime_faults_injected_total",
+        "Faults fired by the deterministic fault injector");
+    injected.add(1);
+    if (obs::tracingEnabled()) {
+        obs::traceInstant(obs::internName("fault:" + site), "fault",
+                          {"kind", static_cast<double>(
+                                       static_cast<int>(kind))});
+    }
+}
+
+void
+FaultInjector::hit(const char *base, const std::string &detail,
+                   std::uint64_t ordinal)
+{
+    auto active = currentState();
+    if (active == nullptr)
+        return;
+    const std::string full =
+        detail.empty() ? std::string(base)
+                       : std::string(base) + ":" + detail;
+    for (auto &ruleState : active->rules) {
+        const FaultRule &rule = ruleState->rule;
+        if (rule.kind == FaultKind::corrupted)
+            continue; // corrupt rules fire through corruptSeed()
+        if (rule.site != base && rule.site != full)
+            continue;
+        const std::uint64_t match =
+            ruleState->matches.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        if (match < rule.firstHit || match >= rule.firstHit + rule.count)
+            continue;
+        active->injected.fetch_add(1, std::memory_order_relaxed);
+        recordInjection(rule.kind, full);
+        switch (rule.kind) {
+          case FaultKind::thrown:
+            throw StageError(FaultKind::thrown,
+                             detail.empty() ? base : detail, ordinal,
+                             "injected fault at " + full);
+          case FaultKind::stalled:
+          case FaultKind::overrun:
+            std::this_thread::sleep_for(rule.delay);
+            break;
+          case FaultKind::none:
+          case FaultKind::corrupted:
+            break;
+        }
+    }
+}
+
+std::uint64_t
+FaultInjector::corruptSeed(const char *base, const std::string &detail)
+{
+    auto active = currentState();
+    if (active == nullptr)
+        return 0;
+    const std::string full =
+        detail.empty() ? std::string(base)
+                       : std::string(base) + ":" + detail;
+    for (std::size_t i = 0; i < active->rules.size(); ++i) {
+        auto &ruleState = *active->rules[i];
+        const FaultRule &rule = ruleState.rule;
+        if (rule.kind != FaultKind::corrupted)
+            continue;
+        if (rule.site != base && rule.site != full)
+            continue;
+        const std::uint64_t match =
+            ruleState.matches.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        if (match < rule.firstHit || match >= rule.firstHit + rule.count)
+            continue;
+        active->injected.fetch_add(1, std::memory_order_relaxed);
+        recordInjection(FaultKind::corrupted, full);
+        // Deterministic nonzero per-hit seed.
+        return mix64(active->seed ^ (static_cast<std::uint64_t>(i) << 32)
+                     ^ match) |
+               1ULL;
+    }
+    return 0;
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    auto active = currentState();
+    return active == nullptr
+               ? 0
+               : active->injected.load(std::memory_order_relaxed);
+}
+
+std::string
+FaultInjector::armedPlan() const
+{
+    auto active = currentState();
+    return active == nullptr ? std::string() : active->description;
+}
+
+} // namespace anytime::fault

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Deterministic fault injection (chaos testing for the anytime model).
+ *
+ * The paper's guarantee is that execution "can be interrupted at any
+ * moment with a valid approximate output in hand" (§III). A fault is an
+ * involuntary interruption, so the runtime should absorb it the same
+ * way it absorbs a stop: degrade to the last published version. This
+ * subsystem injects such faults deterministically so the containment
+ * paths (stage quarantine, watchdog expulsion, service retry/circuit
+ * breaker) can be exercised in CI with reproducible schedules.
+ *
+ * Model:
+ *  - A FaultPlan is a seed plus a list of FaultRules parsed from a
+ *    compact spec: `site=kind[@first][xcount][:delay_ms]`, comma (or
+ *    newline) separated, plus `seed=N`. Example:
+ *        "stage.body:smooth=throw@3,pool.dispatch=stall:50,seed=7"
+ *    fires an exception on the 3rd checkpoint of stage `smooth` and a
+ *    50 ms stall on the first pool dispatch.
+ *  - Injection sites are named `base:detail` (detail optional). A rule
+ *    whose site equals just the base matches every detail. Sites wired
+ *    into the runtime: `stage.body:<stage>` (StageContext::checkpoint),
+ *    `sweep.merge:<stage>` (partitioned-sweep leader merge),
+ *    `pool.dispatch` (WorkerPool task dispatch), `publish:<buffer>`
+ *    (VersionedBuffer publish, corrupt only, approximate versions
+ *    only), `service.build` (AnytimeServer pipeline build).
+ *  - Kinds map onto the FaultKind taxonomy in support/error.hpp:
+ *    `throw` raises StageError, `stall`/`overrun` sleep for delay_ms
+ *    (stall defaults to 100 ms — long enough to trip a watchdog —
+ *    overrun to 50 ms, modelling a blown time budget), `corrupt`
+ *    scrambles the published value (corrupt.hpp).
+ *
+ * Cost model: compiled out entirely (macro no-ops, constexpr-zero
+ * helpers) unless ANYTIME_FAULTS_ENABLED; when compiled in but not
+ * armed, every site is one relaxed atomic load. Rule matching and hit
+ * counting only run while a plan is armed.
+ *
+ * Determinism: per-rule hit ordinals are atomic counters, so sites
+ * that are sequential per matching rule (e.g. publishes of one buffer
+ * — single-writer by Property 2) fire on exactly the configured hit.
+ * Corruption seeds derive from (plan seed, rule index, hit ordinal)
+ * via splitmix64, so a corrupted value is reproducible bit-for-bit.
+ */
+
+#ifndef ANYTIME_FAULT_FAULT_HPP
+#define ANYTIME_FAULT_FAULT_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+#ifndef ANYTIME_FAULTS_ENABLED
+#define ANYTIME_FAULTS_ENABLED 0
+#endif
+
+namespace anytime::fault {
+
+/** One injection rule: where, what, and on which hits. */
+struct FaultRule
+{
+    /** Site to match: full `base:detail` or bare base (any detail). */
+    std::string site;
+    /** What happens when the rule fires. */
+    FaultKind kind = FaultKind::none;
+    /** 1-based match ordinal on which the rule starts firing. */
+    std::uint64_t firstHit = 1;
+    /** Number of consecutive matches that fire. */
+    std::uint64_t count = 1;
+    /** Sleep duration for stall/overrun kinds. */
+    std::chrono::milliseconds delay{0};
+};
+
+/** A seeded, reproducible schedule of fault injections. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    std::vector<FaultRule> rules;
+
+    bool empty() const { return rules.empty(); }
+
+    /**
+     * Parse an inline spec (see file comment for the grammar).
+     * Throws FatalError with a one-line message on malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /**
+     * Load from @p arg: if it names a readable file, parse its
+     * contents (newline separated, `#` comments); otherwise parse it
+     * as an inline spec.
+     */
+    static FaultPlan fromSpecOrFile(const std::string &arg);
+
+    /** Canonical one-line rendering (round-trips through parse()). */
+    std::string describe() const;
+};
+
+/** splitmix64 — the corruption-seed mixer (public for tests). */
+constexpr std::uint64_t
+mix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Process-wide fault injector. Arm it with a plan before starting the
+ * automaton/server under test and disarm afterwards; arming while
+ * sites are being hit is safe (rules swap atomically) but blurs which
+ * hits the plan counts, so tests should quiesce first.
+ */
+class FaultInjector
+{
+  public:
+    /** Fast path: one relaxed atomic load, checked at every site. */
+    static bool
+    armed() noexcept
+    {
+        return armedFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Install @p plan and start matching hits against it. */
+    static void arm(FaultPlan plan);
+
+    /** Stop injecting (hit counters of the armed plan are dropped). */
+    static void disarm();
+
+    /** The process-wide injector instance. */
+    static FaultInjector &instance();
+
+    /**
+     * Slow path for action sites — only call while armed(). Counts
+     * the hit against every matching rule; a firing `throw` rule
+     * raises StageError(kind, detail, ordinal), a firing stall or
+     * overrun rule sleeps for the rule's delay.
+     *
+     * @param base    Site base name (e.g. "stage.body").
+     * @param detail  Site detail (stage/buffer name; may be empty).
+     * @param ordinal Caller-side progress ordinal (window/version
+     *                number) — recorded in the StageError, not used
+     *                for matching.
+     */
+    void hit(const char *base, const std::string &detail,
+             std::uint64_t ordinal);
+
+    /**
+     * Corrupt-site query — only call while armed(). Returns a nonzero
+     * deterministic seed when a `corrupt` rule fires for this hit,
+     * zero otherwise. The caller scrambles its value with the seed
+     * (see corrupt.hpp).
+     */
+    std::uint64_t corruptSeed(const char *base, const std::string &detail);
+
+    /** Total faults injected since the last arm(). */
+    std::uint64_t injectedTotal() const;
+
+    /** Description of the armed plan ("" when disarmed). */
+    std::string armedPlan() const;
+
+  private:
+    struct RuleState
+    {
+        FaultRule rule;
+        std::atomic<std::uint64_t> matches{0};
+    };
+
+    struct State
+    {
+        std::uint64_t seed = 1;
+        std::string description;
+        std::vector<std::unique_ptr<RuleState>> rules;
+        std::atomic<std::uint64_t> injected{0};
+    };
+
+    std::shared_ptr<State> currentState() const;
+    void recordInjection(FaultKind kind, const std::string &site);
+
+    static std::atomic<bool> armedFlag;
+
+    mutable Mutex mutex;
+    std::shared_ptr<State> state ANYTIME_GUARDED_BY(mutex);
+};
+
+#if ANYTIME_FAULTS_ENABLED
+
+/** Corrupt-seed query for publish sites (0 = leave the value alone). */
+inline std::uint64_t
+publishCorruptSeed(const std::string &buffer)
+{
+    if (!FaultInjector::armed())
+        return 0;
+    return FaultInjector::instance().corruptSeed("publish", buffer);
+}
+
+/**
+ * Action site with unevaluated arguments when compiled out. `base` must
+ * be a string literal; `detail` a std::string; `ordinal` integral.
+ */
+#define ANYTIME_FAULT_POINT(base, detail, ordinal)                        \
+    do {                                                                  \
+        if (::anytime::fault::FaultInjector::armed())                     \
+            ::anytime::fault::FaultInjector::instance().hit(              \
+                base, detail, ordinal);                                   \
+    } while (0)
+
+#else // !ANYTIME_FAULTS_ENABLED — zero-cost no-ops
+
+inline constexpr std::uint64_t
+publishCorruptSeed(const std::string &)
+{
+    return 0;
+}
+
+#define ANYTIME_FAULT_POINT(base, detail, ordinal)                        \
+    do {                                                                  \
+    } while (0)
+
+#endif // ANYTIME_FAULTS_ENABLED
+
+} // namespace anytime::fault
+
+#endif // ANYTIME_FAULT_FAULT_HPP

@@ -27,6 +27,10 @@ serviceStatusName(ServiceStatus status)
         return "failed";
       case ServiceStatus::cancelled:
         return "cancelled";
+      case ServiceStatus::degraded:
+        return "degraded";
+      case ServiceStatus::shedCircuitOpen:
+        return "shed-circuit-open";
     }
     return "unknown";
 }
@@ -52,6 +56,7 @@ ServiceMetrics::record(const ServiceResponse &response)
         break;
       case ServiceStatus::shedQueueFull:
       case ServiceStatus::shedPredictedMiss:
+      case ServiceStatus::shedCircuitOpen:
         ++shedCount;
         break;
       case ServiceStatus::expired:
@@ -62,6 +67,17 @@ ServiceMetrics::record(const ServiceResponse &response)
         break;
       case ServiceStatus::cancelled:
         ++cancelledCount;
+        break;
+      case ServiceStatus::degraded:
+        // Its own bucket: the client got a usable (degraded) answer,
+        // but the precise path was lost to a fault. Latency still
+        // matters to the aggregate distribution.
+        ++degradedCount;
+        servedLatencies.observe(response.totalSeconds);
+        if (!std::isnan(response.quality)) {
+            qualitySum += response.quality;
+            ++qualitySamples;
+        }
         break;
     }
 }
@@ -97,14 +113,15 @@ ServiceMetrics::table(const std::string &title) const
     SeriesTable result;
     result.title = title;
     result.columns = {"requests", "served",    "precise", "shed",
-                      "expired",  "failed",    "cancelled", "hit_rate",
-                      "p50_ms",   "p95_ms",    "p99_ms",
+                      "expired",  "failed",    "cancelled", "degraded",
+                      "hit_rate", "p50_ms",    "p95_ms",    "p99_ms",
                       "mean_quality"};
     result.rows.push_back(
         {std::to_string(totalCount), std::to_string(servedCount),
          std::to_string(preciseCount), std::to_string(shedCount),
          std::to_string(expiredCount), std::to_string(failedCount),
-         std::to_string(cancelledCount), formatDouble(hitRate(), 3),
+         std::to_string(cancelledCount), std::to_string(degradedCount),
+         formatDouble(hitRate(), 3),
          formatDouble(latencyPercentile(50) * 1e3, 2),
          formatDouble(latencyPercentile(95) * 1e3, 2),
          formatDouble(latencyPercentile(99) * 1e3, 2),

@@ -32,8 +32,9 @@ class ServiceMetrics
     /** Fold one response into the aggregates. */
     void record(const ServiceResponse &response);
 
-    /** Requests responded to
-     *  (served + shed + expired + failed + cancelled). */
+    /** Requests responded to. Accounting identity:
+     *  total == served + shed + expired + failed + cancelled
+     *           + degraded. */
     std::size_t total() const { return totalCount; }
 
     /** Requests that were dispatched and ran. */
@@ -50,6 +51,9 @@ class ServiceMetrics
 
     /** Requests cancelled by server shutdown before completion. */
     std::size_t cancelled() const { return cancelledCount; }
+
+    /** Requests salvaged degraded after a pipeline fault. */
+    std::size_t degraded() const { return degradedCount; }
 
     /** Served requests that ran to the precise output. */
     std::size_t precise() const { return preciseCount; }
@@ -81,6 +85,7 @@ class ServiceMetrics
     std::size_t expiredCount = 0;
     std::size_t failedCount = 0;
     std::size_t cancelledCount = 0;
+    std::size_t degradedCount = 0;
     std::size_t preciseCount = 0;
     std::size_t deadlineHits = 0;
     double qualitySum = 0.0;

@@ -109,6 +109,18 @@ enum class ServiceStatus
     failed,
     /** Server shut down before the request finished. */
     cancelled,
+    /**
+     * A stage faulted but the degradation policy salvaged the request:
+     * the response carries the pipeline's last good published version,
+     * flagged degraded (quarantine fault policy, output present, and
+     * the client's minQuality floor met). Its own accounting bucket —
+     * not "served" (the precise path was lost) and not "failed" (the
+     * client got a usable answer).
+     */
+    degraded,
+    /** Shed at admission: this pipeline's circuit breaker is open
+     *  after repeated failures (cooling down). */
+    shedCircuitOpen,
 };
 
 /** True if the request actually executed (was dispatched and ran). */
@@ -141,11 +153,18 @@ struct ServiceResponse
     double totalSeconds = 0.0;
     /**
      * True iff the client got a usable output by its deadline: the
-     * request was served and at least one version was published. This
-     * is the SLO the aggregate deadline-hit rate is computed from.
+     * request was served (or salvaged degraded) and at least one
+     * version was published. This is the SLO the aggregate
+     * deadline-hit rate is computed from.
      */
     bool deadlineMet = false;
-    /** Stage failure messages when status == failed. */
+    /**
+     * True iff the snapshot the client holds is degraded: a stage was
+     * quarantined or a sweep gang lost a worker, so the value is the
+     * last good approximate version, not the precise output.
+     */
+    bool degraded = false;
+    /** Stage failure messages when status == failed or degraded. */
     std::vector<std::string> failures;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -58,6 +59,15 @@ AnytimeServer::AnytimeServer(ServerConfig config)
     live.cancelled = &registry.counter(
         "anytime_responses_cancelled_total",
         "Requests cancelled by server shutdown.");
+    live.degraded = &registry.counter(
+        "anytime_requests_degraded_total",
+        "Requests salvaged degraded after a pipeline fault.");
+    live.buildRetries = &registry.counter(
+        "anytime_build_retries_total",
+        "Pipeline build attempts retried after a factory failure.");
+    live.circuitOpened = &registry.counter(
+        "anytime_circuit_open_total",
+        "Times a pipeline's circuit breaker opened.");
     live.pendingDepth = &registry.gauge(
         "anytime_requests_pending",
         "Accepted requests waiting for dispatch.");
@@ -124,6 +134,10 @@ AnytimeServer::builderLoop(std::stop_token stop)
                 "build", "service",
                 {"request", static_cast<double>(job.id)});
             try {
+                // Injection site `service.build`: a thrown fault here
+                // exercises the same retry/backoff/circuit path as a
+                // genuinely failing factory.
+                ANYTIME_FAULT_POINT("service.build", job.name, job.id);
                 result.pipeline = job.factory();
                 if (!result.pipeline.automaton)
                     result.error =
@@ -172,6 +186,14 @@ AnytimeServer::submit(ServiceRequest request)
     // that would only ever expire. This is the zero-deadline guarantee.
     if (request.deadline <= std::chrono::nanoseconds::zero()) {
         respondImmediately(promise, ServiceStatus::expired, now, id);
+        return future;
+    }
+    // Circuit breaker: a pipeline name that keeps failing is shed up
+    // front during its cooldown, so a poisoned factory can't burn the
+    // builder and the retry budget on every submission.
+    if (circuitOpenLocked(request.name, now)) {
+        respondImmediately(promise, ServiceStatus::shedCircuitOpen, now,
+                           id);
         return future;
     }
     if (const auto shed =
@@ -282,6 +304,69 @@ AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
     idleCv.notifyAll();
 }
 
+bool
+AnytimeServer::circuitOpenLocked(const std::string &name,
+                                 Clock::time_point now) const
+{
+    if (configuration.circuitFailureBudget == 0)
+        return false;
+    const auto it = circuits.find(name);
+    return it != circuits.end() && now < it->second.openUntil;
+}
+
+void
+AnytimeServer::recordPipelineFailureLocked(const std::string &name,
+                                           Clock::time_point now)
+{
+    if (configuration.circuitFailureBudget == 0)
+        return;
+    CircuitState &circuit = circuits[name];
+    ++circuit.consecutiveFailures;
+    if (circuit.consecutiveFailures < configuration.circuitFailureBudget)
+        return;
+    // Open (or re-open after a failed half-open probe). The failure
+    // count stays at the budget so the next post-cooldown failure
+    // re-opens immediately; only a success closes the circuit.
+    circuit.consecutiveFailures = configuration.circuitFailureBudget;
+    circuit.openUntil = now + configuration.circuitCooldown;
+    live.circuitOpened->add();
+    obs::traceInstant(
+        "circuit.open", "service",
+        {"failures", static_cast<double>(circuit.consecutiveFailures)},
+        {"cooldown_ms", std::chrono::duration<double, std::milli>(
+                            configuration.circuitCooldown)
+                            .count()});
+}
+
+void
+AnytimeServer::recordPipelineSuccessLocked(const std::string &name)
+{
+    circuits.erase(name);
+}
+
+AnytimeServer::Clock::duration
+AnytimeServer::retryBackoffLocked(const PendingEntry &entry) const
+{
+    // Exponential backoff with deterministic jitter: base * 2^(n-1)
+    // plus a jitter in [0, base) drawn from a seeded hash of the
+    // request id and attempt number — reproducible under a fixed
+    // submission order, uncorrelated across requests (no retry
+    // convoys).
+    const auto base = configuration.retryBackoffBase;
+    const auto scaled = base * (1LL << (entry.buildAttempts - 1));
+    const std::uint64_t jitter_hash =
+        fault::mix64(configuration.retryJitterSeed ^
+                     (entry.id << 16) ^ entry.buildAttempts);
+    const auto jitter =
+        base.count() > 0
+            ? Clock::duration(std::chrono::nanoseconds(
+                  static_cast<std::int64_t>(jitter_hash) %
+                  std::chrono::nanoseconds(base).count()))
+            : Clock::duration::zero();
+    return std::chrono::duration_cast<Clock::duration>(scaled) +
+           std::chrono::abs(jitter);
+}
+
 void
 AnytimeServer::stopOverdueLocked(Clock::time_point now)
 {
@@ -318,8 +403,29 @@ AnytimeServer::integrateBuildResultsLocked()
         if (it == pending.end())
             continue; // expired or cancelled while being built
         if (!result.error.empty()) {
-            respondImmediately(it->second.promise, ServiceStatus::failed,
-                               it->second.submitted, it->second.id,
+            PendingEntry &entry = it->second;
+            const auto now = Clock::now();
+            if (entry.buildAttempts < configuration.buildRetryLimit &&
+                now < entry.deadline) {
+                // Retry with jittered exponential backoff: the entry
+                // stays at the EDF head (pipeline still absent) and the
+                // dispatcher re-hands it to the builder once notBefore
+                // passes. Deadline enforcement keeps running meanwhile.
+                ++entry.buildAttempts;
+                const auto backoff = retryBackoffLocked(entry);
+                entry.notBefore = now + backoff;
+                live.buildRetries->add();
+                obs::traceInstant(
+                    "build.retry", "service",
+                    {"request", static_cast<double>(entry.id)},
+                    {"backoff_ms",
+                     std::chrono::duration<double, std::milli>(backoff)
+                         .count()});
+                continue;
+            }
+            recordPipelineFailureLocked(entry.request.name, now);
+            respondImmediately(entry.promise, ServiceStatus::failed,
+                               entry.submitted, entry.id,
                                {std::move(result.error)});
             pending.erase(it);
             updateDepthGaugesLocked();
@@ -352,9 +458,28 @@ AnytimeServer::harvest(RunningEntry entry)
     if (response.reachedPrecise)
         response.quality = 1.0;
 
+    response.degraded = automaton.degraded();
     if (automaton.failed()) {
-        response.status = ServiceStatus::failed;
         response.failures = automaton.failures();
+        // Degradation policy: under quarantine the pipeline still
+        // terminated with its last good versions in every buffer —
+        // serve that snapshot flagged degraded when there is output
+        // and it clears the client's stated quality floor (a floor
+        // with no probe cannot be verified); otherwise fail fast.
+        const bool meets_floor =
+            entry.minQuality <= 0.0 ||
+            (!std::isnan(response.quality) &&
+             response.quality >= entry.minQuality);
+        if (automaton.faultPolicy() == FaultPolicy::quarantine &&
+            response.versionsPublished > 0 && meets_floor) {
+            response.status = ServiceStatus::degraded;
+            response.degraded = true;
+        } else {
+            response.status = ServiceStatus::failed;
+            // Fail-fast carries no usable snapshot: the flag is about
+            // the answer the client got, not the pipeline's state.
+            response.degraded = false;
+        }
     } else if (response.reachedPrecise) {
         response.status = ServiceStatus::preciseCompleted;
     } else if (entry.stopReason == StopReason::quality) {
@@ -364,8 +489,18 @@ AnytimeServer::harvest(RunningEntry entry)
     } else {
         response.status = ServiceStatus::deadlineApprox;
     }
-    response.deadlineMet = servedStatus(response.status) &&
+    response.deadlineMet = (servedStatus(response.status) ||
+                            response.status ==
+                                ServiceStatus::degraded) &&
                            response.versionsPublished > 0;
+
+    // Circuit breaker accounting: any stage fault counts against the
+    // pipeline's failure budget (even when the degradation policy
+    // salvaged the response); a clean run closes the circuit.
+    if (automaton.failed())
+        recordPipelineFailureLocked(entry.name, now);
+    else
+        recordPipelineSuccessLocked(entry.name);
 
     if (servedStatus(response.status)) {
         const double alpha = ewmaValid ? 0.2 : 1.0;
@@ -411,6 +546,7 @@ AnytimeServer::updateLiveMetrics(const ServiceResponse &response)
         break;
       case ServiceStatus::shedQueueFull:
       case ServiceStatus::shedPredictedMiss:
+      case ServiceStatus::shedCircuitOpen:
         live.shed->add();
         break;
       case ServiceStatus::expired:
@@ -421,6 +557,10 @@ AnytimeServer::updateLiveMetrics(const ServiceResponse &response)
         break;
       case ServiceStatus::cancelled:
         live.cancelled->add();
+        break;
+      case ServiceStatus::degraded:
+        live.degraded->add();
+        live.latency->observe(response.totalSeconds);
         break;
     }
 }
@@ -534,9 +674,13 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                 // Hand the head's factory to the builder thread and
                 // wait for its result event; the scheduler stays free
                 // to enforce deadlines while the pipeline is built.
-                if (buildInFlight == 0) {
+                // A head cooling down between build retries holds its
+                // EDF position (strict EDF) until notBefore passes.
+                if (buildInFlight == 0 &&
+                    head.notBefore <= Clock::now()) {
                     buildInFlight = head.id;
-                    buildJob = BuildJob{head.id, head.request.factory};
+                    buildJob = BuildJob{head.id, head.request.name,
+                                        head.request.factory};
                     buildCv.notifyAll();
                 }
                 break; // strict EDF: nothing dispatches past the head
@@ -558,6 +702,7 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
 
             RunningEntry entry;
             entry.id = head.id;
+            entry.name = head.request.name;
             entry.promise = std::move(head.promise);
             entry.submitted = head.submitted;
             entry.dispatched = Clock::now();
@@ -569,6 +714,10 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
 
             Automaton *automaton = entry.pipeline.automaton.get();
             const std::uint64_t id = entry.id;
+            // Stage faults are contained per the server's policy:
+            // quarantine (default) lets a faulting pipeline finish
+            // degraded so harvest can salvage the response.
+            automaton->setFaultPolicy(configuration.pipelineFaultPolicy);
             automaton->setDoneCallback([this, id] {
                 MutexLock callback_lock(mutex);
                 finishedIds.push_back(id);
@@ -596,8 +745,14 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                 next_wake = std::min(
                     next_wake, now + configuration.qualityPollInterval);
         }
-        if (!pending.empty())
+        if (!pending.empty()) {
             next_wake = std::min(next_wake, pending.begin()->first);
+            // A head cooling down between build retries needs a wake
+            // at notBefore, or the retry would wait for the next event.
+            const PendingEntry &head = pending.begin()->second;
+            if (!head.pipeline.automaton && head.notBefore > now)
+                next_wake = std::min(next_wake, head.notBefore);
+        }
 
         if (!finishedIds.empty() || !buildResults.empty() ||
             pendingDirty || stop.stop_requested())

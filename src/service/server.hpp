@@ -73,6 +73,38 @@ struct ServerConfig
     /** Registry the server publishes live counters/gauges/histograms
      *  into; nullptr means obs::defaultRegistry(). */
     obs::MetricsRegistry *metricsRegistry = nullptr;
+
+    // --- Fault tolerance (see DESIGN.md section 12) ---
+
+    /**
+     * Stage-failure policy applied to every dispatched pipeline.
+     * Quarantine (the default) lets a faulting pipeline terminate with
+     * its last good versions so the degradation policy below can
+     * salvage the request; stopAll restores the strict fail-fast
+     * behavior (any stage fault fails the request).
+     */
+    FaultPolicy pipelineFaultPolicy = FaultPolicy::quarantine;
+    /** Retries of a *failed pipeline build* before the request fails
+     *  (the factory threw or returned no automaton). */
+    unsigned buildRetryLimit = 2;
+    /** Base of the exponential retry backoff (doubles per attempt,
+     *  plus deterministic jitter in [0, base)). */
+    std::chrono::nanoseconds retryBackoffBase =
+        std::chrono::milliseconds(2);
+    /** Seed of the deterministic backoff jitter sequence. */
+    std::uint64_t retryJitterSeed = 1;
+    /**
+     * Circuit breaker: consecutive failures of one pipeline name
+     * before its circuit opens and submissions are shed for
+     * circuitCooldown. 0 disables the breaker. After the cooldown the
+     * circuit is implicitly half-open: the next submission is
+     * admitted, a success closes the circuit, a failure re-opens it
+     * immediately.
+     */
+    unsigned circuitFailureBudget = 5;
+    /** How long an open circuit sheds before admitting a probe. */
+    std::chrono::nanoseconds circuitCooldown =
+        std::chrono::milliseconds(250);
 };
 
 /** In-process anytime serving runtime. */
@@ -133,12 +165,18 @@ class AnytimeServer
         /** Built by the builder thread once this entry reaches the
          *  queue head; may then wait head-of-line for free slots. */
         PreparedPipeline pipeline;
+        /** Failed build attempts so far (retry-with-backoff). */
+        unsigned buildAttempts = 0;
+        /** Earliest instant the next build attempt may start (the
+         *  jittered backoff); epoch = no constraint. */
+        Clock::time_point notBefore{};
     };
 
     /** Factory handed to the builder thread. */
     struct BuildJob
     {
         std::uint64_t id = 0;
+        std::string name;
         std::function<PreparedPipeline()> factory;
     };
 
@@ -155,6 +193,7 @@ class AnytimeServer
     struct RunningEntry
     {
         std::uint64_t id = 0;
+        std::string name;
         std::promise<ServiceResponse> promise;
         Clock::time_point submitted;
         Clock::time_point dispatched;
@@ -202,6 +241,34 @@ class AnytimeServer
     admissionVerdict(Clock::time_point now, Clock::time_point deadline,
                      unsigned declared_gang) const ANYTIME_REQUIRES(mutex);
 
+    /** Per-pipeline-name circuit breaker state. */
+    struct CircuitState
+    {
+        /** Failures since the last success (build or run). */
+        unsigned consecutiveFailures = 0;
+        /** Submissions are shed until this instant. */
+        Clock::time_point openUntil{};
+    };
+
+    /** True if @p name's circuit is open at @p now (caller locked). */
+    bool circuitOpenLocked(const std::string &name,
+                           Clock::time_point now) const
+        ANYTIME_REQUIRES(mutex);
+
+    /** Count one failure of @p name; open the circuit at budget. */
+    void recordPipelineFailureLocked(const std::string &name,
+                                     Clock::time_point now)
+        ANYTIME_REQUIRES(mutex);
+
+    /** A success closes @p name's circuit and zeroes its failures. */
+    void recordPipelineSuccessLocked(const std::string &name)
+        ANYTIME_REQUIRES(mutex);
+
+    /** Deterministic jittered exponential backoff for @p entry's next
+     *  build attempt (attempt count already incremented). */
+    Clock::duration retryBackoffLocked(const PendingEntry &entry) const
+        ANYTIME_REQUIRES(mutex);
+
     ServerConfig configuration;
 
     mutable Mutex mutex;
@@ -234,6 +301,10 @@ class AnytimeServer
     double ewmaBuildSeconds ANYTIME_GUARDED_BY(mutex) = 0.0;
     bool ewmaBuildValid ANYTIME_GUARDED_BY(mutex) = false;
 
+    /** Circuit breaker per pipeline name. */
+    std::map<std::string, CircuitState>
+        circuits ANYTIME_GUARDED_BY(mutex);
+
     ServiceMetrics metrics ANYTIME_GUARDED_BY(mutex);
 
     /** Live exposition metrics (owned by the configured registry). */
@@ -246,6 +317,9 @@ class AnytimeServer
         obs::Counter *expired = nullptr;
         obs::Counter *failed = nullptr;
         obs::Counter *cancelled = nullptr;
+        obs::Counter *degraded = nullptr;
+        obs::Counter *buildRetries = nullptr;
+        obs::Counter *circuitOpened = nullptr;
         obs::Gauge *pendingDepth = nullptr;
         obs::Gauge *runningDepth = nullptr;
         obs::LogHistogram *latency = nullptr;

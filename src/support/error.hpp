@@ -6,11 +6,26 @@
  * fatal() is for unrecoverable user errors (bad configuration, bad
  * arguments). Both throw typed exceptions rather than aborting so that
  * tests can assert on them.
+ *
+ * The fault taxonomy (FaultKind, StageError) classifies the failures the
+ * resilient execution paths contain: a throwing stage body, a stalled
+ * worker, a corrupted approximate version, or a deadline overrun. The
+ * containment code (Automaton quarantine, SweepBarrier watchdog, the
+ * serving runtime's retry/circuit-breaker) keys off this taxonomy, and
+ * the deterministic fault injector (src/fault/) raises StageError so
+ * injected and organic faults flow through the same paths.
+ *
+ * noexcept contract: everything on the unwind path of a contained fault
+ * must itself be non-throwing — scope-guard destructors, barrier
+ * release, and the final merge bookkeeping are annotated noexcept where
+ * the containment relies on it (see SweepBarrier::release and the
+ * destructors in core/).
  */
 
 #ifndef ANYTIME_SUPPORT_ERROR_HPP
 #define ANYTIME_SUPPORT_ERROR_HPP
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -29,6 +44,74 @@ class FatalError : public std::runtime_error
 {
   public:
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Classes of fault the resilient execution paths contain. Faults are
+ * involuntary interruptions: the anytime model absorbs them by
+ * degrading to the last published version instead of dying.
+ */
+enum class FaultKind : std::uint8_t
+{
+    /** Not a fault (sentinel for "no rule matched"). */
+    none,
+    /** A stage body (or merge) threw an exception. */
+    thrown,
+    /** A worker stopped making progress (detected by the watchdog). */
+    stalled,
+    /** An approximate published version was corrupted in flight. */
+    corrupted,
+    /** A stage blew through its time budget (long stall variant). */
+    overrun,
+};
+
+/** Human-readable fault-kind name (plan specs use the same spelling). */
+constexpr const char *
+faultKindName(FaultKind kind) noexcept
+{
+    switch (kind) {
+      case FaultKind::none:
+        return "none";
+      case FaultKind::thrown:
+        return "throw";
+      case FaultKind::stalled:
+        return "stall";
+      case FaultKind::corrupted:
+        return "corrupt";
+      case FaultKind::overrun:
+        return "overrun";
+    }
+    return "unknown";
+}
+
+/**
+ * A classified stage-level failure: which stage, which window of its
+ * sweep, and what kind of fault. Thrown by the fault injector and
+ * caught (as std::exception) at the sweep boundary in
+ * Automaton::workerMain, where the quarantine policy turns it into
+ * graceful degradation instead of a pipeline-wide stop.
+ */
+class StageError : public std::runtime_error
+{
+  public:
+    StageError(FaultKind kind, std::string stage, std::uint64_t window,
+               const std::string &msg)
+        : std::runtime_error("stage '" + stage + "' window " +
+                             std::to_string(window) + " [" +
+                             faultKindName(kind) + "]: " + msg),
+          faultKind(kind), stageName(std::move(stage)),
+          windowOrdinal(window)
+    {
+    }
+
+    FaultKind kind() const noexcept { return faultKind; }
+    const std::string &stage() const noexcept { return stageName; }
+    std::uint64_t window() const noexcept { return windowOrdinal; }
+
+  private:
+    FaultKind faultKind;
+    std::string stageName;
+    std::uint64_t windowOrdinal;
 };
 
 namespace detail {

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Service-layer chaos suite: build retries with backoff, the circuit
+ * breaker, degraded serving after a pipeline fault, and the accounting
+ * identity total == served + shed + expired + failed + cancelled +
+ * degraded under injected failures.
+ *
+ * The circuit-breaker tests use a plain always-throwing factory, so
+ * they run even when the tree is built with ANYTIME_FAULTS=OFF; the
+ * injector-driven tests skip in that configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "service/server.hpp"
+#include "service_test_util.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+/** A request whose factory always throws — a permanent build fault. */
+ServiceRequest
+brokenRequest(std::string name, std::chrono::nanoseconds deadline = 5s)
+{
+    ServiceRequest request;
+    request.name = std::move(name);
+    request.deadline = deadline;
+    request.factory = []() -> PreparedPipeline {
+        throw std::runtime_error("broken pipeline factory");
+    };
+    return request;
+}
+
+void
+expectAccountingIdentity(const ServiceMetrics &metrics)
+{
+    EXPECT_EQ(metrics.total(),
+              metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed() + metrics.cancelled() +
+                  metrics.degraded());
+}
+
+class ChaosServiceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::FaultInjector::disarm(); }
+};
+
+TEST_F(ChaosServiceTest, TransientBuildFaultIsRetriedToSuccess)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // The first build attempt throws; the retry (within the default
+    // budget of 2) succeeds and the request completes precise.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("service.build=throw@1x1"));
+    AnytimeServer server({.workers = 1});
+    auto future = server.submit(counterRequest("retry", 64, 5, 10s));
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::preciseCompleted);
+    EXPECT_FALSE(response.degraded);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.served(), 1u);
+    EXPECT_EQ(metrics.failed(), 0u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST_F(ChaosServiceTest, PersistentBuildFaultExhaustsRetriesAndFails)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("service.build=throw@1x16"));
+    AnytimeServer server({.workers = 1});
+    auto future = server.submit(counterRequest("doomed", 64, 5, 10s));
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::failed);
+    EXPECT_EQ(response.versionsPublished, 0u);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.failed(), 1u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST_F(ChaosServiceTest, StageFaultAfterPublishesServesDegraded)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // The pipeline publishes a few versions, then its stage throws.
+    // Under the server's default quarantine policy the last good
+    // version is salvaged and the response is flagged degraded.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("stage.body:counter=throw@10"));
+    AnytimeServer server({.workers = 1});
+    auto probe = std::make_shared<CounterProbe>();
+    auto future = server.submit(counterRequest(
+        "salvage", 1u << 14, 2, 10s, 0.0, probe, /*publish_period=*/128));
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::degraded);
+    EXPECT_TRUE(response.degraded);
+    EXPECT_TRUE(response.deadlineMet);
+    EXPECT_GT(response.versionsPublished, 0u);
+    // The salvaged snapshot is a real published version.
+    ASSERT_TRUE(probe->out);
+    ASSERT_TRUE(probe->out->read().value != nullptr);
+    EXPECT_GT(*probe->out->read().value, 0);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.degraded(), 1u);
+    EXPECT_EQ(metrics.failed(), 0u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST_F(ChaosServiceTest, QualityFloorTurnsSalvageIntoFailure)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // Same fault shape, but the client demands near-precise quality:
+    // the salvaged version misses the floor, so degraded serving is
+    // refused and the request fails fast.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("stage.body:counter=throw@10"));
+    AnytimeServer server({.workers = 1});
+    auto future = server.submit(counterRequest(
+        "strict", 1u << 14, 2, 10s, 0.99, nullptr,
+        /*publish_period=*/128));
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::failed);
+    EXPECT_FALSE(response.degraded);
+    server.drain();
+    expectAccountingIdentity(server.metricsSnapshot());
+}
+
+TEST(ChaosServiceCircuit, BreakerShedsAfterFailureBudget)
+{
+    // Pure-C++ permanent build failure: no injector needed, runs in
+    // every build configuration. Budget 2, long cooldown: the first
+    // two requests burn the budget, the third is shed at submit.
+    AnytimeServer server({.workers = 1,
+                          .buildRetryLimit = 0,
+                          .circuitFailureBudget = 2,
+                          .circuitCooldown = 60s});
+    for (int i = 0; i < 2; ++i) {
+        auto future = server.submit(brokenRequest("flaky"));
+        ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
+        EXPECT_EQ(future.get().status, ServiceStatus::failed);
+    }
+    auto shedFuture = server.submit(brokenRequest("flaky"));
+    ASSERT_EQ(shedFuture.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(shedFuture.get().status, ServiceStatus::shedCircuitOpen);
+
+    // The breaker is per pipeline: an unrelated healthy pipeline is
+    // unaffected while "flaky" is open.
+    auto healthy = server.submit(counterRequest("healthy", 64, 5, 10s));
+    ASSERT_EQ(healthy.wait_for(10s), std::future_status::ready);
+    EXPECT_EQ(healthy.get().status, ServiceStatus::preciseCompleted);
+
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.failed(), 2u);
+    EXPECT_EQ(metrics.shed(), 1u); // shed-circuit-open folds into shed
+    EXPECT_EQ(metrics.served(), 1u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(ChaosServiceCircuit, BreakerHalfOpensAfterCooldown)
+{
+    AnytimeServer server({.workers = 1,
+                          .buildRetryLimit = 0,
+                          .circuitFailureBudget = 1,
+                          .circuitCooldown = 50ms});
+    auto first = server.submit(brokenRequest("blinky"));
+    ASSERT_EQ(first.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(first.get().status, ServiceStatus::failed);
+
+    // Open: immediate shed.
+    auto shed = server.submit(brokenRequest("blinky"));
+    ASSERT_EQ(shed.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(shed.get().status, ServiceStatus::shedCircuitOpen);
+
+    // After the cooldown the breaker half-opens: the probe request is
+    // admitted again (and here fails again, re-opening the circuit).
+    std::this_thread::sleep_for(80ms);
+    auto probe = server.submit(brokenRequest("blinky"));
+    ASSERT_EQ(probe.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(probe.get().status, ServiceStatus::failed);
+
+    server.drain();
+    expectAccountingIdentity(server.metricsSnapshot());
+}
+
+TEST(ChaosServiceCircuit, SuccessClosesTheBreaker)
+{
+    // One failure, then a success on the same pipeline name: the
+    // consecutive-failure count resets, so one more failure does not
+    // reach the budget of 2.
+    AnytimeServer server({.workers = 1,
+                          .buildRetryLimit = 0,
+                          .circuitFailureBudget = 2,
+                          .circuitCooldown = 60s});
+    auto fail1 = server.submit(brokenRequest("mend"));
+    ASSERT_EQ(fail1.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(fail1.get().status, ServiceStatus::failed);
+
+    auto ok = server.submit(counterRequest("mend", 64, 5, 10s));
+    ASSERT_EQ(ok.wait_for(10s), std::future_status::ready);
+    EXPECT_EQ(ok.get().status, ServiceStatus::preciseCompleted);
+
+    auto fail2 = server.submit(brokenRequest("mend"));
+    ASSERT_EQ(fail2.wait_for(5s), std::future_status::ready);
+    // Still failed (admitted), not shed: the breaker was reset.
+    EXPECT_EQ(fail2.get().status, ServiceStatus::failed);
+
+    server.drain();
+    expectAccountingIdentity(server.metricsSnapshot());
+}
+
+TEST_F(ChaosServiceTest, AccountingIdentityHoldsUnderMixedChaos)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // A mixed workload under injected faults: some builds fail their
+    // first attempt (then retry), one pipeline degrades mid-run, and
+    // healthy requests flow throughout. Whatever the per-request
+    // outcomes, the books must balance.
+    fault::FaultInjector::arm(fault::FaultPlan::parse(
+        "seed=3, service.build=throw@2x2, stage.body:counter=throw@30"));
+    AnytimeServer server({.workers = 2});
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(server.submit(counterRequest(
+            "mix" + std::to_string(i), 1u << 12, 2, 10s, 0.0, nullptr,
+            /*publish_period=*/128)));
+    for (auto &future : futures)
+        ASSERT_EQ(future.wait_for(20s), std::future_status::ready);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 8u);
+    expectAccountingIdentity(metrics);
+}
+
+} // namespace
+} // namespace anytime

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector: plan grammar,
+ * describe() round-trips, hit-window matching, corruption-seed
+ * determinism, and the armed/disarmed fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/corrupt.hpp"
+#include "fault/fault.hpp"
+#include "support/error.hpp"
+
+namespace anytime::fault {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::disarm(); }
+};
+
+TEST_F(FaultInjectorTest, ParsesFullGrammar)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "seed=42, stage.body:smooth=throw@3x2, pool.dispatch=stall:50,"
+        "publish:out=corrupt@5, sweep.merge=overrun");
+    EXPECT_EQ(plan.seed, 42u);
+    ASSERT_EQ(plan.rules.size(), 4u);
+
+    EXPECT_EQ(plan.rules[0].site, "stage.body:smooth");
+    EXPECT_EQ(plan.rules[0].kind, FaultKind::thrown);
+    EXPECT_EQ(plan.rules[0].firstHit, 3u);
+    EXPECT_EQ(plan.rules[0].count, 2u);
+
+    EXPECT_EQ(plan.rules[1].site, "pool.dispatch");
+    EXPECT_EQ(plan.rules[1].kind, FaultKind::stalled);
+    EXPECT_EQ(plan.rules[1].delay, std::chrono::milliseconds(50));
+
+    EXPECT_EQ(plan.rules[2].site, "publish:out");
+    EXPECT_EQ(plan.rules[2].kind, FaultKind::corrupted);
+    EXPECT_EQ(plan.rules[2].firstHit, 5u);
+
+    EXPECT_EQ(plan.rules[3].site, "sweep.merge");
+    EXPECT_EQ(plan.rules[3].kind, FaultKind::overrun);
+    EXPECT_GT(plan.rules[3].delay.count(), 0);
+}
+
+TEST_F(FaultInjectorTest, DescribeRoundTripsThroughParse)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "seed=7, stage.body:a=throw@2x3, publish:b=corrupt,"
+        "pool.dispatch=stall:25");
+    const FaultPlan reparsed = FaultPlan::parse(plan.describe());
+    EXPECT_EQ(reparsed.describe(), plan.describe());
+    EXPECT_EQ(reparsed.seed, plan.seed);
+    ASSERT_EQ(reparsed.rules.size(), plan.rules.size());
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+        EXPECT_EQ(reparsed.rules[i].site, plan.rules[i].site);
+        EXPECT_EQ(reparsed.rules[i].kind, plan.rules[i].kind);
+        EXPECT_EQ(reparsed.rules[i].firstHit, plan.rules[i].firstHit);
+        EXPECT_EQ(reparsed.rules[i].count, plan.rules[i].count);
+        EXPECT_EQ(reparsed.rules[i].delay, plan.rules[i].delay);
+    }
+}
+
+TEST_F(FaultInjectorTest, ParseSkipsCommentsAndBlankLines)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "# a fault plan file\n"
+        "seed=9\n"
+        "\n"
+        "stage.body=throw@1\n");
+    EXPECT_EQ(plan.seed, 9u);
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_EQ(plan.rules[0].kind, FaultKind::thrown);
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsThrowFatalError)
+{
+    EXPECT_THROW(FaultPlan::parse("stage.body"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("stage.body=explode"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("=throw"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("a=throw@0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("a=throwx0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("a=stall:999999"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("seed=banana"), FatalError);
+}
+
+TEST_F(FaultInjectorTest, DisarmedFastPathInjectsNothing)
+{
+    EXPECT_FALSE(FaultInjector::armed());
+    // The macro must be a no-op without an armed plan.
+    ANYTIME_FAULT_POINT("stage.body", std::string("s"), 1);
+    EXPECT_EQ(publishCorruptSeed("anything"), 0u);
+}
+
+TEST_F(FaultInjectorTest, ThrowRuleFiresOnExactHitWindow)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    FaultInjector::arm(FaultPlan::parse("stage.body:s=throw@3x2"));
+    auto &injector = FaultInjector::instance();
+    const std::string detail = "s";
+    injector.hit("stage.body", detail, 1); // hit 1: no fire
+    injector.hit("stage.body", detail, 2); // hit 2: no fire
+    EXPECT_THROW(injector.hit("stage.body", detail, 3), StageError);
+    EXPECT_THROW(injector.hit("stage.body", detail, 4), StageError);
+    injector.hit("stage.body", detail, 5); // window exhausted
+    EXPECT_EQ(injector.injectedTotal(), 2u);
+}
+
+TEST_F(FaultInjectorTest, BareBaseRuleMatchesEveryDetail)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    FaultInjector::arm(FaultPlan::parse("stage.body=throw@1x2"));
+    auto &injector = FaultInjector::instance();
+    EXPECT_THROW(injector.hit("stage.body", std::string("a"), 1),
+                 StageError);
+    EXPECT_THROW(injector.hit("stage.body", std::string("b"), 1),
+                 StageError);
+    // Different base never matches.
+    injector.hit("sweep.merge", std::string("a"), 1);
+    EXPECT_EQ(injector.injectedTotal(), 2u);
+}
+
+TEST_F(FaultInjectorTest, StageErrorCarriesTaxonomy)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    FaultInjector::arm(FaultPlan::parse("stage.body:conv=throw"));
+    try {
+        FaultInjector::instance().hit("stage.body",
+                                      std::string("conv"), 17);
+        FAIL() << "expected StageError";
+    } catch (const StageError &error) {
+        EXPECT_EQ(error.kind(), FaultKind::thrown);
+        EXPECT_EQ(error.stage(), "conv");
+        EXPECT_EQ(error.window(), 17u);
+    }
+}
+
+TEST_F(FaultInjectorTest, CorruptSeedsAreDeterministicAndWindowed)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    const auto run = [] {
+        FaultInjector::arm(
+            FaultPlan::parse("seed=11, publish:out=corrupt@2x2"));
+        auto &injector = FaultInjector::instance();
+        std::vector<std::uint64_t> seeds;
+        const std::string buffer = "out";
+        for (int i = 0; i < 4; ++i)
+            seeds.push_back(injector.corruptSeed("publish", buffer));
+        FaultInjector::disarm();
+        return seeds;
+    };
+    const auto first = run();
+    const auto second = run();
+    EXPECT_EQ(first, second); // reproducible across arm cycles
+    EXPECT_EQ(first[0], 0u);  // hit 1: outside the window
+    EXPECT_NE(first[1], 0u);  // hits 2 and 3: firing
+    EXPECT_NE(first[2], 0u);
+    EXPECT_NE(first[1], first[2]); // distinct per-hit seeds
+    EXPECT_EQ(first[3], 0u);  // window exhausted
+}
+
+TEST_F(FaultInjectorTest, CorruptValueScramblesButStaysFinite)
+{
+    double value = 3.25;
+    EXPECT_TRUE(corruptValue(value, mix64(1) | 1));
+    EXPECT_NE(value, 3.25);
+    EXPECT_TRUE(std::isfinite(value));
+
+    std::vector<float> vec(8, 1.0F);
+    EXPECT_TRUE(corruptValue(vec, mix64(2) | 1));
+    int changed = 0;
+    for (const float element : vec) {
+        EXPECT_TRUE(std::isfinite(element));
+        if (element != 1.0F)
+            ++changed;
+    }
+    EXPECT_EQ(changed, 1); // exactly one element scrambled
+
+    std::uint32_t word = 7;
+    EXPECT_TRUE(corruptValue(word, mix64(3) | 1));
+    EXPECT_NE(word, 7u);
+}
+
+TEST_F(FaultInjectorTest, ArmedPlanIsIntrospectable)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    EXPECT_EQ(FaultInjector::instance().armedPlan(), "");
+    FaultInjector::arm(FaultPlan::parse("seed=5, stage.body=throw"));
+    EXPECT_NE(FaultInjector::instance().armedPlan().find("stage.body"),
+              std::string::npos);
+    FaultInjector::disarm();
+    EXPECT_EQ(FaultInjector::instance().armedPlan(), "");
+    EXPECT_FALSE(FaultInjector::armed());
+}
+
+} // namespace
+} // namespace anytime::fault

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SweepBarrier stress tests for the fault-containment extensions: the
+ * stall watchdog (expel absent workers, timed-out waiter becomes
+ * leader), leave()-during-stall interactions, and promote-on-leave
+ * under seeded injected delays. Extends the leaderActive regression
+ * coverage in test_parallel_stage.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_stage.hpp"
+#include "fault/fault.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SweepBarrierWatchdog, ExpelsStalledWorkerAndElectsLeader)
+{
+    // Workers 0 and 1 arrive; worker 2 never does. With a stall
+    // timeout, a timed-out waiter expels worker 2 and the window
+    // completes with exactly one leader among the survivors.
+    SweepBarrier barrier(3);
+    std::stop_source source;
+    std::atomic<int> leaders{0};
+    std::atomic<int> released{0};
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < 2; ++w) {
+        threads.emplace_back([&, w] {
+            const auto outcome =
+                barrier.arrive(w, source.get_token(), 30ms);
+            if (outcome == SweepBarrier::Outcome::leader) {
+                ++leaders;
+                barrier.release();
+            } else if (outcome == SweepBarrier::Outcome::released) {
+                ++released;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(leaders.load(), 1);
+    EXPECT_EQ(released.load(), 1);
+    EXPECT_EQ(barrier.expelledCount(), 1u);
+    const auto active = barrier.activeWorkers();
+    EXPECT_TRUE(active[0]);
+    EXPECT_TRUE(active[1]);
+    EXPECT_FALSE(active[2]);
+}
+
+TEST(SweepBarrierWatchdog, ExpelledWorkerObservesExpulsionAndLeaveIsNoop)
+{
+    SweepBarrier barrier(2);
+    std::stop_source source;
+    std::thread waiter([&] {
+        EXPECT_EQ(barrier.arrive(0, source.get_token(), 20ms),
+                  SweepBarrier::Outcome::leader);
+        barrier.release();
+    });
+    waiter.join();
+    ASSERT_EQ(barrier.expelledCount(), 1u);
+
+    // The stalled worker finally shows up: it must learn it was
+    // expelled and its leave() must not disturb the gang bookkeeping.
+    EXPECT_EQ(barrier.arrive(1, source.get_token()),
+              SweepBarrier::Outcome::expelled);
+    barrier.leave(1); // no-op
+    EXPECT_EQ(barrier.expelledCount(), 1u);
+
+    // The surviving gang of one keeps working.
+    for (int window = 0; window < 3; ++window) {
+        ASSERT_EQ(barrier.arrive(0, source.get_token(), 20ms),
+                  SweepBarrier::Outcome::leader);
+        barrier.release();
+    }
+}
+
+TEST(SweepBarrierWatchdog, LeaveDuringStallWindowPromotesWithoutExpulsion)
+{
+    // Workers 0 and 1 are blocked with the watchdog armed; worker 2
+    // leaves voluntarily well before the timeout. Promote-on-leave
+    // must open the barrier — the watchdog never needs to fire and
+    // nobody is expelled.
+    SweepBarrier barrier(3);
+    std::stop_source source;
+    std::atomic<int> leaders{0};
+    std::atomic<int> done{0};
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < 2; ++w) {
+        threads.emplace_back([&, w] {
+            const auto outcome =
+                barrier.arrive(w, source.get_token(), 500ms);
+            EXPECT_NE(outcome, SweepBarrier::Outcome::stopped);
+            EXPECT_NE(outcome, SweepBarrier::Outcome::expelled);
+            if (outcome == SweepBarrier::Outcome::leader) {
+                ++leaders;
+                barrier.release();
+            }
+            ++done;
+        });
+    }
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(done.load(), 0);
+    barrier.leave(2);
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(done.load(), 2);
+    EXPECT_EQ(barrier.expelledCount(), 0u);
+}
+
+TEST(SweepBarrierWatchdog, NeverExpelsWhileLeaderIsMerging)
+{
+    // Regression shape: a waiter is parked with a 150 ms watchdog
+    // while the elected leader "merges" for 600 ms — several watchdog
+    // periods. The watchdog must hold fire while leaderActive: the
+    // leader is not "absent", it is working outside the lock.
+    // Symmetric roles keep the election race-free (the last arriver
+    // is the leader, whichever thread that is); the watchdog is far
+    // above thread-spawn skew, so the pre-election wait never expels.
+    SweepBarrier barrier(2);
+    std::stop_source source;
+    std::atomic<bool> leaderDone{false};
+    std::atomic<int> leaders{0};
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < 2; ++w) {
+        threads.emplace_back([&, w] {
+            const auto outcome =
+                barrier.arrive(w, source.get_token(), 150ms);
+            if (outcome == SweepBarrier::Outcome::leader) {
+                ++leaders;
+                std::this_thread::sleep_for(600ms);
+                leaderDone = true;
+                barrier.release();
+            } else {
+                EXPECT_EQ(outcome, SweepBarrier::Outcome::released);
+                // The leader's release() must precede this wake-up.
+                EXPECT_TRUE(leaderDone.load());
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(leaders.load(), 1);
+    EXPECT_EQ(barrier.expelledCount(), 0u);
+}
+
+TEST(SweepBarrierStress, PromoteOnLeaveUnderInjectedDelays)
+{
+    // Four workers run many windows with deterministic per-(worker,
+    // window) injected delays; each worker leaves the gang for good at
+    // a staggered window. Every window must elect exactly one leader
+    // among the remaining workers, and leave() must promote any
+    // fully-arrived remainder (no hangs). The watchdog timeout is far
+    // above the injected delays, so nobody is ever expelled.
+    constexpr unsigned kWorkers = 4;
+    constexpr int kWindows = 60;
+    SweepBarrier barrier(kWorkers);
+    std::stop_source source;
+    std::vector<std::atomic<int>> leaders(kWindows);
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        threads.emplace_back([&, w] {
+            // Worker w departs after (w+1)/5 of the windows.
+            const int myLast = kWindows * static_cast<int>(w + 1) / 5;
+            for (int window = 0; window < myLast; ++window) {
+                const std::uint64_t jitter =
+                    fault::mix64((std::uint64_t{w} << 32) ^
+                                 static_cast<std::uint64_t>(window)) %
+                    200;
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(jitter));
+                const auto outcome =
+                    barrier.arrive(w, source.get_token(), 2s);
+                ASSERT_NE(outcome, SweepBarrier::Outcome::stopped);
+                ASSERT_NE(outcome, SweepBarrier::Outcome::expelled);
+                if (outcome == SweepBarrier::Outcome::leader) {
+                    ++leaders[window];
+                    barrier.release();
+                }
+            }
+            barrier.leave(w);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(barrier.expelledCount(), 0u);
+    // Every worker participates in every round until its departure, so
+    // local window counters equal global round numbers: each round up
+    // to the last worker's departure must elect exactly one leader
+    // (never zero — a hang — and never two), and no round runs after.
+    const int lastRound = kWindows * static_cast<int>(kWorkers) / 5;
+    for (int window = 0; window < kWindows; ++window) {
+        EXPECT_EQ(leaders[window].load(), window < lastRound ? 1 : 0)
+            << "window " << window;
+    }
+}
+
+} // namespace
+} // namespace anytime

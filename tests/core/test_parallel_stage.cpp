@@ -31,7 +31,7 @@ TEST(SweepBarrier, SingleWorkerIsAlwaysLeader)
     SweepBarrier barrier(1);
     std::stop_source source;
     for (int round = 0; round < 3; ++round) {
-        ASSERT_EQ(barrier.arrive(source.get_token()),
+        ASSERT_EQ(barrier.arrive(0, source.get_token()),
                   SweepBarrier::Outcome::leader);
         barrier.release();
     }
@@ -46,9 +46,10 @@ TEST(SweepBarrier, ExactlyOneLeaderPerWindow)
     std::vector<std::atomic<int>> leaders(kWindows);
     std::vector<std::thread> threads;
     for (unsigned w = 0; w < kWorkers; ++w) {
-        threads.emplace_back([&] {
+        threads.emplace_back([&, w] {
             for (int window = 0; window < kWindows; ++window) {
-                const auto outcome = barrier.arrive(source.get_token());
+                const auto outcome =
+                    barrier.arrive(w, source.get_token());
                 ASSERT_NE(outcome, SweepBarrier::Outcome::stopped);
                 if (outcome == SweepBarrier::Outcome::leader) {
                     ++leaders[window];
@@ -68,16 +69,16 @@ TEST(SweepBarrier, StopWakesWaitersAndRetractsArrival)
     SweepBarrier barrier(2);
     std::stop_source source;
     std::thread waiter([&] {
-        EXPECT_EQ(barrier.arrive(source.get_token()),
+        EXPECT_EQ(barrier.arrive(0, source.get_token()),
                   SweepBarrier::Outcome::stopped);
-        barrier.leave();
+        barrier.leave(0);
     });
     std::this_thread::sleep_for(20ms);
     source.request_stop();
     waiter.join();
     // The retracted arrival means this thread still elects as leader.
     std::stop_source fresh;
-    EXPECT_EQ(barrier.arrive(fresh.get_token()),
+    EXPECT_EQ(barrier.arrive(1, fresh.get_token()),
               SweepBarrier::Outcome::leader);
     barrier.release();
 }
@@ -91,9 +92,9 @@ TEST(SweepBarrier, LeavePromotesFullyArrivedRemainder)
     std::stop_source source;
     std::atomic<int> released{0};
     std::vector<std::thread> blocked;
-    for (int i = 0; i < 2; ++i) {
-        blocked.emplace_back([&] {
-            const auto outcome = barrier.arrive(source.get_token());
+    for (unsigned i = 0; i < 2; ++i) {
+        blocked.emplace_back([&, i] {
+            const auto outcome = barrier.arrive(i, source.get_token());
             EXPECT_NE(outcome, SweepBarrier::Outcome::stopped);
             if (outcome == SweepBarrier::Outcome::leader)
                 barrier.release();
@@ -102,7 +103,7 @@ TEST(SweepBarrier, LeavePromotesFullyArrivedRemainder)
     }
     std::this_thread::sleep_for(20ms);
     EXPECT_EQ(released.load(), 0);
-    barrier.leave();
+    barrier.leave(2);
     for (auto &thread : blocked)
         thread.join();
     EXPECT_EQ(released.load(), 2);
@@ -121,20 +122,20 @@ TEST(SweepBarrier, LeaveDuringLeaderMergeKeepsBarrierClosed)
 
     std::atomic<int> survivorReleased{0};
     std::thread survivor([&] {
-        EXPECT_EQ(barrier.arrive(keepRunning.get_token()),
+        EXPECT_EQ(barrier.arrive(0, keepRunning.get_token()),
                   SweepBarrier::Outcome::released);
         ++survivorReleased;
     });
     std::thread quitter([&] {
-        EXPECT_EQ(barrier.arrive(stopOne.get_token()),
+        EXPECT_EQ(barrier.arrive(1, stopOne.get_token()),
                   SweepBarrier::Outcome::stopped);
-        barrier.leave();
+        barrier.leave(1);
     });
 
     // Let both workers block, then arrive last: this thread is the
     // leader, now notionally merging outside the barrier lock.
     std::this_thread::sleep_for(20ms);
-    ASSERT_EQ(barrier.arrive(keepRunning.get_token()),
+    ASSERT_EQ(barrier.arrive(2, keepRunning.get_token()),
               SweepBarrier::Outcome::leader);
 
     // Mid-merge, one waiter stops and leaves the gang.

@@ -19,9 +19,10 @@ namespace {
 
 using namespace std::chrono_literals;
 
-TEST(ServerEdge, FailingPipelineReportsFailureNotHang)
+/** A pipeline that publishes one version, then throws mid-sweep. */
+ServiceRequest
+boomRequest()
 {
-    AnytimeServer server({.workers = 1});
     ServiceRequest request;
     request.name = "boom";
     request.deadline = 5s;
@@ -40,11 +41,37 @@ TEST(ServerEdge, FailingPipelineReportsFailureNotHang)
         pipeline.automaton = std::move(automaton);
         return pipeline;
     };
+    return request;
+}
 
-    auto future = server.submit(std::move(request));
+TEST(ServerEdge, FailingPipelineSalvagedDegradedByDefault)
+{
+    // Under the default quarantine policy a faulting pipeline that
+    // published is salvaged: the response carries the last good
+    // snapshot flagged degraded, plus the failure diagnostics.
+    AnytimeServer server({.workers = 1});
+    auto future = server.submit(boomRequest());
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    const ServiceResponse response = future.get();
+    EXPECT_EQ(response.status, ServiceStatus::degraded);
+    EXPECT_TRUE(response.degraded);
+    EXPECT_GT(response.versionsPublished, 0u);
+    ASSERT_FALSE(response.failures.empty());
+    EXPECT_NE(response.failures.front().find("stage exploded"),
+              std::string::npos);
+}
+
+TEST(ServerEdge, FailingPipelineFailsFastUnderStopAllPolicy)
+{
+    // stopAll restores the strict semantics: any stage fault fails
+    // the request, published versions notwithstanding.
+    AnytimeServer server(
+        {.workers = 1, .pipelineFaultPolicy = FaultPolicy::stopAll});
+    auto future = server.submit(boomRequest());
     ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
     const ServiceResponse response = future.get();
     EXPECT_EQ(response.status, ServiceStatus::failed);
+    EXPECT_FALSE(response.degraded);
     ASSERT_FALSE(response.failures.empty());
     EXPECT_NE(response.failures.front().find("stage exploded"),
               std::string::npos);
