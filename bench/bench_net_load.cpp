@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Network serving overhead: time-to-first-version over loopback.
+ *
+ * The anytime contract's service-level promise is a *useful answer
+ * early*; the wire must not eat that earliness. This bench runs the
+ * same deterministic counter pipeline two ways:
+ *
+ *  - in process: requests submitted straight into an AnytimeServer,
+ *    first-version latency taken from ServiceResponse (the version
+ *    sink timestamps the first publish at dispatch);
+ *  - loopback: the same requests through the epoll front-end and the
+ *    binary streaming protocol, first-version latency measured by the
+ *    client from request write to the first VERSION frame.
+ *
+ * Both phases use the same closed-loop client structure with seeded
+ * exponential think time (--arrival-seed). Reported: t90 of
+ * time-to-first-version per phase and the net/in-process ratio — the
+ * acceptance bar is the wire staying within 2x of in-process.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/catalog.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/server.hpp"
+#include "support/sync.hpp"
+
+using namespace anytime;
+using namespace anytime::net;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Workload
+{
+    /** Counter input spec "steps:step_us:publish_period". */
+    std::string input;
+    unsigned clients = 4;
+    unsigned perClient = 6;
+    unsigned stageWorkers = 1;
+    std::uint64_t arrivalSeed = 0x5eed;
+    /** Mean think time between a client's requests. */
+    std::chrono::microseconds meanGap{2000};
+};
+
+/** Nearest-rank percentile of @p samples (copied; small vectors). */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    return samples[std::min(rank == 0 ? 0 : rank - 1,
+                            samples.size() - 1)];
+}
+
+/** Closed-loop client think time, seeded per client for replay. */
+std::chrono::duration<double>
+thinkTime(std::mt19937_64 &rng, const Workload &load)
+{
+    std::exponential_distribution<double> gap(
+        1.0 /
+        std::chrono::duration<double>(load.meanGap).count());
+    return std::chrono::duration<double>(gap(rng));
+}
+
+/** Phase 1: straight into the service, no sockets. */
+std::vector<double>
+runInProcess(const PipelineCatalog &catalog, const Workload &load)
+{
+    AnytimeServer server({.workers = 4, .maxQueueDepth = 64});
+    Mutex mutex;
+    std::vector<double> firsts;
+    std::vector<std::thread> sessions;
+    for (unsigned client = 0; client < load.clients; ++client) {
+        sessions.emplace_back([&, client] {
+            std::mt19937_64 rng(load.arrivalSeed + client);
+            for (unsigned i = 0; i < load.perClient; ++i) {
+                NetRequestParams params;
+                params.input = load.input;
+                params.deadline = 10s;
+                params.stageWorkers = load.stageWorkers;
+                ServiceRequest request;
+                request.name = "counter";
+                request.deadline = params.deadline;
+                request.stageWorkers = params.stageWorkers;
+                request.factory =
+                    catalog.build("counter", params).factory;
+                const ServiceResponse response =
+                    server.submit(std::move(request)).get();
+                if (!std::isnan(response.firstVersionSeconds)) {
+                    MutexLock lock(mutex);
+                    firsts.push_back(response.firstVersionSeconds);
+                }
+                std::this_thread::sleep_for(thinkTime(rng, load));
+            }
+        });
+    }
+    for (auto &session : sessions)
+        session.join();
+    server.drain();
+    return firsts;
+}
+
+/** Phase 2: the same closed loop through the epoll front-end. */
+std::vector<double>
+runLoopback(std::shared_ptr<PipelineCatalog> catalog,
+            const Workload &load)
+{
+    NetServerConfig config;
+    config.catalog = std::move(catalog);
+    config.service.workers = 4;
+    config.service.maxQueueDepth = 64;
+    // Coalescing off: every request must pay the full wire round
+    // trip, or the overhead measurement would be flattered.
+    config.coalesce = false;
+    NetServer server(std::move(config));
+
+    ClientOptions options;
+    options.port = server.port();
+    options.timeout = 15000ms;
+
+    Mutex mutex;
+    std::vector<double> firsts;
+    std::vector<std::thread> sessions;
+    for (unsigned client = 0; client < load.clients; ++client) {
+        sessions.emplace_back([&, client] {
+            std::mt19937_64 rng(load.arrivalSeed + client);
+            for (unsigned i = 0; i < load.perClient; ++i) {
+                RequestFrame request;
+                request.pipeline = "counter";
+                request.input = load.input;
+                request.deadlineMicros = 10000000;
+                request.stageWorkers = load.stageWorkers;
+                const ClientResult result =
+                    runRequest(options, request);
+                if (result.ok &&
+                    !std::isnan(result.firstVersionSeconds)) {
+                    MutexLock lock(mutex);
+                    firsts.push_back(result.firstVersionSeconds);
+                }
+                std::this_thread::sleep_for(thinkTime(rng, load));
+            }
+        });
+    }
+    for (auto &session : sessions)
+        session.join();
+    return firsts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = parseScale(argc, argv);
+    Workload load;
+    load.clients = parseUnsignedOption(argc, argv, "--clients", 4);
+    load.perClient =
+        parseUnsignedOption(argc, argv, "--per-client", 6);
+    load.stageWorkers =
+        parseUnsignedOption(argc, argv, "--stage-workers", 1);
+    // --arrival-seed <n>: reseed the closed-loop think-time schedule
+    // (both phases replay the same schedule for a fair comparison).
+    load.arrivalSeed = parseUnsignedOption(argc, argv, "--arrival-seed",
+                                           0x5eed);
+    const std::string json_path =
+        parseStringOption(argc, argv, "--json");
+
+    // The counter runs steps * step_us of work and publishes its
+    // first version after one publish period — sized so compute, not
+    // the wire, dominates time-to-first-version at every scale.
+    const auto steps =
+        static_cast<unsigned long>(scaledExtent(256, scale));
+    load.input = std::to_string(steps) + ":100:" +
+                 std::to_string(std::max<unsigned long>(steps / 8, 1));
+
+    printBanner("anytime streaming over loopback",
+                "no paper figure: serving-layer extension; the wire "
+                "must keep the first useful answer early");
+    std::cout << "counter " << load.input << ", " << load.clients
+              << " clients x " << load.perClient << " requests, seed "
+              << load.arrivalSeed << ", " << load.stageWorkers
+              << " worker(s) per stage\n\n";
+
+    auto catalog = std::make_shared<PipelineCatalog>();
+    registerCounterPipeline(*catalog);
+
+    const std::vector<double> inproc = runInProcess(*catalog, load);
+    const std::vector<double> netted = runLoopback(catalog, load);
+
+    const double inproc_t90_ms = percentile(inproc, 90) * 1e3;
+    const double net_t90_ms = percentile(netted, 90) * 1e3;
+    const double ratio =
+        inproc_t90_ms > 0.0 ? net_t90_ms / inproc_t90_ms
+                            : std::numeric_limits<double>::quiet_NaN();
+
+    std::printf("%-12s %10s %10s\n", "phase", "samples",
+                "t90_first_ms");
+    std::printf("%-12s %10zu %10.3f\n", "in-process", inproc.size(),
+                inproc_t90_ms);
+    std::printf("%-12s %10zu %10.3f\n", "loopback", netted.size(),
+                net_t90_ms);
+    std::printf("\nnet/in-process t90 ratio: %.2fx (acceptance bar: "
+                "within 2x)\n",
+                ratio);
+
+    if (!json_path.empty()) {
+        std::FILE *out = std::fopen(json_path.c_str(), "w");
+        if (!out) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        std::fprintf(out, "{\n");
+        std::fprintf(out, "  \"bench\": \"net_load\",\n");
+        std::fprintf(out, "  \"input\": \"%s\",\n",
+                     load.input.c_str());
+        std::fprintf(out, "  \"clients\": %u,\n", load.clients);
+        std::fprintf(out, "  \"per_client\": %u,\n", load.perClient);
+        std::fprintf(out, "  \"arrival_seed\": %llu,\n",
+                     static_cast<unsigned long long>(load.arrivalSeed));
+        std::fprintf(out, "  \"inproc_samples\": %zu,\n",
+                     inproc.size());
+        std::fprintf(out, "  \"net_samples\": %zu,\n", netted.size());
+        std::fprintf(out, "  \"inproc_t90_first_ms\": %.6f,\n",
+                     inproc_t90_ms);
+        std::fprintf(out, "  \"net_t90_first_ms\": %.6f,\n",
+                     net_t90_ms);
+        std::fprintf(out, "  \"ratio\": %.6f\n", ratio);
+        std::fprintf(out, "}\n");
+        std::fclose(out);
+        std::cout << "json written to " << json_path << "\n";
+    }
+
+    // Lost samples mean requests that never streamed a version —
+    // report rather than silently shrinking the percentile base.
+    const std::size_t expected = std::size_t{load.clients} * load.perClient;
+    if (inproc.size() < expected || netted.size() < expected)
+        std::cout << "note: " << (expected - inproc.size())
+                  << " in-process / " << (expected - netted.size())
+                  << " loopback request(s) produced no version\n";
+    return 0;
+}

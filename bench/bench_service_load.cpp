@@ -18,6 +18,7 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <random>
 #include <thread>
@@ -64,6 +65,22 @@ conv2dRequest(const GrayImage &scene, std::chrono::nanoseconds deadline,
                          publish_count);
         };
         pipeline.versionCount = [out] { return out->version(); };
+        // Metadata-only sink wiring: with attachSink present the
+        // server timestamps the first published version, so the
+        // t90_first_ms column in the report tables is live.
+        pipeline.attachSink = [out, publish_count](VersionSink sink) {
+            out->addObserver([sink = std::move(sink), publish_count](
+                                 const Snapshot<GrayImage> &snap) {
+                VersionUpdate update;
+                update.version = snap.version;
+                update.final = snap.final;
+                update.degraded = snap.degraded;
+                update.quality = std::min(
+                    1.0,
+                    static_cast<double>(snap.version) / publish_count);
+                sink(update);
+            });
+        };
         pipeline.automaton = std::move(bundle.automaton);
         return pipeline;
     };
@@ -94,6 +111,19 @@ kmeansRequest(const RgbImage &scene, std::chrono::nanoseconds deadline,
                          publish_count);
         };
         pipeline.versionCount = [out] { return out->version(); };
+        pipeline.attachSink = [out, publish_count](VersionSink sink) {
+            out->addObserver([sink = std::move(sink), publish_count](
+                                 const Snapshot<KmeansResult> &snap) {
+                VersionUpdate update;
+                update.version = snap.version;
+                update.final = snap.final;
+                update.degraded = snap.degraded;
+                update.quality = std::min(
+                    1.0,
+                    static_cast<double>(snap.version) / publish_count);
+                sink(update);
+            });
+        };
         pipeline.automaton = std::move(bundle.automaton);
         return pipeline;
     };
@@ -130,10 +160,11 @@ runClosedLoop(const std::string &workload, const RequestMaker &make,
 /** Open loop: @p total arrivals, exponential @p mean_gap spacing. */
 void
 runOpenLoop(const std::string &workload, const RequestMaker &make,
-            unsigned total, std::chrono::nanoseconds mean_gap)
+            unsigned total, std::chrono::nanoseconds mean_gap,
+            std::uint64_t arrival_seed)
 {
     AnytimeServer server({.workers = 4, .maxQueueDepth = 16});
-    std::mt19937_64 rng(0x5eed5eedULL);
+    std::mt19937_64 rng(arrival_seed);
     std::exponential_distribution<double> gap(
         1.0 / std::chrono::duration<double>(mean_gap).count());
 
@@ -176,6 +207,14 @@ main(int argc, char **argv)
     // so admission prediction accounts for the wider footprint.
     const unsigned stage_workers =
         parseUnsignedOption(argc, argv, "--stage-workers", 1);
+    // --arrival-seed <n>: reseed the open-loop arrival schedule for a
+    // different but equally reproducible interleaving (the default
+    // replays the historical fixed schedule).
+    const std::string arrival_seed_arg =
+        parseStringOption(argc, argv, "--arrival-seed");
+    const std::uint64_t arrival_seed =
+        arrival_seed_arg.empty() ? 0x5eed5eedULL
+                                 : std::stoull(arrival_seed_arg);
     // --fault-plan <file|spec>: arm the deterministic fault injector
     // for the whole run (chaos mode; see DESIGN.md section 12 for the
     // grammar, e.g. "stage.body:conv2d.sweep=throw@3"). --chaos-seed
@@ -207,7 +246,8 @@ main(int argc, char **argv)
     const RgbImage color_scene = generateColorScene(extent, extent, 13);
     std::cout << "scene: " << extent << "x" << extent
               << ", deadline mix 5/20/80 ms, pool of 4 workers, "
-              << stage_workers << " worker(s) per stage\n\n";
+              << stage_workers << " worker(s) per stage, arrival seed "
+              << arrival_seed << "\n\n";
 
     const RequestMaker conv = [&](std::chrono::nanoseconds deadline) {
         return conv2dRequest(gray_scene, deadline, stage_workers);
@@ -218,8 +258,10 @@ main(int argc, char **argv)
 
     runClosedLoop("conv2d", conv, /*clients=*/4, /*per_client=*/8);
     runClosedLoop("kmeans", kmeans, /*clients=*/4, /*per_client=*/8);
-    runOpenLoop("conv2d", conv, /*total=*/48, /*mean_gap=*/4ms);
-    runOpenLoop("kmeans", kmeans, /*total=*/48, /*mean_gap=*/4ms);
+    runOpenLoop("conv2d", conv, /*total=*/48, /*mean_gap=*/4ms,
+                arrival_seed);
+    runOpenLoop("kmeans", kmeans, /*total=*/48, /*mean_gap=*/4ms,
+                arrival_seed);
 
     std::cout << "\nopen-loop arrivals outpace the pool on purpose: "
                  "admission control converts most of the overload into "

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reference client for the anytime streaming protocol.
+ *
+ * Sends one request and renders the stream as it arrives: each
+ * VERSION frame is a complete, monotonically better answer (printed
+ * with its quality bound), and the DONE frame carries the same QoR
+ * metadata an in-process caller would get. Kill the process mid-stream
+ * and the server cancels the request — the versions already printed
+ * were all valid answers.
+ *
+ * Pair with examples/anytime_net_server:
+ *
+ *     anytime_net_server --port 8787 &
+ *     anytime_net_client --port 8787 --input 400:5000:20
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/client.hpp"
+#include "service/request.hpp"
+
+using namespace anytime;
+using namespace anytime::net;
+using namespace std::chrono_literals;
+
+namespace {
+
+/** Parse a `--flag <value>` string option; empty when absent. */
+std::string
+stringOption(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --host/--port: where the server listens. --pipeline/--input:
+    // catalog name and its input spec ("steps[:step_us[:publish]]"
+    // for the built-in counter). --deadline-ms/--min-quality: the QoS
+    // contract that rides in the request header.
+    ClientOptions options;
+    const std::string host = stringOption(argc, argv, "--host");
+    if (!host.empty())
+        options.host = host;
+    const std::string port_text = stringOption(argc, argv, "--port");
+    options.port = port_text.empty()
+                       ? 8787
+                       : static_cast<std::uint16_t>(
+                             std::atoi(port_text.c_str()));
+    options.timeout = 30000ms;
+
+    RequestFrame request;
+    const std::string pipeline =
+        stringOption(argc, argv, "--pipeline");
+    request.pipeline = pipeline.empty() ? "counter" : pipeline;
+    request.input = stringOption(argc, argv, "--input");
+    if (request.input.empty())
+        request.input = "400:5000:20"; // ~2 s, a version every 100 ms
+    const std::string deadline_text =
+        stringOption(argc, argv, "--deadline-ms");
+    request.deadlineMicros =
+        deadline_text.empty()
+            ? 10000000
+            : static_cast<std::uint64_t>(
+                  std::atof(deadline_text.c_str()) * 1e3);
+    const std::string quality_text =
+        stringOption(argc, argv, "--min-quality");
+    if (!quality_text.empty())
+        request.minQuality = std::atof(quality_text.c_str());
+
+    std::cout << "requesting " << request.pipeline << "('"
+              << request.input << "') from " << options.host << ":"
+              << options.port << "\n";
+
+    const ClientResult result = runRequest(
+        options, request, [](const VersionFrame &frame) {
+            std::cout << "  version " << frame.version << ": "
+                      << (frame.payload.size() > 64
+                              ? frame.payload.substr(0, 64) + "..."
+                              : frame.payload);
+            if (!std::isnan(frame.quality))
+                std::cout << "  (quality " << frame.quality << ")";
+            if (frame.final)
+                std::cout << "  [final]";
+            if (frame.degraded)
+                std::cout << "  [degraded]";
+            std::cout << "\n";
+            return true; // keep streaming
+        });
+
+    if (!result.ok) {
+        std::cerr << "stream failed: " << result.error << "\n";
+        return 1;
+    }
+    if (result.done) {
+        const DoneFrame &done = *result.done;
+        std::cout << "done: "
+                  << serviceStatusName(
+                         static_cast<ServiceStatus>(done.status))
+                  << ", " << done.versionsPublished
+                  << " version(s) in " << done.totalSeconds * 1e3
+                  << " ms, first after "
+                  << result.firstVersionSeconds * 1e3 << " ms"
+                  << (done.reachedPrecise ? " (precise)"
+                                          : " (approximate)")
+                  << "\n";
+    }
+    return 0;
+}

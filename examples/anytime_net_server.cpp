@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Standalone anytime streaming server over TCP.
+ *
+ * Serves the deterministic "counter" pipeline through both doors of
+ * the network front-end on one listener:
+ *
+ *  - the binary streaming protocol (see src/net/wire.hpp) used by
+ *    examples/anytime_net_client;
+ *  - HTTP: GET /stream (Server-Sent Events), /metrics (Prometheus),
+ *    /healthz, /pipelines — try it with curl:
+ *
+ *      curl -N 'http://127.0.0.1:8787/stream?pipeline=counter&input=400:5000:20&deadline_ms=5000'
+ *
+ * Every version the pipeline publishes streams out the moment it
+ * lands; a client that disconnects mid-stream cancels its request
+ * server-side. That is the anytime contract over the wire: each frame
+ * received is a valid answer, and patience buys accuracy.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/catalog.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+using namespace anytime;
+using namespace anytime::net;
+using namespace std::chrono_literals;
+
+namespace {
+
+/** Parse a `--flag <value>` string option; empty when absent. */
+std::string
+stringOption(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --port <n>: listen port (default 8787; 0 picks an ephemeral
+    // port, printed at startup). --duration <s>: serve for a fixed
+    // time then exit (default: until stdin closes — Ctrl-D or Enter).
+    const std::string port_text = stringOption(argc, argv, "--port");
+    const std::string duration_text =
+        stringOption(argc, argv, "--duration");
+    const std::string workers_text =
+        stringOption(argc, argv, "--workers");
+
+    NetServerConfig config;
+    config.port = port_text.empty()
+                      ? 8787
+                      : static_cast<std::uint16_t>(
+                            std::atoi(port_text.c_str()));
+    config.service.workers =
+        workers_text.empty()
+            ? 4
+            : static_cast<unsigned>(
+                  std::max(1, std::atoi(workers_text.c_str())));
+    config.catalog = std::make_shared<PipelineCatalog>();
+    registerCounterPipeline(*config.catalog);
+    config.metricsRegistry = &obs::defaultRegistry();
+
+    NetServer server(std::move(config));
+    std::cout << "anytime streaming server on 127.0.0.1:"
+              << server.port() << "\n"
+              << "  binary protocol: examples/anytime_net_client "
+                 "--port "
+              << server.port() << "\n"
+              << "  SSE:     curl -N 'http://127.0.0.1:" << server.port()
+              << "/stream?pipeline=counter&input=400:5000:20"
+                 "&deadline_ms=5000'\n"
+              << "  metrics: curl http://127.0.0.1:" << server.port()
+              << "/metrics\n";
+
+    if (!duration_text.empty()) {
+        const double seconds = std::atof(duration_text.c_str());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+    } else {
+        std::cout << "press Enter (or close stdin) to stop\n";
+        std::string line;
+        std::getline(std::cin, line);
+    }
+
+    const ServiceMetrics metrics = server.service().metricsSnapshot();
+    std::cout << "served " << metrics.served() << " of "
+              << metrics.total() << " request(s); bye\n";
+    return 0;
+}

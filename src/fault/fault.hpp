@@ -23,7 +23,10 @@
  *    `sweep.merge:<stage>` (partitioned-sweep leader merge),
  *    `pool.dispatch` (WorkerPool task dispatch), `publish:<buffer>`
  *    (VersionedBuffer publish, corrupt only, approximate versions
- *    only), `service.build` (AnytimeServer pipeline build).
+ *    only), `service.build` (AnytimeServer pipeline build),
+ *    `net.write:<peer>` (one hit per socket write on the network
+ *    reactor — a thrown fault severs that connection mid-stream, which
+ *    must cancel the orphaned request like a client disconnect).
  *  - Kinds map onto the FaultKind taxonomy in support/error.hpp:
  *    `throw` raises StageError, `stall`/`overrun` sleep for delay_ms
  *    (stall defaults to 100 ms — long enough to trip a watchdog —

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Named-pipeline catalog: the server side of the wire request.
+ *
+ * A RequestFrame names a pipeline and carries an opaque input spec;
+ * the catalog turns that pair into a ServiceRequest factory whose
+ * PreparedPipeline streams its versions (attachSink wired to the
+ * output buffer). This is the only place the network layer learns
+ * about concrete pipelines — everything else moves opaque payload
+ * bytes — so applications extend the server by registering handlers,
+ * never by touching the reactor.
+ *
+ * Handlers reject malformed input by throwing; the server maps the
+ * exception onto an ERROR frame (or HTTP 400) without tearing down
+ * the connection's peer requests.
+ *
+ * registerCounterPipeline() installs the deterministic slow-counter
+ * pipeline ("counter") used by the loopback tests, the chaos suite,
+ * and the examples: no application dependencies, controllable
+ * duration, and a payload (the count rendered in decimal) whose
+ * per-version bytes are reproducible bit-for-bit in process.
+ */
+
+#ifndef ANYTIME_NET_CATALOG_HPP
+#define ANYTIME_NET_CATALOG_HPP
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/request.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::net {
+
+/** Decoded request parameters handed to a catalog handler. */
+struct NetRequestParams
+{
+    /** Opaque input spec from the RequestFrame (handler-defined). */
+    std::string input;
+    /** Deadline relative to receipt. */
+    std::chrono::nanoseconds deadline{std::chrono::seconds(1)};
+    /** Minimum acceptable quality in [0, 1]. */
+    double minQuality = 0.0;
+    /** Declared gang width (admission hint). */
+    unsigned stageWorkers = 1;
+};
+
+/**
+ * What a handler returns: a pipeline factory whose PreparedPipeline
+ * has attachSink wired, so every published version streams.
+ */
+struct NetPipeline
+{
+    std::function<PreparedPipeline()> factory;
+};
+
+/**
+ * Thread-safe name -> handler registry. Handlers run on the reactor
+ * thread and must be fast; the returned factory runs on the service
+ * scheduler thread at dispatch time (where the real work of building
+ * the automaton belongs). A handler throws (std::exception) to reject
+ * its input.
+ */
+class PipelineCatalog
+{
+  public:
+    using Handler =
+        std::function<NetPipeline(const NetRequestParams &params)>;
+
+    /** Register @p handler under @p name (replaces any previous). */
+    void add(const std::string &name, Handler handler);
+
+    /**
+     * Build the pipeline @p name for @p params. Throws
+     * std::invalid_argument for an unknown name and propagates
+     * whatever the handler throws for a bad input spec.
+     */
+    NetPipeline build(const std::string &name,
+                      const NetRequestParams &params) const;
+
+    /** True iff @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Registered pipeline names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable Mutex mutex;
+    std::map<std::string, Handler> handlers ANYTIME_GUARDED_BY(mutex);
+};
+
+/**
+ * Install the dependency-free "counter" pipeline. Input spec:
+ * "steps[:step_us[:publish_period]]" (defaults 64:200:steps/32). Each
+ * published version's payload is the count in decimal; quality is
+ * count/steps, so min-quality early stopping is exercisable over the
+ * wire.
+ */
+void registerCounterPipeline(PipelineCatalog &catalog);
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_CATALOG_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Blocking loopback client for the anytime streaming protocol.
+ *
+ * Used by the tests, the net bench, and the example CLI — it is a
+ * reference consumer, not a production SDK. runRequest() opens a
+ * connection, sends the magic + REQUEST frame, and surfaces every
+ * VERSION frame through an optional callback as it arrives (the
+ * anytime contract on the client side: act on the current best
+ * answer, upgrade when a better one lands). The callback returning
+ * false severs the connection immediately — how the tests exercise
+ * the server's disconnect-as-cancel path mid-stream.
+ *
+ * All reads are poll()-bounded by the configured timeout, so a dead
+ * server fails the call instead of hanging a test.
+ */
+
+#ifndef ANYTIME_NET_CLIENT_HPP
+#define ANYTIME_NET_CLIENT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace anytime::net {
+
+/** Where and how patiently to connect. */
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Bound on connect and on each read wait. */
+    std::chrono::milliseconds timeout{5000};
+};
+
+/** Everything one streamed request produced. */
+struct ClientResult
+{
+    /** True when the stream ended cleanly (DONE) or was deliberately
+     *  severed by the version callback. */
+    bool ok = false;
+    /** Failure description when !ok (connect/timeout/protocol). */
+    std::string error;
+    /** True when the version callback asked to sever mid-stream. */
+    bool severed = false;
+    /** Server ERROR frame payload, when one arrived. */
+    std::optional<std::string> serverError;
+    std::optional<AcceptedFrame> accepted;
+    /** Every version received, in arrival order. */
+    std::vector<VersionFrame> versions;
+    std::optional<DoneFrame> done;
+    /** Seconds from the request write to the first VERSION frame
+     *  (client-observed; NaN when none arrived). */
+    double firstVersionSeconds =
+        std::numeric_limits<double>::quiet_NaN();
+};
+
+/**
+ * Run one streamed request to completion (or severance). @p onVersion
+ * (optional) sees each VERSION frame as it arrives; returning false
+ * closes the socket immediately.
+ */
+ClientResult
+runRequest(const ClientOptions &options, const RequestFrame &request,
+           const std::function<bool(const VersionFrame &frame)>
+               &onVersion = nullptr);
+
+/** One plain HTTP exchange against the same listener. */
+struct HttpResult
+{
+    bool ok = false;
+    std::string error;
+    int status = 0;
+    /** Response headers, names lower-cased. */
+    std::map<std::string, std::string> headers;
+    /** Body, de-chunked when the response was chunked. */
+    std::string body;
+};
+
+/** Blocking GET of @p target (e.g. "/metrics"). */
+HttpResult httpGet(const ClientOptions &options,
+                   const std::string &target);
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_CLIENT_HPP

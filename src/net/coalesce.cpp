@@ -1,0 +1,128 @@
+#include "net/coalesce.hpp"
+
+#include <algorithm>
+
+namespace anytime::net {
+
+std::size_t
+StreamEntry::attach(const std::shared_ptr<StreamSubscriber> &subscriber)
+{
+    MutexLock lock(mutex);
+    ++attached;
+    // Replay the current best approximation first: a late joiner
+    // starts from where the stream is, not from silence.
+    if (latest)
+        subscriber->onVersion(*latest);
+    if (done) {
+        subscriber->onDone(*done);
+        return 0; // complete replay; nothing live to subscribe to
+    }
+    subscribers.push_back(subscriber);
+    return subscribers.size();
+}
+
+std::pair<std::size_t, bool>
+StreamEntry::detach(const std::shared_ptr<StreamSubscriber> &subscriber)
+{
+    MutexLock lock(mutex);
+    subscribers.erase(
+        std::remove(subscribers.begin(), subscribers.end(), subscriber),
+        subscribers.end());
+    return {subscribers.size(), done.has_value()};
+}
+
+void
+StreamEntry::publish(const VersionFrame &frame)
+{
+    MutexLock lock(mutex);
+    if (done)
+        return;
+    if (latest) {
+        // Monotone guard: drop stale re-publishes. Equal version with
+        // the final flag is the degraded-final upgrade — let it pass.
+        if (frame.version < latest->version)
+            return;
+        if (frame.version == latest->version &&
+            !(frame.final && !latest->final))
+            return;
+    }
+    latest = frame;
+    for (const auto &subscriber : subscribers)
+        subscriber->onVersion(frame);
+}
+
+void
+StreamEntry::finish(const DoneFrame &frame)
+{
+    std::vector<std::shared_ptr<StreamSubscriber>> notify;
+    {
+        MutexLock lock(mutex);
+        if (done)
+            return;
+        done = frame;
+        notify.swap(subscribers);
+    }
+    // Outside the lock: onDone commonly triggers a connection flush
+    // and nothing may publish into this entry anymore.
+    for (const auto &subscriber : notify)
+        subscriber->onDone(frame);
+}
+
+bool
+StreamEntry::finished() const
+{
+    MutexLock lock(mutex);
+    return done.has_value();
+}
+
+std::uint64_t
+StreamEntry::requestId() const
+{
+    MutexLock lock(mutex);
+    return id;
+}
+
+void
+StreamEntry::setRequestId(std::uint64_t value)
+{
+    MutexLock lock(mutex);
+    id = value;
+}
+
+std::size_t
+StreamEntry::attachCount() const
+{
+    MutexLock lock(mutex);
+    return attached;
+}
+
+CoalesceMap::FindResult
+CoalesceMap::findOrCreate(const StreamKey &key)
+{
+    MutexLock lock(mutex);
+    const auto it = entries.find(key);
+    if (it != entries.end())
+        return {it->second, false};
+    auto entry = std::make_shared<StreamEntry>();
+    entries.emplace(key, entry);
+    return {entry, true};
+}
+
+void
+CoalesceMap::remove(const StreamKey &key,
+                    const std::shared_ptr<StreamEntry> &entry)
+{
+    MutexLock lock(mutex);
+    const auto it = entries.find(key);
+    if (it != entries.end() && it->second == entry)
+        entries.erase(it);
+}
+
+std::size_t
+CoalesceMap::size() const
+{
+    MutexLock lock(mutex);
+    return entries.size();
+}
+
+} // namespace anytime::net

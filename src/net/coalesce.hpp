@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Request coalescing: one pipeline build fans out to every subscriber.
+ *
+ * Identical in-flight requests (same pipeline, input, deadline,
+ * quality floor, and gang width — the full request identity, stricter
+ * than the pipeline+input pair alone so no client silently inherits
+ * another's deadline) share a single StreamEntry. The first arrival
+ * builds and submits the pipeline; later arrivals attach as extra
+ * subscribers and immediately replay the latest cached version, so a
+ * late joiner starts from the current best approximation — the anytime
+ * contract applied to fan-out.
+ *
+ * A StreamEntry outlives its subscribers: version updates arrive on
+ * the publishing worker thread, completion on the service scheduler
+ * thread, attach/detach on the reactor thread. All transitions are
+ * serialized by the entry mutex; the monotone guard drops duplicate or
+ * stale versions (markDegradedFinal re-notifies the last version with
+ * the final flag — subscribers see that exactly once, as an upgrade).
+ *
+ * Detach returning zero with the stream unfinished is the
+ * disconnect-as-cancel signal: no client is listening, so the server
+ * cancels the underlying request instead of computing into the void.
+ */
+
+#ifndef ANYTIME_NET_COALESCE_HPP
+#define ANYTIME_NET_COALESCE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::net {
+
+/** A consumer of one result stream (a connection, or a test probe). */
+class StreamSubscriber
+{
+  public:
+    virtual ~StreamSubscriber() = default;
+
+    /** One published version. May run on any producer thread; must be
+     *  fast and must not call back into the coalesce layer. */
+    virtual void onVersion(const VersionFrame &frame) = 0;
+
+    /** Terminal disposition; the last callback this stream makes. */
+    virtual void onDone(const DoneFrame &frame) = 0;
+};
+
+/** Full request identity: requests coalesce only when ALL of it
+ *  matches. */
+struct StreamKey
+{
+    std::string pipeline;
+    std::string input;
+    std::uint64_t deadlineMicros = 0;
+    double minQuality = 0.0;
+    std::uint32_t stageWorkers = 1;
+
+    auto
+    tied() const
+    {
+        return std::tie(pipeline, input, deadlineMicros, minQuality,
+                        stageWorkers);
+    }
+
+    bool operator<(const StreamKey &other) const
+    {
+        return tied() < other.tied();
+    }
+};
+
+/** One coalesced in-flight request and its subscriber fan-out. */
+class StreamEntry
+{
+  public:
+    /**
+     * Add @p subscriber, replaying the cached latest version and — if
+     * the stream already completed — the done frame. Returns the
+     * subscriber count after attach (0 when the stream was already
+     * done: the subscriber got the full replay and was not retained).
+     */
+    std::size_t attach(const std::shared_ptr<StreamSubscriber> &subscriber);
+
+    /**
+     * Remove @p subscriber. Returns {remaining subscribers, finished}:
+     * remaining == 0 && !finished means nobody is listening to a live
+     * request — the caller should cancel it.
+     */
+    std::pair<std::size_t, bool>
+    detach(const std::shared_ptr<StreamSubscriber> &subscriber);
+
+    /** Fan @p frame out to subscribers (monotone-guarded, cached). */
+    void publish(const VersionFrame &frame);
+
+    /** Terminal fan-out; releases the subscriber list. Idempotent. */
+    void finish(const DoneFrame &frame);
+
+    /** True once finish() ran. */
+    bool finished() const;
+
+    /** The service request id backing this stream (0 until known). */
+    std::uint64_t requestId() const;
+    void setRequestId(std::uint64_t id);
+
+    /** Subscribers attached over the entry's lifetime (stats). */
+    std::size_t attachCount() const;
+
+  private:
+    mutable Mutex mutex;
+    std::vector<std::shared_ptr<StreamSubscriber>> subscribers
+        ANYTIME_GUARDED_BY(mutex);
+    std::optional<VersionFrame> latest ANYTIME_GUARDED_BY(mutex);
+    std::optional<DoneFrame> done ANYTIME_GUARDED_BY(mutex);
+    std::uint64_t id ANYTIME_GUARDED_BY(mutex) = 0;
+    std::size_t attached ANYTIME_GUARDED_BY(mutex) = 0;
+};
+
+/** Key -> live StreamEntry map (find-or-create on request arrival). */
+class CoalesceMap
+{
+  public:
+    struct FindResult
+    {
+        std::shared_ptr<StreamEntry> entry;
+        /** True when this call created the entry (caller submits). */
+        bool created = false;
+    };
+
+    /** The live entry for @p key, creating one if absent. */
+    FindResult findOrCreate(const StreamKey &key);
+
+    /**
+     * Remove @p key if it still maps to @p entry (guards against a
+     * racing replacement). Safe to call twice (completion and
+     * disconnect paths both remove).
+     */
+    void remove(const StreamKey &key,
+                const std::shared_ptr<StreamEntry> &entry);
+
+    /** Live (unfinished) entries currently tracked. */
+    std::size_t size() const;
+
+  private:
+    mutable Mutex mutex;
+    std::map<StreamKey, std::shared_ptr<StreamEntry>> entries
+        ANYTIME_GUARDED_BY(mutex);
+};
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_COALESCE_HPP

@@ -1,0 +1,320 @@
+#include "net/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "service/request.hpp"
+#include "support/error.hpp"
+
+namespace anytime::net {
+
+namespace {
+
+std::string
+jsonNumber(double value)
+{
+    if (std::isnan(value) || std::isinf(value))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+versionEventJson(const VersionFrame &frame)
+{
+    std::string out = "{\"version\":" + std::to_string(frame.version);
+    out += ",\"final\":";
+    out += frame.final ? "true" : "false";
+    out += ",\"degraded\":";
+    out += frame.degraded ? "true" : "false";
+    out += ",\"quality\":" + jsonNumber(frame.quality);
+    out += ",\"payload\":\"" + jsonEscape(frame.payload) + "\"}";
+    return out;
+}
+
+std::string
+doneEventJson(const DoneFrame &frame)
+{
+    std::string out = "{\"status\":\"";
+    out += serviceStatusName(static_cast<ServiceStatus>(frame.status));
+    out += "\",\"reachedPrecise\":";
+    out += frame.reachedPrecise ? "true" : "false";
+    out += ",\"deadlineMet\":";
+    out += frame.deadlineMet ? "true" : "false";
+    out += ",\"versionsPublished\":" +
+           std::to_string(frame.versionsPublished);
+    out += ",\"quality\":" + jsonNumber(frame.quality);
+    out += ",\"firstVersionSeconds\":" +
+           jsonNumber(frame.firstVersionSeconds);
+    out += ",\"totalSeconds\":" + jsonNumber(frame.totalSeconds) + "}";
+    return out;
+}
+
+Connection::Connection(int fd, std::uint64_t id, std::string peer,
+                       ConnectionHost &host, ConnectionStats stats,
+                       std::size_t max_outbox_bytes)
+    : socket(fd), connectionId(id), peerLabel(std::move(peer)),
+      host(host), stats(stats), maxOutboxBytes(max_outbox_bytes)
+{
+}
+
+Connection::~Connection()
+{
+    if (socket >= 0)
+        ::close(socket);
+}
+
+bool
+Connection::handleReadable()
+{
+    std::vector<RequestFrame> requests;
+    std::vector<HttpRequest> httpRequests;
+    bool keepOpen = true;
+    {
+        MutexLock lock(mutex);
+        char buf[16384];
+        for (;;) {
+            const ssize_t n = ::recv(socket, buf, sizeof buf, 0);
+            if (n > 0) {
+                if (mode == Mode::binary)
+                    reader.feed(buf, static_cast<std::size_t>(n));
+                else
+                    inbox.append(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                keepOpen = false; // orderly EOF
+                break;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            if (errno == EINTR)
+                continue;
+            keepOpen = false; // hard socket error
+            break;
+        }
+
+        if (mode == Mode::sniffing && !sniffLocked())
+            keepOpen = false;
+
+        if (mode == Mode::binary) {
+            while (auto frame = reader.next()) {
+                if (const auto *request =
+                        std::get_if<RequestFrame>(&*frame);
+                    request && !requestSeen) {
+                    requestSeen = true;
+                    requests.push_back(*request);
+                } else {
+                    // One request per connection; anything else from a
+                    // client is a protocol violation.
+                    enqueueLocked(
+                        encodeFrame(ErrorFrame{
+                            "protocol violation: unexpected frame"}),
+                        false);
+                    closePending = true;
+                    break;
+                }
+            }
+            if (reader.failed()) {
+                enqueueLocked(
+                    encodeFrame(ErrorFrame{reader.error()}), false);
+                closePending = true;
+            }
+        } else if (mode == Mode::http || mode == Mode::sse) {
+            std::size_t consumed = 0;
+            while (!requestSeen) {
+                auto request = parseHttpRequest(inbox, consumed);
+                if (!request)
+                    break;
+                inbox.erase(0, consumed);
+                requestSeen = true;
+                if (request->method.empty()) {
+                    enqueueLocked(
+                        httpResponse(400, "text/plain",
+                                     "malformed request\n"),
+                        false);
+                    closePending = true;
+                } else {
+                    httpRequests.push_back(std::move(*request));
+                }
+            }
+        }
+    }
+    // Host dispatch outside the lock: attach() replays versions back
+    // into this connection's outbox (entry mutex -> connection mutex).
+    for (const auto &request : requests)
+        host.handleRequestFrame(shared_from_this(), request);
+    for (const auto &request : httpRequests)
+        host.handleHttpRequest(shared_from_this(), request);
+    return keepOpen;
+}
+
+bool
+Connection::sniffLocked()
+{
+    if (inbox.size() < 4)
+        return true; // keep sniffing
+    if (inbox.compare(0, 4, kMagic, 4) == 0) {
+        mode = Mode::binary;
+        if (inbox.size() > 4)
+            reader.feed(inbox.data() + 4, inbox.size() - 4);
+        inbox.clear();
+        return true;
+    }
+    if (inbox.compare(0, 4, "GET ") == 0 ||
+        inbox.compare(0, 4, "POST") == 0 ||
+        inbox.compare(0, 4, "HEAD") == 0) {
+        mode = Mode::http;
+        return true;
+    }
+    return false; // unknown protocol: close
+}
+
+bool
+Connection::handleWritable()
+{
+    MutexLock lock(mutex);
+    while (!outbox.empty()) {
+        OutMessage &head = outbox.front();
+        const std::size_t remaining = head.bytes.size() - head.offset;
+        try {
+            // Chaos site: a firing `net.write` rule severs this stream
+            // mid-flight (tests/chaos/test_chaos_net.cpp).
+            ANYTIME_FAULT_POINT("net.write", peerLabel, ++writeOrdinal);
+        } catch (const std::exception &) {
+            if (stats.writeFaults)
+                stats.writeFaults->add();
+            return false;
+        }
+        const ssize_t n = ::send(socket, head.bytes.data() + head.offset,
+                                 remaining, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // socket full: wait for EPOLLOUT
+            if (errno == EINTR)
+                continue;
+            return false; // peer gone or hard error
+        }
+        if (stats.bytesSent)
+            stats.bytesSent->add(static_cast<std::uint64_t>(n));
+        head.offset += static_cast<std::size_t>(n);
+        if (head.offset < head.bytes.size())
+            return true; // partial write: resume later
+        outboxBytes -= head.bytes.size();
+        outbox.pop_front();
+    }
+    return !closePending;
+}
+
+bool
+Connection::wantsWrite() const
+{
+    MutexLock lock(mutex);
+    return !outbox.empty() || closePending;
+}
+
+void
+Connection::enqueueLocked(std::string bytes, bool droppable)
+{
+    if (closePending)
+        return;
+    if (droppable) {
+        // Supersede in place: a newer intermediate version replaces an
+        // unsent older one instead of queueing behind it.
+        if (!outbox.empty() && outbox.back().droppable &&
+            outbox.back().offset == 0) {
+            outboxBytes -= outbox.back().bytes.size();
+            outboxBytes += bytes.size();
+            outbox.back().bytes = std::move(bytes);
+            if (stats.versionsDropped)
+                stats.versionsDropped->add();
+            return;
+        }
+        if (outboxBytes + bytes.size() > maxOutboxBytes) {
+            // Backpressure sheds intermediates only; finals and
+            // terminal frames are queued regardless.
+            if (stats.versionsDropped)
+                stats.versionsDropped->add();
+            return;
+        }
+    }
+    outboxBytes += bytes.size();
+    outbox.push_back(OutMessage{std::move(bytes), 0, droppable});
+}
+
+void
+Connection::enqueueBytes(std::string bytes, bool droppable)
+{
+    {
+        MutexLock lock(mutex);
+        enqueueLocked(std::move(bytes), droppable);
+    }
+    host.wakeReactor();
+}
+
+void
+Connection::enqueueFrame(const Frame &frame, bool droppable)
+{
+    enqueueBytes(encodeFrame(frame), droppable);
+}
+
+void
+Connection::closeAfterFlush()
+{
+    {
+        MutexLock lock(mutex);
+        closePending = true;
+    }
+    host.wakeReactor();
+}
+
+void
+Connection::beginServerSentEvents()
+{
+    MutexLock lock(mutex);
+    mode = Mode::sse;
+}
+
+void
+Connection::onVersion(const VersionFrame &frame)
+{
+    std::string bytes;
+    {
+        MutexLock lock(mutex);
+        if (mode == Mode::sse)
+            bytes = sseEvent("version", versionEventJson(frame));
+        else
+            bytes = encodeFrame(Frame{frame});
+        enqueueLocked(std::move(bytes), !frame.final);
+    }
+    if (stats.versionsStreamed)
+        stats.versionsStreamed->add();
+    host.wakeReactor();
+}
+
+void
+Connection::onDone(const DoneFrame &frame)
+{
+    {
+        MutexLock lock(mutex);
+        if (mode == Mode::sse) {
+            enqueueLocked(sseEvent("done", doneEventJson(frame)), false);
+            enqueueLocked(chunkedFinal(), false);
+        } else {
+            enqueueLocked(encodeFrame(Frame{frame}), false);
+        }
+        closePending = true;
+    }
+    host.wakeReactor();
+}
+
+} // namespace anytime::net

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * One client connection: protocol sniffing, buffered writes, and
+ * anytime backpressure.
+ *
+ * A connection starts in sniff mode: the first four bytes select the
+ * binary protocol ("ANYT" magic) or HTTP. Reads and epoll bookkeeping
+ * happen only on the reactor thread; version fan-out arrives on
+ * publishing worker threads and completion on the service scheduler
+ * thread, so the outbox is mutex-guarded and writers wake the reactor
+ * (eventfd) instead of touching the socket.
+ *
+ * Backpressure is where the anytime contract bites: when a client
+ * reads slower than the pipeline publishes, queued *intermediate*
+ * versions are superseded-in-place (each droppable outbox message is
+ * replaced by the newer version) and, at the outbox byte bound,
+ * dropped outright. The final version and the DONE frame are never
+ * droppable — a slow client loses intermediate refinements, never its
+ * answer. This mirrors the in-process VersionedBuffer semantics:
+ * consumers see "whichever output happens to be in the buffer", not
+ * every version ever published.
+ *
+ * Writes pass the `net.write` fault site before each send, so the
+ * chaos suite can sever a stream mid-flight and assert the
+ * disconnect-as-cancel accounting.
+ */
+
+#ifndef ANYTIME_NET_CONNECTION_HPP
+#define ANYTIME_NET_CONNECTION_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/coalesce.hpp"
+#include "net/http.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::net {
+
+class Connection;
+
+/** Counters a connection reports into (owned by the server). */
+struct ConnectionStats
+{
+    obs::Counter *versionsStreamed = nullptr;
+    obs::Counter *versionsDropped = nullptr;
+    obs::Counter *bytesSent = nullptr;
+    obs::Counter *writeFaults = nullptr;
+};
+
+/** The server-side callbacks a connection drives (reactor thread). */
+class ConnectionHost
+{
+  public:
+    virtual ~ConnectionHost() = default;
+
+    /** A complete binary RequestFrame arrived on @p connection. */
+    virtual void
+    handleRequestFrame(const std::shared_ptr<Connection> &connection,
+                       const RequestFrame &frame) = 0;
+
+    /** A complete HTTP request head arrived on @p connection. */
+    virtual void
+    handleHttpRequest(const std::shared_ptr<Connection> &connection,
+                      const HttpRequest &request) = 0;
+
+    /** Wake the reactor so it re-evaluates write interest. Must be
+     *  callable from any thread. */
+    virtual void wakeReactor() = 0;
+};
+
+/** One accepted socket and its buffered, droppable outbox. */
+class Connection : public StreamSubscriber,
+                   public std::enable_shared_from_this<Connection>
+{
+  public:
+    /** Wire protocol selected by the connection preamble. */
+    enum class Mode
+    {
+        sniffing, ///< first bytes not seen yet
+        binary,   ///< "ANYT" length-prefixed frames
+        http,     ///< HTTP request/response
+        sse,      ///< HTTP upgraded to a chunked event stream
+    };
+
+    Connection(int fd, std::uint64_t id, std::string peer,
+               ConnectionHost &host, ConnectionStats stats,
+               std::size_t max_outbox_bytes);
+    ~Connection() override;
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    int fd() const { return socket; }
+    std::uint64_t id() const { return connectionId; }
+    const std::string &peer() const { return peerLabel; }
+
+    // ---- reactor-thread API ----------------------------------------
+
+    /** Drain readable bytes and dispatch complete requests to the
+     *  host. False when the connection should close (EOF, error, or
+     *  protocol corruption). */
+    bool handleReadable();
+
+    /** Flush the outbox as far as the socket allows. False when the
+     *  connection should close (write error, injected fault, or
+     *  close-after-flush with an empty outbox). */
+    bool handleWritable();
+
+    /** True when the outbox has bytes (or a pending close) — the
+     *  reactor arms EPOLLOUT from this. Any-thread safe. */
+    bool wantsWrite() const;
+
+    /** Reactor-side scratch: whether EPOLLOUT is currently armed. */
+    bool writeArmed = false;
+
+    /** Reactor-side: the coalesced stream this connection subscribed
+     *  to (for detach on close); null before a request is attached. */
+    std::shared_ptr<StreamEntry> stream;
+    StreamKey streamKey;
+
+    // ---- any-thread API --------------------------------------------
+
+    /** StreamSubscriber: one published version (droppable unless
+     *  final, per the backpressure policy above). */
+    void onVersion(const VersionFrame &frame) override;
+
+    /** StreamSubscriber: terminal frame; closes after the flush. */
+    void onDone(const DoneFrame &frame) override;
+
+    /** Queue @p frame on the binary outbox. */
+    void enqueueFrame(const Frame &frame, bool droppable = false);
+
+    /** Queue raw bytes (HTTP responses, SSE chunks). */
+    void enqueueBytes(std::string bytes, bool droppable = false);
+
+    /** Close the socket once everything queued so far is flushed. */
+    void closeAfterFlush();
+
+    /** Switch to SSE mode (host does this when an HTTP request opens
+     *  a stream; the headers must already be queued). */
+    void beginServerSentEvents();
+
+  private:
+    struct OutMessage
+    {
+        std::string bytes;
+        std::size_t offset = 0;
+        /** Droppable messages may be superseded or shed; the final
+         *  version and terminal frames never are. */
+        bool droppable = false;
+    };
+
+    bool sniffLocked() ANYTIME_REQUIRES(mutex);
+    bool consumeBinaryLocked() ANYTIME_REQUIRES(mutex);
+    bool consumeHttpLocked() ANYTIME_REQUIRES(mutex);
+    void enqueueLocked(std::string bytes, bool droppable)
+        ANYTIME_REQUIRES(mutex);
+
+    const int socket;
+    const std::uint64_t connectionId;
+    const std::string peerLabel;
+    ConnectionHost &host;
+    const ConnectionStats stats;
+    const std::size_t maxOutboxBytes;
+
+    mutable Mutex mutex;
+    Mode mode ANYTIME_GUARDED_BY(mutex) = Mode::sniffing;
+    std::string inbox ANYTIME_GUARDED_BY(mutex);
+    FrameReader reader ANYTIME_GUARDED_BY(mutex);
+    std::deque<OutMessage> outbox ANYTIME_GUARDED_BY(mutex);
+    std::size_t outboxBytes ANYTIME_GUARDED_BY(mutex) = 0;
+    bool closePending ANYTIME_GUARDED_BY(mutex) = false;
+    bool requestSeen ANYTIME_GUARDED_BY(mutex) = false;
+    std::uint64_t writeOrdinal ANYTIME_GUARDED_BY(mutex) = 0;
+};
+
+/** Render a VersionFrame as the JSON body of an SSE `version` event. */
+std::string versionEventJson(const VersionFrame &frame);
+
+/** Render a DoneFrame as the JSON body of an SSE `done` event. */
+std::string doneEventJson(const DoneFrame &frame);
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_CONNECTION_HPP

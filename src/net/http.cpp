@@ -1,0 +1,288 @@
+#include "net/http.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace anytime::net {
+
+namespace {
+
+std::string
+toLower(std::string text)
+{
+    for (char &ch : text)
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+    return text;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+int
+hexDigit(char ch)
+{
+    if (ch >= '0' && ch <= '9')
+        return ch - '0';
+    if (ch >= 'a' && ch <= 'f')
+        return ch - 'a' + 10;
+    if (ch >= 'A' && ch <= 'F')
+        return ch - 'A' + 10;
+    return -1;
+}
+
+void
+parseQuery(const std::string &query,
+           std::map<std::string, std::string> &out)
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::string pair = query.substr(pos, amp - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            if (!pair.empty())
+                out[urlDecode(pair)] = "";
+        } else {
+            out[urlDecode(pair.substr(0, eq))] =
+                urlDecode(pair.substr(eq + 1));
+        }
+        pos = amp + 1;
+    }
+}
+
+} // namespace
+
+std::string
+urlDecode(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '+') {
+            out.push_back(' ');
+        } else if (text[i] == '%' && i + 2 < text.size() &&
+                   hexDigit(text[i + 1]) >= 0 &&
+                   hexDigit(text[i + 2]) >= 0) {
+            out.push_back(static_cast<char>(hexDigit(text[i + 1]) * 16 +
+                                            hexDigit(text[i + 2])));
+            i += 2;
+        } else {
+            out.push_back(text[i]);
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(ch));
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    return out;
+}
+
+std::optional<HttpRequest>
+parseHttpRequest(const std::string &data, std::size_t &consumed)
+{
+    const std::size_t headEnd = data.find("\r\n\r\n");
+    if (headEnd == std::string::npos)
+        return std::nullopt; // head incomplete: wait for more bytes
+    consumed = headEnd + 4;
+
+    HttpRequest request;
+    std::istringstream head(data.substr(0, headEnd));
+    std::string line;
+    if (!std::getline(head, line))
+        return request; // empty method => malformed
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+
+    // Request line: METHOD SP target SP HTTP/x.y
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0)
+        return request;
+    request.method = line.substr(0, sp1);
+    request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    const std::size_t qmark = request.target.find('?');
+    if (qmark == std::string::npos) {
+        request.path = request.target;
+    } else {
+        request.path = request.target.substr(0, qmark);
+        parseQuery(request.target.substr(qmark + 1), request.query);
+    }
+
+    while (std::getline(head, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            request.method.clear(); // malformed header field
+            return request;
+        }
+        request.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+    return request;
+}
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 429:
+        return "Too Many Requests";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Error";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &contentType,
+             const std::string &body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.1 " << status << ' ' << httpReason(status) << "\r\n"
+        << "Content-Type: " << contentType << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n"
+        << "\r\n"
+        << body;
+    return out.str();
+}
+
+std::string
+sseHeaders()
+{
+    return "HTTP/1.1 200 OK\r\n"
+           "Content-Type: text/event-stream\r\n"
+           "Cache-Control: no-store\r\n"
+           "Transfer-Encoding: chunked\r\n"
+           "Connection: close\r\n"
+           "\r\n";
+}
+
+namespace {
+
+std::string
+chunk(const std::string &payload)
+{
+    char size[16];
+    std::snprintf(size, sizeof size, "%zx",
+                  static_cast<std::size_t>(payload.size()));
+    std::string out(size);
+    out += "\r\n";
+    out += payload;
+    out += "\r\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+sseEvent(const std::string &event, const std::string &data)
+{
+    return chunk("event: " + event + "\ndata: " + data + "\n\n");
+}
+
+std::string
+chunkedFinal()
+{
+    return "0\r\n\r\n";
+}
+
+std::optional<std::string>
+decodeChunked(const std::string &body)
+{
+    std::string out;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t lineEnd = body.find("\r\n", pos);
+        if (lineEnd == std::string::npos)
+            return std::nullopt;
+        std::size_t size = 0;
+        bool sawDigit = false;
+        for (std::size_t i = pos; i < lineEnd; ++i) {
+            const int digit = hexDigit(body[i]);
+            if (digit < 0) {
+                if (body[i] == ';')
+                    break; // chunk extension: ignore
+                return std::nullopt;
+            }
+            size = size * 16 + static_cast<std::size_t>(digit);
+            sawDigit = true;
+        }
+        if (!sawDigit)
+            return std::nullopt;
+        pos = lineEnd + 2;
+        if (size == 0)
+            return out; // trailers ignored
+        if (pos + size + 2 > body.size())
+            return std::nullopt;
+        out.append(body, pos, size);
+        if (body.compare(pos + size, 2, "\r\n") != 0)
+            return std::nullopt;
+        pos += size + 2;
+    }
+}
+
+} // namespace anytime::net

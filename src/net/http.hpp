@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 helpers for the anytime listener (no sockets here).
+ *
+ * The binary protocol is the primary wire format; HTTP is the adapter
+ * that makes the anytime contract reachable from a browser or curl.
+ * A progressive response maps naturally onto chunked transfer
+ * encoding: each published version becomes one Server-Sent-Events
+ * `version` event flushed as its own chunk, terminated by a `done`
+ * event, so `curl -N` shows the answer *improving* in real time.
+ *
+ * Only the slice the listener needs is implemented: request-line +
+ * header parsing (no bodies — all endpoints are GET), fixed responses
+ * with Content-Length, and chunked/SSE encoding helpers. The parser
+ * and encoders are pure string transforms so tests/net/test_net_http
+ * covers them without opening a socket.
+ */
+
+#ifndef ANYTIME_NET_HTTP_HPP
+#define ANYTIME_NET_HTTP_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace anytime::net {
+
+/** One parsed HTTP request head (no body support). */
+struct HttpRequest
+{
+    std::string method;
+    /** Raw request target, e.g. "/stream?pipeline=counter". */
+    std::string target;
+    /** Target path with the query string removed. */
+    std::string path;
+    /** Decoded query parameters (last wins on duplicates). */
+    std::map<std::string, std::string> query;
+    /** Header fields, names lower-cased. */
+    std::map<std::string, std::string> headers;
+};
+
+/**
+ * Parse one request head from @p data. Returns the request and sets
+ * @p consumed past the terminating blank line; nullopt when the head
+ * is incomplete (feed more bytes) — malformed heads return a request
+ * with an empty method so the caller can answer 400.
+ */
+std::optional<HttpRequest> parseHttpRequest(const std::string &data,
+                                            std::size_t &consumed);
+
+/** Percent-decode @p text ('+' becomes space; bad escapes kept). */
+std::string urlDecode(const std::string &text);
+
+/** Escape @p text for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** A complete fixed-length response (Connection: close). */
+std::string httpResponse(int status, const std::string &contentType,
+                         const std::string &body);
+
+/** Response head opening a chunked text/event-stream (SSE). */
+std::string sseHeaders();
+
+/** One SSE event carrying @p data, framed as an HTTP chunk. */
+std::string sseEvent(const std::string &event, const std::string &data);
+
+/** The terminating zero-length chunk ending a chunked response. */
+std::string chunkedFinal();
+
+/**
+ * Decode a chunked transfer-encoded @p body back into plain bytes
+ * (client-side test helper). Nullopt on malformed framing.
+ */
+std::optional<std::string> decodeChunked(const std::string &body);
+
+/** Standard reason phrase for @p status ("OK", "Not Found", ...). */
+const char *httpReason(int status);
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_HTTP_HPP

@@ -1,0 +1,530 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace anytime::net {
+
+NetServer::NetServer(NetServerConfig config)
+    : configuration(std::move(config))
+{
+    fatalIf(!configuration.catalog,
+            "NetServer requires a pipeline catalog");
+    registry = configuration.metricsRegistry
+                   ? configuration.metricsRegistry
+                   : &obs::defaultRegistry();
+    if (!configuration.service.metricsRegistry)
+        configuration.service.metricsRegistry = registry;
+
+    connectionsTotal =
+        &registry->counter("anytime_net_connections_total",
+                           "Connections accepted by the listener.");
+    connectionsActive =
+        &registry->gauge("anytime_net_connections_active",
+                         "Connections currently open.");
+    connectionsRejected = &registry->counter(
+        "anytime_net_connections_rejected_total",
+        "Accepts closed by the connection cap.");
+    acceptThrottled = &registry->counter(
+        "anytime_net_accept_throttled_total",
+        "Accepts closed by per-IP throttling.");
+    requestsTotal =
+        &registry->counter("anytime_net_requests_total",
+                           "Streaming requests received (any door).");
+    httpRequestsTotal =
+        &registry->counter("anytime_net_http_requests_total",
+                           "HTTP requests received.");
+    coalescedTotal = &registry->counter(
+        "anytime_net_coalesced_total",
+        "Requests attached to an already in-flight identical stream.");
+    connectionStats.versionsStreamed = &registry->counter(
+        "anytime_net_versions_streamed_total",
+        "Version frames fanned out to connections.");
+    connectionStats.versionsDropped = &registry->counter(
+        "anytime_net_versions_dropped_total",
+        "Intermediate versions shed by backpressure.");
+    connectionStats.bytesSent =
+        &registry->counter("anytime_net_bytes_sent_total",
+                           "Bytes written to client sockets.");
+    connectionStats.writeFaults = &registry->counter(
+        "anytime_net_write_faults_total",
+        "Writes severed by the net.write fault site.");
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                     SOCK_CLOEXEC,
+                        0);
+    fatalIf(listenFd < 0, "net: socket() failed: ",
+            std::strerror(errno));
+    const int enable = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof enable);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(configuration.port);
+    fatalIf(::inet_pton(AF_INET, configuration.bindAddress.c_str(),
+                        &addr.sin_addr) != 1,
+            "net: bad bind address '", configuration.bindAddress, "'");
+    fatalIf(::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0,
+            "net: bind(", configuration.bindAddress, ":",
+            configuration.port, ") failed: ", std::strerror(errno));
+    fatalIf(::listen(listenFd, 128) != 0, "net: listen() failed: ",
+            std::strerror(errno));
+
+    socklen_t len = sizeof addr;
+    fatalIf(::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) != 0,
+            "net: getsockname() failed: ", std::strerror(errno));
+    boundPort = ntohs(addr.sin_port);
+
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    fatalIf(epollFd < 0, "net: epoll_create1() failed: ",
+            std::strerror(errno));
+    wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    fatalIf(wakeFd < 0, "net: eventfd() failed: ",
+            std::strerror(errno));
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd;
+    fatalIf(::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev) != 0,
+            "net: epoll_ctl(listen) failed: ", std::strerror(errno));
+    ev.data.fd = wakeFd;
+    fatalIf(::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev) != 0,
+            "net: epoll_ctl(wake) failed: ", std::strerror(errno));
+
+    anytime = std::make_unique<AnytimeServer>(configuration.service);
+    reactor = std::jthread(
+        [this](std::stop_token stop) { reactorLoop(stop); });
+}
+
+NetServer::~NetServer()
+{
+    reactor.request_stop();
+    wakeReactor();
+    if (reactor.joinable())
+        reactor.join();
+    // The reactor exit path closed every connection (detaching all
+    // subscribers), so the service teardown below fans its cancel
+    // completions into empty entries.
+    anytime.reset();
+    if (listenFd >= 0)
+        ::close(listenFd);
+    if (wakeFd >= 0)
+        ::close(wakeFd);
+    if (epollFd >= 0)
+        ::close(epollFd);
+}
+
+std::size_t
+NetServer::connectionCount() const
+{
+    return openConnections.load(std::memory_order_relaxed);
+}
+
+void
+NetServer::wakeReactor()
+{
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd, &one, sizeof one);
+}
+
+void
+NetServer::reactorLoop(std::stop_token stop)
+{
+    epoll_event events[64];
+    while (!stop.stop_requested()) {
+        const int n = ::epoll_wait(epollFd, events, 64, 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // epoll fd gone: shutting down
+        }
+        std::vector<std::shared_ptr<Connection>> dead;
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listenFd) {
+                acceptReady();
+                continue;
+            }
+            if (fd == wakeFd) {
+                std::uint64_t drained = 0;
+                while (::read(wakeFd, &drained, sizeof drained) > 0) {
+                }
+                continue;
+            }
+            const auto it = connections.find(fd);
+            if (it == connections.end())
+                continue;
+            if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) &&
+                !it->second->handleReadable())
+                dead.push_back(it->second);
+        }
+        for (const auto &connection : dead)
+            closeConnection(connection);
+        maintainWriteInterest();
+    }
+    // Shutdown: close everything still open (cancels orphans).
+    while (!connections.empty())
+        closeConnection(connections.begin()->second);
+}
+
+void
+NetServer::acceptReady()
+{
+    for (;;) {
+        sockaddr_in addr{};
+        socklen_t len = sizeof addr;
+        const int fd = ::accept4(listenFd,
+                                 reinterpret_cast<sockaddr *>(&addr),
+                                 &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                return;
+            return; // transient accept error: try again on next event
+        }
+        connectionsTotal->add();
+
+        if (connections.size() >= configuration.maxConnections) {
+            connectionsRejected->add();
+            ::close(fd);
+            continue;
+        }
+
+        if (configuration.perIpAcceptRate > 0.0) {
+            TokenBucket &bucket = acceptBuckets[addr.sin_addr.s_addr];
+            const auto now = std::chrono::steady_clock::now();
+            if (bucket.last.time_since_epoch().count() == 0) {
+                bucket.tokens = configuration.perIpAcceptBurst;
+            } else {
+                const double dt =
+                    std::chrono::duration<double>(now - bucket.last)
+                        .count();
+                bucket.tokens = std::min(
+                    configuration.perIpAcceptBurst,
+                    bucket.tokens +
+                        dt * configuration.perIpAcceptRate);
+            }
+            bucket.last = now;
+            if (bucket.tokens < 1.0) {
+                acceptThrottled->add();
+                ::close(fd);
+                continue;
+            }
+            bucket.tokens -= 1.0;
+        }
+
+        const int nodelay = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof nodelay);
+
+        const std::uint64_t id = nextConnectionId++;
+        char ip[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+        std::string peer = std::string(ip) + ":" +
+                           std::to_string(ntohs(addr.sin_port)) + "#" +
+                           std::to_string(id);
+
+        auto connection = std::make_shared<Connection>(
+            fd, id, std::move(peer), *this, connectionStats,
+            configuration.maxOutboxBytes);
+        connections.emplace(fd, connection);
+        openConnections.store(connections.size(),
+                              std::memory_order_relaxed);
+        connectionsActive->set(
+            static_cast<double>(connections.size()));
+        obs::traceAsyncBegin("connection", "net", id);
+
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            closeConnection(connection);
+    }
+}
+
+void
+NetServer::closeConnection(const std::shared_ptr<Connection> &connection)
+{
+    const auto it = connections.find(connection->fd());
+    if (it == connections.end() || it->second != connection)
+        return; // already closed
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, connection->fd(), nullptr);
+    connections.erase(it);
+    openConnections.store(connections.size(),
+                          std::memory_order_relaxed);
+    connectionsActive->set(static_cast<double>(connections.size()));
+
+    if (connection->stream) {
+        const auto [remaining, finished] =
+            connection->stream->detach(connection);
+        if (remaining == 0 && !finished) {
+            // Nobody is listening anymore: disconnect-as-cancel. The
+            // entry leaves the map so a later identical request builds
+            // fresh instead of joining a cancelled stream.
+            const std::uint64_t id = connection->stream->requestId();
+            if (id != 0 && anytime->cancel(id))
+                obs::traceInstant("net.disconnect_cancel", "net",
+                                  {"request",
+                                   static_cast<double>(id)});
+            if (configuration.coalesce)
+                streams.remove(connection->streamKey,
+                               connection->stream);
+        }
+        connection->stream.reset();
+    }
+    obs::traceAsyncEnd("connection", "net", connection->id());
+    // The socket itself closes when the last shared_ptr drops
+    // (~Connection) — which is now, unless a publish is mid-fan-out.
+}
+
+void
+NetServer::maintainWriteInterest()
+{
+    std::vector<std::shared_ptr<Connection>> dead;
+    for (const auto &[fd, connection] : connections) {
+        if (connection->wantsWrite() &&
+            !connection->handleWritable()) {
+            dead.push_back(connection);
+            continue;
+        }
+        const bool wants = connection->wantsWrite();
+        if (wants != connection->writeArmed) {
+            epoll_event ev{};
+            ev.events =
+                EPOLLIN | (wants ? static_cast<std::uint32_t>(EPOLLOUT)
+                                 : 0u);
+            ev.data.fd = fd;
+            ::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev);
+            connection->writeArmed = wants;
+        }
+    }
+    for (const auto &connection : dead)
+        closeConnection(connection);
+}
+
+void
+NetServer::handleRequestFrame(
+    const std::shared_ptr<Connection> &connection,
+    const RequestFrame &frame)
+{
+    requestsTotal->add();
+    if (frame.protocol != kProtocolVersion) {
+        connection->enqueueFrame(ErrorFrame{
+            "unsupported protocol version " +
+            std::to_string(frame.protocol)});
+        connection->closeAfterFlush();
+        return;
+    }
+    StreamKey key;
+    key.pipeline = frame.pipeline;
+    key.input = frame.input;
+    key.deadlineMicros = frame.deadlineMicros;
+    key.minQuality = frame.minQuality;
+    key.stageWorkers = frame.stageWorkers;
+    startStream(connection, key, /*sse=*/false);
+}
+
+void
+NetServer::startStream(const std::shared_ptr<Connection> &connection,
+                       const StreamKey &key, bool sse)
+{
+    const auto reject = [&](const std::string &message) {
+        if (sse)
+            connection->enqueueBytes(
+                httpResponse(400, "text/plain", message + "\n"));
+        else
+            connection->enqueueFrame(ErrorFrame{message});
+        connection->closeAfterFlush();
+    };
+    const auto accept = [&](std::uint64_t id) {
+        if (sse) {
+            connection->enqueueBytes(sseHeaders());
+            connection->beginServerSentEvents();
+            connection->enqueueBytes(sseEvent(
+                "accepted",
+                "{\"requestId\":" + std::to_string(id) + "}"));
+        } else {
+            connection->enqueueFrame(AcceptedFrame{id});
+        }
+    };
+
+    std::shared_ptr<StreamEntry> entry;
+    bool created = true;
+    if (configuration.coalesce) {
+        const auto found = streams.findOrCreate(key);
+        entry = found.entry;
+        created = found.created;
+    } else {
+        entry = std::make_shared<StreamEntry>();
+    }
+
+    if (!created) {
+        // Identical request already in flight: ride its stream. The
+        // attach replays the latest version, so this client starts
+        // from the current best approximation immediately.
+        coalescedTotal->add();
+        accept(entry->requestId());
+        connection->stream = entry;
+        connection->streamKey = key;
+        if (entry->attach(connection) == 0) {
+            connection->stream.reset(); // stream already done: replayed
+            connection->closeAfterFlush();
+        }
+        return;
+    }
+
+    NetRequestParams params;
+    params.input = key.input;
+    params.deadline = std::chrono::microseconds(key.deadlineMicros);
+    params.minQuality = key.minQuality;
+    params.stageWorkers = key.stageWorkers;
+
+    NetPipeline pipeline;
+    try {
+        pipeline = configuration.catalog->build(key.pipeline, params);
+    } catch (const std::exception &error) {
+        if (configuration.coalesce)
+            streams.remove(key, entry);
+        reject(error.what());
+        return;
+    }
+
+    ServiceRequest request;
+    request.name = key.pipeline;
+    request.factory = std::move(pipeline.factory);
+    request.deadline = std::chrono::microseconds(key.deadlineMicros);
+    request.minQuality = key.minQuality;
+    request.stageWorkers = key.stageWorkers;
+    request.versionSink = [entry](const VersionUpdate &update) {
+        VersionFrame frame;
+        frame.version = update.version;
+        frame.final = update.final;
+        frame.degraded = update.degraded;
+        frame.quality = update.quality;
+        if (update.payload)
+            frame.payload = *update.payload;
+        entry->publish(frame);
+    };
+    CoalesceMap *map = configuration.coalesce ? &streams : nullptr;
+    request.onComplete = [entry, key,
+                          map](const ServiceResponse &response) {
+        DoneFrame done;
+        done.status = static_cast<std::uint8_t>(response.status);
+        done.reachedPrecise = response.reachedPrecise;
+        done.deadlineMet = response.deadlineMet;
+        done.versionsPublished = response.versionsPublished;
+        done.quality = response.quality;
+        done.firstVersionSeconds = response.firstVersionSeconds;
+        done.totalSeconds = response.totalSeconds;
+        entry->finish(done);
+        if (map)
+            map->remove(key, entry);
+    };
+
+    auto submission = anytime->submitTracked(std::move(request));
+    accept(submission.id);
+    entry->setRequestId(submission.id);
+    connection->stream = entry;
+    connection->streamKey = key;
+    if (entry->attach(connection) == 0) {
+        // Terminal before attach (e.g. shed at admission): the attach
+        // replayed everything; nothing live remains to follow.
+        connection->stream.reset();
+        connection->closeAfterFlush();
+    }
+}
+
+void
+NetServer::handleHttpRequest(
+    const std::shared_ptr<Connection> &connection,
+    const HttpRequest &request)
+{
+    httpRequestsTotal->add();
+    const auto finishWith = [&](std::string response) {
+        connection->enqueueBytes(std::move(response));
+        connection->closeAfterFlush();
+    };
+
+    if (request.method != "GET") {
+        finishWith(httpResponse(405, "text/plain",
+                                "only GET is supported\n"));
+        return;
+    }
+    if (request.path == "/metrics") {
+        finishWith(httpResponse(200, "text/plain; version=0.0.4",
+                                registry->prometheusText()));
+        return;
+    }
+    if (request.path == "/healthz") {
+        finishWith(httpResponse(200, "text/plain", "ok\n"));
+        return;
+    }
+    if (request.path == "/pipelines") {
+        std::string body = "[";
+        bool first = true;
+        for (const auto &name : configuration.catalog->names()) {
+            if (!first)
+                body += ",";
+            body += "\"" + jsonEscape(name) + "\"";
+            first = false;
+        }
+        body += "]\n";
+        finishWith(httpResponse(200, "application/json", body));
+        return;
+    }
+    if (request.path == "/stream") {
+        const auto param = [&](const char *name,
+                               const char *fallback) -> std::string {
+            const auto it = request.query.find(name);
+            return it == request.query.end() ? fallback : it->second;
+        };
+        const std::string pipeline = param("pipeline", "");
+        if (pipeline.empty()) {
+            finishWith(httpResponse(
+                400, "text/plain",
+                "missing required query parameter 'pipeline'\n"));
+            return;
+        }
+        StreamKey key;
+        key.pipeline = pipeline;
+        key.input = param("input", "");
+        try {
+            key.deadlineMicros = static_cast<std::uint64_t>(
+                std::stod(param("deadline_ms", "1000")) * 1000.0);
+            key.minQuality = std::stod(param("min_quality", "0"));
+            key.stageWorkers = static_cast<std::uint32_t>(
+                std::stoul(param("workers", "1")));
+        } catch (const std::exception &) {
+            finishWith(httpResponse(
+                400, "text/plain",
+                "malformed deadline_ms/min_quality/workers\n"));
+            return;
+        }
+        requestsTotal->add();
+        startStream(connection, key, /*sse=*/true);
+        return;
+    }
+    finishWith(httpResponse(404, "text/plain",
+                            "unknown path: " + request.path + "\n"));
+}
+
+} // namespace anytime::net

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * NetServer: the network front-end of the anytime serving runtime.
+ *
+ * One epoll reactor thread owns the listen socket, an eventfd wake
+ * channel, and every accepted connection; the existing AnytimeServer
+ * (scheduler + builder + WorkerPool) does all the computing. The
+ * reactor never blocks on service work and the service never touches a
+ * socket: version fan-out crosses from publishing worker threads into
+ * connection outboxes through the coalesce layer, which then nudges
+ * the reactor over the eventfd to re-arm write interest.
+ *
+ * The wire semantics preserve the anytime contract end to end:
+ *  - every version the pipeline publishes streams to the client as it
+ *    lands, so the client holds a monotonically improving answer and
+ *    can stop reading whenever its own deadline hits;
+ *  - a disconnected client cancels its request (unless other
+ *    subscribers remain coalesced onto it) — computing for nobody is
+ *    the network analogue of running past the deadline;
+ *  - backpressure sheds intermediate versions, never the final one
+ *    (connection.hpp), so a slow link degrades quality of *refinement*,
+ *    not correctness;
+ *  - deadline and minQuality ride in the request header into the
+ *    ServiceRequest, so EDF ordering and admission control treat
+ *    remote requests exactly like in-process ones.
+ *
+ * Admission happens twice: at accept (connection cap, per-IP token
+ * bucket) and at submit (the service's queue/EWMA/circuit policies).
+ * The HTTP adapter shares the listener via first-bytes sniffing and
+ * serves GET /metrics (Prometheus text), /healthz, /pipelines, and
+ * /stream (Server-Sent Events over chunked encoding).
+ */
+
+#ifndef ANYTIME_NET_SERVER_HPP
+#define ANYTIME_NET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/catalog.hpp"
+#include "net/coalesce.hpp"
+#include "net/connection.hpp"
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::net {
+
+/** Network front-end tuning knobs. */
+struct NetServerConfig
+{
+    /** Address to bind (loopback by default: tests and benches). */
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see NetServer::port()). */
+    std::uint16_t port = 0;
+
+    /** Configuration of the owned AnytimeServer. */
+    ServerConfig service;
+
+    /** Pipeline registry (required; the server keeps a reference). */
+    std::shared_ptr<PipelineCatalog> catalog;
+
+    /** Accept admission: maximum simultaneously open connections.
+     *  Excess accepts are closed immediately (and counted). */
+    std::size_t maxConnections = 256;
+
+    /**
+     * Accept admission: per-IP token bucket, tokens (accepts) per
+     * second; 0 disables throttling. Throttled accepts are closed
+     * immediately (and counted).
+     */
+    double perIpAcceptRate = 0.0;
+    /** Token bucket capacity (burst) when throttling is on. */
+    double perIpAcceptBurst = 8.0;
+
+    /** Backpressure: per-connection outbox byte bound. Intermediate
+     *  versions above the bound are shed; finals never are. */
+    std::size_t maxOutboxBytes = std::size_t(1) << 22;
+
+    /** Coalesce identical in-flight requests onto one pipeline. */
+    bool coalesce = true;
+
+    /** Registry for net counters and GET /metrics; nullptr means
+     *  obs::defaultRegistry(). Also forwarded to the service config
+     *  when that left its registry unset. */
+    obs::MetricsRegistry *metricsRegistry = nullptr;
+};
+
+/** Epoll-based streaming front-end over an owned AnytimeServer. */
+class NetServer : public ConnectionHost
+{
+  public:
+    explicit NetServer(NetServerConfig config);
+    ~NetServer() override;
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** The bound TCP port (resolves config port 0). */
+    std::uint16_t port() const { return boundPort; }
+
+    /** The owned serving runtime (metrics snapshots, drain). */
+    AnytimeServer &service() { return *anytime; }
+
+    /** Connections currently open (reactor's view; approximate). */
+    std::size_t connectionCount() const;
+
+    // ---- ConnectionHost --------------------------------------------
+    void handleRequestFrame(const std::shared_ptr<Connection> &connection,
+                            const RequestFrame &frame) override;
+    void handleHttpRequest(const std::shared_ptr<Connection> &connection,
+                           const HttpRequest &request) override;
+    void wakeReactor() override;
+
+  private:
+    /** Per-IP accept throttling state. */
+    struct TokenBucket
+    {
+        double tokens = 0.0;
+        std::chrono::steady_clock::time_point last{};
+    };
+
+    void reactorLoop(std::stop_token stop);
+    void acceptReady();
+    /** Detach from any coalesced stream (cancelling an orphaned
+     *  request), drop epoll registration, and forget the connection. */
+    void closeConnection(const std::shared_ptr<Connection> &connection);
+    /** Opportunistically flush and (re)arm EPOLLOUT for every open
+     *  connection; closes the ones whose flush failed or finished. */
+    void maintainWriteInterest();
+
+    /**
+     * Shared submit path of the binary and SSE front doors: coalesce,
+     * submit to the service, acknowledge, and attach @p connection as
+     * a subscriber. @p sse selects the acknowledgement encoding.
+     */
+    void startStream(const std::shared_ptr<Connection> &connection,
+                     const StreamKey &key, bool sse);
+
+    NetServerConfig configuration;
+    obs::MetricsRegistry *registry = nullptr;
+
+    // Net-layer counters (registered once in the constructor).
+    obs::Counter *connectionsTotal = nullptr;
+    obs::Gauge *connectionsActive = nullptr;
+    obs::Counter *connectionsRejected = nullptr;
+    obs::Counter *acceptThrottled = nullptr;
+    obs::Counter *requestsTotal = nullptr;
+    obs::Counter *httpRequestsTotal = nullptr;
+    obs::Counter *coalescedTotal = nullptr;
+    ConnectionStats connectionStats;
+
+    CoalesceMap streams;
+
+    int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1;
+    std::uint16_t boundPort = 0;
+
+    /** Reactor-thread-owned (no lock): fd -> connection. */
+    std::map<int, std::shared_ptr<Connection>> connections;
+    std::map<std::uint32_t, TokenBucket> acceptBuckets;
+    std::uint64_t nextConnectionId = 1;
+
+    /** connectionCount() for other threads (reactor publishes). */
+    std::atomic<std::size_t> openConnections{0};
+
+    /** Torn down explicitly in ~NetServer AFTER the reactor joins and
+     *  BEFORE the file descriptors close: its destructor cancels
+     *  in-flight requests, whose onComplete hooks fan out through
+     *  still-valid (already subscriber-free) entries and wake a
+     *  still-open eventfd. */
+    std::unique_ptr<AnytimeServer> anytime;
+
+    std::jthread reactor;
+};
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_SERVER_HPP

@@ -1,0 +1,319 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace anytime::net {
+
+namespace {
+
+// --- encoding primitives (little-endian, append-to-string) ---
+
+void
+putU8(std::string &out, std::uint8_t value)
+{
+    out.push_back(static_cast<char>(value));
+}
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void
+putString(std::string &out, const std::string &value)
+{
+    panicIf(value.size() > kMaxFrameBytes,
+            "wire: string field exceeds the frame bound");
+    putU32(out, static_cast<std::uint32_t>(value.size()));
+    out.append(value);
+}
+
+/** Bounds-checked read cursor over one frame body. */
+struct Cursor
+{
+    const char *data;
+    std::size_t size;
+    std::size_t offset = 0;
+    bool ok = true;
+
+    bool
+    readU8(std::uint8_t &value)
+    {
+        if (!ok || offset + 1 > size)
+            return ok = false;
+        value = static_cast<std::uint8_t>(data[offset++]);
+        return true;
+    }
+
+    bool
+    readU32(std::uint32_t &value)
+    {
+        if (!ok || offset + 4 > size)
+            return ok = false;
+        value = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            value |= static_cast<std::uint32_t>(
+                         static_cast<unsigned char>(data[offset++]))
+                     << shift;
+        return true;
+    }
+
+    bool
+    readU64(std::uint64_t &value)
+    {
+        if (!ok || offset + 8 > size)
+            return ok = false;
+        value = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            value |= static_cast<std::uint64_t>(
+                         static_cast<unsigned char>(data[offset++]))
+                     << shift;
+        return true;
+    }
+
+    bool
+    readF64(double &value)
+    {
+        std::uint64_t bits = 0;
+        if (!readU64(bits))
+            return false;
+        value = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    readString(std::string &value)
+    {
+        std::uint32_t length = 0;
+        if (!readU32(length))
+            return false;
+        if (offset + length > size)
+            return ok = false;
+        value.assign(data + offset, length);
+        offset += length;
+        return true;
+    }
+
+    /** A well-formed body is consumed exactly. */
+    bool exhausted() const { return ok && offset == size; }
+};
+
+bool
+readBool(Cursor &cursor, bool &value)
+{
+    std::uint8_t byte = 0;
+    if (!cursor.readU8(byte))
+        return false;
+    // Strict: anything but 0/1 is corruption, not a truthy value.
+    if (byte > 1)
+        return cursor.ok = false;
+    value = byte != 0;
+    return true;
+}
+
+std::optional<Frame>
+decodeBody(FrameType type, const char *data, std::size_t size)
+{
+    Cursor cursor{data, size};
+    Frame frame;
+    switch (type) {
+      case FrameType::request: {
+        RequestFrame request;
+        cursor.readU32(request.protocol);
+        cursor.readString(request.pipeline);
+        cursor.readString(request.input);
+        cursor.readU64(request.deadlineMicros);
+        cursor.readF64(request.minQuality);
+        cursor.readU32(request.stageWorkers);
+        frame = std::move(request);
+        break;
+      }
+      case FrameType::accepted: {
+        AcceptedFrame accepted;
+        cursor.readU64(accepted.requestId);
+        frame = accepted;
+        break;
+      }
+      case FrameType::version: {
+        VersionFrame version;
+        cursor.readU64(version.version);
+        readBool(cursor, version.final);
+        readBool(cursor, version.degraded);
+        cursor.readF64(version.quality);
+        cursor.readString(version.payload);
+        frame = std::move(version);
+        break;
+      }
+      case FrameType::done: {
+        DoneFrame done;
+        cursor.readU8(done.status);
+        readBool(cursor, done.reachedPrecise);
+        readBool(cursor, done.deadlineMet);
+        cursor.readU64(done.versionsPublished);
+        cursor.readF64(done.quality);
+        cursor.readF64(done.firstVersionSeconds);
+        cursor.readF64(done.totalSeconds);
+        frame = done;
+        break;
+      }
+      case FrameType::error: {
+        ErrorFrame error;
+        cursor.readString(error.message);
+        frame = std::move(error);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+    if (!cursor.exhausted())
+        return std::nullopt;
+    return frame;
+}
+
+} // namespace
+
+FrameType
+frameType(const Frame &frame)
+{
+    return std::visit(
+        [](const auto &alternative) {
+            using T = std::decay_t<decltype(alternative)>;
+            if constexpr (std::is_same_v<T, RequestFrame>)
+                return FrameType::request;
+            else if constexpr (std::is_same_v<T, AcceptedFrame>)
+                return FrameType::accepted;
+            else if constexpr (std::is_same_v<T, VersionFrame>)
+                return FrameType::version;
+            else if constexpr (std::is_same_v<T, DoneFrame>)
+                return FrameType::done;
+            else
+                return FrameType::error;
+        },
+        frame);
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string body;
+    putU8(body, static_cast<std::uint8_t>(frameType(frame)));
+    std::visit(
+        [&body](const auto &alternative) {
+            using T = std::decay_t<decltype(alternative)>;
+            if constexpr (std::is_same_v<T, RequestFrame>) {
+                putU32(body, alternative.protocol);
+                putString(body, alternative.pipeline);
+                putString(body, alternative.input);
+                putU64(body, alternative.deadlineMicros);
+                putF64(body, alternative.minQuality);
+                putU32(body, alternative.stageWorkers);
+            } else if constexpr (std::is_same_v<T, AcceptedFrame>) {
+                putU64(body, alternative.requestId);
+            } else if constexpr (std::is_same_v<T, VersionFrame>) {
+                putU64(body, alternative.version);
+                putU8(body, alternative.final ? 1 : 0);
+                putU8(body, alternative.degraded ? 1 : 0);
+                putF64(body, alternative.quality);
+                putString(body, alternative.payload);
+            } else if constexpr (std::is_same_v<T, DoneFrame>) {
+                putU8(body, alternative.status);
+                putU8(body, alternative.reachedPrecise ? 1 : 0);
+                putU8(body, alternative.deadlineMet ? 1 : 0);
+                putU64(body, alternative.versionsPublished);
+                putF64(body, alternative.quality);
+                putF64(body, alternative.firstVersionSeconds);
+                putF64(body, alternative.totalSeconds);
+            } else {
+                putString(body, alternative.message);
+            }
+        },
+        frame);
+    panicIf(body.size() > kMaxFrameBytes,
+            "wire: encoded frame exceeds the frame bound");
+    std::string out;
+    out.reserve(4 + body.size());
+    putU32(out, static_cast<std::uint32_t>(body.size()));
+    out.append(body);
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t size)
+{
+    if (corrupt)
+        return;
+    // Reclaim consumed prefix before growing (bounded memory under
+    // sustained streams).
+    if (consumed > 0 && consumed == buffer.size()) {
+        buffer.clear();
+        consumed = 0;
+    } else if (consumed > 4096) {
+        buffer.erase(0, consumed);
+        consumed = 0;
+    }
+    buffer.append(data, size);
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (corrupt)
+        return std::nullopt;
+    const std::size_t available = buffer.size() - consumed;
+    if (available < 4)
+        return std::nullopt;
+    const char *head = buffer.data() + consumed;
+    std::uint32_t length = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        length |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(head[shift / 8]))
+                  << shift;
+    if (length == 0) {
+        fail("zero-length frame");
+        return std::nullopt;
+    }
+    if (length > kMaxFrameBytes) {
+        fail("frame length " + std::to_string(length) +
+             " exceeds the bound");
+        return std::nullopt;
+    }
+    if (available < 4 + static_cast<std::size_t>(length))
+        return std::nullopt; // truncated so far: wait for more bytes
+    const auto type = static_cast<FrameType>(
+        static_cast<unsigned char>(head[4]));
+    auto frame = decodeBody(type, head + 5, length - 1);
+    if (!frame) {
+        fail("malformed frame body (type " +
+             std::to_string(static_cast<unsigned>(type)) + ")");
+        return std::nullopt;
+    }
+    consumed += 4 + length;
+    return frame;
+}
+
+void
+FrameReader::fail(std::string reason)
+{
+    corrupt = true;
+    message = std::move(reason);
+}
+
+} // namespace anytime::net

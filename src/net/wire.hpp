@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Wire codec for the anytime streaming protocol (no sockets here).
+ *
+ * The protocol maps the anytime contract onto a byte stream: one
+ * request per connection, answered by a *stream* of VERSION frames —
+ * each a monotonically better approximation — terminated by a DONE
+ * frame carrying the same QoR metadata an in-process ServiceResponse
+ * does. A client that stops reading (or disconnects) simply loses the
+ * tail of the stream; every prefix it did receive was a valid answer.
+ *
+ * Framing: a connection opens with the 4-byte magic "ANYT" (which also
+ * lets one listener distinguish binary clients from HTTP ones), then
+ * carries length-prefixed frames:
+ *
+ *     u32 length | u8 type | body (length - 1 bytes)
+ *
+ * all integers little-endian, doubles as IEEE-754 bit patterns,
+ * strings as u32 length + raw bytes. The decoder is strict: unknown
+ * types, truncated fields, trailing bytes, and frames larger than
+ * kMaxFrameBytes are all rejected as corrupt (tested against random
+ * corpora in tests/net/test_wire.cpp).
+ */
+
+#ifndef ANYTIME_NET_WIRE_HPP
+#define ANYTIME_NET_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace anytime::net {
+
+/** Protocol revision; bumped on any incompatible frame change. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Connection preamble distinguishing binary clients from HTTP. */
+inline constexpr char kMagic[4] = {'A', 'N', 'Y', 'T'};
+
+/** Upper bound on one frame (decoder rejects larger as corrupt). */
+inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;
+
+/** Frame type tags (the u8 after the length prefix). */
+enum class FrameType : std::uint8_t
+{
+    request = 1,
+    accepted = 2,
+    version = 3,
+    done = 4,
+    error = 5,
+};
+
+/** Client -> server: run @p pipeline on @p input, stream versions. */
+struct RequestFrame
+{
+    std::uint32_t protocol = kProtocolVersion;
+    /** Pipeline name, resolved through the server's catalog. */
+    std::string pipeline;
+    /** Opaque input spec, interpreted by the catalog handler. */
+    std::string input;
+    /** Response-by deadline, microseconds from server receipt. */
+    std::uint64_t deadlineMicros = 1000000;
+    /** Minimum acceptable quality in [0, 1] (0 = run to deadline). */
+    double minQuality = 0.0;
+    /** Declared intra-stage gang width (admission hint). */
+    std::uint32_t stageWorkers = 1;
+};
+
+/** Server -> client: request admitted; id echoes into traces. */
+struct AcceptedFrame
+{
+    std::uint64_t requestId = 0;
+};
+
+/** Server -> client: one published version of the output. */
+struct VersionFrame
+{
+    std::uint64_t version = 0;
+    bool final = false;
+    bool degraded = false;
+    /** Quality estimate in [0, 1]; NaN when the pipeline has none. */
+    double quality = std::numeric_limits<double>::quiet_NaN();
+    /** Serialized output version (catalog-defined encoding). */
+    std::string payload;
+};
+
+/** Server -> client: terminal QoR metadata (mirrors ServiceResponse). */
+struct DoneFrame
+{
+    /** ServiceStatus cast to its underlying value. */
+    std::uint8_t status = 0;
+    bool reachedPrecise = false;
+    bool deadlineMet = false;
+    std::uint64_t versionsPublished = 0;
+    double quality = std::numeric_limits<double>::quiet_NaN();
+    double firstVersionSeconds =
+        std::numeric_limits<double>::quiet_NaN();
+    double totalSeconds = 0.0;
+};
+
+/** Server -> client: protocol or admission failure; closes the
+ *  stream. */
+struct ErrorFrame
+{
+    std::string message;
+};
+
+using Frame = std::variant<RequestFrame, AcceptedFrame, VersionFrame,
+                           DoneFrame, ErrorFrame>;
+
+/** The tag a Frame alternative encodes as. */
+FrameType frameType(const Frame &frame);
+
+/** Encode @p frame as length-prefixed bytes (no magic). */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Incremental frame decoder: feed() arbitrary byte chunks, next()
+ * yields complete frames in order. Once failed() the reader stays
+ * failed (the stream is unrecoverable — framing is lost).
+ */
+class FrameReader
+{
+  public:
+    /** Append raw bytes from the stream. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Next complete frame, or nullopt when more bytes are needed or
+     * the stream is corrupt (check failed() to distinguish).
+     */
+    std::optional<Frame> next();
+
+    /** True once the stream was rejected as corrupt. */
+    bool failed() const { return corrupt; }
+
+    /** One-line reason for the failure ("" while healthy). */
+    const std::string &error() const { return message; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buffer.size() - consumed; }
+
+  private:
+    void fail(std::string reason);
+
+    std::string buffer;
+    std::size_t consumed = 0;
+    bool corrupt = false;
+    std::string message;
+};
+
+} // namespace anytime::net
+
+#endif // ANYTIME_NET_WIRE_HPP

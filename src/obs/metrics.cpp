@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "support/error.hpp"
 
@@ -155,6 +156,14 @@ MetricsRegistry::writePrometheus(const std::string &path) const
         return false;
     writePrometheus(out);
     return static_cast<bool>(out);
+}
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::ostringstream out;
+    writePrometheus(out);
+    return out.str();
 }
 
 std::vector<MetricSnapshot>

@@ -142,6 +142,10 @@ class MetricsRegistry
     /** writePrometheus() to a file; false (no throw) on I/O error. */
     bool writePrometheus(const std::string &path) const;
 
+    /** The Prometheus text exposition as a string (the `GET /metrics`
+     *  endpoint body in src/net/). */
+    std::string prometheusText() const;
+
     /** Flat snapshot of every metric, sorted by name. */
     std::vector<MetricSnapshot> snapshot() const;
 

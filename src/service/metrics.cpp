@@ -39,6 +39,8 @@ void
 ServiceMetrics::record(const ServiceResponse &response)
 {
     ++totalCount;
+    if (!std::isnan(response.firstVersionSeconds))
+        firstVersionLatencies.observe(response.firstVersionSeconds);
     if (response.deadlineMet)
         ++deadlineHits;
     switch (response.status) {
@@ -100,6 +102,16 @@ ServiceMetrics::latencyPercentile(double p) const
 }
 
 double
+ServiceMetrics::firstVersionPercentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0,
+            "firstVersionPercentile: p out of range: ", p);
+    if (firstVersionLatencies.count() == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return firstVersionLatencies.percentile(p);
+}
+
+double
 ServiceMetrics::meanQuality() const
 {
     if (qualitySamples == 0)
@@ -115,7 +127,8 @@ ServiceMetrics::table(const std::string &title) const
     result.columns = {"requests", "served",    "precise", "shed",
                       "expired",  "failed",    "cancelled", "degraded",
                       "hit_rate", "p50_ms",    "p95_ms",    "p99_ms",
-                      "mean_quality"};
+                      "t90_first_ms", "mean_quality"};
+    const double t90_first = firstVersionPercentile(90);
     result.rows.push_back(
         {std::to_string(totalCount), std::to_string(servedCount),
          std::to_string(preciseCount), std::to_string(shedCount),
@@ -125,6 +138,7 @@ ServiceMetrics::table(const std::string &title) const
          formatDouble(latencyPercentile(50) * 1e3, 2),
          formatDouble(latencyPercentile(95) * 1e3, 2),
          formatDouble(latencyPercentile(99) * 1e3, 2),
+         std::isnan(t90_first) ? "-" : formatDouble(t90_first * 1e3, 2),
          formatDouble(meanQuality(), 3)});
     return result;
 }

@@ -72,6 +72,22 @@ class ServiceMetrics
     /** Mean progress-probe quality over served requests with a probe. */
     double meanQuality() const;
 
+    /**
+     * First-version latency percentile in seconds (dispatch to first
+     * streamed version) over requests that streamed at least one
+     * version. NaN when nothing streamed (factories without an
+     * attachSink hook never report first-version times). t90 of this
+     * distribution is the serving-side anchor the network bench
+     * compares its over-the-wire t90-to-first-version against.
+     */
+    double firstVersionPercentile(double p) const;
+
+    /** Requests that reported a first-version latency. */
+    std::size_t firstVersionSamples() const
+    {
+        return firstVersionLatencies.count();
+    }
+
     /** Printable summary (harness report format). */
     SeriesTable table(const std::string &title) const;
 
@@ -92,6 +108,8 @@ class ServiceMetrics
     std::size_t qualitySamples = 0;
     /** Bounded log-bucketed latency distribution (seconds). */
     obs::LogHistogram servedLatencies;
+    /** Dispatch-to-first-streamed-version distribution (seconds). */
+    obs::LogHistogram firstVersionLatencies;
 };
 
 } // namespace anytime

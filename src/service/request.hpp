@@ -33,6 +33,37 @@
 
 namespace anytime {
 
+/**
+ * One published version, as seen by a streaming subscriber.
+ *
+ * The payload is an optional serialized rendering of the version (the
+ * factory decides the encoding — the service never interprets it);
+ * sinks that only need timing/metadata (e.g. the server's first-version
+ * clock) leave it untouched. Shared so a fan-out to many subscribers
+ * never copies the bytes.
+ */
+struct VersionUpdate
+{
+    /** Version number (1-based, monotone per request). */
+    std::uint64_t version = 0;
+    /** True iff this is the terminal version (precise or degraded). */
+    bool final = false;
+    /** True iff the producing buffer was degraded (fault containment). */
+    bool degraded = false;
+    /** Quality estimate in [0, 1] at this version; NaN if unknown. */
+    double quality = std::numeric_limits<double>::quiet_NaN();
+    /** Serialized version payload; null when the sink is metadata-only. */
+    std::shared_ptr<const std::string> payload;
+};
+
+/**
+ * Per-version subscription callback. Invoked on the publishing worker
+ * thread, after the version is visible in the buffer, once per
+ * published version in order. Must be fast (it sits on the pipeline's
+ * publish path) and must not call back into the server.
+ */
+using VersionSink = std::function<void(const VersionUpdate &update)>;
+
 /** An automaton instantiated for one request, plus its QoR probes. */
 struct PreparedPipeline
 {
@@ -54,7 +85,21 @@ struct PreparedPipeline
      * all of the automaton's buffers.
      */
     std::function<std::uint64_t()> versionCount;
+
+    /**
+     * Optional streaming hook: wire @p sink to receive every version
+     * the pipeline publishes from start() on. Called at most once, by
+     * the server, after the pipeline is built and before it starts
+     * (typically implemented with VersionedBuffer::addObserver on the
+     * output buffer, encoding each snapshot into a VersionUpdate).
+     * When present the server always attaches a sink — it wraps the
+     * request's own versionSink (if any) with first-version timing, so
+     * ServiceResponse::firstVersionSeconds is populated.
+     */
+    std::function<void(VersionSink sink)> attachSink;
 };
+
+struct ServiceResponse;
 
 /** One unit of service work. */
 struct ServiceRequest
@@ -88,6 +133,24 @@ struct ServiceRequest
      * pipeline itself.
      */
     unsigned stageWorkers = 1;
+
+    /**
+     * Optional per-version subscription (the network fan-out hook):
+     * receives every version the pipeline publishes, in order, on the
+     * publishing worker thread. Requires the factory to provide
+     * PreparedPipeline::attachSink; silently unused otherwise.
+     */
+    VersionSink versionSink;
+
+    /**
+     * Optional completion hook, fired exactly once, immediately after
+     * the response future is fulfilled, on whatever thread fulfilled it
+     * (the scheduler thread, or the submitter's thread for immediate
+     * sheds). Runs under the server lock: it must be fast and must not
+     * call back into the server. This is how a transport layer learns
+     * the terminal disposition without blocking on the future.
+     */
+    std::function<void(const ServiceResponse &response)> onComplete;
 };
 
 /** Terminal disposition of a request. */
@@ -107,7 +170,10 @@ enum class ServiceStatus
     expired,
     /** A pipeline stage threw; see ServiceResponse::failures. */
     failed,
-    /** Server shut down before the request finished. */
+    /** Cancelled before completion: server shutdown, or an explicit
+     *  AnytimeServer::cancel() (the disconnect-as-cancel path — a
+     *  streaming client that went away while its request was queued or
+     *  running). */
     cancelled,
     /**
      * A stage faulted but the degradation policy salvaged the request:
@@ -147,6 +213,13 @@ struct ServiceResponse
     double quality = std::numeric_limits<double>::quiet_NaN();
     /** Seconds from submission to dispatch (queueing delay). */
     double queueSeconds = 0.0;
+    /**
+     * Seconds from dispatch to the first published version, as seen by
+     * the server's sink wrapper; NaN when no version streamed (nothing
+     * published, or the factory provided no attachSink). This is the
+     * service-side half of the network t90-to-first-version metric.
+     */
+    double firstVersionSeconds = std::numeric_limits<double>::quiet_NaN();
     /** Seconds the pipeline actually ran. */
     double execSeconds = 0.0;
     /** Seconds from submission to response. */

@@ -86,6 +86,9 @@ AnytimeServer::AnytimeServer(ServerConfig config)
     live.buildTime = &registry.histogram(
         "anytime_build_seconds",
         "Pipeline factory (build) wall time.");
+    live.firstVersion = &registry.histogram(
+        "anytime_first_version_seconds",
+        "Dispatch-to-first-streamed-version latency.");
     builder = std::jthread(
         [this](std::stop_token stop) { builderLoop(std::move(stop)); });
     scheduler = std::jthread(
@@ -158,18 +161,26 @@ AnytimeServer::builderLoop(std::stop_token stop)
 std::future<ServiceResponse>
 AnytimeServer::submit(ServiceRequest request)
 {
+    return submitTracked(std::move(request)).response;
+}
+
+Submission
+AnytimeServer::submitTracked(ServiceRequest request)
+{
     fatalIf(!request.factory, "submit: request '", request.name,
             "' has no pipeline factory");
     fatalIf(request.minQuality < 0.0 || request.minQuality > 1.0,
             "submit: minQuality out of [0, 1]: ", request.minQuality);
 
     std::promise<ServiceResponse> promise;
-    std::future<ServiceResponse> future = promise.get_future();
+    Submission submission;
+    submission.response = promise.get_future();
     const auto now = Clock::now();
     const auto deadline = now + request.deadline;
 
     MutexLock lock(mutex);
     const std::uint64_t id = nextId++;
+    submission.id = id;
     live.submitted->add();
     obs::traceAsyncBegin(
         "request", "service", id,
@@ -178,28 +189,31 @@ AnytimeServer::submit(ServiceRequest request)
              .count()},
         {"min_quality", request.minQuality});
     if (stopping) {
-        respondImmediately(promise, ServiceStatus::cancelled, now, id);
-        return future;
+        respondImmediately(promise, ServiceStatus::cancelled, now, id,
+                           {}, &request.onComplete);
+        return submission;
     }
     // A deadline at or before "now" can never be met by dispatching:
     // answer immediately (empty quality) instead of queueing a request
     // that would only ever expire. This is the zero-deadline guarantee.
     if (request.deadline <= std::chrono::nanoseconds::zero()) {
-        respondImmediately(promise, ServiceStatus::expired, now, id);
-        return future;
+        respondImmediately(promise, ServiceStatus::expired, now, id, {},
+                           &request.onComplete);
+        return submission;
     }
     // Circuit breaker: a pipeline name that keeps failing is shed up
     // front during its cooldown, so a poisoned factory can't burn the
     // builder and the retry budget on every submission.
     if (circuitOpenLocked(request.name, now)) {
         respondImmediately(promise, ServiceStatus::shedCircuitOpen, now,
-                           id);
-        return future;
+                           id, {}, &request.onComplete);
+        return submission;
     }
     if (const auto shed =
             admissionVerdict(now, deadline, request.stageWorkers)) {
-        respondImmediately(promise, *shed, now, id);
-        return future;
+        respondImmediately(promise, *shed, now, id, {},
+                           &request.onComplete);
+        return submission;
     }
 
     PendingEntry entry;
@@ -212,7 +226,44 @@ AnytimeServer::submit(ServiceRequest request)
     updateDepthGaugesLocked();
     pendingDirty = true;
     wake.notifyAll();
-    return future;
+    return submission;
+}
+
+bool
+AnytimeServer::cancel(std::uint64_t id)
+{
+    MutexLock lock(mutex);
+    if (stopping)
+        return false; // shutdown already cancels everything
+    const auto queued = std::find_if(
+        pending.begin(), pending.end(),
+        [&](const auto &kv) { return kv.second.id == id; });
+    if (queued != pending.end()) {
+        // A pipeline the builder is producing for this entry right now
+        // is discarded by integrateBuildResultsLocked() (its automaton
+        // was never started), exactly like an expired entry's.
+        PendingEntry &entry = queued->second;
+        obs::traceInstant("client.cancel", "service",
+                          {"request", static_cast<double>(id)},
+                          {"queued", 1.0});
+        respondImmediately(entry.promise, ServiceStatus::cancelled,
+                           entry.submitted, entry.id, {},
+                           &entry.request.onComplete);
+        pending.erase(queued);
+        updateDepthGaugesLocked();
+        return true;
+    }
+    const auto it = running.find(id);
+    if (it != running.end() &&
+        it->second.stopReason == StopReason::none) {
+        it->second.stopReason = StopReason::client;
+        obs::traceInstant("client.cancel", "service",
+                          {"request", static_cast<double>(id)},
+                          {"queued", 0.0});
+        it->second.pipeline.automaton->stop();
+        return true;
+    }
+    return false;
 }
 
 std::optional<ServiceStatus>
@@ -283,11 +334,11 @@ AnytimeServer::admissionVerdict(Clock::time_point now,
 }
 
 void
-AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
-                                  ServiceStatus status,
-                                  Clock::time_point submitted,
-                                  std::uint64_t id,
-                                  std::vector<std::string> failures)
+AnytimeServer::respondImmediately(
+    std::promise<ServiceResponse> &promise, ServiceStatus status,
+    Clock::time_point submitted, std::uint64_t id,
+    std::vector<std::string> failures,
+    const std::function<void(const ServiceResponse &)> *on_complete)
 {
     ServiceResponse response;
     response.status = status;
@@ -300,7 +351,12 @@ AnytimeServer::respondImmediately(std::promise<ServiceResponse> &promise,
                            {"served", 0.0});
     obs::traceInstant(serviceStatusName(status), "service",
                       {"request", static_cast<double>(id)});
-    promise.set_value(std::move(response));
+    if (on_complete != nullptr && *on_complete) {
+        promise.set_value(response);
+        (*on_complete)(response);
+    } else {
+        promise.set_value(std::move(response));
+    }
     idleCv.notifyAll();
 }
 
@@ -426,7 +482,8 @@ AnytimeServer::integrateBuildResultsLocked()
             recordPipelineFailureLocked(entry.request.name, now);
             respondImmediately(entry.promise, ServiceStatus::failed,
                                entry.submitted, entry.id,
-                               {std::move(result.error)});
+                               {std::move(result.error)},
+                               &entry.request.onComplete);
             pending.erase(it);
             updateDepthGaugesLocked();
         } else {
@@ -458,6 +515,16 @@ AnytimeServer::harvest(RunningEntry entry)
     if (response.reachedPrecise)
         response.quality = 1.0;
 
+    if (entry.firstVersionNanos != nullptr) {
+        const std::int64_t first_ns = entry.firstVersionNanos->load(
+            std::memory_order_acquire);
+        if (first_ns >= 0) {
+            response.firstVersionSeconds =
+                static_cast<double>(first_ns) * 1e-9;
+            live.firstVersion->observe(response.firstVersionSeconds);
+        }
+    }
+
     response.degraded = automaton.degraded();
     if (automaton.failed()) {
         response.failures = automaton.failures();
@@ -480,6 +547,11 @@ AnytimeServer::harvest(RunningEntry entry)
             // the answer the client got, not the pipeline's state.
             response.degraded = false;
         }
+    } else if (entry.stopReason == StopReason::client) {
+        // The client went away (disconnect-as-cancel): even if the
+        // pipeline happened to finish in the stop window, nobody is
+        // listening — account it cancelled, not served.
+        response.status = ServiceStatus::cancelled;
     } else if (response.reachedPrecise) {
         response.status = ServiceStatus::preciseCompleted;
     } else if (entry.stopReason == StopReason::quality) {
@@ -526,7 +598,12 @@ AnytimeServer::harvest(RunningEntry entry)
              static_cast<double>(response.versionsPublished)},
             {"quality", response.quality});
     }
-    entry.promise.set_value(std::move(response));
+    if (entry.onComplete) {
+        entry.promise.set_value(response);
+        entry.onComplete(response);
+    } else {
+        entry.promise.set_value(std::move(response));
+    }
     idleCv.notifyAll();
 }
 
@@ -635,8 +712,10 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             stopping = true;
         if (stopping) {
             for (auto &[deadline, entry] : pending)
-                respondImmediately(entry.promise, ServiceStatus::cancelled,
-                                   entry.submitted, entry.id);
+                respondImmediately(entry.promise,
+                                   ServiceStatus::cancelled,
+                                   entry.submitted, entry.id, {},
+                                   &entry.request.onComplete);
             pending.clear();
             updateDepthGaugesLocked();
             for (auto &[id, entry] : running) {
@@ -665,7 +744,8 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             PendingEntry &head = it->second;
             if (head.deadline <= Clock::now()) {
                 respondImmediately(head.promise, ServiceStatus::expired,
-                                   head.submitted, head.id);
+                                   head.submitted, head.id, {},
+                                   &head.request.onComplete);
                 pending.erase(it);
                 updateDepthGaugesLocked();
                 continue;
@@ -692,7 +772,8 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                     head.id,
                     {"pipeline needs " + std::to_string(gang) +
                      " workers but the pool has " +
-                     std::to_string(workers.size())});
+                     std::to_string(workers.size())},
+                    &head.request.onComplete);
                 pending.erase(it);
                 updateDepthGaugesLocked();
                 continue;
@@ -710,6 +791,34 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             entry.pipeline = std::move(head.pipeline);
             entry.gang = gang;
             entry.minQuality = head.request.minQuality;
+            entry.onComplete = std::move(head.request.onComplete);
+            // Streaming hook: wrap the request's sink (if any) with the
+            // first-version clock and attach it before the pipeline
+            // starts, so every published version is both timed and
+            // fanned out to the subscriber.
+            if (entry.pipeline.attachSink) {
+                auto first_ns =
+                    std::make_shared<std::atomic<std::int64_t>>(-1);
+                entry.firstVersionNanos = first_ns;
+                const auto dispatched = entry.dispatched;
+                VersionSink forward =
+                    std::move(head.request.versionSink);
+                entry.pipeline.attachSink(
+                    [first_ns, dispatched,
+                     forward = std::move(forward)](
+                        const VersionUpdate &update) {
+                        std::int64_t expected = -1;
+                        first_ns->compare_exchange_strong(
+                            expected,
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(Clock::now() -
+                                                          dispatched)
+                                .count(),
+                            std::memory_order_acq_rel);
+                        if (forward)
+                            forward(update);
+                    });
+            }
             pending.erase(it);
 
             Automaton *automaton = entry.pipeline.automaton.get();

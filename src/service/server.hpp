@@ -36,6 +36,7 @@
 #ifndef ANYTIME_SERVICE_SERVER_HPP
 #define ANYTIME_SERVICE_SERVER_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -107,6 +108,15 @@ struct ServerConfig
         std::chrono::milliseconds(250);
 };
 
+/** A submitted request's handle: its id (for cancel()) + response. */
+struct Submission
+{
+    /** Server-assigned request id (nonzero; stable for the request's
+     *  lifetime). Feed to AnytimeServer::cancel(). */
+    std::uint64_t id = 0;
+    std::future<ServiceResponse> response;
+};
+
 /** In-process anytime serving runtime. */
 class AnytimeServer
 {
@@ -125,6 +135,22 @@ class AnytimeServer
      * dispatched ones. Never blocks on pipeline execution.
      */
     std::future<ServiceResponse> submit(ServiceRequest request);
+
+    /** submit() that also hands back the request id for cancel(). */
+    Submission submitTracked(ServiceRequest request);
+
+    /**
+     * Cancel request @p id (the disconnect-as-cancel path). A queued
+     * request is answered `cancelled` immediately (a pipeline being
+     * built for it is discarded when the builder finishes); a running
+     * one is cooperatively stopped and harvested as `cancelled`. Either
+     * way the accounting identity holds — a cancelled request lands in
+     * exactly one bucket.
+     *
+     * @return True iff the id was found queued or running (false: never
+     *         existed, already responded, or already stopping).
+     */
+    bool cancel(std::uint64_t id);
 
     /** Block until every accepted request has been responded to. */
     void drain();
@@ -153,6 +179,8 @@ class AnytimeServer
         deadline,
         quality,
         shutdown,
+        /** Explicit cancel() — e.g. the streaming client disconnected. */
+        client,
     };
 
     struct PendingEntry
@@ -202,6 +230,12 @@ class AnytimeServer
         unsigned gang = 0;
         double minQuality = 0.0;
         StopReason stopReason = StopReason::none;
+        /** Completion hook carried over from the request. */
+        std::function<void(const ServiceResponse &)> onComplete;
+        /** Nanoseconds from dispatch to the first streamed version,
+         *  written by the sink wrapper on a worker thread (-1 = none
+         *  yet). Null when the pipeline has no attachSink. */
+        std::shared_ptr<std::atomic<std::int64_t>> firstVersionNanos;
     };
 
     void schedulerLoop(std::stop_token stop);
@@ -210,13 +244,15 @@ class AnytimeServer
     void builderLoop(std::stop_token stop);
 
     /** Respond without dispatching (shed/expired/cancelled/failed).
-     *  @p id closes the request's trace span (0 = no span open). */
-    void respondImmediately(std::promise<ServiceResponse> &promise,
-                            ServiceStatus status,
-                            Clock::time_point submitted,
-                            std::uint64_t id = 0,
-                            std::vector<std::string> failures = {})
-        ANYTIME_REQUIRES(mutex);
+     *  @p id closes the request's trace span (0 = no span open);
+     *  @p on_complete is the request's completion hook (may be null),
+     *  invoked after the promise is fulfilled. */
+    void respondImmediately(
+        std::promise<ServiceResponse> &promise, ServiceStatus status,
+        Clock::time_point submitted, std::uint64_t id = 0,
+        std::vector<std::string> failures = {},
+        const std::function<void(const ServiceResponse &)> *on_complete =
+            nullptr) ANYTIME_REQUIRES(mutex);
 
     /** Harvest a finished pipeline and fulfill its promise (caller
      *  locked: folds the response into the EWMA admission model). */
@@ -326,6 +362,7 @@ class AnytimeServer
         obs::LogHistogram *queueDelay = nullptr;
         obs::LogHistogram *execTime = nullptr;
         obs::LogHistogram *buildTime = nullptr;
+        obs::LogHistogram *firstVersion = nullptr;
     };
 
     /** Fold a terminal response into the live registry metrics. */

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Network chaos: the `net.write` fault site severs a client's socket
+ * writes mid-stream. The server must treat the severed connection
+ * exactly like a voluntary disconnect — cancel the orphaned request,
+ * keep the accounting identity, and keep serving new connections once
+ * the plan is disarmed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "fault/fault.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace anytime::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+void
+expectAccountingIdentity(const ServiceMetrics &metrics)
+{
+    EXPECT_EQ(metrics.total(),
+              metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed() + metrics.cancelled() +
+                  metrics.degraded());
+}
+
+double
+counterValue(const obs::MetricsRegistry &registry,
+             const std::string &name)
+{
+    for (const auto &row : registry.snapshot())
+        if (row.name == name)
+            return row.value;
+    return -1.0;
+}
+
+bool
+awaitTotal(AnytimeServer &service, std::size_t total,
+           std::chrono::milliseconds budget)
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < budget) {
+        if (service.metricsSnapshot().total() >= total)
+            return true;
+        std::this_thread::sleep_for(5ms);
+    }
+    return service.metricsSnapshot().total() >= total;
+}
+
+class ChaosNetTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::FaultInjector::disarm(); }
+};
+
+TEST_F(ChaosNetTest, MidStreamWriteFaultCancelsTheRequest)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // The 3rd write on the (only) connection throws: ACCEPTED and the
+    // first version get out, then the stream is severed server-side.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("net.write=throw@3"));
+
+    obs::MetricsRegistry registry;
+    NetServerConfig config;
+    config.catalog = std::make_shared<PipelineCatalog>();
+    registerCounterPipeline(*config.catalog);
+    config.metricsRegistry = &registry;
+    config.service.workers = 2;
+    NetServer server(std::move(config));
+
+    ClientOptions client;
+    client.port = server.port();
+    client.timeout = 10000ms;
+    RequestFrame request;
+    request.pipeline = "counter";
+    request.input = "8000:1000:100"; // ~8 s, publishing every 100 ms
+    request.deadlineMicros = 30000000;
+
+    const auto started = std::chrono::steady_clock::now();
+    const auto result = runRequest(client, request);
+    // The client observes a dead stream, not a DONE frame.
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.done.has_value());
+
+    // Server side: the severed write closed the connection, which
+    // cancelled the orphaned request well before its ~8 s runtime.
+    ASSERT_TRUE(awaitTotal(server.service(), 1, 5000ms));
+    EXPECT_LT(std::chrono::steady_clock::now() - started, 6s);
+    const ServiceMetrics metrics = server.service().metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 1u);
+    EXPECT_EQ(metrics.cancelled(), 1u);
+    expectAccountingIdentity(metrics);
+    EXPECT_GE(
+        counterValue(registry, "anytime_net_write_faults_total"), 1.0);
+
+    // Disarmed, the same server keeps serving: containment, not
+    // collapse.
+    fault::FaultInjector::disarm();
+    request.input = "32:200:8";
+    request.deadlineMicros = 5000000;
+    const auto retry = runRequest(client, request);
+    ASSERT_TRUE(retry.ok) << retry.error;
+    ASSERT_TRUE(retry.done.has_value());
+    EXPECT_EQ(retry.done->status,
+              static_cast<std::uint8_t>(
+                  ServiceStatus::preciseCompleted));
+}
+
+} // namespace
+} // namespace anytime::net

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * HTTP adapter tests: the socket-free parser/encoder helpers, and the
+ * live endpoints over loopback — GET /metrics serving the Prometheus
+ * registry, /healthz, 404s, and the /stream Server-Sent-Events door
+ * delivering progressive versions through chunked encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace anytime::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(HttpParser, ParsesRequestLineQueryAndHeaders)
+{
+    const std::string raw =
+        "GET /stream?pipeline=counter&input=64%3A200%3A8&min_quality=0.5 "
+        "HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "Accept: text/event-stream\r\n"
+        "\r\nleftover";
+    std::size_t consumed = 0;
+    const auto request = parseHttpRequest(raw, consumed);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(consumed, raw.size() - 8); // "leftover" stays unread
+    EXPECT_EQ(request->method, "GET");
+    EXPECT_EQ(request->path, "/stream");
+    EXPECT_EQ(request->query.at("pipeline"), "counter");
+    EXPECT_EQ(request->query.at("input"), "64:200:8"); // %3A decoded
+    EXPECT_EQ(request->query.at("min_quality"), "0.5");
+    EXPECT_EQ(request->headers.at("host"), "localhost");
+    EXPECT_EQ(request->headers.at("accept"), "text/event-stream");
+}
+
+TEST(HttpParser, IncompleteHeadAsksForMoreBytes)
+{
+    std::size_t consumed = 0;
+    EXPECT_FALSE(
+        parseHttpRequest("GET / HTTP/1.1\r\nHost: x\r\n", consumed)
+            .has_value());
+}
+
+TEST(HttpParser, MalformedRequestLineYieldsEmptyMethod)
+{
+    std::size_t consumed = 0;
+    const auto request =
+        parseHttpRequest("NONSENSE\r\n\r\n", consumed);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_TRUE(request->method.empty());
+}
+
+TEST(HttpHelpers, UrlDecodeHandlesEscapesPlusAndGarbage)
+{
+    EXPECT_EQ(urlDecode("a%20b+c"), "a b c");
+    EXPECT_EQ(urlDecode("100%"), "100%"); // bad escape kept verbatim
+    EXPECT_EQ(urlDecode("%3a%3A"), "::");
+}
+
+TEST(HttpHelpers, JsonEscapeCoversQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(HttpHelpers, ChunkedSseEventsRoundTripThroughDecode)
+{
+    const std::string body = sseEvent("version", "{\"v\":1}") +
+                             sseEvent("done", "{\"ok\":true}") +
+                             chunkedFinal();
+    const auto decoded = decodeChunked(body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, "event: version\ndata: {\"v\":1}\n\n"
+                        "event: done\ndata: {\"ok\":true}\n\n");
+}
+
+TEST(HttpHelpers, DecodeChunkedRejectsMalformedFraming)
+{
+    EXPECT_FALSE(decodeChunked("zz\r\nhello\r\n").has_value());
+    EXPECT_FALSE(decodeChunked("5\r\nhel").has_value());
+    EXPECT_FALSE(decodeChunked("5\r\nhelloXX0\r\n\r\n").has_value());
+}
+
+struct HttpRig
+{
+    obs::MetricsRegistry registry;
+    std::unique_ptr<NetServer> server;
+
+    HttpRig()
+    {
+        NetServerConfig config;
+        config.catalog = std::make_shared<PipelineCatalog>();
+        registerCounterPipeline(*config.catalog);
+        config.metricsRegistry = &registry;
+        config.service.workers = 2;
+        server = std::make_unique<NetServer>(std::move(config));
+    }
+
+    ClientOptions
+    client() const
+    {
+        ClientOptions options;
+        options.port = server->port();
+        options.timeout = 10000ms;
+        return options;
+    }
+};
+
+TEST(HttpEndpoints, MetricsServesThePrometheusRegistry)
+{
+    HttpRig rig;
+    const auto response = httpGet(rig.client(), "/metrics");
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.status, 200);
+    // The net layer's own counters are registered at startup, so the
+    // exposition must mention them (plus HELP/TYPE comments).
+    EXPECT_NE(response.body.find("anytime_net_connections_total"),
+              std::string::npos);
+    EXPECT_NE(response.body.find("# TYPE"), std::string::npos);
+}
+
+TEST(HttpEndpoints, HealthzAndPipelinesAnswer)
+{
+    HttpRig rig;
+    const auto health = httpGet(rig.client(), "/healthz");
+    ASSERT_TRUE(health.ok) << health.error;
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.body, "ok\n");
+
+    const auto pipelines = httpGet(rig.client(), "/pipelines");
+    ASSERT_TRUE(pipelines.ok) << pipelines.error;
+    EXPECT_EQ(pipelines.status, 200);
+    EXPECT_NE(pipelines.body.find("\"counter\""), std::string::npos);
+}
+
+TEST(HttpEndpoints, UnknownPathIs404)
+{
+    HttpRig rig;
+    const auto missing = httpGet(rig.client(), "/no-such-endpoint");
+    ASSERT_TRUE(missing.ok) << missing.error;
+    EXPECT_EQ(missing.status, 404);
+}
+
+TEST(HttpEndpoints, StreamDeliversProgressiveSseEvents)
+{
+    HttpRig rig;
+    const auto response = httpGet(
+        rig.client(),
+        "/stream?pipeline=counter&input=64:500:8&deadline_ms=10000");
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.headers.at("content-type"),
+              "text/event-stream");
+    EXPECT_NE(response.body.find("event: accepted"),
+              std::string::npos);
+    EXPECT_NE(response.body.find("event: version"), std::string::npos);
+    EXPECT_NE(response.body.find("event: done"), std::string::npos);
+    // The final version and terminal status ride in the JSON bodies.
+    EXPECT_NE(response.body.find("\"payload\":\"64\""),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"final\":true"), std::string::npos);
+    EXPECT_NE(response.body.find("\"status\":\"precise\""),
+              std::string::npos);
+}
+
+TEST(HttpEndpoints, StreamValidatesItsQuery)
+{
+    HttpRig rig;
+    const auto missing = httpGet(rig.client(), "/stream");
+    ASSERT_TRUE(missing.ok) << missing.error;
+    EXPECT_EQ(missing.status, 400);
+
+    const auto unknown = httpGet(
+        rig.client(), "/stream?pipeline=does-not-exist");
+    ASSERT_TRUE(unknown.ok) << unknown.error;
+    EXPECT_EQ(unknown.status, 400);
+
+    const auto garbled = httpGet(
+        rig.client(),
+        "/stream?pipeline=counter&deadline_ms=not-a-number");
+    ASSERT_TRUE(garbled.ok) << garbled.error;
+    EXPECT_EQ(garbled.status, 400);
+}
+
+} // namespace
+} // namespace anytime::net

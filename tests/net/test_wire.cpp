@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Wire-codec unit tests: exact round-trips for every frame type, the
+ * incremental reader under adversarial chunking, strict rejection of
+ * truncated/oversize/unknown/trailing-byte frames, and a seeded
+ * random-corpus sweep (fuzz-ish, fully deterministic) asserting that
+ * arbitrary byte soup never crashes the decoder and that random valid
+ * frame sequences survive re-chunking bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace anytime::net {
+namespace {
+
+void
+expectFrameEq(const Frame &a, const Frame &b)
+{
+    ASSERT_EQ(a.index(), b.index());
+    if (const auto *ra = std::get_if<RequestFrame>(&a)) {
+        const auto &rb = std::get<RequestFrame>(b);
+        EXPECT_EQ(ra->protocol, rb.protocol);
+        EXPECT_EQ(ra->pipeline, rb.pipeline);
+        EXPECT_EQ(ra->input, rb.input);
+        EXPECT_EQ(ra->deadlineMicros, rb.deadlineMicros);
+        EXPECT_EQ(ra->minQuality, rb.minQuality);
+        EXPECT_EQ(ra->stageWorkers, rb.stageWorkers);
+    } else if (const auto *aa = std::get_if<AcceptedFrame>(&a)) {
+        EXPECT_EQ(aa->requestId, std::get<AcceptedFrame>(b).requestId);
+    } else if (const auto *va = std::get_if<VersionFrame>(&a)) {
+        const auto &vb = std::get<VersionFrame>(b);
+        EXPECT_EQ(va->version, vb.version);
+        EXPECT_EQ(va->final, vb.final);
+        EXPECT_EQ(va->degraded, vb.degraded);
+        // NaN-safe: compare bit patterns, not values.
+        EXPECT_EQ(std::isnan(va->quality), std::isnan(vb.quality));
+        if (!std::isnan(va->quality)) {
+            EXPECT_EQ(va->quality, vb.quality);
+        }
+        EXPECT_EQ(va->payload, vb.payload);
+    } else if (const auto *da = std::get_if<DoneFrame>(&a)) {
+        const auto &db = std::get<DoneFrame>(b);
+        EXPECT_EQ(da->status, db.status);
+        EXPECT_EQ(da->reachedPrecise, db.reachedPrecise);
+        EXPECT_EQ(da->deadlineMet, db.deadlineMet);
+        EXPECT_EQ(da->versionsPublished, db.versionsPublished);
+        EXPECT_EQ(da->totalSeconds, db.totalSeconds);
+    } else {
+        EXPECT_EQ(std::get<ErrorFrame>(a).message,
+                  std::get<ErrorFrame>(b).message);
+    }
+}
+
+Frame
+decodeOne(const std::string &bytes)
+{
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    auto frame = reader.next();
+    EXPECT_FALSE(reader.failed()) << reader.error();
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_EQ(reader.buffered(), 0u);
+    return frame.value_or(Frame{ErrorFrame{"missing"}});
+}
+
+TEST(WireCodec, RequestRoundTrip)
+{
+    RequestFrame request;
+    request.pipeline = "counter";
+    request.input = "1024:50:16";
+    request.deadlineMicros = 750000;
+    request.minQuality = 0.25;
+    request.stageWorkers = 3;
+    const Frame original{request};
+    expectFrameEq(original, decodeOne(encodeFrame(original)));
+}
+
+TEST(WireCodec, VersionRoundTripWithNanQualityAndBinaryPayload)
+{
+    VersionFrame version;
+    version.version = 41;
+    version.final = true;
+    version.degraded = true;
+    // quality stays the default NaN
+    version.payload = std::string("\x00\xff\x7f bytes", 9);
+    const Frame original{version};
+    expectFrameEq(original, decodeOne(encodeFrame(original)));
+}
+
+TEST(WireCodec, AcceptedDoneErrorRoundTrip)
+{
+    expectFrameEq(Frame{AcceptedFrame{77}},
+                  decodeOne(encodeFrame(Frame{AcceptedFrame{77}})));
+
+    DoneFrame done;
+    done.status = 1;
+    done.reachedPrecise = true;
+    done.deadlineMet = true;
+    done.versionsPublished = 12;
+    done.quality = 1.0;
+    done.firstVersionSeconds = 0.0125;
+    done.totalSeconds = 0.5;
+    expectFrameEq(Frame{done}, decodeOne(encodeFrame(Frame{done})));
+
+    expectFrameEq(Frame{ErrorFrame{"boom"}},
+                  decodeOne(encodeFrame(Frame{ErrorFrame{"boom"}})));
+}
+
+TEST(WireCodec, FrameTypeTagsMatchAlternatives)
+{
+    EXPECT_EQ(frameType(Frame{RequestFrame{}}), FrameType::request);
+    EXPECT_EQ(frameType(Frame{AcceptedFrame{}}), FrameType::accepted);
+    EXPECT_EQ(frameType(Frame{VersionFrame{}}), FrameType::version);
+    EXPECT_EQ(frameType(Frame{DoneFrame{}}), FrameType::done);
+    EXPECT_EQ(frameType(Frame{ErrorFrame{}}), FrameType::error);
+}
+
+TEST(WireReader, ByteAtATimeFeedYieldsFramesInOrder)
+{
+    std::string stream;
+    stream += encodeFrame(Frame{AcceptedFrame{1}});
+    stream += encodeFrame(Frame{VersionFrame{2, false, false, 0.5,
+                                             "half"}});
+    stream += encodeFrame(Frame{DoneFrame{}});
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    for (const char byte : stream) {
+        reader.feed(&byte, 1);
+        while (auto frame = reader.next())
+            frames.push_back(std::move(*frame));
+    }
+    ASSERT_FALSE(reader.failed());
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frameType(frames[0]), FrameType::accepted);
+    EXPECT_EQ(frameType(frames[1]), FrameType::version);
+    EXPECT_EQ(std::get<VersionFrame>(frames[1]).payload, "half");
+    EXPECT_EQ(frameType(frames[2]), FrameType::done);
+}
+
+TEST(WireReader, TruncatedFrameWaitsWithoutFailing)
+{
+    const std::string bytes = encodeFrame(Frame{ErrorFrame{"partial"}});
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size() - 3);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_FALSE(reader.failed());
+    reader.feed(bytes.data() + bytes.size() - 3, 3);
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_FALSE(reader.failed());
+}
+
+TEST(WireReader, RejectsZeroLengthFrame)
+{
+    const char zeros[4] = {0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(zeros, sizeof zeros);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+}
+
+TEST(WireReader, RejectsOversizeFrame)
+{
+    // length = 2^31: far past kMaxFrameBytes.
+    const unsigned char bytes[5] = {0x00, 0x00, 0x00, 0x80, 0x03};
+    FrameReader reader;
+    reader.feed(reinterpret_cast<const char *>(bytes), sizeof bytes);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+    EXPECT_NE(reader.error().find("bound"), std::string::npos);
+}
+
+TEST(WireReader, RejectsUnknownFrameType)
+{
+    // length 1, type 99, no body.
+    const unsigned char bytes[5] = {0x01, 0x00, 0x00, 0x00, 99};
+    FrameReader reader;
+    reader.feed(reinterpret_cast<const char *>(bytes), sizeof bytes);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+}
+
+TEST(WireReader, RejectsTrailingBytesInBody)
+{
+    std::string bytes = encodeFrame(Frame{AcceptedFrame{5}});
+    // Grow the declared length by one and append a stray byte: the
+    // u64 body now has a trailing byte the decoder must reject.
+    bytes[0] = static_cast<char>(
+        static_cast<unsigned char>(bytes[0]) + 1);
+    bytes.push_back('\x42');
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+}
+
+TEST(WireReader, RejectsTruncatedStringField)
+{
+    // ERROR frame whose string length claims more bytes than the body
+    // holds: length 6 (type + u32), string length says 100.
+    std::string bytes;
+    const unsigned char head[5] = {0x05, 0x00, 0x00, 0x00, 0x05};
+    bytes.append(reinterpret_cast<const char *>(head), sizeof head);
+    const unsigned char strLen[4] = {100, 0, 0, 0};
+    bytes.append(reinterpret_cast<const char *>(strLen), sizeof strLen);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+}
+
+TEST(WireReader, StaysFailedAfterCorruption)
+{
+    const char zeros[4] = {0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(zeros, sizeof zeros);
+    EXPECT_FALSE(reader.next().has_value());
+    ASSERT_TRUE(reader.failed());
+    // Even a valid frame after the corruption is not decoded: framing
+    // is lost for good.
+    const std::string valid = encodeFrame(Frame{AcceptedFrame{1}});
+    reader.feed(valid.data(), valid.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.failed());
+}
+
+/** Deterministic pseudo-random frame for the corpus sweep. */
+Frame
+randomFrame(std::mt19937_64 &rng)
+{
+    std::uniform_int_distribution<int> pick(0, 4);
+    std::uniform_int_distribution<std::size_t> len(0, 200);
+    std::uniform_int_distribution<int> byte(0, 255);
+    const auto randomString = [&] {
+        std::string out(len(rng), '\0');
+        for (char &ch : out)
+            ch = static_cast<char>(byte(rng));
+        return out;
+    };
+    switch (pick(rng)) {
+      case 0: {
+        RequestFrame frame;
+        frame.pipeline = randomString();
+        frame.input = randomString();
+        frame.deadlineMicros = rng();
+        frame.minQuality = std::uniform_real_distribution<>(0, 1)(rng);
+        frame.stageWorkers = static_cast<std::uint32_t>(rng());
+        return frame;
+      }
+      case 1:
+        return AcceptedFrame{rng()};
+      case 2: {
+        VersionFrame frame;
+        frame.version = rng();
+        frame.final = (rng() & 1) != 0;
+        frame.degraded = (rng() & 1) != 0;
+        frame.quality = std::uniform_real_distribution<>(0, 1)(rng);
+        frame.payload = randomString();
+        return frame;
+      }
+      case 3: {
+        DoneFrame frame;
+        frame.status = static_cast<std::uint8_t>(rng() % 10);
+        frame.reachedPrecise = (rng() & 1) != 0;
+        frame.deadlineMet = (rng() & 1) != 0;
+        frame.versionsPublished = rng();
+        frame.quality = std::uniform_real_distribution<>(0, 1)(rng);
+        frame.totalSeconds = std::uniform_real_distribution<>(0, 9)(rng);
+        return frame;
+      }
+      default:
+        return ErrorFrame{randomString()};
+    }
+}
+
+TEST(WireCorpus, RandomFrameSequencesSurviveRandomChunking)
+{
+    std::mt19937_64 rng(0xc0dec0deULL);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<Frame> sent;
+        std::string stream;
+        std::uniform_int_distribution<int> count(1, 8);
+        const int frames = count(rng);
+        for (int i = 0; i < frames; ++i) {
+            sent.push_back(randomFrame(rng));
+            stream += encodeFrame(sent.back());
+        }
+        FrameReader reader;
+        std::vector<Frame> received;
+        std::size_t pos = 0;
+        std::uniform_int_distribution<std::size_t> chunk(1, 97);
+        while (pos < stream.size()) {
+            const std::size_t n =
+                std::min(chunk(rng), stream.size() - pos);
+            reader.feed(stream.data() + pos, n);
+            pos += n;
+            while (auto frame = reader.next())
+                received.push_back(std::move(*frame));
+        }
+        ASSERT_FALSE(reader.failed()) << reader.error();
+        ASSERT_EQ(received.size(), sent.size());
+        for (std::size_t i = 0; i < sent.size(); ++i)
+            expectFrameEq(sent[i], received[i]);
+    }
+}
+
+TEST(WireCorpus, RandomGarbageNeverCrashesAndFailsClosed)
+{
+    std::mt19937_64 rng(0xbadbadULL);
+    std::uniform_int_distribution<int> byte(0, 255);
+    for (int round = 0; round < 200; ++round) {
+        std::string garbage(256, '\0');
+        for (char &ch : garbage)
+            ch = static_cast<char>(byte(rng));
+        // Keep the declared length small so the reader actually
+        // attempts a decode instead of waiting for 4 GiB.
+        garbage[2] = 0;
+        garbage[3] = 0;
+        FrameReader reader;
+        reader.feed(garbage.data(), garbage.size());
+        int drained = 0;
+        while (reader.next().has_value() && drained < 1000)
+            ++drained; // decoding garbage may legitimately succeed
+        // Either it failed closed or it parked waiting for bytes —
+        // never an unbounded loop, never a crash.
+        SUCCEED();
+    }
+}
+
+TEST(WireCorpus, SingleFlippedBodyByteIsRejectedOrDecodesClean)
+{
+    std::mt19937_64 rng(0x5eedULL);
+    for (int round = 0; round < 100; ++round) {
+        std::string bytes = encodeFrame(randomFrame(rng));
+        std::uniform_int_distribution<std::size_t> pos(4,
+                                                       bytes.size() - 1);
+        const std::size_t at = pos(rng);
+        bytes[at] = static_cast<char>(bytes[at] ^ 0x20);
+        FrameReader reader;
+        reader.feed(bytes.data(), bytes.size());
+        const auto frame = reader.next();
+        // A flip may hit redundancy-free payload bytes (decodes to a
+        // different valid frame) or structure (fails closed / waits
+        // for more). All acceptable; crashing or over-reading is not.
+        if (!frame.has_value() && !reader.failed()) {
+            EXPECT_GT(reader.buffered(), 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace anytime::net

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * In-process cancellation under load: submitTracked + cancel racing
+ * dispatch. Whatever the race's outcome — cancelled while queued,
+ * cancelled while running, or completed before the cancel landed —
+ * every request ends in exactly one accounting bucket and the identity
+ * total == served + shed + expired + failed + cancelled + degraded
+ * holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service_test_util.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+void
+expectAccountingIdentity(const ServiceMetrics &metrics)
+{
+    EXPECT_EQ(metrics.total(),
+              metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed() + metrics.cancelled() +
+                  metrics.degraded());
+}
+
+TEST(ServerCancel, UnknownIdIsRejected)
+{
+    AnytimeServer server({.workers = 1});
+    EXPECT_FALSE(server.cancel(0));
+    EXPECT_FALSE(server.cancel(12345));
+}
+
+TEST(ServerCancel, QueuedRequestCancelsImmediately)
+{
+    AnytimeServer server({.workers = 1});
+    // Occupy the single worker so the second request stays queued.
+    auto blocker =
+        server.submitTracked(counterRequest("blocker", 4000, 500, 10s));
+    auto queued =
+        server.submitTracked(counterRequest("queued", 4000, 500, 10s));
+    EXPECT_TRUE(server.cancel(queued.id));
+    // A cancelled id is gone: a second cancel finds nothing.
+    EXPECT_FALSE(server.cancel(queued.id));
+    ASSERT_EQ(queued.response.wait_for(2s), std::future_status::ready);
+    EXPECT_EQ(queued.response.get().status, ServiceStatus::cancelled);
+    EXPECT_TRUE(server.cancel(blocker.id));
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 2u);
+    EXPECT_EQ(metrics.cancelled(), 2u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(ServerCancel, RunningRequestStopsEarly)
+{
+    AnytimeServer server({.workers = 2});
+    // ~10 s of work; the cancel must stop it far sooner.
+    auto submission =
+        server.submitTracked(counterRequest("long", 10000, 1000, 60s));
+    const auto start = std::chrono::steady_clock::now();
+    while (server.runningCount() == 0 &&
+           std::chrono::steady_clock::now() - start < 5s)
+        std::this_thread::sleep_for(1ms);
+    ASSERT_GT(server.runningCount(), 0u) << "request never dispatched";
+    EXPECT_TRUE(server.cancel(submission.id));
+    ASSERT_EQ(submission.response.wait_for(5s),
+              std::future_status::ready);
+    const ServiceResponse response = submission.response.get();
+    EXPECT_EQ(response.status, ServiceStatus::cancelled);
+    EXPECT_LT(response.totalSeconds, 5.0);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.cancelled(), 1u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(ServerCancel, CompletedRequestCannotBeCancelled)
+{
+    AnytimeServer server({.workers = 1});
+    auto submission =
+        server.submitTracked(counterRequest("quick", 32, 5, 10s));
+    ASSERT_EQ(submission.response.wait_for(10s),
+              std::future_status::ready);
+    EXPECT_EQ(submission.response.get().status,
+              ServiceStatus::preciseCompleted);
+    server.drain();
+    EXPECT_FALSE(server.cancel(submission.id));
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.served(), 1u);
+    EXPECT_EQ(metrics.cancelled(), 0u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(ServerCancel, CancelRacingDispatchUnderLoadKeepsIdentity)
+{
+    constexpr std::size_t kRequests = 24;
+    AnytimeServer server({.workers = 2, .maxQueueDepth = 8});
+    std::vector<Submission> submissions;
+    submissions.reserve(kRequests);
+    // Submit a burst and cancel every other request immediately — some
+    // cancels land while the request is queued, some while it is
+    // running, some lose the race entirely (already shed or served).
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        submissions.push_back(server.submitTracked(counterRequest(
+            "race-" + std::to_string(i), 200, 500, 5s)));
+        if (i % 2 == 1)
+            server.cancel(submissions.back().id);
+    }
+    std::size_t cancelled = 0;
+    for (auto &submission : submissions) {
+        ASSERT_EQ(submission.response.wait_for(30s),
+                  std::future_status::ready);
+        if (submission.response.get().status ==
+            ServiceStatus::cancelled)
+            ++cancelled;
+    }
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), kRequests);
+    EXPECT_EQ(metrics.cancelled(), cancelled);
+    EXPECT_GE(metrics.cancelled(), 1u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(ServerCancel, OnCompleteFiresForCancelledRequests)
+{
+    AnytimeServer server({.workers = 1});
+    std::promise<ServiceStatus> seen;
+    auto future = seen.get_future();
+    ServiceRequest request = counterRequest("hooked", 4000, 1000, 30s);
+    request.onComplete = [&seen](const ServiceResponse &response) {
+        seen.set_value(response.status);
+    };
+    auto blocker =
+        server.submitTracked(counterRequest("blocker", 4000, 1000, 30s));
+    auto submission = server.submitTracked(std::move(request));
+    EXPECT_TRUE(server.cancel(submission.id));
+    ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(future.get(), ServiceStatus::cancelled);
+    server.cancel(blocker.id);
+    server.drain();
+    expectAccountingIdentity(server.metricsSnapshot());
+}
+
+} // namespace
+} // namespace anytime
