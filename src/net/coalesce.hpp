@@ -55,7 +55,10 @@ class StreamSubscriber
 };
 
 /** Full request identity: requests coalesce only when ALL of it
- *  matches. */
+ *  matches. Invariant: minQuality is finite — the std::map ordering
+ *  over tied() is a strict weak ordering only if no key holds a NaN,
+ *  so NetServer::startStream rejects non-finite values before any
+ *  StreamKey can reach the CoalesceMap. */
 struct StreamKey
 {
     std::string pipeline;

@@ -16,6 +16,15 @@ namespace anytime::net {
 
 namespace {
 
+/**
+ * Upper bound on buffered, not-yet-parsed client bytes (the sniff
+ * preamble and the HTTP request head). Binary mode is bounded by
+ * kMaxFrameBytes inside FrameReader; this bounds the HTTP side, where
+ * a client could otherwise stream header bytes without ever sending
+ * CRLFCRLF and grow the inbox without limit.
+ */
+constexpr std::size_t kMaxInboxBytes = std::size_t(64) << 10;
+
 std::string
 jsonNumber(double value)
 {
@@ -85,10 +94,19 @@ Connection::handleReadable()
         for (;;) {
             const ssize_t n = ::recv(socket, buf, sizeof buf, 0);
             if (n > 0) {
-                if (mode == Mode::binary)
+                if (mode == Mode::binary) {
                     reader.feed(buf, static_cast<std::size_t>(n));
-                else
+                } else if (!requestSeen) {
+                    // One request per connection: once it is parsed,
+                    // further client bytes are drained and discarded
+                    // instead of accumulating for the lifetime of a
+                    // long SSE stream.
                     inbox.append(buf, static_cast<std::size_t>(n));
+                    if (inbox.size() > kMaxInboxBytes) {
+                        keepOpen = false; // header flood
+                        break;
+                    }
+                }
                 continue;
             }
             if (n == 0) {
@@ -135,7 +153,10 @@ Connection::handleReadable()
                 auto request = parseHttpRequest(inbox, consumed);
                 if (!request)
                     break;
-                inbox.erase(0, consumed);
+                // Everything after the head (e.g. a body we ignore) is
+                // dropped along with the head: nothing is buffered for
+                // the rest of the connection's lifetime.
+                std::string().swap(inbox);
                 requestSeen = true;
                 if (request->method.empty()) {
                     enqueueLocked(

@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -210,8 +212,19 @@ NetServer::acceptReady()
         }
 
         if (configuration.perIpAcceptRate > 0.0) {
-            TokenBucket &bucket = acceptBuckets[addr.sin_addr.s_addr];
             const auto now = std::chrono::steady_clock::now();
+            // Periodically drop buckets idle long enough to have
+            // refilled to (near) full burst anyway, so a scan from
+            // many distinct addresses can't grow the map forever.
+            constexpr auto kBucketSweepInterval = std::chrono::seconds(60);
+            if (now - lastBucketSweep >= kBucketSweepInterval) {
+                lastBucketSweep = now;
+                std::erase_if(acceptBuckets, [&](const auto &entry) {
+                    return now - entry.second.last >=
+                           kBucketSweepInterval;
+                });
+            }
+            TokenBucket &bucket = acceptBuckets[addr.sin_addr.s_addr];
             if (bucket.last.time_since_epoch().count() == 0) {
                 bucket.tokens = configuration.perIpAcceptBurst;
             } else {
@@ -355,6 +368,27 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
             connection->enqueueFrame(ErrorFrame{message});
         connection->closeAfterFlush();
     };
+    // Every field of the key is client-controlled; validate here, at
+    // the shared protocol boundary, before the key can enter the
+    // CoalesceMap (a NaN minQuality would break StreamKey's strict
+    // weak ordering) or reach submitTracked (whose fatalIf guards
+    // in-process callers and would otherwise throw FatalError through
+    // the unprotected reactor thread — std::terminate on a bad frame).
+    if (!std::isfinite(key.minQuality) || key.minQuality < 0.0 ||
+        key.minQuality > 1.0) {
+        reject("min_quality must be a finite value in [0, 1]");
+        return;
+    }
+    if (key.deadlineMicros > kMaxDeadlineMicros) {
+        reject("deadline exceeds the maximum of " +
+               std::to_string(kMaxDeadlineMicros) + " microseconds");
+        return;
+    }
+    if (key.stageWorkers == 0) {
+        reject("workers must be at least 1");
+        return;
+    }
+
     const auto accept = [&](std::uint64_t id) {
         if (sse) {
             connection->enqueueBytes(sseHeaders());
@@ -440,7 +474,18 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
             map->remove(key, entry);
     };
 
-    auto submission = anytime->submitTracked(std::move(request));
+    Submission submission;
+    try {
+        submission = anytime->submitTracked(std::move(request));
+    } catch (const std::exception &error) {
+        // Belt and braces: the key was validated above, but any
+        // precondition the service rejects must come back as an error
+        // frame, not an exception unwinding the reactor thread.
+        if (configuration.coalesce)
+            streams.remove(key, entry);
+        reject(error.what());
+        return;
+    }
     accept(submission.id);
     entry->setRequestId(submission.id);
     connection->stream = entry;
@@ -508,11 +553,22 @@ NetServer::handleHttpRequest(
         key.pipeline = pipeline;
         key.input = param("input", "");
         try {
-            key.deadlineMicros = static_cast<std::uint64_t>(
-                std::stod(param("deadline_ms", "1000")) * 1000.0);
+            // Casting a negative or non-finite double to uint64_t is
+            // UB; range-check in the double domain first. minQuality
+            // (including NaN) is validated in startStream.
+            const double deadlineMs =
+                std::stod(param("deadline_ms", "1000"));
+            const unsigned long workers =
+                std::stoul(param("workers", "1"));
+            if (!std::isfinite(deadlineMs) || deadlineMs < 0.0 ||
+                deadlineMs * 1000.0 >
+                    static_cast<double>(kMaxDeadlineMicros) ||
+                workers > std::numeric_limits<std::uint32_t>::max())
+                throw std::out_of_range("query parameter");
+            key.deadlineMicros =
+                static_cast<std::uint64_t>(deadlineMs * 1000.0);
             key.minQuality = std::stod(param("min_quality", "0"));
-            key.stageWorkers = static_cast<std::uint32_t>(
-                std::stoul(param("workers", "1")));
+            key.stageWorkers = static_cast<std::uint32_t>(workers);
         } catch (const std::exception &) {
             finishWith(httpResponse(
                 400, "text/plain",

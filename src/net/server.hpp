@@ -166,6 +166,9 @@ class NetServer : public ConnectionHost
     /** Reactor-thread-owned (no lock): fd -> connection. */
     std::map<int, std::shared_ptr<Connection>> connections;
     std::map<std::uint32_t, TokenBucket> acceptBuckets;
+    /** Last idle-bucket sweep; bounds acceptBuckets growth when many
+     *  distinct source addresses touch a long-running server. */
+    std::chrono::steady_clock::time_point lastBucketSweep{};
     std::uint64_t nextConnectionId = 1;
 
     /** connectionCount() for other threads (reactor publishes). */

@@ -43,6 +43,15 @@ inline constexpr char kMagic[4] = {'A', 'N', 'Y', 'T'};
 /** Upper bound on one frame (decoder rejects larger as corrupt). */
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;
 
+/**
+ * Upper bound on a request deadline (24 hours, in microseconds).
+ * deadlineMicros is client-controlled; the server adds it to a
+ * nanosecond-resolution time_point, which overflows int64 for raw u64
+ * values above ~9.2e12 us. Requests beyond the cap are rejected at the
+ * protocol boundary (see NetServer::startStream).
+ */
+inline constexpr std::uint64_t kMaxDeadlineMicros = 86'400'000'000;
+
 /** Frame type tags (the u8 after the length prefix). */
 enum class FrameType : std::uint8_t
 {

@@ -8,6 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <memory>
 #include <string>
 
@@ -189,6 +195,67 @@ TEST(HttpEndpoints, StreamValidatesItsQuery)
         "/stream?pipeline=counter&deadline_ms=not-a-number");
     ASSERT_TRUE(garbled.ok) << garbled.error;
     EXPECT_EQ(garbled.status, 400);
+
+    // Values that parse as numbers but are semantically hostile: NaN
+    // or out-of-range quality floors (NaN would break the coalesce
+    // map's key ordering), negative or absurd deadlines (UB when cast
+    // to u64 / added to a time_point), and a zero gang width. All must
+    // stop at the boundary with a 400, not reach the service.
+    for (const char *target :
+         {"/stream?pipeline=counter&min_quality=nan",
+          "/stream?pipeline=counter&min_quality=inf",
+          "/stream?pipeline=counter&min_quality=1.5",
+          "/stream?pipeline=counter&min_quality=-1",
+          "/stream?pipeline=counter&deadline_ms=-5",
+          "/stream?pipeline=counter&deadline_ms=nan",
+          "/stream?pipeline=counter&deadline_ms=1e300",
+          "/stream?pipeline=counter&workers=0"}) {
+        const auto hostile = httpGet(rig.client(), target);
+        ASSERT_TRUE(hostile.ok) << target << ": " << hostile.error;
+        EXPECT_EQ(hostile.status, 400) << target;
+    }
+    EXPECT_EQ(rig.server->service().metricsSnapshot().total(), 0u);
+}
+
+TEST(HttpEndpoints, UnterminatedHeaderFloodSeversTheConnection)
+{
+    HttpRig rig;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(rig.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+
+    // Header bytes forever, never the terminating CRLFCRLF: the inbox
+    // cap must sever the connection instead of buffering the flood for
+    // as long as the client cares to keep sending.
+    const std::string junk = "GET / HTTP/1.1\r\nX-Filler: " +
+                             std::string(1024, 'a') + "\r\n";
+    bool severed = false;
+    std::size_t sent = 0;
+    while (sent < (std::size_t(8) << 20)) {
+        const ssize_t n =
+            ::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            severed = true; // RST from the server's close
+            break;
+        }
+        sent += static_cast<std::size_t>(n);
+        char probe;
+        const ssize_t r = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+        if (r == 0 ||
+            (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+            severed = true; // orderly close (or reset) observed
+            break;
+        }
+    }
+    ::close(fd);
+    EXPECT_TRUE(severed) << "server buffered " << sent
+                         << " header bytes without closing";
 }
 
 } // namespace

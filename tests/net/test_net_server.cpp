@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <thread>
@@ -313,6 +314,53 @@ TEST(NetServer, BadInputSpecGetsAnErrorFrame)
     ASSERT_TRUE(result.serverError.has_value());
     EXPECT_NE(result.serverError->find("bad input spec"),
               std::string::npos);
+}
+
+TEST(NetServer, HostileRequestParamsAreRejectedWithAnErrorFrame)
+{
+    Rig rig;
+    // minQuality and deadlineMicros arrive as raw client-controlled
+    // wire values. Each hostile value must bounce off the protocol
+    // boundary as an ERROR frame on its own connection — out-of-range
+    // minQuality used to reach submitTracked's fatalIf and throw
+    // through the reactor thread (std::terminate: a one-frame remote
+    // kill), and a NaN key would poison the coalesce map's ordering.
+    std::vector<std::pair<RequestFrame, const char *>> hostile;
+    hostile.emplace_back(counterRequestFrame("8:100:2", 1000000, 7.0),
+                         "min_quality");
+    hostile.emplace_back(counterRequestFrame("8:100:2", 1000000, -0.5),
+                         "min_quality");
+    hostile.emplace_back(
+        counterRequestFrame("8:100:2", 1000000,
+                            std::numeric_limits<double>::quiet_NaN()),
+        "min_quality");
+    hostile.emplace_back(
+        counterRequestFrame("8:100:2", 1000000,
+                            std::numeric_limits<double>::infinity()),
+        "min_quality");
+    hostile.emplace_back(
+        counterRequestFrame(
+            "8:100:2", std::numeric_limits<std::uint64_t>::max()),
+        "deadline");
+    RequestFrame zeroGang = counterRequestFrame("8:100:2", 1000000);
+    zeroGang.stageWorkers = 0;
+    hostile.emplace_back(zeroGang, "workers");
+
+    for (const auto &[frame, needle] : hostile) {
+        const auto result = runRequest(rig.client(), frame);
+        EXPECT_FALSE(result.ok) << needle;
+        ASSERT_TRUE(result.serverError.has_value()) << needle;
+        EXPECT_NE(result.serverError->find(needle), std::string::npos)
+            << *result.serverError;
+    }
+
+    // The reactor survived every attempt: a sane request still runs
+    // to completion and the hostile ones never reached the service.
+    const auto sane = runRequest(rig.client(),
+                                 counterRequestFrame("8:100:2", 5000000));
+    ASSERT_TRUE(sane.ok) << sane.error;
+    ASSERT_TRUE(sane.done.has_value());
+    EXPECT_EQ(rig.server->service().metricsSnapshot().total(), 1u);
 }
 
 TEST(NetServer, ShedRequestStillGetsAcceptedThenDone)
