@@ -33,6 +33,8 @@
 #include "net/catalog.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "support/sync.hpp"
 
@@ -179,6 +181,16 @@ main(int argc, char **argv)
                                            0x5eed);
     const std::string json_path =
         parseStringOption(argc, argv, "--json");
+    // --trace <path>: capture a Chrome trace-event JSON of the whole
+    // run (open in Perfetto / chrome://tracing). --metrics <path>:
+    // dump the live registry as Prometheus text at exit. Same flags
+    // as bench_service_load, so the two benches diff cleanly.
+    const std::string trace_path =
+        parseStringOption(argc, argv, "--trace");
+    const std::string metrics_path =
+        parseStringOption(argc, argv, "--metrics");
+    if (!trace_path.empty())
+        obs::setTracingEnabled(true);
 
     // The counter runs steps * step_us of work and publishes its
     // first version after one publish period — sized so compute, not
@@ -243,6 +255,26 @@ main(int argc, char **argv)
         std::fprintf(out, "}\n");
         std::fclose(out);
         std::cout << "json written to " << json_path << "\n";
+    }
+
+    if (!metrics_path.empty()) {
+        if (obs::defaultRegistry().writePrometheus(metrics_path))
+            std::cout << "metrics snapshot written to " << metrics_path
+                      << " (Prometheus text format)\n";
+        else
+            std::cerr << "cannot write metrics to " << metrics_path
+                      << "\n";
+    }
+    if (!trace_path.empty()) {
+        obs::setTracingEnabled(false);
+        if (obs::writeChromeTrace(trace_path))
+            std::cout << "trace written to " << trace_path << " ("
+                      << obs::retainedRecords() << " events, "
+                      << obs::droppedRecords()
+                      << " dropped); open in Perfetto or "
+                         "chrome://tracing\n";
+        else
+            std::cerr << "cannot write trace to " << trace_path << "\n";
     }
 
     // Lost samples mean requests that never streamed a version —

@@ -27,7 +27,9 @@
 
 #include "net/catalog.hpp"
 #include "net/server.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace anytime;
 using namespace anytime::net;
@@ -54,11 +56,22 @@ main(int argc, char **argv)
     // --port <n>: listen port (default 8787; 0 picks an ephemeral
     // port, printed at startup). --duration <s>: serve for a fixed
     // time then exit (default: until stdin closes — Ctrl-D or Enter).
+    // --trace: enable the execution tracer (then /requestz carries
+    // live trace stats and flight artifacts embed span dumps).
+    // --flight-dir <dir>: arm the flight recorder — anomaly snapshots
+    // land as bounded flight-<slot>.json artifacts in <dir>.
     const std::string port_text = stringOption(argc, argv, "--port");
     const std::string duration_text =
         stringOption(argc, argv, "--duration");
     const std::string workers_text =
         stringOption(argc, argv, "--workers");
+    const std::string flight_dir =
+        stringOption(argc, argv, "--flight-dir");
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--trace")
+            obs::setTracingEnabled(true);
+    if (!flight_dir.empty())
+        obs::configureFlightRecorder({.directory = flight_dir});
 
     NetServerConfig config;
     config.port = port_text.empty()
@@ -84,7 +97,9 @@ main(int argc, char **argv)
               << "/stream?pipeline=counter&input=400:5000:20"
                  "&deadline_ms=5000'\n"
               << "  metrics: curl http://127.0.0.1:" << server.port()
-              << "/metrics\n";
+              << "/metrics\n"
+              << "  debug:   curl http://127.0.0.1:" << server.port()
+              << "/statusz  (and /requestz)\n";
 
     if (!duration_text.empty()) {
         const double seconds = std::atof(duration_text.c_str());
@@ -99,5 +114,6 @@ main(int argc, char **argv)
     const ServiceMetrics metrics = server.service().metricsSnapshot();
     std::cout << "served " << metrics.served() << " of "
               << metrics.total() << " request(s); bye\n";
+    obs::shutdownFlightRecorder(); // flush pending anomaly artifacts
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/worker_pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -116,6 +117,13 @@ Automaton::setFaultPolicy(FaultPolicy fault_policy)
 }
 
 void
+Automaton::setTraceId(std::uint64_t trace_id)
+{
+    fatalIf(startedFlag, "setTraceId after start()");
+    traceIdValue = trace_id;
+}
+
+void
 Automaton::beginRun()
 {
     fatalIf(startedFlag, "automaton already started");
@@ -180,6 +188,7 @@ Automaton::handleStageFailure(std::size_t stage_index, Stage *stage,
             "Stages quarantined after an uncontained stage-body fault");
         quarantined.add(1);
         obs::traceInstant("automaton.quarantine", "automaton");
+        obs::flightRecorderTrigger("quarantine", 0, traceIdValue);
     }
 }
 
@@ -231,6 +240,10 @@ Automaton::workerMain(std::size_t stage_index, Stage *stage,
     // every per-stage source, preserving the global-stop behavior.
     StageContext ctx(stageStops[stage_index].get_token(), gate,
                      stage->stats(), worker, count, stage->name());
+    // Install the request's trace context for the whole worker body:
+    // the stage span below, every publish/sweep instant the stage
+    // emits, and the quarantine/failure events all stamp with it.
+    obs::TraceContextScope trace_scope({traceIdValue, 0});
     {
         // One span per stage worker, from first instruction to exit;
         // the per-publish instants from this stage's output buffer

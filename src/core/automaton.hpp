@@ -20,6 +20,7 @@
 #define ANYTIME_CORE_AUTOMATON_HPP
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -133,6 +134,18 @@ class Automaton
     FaultPolicy faultPolicy() const { return policy; }
 
     /**
+     * Stamp every span/instant this automaton's workers emit with a
+     * request trace id (obs/trace.hpp), so the stage-level execution
+     * stitches into the submitting request's cross-layer trace. Zero
+     * (the default) leaves worker events unstamped. Must be set before
+     * start().
+     */
+    void setTraceId(std::uint64_t trace_id);
+
+    /** The trace id stamped on worker events (0 = none). */
+    std::uint64_t traceId() const { return traceIdValue; }
+
+    /**
      * Request cooperative stop; returns immediately. Safe to call on a
      * paused automaton: the pause gate is released so frozen workers
      * wake, observe the stop, and exit — waitUntilDone()/shutdown()
@@ -237,6 +250,7 @@ class Automaton
     bool startedFlag = false;
     bool borrowedWorkers = false;
     FaultPolicy policy = FaultPolicy::stopAll;
+    std::uint64_t traceIdValue = 0;
     std::function<void()> doneCallback;
 
     mutable Mutex doneMutex;

@@ -48,6 +48,7 @@
 #include "core/buffer.hpp"
 #include "core/stage.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/partition.hpp"
@@ -237,13 +238,22 @@ class SweepBarrier
     void
     expelAbsentLocked() ANYTIME_REQUIRES(mutex)
     {
+        bool expelled = false;
         for (std::size_t w = 0; w < activeFlags.size(); ++w) {
             if (activeFlags[w] && !arrivedFlags[w]) {
                 activeFlags[w] = 0;
                 --participants;
                 ++expelledTotal;
+                expelled = true;
             }
         }
+        // Losing a gang member permanently degrades every later
+        // version — exactly the anomaly the flight recorder exists
+        // for. The expelling waiter runs under the automaton's trace
+        // scope, so the artifact carries the request's trace id.
+        if (expelled)
+            obs::flightRecorderTrigger("watchdog_expel", 0,
+                                       obs::currentTraceContext().traceId);
     }
 
     mutable Mutex mutex;

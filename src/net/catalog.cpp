@@ -144,6 +144,7 @@ registerCounterPipeline(PipelineCatalog &catalog)
                         update.payload =
                             std::make_shared<const std::string>(
                                 std::to_string(*snap.value));
+                        update.stage = "counter";
                         sink(update);
                     });
             };

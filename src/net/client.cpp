@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "net/http.hpp"
+#include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
 
 namespace anytime::net {
@@ -155,12 +156,21 @@ runRequest(const ClientOptions &options, const RequestFrame &request,
                &onVersion)
 {
     ClientResult result;
+    // The client originates the trace: mint the id here (unless the
+    // caller brought one) so the span below, the wire frame, and
+    // everything the server emits for this request share it.
+    RequestFrame framed = request;
+    if (framed.traceId == 0)
+        framed.traceId = obs::newTraceId();
+    result.traceId = framed.traceId;
+    obs::TraceContextScope context({framed.traceId, 0});
+    obs::TraceSpan span("client.request", "client");
     BlockingSocket socket;
     if (!socket.connectTo(options, result.error))
         return result;
 
     std::string bytes(kMagic, sizeof kMagic);
-    bytes += encodeFrame(Frame{request});
+    bytes += encodeFrame(Frame{framed});
     Stopwatch clock;
     if (!socket.sendAll(bytes, options, result.error))
         return result;

@@ -53,6 +53,12 @@ struct ClientResult
     /** Server ERROR frame payload, when one arrived. */
     std::optional<std::string> serverError;
     std::optional<AcceptedFrame> accepted;
+    /** Trace id this request ran under: the caller's when the frame
+     *  carried one, otherwise minted client-side before the send (the
+     *  client is the trace origin). The server echo lives in
+     *  accepted->traceId and matches unless the request coalesced onto
+     *  an earlier identical stream. */
+    std::uint64_t traceId = 0;
     /** Every version received, in arrival order. */
     std::vector<VersionFrame> versions;
     std::optional<DoneFrame> done;

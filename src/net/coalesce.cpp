@@ -89,6 +89,20 @@ StreamEntry::setRequestId(std::uint64_t value)
     id = value;
 }
 
+std::uint64_t
+StreamEntry::traceId() const
+{
+    MutexLock lock(mutex);
+    return trace;
+}
+
+void
+StreamEntry::setTraceId(std::uint64_t value)
+{
+    MutexLock lock(mutex);
+    trace = value;
+}
+
 std::size_t
 StreamEntry::attachCount() const
 {

@@ -113,6 +113,12 @@ class StreamEntry
     std::uint64_t requestId() const;
     void setRequestId(std::uint64_t id);
 
+    /** The trace id of the backing request (0 until known). Late
+     *  joiners echo it so every coalesced client can find the one
+     *  shared trace. */
+    std::uint64_t traceId() const;
+    void setTraceId(std::uint64_t id);
+
     /** Subscribers attached over the entry's lifetime (stats). */
     std::size_t attachCount() const;
 
@@ -123,6 +129,7 @@ class StreamEntry
     std::optional<VersionFrame> latest ANYTIME_GUARDED_BY(mutex);
     std::optional<DoneFrame> done ANYTIME_GUARDED_BY(mutex);
     std::uint64_t id ANYTIME_GUARDED_BY(mutex) = 0;
+    std::uint64_t trace ANYTIME_GUARDED_BY(mutex) = 0;
     std::size_t attached ANYTIME_GUARDED_BY(mutex) = 0;
 };
 

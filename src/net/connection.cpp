@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "service/request.hpp"
 #include "support/error.hpp"
 
@@ -214,6 +215,7 @@ Connection::handleWritable()
         } catch (const std::exception &) {
             if (stats.writeFaults)
                 stats.writeFaults->add();
+            obs::flightRecorderTrigger("net_write_fault", 0, traceId);
             return false;
         }
         const ssize_t n = ::send(socket, head.bytes.data() + head.offset,

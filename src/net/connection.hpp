@@ -124,6 +124,11 @@ class Connection : public StreamSubscriber,
     std::shared_ptr<StreamEntry> stream;
     StreamKey streamKey;
 
+    /** Reactor-side: trace id of the request this connection streams
+     *  (0 before one is attached). Read on write faults so the flight
+     *  recorder can tie the severed stream back to its trace. */
+    std::uint64_t traceId = 0;
+
     // ---- any-thread API --------------------------------------------
 
     /** StreamSubscriber: one published version (droppable unless

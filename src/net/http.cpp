@@ -175,6 +175,34 @@ parseHttpRequest(const std::string &data, std::size_t &consumed)
     return request;
 }
 
+std::uint64_t
+parseTraceParent(const std::string &value)
+{
+    // Full W3C form: version-traceid-spanid-flags. Only the trace-id
+    // field matters here; take its low 64 bits.
+    std::string hex = value;
+    const std::size_t dash = value.find('-');
+    if (dash != std::string::npos) {
+        const std::size_t idEnd = value.find('-', dash + 1);
+        if (idEnd == std::string::npos)
+            return 0;
+        hex = value.substr(dash + 1, idEnd - dash - 1);
+        if (hex.size() != 32)
+            return 0;
+        hex = hex.substr(16);
+    }
+    if (hex.empty() || hex.size() > 16)
+        return 0;
+    std::uint64_t id = 0;
+    for (const char ch : hex) {
+        const int digit = hexDigit(ch);
+        if (digit < 0)
+            return 0;
+        id = (id << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return id;
+}
+
 const char *
 httpReason(int status)
 {

@@ -19,6 +19,7 @@
 #ifndef ANYTIME_NET_HTTP_HPP
 #define ANYTIME_NET_HTTP_HPP
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -75,6 +76,16 @@ std::optional<std::string> decodeChunked(const std::string &body);
 
 /** Standard reason phrase for @p status ("OK", "Not Found", ...). */
 const char *httpReason(int status);
+
+/**
+ * Extract a 64-bit trace id from a `traceparent`-style value: either a
+ * bare hex id (1-16 hex digits) or the full W3C form
+ * "00-<32 hex trace>-<16 hex span>-<flags>", in which case the low 64
+ * bits (the last 16 hex digits) of the trace-id field are taken.
+ * Returns 0 when @p value is malformed — the listener then mints its
+ * own id instead of trusting client garbage.
+ */
+std::uint64_t parseTraceParent(const std::string &value);
 
 } // namespace anytime::net
 

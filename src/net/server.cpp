@@ -11,16 +11,34 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include <sstream>
+
 #include "net/http.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace anytime::net {
+
+namespace {
+
+/** Trace id as the 16-digit hex JSON strings use everywhere. */
+std::string
+traceHex(std::uint64_t trace_id)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(trace_id));
+    return buf;
+}
+
+} // namespace
 
 NetServer::NetServer(NetServerConfig config)
     : configuration(std::move(config))
@@ -111,6 +129,7 @@ NetServer::NetServer(NetServerConfig config)
     fatalIf(::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev) != 0,
             "net: epoll_ctl(wake) failed: ", std::strerror(errno));
 
+    startTime = std::chrono::steady_clock::now();
     anytime = std::make_unique<AnytimeServer>(configuration.service);
     reactor = std::jthread(
         [this](std::stop_token stop) { reactorLoop(stop); });
@@ -225,6 +244,8 @@ NetServer::acceptReady()
                 });
             }
             TokenBucket &bucket = acceptBuckets[addr.sin_addr.s_addr];
+            acceptBucketCount.store(acceptBuckets.size(),
+                                    std::memory_order_relaxed);
             if (bucket.last.time_since_epoch().count() == 0) {
                 bucket.tokens = configuration.perIpAcceptBurst;
             } else {
@@ -353,13 +374,27 @@ NetServer::handleRequestFrame(
     key.deadlineMicros = frame.deadlineMicros;
     key.minQuality = frame.minQuality;
     key.stageWorkers = frame.stageWorkers;
-    startStream(connection, key, /*sse=*/false);
+    startStream(connection, key, /*sse=*/false, frame.traceId,
+                frame.parentSpanId);
 }
 
 void
 NetServer::startStream(const std::shared_ptr<Connection> &connection,
-                       const StreamKey &key, bool sse)
+                       const StreamKey &key, bool sse,
+                       std::uint64_t trace_id,
+                       std::uint64_t parent_span_id)
 {
+    // One trace id per request: the client's when it brought one (off
+    // the REQUEST frame or the traceparent query param), minted here
+    // otherwise. The acknowledgement echoes the id, the ServiceRequest
+    // carries it into the service, and the scope below stamps every
+    // reactor-side event emitted while this request is being opened.
+    if (trace_id == 0)
+        trace_id = obs::newTraceId();
+    obs::TraceContextScope context({trace_id, parent_span_id});
+    obs::TraceSpan span("net.request", "net");
+    connection->traceId = trace_id;
+
     const auto reject = [&](const std::string &message) {
         if (sse)
             connection->enqueueBytes(
@@ -389,15 +424,18 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
         return;
     }
 
-    const auto accept = [&](std::uint64_t id) {
+    const auto accept = [&](std::uint64_t id,
+                            std::uint64_t stream_trace) {
         if (sse) {
             connection->enqueueBytes(sseHeaders());
             connection->beginServerSentEvents();
             connection->enqueueBytes(sseEvent(
                 "accepted",
-                "{\"requestId\":" + std::to_string(id) + "}"));
+                "{\"requestId\":" + std::to_string(id) +
+                    ",\"traceId\":\"" + traceHex(stream_trace) +
+                    "\"}"));
         } else {
-            connection->enqueueFrame(AcceptedFrame{id});
+            connection->enqueueFrame(AcceptedFrame{id, stream_trace});
         }
     };
 
@@ -414,9 +452,14 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
     if (!created) {
         // Identical request already in flight: ride its stream. The
         // attach replays the latest version, so this client starts
-        // from the current best approximation immediately.
+        // from the current best approximation immediately. The echoed
+        // trace id is the *original* request's — there is one pipeline
+        // execution and therefore one trace, shared by every rider.
         coalescedTotal->add();
-        accept(entry->requestId());
+        const std::uint64_t stream_trace = entry->traceId();
+        if (stream_trace != 0)
+            connection->traceId = stream_trace;
+        accept(entry->requestId(), connection->traceId);
         connection->stream = entry;
         connection->streamKey = key;
         if (entry->attach(connection) == 0) {
@@ -448,6 +491,7 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
     request.deadline = std::chrono::microseconds(key.deadlineMicros);
     request.minQuality = key.minQuality;
     request.stageWorkers = key.stageWorkers;
+    request.traceId = trace_id;
     request.versionSink = [entry](const VersionUpdate &update) {
         VersionFrame frame;
         frame.version = update.version;
@@ -486,8 +530,9 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
         reject(error.what());
         return;
     }
-    accept(submission.id);
+    accept(submission.id, trace_id);
     entry->setRequestId(submission.id);
+    entry->setTraceId(trace_id);
     connection->stream = entry;
     connection->streamKey = key;
     if (entry->attach(connection) == 0) {
@@ -496,6 +541,78 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
         connection->stream.reset();
         connection->closeAfterFlush();
     }
+}
+
+std::string
+NetServer::statuszJson() const
+{
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime)
+            .count();
+    char uptimeText[32];
+    std::snprintf(uptimeText, sizeof uptimeText, "%.3f", uptime);
+
+    std::string out = "{\"build\":{";
+    out += "\"protocol_version\":" + std::to_string(kProtocolVersion);
+    out += ",\"trace_compiled_in\":";
+    out += ANYTIME_TRACE_COMPILED_IN ? "true" : "false";
+#ifndef NDEBUG
+    out += ",\"debug\":true";
+#else
+    out += ",\"debug\":false";
+#endif
+    out += "}";
+    out += ",\"uptime_seconds\":";
+    out += uptimeText;
+    out += ",\"workers\":{\"total\":" +
+           std::to_string(configuration.service.workers) +
+           ",\"in_use\":" + std::to_string(anytime->workersInUse()) +
+           "}";
+    out += ",\"queue\":{\"pending\":" +
+           std::to_string(anytime->pendingCount()) +
+           ",\"running\":" + std::to_string(anytime->runningCount()) +
+           "}";
+    out += ",\"connections\":" + std::to_string(connectionCount());
+    out += ",\"streams\":" + std::to_string(streams.size());
+    out += ",\"accept_buckets\":" +
+           std::to_string(
+               acceptBucketCount.load(std::memory_order_relaxed));
+    out += ",\"tracing\":{\"enabled\":";
+    out += obs::tracingEnabled() ? "true" : "false";
+    out += ",\"dropped_records\":" +
+           std::to_string(obs::droppedRecords()) +
+           ",\"retained_records\":" +
+           std::to_string(obs::retainedRecords()) + "}";
+    out += ",\"flight_recorder\":{\"enabled\":";
+    out += obs::flightRecorderEnabled() ? "true" : "false";
+    out += ",\"artifacts_written\":" +
+           std::to_string(obs::flightArtifactsWritten()) + "}";
+    out += "}\n";
+    return out;
+}
+
+std::string
+NetServer::requestzJson() const
+{
+    std::string out = "{\"requests\":";
+    out += obs::TimelineStore::toJson(anytime->timelines().snapshotAll());
+    out += ",\"circuits\":[";
+    bool first = true;
+    for (const auto &circuit : anytime->circuitSnapshot()) {
+        if (!first)
+            out += ",";
+        first = false;
+        char seconds[32];
+        std::snprintf(seconds, sizeof seconds, "%.3f",
+                      circuit.openForSeconds);
+        out += "{\"pipeline\":\"" + jsonEscape(circuit.pipeline) +
+               "\",\"consecutive_failures\":" +
+               std::to_string(circuit.consecutiveFailures) +
+               ",\"open_for_seconds\":" + seconds + "}";
+    }
+    out += "]}\n";
+    return out;
 }
 
 void
@@ -521,6 +638,15 @@ NetServer::handleHttpRequest(
     }
     if (request.path == "/healthz") {
         finishWith(httpResponse(200, "text/plain", "ok\n"));
+        return;
+    }
+    if (request.path == "/statusz") {
+        finishWith(httpResponse(200, "application/json", statuszJson()));
+        return;
+    }
+    if (request.path == "/requestz") {
+        finishWith(
+            httpResponse(200, "application/json", requestzJson()));
         return;
     }
     if (request.path == "/pipelines") {
@@ -576,7 +702,12 @@ NetServer::handleHttpRequest(
             return;
         }
         requestsTotal->add();
-        startStream(connection, key, /*sse=*/true);
+        // Optional client trace context; malformed values parse to 0
+        // and the server mints its own id instead.
+        const std::uint64_t traceId =
+            parseTraceParent(param("traceparent", ""));
+        startStream(connection, key, /*sse=*/true, traceId,
+                    /*parent_span_id=*/0);
         return;
     }
     finishWith(httpResponse(404, "text/plain",

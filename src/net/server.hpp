@@ -139,9 +139,20 @@ class NetServer : public ConnectionHost
      * Shared submit path of the binary and SSE front doors: coalesce,
      * submit to the service, acknowledge, and attach @p connection as
      * a subscriber. @p sse selects the acknowledgement encoding.
+     * @p trace_id is the client-propagated trace context (0 mints a
+     * fresh id here); the final id is echoed in the acknowledgement so
+     * the client can stitch its own spans onto the server's trace.
      */
     void startStream(const std::shared_ptr<Connection> &connection,
-                     const StreamKey &key, bool sse);
+                     const StreamKey &key, bool sse,
+                     std::uint64_t trace_id,
+                     std::uint64_t parent_span_id);
+
+    /** Render the GET /statusz body (server vitals JSON). */
+    std::string statuszJson() const;
+
+    /** Render the GET /requestz body (request timelines JSON). */
+    std::string requestzJson() const;
 
     NetServerConfig configuration;
     obs::MetricsRegistry *registry = nullptr;
@@ -173,6 +184,13 @@ class NetServer : public ConnectionHost
 
     /** connectionCount() for other threads (reactor publishes). */
     std::atomic<std::size_t> openConnections{0};
+
+    /** acceptBuckets.size() mirrored for /statusz (reactor-owned map,
+     *  but the debug endpoint renders on whatever thread asks). */
+    std::atomic<std::size_t> acceptBucketCount{0};
+
+    /** Construction time (the /statusz uptime origin). */
+    std::chrono::steady_clock::time_point startTime{};
 
     /** Torn down explicitly in ~NetServer AFTER the reactor joins and
      *  BEFORE the file descriptors close: its destructor cancels

@@ -143,12 +143,15 @@ decodeBody(FrameType type, const char *data, std::size_t size)
         cursor.readU64(request.deadlineMicros);
         cursor.readF64(request.minQuality);
         cursor.readU32(request.stageWorkers);
+        cursor.readU64(request.traceId);
+        cursor.readU64(request.parentSpanId);
         frame = std::move(request);
         break;
       }
       case FrameType::accepted: {
         AcceptedFrame accepted;
         cursor.readU64(accepted.requestId);
+        cursor.readU64(accepted.traceId);
         frame = accepted;
         break;
       }
@@ -225,8 +228,11 @@ encodeFrame(const Frame &frame)
                 putU64(body, alternative.deadlineMicros);
                 putF64(body, alternative.minQuality);
                 putU32(body, alternative.stageWorkers);
+                putU64(body, alternative.traceId);
+                putU64(body, alternative.parentSpanId);
             } else if constexpr (std::is_same_v<T, AcceptedFrame>) {
                 putU64(body, alternative.requestId);
+                putU64(body, alternative.traceId);
             } else if constexpr (std::is_same_v<T, VersionFrame>) {
                 putU64(body, alternative.version);
                 putU8(body, alternative.final ? 1 : 0);

@@ -34,8 +34,10 @@
 
 namespace anytime::net {
 
-/** Protocol revision; bumped on any incompatible frame change. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/** Protocol revision; bumped on any incompatible frame change.
+ *  v2 added trace-context fields (traceId, parentSpanId) to REQUEST
+ *  and echoed the server-final traceId in ACCEPTED. */
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Connection preamble distinguishing binary clients from HTTP. */
 inline constexpr char kMagic[4] = {'A', 'N', 'Y', 'T'};
@@ -76,12 +78,21 @@ struct RequestFrame
     double minQuality = 0.0;
     /** Declared intra-stage gang width (admission hint). */
     std::uint32_t stageWorkers = 1;
+    /** Trace context: 0 asks the server to mint an id; nonzero ids
+     *  stamp every server-side span, stitching the client's trace to
+     *  the reactor/service/stage spans (see obs/trace.hpp). */
+    std::uint64_t traceId = 0;
+    /** Client-side span the server-side spans hang under (0 = root). */
+    std::uint64_t parentSpanId = 0;
 };
 
 /** Server -> client: request admitted; id echoes into traces. */
 struct AcceptedFrame
 {
     std::uint64_t requestId = 0;
+    /** The trace id the server stamped (client's, or server-minted
+     *  when the request carried 0). */
+    std::uint64_t traceId = 0;
 };
 
 /** Server -> client: one published version of the output. */

@@ -1,0 +1,245 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::obs {
+
+namespace {
+
+/** Queued anomaly awaiting the writer thread. */
+struct Trigger
+{
+    const char *name = nullptr;
+    std::uint64_t requestId = 0;
+    std::uint64_t traceId = 0;
+};
+
+constexpr std::size_t kMaxQueuedTriggers = 16;
+
+struct Recorder
+{
+    /** Defined after stopWriter(): joins the writer at process exit,
+     *  so arming via ANYTIME_FLIGHT_DIR or --flight-dir without a
+     *  matching shutdownFlightRecorder() cannot terminate() on a
+     *  joinable thread during static destruction. */
+    ~Recorder();
+
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> written{0};
+
+    Mutex mutex;
+    FlightRecorderConfig config ANYTIME_GUARDED_BY(mutex);
+    std::function<std::string(std::uint64_t)>
+        timelineSource ANYTIME_GUARDED_BY(mutex);
+    std::deque<Trigger> queue ANYTIME_GUARDED_BY(mutex);
+    std::uint64_t sequence ANYTIME_GUARDED_BY(mutex) = 0;
+    bool stopping ANYTIME_GUARDED_BY(mutex) = false;
+    CondVar wake;
+    std::thread writer;
+};
+
+Recorder &
+recorder()
+{
+    static Recorder instance;
+    return instance;
+}
+
+void
+appendEscapedJson(std::string &out, const std::string &text)
+{
+    for (const char c : text) {
+        const unsigned char ch = static_cast<unsigned char>(c);
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+}
+
+/** Render and write one artifact (writer thread; no locks held). */
+void
+writeArtifact(const std::string &directory, std::size_t slot,
+              const Trigger &trigger, const std::string &timelineJson)
+{
+    std::string json = "{\"trigger\":\"";
+    appendEscapedJson(json, trigger.name != nullptr ? trigger.name
+                                                    : "unknown");
+    json += "\",\"request_id\":";
+    json += std::to_string(trigger.requestId);
+    char hex[24];
+    std::snprintf(hex, sizeof hex, "\"%016llx\"",
+                  static_cast<unsigned long long>(trigger.traceId));
+    json += ",\"trace_id\":";
+    json += hex;
+    json += ",\"timeline\":";
+    json += timelineJson.empty() ? "null" : timelineJson;
+    json += ",\"trace\":";
+    std::ostringstream trace;
+    writeChromeTrace(trace);
+    json += trace.str();
+    json += "}\n";
+
+    const std::string path =
+        directory + "/flight-" + std::to_string(slot) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+        out << json;
+        out.flush();
+    }
+}
+
+void
+writerLoop()
+{
+    Recorder &r = recorder();
+    for (;;) {
+        Trigger trigger;
+        std::string directory;
+        std::size_t slot = 0;
+        std::string timelineJson;
+        {
+            MutexLock lock(r.mutex);
+            r.wake.wait(lock, [&r]() ANYTIME_REQUIRES(r.mutex) {
+                return r.stopping || !r.queue.empty();
+            });
+            if (r.queue.empty())
+                return; // stopping with an empty queue
+            trigger = r.queue.front();
+            r.queue.pop_front();
+            directory = r.config.directory;
+            slot = static_cast<std::size_t>(
+                r.sequence++ %
+                (r.config.maxArtifacts > 0 ? r.config.maxArtifacts : 1));
+            // Invoke the timeline source under the recorder mutex:
+            // a destructing server unhooks it (setFlightTimelineSource
+            // nullptr) through the same mutex, so the callback can
+            // never outlive the store it reads. No lock-order risk —
+            // the source only takes the TimelineStore's own mutex.
+            if (r.timelineSource)
+                timelineJson = r.timelineSource(trigger.requestId);
+        }
+        writeArtifact(directory, slot, trigger, timelineJson);
+        r.written.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+/** Join the writer (mutex NOT held), leaving the recorder idle. */
+void
+stopWriter(Recorder &r)
+{
+    {
+        MutexLock lock(r.mutex);
+        r.stopping = true;
+    }
+    r.wake.notifyAll();
+    if (r.writer.joinable())
+        r.writer.join();
+    MutexLock lock(r.mutex);
+    r.stopping = false;
+    r.writer = std::thread();
+}
+
+Recorder::~Recorder()
+{
+    enabled.store(false, std::memory_order_relaxed);
+    stopWriter(*this);
+}
+
+} // namespace
+
+void
+configureFlightRecorder(FlightRecorderConfig config)
+{
+    Recorder &r = recorder();
+    r.enabled.store(false, std::memory_order_relaxed);
+    stopWriter(r);
+    const bool arm = !config.directory.empty();
+    {
+        MutexLock lock(r.mutex);
+        r.config = std::move(config);
+        if (!arm)
+            r.queue.clear();
+    }
+    if (arm) {
+        {
+            MutexLock lock(r.mutex);
+            r.writer = std::thread(writerLoop);
+        }
+        r.enabled.store(true, std::memory_order_relaxed);
+    }
+}
+
+bool
+flightRecorderEnabled()
+{
+    return recorder().enabled.load(std::memory_order_relaxed);
+}
+
+void
+setFlightTimelineSource(
+    std::function<std::string(std::uint64_t requestId)> source)
+{
+    Recorder &r = recorder();
+    MutexLock lock(r.mutex);
+    r.timelineSource = std::move(source);
+}
+
+void
+flightRecorderTrigger(const char *trigger, std::uint64_t requestId,
+                      std::uint64_t traceId)
+{
+    Recorder &r = recorder();
+    if (!r.enabled.load(std::memory_order_relaxed))
+        return;
+    {
+        MutexLock lock(r.mutex);
+        if (r.queue.size() >= kMaxQueuedTriggers)
+            return; // anomaly storm: drop, never grow
+        r.queue.push_back({trigger, requestId, traceId});
+    }
+    r.wake.notifyOne();
+}
+
+std::uint64_t
+flightArtifactsWritten()
+{
+    return recorder().written.load(std::memory_order_relaxed);
+}
+
+void
+shutdownFlightRecorder()
+{
+    Recorder &r = recorder();
+    r.enabled.store(false, std::memory_order_relaxed);
+    stopWriter(r);
+    MutexLock lock(r.mutex);
+    r.timelineSource = nullptr;
+}
+
+} // namespace anytime::obs

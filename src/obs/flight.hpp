@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Flight recorder: anomaly-triggered observability snapshots.
+ *
+ * The trace ring and the request timelines are always collecting into
+ * bounded memory; the flight recorder is the part that gets them onto
+ * disk at exactly the moments worth keeping — a watchdog expel, a
+ * circuit opening, a stage quarantine, a deadline miss, a net-write
+ * fault. Trigger sites pay one relaxed atomic load while disabled and
+ * a small mutex-guarded enqueue when armed; all file I/O happens on a
+ * dedicated writer thread, never on a reactor, scheduler, or worker
+ * thread.
+ *
+ * Artifacts are strictly bounded: at most `maxArtifacts` files named
+ * flight-<slot>.json in the configured directory, written round-robin
+ * (slot = sequence % maxArtifacts), each a self-describing JSON object
+ * carrying the trigger, the affected request's timeline snapshot (when
+ * a timeline source is registered), and the full Chrome-trace dump of
+ * the ring at snapshot time. The recorder is process-global, like the
+ * tracer it snapshots.
+ */
+
+#ifndef ANYTIME_OBS_FLIGHT_HPP
+#define ANYTIME_OBS_FLIGHT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace anytime::obs {
+
+/** Flight-recorder tuning; an empty directory keeps it disabled. */
+struct FlightRecorderConfig
+{
+    /** Artifact directory (must exist; "" = disabled). */
+    std::string directory;
+    /** Round-robin artifact slot count (disk bound). */
+    std::size_t maxArtifacts = 8;
+};
+
+/** Arm (non-empty directory) or disarm the recorder. Joins and
+ *  restarts the writer thread; call from setup/teardown code only. */
+void configureFlightRecorder(FlightRecorderConfig config);
+
+/** True while armed (one relaxed atomic load; the trigger fast path). */
+bool flightRecorderEnabled();
+
+/**
+ * Register the callback that renders a request's timeline JSON ("" =
+ * unknown request). Typically AnytimeServer wiring its TimelineStore
+ * in; pass nullptr on teardown BEFORE the owning store dies.
+ */
+void setFlightTimelineSource(
+    std::function<std::string(std::uint64_t requestId)> source);
+
+/**
+ * Record an anomaly. Cheap and safe from any thread: while disabled
+ * it is one atomic load; while armed it enqueues {trigger, requestId,
+ * traceId} for the writer thread (dropping when the queue is full —
+ * an anomaly storm must not become a memory anomaly).
+ */
+void flightRecorderTrigger(const char *trigger, std::uint64_t requestId,
+                           std::uint64_t traceId);
+
+/** Artifacts fully written since process start (test/CI probe). */
+std::uint64_t flightArtifactsWritten();
+
+/** Flush the queue and stop the writer thread (idempotent). */
+void shutdownFlightRecorder();
+
+} // namespace anytime::obs
+
+#endif // ANYTIME_OBS_FLIGHT_HPP

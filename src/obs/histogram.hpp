@@ -22,15 +22,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "support/error.hpp"
 
 namespace anytime::obs {
+
+/** OpenMetrics-style exemplar: one recent sample with trace context,
+ *  anchoring an aggregate bucket back to a concrete request trace. */
+struct HistogramExemplar
+{
+    double value = 0.0;
+    std::uint64_t traceId = 0;
+};
 
 /** Bucket layout of a LogHistogram. */
 struct HistogramOptions
@@ -93,6 +103,39 @@ class LogHistogram
         atomicAdd(sumValue, value);
         atomicMin(minValue, value);
         atomicMax(maxValue, value);
+    }
+
+    /**
+     * observe(), additionally retaining (value, traceId) as the
+     * histogram's exemplar when @p traceId is nonzero. The two fields
+     * are separate relaxed atomics: a concurrent pair of observers can
+     * leave one's value with the other's trace id, which is acceptable
+     * for a debugging anchor and keeps the hot path lock-free.
+     */
+    void
+    observeWithExemplar(double value, std::uint64_t traceId)
+    {
+        observe(value);
+        if (traceId == 0 || std::isnan(value))
+            return;
+        exemplarBits.store(std::bit_cast<std::uint64_t>(
+                               value < 0.0 ? 0.0 : value),
+                           std::memory_order_relaxed);
+        exemplarTrace.store(traceId, std::memory_order_relaxed);
+    }
+
+    /** The retained exemplar, if any sample carried a trace id. */
+    std::optional<HistogramExemplar>
+    exemplar() const
+    {
+        const std::uint64_t trace =
+            exemplarTrace.load(std::memory_order_relaxed);
+        if (trace == 0)
+            return std::nullopt;
+        return HistogramExemplar{
+            std::bit_cast<double>(
+                exemplarBits.load(std::memory_order_relaxed)),
+            trace};
     }
 
     std::uint64_t
@@ -254,6 +297,12 @@ class LogHistogram
                        std::memory_order_relaxed);
         maxValue.store(other.maxValue.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+        exemplarBits.store(
+            other.exemplarBits.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        exemplarTrace.store(
+            other.exemplarTrace.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
     }
 
     HistogramOptions opts;
@@ -265,6 +314,8 @@ class LogHistogram
         std::numeric_limits<double>::infinity()};
     std::atomic<double> maxValue{
         -std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> exemplarBits{0};
+    std::atomic<std::uint64_t> exemplarTrace{0};
 };
 
 } // namespace anytime::obs

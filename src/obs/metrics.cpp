@@ -63,14 +63,65 @@ prometheusNumber(double value)
     return buf;
 }
 
+std::string
+prometheusEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char ch : value) {
+        switch (ch) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    if (name.empty())
+        return "_";
+    std::string out;
+    out.reserve(name.size() + 1);
+    const auto head = static_cast<unsigned char>(name[0]);
+    if (std::isdigit(head))
+        out += '_';
+    for (const char ch : name) {
+        const auto c = static_cast<unsigned char>(ch);
+        out += (std::isalnum(c) || ch == '_' || ch == ':') ? ch : '_';
+    }
+    return out;
+}
+
 // ANYTIME_REQUIRES(mutex): keeps entry creation and metric object
 // construction atomic with respect to exporters.
 MetricsRegistry::Entry &
-MetricsRegistry::findOrCreate(const std::string &name,
+MetricsRegistry::findOrCreate(const std::string &rawName,
                               const std::string &help, MetricKind kind)
 {
-    fatalIf(!validMetricName(name),
-            "metric name violates Prometheus naming rules: '", name, "'");
+    // Debug builds treat an illegal name as the bug it is; release
+    // builds sanitize and keep serving (an exporter rejecting one
+    // scrape beats a process dying on a typo'd dashboard name).
+#ifndef NDEBUG
+    fatalIf(!validMetricName(rawName),
+            "metric name violates Prometheus naming rules: '", rawName,
+            "'");
+    const std::string &name = rawName;
+#else
+    const std::string name = validMetricName(rawName)
+                                 ? rawName
+                                 : sanitizeMetricName(rawName);
+#endif
     const auto it = entries.find(name);
     if (it != entries.end()) {
         fatalIf(it->second.kind != kind, "metric '", name,
@@ -133,12 +184,29 @@ MetricsRegistry::writePrometheus(std::ostream &out) const
             break;
           case MetricKind::histogram: {
             const LogHistogram &h = *entry.histogram;
+            const auto exemplar = h.exemplar();
+            bool exemplarPending = exemplar.has_value();
             std::uint64_t cumulative = 0;
             for (std::size_t i = 0; i < h.bucketCount(); ++i) {
                 cumulative += h.bucketSamples(i);
+                const double bound = h.bucketUpperBound(i);
                 out << name << "_bucket{le=\""
-                    << prometheusNumber(h.bucketUpperBound(i)) << "\"} "
-                    << cumulative << '\n';
+                    << prometheusEscapeLabel(prometheusNumber(bound))
+                    << "\"} " << cumulative;
+                // OpenMetrics exemplar on the first bucket covering
+                // the exemplar value: " # {trace_id=...} value".
+                if (exemplarPending && exemplar->value <= bound) {
+                    char hex[20];
+                    std::snprintf(
+                        hex, sizeof hex, "%016llx",
+                        static_cast<unsigned long long>(
+                            exemplar->traceId));
+                    out << " # {trace_id=\""
+                        << prometheusEscapeLabel(hex) << "\"} "
+                        << prometheusNumber(exemplar->value);
+                    exemplarPending = false;
+                }
+                out << '\n';
             }
             out << name << "_sum " << prometheusNumber(h.sum()) << '\n';
             out << name << "_count " << h.count() << '\n';

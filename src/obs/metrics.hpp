@@ -172,6 +172,19 @@ MetricsRegistry &defaultRegistry();
 /** Prometheus-style number rendering ("+Inf", integral shortcuts). */
 std::string prometheusNumber(double value);
 
+/** Escape a label value for the text exposition format: backslash,
+ *  double quote, and newline become \\, \", and \n. */
+std::string prometheusEscapeLabel(const std::string &value);
+
+/**
+ * Coerce @p name into a Prometheus-legal metric name: every illegal
+ * character becomes '_', and a digit head gets a '_' prefix; "" maps
+ * to "_". Release-build registration applies this instead of dying —
+ * a misnamed metric should dent a dashboard, not the serving process
+ * (debug builds still treat the bad name as a fatal bug).
+ */
+std::string sanitizeMetricName(const std::string &name);
+
 } // namespace anytime::obs
 
 #endif // ANYTIME_OBS_METRICS_HPP

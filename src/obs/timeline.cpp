@@ -1,0 +1,299 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace anytime::obs {
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (const char c : text) {
+        const unsigned char ch = static_cast<unsigned char>(c);
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonNumber(std::string &out, double value)
+{
+    // JSON has no NaN/Infinity literals; null keeps output loadable.
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    out += buf;
+}
+
+void
+appendHexId(std::string &out, std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "\"%016llx\"",
+                  static_cast<unsigned long long>(id));
+    out += buf;
+}
+
+} // namespace
+
+TimelineStore::TimelineStore(TimelineStoreOptions opts) : options(opts)
+{
+    if (options.pointCapacity == 0)
+        options.pointCapacity = 1;
+}
+
+void
+TimelineStore::begin(std::uint64_t requestId, std::uint64_t traceId,
+                     const std::string &pipeline, double deadlineSeconds)
+{
+    MutexLock lock(mutex);
+    Entry &entry = inflight[requestId];
+    entry.data.requestId = requestId;
+    entry.data.traceId = traceId;
+    entry.data.pipeline = pipeline;
+    entry.data.deadlineSeconds = deadlineSeconds;
+}
+
+void
+TimelineStore::recordVersion(std::uint64_t requestId, TimelinePoint point)
+{
+    MutexLock lock(mutex);
+    const auto it = inflight.find(requestId);
+    if (it == inflight.end())
+        return;
+    Entry &entry = it->second;
+
+    // Derived signals first, so ring overwrite cannot lose them.
+    if (std::isfinite(point.quality)) {
+        TimelineFinishStats &stats = entry.data.stats;
+        if (point.quality >= 0.5 && std::isnan(stats.timeToQ50))
+            stats.timeToQ50 = point.tSeconds;
+        if (point.quality >= 0.9 && std::isnan(stats.timeToQ90))
+            stats.timeToQ90 = point.tSeconds;
+        if (point.quality >= 0.99 && std::isnan(stats.timeToQ99))
+            stats.timeToQ99 = point.tSeconds;
+        const double gain = point.quality - entry.lastQuality;
+        if (gain > 0.0) {
+            StageGain &credit = entry.gains[point.stage];
+            credit.stage = point.stage;
+            credit.qualityGain += gain;
+            entry.lastQuality = point.quality;
+        }
+        entry.gains[point.stage].versions += 1;
+        entry.gains[point.stage].stage = point.stage;
+    }
+
+    std::vector<TimelinePoint> &ring = entry.data.points;
+    if (ring.size() < options.pointCapacity)
+        ring.push_back(std::move(point));
+    else
+        ring[entry.pointsTotal % options.pointCapacity] =
+            std::move(point);
+    ++entry.pointsTotal;
+}
+
+void
+TimelineStore::recordBuildAttempt(std::uint64_t requestId,
+                                  std::uint32_t attempts)
+{
+    MutexLock lock(mutex);
+    const auto it = inflight.find(requestId);
+    if (it != inflight.end())
+        it->second.data.buildAttempts = attempts;
+}
+
+std::optional<TimelineFinishStats>
+TimelineStore::finish(std::uint64_t requestId, const std::string &status,
+                      bool degraded, double elapsedSeconds,
+                      double finalQuality)
+{
+    MutexLock lock(mutex);
+    const auto it = inflight.find(requestId);
+    if (it == inflight.end())
+        return std::nullopt;
+    Entry entry = std::move(it->second);
+    inflight.erase(it);
+    entry.data.status = status;
+    entry.data.finished = true;
+    entry.data.degraded = degraded;
+    entry.data.elapsedSeconds = elapsedSeconds;
+    entry.data.stats.finalQuality = finalQuality;
+    const TimelineFinishStats stats = entry.data.stats;
+    finished.push_back(std::move(entry));
+    while (finished.size() > options.finishedCapacity)
+        finished.pop_front();
+    return stats;
+}
+
+void
+TimelineStore::snapshotEntry(const Entry &entry,
+                             std::size_t pointCapacity,
+                             std::vector<TimelineSnapshot> &out)
+{
+    TimelineSnapshot snap = entry.data;
+    // Unroll the ring into chronological (oldest-first) order.
+    if (entry.pointsTotal > pointCapacity) {
+        std::rotate(snap.points.begin(),
+                    snap.points.begin() +
+                        static_cast<std::ptrdiff_t>(entry.pointsTotal %
+                                                    pointCapacity),
+                    snap.points.end());
+        snap.pointsDropped = entry.pointsTotal - pointCapacity;
+    }
+    snap.stageGains.reserve(entry.gains.size());
+    for (const auto &[name, gain] : entry.gains)
+        snap.stageGains.push_back(gain);
+    out.push_back(std::move(snap));
+}
+
+std::optional<TimelineSnapshot>
+TimelineStore::snapshot(std::uint64_t requestId) const
+{
+    MutexLock lock(mutex);
+    std::vector<TimelineSnapshot> out;
+    const auto it = inflight.find(requestId);
+    if (it != inflight.end()) {
+        snapshotEntry(it->second, options.pointCapacity, out);
+    } else {
+        for (const Entry &entry : finished)
+            if (entry.data.requestId == requestId) {
+                snapshotEntry(entry, options.pointCapacity, out);
+                break;
+            }
+    }
+    if (out.empty())
+        return std::nullopt;
+    return std::move(out.front());
+}
+
+std::vector<TimelineSnapshot>
+TimelineStore::snapshotAll() const
+{
+    MutexLock lock(mutex);
+    std::vector<TimelineSnapshot> out;
+    out.reserve(inflight.size() + finished.size());
+    for (const auto &[id, entry] : inflight)
+        snapshotEntry(entry, options.pointCapacity, out);
+    // Newest finished first: the interesting tail for a debug page.
+    for (auto it = finished.rbegin(); it != finished.rend(); ++it)
+        snapshotEntry(*it, options.pointCapacity, out);
+    return out;
+}
+
+std::string
+TimelineStore::toJson(const TimelineSnapshot &snapshot)
+{
+    std::string out;
+    out += "{\"request_id\":";
+    out += std::to_string(snapshot.requestId);
+    out += ",\"trace_id\":";
+    appendHexId(out, snapshot.traceId);
+    out += ",\"pipeline\":";
+    appendJsonString(out, snapshot.pipeline);
+    out += ",\"status\":";
+    appendJsonString(out, snapshot.status);
+    out += ",\"finished\":";
+    out += snapshot.finished ? "true" : "false";
+    out += ",\"degraded\":";
+    out += snapshot.degraded ? "true" : "false";
+    out += ",\"build_attempts\":";
+    out += std::to_string(snapshot.buildAttempts);
+    out += ",\"deadline_seconds\":";
+    appendJsonNumber(out, snapshot.deadlineSeconds);
+    out += ",\"elapsed_seconds\":";
+    appendJsonNumber(out, snapshot.elapsedSeconds);
+    out += ",\"final_quality\":";
+    appendJsonNumber(out, snapshot.stats.finalQuality);
+    out += ",\"time_to_quality\":{\"0.5\":";
+    appendJsonNumber(out, snapshot.stats.timeToQ50);
+    out += ",\"0.9\":";
+    appendJsonNumber(out, snapshot.stats.timeToQ90);
+    out += ",\"0.99\":";
+    appendJsonNumber(out, snapshot.stats.timeToQ99);
+    out += "},\"points_dropped\":";
+    out += std::to_string(snapshot.pointsDropped);
+    out += ",\"points\":[";
+    for (std::size_t i = 0; i < snapshot.points.size(); ++i) {
+        const TimelinePoint &point = snapshot.points[i];
+        if (i != 0)
+            out += ',';
+        out += "{\"t\":";
+        appendJsonNumber(out, point.tSeconds);
+        out += ",\"version\":";
+        out += std::to_string(point.version);
+        out += ",\"quality\":";
+        appendJsonNumber(out, point.quality);
+        out += ",\"bytes\":";
+        out += std::to_string(point.bytes);
+        out += ",\"stage\":";
+        appendJsonString(out, point.stage);
+        out += ",\"workers\":";
+        out += std::to_string(point.workers);
+        out += ",\"final\":";
+        out += point.final ? "true" : "false";
+        out += '}';
+    }
+    out += "],\"stage_gains\":[";
+    for (std::size_t i = 0; i < snapshot.stageGains.size(); ++i) {
+        const StageGain &gain = snapshot.stageGains[i];
+        if (i != 0)
+            out += ',';
+        out += "{\"stage\":";
+        appendJsonString(out, gain.stage);
+        out += ",\"quality_gain\":";
+        appendJsonNumber(out, gain.qualityGain);
+        out += ",\"versions\":";
+        out += std::to_string(gain.versions);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+TimelineStore::toJson(const std::vector<TimelineSnapshot> &snapshots)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += '\n';
+        out += toJson(snapshots[i]);
+    }
+    out += "\n]";
+    return out;
+}
+
+} // namespace anytime::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Per-request QoR timeline recorder: the quality staircase, recorded.
+ *
+ * The anytime contract makes every request a *sequence* of answers,
+ * each better than the last — so the unit of observability is not a
+ * latency scalar but the full (time, quality) staircase the request
+ * climbed, annotated with which stage bought each step and at what
+ * payload cost. The TimelineStore keeps one bounded ring of
+ * TimelinePoints per in-flight request plus a bounded ring of the
+ * last-N finished requests, everything behind one small mutex: version
+ * publishes are orders of magnitude rarer than item updates, so a
+ * single lock is cheaper than per-request allocation churn and keeps
+ * snapshots trivially consistent.
+ *
+ * Derived signals computed as points land (so ring overflow cannot
+ * lose them): first-crossing times for quality 0.5 / 0.9 / 0.99 and
+ * cumulative per-stage quality-gain attribution — the measured
+ * QoR-gain-per-stage signal a utility scheduler needs (ROADMAP item 3).
+ *
+ * Snapshots export as JSON for the /requestz debug endpoint and the
+ * flight recorder; the service summarizes finish() stats into the
+ * quality_at_deadline and time_to_quality histograms with the request's
+ * trace id as exemplar.
+ */
+
+#ifndef ANYTIME_OBS_TIMELINE_HPP
+#define ANYTIME_OBS_TIMELINE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace anytime::obs {
+
+/** One published version as the timeline recorder saw it. */
+struct TimelinePoint
+{
+    /** Seconds since the request was submitted. */
+    double tSeconds = 0.0;
+    std::uint64_t version = 0;
+    /** Quality estimate in [0, 1]; NaN when the pipeline has none. */
+    double quality = std::numeric_limits<double>::quiet_NaN();
+    /** Serialized payload size at this version. */
+    std::uint64_t bytes = 0;
+    /** Stage credited with producing this version ("" = unknown). */
+    std::string stage;
+    /** Gang width executing when the version published. */
+    std::uint32_t workers = 0;
+    bool final = false;
+};
+
+/** Cumulative quality gain credited to one stage. */
+struct StageGain
+{
+    std::string stage;
+    double qualityGain = 0.0;
+    std::uint64_t versions = 0;
+};
+
+/** Quality-crossing stats handed back when a request finishes. */
+struct TimelineFinishStats
+{
+    double finalQuality = std::numeric_limits<double>::quiet_NaN();
+    /** Seconds to first version with quality >= q; NaN = never. */
+    double timeToQ50 = std::numeric_limits<double>::quiet_NaN();
+    double timeToQ90 = std::numeric_limits<double>::quiet_NaN();
+    double timeToQ99 = std::numeric_limits<double>::quiet_NaN();
+};
+
+/** Value snapshot of one request's timeline (for /requestz, flight). */
+struct TimelineSnapshot
+{
+    std::uint64_t requestId = 0;
+    std::uint64_t traceId = 0;
+    std::string pipeline;
+    /** servedStatus() name once finished; "running" before. */
+    std::string status = "running";
+    bool finished = false;
+    bool degraded = false;
+    std::uint32_t buildAttempts = 0;
+    double deadlineSeconds = 0.0;
+    /** Total seconds at finish; seconds so far while running. */
+    double elapsedSeconds = 0.0;
+    TimelineFinishStats stats;
+    /** Retained staircase points, oldest first (ring tail). */
+    std::vector<TimelinePoint> points;
+    /** Points overwritten by the ring before this snapshot. */
+    std::uint64_t pointsDropped = 0;
+    std::vector<StageGain> stageGains;
+};
+
+/** Tuning for the per-request and finished-request rings. */
+struct TimelineStoreOptions
+{
+    /** Staircase points retained per request. */
+    std::size_t pointCapacity = 64;
+    /** Finished requests retained for /requestz. */
+    std::size_t finishedCapacity = 32;
+};
+
+/**
+ * Bounded store of request timelines: in-flight keyed by request id,
+ * finished in an eviction ring. All methods are thread-safe; unknown
+ * request ids are ignored (a request can finish before its first
+ * version fans out).
+ */
+class TimelineStore
+{
+  public:
+    explicit TimelineStore(TimelineStoreOptions options = {});
+
+    /** Open a timeline for @p requestId (called at submit). */
+    void begin(std::uint64_t requestId, std::uint64_t traceId,
+               const std::string &pipeline, double deadlineSeconds);
+
+    /** Record one published version (called from the version sink). */
+    void recordVersion(std::uint64_t requestId, TimelinePoint point);
+
+    /** Bump the recorded build-attempt count (retry visibility). */
+    void recordBuildAttempt(std::uint64_t requestId,
+                            std::uint32_t attempts);
+
+    /**
+     * Close the timeline and move it to the finished ring. Returns the
+     * quality-crossing stats for histogram observation (nullopt when
+     * the id was never begun).
+     */
+    std::optional<TimelineFinishStats>
+    finish(std::uint64_t requestId, const std::string &status,
+           bool degraded, double elapsedSeconds, double finalQuality);
+
+    /** Snapshot one request (in-flight or finished), if known. */
+    std::optional<TimelineSnapshot>
+    snapshot(std::uint64_t requestId) const;
+
+    /** Snapshot everything: in-flight first, then newest-finished. */
+    std::vector<TimelineSnapshot> snapshotAll() const;
+
+    /** Render snapshots as a JSON array (stable field order). */
+    static std::string
+    toJson(const std::vector<TimelineSnapshot> &snapshots);
+    /** Render one snapshot as a JSON object. */
+    static std::string toJson(const TimelineSnapshot &snapshot);
+
+  private:
+    struct Entry
+    {
+        TimelineSnapshot data;
+        /** Ring of staircase points (data.points used as the ring). */
+        std::uint64_t pointsTotal = 0;
+        double lastQuality = 0.0;
+        std::map<std::string, StageGain> gains;
+    };
+
+    static void snapshotEntry(const Entry &entry,
+                              std::size_t pointCapacity,
+                              std::vector<TimelineSnapshot> &out);
+
+    TimelineStoreOptions options;
+    mutable Mutex mutex;
+    std::map<std::uint64_t, Entry> inflight ANYTIME_GUARDED_BY(mutex);
+    std::deque<Entry> finished ANYTIME_GUARDED_BY(mutex);
+};
+
+} // namespace anytime::obs
+
+#endif // ANYTIME_OBS_TIMELINE_HPP

@@ -65,6 +65,7 @@ collector()
 }
 
 thread_local ThreadBuffer *tlsBuffer = nullptr;
+thread_local TraceContext tlsContext{};
 
 ThreadBuffer &
 threadBuffer()
@@ -158,6 +159,16 @@ appendArgs(std::string &out, const TraceRecord &record)
 {
     out += "\"args\":{";
     bool first = true;
+    // The trace id is exported as a hex string: 64-bit ids do not
+    // survive a round-trip through a JSON double, and Perfetto keeps
+    // unknown string args visible on the span for query/filtering.
+    if (record.traceId != 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "\"trace\":\"%016llx\"",
+                      static_cast<unsigned long long>(record.traceId));
+        out += buf;
+        first = false;
+    }
     for (const TraceArg &arg : record.args) {
         if (arg.key == nullptr)
             continue;
@@ -256,6 +267,25 @@ traceCapacityPerThread()
     return kCapacityPerThread;
 }
 
+std::uint64_t
+newTraceId()
+{
+    // Clock entropy mixed with a process-wide counter through the
+    // splitmix64 finalizer: unique within the process, effectively
+    // unique across loopback client/server pairs, and never zero
+    // (zero is the "no context" sentinel on the wire).
+    static std::atomic<std::uint64_t> counter{0};
+    std::uint64_t x =
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) +
+        (counter.fetch_add(1, std::memory_order_relaxed) << 32);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x != 0 ? x : 1;
+}
+
 #if ANYTIME_TRACE_COMPILED_IN
 
 bool
@@ -278,11 +308,25 @@ internName(const std::string &name)
     return c.names.insert(name).first->c_str();
 }
 
+TraceContext
+currentTraceContext()
+{
+    return tlsContext;
+}
+
+void
+setCurrentTraceContext(TraceContext context)
+{
+    tlsContext = context;
+}
+
 void
 traceRecord(TraceRecord record)
 {
     ThreadBuffer &buffer = threadBuffer();
     record.tid = buffer.tid;
+    if (record.traceId == 0)
+        record.traceId = tlsContext.traceId;
     const std::uint64_t index =
         buffer.written.load(std::memory_order_relaxed);
     buffer.slots[index % buffer.slots.size()] = record;

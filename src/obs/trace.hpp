@@ -70,7 +70,22 @@ struct TraceRecord
     std::uint64_t startNs = 0;    ///< nanoseconds since collector epoch
     std::uint64_t durationNs = 0; ///< complete events only
     std::uint64_t id = 0;         ///< async correlation id
+    std::uint64_t traceId = 0;    ///< request trace context (0 = none)
     TraceArg args[2];
+};
+
+/**
+ * Request-scoped trace context. The trace id is minted once per
+ * request (client side when it originates there, service side
+ * otherwise), travels over the wire in REQUEST/ACCEPTED frames, and is
+ * stamped onto every record a thread emits while a TraceContextScope
+ * is active — so spans from the client, the reactor, the scheduler,
+ * the builder, and every stage worker stitch into one request trace.
+ */
+struct TraceContext
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t parentSpanId = 0;
 };
 
 /** Ring capacity (records) of each per-thread buffer. */
@@ -94,6 +109,43 @@ const char *internName(const std::string &name);
 
 /** Append a fully formed record to this thread's ring (lock-free). */
 void traceRecord(TraceRecord record);
+
+/**
+ * Mint a fresh 64-bit trace id: never zero, unique within the process
+ * and effectively unique across loopback processes (clock entropy
+ * mixed with a process-wide counter through a splitmix64 finalizer).
+ */
+std::uint64_t newTraceId();
+
+/** This thread's active trace context ({0,0} when none). */
+TraceContext currentTraceContext();
+
+/** Replace this thread's trace context (RAII callers preferred). */
+void setCurrentTraceContext(TraceContext context);
+
+/**
+ * RAII trace-context scope: installs @p context for the current
+ * thread and restores the previous context on destruction. Cheap
+ * enough to sit on dispatch paths unconditionally — two thread-local
+ * stores, no atomics, no allocation.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(TraceContext context)
+        : previous(currentTraceContext())
+    {
+        setCurrentTraceContext(context);
+    }
+
+    ~TraceContextScope() { setCurrentTraceContext(previous); }
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext previous;
+};
 
 /** Emit an instant event; no-op while disabled. */
 void traceInstant(const char *name, const char *category,
@@ -162,6 +214,18 @@ inline bool tracingEnabled() { return false; }
 inline void setTracingEnabled(bool) {}
 inline const char *internName(const std::string &) { return ""; }
 inline void traceRecord(TraceRecord) {}
+std::uint64_t newTraceId(); // still real: ids ride the wire regardless
+inline TraceContext currentTraceContext() { return {}; }
+inline void setCurrentTraceContext(TraceContext) {}
+
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(TraceContext) {}
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+};
+
 inline void traceInstant(const char *, const char *, TraceArg = {},
                          TraceArg = {})
 {

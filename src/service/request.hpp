@@ -54,6 +54,10 @@ struct VersionUpdate
     double quality = std::numeric_limits<double>::quiet_NaN();
     /** Serialized version payload; null when the sink is metadata-only. */
     std::shared_ptr<const std::string> payload;
+    /** Stage credited with producing this version ("" = unknown); set
+     *  by the factory's sink adapter, consumed by the QoR timeline
+     *  recorder's per-stage quality-gain attribution. */
+    std::string stage;
 };
 
 /**
@@ -133,6 +137,15 @@ struct ServiceRequest
      * pipeline itself.
      */
     unsigned stageWorkers = 1;
+
+    /**
+     * Trace context for the request (see obs/trace.hpp). Zero asks the
+     * server to mint one at submit; a nonzero id (e.g. propagated off
+     * the wire by the network front-end) stamps every span the request
+     * produces — scheduler, builder, stage workers — so the whole
+     * cross-layer execution stitches into one trace.
+     */
+    std::uint64_t traceId = 0;
 
     /**
      * Optional per-version subscription (the network fan-out hook):

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -89,6 +91,40 @@ AnytimeServer::AnytimeServer(ServerConfig config)
     live.firstVersion = &registry.histogram(
         "anytime_first_version_seconds",
         "Dispatch-to-first-streamed-version latency.");
+    // QoR summaries: quality lives in [0, 1], so power-of-two bounds
+    // (0.125, 0.25, 0.5, 1.0, +Inf) keep the exposition readable.
+    live.qualityAtDeadline = &registry.histogram(
+        "anytime_quality_at_deadline",
+        "Quality of the answer the client held at its deadline.",
+        {.firstBound = 0.125, .growth = 2.0, .buckets = 5});
+    live.timeToQ50 = &registry.histogram(
+        "anytime_time_to_quality_q50_seconds",
+        "Seconds from submission to the first version with quality "
+        ">= 0.5.");
+    live.timeToQ90 = &registry.histogram(
+        "anytime_time_to_quality_q90_seconds",
+        "Seconds from submission to the first version with quality "
+        ">= 0.9.");
+    live.timeToQ99 = &registry.histogram(
+        "anytime_time_to_quality_q99_seconds",
+        "Seconds from submission to the first version with quality "
+        ">= 0.99.");
+    // ANYTIME_FLIGHT_DIR=<dir> arms the flight recorder without code
+    // changes — how CI collects anomaly artifacts from chaos runs.
+    // Only arm, never re-arm: test rigs construct many servers and
+    // configureFlightRecorder restarts the writer thread each call.
+    if (const char *flight_dir = std::getenv("ANYTIME_FLIGHT_DIR");
+        flight_dir != nullptr && flight_dir[0] != '\0' &&
+        !obs::flightRecorderEnabled())
+        obs::configureFlightRecorder({.directory = flight_dir});
+    // Flight-recorder hook: anomaly artifacts embed the affected
+    // request's timeline. Last server wins when several coexist (a
+    // test rig); the destructor unhooks before the store dies.
+    obs::setFlightTimelineSource([this](std::uint64_t requestId) {
+        const auto snap = timelineStore.snapshot(requestId);
+        return snap ? obs::TimelineStore::toJson(*snap)
+                    : std::string();
+    });
     builder = std::jthread(
         [this](std::stop_token stop) { builderLoop(std::move(stop)); });
     scheduler = std::jthread(
@@ -97,6 +133,9 @@ AnytimeServer::AnytimeServer(ServerConfig config)
 
 AnytimeServer::~AnytimeServer()
 {
+    // Unhook the flight recorder's timeline source before the store it
+    // reads is torn down (no-op for whichever server did not own it).
+    obs::setFlightTimelineSource(nullptr);
     {
         MutexLock lock(mutex);
         stopping = true;
@@ -133,6 +172,7 @@ AnytimeServer::builderLoop(std::stop_token stop)
         result.id = job.id;
         const auto build_begin = Clock::now();
         {
+            obs::TraceContextScope context({job.traceId, 0});
             obs::TraceSpan span(
                 "build", "service",
                 {"request", static_cast<double>(job.id)});
@@ -181,7 +221,16 @@ AnytimeServer::submitTracked(ServiceRequest request)
     MutexLock lock(mutex);
     const std::uint64_t id = nextId++;
     submission.id = id;
+    // Trace context: adopt the caller's id (e.g. propagated off the
+    // wire) or mint one, then stamp every event this request emits.
+    if (request.traceId == 0)
+        request.traceId = obs::newTraceId();
+    const std::uint64_t trace_id = request.traceId;
+    obs::TraceContextScope context({trace_id, 0});
     live.submitted->add();
+    timelineStore.begin(
+        id, trace_id, request.name,
+        std::chrono::duration<double>(request.deadline).count());
     obs::traceAsyncBegin(
         "request", "service", id,
         {"deadline_ms",
@@ -190,15 +239,15 @@ AnytimeServer::submitTracked(ServiceRequest request)
         {"min_quality", request.minQuality});
     if (stopping) {
         respondImmediately(promise, ServiceStatus::cancelled, now, id,
-                           {}, &request.onComplete);
+                           trace_id, {}, &request.onComplete);
         return submission;
     }
     // A deadline at or before "now" can never be met by dispatching:
     // answer immediately (empty quality) instead of queueing a request
     // that would only ever expire. This is the zero-deadline guarantee.
     if (request.deadline <= std::chrono::nanoseconds::zero()) {
-        respondImmediately(promise, ServiceStatus::expired, now, id, {},
-                           &request.onComplete);
+        respondImmediately(promise, ServiceStatus::expired, now, id,
+                           trace_id, {}, &request.onComplete);
         return submission;
     }
     // Circuit breaker: a pipeline name that keeps failing is shed up
@@ -206,12 +255,12 @@ AnytimeServer::submitTracked(ServiceRequest request)
     // builder and the retry budget on every submission.
     if (circuitOpenLocked(request.name, now)) {
         respondImmediately(promise, ServiceStatus::shedCircuitOpen, now,
-                           id, {}, &request.onComplete);
+                           id, trace_id, {}, &request.onComplete);
         return submission;
     }
     if (const auto shed =
             admissionVerdict(now, deadline, request.stageWorkers)) {
-        respondImmediately(promise, *shed, now, id, {},
+        respondImmediately(promise, *shed, now, id, trace_id, {},
                            &request.onComplete);
         return submission;
     }
@@ -243,11 +292,13 @@ AnytimeServer::cancel(std::uint64_t id)
         // is discarded by integrateBuildResultsLocked() (its automaton
         // was never started), exactly like an expired entry's.
         PendingEntry &entry = queued->second;
+        obs::TraceContextScope context({entry.request.traceId, 0});
         obs::traceInstant("client.cancel", "service",
                           {"request", static_cast<double>(id)},
                           {"queued", 1.0});
         respondImmediately(entry.promise, ServiceStatus::cancelled,
-                           entry.submitted, entry.id, {},
+                           entry.submitted, entry.id,
+                           entry.request.traceId, {},
                            &entry.request.onComplete);
         pending.erase(queued);
         updateDepthGaugesLocked();
@@ -257,6 +308,7 @@ AnytimeServer::cancel(std::uint64_t id)
     if (it != running.end() &&
         it->second.stopReason == StopReason::none) {
         it->second.stopReason = StopReason::client;
+        obs::TraceContextScope context({it->second.traceId, 0});
         obs::traceInstant("client.cancel", "service",
                           {"request", static_cast<double>(id)},
                           {"queued", 0.0});
@@ -337,15 +389,20 @@ void
 AnytimeServer::respondImmediately(
     std::promise<ServiceResponse> &promise, ServiceStatus status,
     Clock::time_point submitted, std::uint64_t id,
-    std::vector<std::string> failures,
+    std::uint64_t trace_id, std::vector<std::string> failures,
     const std::function<void(const ServiceResponse &)> *on_complete)
 {
+    obs::TraceContextScope context({trace_id, 0});
     ServiceResponse response;
     response.status = status;
     response.totalSeconds = secondsBetween(submitted, Clock::now());
     response.failures = std::move(failures);
     metrics.record(response);
     updateLiveMetrics(response);
+    if (id != 0)
+        timelineStore.finish(id, serviceStatusName(status),
+                             response.degraded, response.totalSeconds,
+                             response.quality);
     if (id != 0)
         obs::traceAsyncEnd("request", "service", id,
                            {"served", 0.0});
@@ -392,6 +449,8 @@ AnytimeServer::recordPipelineFailureLocked(const std::string &name,
         {"cooldown_ms", std::chrono::duration<double, std::milli>(
                             configuration.circuitCooldown)
                             .count()});
+    obs::flightRecorderTrigger("circuit_open", 0,
+                               obs::currentTraceContext().traceId);
 }
 
 void
@@ -471,6 +530,8 @@ AnytimeServer::integrateBuildResultsLocked()
                 const auto backoff = retryBackoffLocked(entry);
                 entry.notBefore = now + backoff;
                 live.buildRetries->add();
+                timelineStore.recordBuildAttempt(entry.id,
+                                                 entry.buildAttempts);
                 obs::traceInstant(
                     "build.retry", "service",
                     {"request", static_cast<double>(entry.id)},
@@ -479,9 +540,11 @@ AnytimeServer::integrateBuildResultsLocked()
                          .count()});
                 continue;
             }
+            obs::TraceContextScope context({entry.request.traceId, 0});
             recordPipelineFailureLocked(entry.request.name, now);
             respondImmediately(entry.promise, ServiceStatus::failed,
                                entry.submitted, entry.id,
+                               entry.request.traceId,
                                {std::move(result.error)},
                                &entry.request.onComplete);
             pending.erase(it);
@@ -495,6 +558,7 @@ AnytimeServer::integrateBuildResultsLocked()
 void
 AnytimeServer::harvest(RunningEntry entry)
 {
+    obs::TraceContextScope context({entry.traceId, 0});
     Automaton &automaton = *entry.pipeline.automaton;
     automaton.shutdown(); // workers already drained; joins bookkeeping
 
@@ -585,6 +649,35 @@ AnytimeServer::harvest(RunningEntry entry)
                           {"exec_ms", response.execSeconds * 1e3},
                           {"ewma_ms", ewmaExecSeconds * 1e3});
     }
+
+    // QoR timeline: close the staircase record and summarize it into
+    // the exemplar-annotated quality/time-to-quality histograms. Only
+    // answers a client actually held count (served or salvaged).
+    const auto qor = timelineStore.finish(
+        entry.id, serviceStatusName(response.status), response.degraded,
+        response.totalSeconds, response.quality);
+    if (servedStatus(response.status) ||
+        response.status == ServiceStatus::degraded) {
+        if (!std::isnan(response.quality))
+            live.qualityAtDeadline->observeWithExemplar(
+                response.quality, entry.traceId);
+        if (qor.has_value()) {
+            if (!std::isnan(qor->timeToQ50))
+                live.timeToQ50->observeWithExemplar(qor->timeToQ50,
+                                                    entry.traceId);
+            if (!std::isnan(qor->timeToQ90))
+                live.timeToQ90->observeWithExemplar(qor->timeToQ90,
+                                                    entry.traceId);
+            if (!std::isnan(qor->timeToQ99))
+                live.timeToQ99->observeWithExemplar(qor->timeToQ99,
+                                                    entry.traceId);
+        }
+    }
+    // A served request whose client got nothing by its deadline is an
+    // anomaly worth a flight artifact (sheds and cancels are not).
+    if (servedStatus(response.status) && !response.deadlineMet)
+        obs::flightRecorderTrigger("deadline_miss", entry.id,
+                                   entry.traceId);
 
     metrics.record(response);
     updateLiveMetrics(response);
@@ -714,7 +807,8 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             for (auto &[deadline, entry] : pending)
                 respondImmediately(entry.promise,
                                    ServiceStatus::cancelled,
-                                   entry.submitted, entry.id, {},
+                                   entry.submitted, entry.id,
+                                   entry.request.traceId, {},
                                    &entry.request.onComplete);
             pending.clear();
             updateDepthGaugesLocked();
@@ -744,7 +838,8 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             PendingEntry &head = it->second;
             if (head.deadline <= Clock::now()) {
                 respondImmediately(head.promise, ServiceStatus::expired,
-                                   head.submitted, head.id, {},
+                                   head.submitted, head.id,
+                                   head.request.traceId, {},
                                    &head.request.onComplete);
                 pending.erase(it);
                 updateDepthGaugesLocked();
@@ -760,7 +855,8 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
                     head.notBefore <= Clock::now()) {
                     buildInFlight = head.id;
                     buildJob = BuildJob{head.id, head.request.name,
-                                        head.request.factory};
+                                        head.request.factory,
+                                        head.request.traceId};
                     buildCv.notifyAll();
                 }
                 break; // strict EDF: nothing dispatches past the head
@@ -769,7 +865,7 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             if (gang > workers.size()) {
                 respondImmediately(
                     head.promise, ServiceStatus::failed, head.submitted,
-                    head.id,
+                    head.id, head.request.traceId,
                     {"pipeline needs " + std::to_string(gang) +
                      " workers but the pool has " +
                      std::to_string(workers.size())},
@@ -791,30 +887,49 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             entry.pipeline = std::move(head.pipeline);
             entry.gang = gang;
             entry.minQuality = head.request.minQuality;
+            entry.traceId = head.request.traceId;
             entry.onComplete = std::move(head.request.onComplete);
             // Streaming hook: wrap the request's sink (if any) with the
-            // first-version clock and attach it before the pipeline
-            // starts, so every published version is both timed and
+            // first-version clock and the QoR timeline recorder and
+            // attach it before the pipeline starts, so every published
+            // version is timed, recorded on the quality staircase, and
             // fanned out to the subscriber.
             if (entry.pipeline.attachSink) {
                 auto first_ns =
                     std::make_shared<std::atomic<std::int64_t>>(-1);
                 entry.firstVersionNanos = first_ns;
                 const auto dispatched = entry.dispatched;
+                const auto submitted = entry.submitted;
+                const std::uint64_t request_id = entry.id;
+                const unsigned gang_width = gang;
                 VersionSink forward =
                     std::move(head.request.versionSink);
                 entry.pipeline.attachSink(
-                    [first_ns, dispatched,
-                     forward = std::move(forward)](
+                    [this, first_ns, dispatched, submitted, request_id,
+                     gang_width, forward = std::move(forward)](
                         const VersionUpdate &update) {
+                        const auto now_ts = Clock::now();
                         std::int64_t expected = -1;
                         first_ns->compare_exchange_strong(
                             expected,
                             std::chrono::duration_cast<
-                                std::chrono::nanoseconds>(Clock::now() -
+                                std::chrono::nanoseconds>(now_ts -
                                                           dispatched)
                                 .count(),
                             std::memory_order_acq_rel);
+                        obs::TimelinePoint point;
+                        point.tSeconds =
+                            secondsBetween(submitted, now_ts);
+                        point.version = update.version;
+                        point.quality = update.quality;
+                        point.bytes = update.payload
+                                          ? update.payload->size()
+                                          : 0;
+                        point.stage = update.stage;
+                        point.workers = gang_width;
+                        point.final = update.final;
+                        timelineStore.recordVersion(request_id,
+                                                    std::move(point));
                         if (forward)
                             forward(update);
                     });
@@ -827,16 +942,23 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             // quarantine (default) lets a faulting pipeline finish
             // degraded so harvest can salvage the response.
             automaton->setFaultPolicy(configuration.pipelineFaultPolicy);
+            // Thread the request's trace context into the automaton so
+            // every stage/sweep span its workers emit stitches into
+            // this request's trace.
+            automaton->setTraceId(entry.traceId);
             automaton->setDoneCallback([this, id] {
                 MutexLock callback_lock(mutex);
                 finishedIds.push_back(id);
                 wake.notifyAll();
             });
             slotsUsed += gang;
-            obs::traceInstant(
-                "edf.dispatch", "service",
-                {"request", static_cast<double>(id)},
-                {"gang", static_cast<double>(gang)});
+            {
+                obs::TraceContextScope context({entry.traceId, 0});
+                obs::traceInstant(
+                    "edf.dispatch", "service",
+                    {"request", static_cast<double>(id)},
+                    {"gang", static_cast<double>(gang)});
+            }
             running.emplace(id, std::move(entry));
             updateDepthGaugesLocked();
             automaton->start(workers);
@@ -905,6 +1027,32 @@ AnytimeServer::runningCount() const
 {
     MutexLock lock(mutex);
     return running.size();
+}
+
+unsigned
+AnytimeServer::workersInUse() const
+{
+    MutexLock lock(mutex);
+    return slotsUsed;
+}
+
+std::vector<AnytimeServer::CircuitInfo>
+AnytimeServer::circuitSnapshot() const
+{
+    MutexLock lock(mutex);
+    const auto now = Clock::now();
+    std::vector<CircuitInfo> result;
+    result.reserve(circuits.size());
+    for (const auto &[name, circuit] : circuits) {
+        CircuitInfo info;
+        info.pipeline = name;
+        info.consecutiveFailures = circuit.consecutiveFailures;
+        if (circuit.openUntil > now)
+            info.openForSeconds =
+                secondsBetween(now, circuit.openUntil);
+        result.push_back(std::move(info));
+    }
+    return result;
 }
 
 } // namespace anytime

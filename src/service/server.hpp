@@ -49,6 +49,7 @@
 
 #include "core/worker_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 #include "support/stopwatch.hpp"
@@ -164,10 +165,28 @@ class AnytimeServer
     /** Requests currently executing on the pool. */
     std::size_t runningCount() const;
 
+    /** Worker slots currently occupied by dispatched gangs. */
+    unsigned workersInUse() const;
+
     const ServerConfig &config() const { return configuration; }
 
     /** The executor pool (exposed for recycling/occupancy stats). */
     const WorkerPool &pool() const { return workers; }
+
+    /** Per-request QoR timelines (the /requestz data source). */
+    const obs::TimelineStore &timelines() const { return timelineStore; }
+
+    /** One pipeline's circuit-breaker state, as /requestz shows it. */
+    struct CircuitInfo
+    {
+        std::string pipeline;
+        unsigned consecutiveFailures = 0;
+        /** Seconds until the circuit admits again; 0 = closed. */
+        double openForSeconds = 0.0;
+    };
+
+    /** Snapshot of every tracked circuit breaker. */
+    std::vector<CircuitInfo> circuitSnapshot() const;
 
   private:
     using Clock = Stopwatch::Clock;
@@ -206,6 +225,8 @@ class AnytimeServer
         std::uint64_t id = 0;
         std::string name;
         std::function<PreparedPipeline()> factory;
+        /** Trace context the build span is stamped with. */
+        std::uint64_t traceId = 0;
     };
 
     /** Builder thread's answer; delivered back under the mutex. */
@@ -229,6 +250,8 @@ class AnytimeServer
         PreparedPipeline pipeline;
         unsigned gang = 0;
         double minQuality = 0.0;
+        /** Request trace context (stamped onto harvest-side spans). */
+        std::uint64_t traceId = 0;
         StopReason stopReason = StopReason::none;
         /** Completion hook carried over from the request. */
         std::function<void(const ServiceResponse &)> onComplete;
@@ -245,11 +268,14 @@ class AnytimeServer
 
     /** Respond without dispatching (shed/expired/cancelled/failed).
      *  @p id closes the request's trace span (0 = no span open);
-     *  @p on_complete is the request's completion hook (may be null),
-     *  invoked after the promise is fulfilled. */
+     *  @p trace_id stamps the closing events with the request's trace
+     *  context and finalizes its QoR timeline; @p on_complete is the
+     *  request's completion hook (may be null), invoked after the
+     *  promise is fulfilled. */
     void respondImmediately(
         std::promise<ServiceResponse> &promise, ServiceStatus status,
         Clock::time_point submitted, std::uint64_t id = 0,
+        std::uint64_t trace_id = 0,
         std::vector<std::string> failures = {},
         const std::function<void(const ServiceResponse &)> *on_complete =
             nullptr) ANYTIME_REQUIRES(mutex);
@@ -363,6 +389,12 @@ class AnytimeServer
         obs::LogHistogram *execTime = nullptr;
         obs::LogHistogram *buildTime = nullptr;
         obs::LogHistogram *firstVersion = nullptr;
+        /** QoR summaries fed from the timeline recorder at finish,
+         *  annotated with trace-id exemplars. */
+        obs::LogHistogram *qualityAtDeadline = nullptr;
+        obs::LogHistogram *timeToQ50 = nullptr;
+        obs::LogHistogram *timeToQ90 = nullptr;
+        obs::LogHistogram *timeToQ99 = nullptr;
     };
 
     /** Fold a terminal response into the live registry metrics. */
@@ -372,6 +404,10 @@ class AnytimeServer
     void updateDepthGaugesLocked() ANYTIME_REQUIRES(mutex);
 
     LiveMetrics live;
+
+    /** Per-request QoR staircases (own internal lock; safe from the
+     *  publishing worker threads and the debug endpoints alike). */
+    obs::TimelineStore timelineStore;
 
     WorkerPool workers;
     std::jthread builder;

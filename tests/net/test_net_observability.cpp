@@ -1,0 +1,265 @@
+/**
+ * @file
+ * End-to-end observability over loopback: one streamed request must
+ * produce ONE stitched trace — client, reactor, service, and stage
+ * spans all stamped with the same wire-propagated trace id — and the
+ * live debug endpoints (/requestz, /statusz) must serve well-formed
+ * JSON showing the request's quality staircase and the server's
+ * runtime shape. The traceparent query parameter on the HTTP door
+ * joins an external trace the same way the binary frames do.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../obs/json_check.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace anytime::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Rig
+{
+    obs::MetricsRegistry registry;
+    std::unique_ptr<NetServer> server;
+
+    Rig()
+    {
+        NetServerConfig config;
+        config.catalog = std::make_shared<PipelineCatalog>();
+        registerCounterPipeline(*config.catalog);
+        config.metricsRegistry = &registry;
+        config.service.workers = 2;
+        server = std::make_unique<NetServer>(std::move(config));
+    }
+
+    ClientOptions
+    client() const
+    {
+        ClientOptions options;
+        options.port = server->port();
+        options.timeout = 10000ms;
+        return options;
+    }
+};
+
+RequestFrame
+counterRequestFrame(std::string input, std::uint64_t deadline_us)
+{
+    RequestFrame frame;
+    frame.pipeline = "counter";
+    frame.input = std::move(input);
+    frame.deadlineMicros = deadline_us;
+    return frame;
+}
+
+std::string
+traceHex(std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+std::string
+exportTrace()
+{
+    std::ostringstream out;
+    obs::writeChromeTrace(out);
+    return out.str();
+}
+
+/** Split the export into one string per trace event. */
+std::vector<std::string>
+traceEvents(const std::string &json)
+{
+    std::vector<std::string> events;
+    const std::string open = "{\"name\":\"";
+    std::size_t pos = json.find(open);
+    while (pos != std::string::npos) {
+        const std::size_t next = json.find(open, pos + open.size());
+        events.push_back(json.substr(
+            pos, next == std::string::npos ? json.size() - pos
+                                           : next - pos));
+        pos = next;
+    }
+    return events;
+}
+
+bool
+hasEventWith(const std::vector<std::string> &events,
+             const std::string &category, const std::string &idNeedle)
+{
+    const std::string cat = "\"cat\":\"" + category + "\"";
+    for (const std::string &event : events)
+        if (event.find(cat) != std::string::npos &&
+            event.find(idNeedle) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Tracing on for the test body, reliably off afterwards. */
+class NetObservability : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::setTracingEnabled(false);
+        obs::clearTrace();
+        obs::setTracingEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setTracingEnabled(false);
+        obs::clearTrace();
+    }
+};
+
+#if ANYTIME_TRACE_COMPILED_IN
+TEST_F(NetObservability, SingleRequestProducesOneStitchedTrace)
+{
+    Rig rig;
+    const auto result = runRequest(
+        rig.client(), counterRequestFrame("64:500:8", 10000000));
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.done.has_value());
+    ASSERT_TRUE(result.accepted.has_value());
+    ASSERT_NE(result.traceId, 0u);
+    // The server echoed the client-minted id back on ACCEPTED.
+    EXPECT_EQ(result.accepted->traceId, result.traceId);
+
+    // Stage workers may still be winding down when DONE reaches the
+    // client; poll until their spans land in the ring.
+    const std::string needle =
+        "\"trace\":\"" + traceHex(result.traceId) + "\"";
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    std::vector<std::string> events;
+    bool stitched = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        events = traceEvents(exportTrace());
+        stitched = hasEventWith(events, "client", needle) &&
+                   hasEventWith(events, "net", needle) &&
+                   hasEventWith(events, "service", needle) &&
+                   hasEventWith(events, "stage", needle);
+        if (stitched)
+            break;
+        std::this_thread::sleep_for(20ms);
+    }
+    obs::setTracingEnabled(false);
+
+    const std::string json = exportTrace();
+    EXPECT_TRUE(testjson::isValidJson(json));
+    EXPECT_TRUE(stitched)
+        << "categories carrying " << needle << ":"
+        << " client=" << hasEventWith(events, "client", needle)
+        << " net=" << hasEventWith(events, "net", needle)
+        << " service=" << hasEventWith(events, "service", needle)
+        << " stage=" << hasEventWith(events, "stage", needle);
+}
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+TEST_F(NetObservability, RequestzShowsTheQualityStaircase)
+{
+    Rig rig;
+    const auto result = runRequest(
+        rig.client(), counterRequestFrame("64:500:8", 10000000));
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.done.has_value());
+
+    // The timeline moves to the finished ring at harvest; poll for it.
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    HttpResult page;
+    while (std::chrono::steady_clock::now() < deadline) {
+        page = httpGet(rig.client(), "/requestz");
+        ASSERT_TRUE(page.ok) << page.error;
+        if (page.body.find("\"finished\":true") != std::string::npos)
+            break;
+        std::this_thread::sleep_for(20ms);
+    }
+    EXPECT_EQ(page.status, 200);
+    EXPECT_EQ(page.headers.at("content-type"), "application/json");
+    EXPECT_TRUE(testjson::isValidJson(page.body)) << page.body;
+    EXPECT_NE(page.body.find("\"pipeline\":\"counter\""),
+              std::string::npos);
+    EXPECT_NE(page.body.find("\"points\":["), std::string::npos);
+    EXPECT_NE(page.body.find("\"circuits\":"), std::string::npos);
+    // The full staircase: as many recorded points as wire versions,
+    // non-decreasing in quality.
+    const auto qualities =
+        testjson::numbersAfterKey(page.body, "quality");
+    ASSERT_GE(qualities.size(), result.versions.size());
+    for (std::size_t i = 1; i < qualities.size(); ++i)
+        EXPECT_GE(qualities[i], qualities[i - 1]);
+}
+
+TEST_F(NetObservability, StatuszReportsTheRuntimeShape)
+{
+    Rig rig;
+    const auto page = httpGet(rig.client(), "/statusz");
+    ASSERT_TRUE(page.ok) << page.error;
+    EXPECT_EQ(page.status, 200);
+    EXPECT_EQ(page.headers.at("content-type"), "application/json");
+    EXPECT_TRUE(testjson::isValidJson(page.body)) << page.body;
+    for (const char *key :
+         {"\"protocol_version\"", "\"trace_compiled_in\"",
+          "\"uptime_seconds\"", "\"workers\"", "\"in_use\"",
+          "\"queue\"", "\"connections\"", "\"streams\"",
+          "\"accept_buckets\"", "\"tracing\"", "\"flight_recorder\""})
+        EXPECT_NE(page.body.find(key), std::string::npos) << key;
+    const auto workers =
+        testjson::numbersAfterKey(page.body, "total");
+    ASSERT_FALSE(workers.empty());
+    EXPECT_DOUBLE_EQ(workers.front(), 2.0);
+}
+
+TEST_F(NetObservability, TraceparentQueryJoinsTheHttpStream)
+{
+    Rig rig;
+    const auto response = httpGet(
+        rig.client(),
+        "/stream?pipeline=counter&input=32:200:4&deadline_ms=5000"
+        "&traceparent=00-0123456789abcdeffedcba9876543210-"
+        "00f067aa0ba902b7-01");
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("event: accepted"), std::string::npos);
+    // Low 64 bits of the W3C trace-id field become the stream's id and
+    // are echoed in the accepted event.
+    EXPECT_NE(response.body.find("\"traceId\":\"fedcba9876543210\""),
+              std::string::npos)
+        << response.body;
+}
+
+TEST_F(NetObservability, MalformedTraceparentStillStreams)
+{
+    Rig rig;
+    const auto response = httpGet(
+        rig.client(),
+        "/stream?pipeline=counter&input=32:200:4&deadline_ms=5000"
+        "&traceparent=not-a-trace");
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.status, 200);
+    // Server minted its own id instead: present and non-zero.
+    EXPECT_NE(response.body.find("\"traceId\":\""), std::string::npos);
+    EXPECT_EQ(response.body.find("\"traceId\":\"0000000000000000\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace anytime::net

@@ -32,8 +32,11 @@ expectFrameEq(const Frame &a, const Frame &b)
         EXPECT_EQ(ra->deadlineMicros, rb.deadlineMicros);
         EXPECT_EQ(ra->minQuality, rb.minQuality);
         EXPECT_EQ(ra->stageWorkers, rb.stageWorkers);
+        EXPECT_EQ(ra->traceId, rb.traceId);
+        EXPECT_EQ(ra->parentSpanId, rb.parentSpanId);
     } else if (const auto *aa = std::get_if<AcceptedFrame>(&a)) {
         EXPECT_EQ(aa->requestId, std::get<AcceptedFrame>(b).requestId);
+        EXPECT_EQ(aa->traceId, std::get<AcceptedFrame>(b).traceId);
     } else if (const auto *va = std::get_if<VersionFrame>(&a)) {
         const auto &vb = std::get<VersionFrame>(b);
         EXPECT_EQ(va->version, vb.version);
@@ -78,6 +81,8 @@ TEST(WireCodec, RequestRoundTrip)
     request.deadlineMicros = 750000;
     request.minQuality = 0.25;
     request.stageWorkers = 3;
+    request.traceId = 0x0123456789abcdefULL;
+    request.parentSpanId = 0xfedcba9876543210ULL;
     const Frame original{request};
     expectFrameEq(original, decodeOne(encodeFrame(original)));
 }
@@ -96,8 +101,9 @@ TEST(WireCodec, VersionRoundTripWithNanQualityAndBinaryPayload)
 
 TEST(WireCodec, AcceptedDoneErrorRoundTrip)
 {
-    expectFrameEq(Frame{AcceptedFrame{77}},
-                  decodeOne(encodeFrame(Frame{AcceptedFrame{77}})));
+    expectFrameEq(
+        Frame{AcceptedFrame{77, 0xabcdull}},
+        decodeOne(encodeFrame(Frame{AcceptedFrame{77, 0xabcdull}})));
 
     DoneFrame done;
     done.status = 1;
@@ -252,10 +258,12 @@ randomFrame(std::mt19937_64 &rng)
         frame.deadlineMicros = rng();
         frame.minQuality = std::uniform_real_distribution<>(0, 1)(rng);
         frame.stageWorkers = static_cast<std::uint32_t>(rng());
+        frame.traceId = rng();
+        frame.parentSpanId = rng();
         return frame;
       }
       case 1:
-        return AcceptedFrame{rng()};
+        return AcceptedFrame{rng(), rng()};
       case 2: {
         VersionFrame frame;
         frame.version = rng();

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON well-formedness check (RFC 8259
+ * grammar, no semantics) shared by the observability test files. A
+ * real parser dependency would be overkill: the tests only need to
+ * assert "this export is syntactically valid JSON" and to pull the
+ * numbers following a given key for ordering checks.
+ */
+
+#ifndef ANYTIME_TESTS_OBS_JSON_CHECK_HPP
+#define ANYTIME_TESTS_OBS_JSON_CHECK_HPP
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace anytime::testjson {
+
+inline bool parseValue(const std::string &s, std::size_t &pos);
+
+inline void
+skipWs(const std::string &s, std::size_t &pos)
+{
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])))
+        ++pos;
+}
+
+inline bool
+parseLiteral(const std::string &s, std::size_t &pos, const char *word)
+{
+    for (const char *c = word; *c; ++c) {
+        if (pos >= s.size() || s[pos] != *c)
+            return false;
+        ++pos;
+    }
+    return true;
+}
+
+inline bool
+parseString(const std::string &s, std::size_t &pos)
+{
+    if (pos >= s.size() || s[pos] != '"')
+        return false;
+    ++pos;
+    while (pos < s.size()) {
+        const char c = s[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            return false; // raw control character
+        if (c == '\\') {
+            ++pos;
+            if (pos >= s.size())
+                return false;
+            const char esc = s[pos];
+            if (esc == 'u') {
+                for (int i = 0; i < 4; ++i) {
+                    ++pos;
+                    if (pos >= s.size() ||
+                        !std::isxdigit(
+                            static_cast<unsigned char>(s[pos])))
+                        return false;
+                }
+            } else if (std::string("\"\\/bfnrt").find(esc) ==
+                       std::string::npos) {
+                return false;
+            }
+        }
+        ++pos;
+    }
+    return false; // unterminated
+}
+
+inline bool
+parseNumber(const std::string &s, std::size_t &pos)
+{
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-')
+        ++pos;
+    if (pos >= s.size() ||
+        !std::isdigit(static_cast<unsigned char>(s[pos])))
+        return false;
+    if (s[pos] == '0') {
+        ++pos; // no leading zeros
+    } else {
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    if (pos < s.size() && s[pos] == '.') {
+        ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+        ++pos;
+        if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    return pos > start;
+}
+
+inline bool
+parseObject(const std::string &s, std::size_t &pos)
+{
+    ++pos; // consume '{'
+    skipWs(s, pos);
+    if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        skipWs(s, pos);
+        if (!parseString(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size() || s[pos] != ':')
+            return false;
+        ++pos;
+        if (!parseValue(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        if (s[pos] != ',')
+            return false;
+        ++pos;
+    }
+}
+
+inline bool
+parseArray(const std::string &s, std::size_t &pos)
+{
+    ++pos; // consume '['
+    skipWs(s, pos);
+    if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        if (!parseValue(s, pos))
+            return false;
+        skipWs(s, pos);
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        if (s[pos] != ',')
+            return false;
+        ++pos;
+    }
+}
+
+inline bool
+parseValue(const std::string &s, std::size_t &pos)
+{
+    skipWs(s, pos);
+    if (pos >= s.size())
+        return false;
+    switch (s[pos]) {
+      case '{':
+        return parseObject(s, pos);
+      case '[':
+        return parseArray(s, pos);
+      case '"':
+        return parseString(s, pos);
+      case 't':
+        return parseLiteral(s, pos, "true");
+      case 'f':
+        return parseLiteral(s, pos, "false");
+      case 'n':
+        return parseLiteral(s, pos, "null");
+      default:
+        return parseNumber(s, pos);
+    }
+}
+
+inline bool
+isValidJson(const std::string &text)
+{
+    std::size_t pos = 0;
+    if (!parseValue(text, pos))
+        return false;
+    skipWs(text, pos);
+    return pos == text.size();
+}
+
+/** All numbers following occurrences of `"key":`, in document order. */
+inline std::vector<double>
+numbersAfterKey(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        values.push_back(std::strtod(text.c_str() + pos, nullptr));
+    }
+    return values;
+}
+
+} // namespace anytime::testjson
+
+#endif // ANYTIME_TESTS_OBS_JSON_CHECK_HPP

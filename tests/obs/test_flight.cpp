@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Flight-recorder tests: anomaly triggers must become bounded,
+ * self-describing JSON artifacts on disk — and must cost nothing while
+ * the recorder is disarmed. shutdownFlightRecorder() flushes the
+ * writer queue before joining, so the tests never need to poll.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/flight.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace anytime::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FlightTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        directory = (fs::temp_directory_path() /
+                     ("anytime_flight_test_" +
+                      std::string(::testing::UnitTest::GetInstance()
+                                      ->current_test_info()
+                                      ->name())))
+                        .string();
+        fs::remove_all(directory);
+        fs::create_directories(directory);
+        setTracingEnabled(false);
+        clearTrace();
+    }
+
+    void
+    TearDown() override
+    {
+        shutdownFlightRecorder();
+        setFlightTimelineSource(nullptr);
+        fs::remove_all(directory);
+    }
+
+    std::vector<std::string>
+    artifactPaths() const
+    {
+        std::vector<std::string> paths;
+        for (const auto &entry : fs::directory_iterator(directory))
+            paths.push_back(entry.path().string());
+        return paths;
+    }
+
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    std::string directory;
+};
+
+TEST_F(FlightTest, DisabledTriggerIsANoOp)
+{
+    shutdownFlightRecorder();
+    EXPECT_FALSE(flightRecorderEnabled());
+    const std::uint64_t before = flightArtifactsWritten();
+    flightRecorderTrigger("deadline_miss", 1, 0x1);
+    EXPECT_EQ(flightArtifactsWritten(), before);
+}
+
+TEST_F(FlightTest, TriggerWritesSelfDescribingArtifact)
+{
+    // A real timeline behind the source, as the service wires it.
+    TimelineStore store;
+    store.begin(42, 0xdeadull, "pipe", 0.25);
+    TimelinePoint point;
+    point.tSeconds = 0.010;
+    point.quality = 0.8;
+    point.version = 1;
+    point.stage = "count";
+    store.recordVersion(42, point);
+    setFlightTimelineSource([&store](std::uint64_t id) {
+        const auto snap = store.snapshot(id);
+        return snap ? TimelineStore::toJson(*snap) : std::string();
+    });
+    configureFlightRecorder({.directory = directory, .maxArtifacts = 4});
+    ASSERT_TRUE(flightRecorderEnabled());
+
+    flightRecorderTrigger("deadline_miss", 42, 0xdeadull);
+    shutdownFlightRecorder(); // flushes the queue
+
+    const auto paths = artifactPaths();
+    ASSERT_EQ(paths.size(), 1u);
+    const std::string artifact = slurp(paths.front());
+    EXPECT_TRUE(testjson::isValidJson(artifact)) << artifact;
+    EXPECT_NE(artifact.find("\"trigger\":\"deadline_miss\""),
+              std::string::npos);
+    EXPECT_NE(artifact.find("\"request_id\":42"), std::string::npos);
+    EXPECT_NE(artifact.find("\"trace_id\":\"000000000000dead\""),
+              std::string::npos);
+    // The timeline snapshot rode along...
+    EXPECT_NE(artifact.find("\"stage\":\"count\""), std::string::npos);
+    // ...and so did the (empty but well-formed) trace dump.
+    EXPECT_NE(artifact.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(FlightTest, UnknownRequestGetsNullTimeline)
+{
+    configureFlightRecorder({.directory = directory, .maxArtifacts = 4});
+    flightRecorderTrigger("watchdog_expel", 0, 0);
+    shutdownFlightRecorder();
+
+    const auto paths = artifactPaths();
+    ASSERT_EQ(paths.size(), 1u);
+    const std::string artifact = slurp(paths.front());
+    EXPECT_TRUE(testjson::isValidJson(artifact)) << artifact;
+    EXPECT_NE(artifact.find("\"timeline\":null"), std::string::npos);
+}
+
+TEST_F(FlightTest, ArtifactsAreBoundedByRoundRobinSlots)
+{
+    configureFlightRecorder({.directory = directory, .maxArtifacts = 2});
+    for (int i = 0; i < 5; ++i)
+        flightRecorderTrigger("circuit_open",
+                              static_cast<std::uint64_t>(i), 0);
+    shutdownFlightRecorder();
+
+    const auto paths = artifactPaths();
+    EXPECT_LE(paths.size(), 2u);
+    EXPECT_GE(paths.size(), 1u);
+    for (const std::string &path : paths)
+        EXPECT_TRUE(testjson::isValidJson(slurp(path))) << path;
+}
+
+} // namespace
+} // namespace anytime::obs

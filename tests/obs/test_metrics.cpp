@@ -51,14 +51,42 @@ TEST(Metrics, KindMismatchIsFatal)
 TEST(Metrics, InvalidPrometheusNamesAreFatal)
 {
     MetricsRegistry registry;
+#ifndef NDEBUG
+    // Debug builds treat an illegal name as the bug it is.
     EXPECT_THROW(registry.counter("", "empty"), FatalError);
     EXPECT_THROW(registry.counter("has space", "space"), FatalError);
     EXPECT_THROW(registry.counter("1leading_digit", "digit"),
                  FatalError);
     EXPECT_THROW(registry.counter("dash-ed", "dash"), FatalError);
+#else
+    // Release builds sanitize and keep serving; the coerced name is
+    // what shows up in the exposition.
+    registry.counter("has space", "space").add();
+    registry.counter("dash-ed", "dash").add();
+    const std::string text = registry.prometheusText();
+    EXPECT_NE(text.find("has_space 1"), std::string::npos);
+    EXPECT_NE(text.find("dash_ed 1"), std::string::npos);
+    EXPECT_EQ(text.find("has space"), std::string::npos);
+#endif
     // Legal names: leading underscore/colon, embedded colons.
     registry.counter("_ok", "ok");
     registry.counter("ns:sub:metric_total", "ok");
+}
+
+TEST(Metrics, SanitizeMetricNameCoercesToLegalForm)
+{
+    EXPECT_EQ(sanitizeMetricName(""), "_");
+    EXPECT_EQ(sanitizeMetricName("1abc"), "_1abc");
+    EXPECT_EQ(sanitizeMetricName("a b-c.d"), "a_b_c_d");
+    EXPECT_EQ(sanitizeMetricName("ns:ok_total"), "ns:ok_total");
+}
+
+TEST(Metrics, LabelValuesEscapePrometheusSpecials)
+{
+    EXPECT_EQ(prometheusEscapeLabel("plain"), "plain");
+    EXPECT_EQ(prometheusEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(prometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(prometheusEscapeLabel("line\nbreak"), "line\\nbreak");
 }
 
 TEST(Histogram, SingleSampleAnswersEveryPercentileExactly)
@@ -169,6 +197,30 @@ TEST(Metrics, PrometheusExpositionMatchesGolden)
         "# HELP anytime_requests_total Requests observed.\n"
         "# TYPE anytime_requests_total counter\n"
         "anytime_requests_total 3\n";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Metrics, PrometheusExemplarRendersOnCoveringBucket)
+{
+    MetricsRegistry registry;
+    LogHistogram &h = registry.histogram(
+        "anytime_latency_seconds", "Latency.",
+        {.firstBound = 0.001, .growth = 10.0, .buckets = 4});
+    h.observe(0.0005);
+    h.observeWithExemplar(0.005, 0xabcdef0123456789ull);
+
+    std::ostringstream out;
+    registry.writePrometheus(out);
+    const std::string expected =
+        "# HELP anytime_latency_seconds Latency.\n"
+        "# TYPE anytime_latency_seconds histogram\n"
+        "anytime_latency_seconds_bucket{le=\"0.001\"} 1\n"
+        "anytime_latency_seconds_bucket{le=\"0.01\"} 2"
+        " # {trace_id=\"abcdef0123456789\"} 0.005\n"
+        "anytime_latency_seconds_bucket{le=\"0.1\"} 2\n"
+        "anytime_latency_seconds_bucket{le=\"+Inf\"} 2\n"
+        "anytime_latency_seconds_sum 0.0055\n"
+        "anytime_latency_seconds_count 2\n";
     EXPECT_EQ(out.str(), expected);
 }
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * TimelineStore tests: the quality staircase must survive ring
+ * overflow with its derived stats intact, snapshots must come back in
+ * a stable order, and the JSON export must stay machine-parseable —
+ * /requestz and the flight recorder both serve it verbatim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/timeline.hpp"
+
+namespace anytime::obs {
+namespace {
+
+TimelinePoint
+point(double t, double quality, std::uint64_t version,
+      const std::string &stage = "stage")
+{
+    TimelinePoint p;
+    p.tSeconds = t;
+    p.quality = quality;
+    p.version = version;
+    p.bytes = version * 100;
+    p.stage = stage;
+    p.workers = 2;
+    return p;
+}
+
+TEST(Timeline, FinishReportsQualityCrossingTimes)
+{
+    TimelineStore store;
+    store.begin(1, 0xabcull, "pipe", 0.5);
+    store.recordVersion(1, point(0.010, 0.30, 1));
+    store.recordVersion(1, point(0.020, 0.60, 2));
+    store.recordVersion(1, point(0.030, 0.95, 3));
+    store.recordVersion(1, point(0.040, 1.00, 4));
+
+    const auto stats = store.finish(1, "complete", false, 0.045, 1.0);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_DOUBLE_EQ(stats->finalQuality, 1.0);
+    EXPECT_DOUBLE_EQ(stats->timeToQ50, 0.020);
+    EXPECT_DOUBLE_EQ(stats->timeToQ90, 0.030);
+    EXPECT_DOUBLE_EQ(stats->timeToQ99, 0.040);
+}
+
+TEST(Timeline, UncrossedThresholdsStayNaN)
+{
+    TimelineStore store;
+    store.begin(1, 0, "pipe", 0.5);
+    store.recordVersion(1, point(0.010, 0.55, 1));
+    const auto stats = store.finish(1, "deadline", true, 0.5, 0.55);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_DOUBLE_EQ(stats->timeToQ50, 0.010);
+    EXPECT_TRUE(std::isnan(stats->timeToQ90));
+    EXPECT_TRUE(std::isnan(stats->timeToQ99));
+}
+
+TEST(Timeline, StageGainsAttributeQualityDeltas)
+{
+    TimelineStore store;
+    store.begin(1, 0, "pipe", 0.5);
+    store.recordVersion(1, point(0.010, 0.20, 1, "count"));
+    store.recordVersion(1, point(0.020, 0.50, 2, "merge"));
+    store.recordVersion(1, point(0.030, 0.90, 3, "count"));
+    store.finish(1, "complete", false, 0.035, 0.9);
+
+    const auto snap = store.snapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    ASSERT_EQ(snap->stageGains.size(), 2u);
+    double total = 0.0;
+    for (const StageGain &gain : snap->stageGains) {
+        total += gain.qualityGain;
+        if (gain.stage == "count") {
+            EXPECT_EQ(gain.versions, 2u);
+            EXPECT_NEAR(gain.qualityGain, 0.60, 1e-12);
+        } else {
+            EXPECT_EQ(gain.stage, "merge");
+            EXPECT_EQ(gain.versions, 1u);
+            EXPECT_NEAR(gain.qualityGain, 0.30, 1e-12);
+        }
+    }
+    EXPECT_NEAR(total, 0.90, 1e-12);
+}
+
+TEST(Timeline, RingOverflowKeepsNewestPointsInOrder)
+{
+    TimelineStore store({.pointCapacity = 4, .finishedCapacity = 4});
+    store.begin(1, 0, "pipe", 1.0);
+    for (int i = 1; i <= 10; ++i)
+        store.recordVersion(
+            1, point(0.001 * i, 0.1 * i > 1.0 ? 1.0 : 0.1 * i,
+                     static_cast<std::uint64_t>(i)));
+
+    const auto snap = store.snapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->pointsDropped, 6u);
+    ASSERT_EQ(snap->points.size(), 4u);
+    // Tail of the staircase, oldest retained first.
+    for (std::size_t i = 0; i < snap->points.size(); ++i)
+        EXPECT_EQ(snap->points[i].version, 7 + i);
+
+    // Derived stats were computed as points landed, so the overflow
+    // cannot lose the q50 crossing even though its point is gone.
+    const auto stats = store.finish(1, "complete", false, 0.011, 1.0);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_DOUBLE_EQ(stats->timeToQ50, 0.005);
+}
+
+TEST(Timeline, SnapshotAllOrdersInflightThenNewestFinished)
+{
+    TimelineStore store;
+    store.begin(1, 0, "a", 0.5);
+    store.begin(2, 0, "b", 0.5);
+    store.begin(3, 0, "c", 0.5);
+    store.finish(1, "complete", false, 0.01, 1.0);
+    store.finish(2, "deadline", true, 0.02, 0.5);
+
+    const auto all = store.snapshotAll();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].requestId, 3u);
+    EXPECT_FALSE(all[0].finished);
+    EXPECT_EQ(all[0].status, "running");
+    // Newest-finished first.
+    EXPECT_EQ(all[1].requestId, 2u);
+    EXPECT_TRUE(all[1].degraded);
+    EXPECT_EQ(all[2].requestId, 1u);
+    EXPECT_EQ(all[2].status, "complete");
+}
+
+TEST(Timeline, FinishedRingEvictsOldest)
+{
+    TimelineStore store({.pointCapacity = 8, .finishedCapacity = 2});
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        store.begin(id, 0, "pipe", 0.5);
+        store.finish(id, "complete", false, 0.01, 1.0);
+    }
+    const auto all = store.snapshotAll();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].requestId, 3u);
+    EXPECT_EQ(all[1].requestId, 2u);
+    EXPECT_FALSE(store.snapshot(1).has_value());
+}
+
+TEST(Timeline, UnknownRequestIdsAreIgnored)
+{
+    TimelineStore store;
+    store.recordVersion(99, point(0.001, 0.5, 1));
+    store.recordBuildAttempt(99, 2);
+    EXPECT_FALSE(store.finish(99, "complete", false, 0.01, 1.0)
+                     .has_value());
+    EXPECT_FALSE(store.snapshot(99).has_value());
+    EXPECT_TRUE(store.snapshotAll().empty());
+}
+
+TEST(Timeline, ToJsonIsValidAndCarriesTheStaircase)
+{
+    TimelineStore store;
+    store.begin(7, 0x1234abcdull, "needs \"escaping\"\n", 0.25);
+    store.recordBuildAttempt(7, 2);
+    store.recordVersion(7, point(0.010, 0.40, 1, "count"));
+    store.recordVersion(7, point(0.020, 0.95, 2, "merge"));
+    store.finish(7, "complete", false, 0.021, 0.95);
+
+    const std::string json = TimelineStore::toJson(store.snapshotAll());
+    EXPECT_TRUE(testjson::isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"request_id\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\":\"000000001234abcd\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"build_attempts\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"stage\":\"merge\""), std::string::npos);
+    // The staircase is non-decreasing in both t and quality.
+    const auto qualities = testjson::numbersAfterKey(json, "quality");
+    ASSERT_EQ(qualities.size(), 2u);
+    EXPECT_LE(qualities[0], qualities[1]);
+}
+
+TEST(Timeline, NaNQualityExportsAsNull)
+{
+    TimelineStore store;
+    store.begin(1, 0, "pipe", 0.5);
+    TimelinePoint p = point(0.010, 0.0, 1);
+    p.quality = std::numeric_limits<double>::quiet_NaN();
+    store.recordVersion(1, p);
+    const std::string json = TimelineStore::toJson(store.snapshotAll());
+    EXPECT_TRUE(testjson::isValidJson(json)) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+    EXPECT_EQ(json.find("NaN"), std::string::npos) << json;
+}
+
+} // namespace
+} // namespace anytime::obs

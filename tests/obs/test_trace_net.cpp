@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tracer ring overflow under live network streaming: N concurrent
+ * loopback clients stream real requests while their version callbacks
+ * hammer the per-thread rings far past capacity. The collector must
+ * drop oldest records (bounded memory, counted drops) and the Chrome
+ * JSON export must remain well-formed and chronologically sorted —
+ * a half-overwritten ring is exactly when a naive exporter would
+ * emit garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace anytime::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+#if ANYTIME_TRACE_COMPILED_IN
+
+class TraceNetOverflow : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setTracingEnabled(false);
+        clearTrace();
+        setTracingEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setTracingEnabled(false);
+        clearTrace();
+    }
+};
+
+TEST_F(TraceNetOverflow, ConcurrentStreamsOverflowButExportStaysSane)
+{
+    net::NetServerConfig config;
+    config.catalog = std::make_shared<net::PipelineCatalog>();
+    net::registerCounterPipeline(*config.catalog);
+    obs::MetricsRegistry registry;
+    config.metricsRegistry = &registry;
+    config.service.workers = 2;
+    config.coalesce = false; // N genuinely distinct live streams
+    net::NetServer server(std::move(config));
+
+    net::ClientOptions options;
+    options.port = server.port();
+    options.timeout = 10000ms;
+
+    // Each client floods its own thread's ring from the version
+    // callback — mid-stream, while the reactor and stage workers are
+    // writing to theirs. A burst per version comfortably exceeds the
+    // per-thread capacity over the stream's lifetime.
+    const std::size_t burst = traceCapacityPerThread() / 2;
+    constexpr int kClients = 4;
+    std::vector<std::thread> clients;
+    std::vector<bool> ok(kClients, false);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            net::RequestFrame frame;
+            frame.pipeline = "counter";
+            frame.input = "24" + std::to_string(i) + ":500:4";
+            frame.deadlineMicros = 10000000;
+            const auto result = net::runRequest(
+                options, frame, [&](const net::VersionFrame &) {
+                    for (std::size_t n = 0; n < burst; ++n)
+                        traceInstant("flood", "test",
+                                     {"n", static_cast<double>(n)});
+                    return true;
+                });
+            ok[static_cast<std::size_t>(i)] = result.ok;
+        });
+    }
+    for (auto &thread : clients)
+        thread.join();
+    setTracingEnabled(false);
+
+    for (int i = 0; i < kClients; ++i)
+        EXPECT_TRUE(ok[static_cast<std::size_t>(i)]) << "client " << i;
+
+    // The rings wrapped (records were dropped), yet memory stayed
+    // bounded: no thread retains more than one ring's worth.
+    EXPECT_GT(droppedRecords(), 0u);
+    EXPECT_LE(retainedRecords(),
+              static_cast<std::uint64_t>(kClients + 16) *
+                  traceCapacityPerThread());
+
+    std::ostringstream out;
+    writeChromeTrace(out);
+    const std::string json = out.str();
+    EXPECT_TRUE(testjson::isValidJson(json));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // Chronologically sane: every event timestamp is non-decreasing
+    // across the merged multi-thread export.
+    const auto stamps = testjson::numbersAfterKey(json, "ts");
+    ASSERT_GT(stamps.size(), 2u);
+    for (std::size_t i = 1; i < stamps.size(); ++i)
+        ASSERT_LE(stamps[i - 1], stamps[i]) << "event " << i;
+}
+
+#endif // ANYTIME_TRACE_COMPILED_IN
+
+} // namespace
+} // namespace anytime::obs
