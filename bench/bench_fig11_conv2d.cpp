@@ -31,6 +31,7 @@
 #include "harness/report.hpp"
 #include "image/generate.hpp"
 #include "image/metrics.hpp"
+#include "simd/simd.hpp"
 
 using namespace anytime;
 
@@ -129,11 +130,16 @@ main(int argc, char **argv)
     const Kernel kernel = Kernel::gaussianBlur(3);
     const GrayImage precise = convolve(scene, kernel);
 
+    // The timing baseline is the naive sequential-accumulation
+    // convolution, NOT the SIMD-dispatched convolve(): normalizing t90
+    // against a vectorized baseline would cancel the kernel speedup out
+    // of t90_norm and hide regressions from the perf gate.
     const double baseline = timeBestOf(
-        [&] { (void)convolve(scene, kernel); }, 3);
-    std::cout << "input: " << extent << "x" << extent
-              << ", baseline precise runtime: " << formatDouble(baseline, 4)
-              << " s\n";
+        [&] { (void)convolveReference(scene, kernel); }, 3);
+    std::cout << "input: " << extent << "x" << extent << ", simd isa: "
+              << simd::isaName(simd::activeIsa())
+              << ", baseline (naive scalar) runtime: "
+              << formatDouble(baseline, 4) << " s\n";
 
     Conv2dConfig config;
     config.publishCount = 48;
@@ -190,6 +196,35 @@ main(int argc, char **argv)
     std::cout << "(speedup needs real cores; on a 1-hardware-thread "
                  "host the gang only adds coordination overhead)\n";
 
+    // Scalar-vs-SIMD single-worker comparison: the same automaton with
+    // dispatch forced to the scalar specification and to the best ISA
+    // this host supports. The kernels are bit-exact specifications, so
+    // the finals must match exactly; only the wall clock may differ.
+    // CI uploads this block as the cross-leg comparison artifact.
+    const simd::Isa best_isa = simd::bestSupportedIsa();
+    std::cout << "\n### scalar vs simd (single worker, best isa: "
+              << simd::isaName(best_isa) << ")\n";
+    simd::forceIsa(simd::Isa::scalar);
+    const ScalingPoint scalar_point =
+        measureScaling(scene, kernel, 1, reference, repeats);
+    simd::forceIsa(best_isa);
+    const ScalingPoint simd_point =
+        measureScaling(scene, kernel, 1, reference, repeats);
+    simd::resetIsa();
+    const bool cross_identical =
+        scalar_point.bitIdentical && simd_point.bitIdentical;
+    const double simd_speedup =
+        simd_point.t90Seconds > 0.0
+            ? scalar_point.t90Seconds / simd_point.t90Seconds
+            : 0.0;
+    std::cout << "scalar t90=" << formatDouble(scalar_point.t90Seconds, 4)
+              << " s  " << simd::isaName(best_isa)
+              << " t90=" << formatDouble(simd_point.t90Seconds, 4)
+              << " s  speedup=" << formatDouble(simd_speedup, 2)
+              << "x  finals "
+              << (cross_identical ? "bit-identical" : "DIVERGED (BUG)")
+              << "\n";
+
     if (!json_path.empty()) {
         std::FILE *out = std::fopen(json_path.c_str(), "w");
         if (!out) {
@@ -200,8 +235,17 @@ main(int argc, char **argv)
         std::fprintf(out, "  \"bench\": \"fig11_conv2d\",\n");
         std::fprintf(out, "  \"extent\": %zu,\n", extent);
         std::fprintf(out, "  \"hardware_threads\": %u,\n", hardware);
+        std::fprintf(out, "  \"isa\": \"%s\",\n",
+                     simd::isaName(best_isa));
         std::fprintf(out, "  \"baseline_seconds\": %.6f,\n", baseline);
         std::fprintf(out, "  \"snr_at_021\": %.3f,\n", snr_at_21);
+        std::fprintf(out,
+                     "  \"simd_compare\": {\"isa\": \"%s\", "
+                     "\"t90_scalar\": %.6f, \"t90_simd\": %.6f, "
+                     "\"speedup\": %.4f, \"bit_identical\": %s},\n",
+                     simd::isaName(best_isa), scalar_point.t90Seconds,
+                     simd_point.t90Seconds, simd_speedup,
+                     cross_identical ? "true" : "false");
         std::fprintf(out, "  \"scaling\": [\n");
         for (std::size_t i = 0; i < scaling.size(); ++i) {
             const auto &point = scaling[i];

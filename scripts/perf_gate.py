@@ -21,6 +21,14 @@ Checks, in order of importance:
    fewer hardware threads the check is SKIPPED (reported, not failed):
    parallel speedup is physically unmeasurable there and the gang can
    only add coordination overhead.
+4. **SIMD kernels (enforced when a vector ISA is active).** The bench's
+   ``simd_compare`` block runs the same single-worker automaton with
+   dispatch forced to scalar and to the best supported ISA. The finals
+   must be bit-identical (the kernels are exact specifications), and
+   the vectorized t90 must beat or match the scalar t90 within
+   ``--margin``. On hosts without a vector ISA (or builds configured
+   with ``-DANYTIME_SIMD=OFF``) the block reports ``"isa": "scalar"``
+   and the check is SKIPPED.
 
 Normalizing by each run's own measured precise baseline makes the
 committed numbers portable across machine generations; the margin
@@ -39,6 +47,12 @@ skip conditions (reported as SKIP, never failures):
     is physically unmeasurable, only determinism and t90 are enforced
   - the current report has no workers=4 scaling point: the speedup
     check has nothing to measure
+  - the report has no simd_compare block, or its isa is "scalar" (no
+    vector ISA on this host, or an ANYTIME_SIMD=OFF build): the SIMD
+    speedup check has nothing to compare against
+  - the current and baseline reports were measured with different
+    kernel ISAs: their normalized t90 values are incomparable, so the
+    t90 regression check is skipped (determinism is still enforced)
 
 exit status: 0 = gate passed (possibly with SKIPs), 1 = regression or
 determinism failure, 2 = unusable input (missing/malformed JSON).
@@ -93,10 +107,20 @@ def main():
                 "deterministic)")
 
     # 2. Single-worker t90 regression against the committed baseline.
+    # Only comparable when both runs used the same kernel ISA: the
+    # committed t90_norm was measured with the vectorized kernels, so a
+    # scalar build (or a host without the baseline's ISA) would "regress"
+    # by exactly the SIMD speedup. Determinism stays enforced.
+    cur_isa = current.get("isa", "scalar")
+    base_isa = baseline.get("isa", "scalar")
     cur_w1 = scaling_point(current, 1)
     base_w1 = scaling_point(baseline, 1)
     if cur_w1 is None or base_w1 is None:
         failures.append("missing workers=1 scaling point")
+    elif cur_isa != base_isa:
+        skipped.append(
+            f"t90 regression check (current isa {cur_isa!r} vs baseline "
+            f"isa {base_isa!r}: normalized times are incomparable)")
     else:
         cur_norm = cur_w1.get("t90_norm", 0.0)
         base_norm = base_w1.get("t90_norm", 0.0)
@@ -123,6 +147,30 @@ def main():
         speedup = t90_w1 / t90_w4 if t90_w4 > 0.0 else 0.0
         required = REQUIRED_SPEEDUP / args.margin
         line = (f"4-worker t90 speedup {speedup:.2f}x "
+                f"(required >= {required:.2f}x)")
+        if speedup < required:
+            failures.append("REGRESSION " + line)
+        else:
+            print("ok:", line)
+
+    # 4. SIMD kernels: bit-identity is absolute; the vectorized t90 must
+    # beat or match the forced-scalar t90 within the margin.
+    compare = current.get("simd_compare")
+    if compare is None:
+        skipped.append("simd check (report has no simd_compare block)")
+    elif compare.get("isa") == "scalar":
+        skipped.append(
+            "simd check (no vector ISA: scalar-only host or "
+            "ANYTIME_SIMD=OFF build)")
+    else:
+        isa = compare.get("isa", "?")
+        if not compare.get("bit_identical", False):
+            failures.append(
+                f"simd {isa}: forced-scalar and vectorized finals "
+                "diverged (kernel no longer bit-exact)")
+        speedup = compare.get("speedup", 0.0)
+        required = 1.0 / args.margin
+        line = (f"simd {isa} t90 speedup over scalar {speedup:.2f}x "
                 f"(required >= {required:.2f}x)")
         if speedup < required:
             failures.append("REGRESSION " + line)

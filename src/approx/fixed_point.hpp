@@ -14,9 +14,12 @@
 #ifndef ANYTIME_APPROX_FIXED_POINT_HPP
 #define ANYTIME_APPROX_FIXED_POINT_HPP
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -43,13 +46,26 @@ class Fixed
         return f;
     }
 
-    /** Convert from double, rounding to nearest. */
+    /**
+     * Convert from double, rounding to nearest and saturating: values
+     * beyond the Q-format range clamp to the extremes, NaN maps to 0.
+     * (An unclamped double-to-int32 cast of an out-of-range value is
+     * undefined behavior, not a wrap.)
+     */
     static Fixed
     fromDouble(double x)
     {
         const double scaled = x * static_cast<double>(1 << FracBits);
-        return fromRaw(static_cast<std::int32_t>(
-            scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+        const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+        if (std::isnan(rounded))
+            return fromRaw(0);
+        if (rounded <= static_cast<double>(
+                           std::numeric_limits<std::int32_t>::min()))
+            return fromRaw(std::numeric_limits<std::int32_t>::min());
+        if (rounded >= static_cast<double>(
+                           std::numeric_limits<std::int32_t>::max()))
+            return fromRaw(std::numeric_limits<std::int32_t>::max());
+        return fromRaw(static_cast<std::int32_t>(rounded));
     }
 
     /** Raw scaled integer representation. */
@@ -162,6 +178,11 @@ class BitPlaneDotProduct
         fatalIf(inputs.size() != weights.size(),
                 "BitPlaneDotProduct: length mismatch ", inputs.size(),
                 " vs ", weights.size());
+        // OR of all weights: a plane with no bit set anywhere sums to
+        // zero, so step() can skip its O(n) scan (MSB-first digit
+        // elision). The accumulator sequence is unchanged.
+        for (const std::int32_t w : weights)
+            orMask |= static_cast<std::uint32_t>(w);
     }
 
     /** Total number of diffusive steps (bit planes). */
@@ -182,11 +203,17 @@ class BitPlaneDotProduct
     {
         panicIf(precise(), "BitPlaneDotProduct stepped past precision");
         const unsigned bit = 31 - plane;
-        std::int64_t partial = 0;
-        for (std::size_t j = 0; j < weights.size(); ++j) {
-            if ((static_cast<std::uint32_t>(weights[j]) >> bit) & 1)
-                partial += static_cast<std::int64_t>(inputs[j]);
+        // Digit elision: an all-zero plane contributes nothing.
+        if (((orMask >> bit) & 1u) == 0) {
+            ++plane;
+            return accumulator;
         }
+        // Wraparound sum of the inputs selected by this weight plane
+        // (vectorized; exact and order-free by two's complement).
+        const std::int64_t partial = simd::ops().maskedSumI32(
+            inputs.data(),
+            reinterpret_cast<const std::uint32_t *>(weights.data()),
+            weights.size(), bit);
         // Two's complement: the top plane carries weight -2^31.
         const std::int64_t scale =
             (bit == 31) ? -(std::int64_t(1) << 31)
@@ -210,6 +237,7 @@ class BitPlaneDotProduct
     std::span<const std::int32_t> weights;
     std::int64_t accumulator = 0;
     unsigned plane = 0;
+    std::uint32_t orMask = 0;
 };
 
 } // namespace anytime

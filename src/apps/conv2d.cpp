@@ -1,5 +1,6 @@
 #include "apps/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "approx/fixed_point.hpp"
@@ -7,6 +8,7 @@
 #include "image/progressive.hpp"
 #include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -17,6 +19,13 @@ Kernel::Kernel(unsigned radius, std::vector<float> taps_in)
     const unsigned side = 2 * radius + 1;
     fatalIf(taps.size() != static_cast<std::size_t>(side) * side,
             "Kernel: expected ", side * side, " taps, got ", taps.size());
+    lanes = (side + 7u) & ~std::size_t{7};
+    padded.assign(static_cast<std::size_t>(side) * lanes, 0.0f);
+    for (unsigned row = 0; row < side; ++row) {
+        for (unsigned col = 0; col < side; ++col)
+            padded[row * lanes + col] =
+                taps[static_cast<std::size_t>(row) * side + col];
+    }
 }
 
 Kernel
@@ -69,23 +78,156 @@ clampToByte(float v)
         v <= 0.f ? 0 : (v >= 255.f ? 255 : v + 0.5f));
 }
 
+/** Q16.16 rounding of the integer bit-plane accumulator to a byte. */
+std::uint8_t
+clampAccToByte(std::int64_t acc)
+{
+    if (acc <= 0)
+        return 0;
+    const std::int64_t v = (acc + 32768) >> 16;
+    return v >= 255 ? 255 : static_cast<std::uint8_t>(v);
+}
+
 } // namespace
 
 std::uint8_t
 convolvePixel(const GrayImage &src, const Kernel &kernel, std::size_t x,
               std::size_t y)
 {
-    const int r = static_cast<int>(kernel.radius());
-    float acc = 0.f;
-    for (int dy = -r; dy <= r; ++dy) {
-        for (int dx = -r; dx <= r; ++dx) {
-            acc += kernel.tap(dx, dy) *
-                   static_cast<float>(src.clampedAt(
-                       static_cast<std::ptrdiff_t>(x) + dx,
-                       static_cast<std::ptrdiff_t>(y) + dy));
+    const std::size_t r = kernel.radius();
+    const std::size_t side = 2 * r + 1;
+    const std::size_t lanes = kernel.paddedLanes();
+    const std::size_t w = src.width();
+    const std::size_t h = src.height();
+    const auto &ops = simd::ops();
+
+    // Interior fast path: every row segment [x-r, x-r+lanes) is in
+    // bounds, so the kernel reads the image rows directly. The padded
+    // lanes read real (ignored) bytes against 0.0f taps — exactly what
+    // the gather path feeds them, so both paths are bit-identical.
+    if (x >= r && y >= r && y + r < h && x - r + lanes <= w) {
+        const std::uint8_t *base =
+            src.data().data() + (y - r) * w + (x - r);
+        return clampToByte(
+            ops.convDotU8(base, w, side, lanes, kernel.paddedTaps()));
+    }
+
+    // Border path: gather the clamped neighborhood into the padded
+    // layout and run the same 8-lane FMA specification over it.
+    thread_local std::vector<float> scratch;
+    scratch.assign(side * lanes, 0.0f);
+    for (std::size_t row = 0; row < side; ++row) {
+        const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) +
+                                  static_cast<std::ptrdiff_t>(row) -
+                                  static_cast<std::ptrdiff_t>(r);
+        for (std::size_t col = 0; col < side; ++col) {
+            const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) +
+                                      static_cast<std::ptrdiff_t>(col) -
+                                      static_cast<std::ptrdiff_t>(r);
+            scratch[row * lanes + col] =
+                static_cast<float>(src.clampedAt(sx, sy));
         }
     }
-    return clampToByte(acc);
+    return clampToByte(ops.dotPadded8(kernel.paddedTaps(), scratch.data(),
+                                      side * lanes));
+}
+
+QuantizedKernel::QuantizedKernel(const Kernel &kernel)
+    : r(kernel.radius())
+{
+    const std::size_t side = 2 * static_cast<std::size_t>(r) + 1;
+    count = (side * side + 7u) & ~std::size_t{7};
+    qtaps.assign(count, 0);
+    std::size_t idx = 0;
+    for (int dy = -static_cast<int>(r); dy <= static_cast<int>(r); ++dy) {
+        for (int dx = -static_cast<int>(r); dx <= static_cast<int>(r);
+             ++dx, ++idx) {
+            const double scaled =
+                std::round(static_cast<double>(kernel.tap(dx, dy)) *
+                           65536.0);
+            const double clamped =
+                std::min(std::max(scaled, -16777216.0), 16777216.0);
+            const std::int32_t q = static_cast<std::int32_t>(clamped);
+            qtaps[idx] = q;
+            if (q > 0)
+                sumPos += q;
+            else
+                sumNeg += q;
+        }
+    }
+}
+
+std::uint8_t
+QuantizedKernel::convolvePixel(const GrayImage &src, std::size_t x,
+                               std::size_t y, unsigned precisionBits,
+                               ElisionStats *stats) const
+{
+    const unsigned bits =
+        precisionBits < 1 ? 1 : (precisionBits > 8 ? 8 : precisionBits);
+    const unsigned lo = 8 - bits;
+
+    // Gather the clamped neighborhood as plane selectors; the running
+    // OR is the per-pixel digit-elision mask.
+    thread_local std::vector<std::uint32_t> selectors;
+    selectors.assign(count, 0);
+    std::uint32_t seen = 0;
+    const std::size_t side = 2 * static_cast<std::size_t>(r) + 1;
+    const std::size_t w = src.width();
+    if (x >= r && y >= r && x + r < w && y + r < src.height()) {
+        // Interior: straight row reads, no border clamping.
+        const std::uint8_t *base =
+            src.data().data() + (y - r) * w + (x - r);
+        std::size_t idx = 0;
+        for (std::size_t row = 0; row < side; ++row) {
+            const std::uint8_t *line = base + row * w;
+            for (std::size_t col = 0; col < side; ++col, ++idx) {
+                const std::uint8_t pixel = line[col];
+                selectors[idx] = pixel;
+                seen |= pixel;
+            }
+        }
+    } else {
+        std::size_t idx = 0;
+        for (int dy = -static_cast<int>(r); dy <= static_cast<int>(r);
+             ++dy) {
+            for (int dx = -static_cast<int>(r); dx <= static_cast<int>(r);
+                 ++dx, ++idx) {
+                const std::uint8_t pixel = src.clampedAt(
+                    static_cast<std::ptrdiff_t>(x) + dx,
+                    static_cast<std::ptrdiff_t>(y) + dy);
+                selectors[idx] = pixel;
+                seen |= pixel;
+            }
+        }
+    }
+
+    const auto &ops = simd::ops();
+    std::int64_t acc = 0;
+    for (unsigned plane = 8; plane-- > lo;) {
+        if (stats != nullptr)
+            ++stats->planesConsidered;
+        // Elision 1: a plane set in no neighborhood pixel sums to zero.
+        if (((seen >> plane) & 1u) == 0)
+            continue;
+        if (stats != nullptr)
+            ++stats->planesRun;
+        const std::int64_t plane_sum = ops.maskedSumI32(
+            qtaps.data(), selectors.data(), count, plane);
+        acc += plane_sum << plane;
+        // Elision 2: stop once the remaining planes' contribution range
+        // cannot move the rounded output byte.
+        if (plane > lo) {
+            const std::int64_t span = (std::int64_t{1} << plane) -
+                                      (std::int64_t{1} << lo);
+            if (clampAccToByte(acc + span * sumNeg) ==
+                clampAccToByte(acc + span * sumPos)) {
+                if (stats != nullptr)
+                    ++stats->pixelsEarlyExit;
+                break;
+            }
+        }
+    }
+    return clampAccToByte(acc);
 }
 
 std::uint8_t
@@ -93,19 +235,10 @@ convolvePixelQuantized(const GrayImage &src, const Kernel &kernel,
                        std::size_t x, std::size_t y,
                        unsigned precision_bits)
 {
-    const int r = static_cast<int>(kernel.radius());
-    float acc = 0.f;
-    for (int dy = -r; dy <= r; ++dy) {
-        for (int dx = -r; dx <= r; ++dx) {
-            const std::uint8_t pixel = src.clampedAt(
-                static_cast<std::ptrdiff_t>(x) + dx,
-                static_cast<std::ptrdiff_t>(y) + dy);
-            acc += kernel.tap(dx, dy) *
-                   static_cast<float>(quantizePixel(pixel,
-                                                    precision_bits));
-        }
-    }
-    return clampToByte(acc);
+    if (precision_bits >= 8)
+        return convolvePixel(src, kernel, x, y);
+    const QuantizedKernel quantized(kernel);
+    return quantized.convolvePixel(src, x, y, precision_bits);
 }
 
 GrayImage
@@ -115,6 +248,28 @@ convolve(const GrayImage &src, const Kernel &kernel)
     for (std::size_t y = 0; y < src.height(); ++y) {
         for (std::size_t x = 0; x < src.width(); ++x)
             out.at(x, y) = convolvePixel(src, kernel, x, y);
+    }
+    return out;
+}
+
+GrayImage
+convolveReference(const GrayImage &src, const Kernel &kernel)
+{
+    const int r = static_cast<int>(kernel.radius());
+    GrayImage out(src.width(), src.height());
+    for (std::size_t y = 0; y < src.height(); ++y) {
+        for (std::size_t x = 0; x < src.width(); ++x) {
+            float acc = 0.f;
+            for (int dy = -r; dy <= r; ++dy) {
+                for (int dx = -r; dx <= r; ++dx) {
+                    acc += kernel.tap(dx, dy) *
+                           static_cast<float>(src.clampedAt(
+                               static_cast<std::ptrdiff_t>(x) + dx,
+                               static_cast<std::ptrdiff_t>(y) + dy));
+                }
+            }
+            out.at(x, y) = clampToByte(acc);
+        }
     }
     return out;
 }
@@ -142,6 +297,11 @@ makeConv2dAutomaton(GrayImage src, Kernel kernel,
         TreePermutation::twoDim(input->height(), input->width()));
     auto blur = std::make_shared<const Kernel>(std::move(kernel));
     const unsigned precision = config.precisionBits;
+    // Reduced precision runs the integer MSB-first digit-elision path;
+    // build its Q16 kernel once, outside the per-step closure.
+    auto quantized = precision < 8
+                         ? std::make_shared<const QuantizedKernel>(*blur)
+                         : std::shared_ptr<const QuantizedKernel>{};
 
     // Partitioned sweep (Section IV-C1): the tree permutation demands
     // cyclic distribution. Each worker logs its (sample, value) pairs;
@@ -158,9 +318,8 @@ makeConv2dAutomaton(GrayImage src, Kernel kernel,
         "conv2d", output, GrayImage(input->width(), input->height()),
         layout, [] { return Partial{}; },
         [](Partial &partial) { partial.clear(); },
-        [input, plan, blur, precision, pixels](std::uint64_t step,
-                                               Partial &partial,
-                                               StageContext &) {
+        [input, plan, blur, quantized, precision,
+         pixels](std::uint64_t step, Partial &partial, StageContext &) {
             const std::uint64_t end =
                 std::min(pixels, (step + 1) * chunk);
             for (std::uint64_t s = step * chunk; s < end; ++s) {
@@ -168,8 +327,8 @@ makeConv2dAutomaton(GrayImage src, Kernel kernel,
                 const std::uint8_t value =
                     (precision >= 8)
                         ? convolvePixel(*input, *blur, x, y)
-                        : convolvePixelQuantized(*input, *blur, x, y,
-                                                 precision);
+                        : quantized->convolvePixel(*input, x, y,
+                                                   precision);
                 partial.push_back({s, value});
             }
         },

@@ -52,9 +52,77 @@ class Kernel
                     static_cast<unsigned>(dx + static_cast<int>(r))];
     }
 
+    /**
+     * Taps in the SIMD layout: (2r+1) rows of paddedLanes() floats,
+     * row-major, the extra lanes exactly 0.0f. A zero tap contributes
+     * exactly +0.0f per the kernel specification, so padded lanes never
+     * perturb the dot product regardless of what pixel bytes they read.
+     */
+    const float *paddedTaps() const { return padded.data(); }
+
+    /** Kernel row length rounded up to a multiple of 8 lanes. */
+    std::size_t paddedLanes() const { return lanes; }
+
   private:
     unsigned r;
     std::vector<float> taps;
+    std::vector<float> padded;
+    std::size_t lanes = 0;
+};
+
+/**
+ * Q16.16 integer form of a Kernel for the reduced-precision path
+ * (paper Figure 19 / ARCHITECT-style MSB-first digit evaluation).
+ *
+ * The quantized convolution sum decomposes over input bit planes:
+ * sum_i tap_i * qpix_i = sum_b 2^b * (sum of tap_i where pixel i has
+ * bit b set). Evaluating planes MSB-first makes "reduced precision"
+ * a real wall-clock win instead of a masked recompute:
+ *  - planes below the precision floor are *structurally* elided
+ *    (never visited);
+ *  - a plane whose bit is set in no neighborhood pixel is skipped in
+ *    O(1) via the OR-mask collected while gathering the neighborhood;
+ *  - once the remaining planes' contribution bounds (from the kernel's
+ *    positive/negative tap sums) cannot change the rounded output
+ *    byte, the pixel exits early.
+ * All arithmetic is exact int64, so the result is identical across
+ * ISAs, worker counts, and elision decisions.
+ */
+class QuantizedKernel
+{
+  public:
+    explicit QuantizedKernel(const Kernel &kernel);
+
+    /** Digit-elision effectiveness counters (bench_fig19 reports them). */
+    struct ElisionStats
+    {
+        /** Planes inside the precision window across all pixels. */
+        std::uint64_t planesConsidered = 0;
+        /** Planes actually evaluated (not elided, not cut short). */
+        std::uint64_t planesRun = 0;
+        /** Pixels finished by the output-pinned early exit. */
+        std::uint64_t pixelsEarlyExit = 0;
+    };
+
+    /**
+     * One output pixel of the convolution with the input quantized to
+     * the top @p precisionBits bits (1..8), evaluated MSB-first with
+     * digit elision.
+     */
+    std::uint8_t convolvePixel(const GrayImage &src, std::size_t x,
+                               std::size_t y, unsigned precisionBits,
+                               ElisionStats *stats = nullptr) const;
+
+    unsigned radius() const { return r; }
+
+  private:
+    unsigned r;
+    /** Padded tap count (multiple of 8; padding taps are 0). */
+    std::size_t count = 0;
+    std::vector<std::int32_t> qtaps;
+    /** Tail bounds: sums of positive / negative taps. */
+    std::int64_t sumPos = 0;
+    std::int64_t sumNeg = 0;
 };
 
 /** One output pixel of the convolution (clamped borders). */
@@ -71,6 +139,15 @@ std::uint8_t convolvePixelQuantized(const GrayImage &src,
 
 /** Precise baseline: full-image convolution. */
 GrayImage convolve(const GrayImage &src, const Kernel &kernel);
+
+/**
+ * Naive sequential-accumulation convolution, kept verbatim as the
+ * benchmark timing baseline (bench_fig11 normalizes t90 against this).
+ * Not bit-compatible with convolve(): the anytime kernels accumulate
+ * in the 8-lane FMA order specified by src/simd/, this one in plain
+ * left-to-right order.
+ */
+GrayImage convolveReference(const GrayImage &src, const Kernel &kernel);
 
 /** Anytime conv2d automaton configuration. */
 struct Conv2dConfig

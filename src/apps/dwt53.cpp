@@ -3,26 +3,20 @@
 #include <vector>
 
 #include "core/source_stage.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
 
 namespace {
 
-/** Symmetric (whole-sample) extension index into [0, n). */
-inline std::size_t
-mirror(std::ptrdiff_t k, std::size_t n)
-{
-    if (k < 0)
-        k = -k;
-    if (k >= static_cast<std::ptrdiff_t>(n))
-        k = 2 * (static_cast<std::ptrdiff_t>(n) - 1) - k;
-    return static_cast<std::size_t>(k);
-}
-
 /**
  * 1-D forward 5/3 lifting of @p line into deinterleaved (low | high)
- * layout. C++20 guarantees arithmetic right shift == floor division.
+ * layout, on the src/simd/ lifting kernels (predict: d[i] = x[2i+1] -
+ * floor((x[2i] + x[2i+2]) / 2); update: s[i] = x[2i] + floor((d[i-1] +
+ * d[i] + 2) / 4); whole-sample mirroring at the edges). All arithmetic
+ * is exact int32 — C++20 guarantees arithmetic right shift == floor
+ * division — so every backend produces identical coefficients.
  */
 void
 lift53Forward(std::vector<std::int32_t> &line)
@@ -33,33 +27,16 @@ lift53Forward(std::vector<std::int32_t> &line)
     const std::size_t n_high = n / 2;
     const std::size_t n_low = n - n_high;
 
-    std::vector<std::int32_t> high(n_high);
-    std::vector<std::int32_t> low(n_low);
+    thread_local std::vector<std::int32_t> high, low;
+    high.resize(n_high);
+    low.resize(n_low);
 
-    const auto x = [&](std::ptrdiff_t k) { return line[mirror(k, n)]; };
+    const auto &ops = simd::ops();
+    ops.dwtPredict53(line.data(), n, high.data());
+    ops.dwtUpdate53(line.data(), high.data(), n, low.data());
 
-    // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2).
-    for (std::size_t i = 0; i < n_high; ++i) {
-        const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(2 * i + 1);
-        high[i] = x(c) - ((x(c - 1) + x(c + 1)) >> 1);
-    }
-    // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4).
-    const auto d = [&](std::ptrdiff_t k) {
-        if (k < 0)
-            k = -k - 1; // d[-1] mirrors to d[0]
-        if (k >= static_cast<std::ptrdiff_t>(n_high))
-            k = 2 * static_cast<std::ptrdiff_t>(n_high) - 1 - k;
-        return high[static_cast<std::size_t>(k)];
-    };
-    for (std::size_t i = 0; i < n_low; ++i) {
-        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
-        low[i] = x(2 * k) + ((d(k - 1) + d(k) + 2) >> 2);
-    }
-
-    for (std::size_t i = 0; i < n_low; ++i)
-        line[i] = low[i];
-    for (std::size_t i = 0; i < n_high; ++i)
-        line[n_low + i] = high[i];
+    std::copy(low.begin(), low.end(), line.begin());
+    std::copy(high.begin(), high.end(), line.begin() + n_low);
 }
 
 /** 1-D inverse 5/3 lifting from deinterleaved layout back to samples. */
@@ -72,34 +49,15 @@ lift53Inverse(std::vector<std::int32_t> &line)
     const std::size_t n_high = n / 2;
     const std::size_t n_low = n - n_high;
 
-    const auto d = [&](std::ptrdiff_t k) {
-        if (k < 0)
-            k = -k - 1;
-        if (k >= static_cast<std::ptrdiff_t>(n_high))
-            k = 2 * static_cast<std::ptrdiff_t>(n_high) - 1 - k;
-        return line[n_low + static_cast<std::size_t>(k)];
-    };
+    thread_local std::vector<std::int32_t> even, out;
+    even.resize(n_low);
+    out.resize(n);
 
-    std::vector<std::int32_t> even(n_low);
-    for (std::size_t i = 0; i < n_low; ++i) {
-        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
-        even[i] = line[i] - ((d(k - 1) + d(k) + 2) >> 2);
-    }
+    const auto &ops = simd::ops();
+    ops.dwtRecoverEven53(line.data(), n, even.data());
+    ops.dwtInterleave53(even.data(), line.data() + n_low, n, out.data());
 
-    // Even-sample extension must mirror in the *full-signal* domain:
-    // sample 2k reflects to sample 2(n-1) - 2k, whose even-sequence
-    // index differs from a plain mirror over [0, n_low) when n is even.
-    const auto e = [&](std::ptrdiff_t k) {
-        return even[mirror(2 * k, n) / 2];
-    };
-    std::vector<std::int32_t> out(n);
-    for (std::size_t i = 0; i < n_low; ++i)
-        out[2 * i] = even[i];
-    for (std::size_t i = 0; i < n_high; ++i) {
-        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
-        out[2 * i + 1] = d(k) + ((e(k) + e(k + 1)) >> 1);
-    }
-    line = std::move(out);
+    std::copy(out.begin(), out.end(), line.begin());
 }
 
 /** Forward transform with optional row/column perforation stride. */

@@ -8,6 +8,7 @@
 #include "sampling/lfsr_permutation.hpp"
 #include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -16,8 +17,10 @@ PixelHistogram
 buildHistogram(const GrayImage &src)
 {
     PixelHistogram histogram;
-    for (std::size_t i = 0; i < src.size(); ++i)
-        ++histogram.bins[src[i]];
+    // Four interleaved sub-counters break the same-bin dependency
+    // chain; exact by commutativity of u64 sums.
+    simd::histogram256(src.data().data(), src.size(),
+                       histogram.bins.data());
     histogram.samples = src.size();
     return histogram;
 }
@@ -68,8 +71,8 @@ GrayImage
 applyLut(const GrayImage &src, const PixelLut &lut)
 {
     GrayImage out(src.width(), src.height());
-    for (std::size_t i = 0; i < src.size(); ++i)
-        out[i] = lut[src[i]];
+    simd::ops().applyLutU8(src.data().data(), src.size(), lut.data(),
+                           out.data().data());
     return out;
 }
 

@@ -5,6 +5,7 @@
 #include "image/progressive.hpp"
 #include "sampling/replay.hpp"
 #include "sampling/tree_permutation.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -50,6 +51,40 @@ nearestCentroid(const std::vector<RgbPixel> &centroids,
     return best;
 }
 
+CentroidIndex::CentroidIndex(const std::vector<RgbPixel> &centroids)
+    : k(centroids.size())
+{
+    panicIf(k == 0, "CentroidIndex: no centroids");
+    padded = (k + 7u) & ~std::size_t{7};
+    red.assign(padded, 0);
+    green.assign(padded, 0);
+    blue.assign(padded, 0);
+    for (std::size_t c = 0; c < k; ++c) {
+        red[c] = centroids[c].r;
+        green[c] = centroids[c].g;
+        blue[c] = centroids[c].b;
+    }
+}
+
+unsigned
+CentroidIndex::nearest(const RgbPixel &pixel) const
+{
+    thread_local std::vector<std::int32_t> dist;
+    dist.resize(padded);
+    simd::ops().squaredDistancesRgb(red.data(), green.data(), blue.data(),
+                                    padded, pixel.r, pixel.g, pixel.b,
+                                    dist.data());
+    unsigned best = 0;
+    std::int32_t best_dist = dist[0];
+    for (std::size_t c = 1; c < k; ++c) {
+        if (dist[c] < best_dist) {
+            best_dist = dist[c];
+            best = static_cast<unsigned>(c);
+        }
+    }
+    return best;
+}
+
 namespace {
 
 /** Reduce accumulated sums into centroid colors (seed on empties). */
@@ -89,10 +124,11 @@ KmeansResult
 kmeansCluster(const RgbImage &src, unsigned k)
 {
     const std::vector<RgbPixel> seeds = kmeansSeeds(src, k);
+    const CentroidIndex index(seeds);
     Image<std::uint8_t> labels(src.width(), src.height());
     std::vector<ClusterSum> sums(k);
     for (std::size_t i = 0; i < src.size(); ++i) {
-        const unsigned c = nearestCentroid(seeds, src[i]);
+        const unsigned c = index.nearest(src[i]);
         labels[i] = static_cast<std::uint8_t>(c);
         sums[c].r += src[i].r;
         sums[c].g += src[i].g;
@@ -115,6 +151,7 @@ makeKmeansAutomaton(RgbImage src, const KmeansConfig &config)
     auto input = std::make_shared<const RgbImage>(std::move(src));
     auto seeds = std::make_shared<const std::vector<RgbPixel>>(
         kmeansSeeds(*input, config.clusters));
+    auto index = std::make_shared<const CentroidIndex>(*seeds);
     auto plan = std::make_shared<const TreeSweepPlan>(
         TreePermutation::twoDim(input->height(), input->width()));
 
@@ -157,13 +194,13 @@ makeKmeansAutomaton(RgbImage src, const KmeansConfig &config)
             partial.labels.clear();
             partial.sums.assign(partial.sums.size(), ClusterSum{});
         },
-        [input, seeds, plan, pixels](std::uint64_t step,
+        [input, index, plan, pixels](std::uint64_t step,
                                      AssignPartial &partial,
                                      StageContext &) {
             const std::uint64_t end = std::min(pixels, (step + 1) * chunk);
             for (std::uint64_t s = step * chunk; s < end; ++s) {
                 const RgbPixel &pixel = input->at(plan->x(s), plan->y(s));
-                const unsigned c = nearestCentroid(*seeds, pixel);
+                const unsigned c = index->nearest(pixel);
                 partial.labels.push_back(
                     {s, static_cast<std::uint8_t>(c)});
                 partial.sums[c].r += pixel.r;

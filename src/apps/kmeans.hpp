@@ -71,6 +71,31 @@ std::vector<RgbPixel> kmeansSeeds(const RgbImage &src, unsigned k);
 unsigned nearestCentroid(const std::vector<RgbPixel> &centroids,
                          const RgbPixel &pixel);
 
+/**
+ * Structure-of-arrays centroid table for the assignment hot loop: all
+ * candidate squared distances are computed in one vectorized pass
+ * (src/simd/), then the winner is picked by the same first-minimum-wins
+ * scan as nearestCentroid(). Distances are exact integers, so the
+ * assignment is identical across ISAs and to nearestCentroid().
+ */
+class CentroidIndex
+{
+  public:
+    explicit CentroidIndex(const std::vector<RgbPixel> &centroids);
+
+    /** Index of the nearest centroid (first minimum wins on ties). */
+    unsigned nearest(const RgbPixel &pixel) const;
+
+    std::size_t size() const { return k; }
+
+  private:
+    std::size_t k = 0;
+    /** k rounded up to 8 lanes; padding channels are 0 and the argmin
+     *  scan never reads their distances. */
+    std::size_t padded = 0;
+    std::vector<std::int32_t> red, green, blue;
+};
+
 /** Precise baseline: assign, reduce, recolor. */
 KmeansResult kmeansCluster(const RgbImage &src, unsigned k);
 

@@ -2,6 +2,7 @@
 
 #include "approx/fixed_point.hpp"
 #include "core/parallel_stage.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace anytime {
@@ -32,32 +33,62 @@ checkShapes(const IntMatrix &a, const IntMatrix &b)
 }
 
 /**
+ * Per-plane occupancy masks of B for MSB-first digit elision: a bit
+ * plane set nowhere (globally, or within one row of B) adds exactly
+ * zero, so it can be skipped without touching the accumulator.
+ */
+struct PlaneMasks
+{
+    std::uint32_t all = 0;
+    std::vector<std::uint32_t> rows; // OR over each row kk of B
+};
+
+PlaneMasks
+buildPlaneMasks(const IntMatrix &b)
+{
+    PlaneMasks masks;
+    masks.rows.assign(b.height(), 0);
+    for (std::size_t kk = 0; kk < b.height(); ++kk) {
+        for (std::size_t j = 0; j < b.width(); ++j)
+            masks.rows[kk] |= static_cast<std::uint32_t>(b.at(j, kk));
+        masks.all |= masks.rows[kk];
+    }
+    return masks;
+}
+
+/**
  * Add the contribution of bit plane `bit` of B into the accumulator:
  * C += scale * (A x plane(B, bit)), where plane entries are 0/1 and the
- * top plane carries the two's-complement weight -2^31.
+ * top plane carries the two's-complement weight -2^31. Wraparound int64
+ * sums commute, so the vectorized masked adds and the elision skips
+ * leave every accumulator value bit-identical to the naive loop.
  */
 void
 addPlane(const IntMatrix &a, const IntMatrix &b, unsigned bit,
-         LongMatrix &acc)
+         LongMatrix &acc, const PlaneMasks *masks = nullptr)
 {
+    if (masks != nullptr && ((masks->all >> bit) & 1u) == 0)
+        return; // digit elision: plane set nowhere in B
     const std::size_t m = a.height();
     const std::size_t k = a.width();
     const std::size_t n = b.width();
     const std::int64_t scale = (bit == 31)
                                    ? -(std::int64_t(1) << 31)
                                    : (std::int64_t(1) << bit);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
+    const auto &ops = simd::ops();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        if (masks != nullptr && ((masks->rows[kk] >> bit) & 1u) == 0)
+            continue; // digit elision: plane empty in this row of B
+        const std::int32_t *b_row = b.data().data() + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
             const std::int64_t aik = a.at(kk, i);
             if (aik == 0)
                 continue;
             const std::int64_t contribution = static_cast<std::int64_t>(
                 static_cast<std::uint64_t>(aik) *
                 static_cast<std::uint64_t>(scale));
-            for (std::size_t j = 0; j < n; ++j) {
-                if ((static_cast<std::uint32_t>(b.at(j, kk)) >> bit) & 1)
-                    acc.at(j, i) = wrapAdd(acc.at(j, i), contribution);
-            }
+            ops.maskedAddI64(acc.data().data() + i * n, b_row, n, bit,
+                             contribution);
         }
     }
 }
@@ -107,6 +138,7 @@ makeMatmulAutomaton(IntMatrix a, IntMatrix b, const MatmulConfig &config)
 
     auto lhs = std::make_shared<const IntMatrix>(std::move(a));
     auto rhs = std::make_shared<const IntMatrix>(std::move(b));
+    auto masks = std::make_shared<const PlaneMasks>(buildPlaneMasks(*rhs));
 
     // One diffusive step per bit plane, MSB first (sequential
     // permutation over planes: most significant bits are prioritized).
@@ -127,10 +159,10 @@ makeMatmulAutomaton(IntMatrix a, IntMatrix b, const MatmulConfig &config)
             "matmul", output, LongMatrix(cols, rows, 0), layout,
             [cols, rows] { return LongMatrix(cols, rows, 0); },
             [](LongMatrix &partial) { partial.fill(0); },
-            [lhs, rhs](std::uint64_t step, LongMatrix &partial,
-                       StageContext &ctx) {
+            [lhs, rhs, masks](std::uint64_t step, LongMatrix &partial,
+                              StageContext &ctx) {
                 addPlane(*lhs, *rhs, 31 - static_cast<unsigned>(step),
-                         partial);
+                         partial, masks.get());
                 ctx.addWork(lhs->size());
             },
             [](LongMatrix &state, std::vector<LongMatrix> &partials,

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Internal backend tables for the SIMD dispatch layer. Each backend
+ * file fills one `Ops` table; dispatch.cpp picks among them. The
+ * scalar functions are also exported individually so vector backends
+ * can reuse them for tails and for float kernels at ISA levels without
+ * fused multiply-add.
+ */
+
+#ifndef ANYTIME_SIMD_BACKENDS_HPP
+#define ANYTIME_SIMD_BACKENDS_HPP
+
+#include "simd/simd.hpp"
+
+namespace anytime::simd::detail {
+
+// ---- scalar specification (always compiled) -------------------------
+float scalarDotPadded8(const float *taps, const float *vals,
+                       std::size_t n);
+float scalarConvDotU8(const std::uint8_t *base, std::size_t rowStride,
+                      std::size_t rows, std::size_t lanes,
+                      const float *taps);
+std::int64_t scalarMaskedSumI32(const std::int32_t *values,
+                                const std::uint32_t *selectors,
+                                std::size_t n, unsigned bit);
+void scalarMaskedAddI64(std::int64_t *acc, const std::int32_t *selectors,
+                        std::size_t n, unsigned bit, std::int64_t addend);
+void scalarSquaredDistancesRgb(const std::int32_t *cr,
+                               const std::int32_t *cg,
+                               const std::int32_t *cb, std::size_t n,
+                               std::int32_t pr, std::int32_t pg,
+                               std::int32_t pb, std::int32_t *out);
+void scalarDwtPredict53(const std::int32_t *x, std::size_t n,
+                        std::int32_t *high);
+void scalarDwtUpdate53(const std::int32_t *x, const std::int32_t *high,
+                       std::size_t n, std::int32_t *low);
+void scalarDwtRecoverEven53(const std::int32_t *line, std::size_t n,
+                            std::int32_t *even);
+void scalarDwtInterleave53(const std::int32_t *even,
+                           const std::int32_t *high, std::size_t n,
+                           std::int32_t *out);
+void scalarApplyLutU8(const std::uint8_t *src, std::size_t n,
+                      const std::uint8_t *lut, std::uint8_t *dst);
+
+const Ops &scalarOps();
+
+// ---- vector backends (null when the build/arch lacks them) ----------
+// Defined in kernels_x86.cpp / kernels_neon.cpp; each returns nullptr
+// when the target architecture does not match the backend, and the
+// caller must additionally runtime-check CPU support for AVX2.
+const Ops *sse2OpsOrNull();
+const Ops *avx2OpsOrNull();
+const Ops *neonOpsOrNull();
+
+/** Runtime CPU capability checks (false off-architecture). */
+bool cpuHasSse2();
+bool cpuHasAvx2Fma();
+bool cpuHasNeon();
+
+} // namespace anytime::simd::detail
+
+#endif // ANYTIME_SIMD_BACKENDS_HPP

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Runtime ISA selection. The active kernel table is a single atomic
+ * pointer resolved on first use: an ANYTIME_SIMD environment override if
+ * present, otherwise the best ISA the CPU reports. forceIsa()/resetIsa()
+ * are test/bench hooks, not meant to race against running stages.
+ *
+ * With -DANYTIME_SIMD=OFF the build defines ANYTIME_SIMD_DISABLED and
+ * every backend query collapses to scalar, so the vector code paths are
+ * provably absent from the binary, not merely unselected.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "simd/backends.hpp"
+#include "support/error.hpp"
+
+namespace anytime::simd {
+
+namespace {
+
+using detail::scalarOps;
+
+struct Resolved
+{
+    Isa isa;
+    const Ops *table;
+};
+
+const Ops *
+tableForSupported(Isa isa)
+{
+    switch (isa) {
+      case Isa::scalar:
+        return &scalarOps();
+      case Isa::sse2:
+        return detail::sse2OpsOrNull();
+      case Isa::avx2:
+        return detail::avx2OpsOrNull();
+      case Isa::neon:
+        return detail::neonOpsOrNull();
+    }
+    return nullptr;
+}
+
+/** Parse an ANYTIME_SIMD value; returns false on unknown spelling. */
+bool
+parseIsaSpec(const std::string &spec, Isa &out)
+{
+    if (spec == "off" || spec == "scalar" || spec == "0") {
+        out = Isa::scalar;
+        return true;
+    }
+    if (spec == "sse2") {
+        out = Isa::sse2;
+        return true;
+    }
+    if (spec == "avx2") {
+        out = Isa::avx2;
+        return true;
+    }
+    if (spec == "neon") {
+        out = Isa::neon;
+        return true;
+    }
+    if (spec == "native" || spec == "auto" || spec == "on") {
+        out = bestSupportedIsa();
+        return true;
+    }
+    return false;
+}
+
+Resolved
+resolveAutomatic()
+{
+    Isa isa = bestSupportedIsa();
+    if (const char *env = std::getenv("ANYTIME_SIMD")) {
+        Isa requested;
+        fatalIf(!parseIsaSpec(env, requested),
+                "ANYTIME_SIMD: unknown value '", env,
+                "' (want off|scalar|sse2|avx2|neon|native)");
+        fatalIf(!isaSupported(requested), "ANYTIME_SIMD: isa '",
+                isaName(requested),
+                "' is not supported by this host/build");
+        isa = requested;
+    }
+    return {isa, tableForSupported(isa)};
+}
+
+/** Packed (isa, table) state; null table means "not yet resolved". */
+std::atomic<const Ops *> g_table{nullptr};
+std::atomic<Isa> g_isa{Isa::scalar};
+
+Resolved
+currentResolved()
+{
+    const Ops *table = g_table.load(std::memory_order_acquire);
+    if (table != nullptr)
+        return {g_isa.load(std::memory_order_relaxed), table};
+    Resolved resolved = resolveAutomatic();
+    // Publish isa before table: readers key off the table pointer.
+    g_isa.store(resolved.isa, std::memory_order_relaxed);
+    g_table.store(resolved.table, std::memory_order_release);
+    return resolved;
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::scalar:
+        return "scalar";
+      case Isa::sse2:
+        return "sse2";
+      case Isa::avx2:
+        return "avx2";
+      case Isa::neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+isaSupported(Isa isa)
+{
+    switch (isa) {
+      case Isa::scalar:
+        return true;
+      case Isa::sse2:
+        return detail::sse2OpsOrNull() != nullptr && detail::cpuHasSse2();
+      case Isa::avx2:
+        return detail::avx2OpsOrNull() != nullptr &&
+               detail::cpuHasAvx2Fma();
+      case Isa::neon:
+        return detail::neonOpsOrNull() != nullptr && detail::cpuHasNeon();
+    }
+    return false;
+}
+
+Isa
+bestSupportedIsa()
+{
+    if (isaSupported(Isa::avx2))
+        return Isa::avx2;
+    if (isaSupported(Isa::neon))
+        return Isa::neon;
+    if (isaSupported(Isa::sse2))
+        return Isa::sse2;
+    return Isa::scalar;
+}
+
+Isa
+activeIsa()
+{
+    return currentResolved().isa;
+}
+
+void
+forceIsa(Isa isa)
+{
+    fatalIf(!isaSupported(isa), "forceIsa: isa '", isaName(isa),
+            "' is not supported by this host/build");
+    g_isa.store(isa, std::memory_order_relaxed);
+    g_table.store(tableForSupported(isa), std::memory_order_release);
+}
+
+void
+resetIsa()
+{
+    g_table.store(nullptr, std::memory_order_release);
+}
+
+const Ops &
+ops()
+{
+    return *currentResolved().table;
+}
+
+const Ops &
+opsFor(Isa isa)
+{
+    fatalIf(!isaSupported(isa), "opsFor: isa '", isaName(isa),
+            "' is not supported by this host/build");
+    return *tableForSupported(isa);
+}
+
+} // namespace anytime::simd

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * aarch64 Advanced SIMD backend. NEON registers are 4 lanes wide, so
+ * the 8-lane float specification is implemented with two accumulator
+ * registers: acc_lo holds spec lanes 0-3, acc_hi holds lanes 4-7, and
+ * the reduction acc_lo + acc_hi is exactly the spec's first pairwise
+ * step (0+4, 1+5, 2+6, 3+7). vfmaq_f32 is a single-rounding fused
+ * multiply-add, matching std::fma / vfmadd231ps bitwise.
+ *
+ * Only the float and flat integer kernels vectorize here; the DWT
+ * lifting kernels stay on the scalar specification (they are exact
+ * either way — the table mixes freely).
+ */
+
+#include "simd/backends.hpp"
+
+#if defined(__aarch64__) && !defined(ANYTIME_SIMD_DISABLED)
+
+#include <arm_neon.h>
+
+namespace anytime::simd::detail {
+
+namespace {
+
+inline std::int64_t
+wrapAdd64(std::int64_t lhs, std::int64_t rhs)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) +
+                                     static_cast<std::uint64_t>(rhs));
+}
+
+/** Pairwise reduction of (lanes 0-3, lanes 4-7) per the spec. */
+inline float
+neonHsumSpec(float32x4_t acc_lo, float32x4_t acc_hi)
+{
+    const float32x4_t s = vaddq_f32(acc_lo, acc_hi);
+    const float32x2_t t = vadd_f32(vget_low_f32(s), vget_high_f32(s));
+    return vget_lane_f32(t, 0) + vget_lane_f32(t, 1);
+}
+
+float
+neonDotPadded8(const float *taps, const float *vals, std::size_t n)
+{
+    float32x4_t acc_lo = vdupq_n_f32(0.0f);
+    float32x4_t acc_hi = vdupq_n_f32(0.0f);
+    for (std::size_t g = 0; g < n; g += 8) {
+        acc_lo = vfmaq_f32(acc_lo, vld1q_f32(taps + g),
+                           vld1q_f32(vals + g));
+        acc_hi = vfmaq_f32(acc_hi, vld1q_f32(taps + g + 4),
+                           vld1q_f32(vals + g + 4));
+    }
+    return neonHsumSpec(acc_lo, acc_hi);
+}
+
+float
+neonConvDotU8(const std::uint8_t *base, std::size_t rowStride,
+              std::size_t rows, std::size_t lanes, const float *taps)
+{
+    float32x4_t acc_lo = vdupq_n_f32(0.0f);
+    float32x4_t acc_hi = vdupq_n_f32(0.0f);
+    for (std::size_t row = 0; row < rows; ++row) {
+        const std::uint8_t *src = base + row * rowStride;
+        const float *tap_row = taps + row * lanes;
+        for (std::size_t g = 0; g < lanes; g += 8) {
+            const uint8x8_t bytes = vld1_u8(src + g);
+            const uint16x8_t w = vmovl_u8(bytes);
+            const float32x4_t v_lo =
+                vcvtq_f32_u32(vmovl_u16(vget_low_u16(w)));
+            const float32x4_t v_hi =
+                vcvtq_f32_u32(vmovl_u16(vget_high_u16(w)));
+            acc_lo = vfmaq_f32(acc_lo, vld1q_f32(tap_row + g), v_lo);
+            acc_hi = vfmaq_f32(acc_hi, vld1q_f32(tap_row + g + 4), v_hi);
+        }
+    }
+    return neonHsumSpec(acc_lo, acc_hi);
+}
+
+std::int64_t
+neonMaskedSumI32(const std::int32_t *values, const std::uint32_t *selectors,
+                 std::size_t n, unsigned bit)
+{
+    const uint32x4_t bitmask = vdupq_n_u32(1u << bit);
+    int64x2_t acc = vdupq_n_s64(0);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const uint32x4_t sel = vld1q_u32(selectors + j);
+        const uint32x4_t hit =
+            vceqq_u32(vandq_u32(sel, bitmask), bitmask);
+        const int32x4_t v = vandq_s32(
+            vld1q_s32(values + j), vreinterpretq_s32_u32(hit));
+        acc = vaddq_s64(acc, vmovl_s32(vget_low_s32(v)));
+        acc = vaddq_s64(acc, vmovl_s32(vget_high_s32(v)));
+    }
+    std::int64_t sum =
+        wrapAdd64(vgetq_lane_s64(acc, 0), vgetq_lane_s64(acc, 1));
+    if (j < n)
+        sum = wrapAdd64(sum,
+                        scalarMaskedSumI32(values + j, selectors + j,
+                                           n - j, bit));
+    return sum;
+}
+
+void
+neonMaskedAddI64(std::int64_t *acc, const std::int32_t *selectors,
+                 std::size_t n, unsigned bit, std::int64_t addend)
+{
+    const int32x2_t bitmask = vdup_n_s32(static_cast<int>(1u << bit));
+    const int64x2_t vadd = vdupq_n_s64(addend);
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+        const int32x2_t sel = vld1_s32(selectors + j);
+        const uint32x2_t hit =
+            vceq_s32(vand_s32(sel, bitmask), bitmask);
+        const int64x2_t mask64 =
+            vreinterpretq_s64_u64(vmovl_u32(hit));
+        // vmovl zero-extends 0/~0 masks; widen to full 64-bit masks.
+        const int64x2_t full = vorrq_s64(
+            mask64, vshlq_n_s64(mask64, 32));
+        int64x2_t a = vld1q_s64(acc + j);
+        a = vaddq_s64(a, vandq_s64(vadd, full));
+        vst1q_s64(acc + j, a);
+    }
+    if (j < n)
+        scalarMaskedAddI64(acc + j, selectors + j, n - j, bit, addend);
+}
+
+void
+neonSquaredDistancesRgb(const std::int32_t *cr, const std::int32_t *cg,
+                        const std::int32_t *cb, std::size_t n,
+                        std::int32_t pr, std::int32_t pg, std::int32_t pb,
+                        std::int32_t *out)
+{
+    const int32x4_t vpr = vdupq_n_s32(pr);
+    const int32x4_t vpg = vdupq_n_s32(pg);
+    const int32x4_t vpb = vdupq_n_s32(pb);
+    for (std::size_t j = 0; j < n; j += 4) {
+        const int32x4_t dr = vsubq_s32(vpr, vld1q_s32(cr + j));
+        const int32x4_t dg = vsubq_s32(vpg, vld1q_s32(cg + j));
+        const int32x4_t db = vsubq_s32(vpb, vld1q_s32(cb + j));
+        int32x4_t sum = vmulq_s32(dr, dr);
+        sum = vmlaq_s32(sum, dg, dg);
+        sum = vmlaq_s32(sum, db, db);
+        vst1q_s32(out + j, sum);
+    }
+}
+
+} // namespace
+
+const Ops *
+neonOpsOrNull()
+{
+    static const Ops table = {
+        &neonDotPadded8,
+        &neonConvDotU8,
+        &neonMaskedSumI32,
+        &neonMaskedAddI64,
+        &neonSquaredDistancesRgb,
+        &scalarDwtPredict53,
+        &scalarDwtUpdate53,
+        &scalarDwtRecoverEven53,
+        &scalarDwtInterleave53,
+        &scalarApplyLutU8,
+    };
+    return &table;
+}
+
+bool
+cpuHasNeon()
+{
+    return true; // Advanced SIMD is mandatory on aarch64
+}
+
+} // namespace anytime::simd::detail
+
+#else // !__aarch64__ || ANYTIME_SIMD_DISABLED
+
+namespace anytime::simd::detail {
+
+const Ops *
+neonOpsOrNull()
+{
+    return nullptr;
+}
+
+bool
+cpuHasNeon()
+{
+    return false;
+}
+
+} // namespace anytime::simd::detail
+
+#endif

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Scalar reference implementations — the bit-exact specification every
+ * vector backend must reproduce. The float kernels emulate the 8-lane
+ * FMA layout explicitly (std::fma is a single-rounding IEEE-754
+ * operation, exactly like vfmadd231ps / vfmaq_f32), so "forced scalar"
+ * is not approximately the vector result: it *is* the vector result.
+ */
+
+#include <cmath>
+
+#include "simd/backends.hpp"
+
+namespace anytime::simd::detail {
+
+namespace {
+
+/** Fixed pairwise reduction of the 8 accumulator lanes. */
+inline float
+hsum8(const float acc[8])
+{
+    const float s0 = acc[0] + acc[4];
+    const float s1 = acc[1] + acc[5];
+    const float s2 = acc[2] + acc[6];
+    const float s3 = acc[3] + acc[7];
+    const float t0 = s0 + s2;
+    const float t1 = s1 + s3;
+    return t0 + t1;
+}
+
+/** Wraparound int64 addition (two's complement, never UB). */
+inline std::int64_t
+wrapAdd64(std::int64_t lhs, std::int64_t rhs)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) +
+                                     static_cast<std::uint64_t>(rhs));
+}
+
+/** Symmetric (whole-sample) extension index into [0, n). */
+inline std::size_t
+mirrorIndex(std::ptrdiff_t k, std::size_t n)
+{
+    if (k < 0)
+        k = -k;
+    if (k >= static_cast<std::ptrdiff_t>(n))
+        k = 2 * (static_cast<std::ptrdiff_t>(n) - 1) - k;
+    return static_cast<std::size_t>(k);
+}
+
+/** Mirror into the detail (high) band of length n_high. */
+inline std::size_t
+mirrorDetail(std::ptrdiff_t k, std::size_t n_high)
+{
+    if (k < 0)
+        k = -k - 1; // d[-1] mirrors to d[0]
+    if (k >= static_cast<std::ptrdiff_t>(n_high))
+        k = 2 * static_cast<std::ptrdiff_t>(n_high) - 1 - k;
+    return static_cast<std::size_t>(k);
+}
+
+} // namespace
+
+float
+scalarDotPadded8(const float *taps, const float *vals, std::size_t n)
+{
+    float acc[8] = {};
+    for (std::size_t g = 0; g < n; g += 8) {
+        for (std::size_t l = 0; l < 8; ++l)
+            acc[l] = std::fma(taps[g + l], vals[g + l], acc[l]);
+    }
+    return hsum8(acc);
+}
+
+float
+scalarConvDotU8(const std::uint8_t *base, std::size_t rowStride,
+                std::size_t rows, std::size_t lanes, const float *taps)
+{
+    float acc[8] = {};
+    for (std::size_t row = 0; row < rows; ++row) {
+        const std::uint8_t *src = base + row * rowStride;
+        const float *tap_row = taps + row * lanes;
+        for (std::size_t g = 0; g < lanes; g += 8) {
+            for (std::size_t l = 0; l < 8; ++l) {
+                acc[l] = std::fma(tap_row[g + l],
+                                  static_cast<float>(src[g + l]), acc[l]);
+            }
+        }
+    }
+    return hsum8(acc);
+}
+
+std::int64_t
+scalarMaskedSumI32(const std::int32_t *values,
+                   const std::uint32_t *selectors, std::size_t n,
+                   unsigned bit)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if ((selectors[j] >> bit) & 1u)
+            sum += static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(values[j]));
+    }
+    return static_cast<std::int64_t>(sum);
+}
+
+void
+scalarMaskedAddI64(std::int64_t *acc, const std::int32_t *selectors,
+                   std::size_t n, unsigned bit, std::int64_t addend)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        if ((static_cast<std::uint32_t>(selectors[j]) >> bit) & 1u)
+            acc[j] = wrapAdd64(acc[j], addend);
+    }
+}
+
+void
+scalarSquaredDistancesRgb(const std::int32_t *cr, const std::int32_t *cg,
+                          const std::int32_t *cb, std::size_t n,
+                          std::int32_t pr, std::int32_t pg,
+                          std::int32_t pb, std::int32_t *out)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::int32_t dr = pr - cr[j];
+        const std::int32_t dg = pg - cg[j];
+        const std::int32_t db = pb - cb[j];
+        out[j] = dr * dr + dg * dg + db * db;
+    }
+}
+
+void
+scalarDwtPredict53(const std::int32_t *x, std::size_t n,
+                   std::int32_t *high)
+{
+    const std::size_t n_high = n / 2;
+    for (std::size_t i = 0; i < n_high; ++i) {
+        const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(2 * i + 1);
+        high[i] = x[mirrorIndex(c, n)] -
+                  ((x[mirrorIndex(c - 1, n)] + x[mirrorIndex(c + 1, n)]) >>
+                   1);
+    }
+}
+
+void
+scalarDwtUpdate53(const std::int32_t *x, const std::int32_t *high,
+                  std::size_t n, std::int32_t *low)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    for (std::size_t i = 0; i < n_low; ++i) {
+        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
+        low[i] = x[2 * i] + ((high[mirrorDetail(k - 1, n_high)] +
+                              high[mirrorDetail(k, n_high)] + 2) >>
+                             2);
+    }
+}
+
+void
+scalarDwtRecoverEven53(const std::int32_t *line, std::size_t n,
+                       std::int32_t *even)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    const std::int32_t *detail = line + n_low;
+    for (std::size_t i = 0; i < n_low; ++i) {
+        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
+        even[i] = line[i] - ((detail[mirrorDetail(k - 1, n_high)] +
+                              detail[mirrorDetail(k, n_high)] + 2) >>
+                             2);
+    }
+}
+
+void
+scalarDwtInterleave53(const std::int32_t *even, const std::int32_t *high,
+                      std::size_t n, std::int32_t *out)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    for (std::size_t i = 0; i < n_low; ++i)
+        out[2 * i] = even[i];
+    for (std::size_t i = 0; i < n_high; ++i) {
+        // Even-sample mirroring happens in the full-signal domain.
+        const std::int32_t e0 = even[mirrorIndex(
+            static_cast<std::ptrdiff_t>(2 * i), n) / 2];
+        const std::int32_t e1 = even[mirrorIndex(
+            static_cast<std::ptrdiff_t>(2 * i + 2), n) / 2];
+        out[2 * i + 1] = high[i] + ((e0 + e1) >> 1);
+    }
+}
+
+void
+scalarApplyLutU8(const std::uint8_t *src, std::size_t n,
+                 const std::uint8_t *lut, std::uint8_t *dst)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = lut[src[i]];
+}
+
+const Ops &
+scalarOps()
+{
+    static const Ops table = {
+        &scalarDotPadded8,     &scalarConvDotU8,
+        &scalarMaskedSumI32,   &scalarMaskedAddI64,
+        &scalarSquaredDistancesRgb,
+        &scalarDwtPredict53,   &scalarDwtUpdate53,
+        &scalarDwtRecoverEven53, &scalarDwtInterleave53,
+        &scalarApplyLutU8,
+    };
+    return table;
+}
+
+} // namespace anytime::simd::detail

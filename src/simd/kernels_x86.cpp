@@ -1,0 +1,496 @@
+/**
+ * @file
+ * x86-64 backends. This translation unit is compiled WITHOUT -mavx2:
+ * the AVX2+FMA kernels carry per-function target attributes, so the
+ * compiler may only emit VEX instructions inside them and the binary
+ * stays runnable on SSE2-only hosts (dispatch never calls an AVX2
+ * kernel unless cpuid says so).
+ *
+ * SSE2 is the x86-64 baseline, but it lacks FMA, and the float kernels
+ * are *specified* as fused multiply-adds — so at the SSE2 level the
+ * float kernels reuse the scalar-FMA implementation and only the
+ * order-free integer kernels vectorize.
+ */
+
+#include "simd/backends.hpp"
+
+#if defined(__x86_64__) && !defined(ANYTIME_SIMD_DISABLED)
+
+#include <immintrin.h>
+
+namespace anytime::simd::detail {
+
+namespace {
+
+// ---- shared helpers -------------------------------------------------
+
+inline std::int64_t
+wrapAdd64(std::int64_t lhs, std::int64_t rhs)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) +
+                                     static_cast<std::uint64_t>(rhs));
+}
+
+inline std::size_t
+mirrorIndex(std::ptrdiff_t k, std::size_t n)
+{
+    if (k < 0)
+        k = -k;
+    if (k >= static_cast<std::ptrdiff_t>(n))
+        k = 2 * (static_cast<std::ptrdiff_t>(n) - 1) - k;
+    return static_cast<std::size_t>(k);
+}
+
+inline std::size_t
+mirrorDetail(std::ptrdiff_t k, std::size_t n_high)
+{
+    if (k < 0)
+        k = -k - 1;
+    if (k >= static_cast<std::ptrdiff_t>(n_high))
+        k = 2 * static_cast<std::ptrdiff_t>(n_high) - 1 - k;
+    return static_cast<std::size_t>(k);
+}
+
+// ---- SSE2 integer kernels -------------------------------------------
+
+std::int64_t
+sse2MaskedSumI32(const std::int32_t *values, const std::uint32_t *selectors,
+                 std::size_t n, unsigned bit)
+{
+    const __m128i bitmask =
+        _mm_set1_epi32(static_cast<int>(1u << bit));
+    __m128i acc = _mm_setzero_si128();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m128i sel = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(selectors + j));
+        const __m128i hit =
+            _mm_cmpeq_epi32(_mm_and_si128(sel, bitmask), bitmask);
+        const __m128i v = _mm_and_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(values + j)),
+            hit);
+        // Sign-extend the four masked lanes to 64-bit and accumulate.
+        const __m128i sign = _mm_srai_epi32(v, 31);
+        acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(v, sign));
+        acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(v, sign));
+    }
+    alignas(16) std::int64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    std::int64_t sum = wrapAdd64(lanes[0], lanes[1]);
+    if (j < n)
+        sum = wrapAdd64(sum,
+                        scalarMaskedSumI32(values + j, selectors + j,
+                                           n - j, bit));
+    return sum;
+}
+
+void
+sse2MaskedAddI64(std::int64_t *acc, const std::int32_t *selectors,
+                 std::size_t n, unsigned bit, std::int64_t addend)
+{
+    const __m128i bitmask =
+        _mm_set1_epi32(static_cast<int>(1u << bit));
+    const __m128i vadd = _mm_set1_epi64x(addend);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m128i sel = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(selectors + j));
+        const __m128i hit =
+            _mm_cmpeq_epi32(_mm_and_si128(sel, bitmask), bitmask);
+        // hit lanes are 0 or ~0, so pairing a lane with itself widens
+        // the 32-bit mask to a 64-bit mask.
+        const __m128i mask_lo = _mm_unpacklo_epi32(hit, hit);
+        const __m128i mask_hi = _mm_unpackhi_epi32(hit, hit);
+        __m128i a0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(acc + j));
+        __m128i a1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(acc + j + 2));
+        a0 = _mm_add_epi64(a0, _mm_and_si128(vadd, mask_lo));
+        a1 = _mm_add_epi64(a1, _mm_and_si128(vadd, mask_hi));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + j), a0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + j + 2), a1);
+    }
+    if (j < n)
+        scalarMaskedAddI64(acc + j, selectors + j, n - j, bit, addend);
+}
+
+// ---- AVX2+FMA kernels -----------------------------------------------
+
+#define ANYTIME_AVX2 __attribute__((target("avx2,fma")))
+
+/** The fixed pairwise reduction specified in simd.hpp, on a __m256. */
+ANYTIME_AVX2 inline float
+avx2HsumSpec(__m256 acc)
+{
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    const __m128 s = _mm_add_ps(lo, hi); // (0+4, 1+5, 2+6, 3+7)
+    const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s)); // (s0+s2, s1+s3)
+    const __m128 r = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x1));
+    return _mm_cvtss_f32(r);
+}
+
+ANYTIME_AVX2 float
+avx2DotPadded8(const float *taps, const float *vals, std::size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t g = 0; g < n; g += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(taps + g),
+                              _mm256_loadu_ps(vals + g), acc);
+    }
+    return avx2HsumSpec(acc);
+}
+
+ANYTIME_AVX2 float
+avx2ConvDotU8(const std::uint8_t *base, std::size_t rowStride,
+              std::size_t rows, std::size_t lanes, const float *taps)
+{
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t row = 0; row < rows; ++row) {
+        const std::uint8_t *src = base + row * rowStride;
+        const float *tap_row = taps + row * lanes;
+        for (std::size_t g = 0; g < lanes; g += 8) {
+            const __m128i bytes = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(src + g));
+            const __m256 vals =
+                _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(tap_row + g), vals,
+                                  acc);
+        }
+    }
+    return avx2HsumSpec(acc);
+}
+
+ANYTIME_AVX2 std::int64_t
+avx2MaskedSumI32(const std::int32_t *values, const std::uint32_t *selectors,
+                 std::size_t n, unsigned bit)
+{
+    const __m256i bitmask =
+        _mm256_set1_epi32(static_cast<int>(1u << bit));
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256i sel = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(selectors + j));
+        const __m256i hit =
+            _mm256_cmpeq_epi32(_mm256_and_si256(sel, bitmask), bitmask);
+        const __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(values + j)),
+            hit);
+        acc_lo = _mm256_add_epi64(
+            acc_lo,
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+        acc_hi = _mm256_add_epi64(
+            acc_hi,
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                       _mm256_add_epi64(acc_lo, acc_hi));
+    std::int64_t sum = wrapAdd64(wrapAdd64(lanes[0], lanes[1]),
+                                 wrapAdd64(lanes[2], lanes[3]));
+    if (j < n)
+        sum = wrapAdd64(sum,
+                        scalarMaskedSumI32(values + j, selectors + j,
+                                           n - j, bit));
+    return sum;
+}
+
+ANYTIME_AVX2 void
+avx2MaskedAddI64(std::int64_t *acc, const std::int32_t *selectors,
+                 std::size_t n, unsigned bit, std::int64_t addend)
+{
+    const __m128i bitmask =
+        _mm_set1_epi32(static_cast<int>(1u << bit));
+    const __m256i vadd = _mm256_set1_epi64x(addend);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m128i sel = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(selectors + j));
+        const __m128i hit =
+            _mm_cmpeq_epi32(_mm_and_si128(sel, bitmask), bitmask);
+        const __m256i mask64 = _mm256_cvtepi32_epi64(hit);
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + j));
+        a = _mm256_add_epi64(a, _mm256_and_si256(vadd, mask64));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + j), a);
+    }
+    if (j < n)
+        scalarMaskedAddI64(acc + j, selectors + j, n - j, bit, addend);
+}
+
+ANYTIME_AVX2 void
+avx2SquaredDistancesRgb(const std::int32_t *cr, const std::int32_t *cg,
+                        const std::int32_t *cb, std::size_t n,
+                        std::int32_t pr, std::int32_t pg, std::int32_t pb,
+                        std::int32_t *out)
+{
+    const __m256i vpr = _mm256_set1_epi32(pr);
+    const __m256i vpg = _mm256_set1_epi32(pg);
+    const __m256i vpb = _mm256_set1_epi32(pb);
+    for (std::size_t j = 0; j < n; j += 8) {
+        const __m256i dr = _mm256_sub_epi32(
+            vpr, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(cr + j)));
+        const __m256i dg = _mm256_sub_epi32(
+            vpg, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(cg + j)));
+        const __m256i db = _mm256_sub_epi32(
+            vpb, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(cb + j)));
+        const __m256i sum = _mm256_add_epi32(
+            _mm256_add_epi32(_mm256_mullo_epi32(dr, dr),
+                             _mm256_mullo_epi32(dg, dg)),
+            _mm256_mullo_epi32(db, db));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + j), sum);
+    }
+}
+
+/**
+ * Deinterleave helper: given the 16 ints at x[off .. off+15], return
+ * the 8 even-position elements x[off], x[off+2], ..., x[off+14].
+ */
+ANYTIME_AVX2 inline __m256i
+avx2GatherEvens(const std::int32_t *x)
+{
+    const __m256i even_idx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(x));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(x + 8));
+    const __m256i ap = _mm256_permutevar8x32_epi32(a, even_idx);
+    const __m256i bp = _mm256_permutevar8x32_epi32(b, even_idx);
+    return _mm256_permute2x128_si256(ap, bp, 0x20);
+}
+
+/** Companion to avx2GatherEvens: the 8 odd-position elements. */
+ANYTIME_AVX2 inline __m256i
+avx2GatherOdds(const std::int32_t *x)
+{
+    const __m256i even_idx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(x));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(x + 8));
+    const __m256i ap = _mm256_permutevar8x32_epi32(a, even_idx);
+    const __m256i bp = _mm256_permutevar8x32_epi32(b, even_idx);
+    return _mm256_permute2x128_si256(ap, bp, 0x31);
+}
+
+ANYTIME_AVX2 void
+avx2DwtPredict53(const std::int32_t *x, std::size_t n, std::int32_t *high)
+{
+    const std::size_t n_high = n / 2;
+    std::size_t i = 0;
+    // Vector main loop reads x[2i .. 2i+17]; stop before the edge.
+    while (i + 8 <= n_high && 2 * i + 18 <= n) {
+        const __m256i even = avx2GatherEvens(x + 2 * i);
+        const __m256i odd = avx2GatherOdds(x + 2 * i);
+        const __m256i even2 = avx2GatherEvens(x + 2 * i + 2);
+        const __m256i h = _mm256_sub_epi32(
+            odd,
+            _mm256_srai_epi32(_mm256_add_epi32(even, even2), 1));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(high + i), h);
+        i += 8;
+    }
+    for (; i < n_high; ++i) {
+        const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(2 * i + 1);
+        high[i] = x[mirrorIndex(c, n)] -
+                  ((x[mirrorIndex(c - 1, n)] + x[mirrorIndex(c + 1, n)]) >>
+                   1);
+    }
+}
+
+ANYTIME_AVX2 void
+avx2DwtUpdate53(const std::int32_t *x, const std::int32_t *high,
+                std::size_t n, std::int32_t *low)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    const __m256i two = _mm256_set1_epi32(2);
+    std::size_t i = 0;
+    if (n_high > 0) {
+        // i = 0 needs the d[-1] mirror; do it scalar.
+        low[0] = x[0] + ((high[0] + high[0] + 2) >> 2);
+        i = 1;
+        while (i + 8 <= n_high && 2 * i + 16 <= n) {
+            const __m256i even = avx2GatherEvens(x + 2 * i);
+            const __m256i dm1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(high + i - 1));
+            const __m256i d0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(high + i));
+            const __m256i s = _mm256_srai_epi32(
+                _mm256_add_epi32(_mm256_add_epi32(dm1, d0), two), 2);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(low + i),
+                                _mm256_add_epi32(even, s));
+            i += 8;
+        }
+    }
+    for (; i < n_low; ++i) {
+        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
+        low[i] = x[2 * i] + ((high[mirrorDetail(k - 1, n_high)] +
+                              high[mirrorDetail(k, n_high)] + 2) >>
+                             2);
+    }
+}
+
+ANYTIME_AVX2 void
+avx2DwtRecoverEven53(const std::int32_t *line, std::size_t n,
+                     std::int32_t *even)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    const std::int32_t *detail = line + n_low;
+    const __m256i two = _mm256_set1_epi32(2);
+    std::size_t i = 0;
+    if (n_high > 0) {
+        even[0] = line[0] - ((detail[0] + detail[0] + 2) >> 2);
+        i = 1;
+        while (i + 8 <= n_high) {
+            const __m256i s0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(line + i));
+            const __m256i dm1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(detail + i - 1));
+            const __m256i d0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(detail + i));
+            const __m256i s = _mm256_srai_epi32(
+                _mm256_add_epi32(_mm256_add_epi32(dm1, d0), two), 2);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(even + i),
+                                _mm256_sub_epi32(s0, s));
+            i += 8;
+        }
+    }
+    for (; i < n_low; ++i) {
+        const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i);
+        even[i] = line[i] - ((detail[mirrorDetail(k - 1, n_high)] +
+                              detail[mirrorDetail(k, n_high)] + 2) >>
+                             2);
+    }
+}
+
+ANYTIME_AVX2 void
+avx2DwtInterleave53(const std::int32_t *even, const std::int32_t *high,
+                    std::size_t n, std::int32_t *out)
+{
+    const std::size_t n_high = n / 2;
+    const std::size_t n_low = n - n_high;
+    std::size_t i = 0;
+    while (i + 8 <= n_high && i + 9 <= n_low) {
+        const __m256i ev0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(even + i));
+        const __m256i ev1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(even + i + 1));
+        const __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(high + i));
+        const __m256i odd = _mm256_add_epi32(
+            h, _mm256_srai_epi32(_mm256_add_epi32(ev0, ev1), 1));
+        const __m256i lo = _mm256_unpacklo_epi32(ev0, odd);
+        const __m256i hi = _mm256_unpackhi_epi32(ev0, odd);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + 2 * i),
+            _mm256_permute2x128_si256(lo, hi, 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + 2 * i + 8),
+            _mm256_permute2x128_si256(lo, hi, 0x31));
+        i += 8;
+    }
+    for (std::size_t k = i; k < n_low; ++k)
+        out[2 * k] = even[k];
+    for (std::size_t k = i; k < n_high; ++k) {
+        const std::int32_t e0 =
+            even[mirrorIndex(static_cast<std::ptrdiff_t>(2 * k), n) / 2];
+        const std::int32_t e1 = even[
+            mirrorIndex(static_cast<std::ptrdiff_t>(2 * k + 2), n) / 2];
+        out[2 * k + 1] = high[k] + ((e0 + e1) >> 1);
+    }
+}
+
+#undef ANYTIME_AVX2
+
+} // namespace
+
+const Ops *
+sse2OpsOrNull()
+{
+    static const Ops table = {
+        &scalarDotPadded8, // no FMA below AVX2: scalar is the spec
+        &scalarConvDotU8,
+        &sse2MaskedSumI32,
+        &sse2MaskedAddI64,
+        &scalarSquaredDistancesRgb,
+        &scalarDwtPredict53,
+        &scalarDwtUpdate53,
+        &scalarDwtRecoverEven53,
+        &scalarDwtInterleave53,
+        &scalarApplyLutU8,
+    };
+    return &table;
+}
+
+const Ops *
+avx2OpsOrNull()
+{
+    static const Ops table = {
+        &avx2DotPadded8,
+        &avx2ConvDotU8,
+        &avx2MaskedSumI32,
+        &avx2MaskedAddI64,
+        &avx2SquaredDistancesRgb,
+        &avx2DwtPredict53,
+        &avx2DwtUpdate53,
+        &avx2DwtRecoverEven53,
+        &avx2DwtInterleave53,
+        &scalarApplyLutU8, // byte-LUT gather does not vectorize
+    };
+    return &table;
+}
+
+bool
+cpuHasSse2()
+{
+    return true; // SSE2 is the x86-64 baseline
+}
+
+bool
+cpuHasAvx2Fma()
+{
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+}
+
+} // namespace anytime::simd::detail
+
+#else // !__x86_64__ || ANYTIME_SIMD_DISABLED
+
+namespace anytime::simd::detail {
+
+const Ops *
+sse2OpsOrNull()
+{
+    return nullptr;
+}
+
+const Ops *
+avx2OpsOrNull()
+{
+    return nullptr;
+}
+
+bool
+cpuHasSse2()
+{
+    return false;
+}
+
+bool
+cpuHasAvx2Fma()
+{
+    return false;
+}
+
+} // namespace anytime::simd::detail
+
+#endif

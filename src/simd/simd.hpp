@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the application hot paths.
+ *
+ * The anytime contract (every published version bit-identical to the
+ * single-worker scalar run) extends to vectorization: a kernel here is
+ * a *specification* of the exact arithmetic — lane layout, operation
+ * order, rounding — and every backend (scalar, SSE2, AVX2, NEON) must
+ * implement that specification bit-for-bit. Two rules make this
+ * possible:
+ *
+ *  1. Integer kernels are order-free by construction (two's-complement
+ *     wraparound sums commute exactly), so backends may reassociate.
+ *  2. Float kernels are specified as 8-lane fused-multiply-add
+ *     accumulation followed by a *fixed pairwise* horizontal reduction:
+ *     lanes (0+4, 1+5, 2+6, 3+7) → (s0+s2, s1+s3) → final add. The
+ *     scalar backend emulates the 8 lanes with std::fma, the AVX2
+ *     backend uses vfmadd231ps — both are single-rounding IEEE-754
+ *     operations, so the bits agree. (Plain SSE2 has no FMA, so the
+ *     float kernels fall back to the scalar-FMA implementation at that
+ *     level; the integer kernels still vectorize.)
+ *
+ * Dispatch is resolved once at runtime (cpuid on x86), can be forced
+ * with forceIsa() (tests, benches) or the ANYTIME_SIMD environment
+ * variable (off|scalar|sse2|avx2|neon|native), and is compiled out
+ * entirely with -DANYTIME_SIMD=OFF (every call then runs the scalar
+ * specification).
+ */
+
+#ifndef ANYTIME_SIMD_SIMD_HPP
+#define ANYTIME_SIMD_SIMD_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace anytime::simd {
+
+/** Instruction-set levels, in increasing capability order. */
+enum class Isa : std::uint8_t
+{
+    scalar = 0, ///< portable reference specification (always available)
+    sse2,       ///< x86-64 baseline: integer kernels only
+    avx2,       ///< x86 AVX2+FMA: all kernels
+    neon,       ///< aarch64 Advanced SIMD: all kernels
+};
+
+/** Human-readable ISA name ("scalar", "sse2", ...). */
+const char *isaName(Isa isa);
+
+/** True when @p isa can execute on this host and build. */
+bool isaSupported(Isa isa);
+
+/** Best ISA this host and build support. */
+Isa bestSupportedIsa();
+
+/**
+ * Currently active ISA. Resolved on first use: ANYTIME_SIMD env
+ * override if set, otherwise bestSupportedIsa().
+ */
+Isa activeIsa();
+
+/**
+ * Force dispatch to @p isa (must be supported — fatal otherwise).
+ * Used by the bit-identity tests and the scalar-vs-SIMD benches.
+ * Not meant to be raced against running stages: force, then run.
+ */
+void forceIsa(Isa isa);
+
+/** Drop any forceIsa()/env decision and re-resolve automatically. */
+void resetIsa();
+
+/**
+ * Kernel table for one ISA level. All pointers are always non-null.
+ *
+ * Lane/width contracts (callers must pad; kernels never read past the
+ * documented extent):
+ *  - dotPadded8: n is a multiple of 8; the 8-lane FMA + fixed pairwise
+ *    reduction specification above.
+ *  - convDotU8: reads `lanes` bytes (a multiple of 8) from each of
+ *    `rows` rows spaced `rowStride` apart — the caller guarantees all
+ *    of them are in bounds — converts u8→f32 (exact) and runs the same
+ *    8-lane FMA specification against `taps` (rows × lanes, row-major,
+ *    zero-padded). Padding taps are exactly 0.0f, and because pixel
+ *    values are non-negative, a zero tap contributes exactly +0.0f to
+ *    its lane, so padded lanes never perturb the sum.
+ *  - maskedSumI32 / maskedAddI64: arbitrary n, exact wraparound
+ *    integer arithmetic (order-free).
+ *  - squaredDistancesRgb: n is a multiple of 8 (pad the SoA arrays).
+ *  - DWT kernels: exact int32 elementwise lifting formulas (order-free).
+ *  - applyLutU8: arbitrary n, exact byte LUT.
+ */
+struct Ops
+{
+    /** Padded 8-lane FMA dot product; n % 8 == 0. */
+    float (*dotPadded8)(const float *taps, const float *vals,
+                        std::size_t n);
+
+    /**
+     * Convolution dot product over a row-strided u8 neighborhood:
+     * sum over rows r, lanes l of taps[r*lanes+l] * base[r*rowStride+l]
+     * per the 8-lane FMA specification. lanes % 8 == 0.
+     */
+    float (*convDotU8)(const std::uint8_t *base, std::size_t rowStride,
+                       std::size_t rows, std::size_t lanes,
+                       const float *taps);
+
+    /**
+     * Sum of values[j] (sign-extended to 64-bit) over every j where
+     * bit @p bit of selectors[j] is set; two's-complement wraparound.
+     */
+    std::int64_t (*maskedSumI32)(const std::int32_t *values,
+                                 const std::uint32_t *selectors,
+                                 std::size_t n, unsigned bit);
+
+    /**
+     * acc[j] += addend (wraparound) for every j where bit @p bit of
+     * selectors[j] is set.
+     */
+    void (*maskedAddI64)(std::int64_t *acc, const std::int32_t *selectors,
+                         std::size_t n, unsigned bit,
+                         std::int64_t addend);
+
+    /**
+     * out[j] = (pr-cr[j])^2 + (pg-cg[j])^2 + (pb-cb[j])^2 for j < n;
+     * channel values in [0,255] so the result fits int32 exactly.
+     * n % 8 == 0.
+     */
+    void (*squaredDistancesRgb)(const std::int32_t *cr,
+                                const std::int32_t *cg,
+                                const std::int32_t *cb, std::size_t n,
+                                std::int32_t pr, std::int32_t pg,
+                                std::int32_t pb, std::int32_t *out);
+
+    /**
+     * 5/3 forward predict: high[i] = x[2i+1] - ((x[2i] + x[2i+2]) >> 1)
+     * for i < n/2, with whole-sample mirroring at the right edge.
+     */
+    void (*dwtPredict53)(const std::int32_t *x, std::size_t n,
+                         std::int32_t *high);
+
+    /**
+     * 5/3 forward update: low[i] = x[2i] + ((d[i-1] + d[i] + 2) >> 2)
+     * for i < n - n/2, with d mirrored at both edges.
+     */
+    void (*dwtUpdate53)(const std::int32_t *x, const std::int32_t *high,
+                        std::size_t n, std::int32_t *low);
+
+    /**
+     * 5/3 inverse un-update: even[i] = line[i] - ((d[i-1]+d[i]+2) >> 2)
+     * where d[k] = line[n - n/2 + mirrored k].
+     */
+    void (*dwtRecoverEven53)(const std::int32_t *line, std::size_t n,
+                             std::int32_t *even);
+
+    /**
+     * 5/3 inverse interleave: out[2i] = even[i], out[2i+1] =
+     * high[i] + ((e[i] + e[i+1]) >> 1) with full-signal mirroring.
+     */
+    void (*dwtInterleave53)(const std::int32_t *even,
+                            const std::int32_t *high, std::size_t n,
+                            std::int32_t *out);
+
+    /** dst[i] = lut[src[i]] for i < n. */
+    void (*applyLutU8)(const std::uint8_t *src, std::size_t n,
+                       const std::uint8_t *lut, std::uint8_t *dst);
+};
+
+/** Kernel table of the currently active ISA. */
+const Ops &ops();
+
+/** Kernel table for a specific supported ISA (fatal if unsupported). */
+const Ops &opsFor(Isa isa);
+
+/**
+ * Dense byte histogram with four interleaved sub-counters (breaks the
+ * same-bin dependency chain; exact by commutativity of uint64 sums).
+ * Not ISA-dispatched — scatter increments do not vectorize — but lives
+ * here because it is the histeq inner-loop specification.
+ */
+inline void
+histogram256(const std::uint8_t *src, std::size_t n,
+             std::uint64_t bins[256])
+{
+    std::uint64_t sub0[256] = {}, sub1[256] = {}, sub2[256] = {},
+                  sub3[256] = {};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        ++sub0[src[i]];
+        ++sub1[src[i + 1]];
+        ++sub2[src[i + 2]];
+        ++sub3[src[i + 3]];
+    }
+    for (; i < n; ++i)
+        ++sub0[src[i]];
+    for (std::size_t v = 0; v < 256; ++v)
+        bins[v] += sub0[v] + sub1[v] + sub2[v] + sub3[v];
+}
+
+} // namespace anytime::simd
+
+#endif // ANYTIME_SIMD_SIMD_HPP

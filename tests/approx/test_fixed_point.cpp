@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "approx/fixed_point.hpp"
@@ -32,6 +33,40 @@ TEST(Fixed, Arithmetic)
     EXPECT_DOUBLE_EQ((a - b).toDouble(), 1.25);
     EXPECT_DOUBLE_EQ((a * b).toDouble(), 3.125);
     EXPECT_DOUBLE_EQ((a * Q16::fromDouble(-1.0)).toDouble(), -2.5);
+}
+
+TEST(Fixed, FromDoubleSaturatesOutOfRange)
+{
+    // Regression: an unclamped double-to-int32 cast of an out-of-range
+    // value is UB. fromDouble must saturate to the representable
+    // extremes instead.
+    constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+    EXPECT_EQ(Q16::fromDouble(1e12).raw(), kMax);
+    EXPECT_EQ(Q16::fromDouble(-1e12).raw(), kMin);
+    EXPECT_EQ(Q16::fromDouble(std::numeric_limits<double>::infinity()).raw(),
+              kMax);
+    EXPECT_EQ(
+        Q16::fromDouble(-std::numeric_limits<double>::infinity()).raw(),
+        kMin);
+    EXPECT_EQ(Q16::fromDouble(std::numeric_limits<double>::max()).raw(),
+              kMax);
+    // Just past the positive edge of Q16.16 (raw would be 2^31).
+    EXPECT_EQ(Q16::fromDouble(32768.0).raw(), kMax);
+    EXPECT_EQ(Q16::fromDouble(-32768.5).raw(), kMin);
+    // In-range values are unaffected by the clamping.
+    EXPECT_EQ(Q16::fromDouble(32767.0).raw(), 32767 << 16);
+    EXPECT_DOUBLE_EQ(Q16::fromDouble(-32768.0).toDouble(), -32768.0);
+}
+
+TEST(Fixed, FromDoubleNanMapsToZero)
+{
+    EXPECT_EQ(Q16::fromDouble(std::numeric_limits<double>::quiet_NaN())
+                  .raw(),
+              0);
+    EXPECT_EQ(Q16::fromDouble(-std::numeric_limits<double>::quiet_NaN())
+                  .raw(),
+              0);
 }
 
 TEST(Fixed, TruncatedKeepsTopBits)

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Scalar-vs-SIMD determinism for the application automatons. The
+ * vectorized kernels are specifications of the exact arithmetic, so a
+ * forced-scalar run and a run on the best ISA the host supports must
+ * publish bit-identical version timelines — at one worker and several,
+ * across all three permutation families: tree (conv2d, kmeans assign),
+ * LFSR (histeq histogram, both partition kinds), and sequential
+ * (matmul and reduced-precision conv2d bit planes).
+ *
+ * On hosts without any vector ISA both runs use the scalar table and
+ * the suite degenerates to a (still valid) self-consistency check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/conv2d.hpp"
+#include "apps/dwt53.hpp"
+#include "apps/histeq.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/matmul.hpp"
+#include "harness/profiler.hpp"
+#include "image/generate.hpp"
+#include "simd/simd.hpp"
+
+namespace anytime {
+namespace {
+
+using simd::Isa;
+
+constexpr unsigned kWorkerCounts[] = {1, 3};
+
+/** Restore automatic dispatch after each forced run. */
+struct IsaGuard
+{
+    ~IsaGuard() { simd::resetIsa(); }
+};
+
+template <typename T>
+std::vector<typename TimelineRecorder<T>::Entry>
+recordRun(Automaton &automaton, VersionedBuffer<T> &buffer)
+{
+    TimelineRecorder<T> recorder(buffer);
+    automaton.start();
+    automaton.waitUntilDone();
+    automaton.shutdown();
+    return recorder.entries();
+}
+
+template <typename T>
+void
+expectSameVersions(
+    const std::vector<typename TimelineRecorder<T>::Entry> &reference,
+    const std::vector<typename TimelineRecorder<T>::Entry> &versions,
+    const char *what, unsigned workers)
+{
+    ASSERT_EQ(versions.size(), reference.size())
+        << what << " workers " << workers;
+    for (std::size_t i = 0; i < versions.size(); ++i) {
+        EXPECT_EQ(versions[i].version, reference[i].version)
+            << what << " workers " << workers << " entry " << i;
+        EXPECT_EQ(versions[i].final, reference[i].final)
+            << what << " workers " << workers << " entry " << i;
+        EXPECT_TRUE(*versions[i].value == *reference[i].value)
+            << what << " workers " << workers << " version "
+            << versions[i].version << " diverged from scalar";
+    }
+}
+
+/**
+ * Run @p build + record under forced-scalar dispatch, then under the
+ * best supported ISA, and require identical timelines.
+ */
+template <typename T, typename MakeBundle>
+void
+compareScalarAgainstBest(MakeBundle make, const char *what,
+                         unsigned workers)
+{
+    IsaGuard guard;
+    simd::forceIsa(Isa::scalar);
+    std::vector<typename TimelineRecorder<T>::Entry> reference;
+    {
+        auto bundle = make();
+        reference = recordRun<T>(*bundle.automaton, *bundle.output);
+    }
+    ASSERT_FALSE(reference.empty()) << what;
+    ASSERT_TRUE(reference.back().final) << what;
+
+    simd::forceIsa(simd::bestSupportedIsa());
+    auto bundle = make();
+    const auto versions = recordRun<T>(*bundle.automaton, *bundle.output);
+    expectSameVersions<T>(reference, versions, what, workers);
+}
+
+TEST(SimdDeterminism, Conv2dTreeSampling)
+{
+    const GrayImage scene = generateScene(64, 48, 7);
+    const Kernel kernel = Kernel::gaussianBlur(2);
+    for (const unsigned workers : kWorkerCounts) {
+        compareScalarAgainstBest<GrayImage>(
+            [&] {
+                Conv2dConfig config;
+                config.publishCount = 16;
+                config.workers = workers;
+                return makeConv2dAutomaton(scene, kernel, config);
+            },
+            "conv2d", workers);
+    }
+}
+
+TEST(SimdDeterminism, Conv2dReducedPrecisionDigitElision)
+{
+    const GrayImage scene = generateScene(48, 40, 19);
+    const Kernel kernel = Kernel::gaussianBlur(2);
+    for (const unsigned precision : {2u, 4u, 6u}) {
+        for (const unsigned workers : kWorkerCounts) {
+            compareScalarAgainstBest<GrayImage>(
+                [&] {
+                    Conv2dConfig config;
+                    config.publishCount = 8;
+                    config.workers = workers;
+                    config.precisionBits = precision;
+                    return makeConv2dAutomaton(scene, kernel, config);
+                },
+                "conv2d-quantized", workers);
+        }
+    }
+}
+
+TEST(SimdDeterminism, KmeansAssignTreeSampling)
+{
+    const RgbImage scene = generateColorScene(48, 40, 3);
+    for (const unsigned workers : kWorkerCounts) {
+        IsaGuard guard;
+        auto make = [&] {
+            KmeansConfig config;
+            config.clusters = 6;
+            config.publishCount = 8;
+            config.workers = workers;
+            return makeKmeansAutomaton(scene, config);
+        };
+        simd::forceIsa(Isa::scalar);
+        std::vector<TimelineRecorder<KmeansAssignment>::Entry> reference;
+        KmeansResult scalar_final;
+        {
+            auto bundle = make();
+            TimelineRecorder<KmeansAssignment> assigns(*bundle.assignment);
+            bundle.automaton->start();
+            bundle.automaton->waitUntilDone();
+            bundle.automaton->shutdown();
+            reference = assigns.entries();
+            scalar_final = *bundle.output->read().value;
+        }
+        ASSERT_FALSE(reference.empty());
+
+        simd::forceIsa(simd::bestSupportedIsa());
+        auto bundle = make();
+        TimelineRecorder<KmeansAssignment> assigns(*bundle.assignment);
+        bundle.automaton->start();
+        bundle.automaton->waitUntilDone();
+        bundle.automaton->shutdown();
+        expectSameVersions<KmeansAssignment>(reference, assigns.entries(),
+                                             "kmeans", workers);
+        EXPECT_TRUE(*bundle.output->read().value == scalar_final)
+            << "workers " << workers;
+    }
+}
+
+TEST(SimdDeterminism, MatmulSequentialBitPlanes)
+{
+    IntMatrix a(12, 9, 0);
+    IntMatrix b(10, 12, 0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::int32_t>((i * 2654435761u) % 9973) - 4986;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::int32_t>((i * 40503u) % 7919) - 3959;
+    for (const unsigned workers : kWorkerCounts) {
+        compareScalarAgainstBest<LongMatrix>(
+            [&] {
+                MatmulConfig config;
+                config.planesPerPublish = 4;
+                config.workers = workers;
+                return makeMatmulAutomaton(a, b, config);
+            },
+            "matmul", workers);
+    }
+}
+
+TEST(SimdDeterminism, HisteqLfsrHistogramBothPartitionKinds)
+{
+    const GrayImage scene = generateScene(56, 42, 13);
+    for (const PartitionKind kind :
+         {PartitionKind::block, PartitionKind::cyclic}) {
+        for (const unsigned workers : kWorkerCounts) {
+            IsaGuard guard;
+            auto make = [&] {
+                HisteqConfig config;
+                config.histogramVersions = 6;
+                config.applyVersions = 8;
+                config.histogramWorkers = workers;
+                config.applyWorkers = workers;
+                config.histogramPartition = kind;
+                return makeHisteqAutomaton(scene, config);
+            };
+            simd::forceIsa(Isa::scalar);
+            std::vector<TimelineRecorder<PixelHistogram>::Entry> reference;
+            GrayImage scalar_final;
+            {
+                auto bundle = make();
+                TimelineRecorder<PixelHistogram> hists(*bundle.histogram);
+                bundle.automaton->start();
+                bundle.automaton->waitUntilDone();
+                bundle.automaton->shutdown();
+                reference = hists.entries();
+                scalar_final = *bundle.output->read().value;
+            }
+            ASSERT_FALSE(reference.empty());
+
+            simd::forceIsa(simd::bestSupportedIsa());
+            auto bundle = make();
+            TimelineRecorder<PixelHistogram> hists(*bundle.histogram);
+            bundle.automaton->start();
+            bundle.automaton->waitUntilDone();
+            bundle.automaton->shutdown();
+            expectSameVersions<PixelHistogram>(reference, hists.entries(),
+                                               partitionKindName(kind),
+                                               workers);
+            EXPECT_TRUE(*bundle.output->read().value == scalar_final)
+                << partitionKindName(kind) << " workers " << workers;
+        }
+    }
+}
+
+TEST(SimdDeterminism, Dwt53RoundTripAcrossIsas)
+{
+    IsaGuard guard;
+    const GrayImage scene = generateScene(57, 33, 5);
+    simd::forceIsa(Isa::scalar);
+    const WaveletImage scalar_forward = dwt53Forward(scene);
+    const GrayImage scalar_back = dwt53Inverse(scalar_forward);
+    simd::forceIsa(simd::bestSupportedIsa());
+    const WaveletImage vector_forward = dwt53Forward(scene);
+    EXPECT_TRUE(vector_forward == scalar_forward);
+    EXPECT_TRUE(dwt53Inverse(vector_forward) == scalar_back);
+    EXPECT_TRUE(dwt53Inverse(vector_forward) == scene);
+}
+
+} // namespace
+} // namespace anytime

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <memory>
 #include <sstream>
@@ -72,7 +73,9 @@ TEST_F(TraceNetOverflow, ConcurrentStreamsOverflowButExportStaysSane)
     const std::size_t burst = traceCapacityPerThread() / 2;
     constexpr int kClients = 4;
     std::vector<std::thread> clients;
-    std::vector<bool> ok(kClients, false);
+    // Plain bool array, NOT vector<bool>: each client thread writes its
+    // own element, and vector<bool>'s packed bits share a word.
+    std::array<bool, kClients> ok{};
     for (int i = 0; i < kClients; ++i) {
         clients.emplace_back([&, i] {
             net::RequestFrame frame;

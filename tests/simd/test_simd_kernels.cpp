@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Scalar-vs-vector bit-identity fuzz for the src/simd/ dispatch layer.
+ *
+ * Every kernel in simd::Ops is a *specification*; each vector backend
+ * the host supports must reproduce the scalar backend bit for bit —
+ * float kernels included (the spec fixes lane layout, FMA, and the
+ * pairwise reduction). Sizes deliberately include non-multiples of the
+ * vector width so backend tail handling is exercised, and integer
+ * inputs include the extremes so wraparound paths are hit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "apps/conv2d.hpp"
+#include "apps/kmeans.hpp"
+#include "approx/fixed_point.hpp"
+#include "image/generate.hpp"
+#include "simd/simd.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+namespace {
+
+using simd::Isa;
+
+/** Every vector ISA this host/build can run (may be empty). */
+std::vector<Isa>
+vectorIsas()
+{
+    std::vector<Isa> isas;
+    for (const Isa isa : {Isa::sse2, Isa::avx2, Isa::neon}) {
+        if (simd::isaSupported(isa))
+            isas.push_back(isa);
+    }
+    return isas;
+}
+
+/** Restore automatic dispatch when a test forces ISAs. */
+struct IsaGuard
+{
+    ~IsaGuard() { simd::resetIsa(); }
+};
+
+TEST(SimdDispatch, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(simd::isaSupported(Isa::scalar));
+    EXPECT_TRUE(simd::isaSupported(simd::bestSupportedIsa()));
+    EXPECT_TRUE(simd::isaSupported(simd::activeIsa()));
+}
+
+TEST(SimdDispatch, ForceAndResetChangeActiveIsa)
+{
+    IsaGuard guard;
+    simd::forceIsa(Isa::scalar);
+    EXPECT_EQ(simd::activeIsa(), Isa::scalar);
+    simd::resetIsa();
+    EXPECT_EQ(simd::activeIsa(), simd::bestSupportedIsa());
+}
+
+TEST(SimdDispatch, ForceUnsupportedIsaIsFatal)
+{
+    for (const Isa isa : {Isa::sse2, Isa::avx2, Isa::neon}) {
+        if (!simd::isaSupported(isa))
+            EXPECT_THROW(simd::forceIsa(isa), FatalError)
+                << simd::isaName(isa);
+    }
+}
+
+TEST(SimdDispatch, EnvironmentOverrideForcesScalar)
+{
+    IsaGuard guard;
+    ASSERT_EQ(setenv("ANYTIME_SIMD", "scalar", 1), 0);
+    simd::resetIsa();
+    EXPECT_EQ(simd::activeIsa(), Isa::scalar);
+    ASSERT_EQ(setenv("ANYTIME_SIMD", "bogus-isa", 1), 0);
+    simd::resetIsa();
+    EXPECT_THROW(simd::activeIsa(), FatalError);
+    unsetenv("ANYTIME_SIMD");
+}
+
+TEST(SimdDispatch, IsaNamesAreStable)
+{
+    EXPECT_STREQ(simd::isaName(Isa::scalar), "scalar");
+    EXPECT_STREQ(simd::isaName(Isa::sse2), "sse2");
+    EXPECT_STREQ(simd::isaName(Isa::avx2), "avx2");
+    EXPECT_STREQ(simd::isaName(Isa::neon), "neon");
+}
+
+TEST(SimdKernels, DotPadded8BitIdentical)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(20260808);
+    std::uniform_real_distribution<float> tap_dist(-2.0f, 2.0f);
+    std::uniform_real_distribution<float> val_dist(0.0f, 255.0f);
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (int round = 0; round < 200; ++round) {
+            const std::size_t n = 8 * (1 + rng() % 16);
+            std::vector<float> taps(n), vals(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                taps[i] = tap_dist(rng);
+                vals[i] = val_dist(rng);
+            }
+            const float a = scalar.dotPadded8(taps.data(), vals.data(), n);
+            const float b = vec.dotPadded8(taps.data(), vals.data(), n);
+            ASSERT_EQ(std::bit_cast<std::uint32_t>(a),
+                      std::bit_cast<std::uint32_t>(b))
+                << simd::isaName(isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, ConvDotU8BitIdentical)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(987654321);
+    std::uniform_real_distribution<float> tap_dist(-1.0f, 1.0f);
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (int round = 0; round < 100; ++round) {
+            const std::size_t rows = 1 + rng() % 9;
+            const std::size_t lanes = 8 * (1 + rng() % 3);
+            const std::size_t stride = lanes + rng() % 13;
+            std::vector<std::uint8_t> image(rows * stride);
+            for (auto &byte : image)
+                byte = static_cast<std::uint8_t>(rng());
+            std::vector<float> taps(rows * lanes);
+            for (auto &tap : taps)
+                tap = tap_dist(rng);
+            const float a = scalar.convDotU8(image.data(), stride, rows,
+                                             lanes, taps.data());
+            const float b = vec.convDotU8(image.data(), stride, rows,
+                                          lanes, taps.data());
+            ASSERT_EQ(std::bit_cast<std::uint32_t>(a),
+                      std::bit_cast<std::uint32_t>(b))
+                << simd::isaName(isa) << " rows=" << rows
+                << " lanes=" << lanes;
+        }
+    }
+}
+
+TEST(SimdKernels, MaskedSumI32TailsAndExtremes)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(13);
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (int round = 0; round < 100; ++round) {
+            const std::size_t n = 1 + rng() % 67; // every tail shape
+            std::vector<std::int32_t> values(n);
+            std::vector<std::uint32_t> selectors(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                values[i] = static_cast<std::int32_t>(rng());
+                selectors[i] = rng();
+            }
+            values[rng() % n] = std::numeric_limits<std::int32_t>::min();
+            values[rng() % n] = std::numeric_limits<std::int32_t>::max();
+            for (unsigned bit = 0; bit < 32; ++bit) {
+                ASSERT_EQ(scalar.maskedSumI32(values.data(),
+                                              selectors.data(), n, bit),
+                          vec.maskedSumI32(values.data(),
+                                           selectors.data(), n, bit))
+                    << simd::isaName(isa) << " n=" << n << " bit=" << bit;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, MaskedAddI64TailsAndExtremes)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937_64 rng(1234577);
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (int round = 0; round < 100; ++round) {
+            const std::size_t n = 1 + rng() % 37;
+            std::vector<std::int64_t> acc_a(n), acc_b(n);
+            std::vector<std::int32_t> selectors(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                acc_a[i] = static_cast<std::int64_t>(rng());
+                acc_b[i] = acc_a[i];
+                selectors[i] = static_cast<std::int32_t>(rng());
+            }
+            const auto addend = static_cast<std::int64_t>(rng());
+            for (unsigned bit = 0; bit < 32; ++bit) {
+                scalar.maskedAddI64(acc_a.data(), selectors.data(), n,
+                                    bit, addend);
+                vec.maskedAddI64(acc_b.data(), selectors.data(), n, bit,
+                                 addend);
+            }
+            ASSERT_EQ(acc_a, acc_b) << simd::isaName(isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, SquaredDistancesRgbBitIdentical)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(777);
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (int round = 0; round < 100; ++round) {
+            const std::size_t n = 8 * (1 + rng() % 8);
+            std::vector<std::int32_t> cr(n), cg(n), cb(n);
+            std::vector<std::int32_t> out_a(n), out_b(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                cr[i] = static_cast<std::int32_t>(rng() % 256);
+                cg[i] = static_cast<std::int32_t>(rng() % 256);
+                cb[i] = static_cast<std::int32_t>(rng() % 256);
+            }
+            const auto pr = static_cast<std::int32_t>(rng() % 256);
+            const auto pg = static_cast<std::int32_t>(rng() % 256);
+            const auto pb = static_cast<std::int32_t>(rng() % 256);
+            scalar.squaredDistancesRgb(cr.data(), cg.data(), cb.data(),
+                                       n, pr, pg, pb, out_a.data());
+            vec.squaredDistancesRgb(cr.data(), cg.data(), cb.data(), n,
+                                    pr, pg, pb, out_b.data());
+            ASSERT_EQ(out_a, out_b) << simd::isaName(isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, DwtLiftingKernelsBitIdentical)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(4242);
+    const std::size_t sizes[] = {2,  3,  4,  5,  7,  8,  9,  15, 16,
+                                 17, 31, 32, 33, 63, 64, 65, 100, 101};
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (const std::size_t n : sizes) {
+            const std::size_t n_high = n / 2;
+            const std::size_t n_low = n - n_high;
+            std::vector<std::int32_t> x(n);
+            for (auto &v : x)
+                v = static_cast<std::int32_t>(rng() % 2048) - 1024;
+
+            std::vector<std::int32_t> high_a(n_high), high_b(n_high);
+            scalar.dwtPredict53(x.data(), n, high_a.data());
+            vec.dwtPredict53(x.data(), n, high_b.data());
+            ASSERT_EQ(high_a, high_b)
+                << simd::isaName(isa) << " predict n=" << n;
+
+            std::vector<std::int32_t> low_a(n_low), low_b(n_low);
+            scalar.dwtUpdate53(x.data(), high_a.data(), n, low_a.data());
+            vec.dwtUpdate53(x.data(), high_a.data(), n, low_b.data());
+            ASSERT_EQ(low_a, low_b)
+                << simd::isaName(isa) << " update n=" << n;
+
+            // Inverse kernels run on the deinterleaved (low | high) line.
+            std::vector<std::int32_t> line(n);
+            std::copy(low_a.begin(), low_a.end(), line.begin());
+            std::copy(high_a.begin(), high_a.end(),
+                      line.begin() + static_cast<std::ptrdiff_t>(n_low));
+            std::vector<std::int32_t> even_a(n_low), even_b(n_low);
+            scalar.dwtRecoverEven53(line.data(), n, even_a.data());
+            vec.dwtRecoverEven53(line.data(), n, even_b.data());
+            ASSERT_EQ(even_a, even_b)
+                << simd::isaName(isa) << " recover n=" << n;
+
+            std::vector<std::int32_t> out_a(n), out_b(n);
+            scalar.dwtInterleave53(even_a.data(),
+                                   line.data() +
+                                       static_cast<std::ptrdiff_t>(n_low),
+                                   n, out_a.data());
+            vec.dwtInterleave53(even_a.data(),
+                                line.data() +
+                                    static_cast<std::ptrdiff_t>(n_low),
+                                n, out_b.data());
+            ASSERT_EQ(out_a, out_b)
+                << simd::isaName(isa) << " interleave n=" << n;
+            // And the lifting round-trips: the inverse pair recovers x.
+            ASSERT_EQ(out_a, x) << "roundtrip n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, ApplyLutU8BitIdentical)
+{
+    const auto &scalar = simd::opsFor(Isa::scalar);
+    std::mt19937 rng(31337);
+    std::array<std::uint8_t, 256> lut;
+    for (auto &v : lut)
+        v = static_cast<std::uint8_t>(rng());
+    for (const Isa isa : vectorIsas()) {
+        const auto &vec = simd::opsFor(isa);
+        for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{1001}}) {
+            std::vector<std::uint8_t> src(n), out_a(n), out_b(n);
+            for (auto &byte : src)
+                byte = static_cast<std::uint8_t>(rng());
+            scalar.applyLutU8(src.data(), n, lut.data(), out_a.data());
+            vec.applyLutU8(src.data(), n, lut.data(), out_b.data());
+            ASSERT_EQ(out_a, out_b) << simd::isaName(isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, Histogram256MatchesNaiveCount)
+{
+    std::mt19937 rng(5150);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{3}, std::size_t{4},
+                                std::size_t{1023}, std::size_t{4096}}) {
+        std::vector<std::uint8_t> src(n);
+        for (auto &byte : src)
+            byte = static_cast<std::uint8_t>(rng());
+        std::uint64_t expected[256] = {};
+        for (const std::uint8_t byte : src)
+            ++expected[byte];
+        std::uint64_t bins[256] = {};
+        simd::histogram256(src.data(), n, bins);
+        for (int v = 0; v < 256; ++v)
+            ASSERT_EQ(bins[v], expected[v]) << "bin " << v << " n=" << n;
+    }
+}
+
+TEST(SimdKernels, ConvolveIdenticalAcrossIsas)
+{
+    IsaGuard guard;
+    const GrayImage scene = generateScene(37, 23, 3);
+    for (const Kernel &kernel :
+         {Kernel::boxBlur(1), Kernel::gaussianBlur(2), Kernel::sharpen3x3(),
+          Kernel::gaussianBlur(4)}) {
+        simd::forceIsa(Isa::scalar);
+        const GrayImage reference = convolve(scene, kernel);
+        for (const Isa isa : vectorIsas()) {
+            simd::forceIsa(isa);
+            const GrayImage vec = convolve(scene, kernel);
+            EXPECT_TRUE(vec == reference)
+                << simd::isaName(isa) << " radius " << kernel.radius();
+        }
+    }
+}
+
+/**
+ * The QuantizedKernel digit-elision path must equal the plain masked
+ * bit-plane sum it documents: qtap = round(tap * 2^16) clamped, acc =
+ * sum(qtap_i * quantized pixel_i), rounded Q16.16 to a byte. Elision
+ * (OR-mask skips, early exit) must never change the output — on any
+ * ISA.
+ */
+TEST(SimdKernels, QuantizedKernelElisionIsInvisible)
+{
+    IsaGuard guard;
+    const GrayImage scene = generateScene(29, 31, 9);
+    const Kernel kernel = Kernel::gaussianBlur(2);
+    const QuantizedKernel quantized(kernel);
+    const int r = static_cast<int>(kernel.radius());
+
+    std::vector<Isa> isas = {Isa::scalar};
+    for (const Isa isa : vectorIsas())
+        isas.push_back(isa);
+
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        for (std::size_t y = 0; y < scene.height(); y += 3) {
+            for (std::size_t x = 0; x < scene.width(); x += 3) {
+                // Reference: naive integer plane-free evaluation.
+                std::int64_t acc = 0;
+                for (int dy = -r; dy <= r; ++dy) {
+                    for (int dx = -r; dx <= r; ++dx) {
+                        const double scaled = std::round(
+                            static_cast<double>(kernel.tap(dx, dy)) *
+                            65536.0);
+                        const auto qtap = static_cast<std::int64_t>(
+                            std::min(std::max(scaled, -16777216.0),
+                                     16777216.0));
+                        const std::uint8_t pixel = quantizePixel(
+                            scene.clampedAt(
+                                static_cast<std::ptrdiff_t>(x) + dx,
+                                static_cast<std::ptrdiff_t>(y) + dy),
+                            bits);
+                        acc += qtap * pixel;
+                    }
+                }
+                std::uint8_t expected = 0;
+                if (acc > 0) {
+                    const std::int64_t v = (acc + 32768) >> 16;
+                    expected = v >= 255
+                                   ? 255
+                                   : static_cast<std::uint8_t>(v);
+                }
+                for (const Isa isa : isas) {
+                    simd::forceIsa(isa);
+                    ASSERT_EQ(quantized.convolvePixel(scene, x, y, bits),
+                              expected)
+                        << simd::isaName(isa) << " bits=" << bits
+                        << " (" << x << "," << y << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, BitPlaneDotProductIdenticalAcrossIsas)
+{
+    IsaGuard guard;
+    std::mt19937 rng(90210);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 1 + rng() % 50;
+        std::vector<std::int32_t> inputs(n), weights(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            inputs[i] = static_cast<std::int32_t>(rng());
+            // Sparse planes so the OR-mask elision actually fires.
+            weights[i] = static_cast<std::int32_t>(rng() & rng() & rng());
+        }
+        simd::forceIsa(Isa::scalar);
+        std::vector<std::int64_t> reference;
+        {
+            BitPlaneDotProduct dot(inputs, weights);
+            while (!dot.precise())
+                reference.push_back(dot.step());
+        }
+        for (const Isa isa : vectorIsas()) {
+            simd::forceIsa(isa);
+            BitPlaneDotProduct dot(inputs, weights);
+            for (std::size_t k = 0; !dot.precise(); ++k)
+                ASSERT_EQ(dot.step(), reference[k])
+                    << simd::isaName(isa) << " plane " << k;
+        }
+    }
+}
+
+TEST(SimdKernels, NearestCentroidMatchesCentroidIndex)
+{
+    IsaGuard guard;
+    std::mt19937 rng(60606);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}, std::size_t{11},
+                                std::size_t{25}}) {
+        std::vector<RgbPixel> centroids(k);
+        for (auto &c : centroids)
+            c = RgbPixel{static_cast<std::uint8_t>(rng()),
+                         static_cast<std::uint8_t>(rng()),
+                         static_cast<std::uint8_t>(rng())};
+        // Duplicate a centroid so the first-wins tie-break is exercised.
+        if (k > 2)
+            centroids[k - 1] = centroids[0];
+        const CentroidIndex index(centroids);
+        std::vector<Isa> isas = {Isa::scalar};
+        for (const Isa isa : vectorIsas())
+            isas.push_back(isa);
+        for (int round = 0; round < 100; ++round) {
+            const RgbPixel pixel{static_cast<std::uint8_t>(rng()),
+                                 static_cast<std::uint8_t>(rng()),
+                                 static_cast<std::uint8_t>(rng())};
+            const unsigned expected = nearestCentroid(centroids, pixel);
+            for (const Isa isa : isas) {
+                simd::forceIsa(isa);
+                ASSERT_EQ(index.nearest(pixel), expected)
+                    << simd::isaName(isa) << " k=" << k;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace anytime
