@@ -1,7 +1,10 @@
 #include "apps/conv2d_storage.hpp"
 
 #include "core/source_stage.hpp"
+#include "simd/simd.hpp"
 #include "support/error.hpp"
+
+#include <vector>
 
 namespace anytime {
 
@@ -17,6 +20,13 @@ clampIndex(std::ptrdiff_t k, std::size_t n)
     return static_cast<std::size_t>(k);
 }
 
+std::uint8_t
+clampToByte(float v)
+{
+    return static_cast<std::uint8_t>(
+        v <= 0.f ? 0 : (v >= 255.f ? 255 : v + 0.5f));
+}
+
 } // namespace
 
 GrayImage
@@ -26,24 +36,38 @@ convolveFromStorage(ApproxStorage<std::uint8_t> &storage,
 {
     fatalIf(storage.size() != width * height,
             "convolveFromStorage: storage size mismatch");
-    const int r = static_cast<int>(kernel.radius());
+    const std::size_t r = kernel.radius();
+    const std::size_t side = 2 * r + 1;
+    const std::size_t lanes = kernel.paddedLanes();
+    const auto &ops = simd::ops();
     GrayImage out(width, height);
+    // Gather each clamped neighborhood into the padded SIMD layout and
+    // reduce through the ops table. The storage read sequence is the
+    // same as a scalar taps loop (side^2 reads per pixel, row-major),
+    // so the deterministic fault stream lands on the same words; the
+    // reduction follows the same 8-lane FMA specification as
+    // convolvePixel, so precise storage reproduces the plain
+    // convolution bit for bit. Padded lanes keep 0.0f values against
+    // 0.0f taps and never touch the storage device.
+    std::vector<float> scratch(side * lanes, 0.0f);
     for (std::size_t y = 0; y < height; ++y) {
         for (std::size_t x = 0; x < width; ++x) {
-            float acc = 0.f;
-            for (int dy = -r; dy <= r; ++dy) {
-                for (int dx = -r; dx <= r; ++dx) {
+            for (std::size_t row = 0; row < side; ++row) {
+                const std::size_t sy = clampIndex(
+                    static_cast<std::ptrdiff_t>(y + row) -
+                        static_cast<std::ptrdiff_t>(r),
+                    height);
+                for (std::size_t col = 0; col < side; ++col) {
                     const std::size_t sx = clampIndex(
-                        static_cast<std::ptrdiff_t>(x) + dx, width);
-                    const std::size_t sy = clampIndex(
-                        static_cast<std::ptrdiff_t>(y) + dy, height);
-                    acc += kernel.tap(dx, dy) *
-                           static_cast<float>(
-                               storage.read(sy * width + sx));
+                        static_cast<std::ptrdiff_t>(x + col) -
+                            static_cast<std::ptrdiff_t>(r),
+                        width);
+                    scratch[row * lanes + col] = static_cast<float>(
+                        storage.read(sy * width + sx));
                 }
             }
-            out.at(x, y) = static_cast<std::uint8_t>(
-                acc <= 0.f ? 0 : (acc >= 255.f ? 255 : acc + 0.5f));
+            out.at(x, y) = clampToByte(ops.dotPadded8(
+                kernel.paddedTaps(), scratch.data(), side * lanes));
         }
     }
     return out;

@@ -127,6 +127,12 @@ class VersionedBuffer : public BufferBase
      * Publish a new version (Property 3: atomic with respect to
      * readers). Copies @p value into a fresh immutable snapshot.
      *
+     * Every value that flows into a publish call must be computed
+     * deterministically — the determinism pass in tools/anytime_verify
+     * walks the call graph from publish[Shared] sites and flags PRNGs,
+     * wall-clock reads, thread ids, and hash-order iteration anywhere
+     * in the region that can feed a published version.
+     *
      * @param value    The new output version O_i.
      * @param is_final True iff this is the precise output O_n.
      */

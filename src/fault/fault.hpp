@@ -43,6 +43,13 @@
  * — single-writer by Property 2) fire on exactly the configured hit.
  * Corruption seeds derive from (plan seed, rule index, hit ordinal)
  * via splitmix64, so a corrupted value is reproducible bit-for-bit.
+ *
+ * The "Sites wired into the runtime" list above is a checked registry:
+ * tools/anytime_verify/registry_check.py cross-references every
+ * ANYTIME_FAULT_POINT / corruptSeed call site in src/ against this
+ * comment and against the chaos tests, and CI fails on drift in either
+ * direction. When wiring a new site, add it to the list above and
+ * exercise it under tests/.
  */
 
 #ifndef ANYTIME_FAULT_FAULT_HPP

@@ -28,6 +28,12 @@
  *  - traceCounter     -> counter events ("ph":"C") plotted as a track;
  *  - traceAsyncBegin/ -> async nestable events ("ph":"b"/"e") keyed by
  *    traceAsyncEnd       id, for request lifecycles that hop threads.
+ *
+ * Async span names form a checked registry: every name passed to
+ * traceAsyncBegin must also appear in a traceAsyncEnd somewhere in
+ * src/ (and vice versa) — tools/anytime_verify/registry_check.py
+ * enforces the pairing in CI, since an unmatched begin renders as a
+ * forever-open span in Perfetto and usually means a lifecycle leak.
  */
 
 #ifndef ANYTIME_OBS_TRACE_HPP

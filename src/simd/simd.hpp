@@ -25,6 +25,14 @@
  * variable (off|scalar|sse2|avx2|neon|native), and is compiled out
  * entirely with -DANYTIME_SIMD=OFF (every call then runs the scalar
  * specification).
+ *
+ * The flip side of the contract: kernel code over data-plane types
+ * (Image, ApproxStorage) outside src/simd/ must not accumulate floats
+ * with raw +=/-= loops — route the reduction through this ops table so
+ * there is exactly one arithmetic specification. The clang-tidy check
+ * anytime-raw-float-in-kernel and the whole-program SIMD-spec pass in
+ * tools/anytime_verify both enforce this; *Reference functions (scalar
+ * ground truth in tests) and floating-point metric helpers are exempt.
  */
 
 #ifndef ANYTIME_SIMD_SIMD_HPP

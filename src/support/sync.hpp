@@ -22,6 +22,14 @@
  * the capability is treated as held across the wait; predicates run
  * with the lock held, so guarded reads inside them are legitimate
  * (annotate predicate lambdas with ANYTIME_REQUIRES(mutex)).
+ *
+ * Because every acquisition in the tree goes through MutexLock, the
+ * whole-program analyzer (tools/anytime_verify, lock-order pass) can
+ * recover the global acquisition graph lexically: each MutexLock
+ * constructed while another is active contributes an ordering edge,
+ * and any cycle across translation units fails CI. Keep new lock
+ * acquisitions on this wrapper — a raw std::lock_guard is invisible
+ * to both analyses.
  */
 
 #ifndef ANYTIME_SUPPORT_SYNC_HPP

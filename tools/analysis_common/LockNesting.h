@@ -1,0 +1,288 @@
+//===--- LockNesting.h ------------------------------------------*- C++ -*-===//
+//
+// Shared lexical lock-nesting scanner over one function body, used by
+// both static-analysis front-ends in this repo:
+//
+//  - tools/anytime_lint (anytime-lock-order-hint): per-TU clang-tidy
+//    check flagging ordering-ambiguous nestings (two locks of the same
+//    mutex class, or the same mutex twice);
+//  - tools/anytime_verify (lock-order pass): whole-program analyzer
+//    that aggregates the nesting edges of every TU into one global
+//    acquisition graph and fails on cycles.
+//
+// The scanner tracks `anytime::MutexLock` scoped-lock variables (the
+// only sanctioned way to lock an `anytime::Mutex` — enforced by
+// -Wthread-safety) through one function body:
+//
+//  - a MutexLock declaration acquires; the end of its enclosing
+//    CompoundStmt releases (std::unique_lock destructor semantics);
+//  - manual `lock.unlock()` / `lock.lock()` calls deactivate and
+//    reactivate the tracked lock (the drop-around-slow-work pattern in
+//    service/server.cpp);
+//  - LambdaExpr bodies are NOT entered: a lambda executes later, on
+//    some other stack, so a lock acquired inside a callback is not
+//    nested under the lock held at the capture site. Each lambda's
+//    operator() is scanned as its own function.
+//
+// Mutex identity is a stable string key: `Class::member` for member
+// mutexes (template instantiations collapse onto the templated class,
+// so VersionedBuffer<int>::mutex and VersionedBuffer<Image>::mutex are
+// one graph node), `function::name` for locals and parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_ANALYSIS_COMMON_LOCK_NESTING_H
+#define ANYTIME_ANALYSIS_COMMON_LOCK_NESTING_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceLocation.h"
+#include "llvm/Support/Casting.h"
+
+namespace anytime_analysis {
+
+/// One tracked MutexLock variable within the function being scanned.
+struct ActiveLock {
+  const clang::VarDecl *var = nullptr;
+  /// Class-level identity of the locked mutex ("Class::member" or
+  /// "function::local") — the node name in the global lock graph.
+  /// Every instance of a class collapses onto one key.
+  std::string mutexKey;
+  /// Qualified name of the record owning the mutex member; empty for
+  /// locals/parameters/unrecognized expressions.
+  std::string mutexClass;
+  /// Instance-level identity when the base object is syntactically
+  /// resolvable ("this->Class::member", "arg->Class::member",
+  /// "function::local"); empty when the instance is unknown. Two
+  /// ActiveLocks with equal non-empty instanceKey are the same mutex
+  /// object (a re-acquire); equal mutexKey but different instanceKey
+  /// is two instances of one class.
+  std::string instanceKey;
+  clang::SourceLocation loc;
+  bool active = true;
+};
+
+/// Qualified record name with template instantiations collapsed onto
+/// the templated class (VersionedBuffer<int> -> anytime::VersionedBuffer).
+inline std::string lockRecordName(const clang::CXXRecordDecl *record) {
+  if (const auto *spec =
+          llvm::dyn_cast<clang::ClassTemplateSpecializationDecl>(record))
+    return spec->getSpecializedTemplate()->getQualifiedNameAsString();
+  return record->getQualifiedNameAsString();
+}
+
+inline const clang::CXXRecordDecl *lockAsRecord(clang::QualType type) {
+  if (type.isNull())
+    return nullptr;
+  return type.getNonReferenceType()->getAsCXXRecordDecl();
+}
+
+inline bool isMutexLockType(clang::QualType type) {
+  const clang::CXXRecordDecl *record = lockAsRecord(type);
+  return record != nullptr &&
+         lockRecordName(record) == "anytime::MutexLock";
+}
+
+/// Lexical scanner for MutexLock acquisitions in one function body.
+class LockNestingScanner {
+public:
+  /// Called when `incoming` is acquired while `held` is active.
+  using NestedFn =
+      std::function<void(const ActiveLock &held, const ActiveLock &incoming)>;
+  /// Called for every MutexLock acquisition, nested or not.
+  using AcquireFn = std::function<void(const ActiveLock &acquired)>;
+  /// Called for every resolved call made while >=1 lock is active.
+  using CallWithHeldFn = std::function<void(
+      const std::vector<ActiveLock> &held, const clang::FunctionDecl *callee,
+      clang::SourceLocation loc)>;
+
+  void scan(const clang::FunctionDecl *function, NestedFn onNested,
+            AcquireFn onAcquire = nullptr,
+            CallWithHeldFn onCallWithHeld = nullptr) {
+    if (function == nullptr || !function->hasBody())
+      return;
+    enclosing = function;
+    nested = std::move(onNested);
+    acquire = std::move(onAcquire);
+    callWithHeld = std::move(onCallWithHeld);
+    stack.clear();
+    walk(function->getBody());
+  }
+
+private:
+  /// Fill in the identity of the mutex expression passed to a
+  /// MutexLock constructor.
+  void mutexIdentity(const clang::Expr *expr, ActiveLock &lock) const {
+    const clang::Expr *stripped = expr->IgnoreParenImpCasts();
+    if (const auto *member = llvm::dyn_cast<clang::MemberExpr>(stripped)) {
+      const clang::ValueDecl *field = member->getMemberDecl();
+      std::string owner;
+      if (const auto *record =
+              llvm::dyn_cast<clang::CXXRecordDecl>(field->getDeclContext()))
+        owner = lockRecordName(record);
+      lock.mutexClass = owner;
+      lock.mutexKey = owner.empty()
+                          ? field->getNameAsString()
+                          : owner + "::" + field->getNameAsString();
+      const clang::Expr *base = member->getBase()->IgnoreParenImpCasts();
+      if (llvm::isa<clang::CXXThisExpr>(base))
+        lock.instanceKey = "this->" + lock.mutexKey;
+      else if (const auto *baseRef =
+                   llvm::dyn_cast<clang::DeclRefExpr>(base))
+        lock.instanceKey =
+            baseRef->getDecl()->getNameAsString() + "->" + lock.mutexKey;
+      return;
+    }
+    if (const auto *ref = llvm::dyn_cast<clang::DeclRefExpr>(stripped)) {
+      const clang::ValueDecl *decl = ref->getDecl();
+      const auto *var = llvm::dyn_cast<clang::VarDecl>(decl);
+      if (var != nullptr && var->isLocalVarDeclOrParm() &&
+          enclosing != nullptr)
+        lock.mutexKey = enclosing->getQualifiedNameAsString() +
+                        "::" + decl->getNameAsString();
+      else
+        lock.mutexKey = decl->getQualifiedNameAsString();
+      lock.instanceKey = lock.mutexKey;
+      return;
+    }
+    lock.mutexKey = "<expr>";
+  }
+
+  void handleVar(const clang::VarDecl *var) {
+    if (!isMutexLockType(var->getType())) {
+      if (var->hasInit())
+        walk(var->getInit());
+      return;
+    }
+    const clang::Expr *init = var->hasInit() ? var->getInit() : nullptr;
+    const clang::CXXConstructExpr *construct =
+        init != nullptr
+            ? llvm::dyn_cast<clang::CXXConstructExpr>(init->IgnoreImplicit())
+            : nullptr;
+    if (construct == nullptr || construct->getNumArgs() < 1)
+      return;
+    ActiveLock lock;
+    lock.var = var;
+    lock.loc = var->getBeginLoc();
+    mutexIdentity(construct->getArg(0), lock);
+    fireNested(lock);
+    stack.push_back(lock);
+    if (acquire)
+      acquire(stack.back());
+  }
+
+  void fireNested(const ActiveLock &incoming) const {
+    if (!nested)
+      return;
+    for (const ActiveLock &held : stack) {
+      if (held.active && held.var != incoming.var)
+        nested(held, incoming);
+    }
+  }
+
+  /// True when the call was a tracked lock's lock()/unlock().
+  bool handleLockMemberCall(const clang::CXXMemberCallExpr *call) {
+    const clang::CXXMethodDecl *method = call->getMethodDecl();
+    const clang::Expr *object = call->getImplicitObjectArgument();
+    if (method == nullptr || object == nullptr)
+      return false;
+    const auto *ref =
+        llvm::dyn_cast<clang::DeclRefExpr>(object->IgnoreParenImpCasts());
+    if (ref == nullptr)
+      return false;
+    for (ActiveLock &held : stack) {
+      if (held.var != ref->getDecl())
+        continue;
+      if (method->getNameAsString() == "unlock") {
+        held.active = false;
+        return true;
+      }
+      if (method->getNameAsString() == "lock") {
+        held.active = true;
+        held.loc = call->getBeginLoc();
+        fireNested(held);
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  void noteCall(const clang::FunctionDecl *callee,
+                clang::SourceLocation loc) const {
+    if (!callWithHeld || callee == nullptr)
+      return;
+    std::vector<ActiveLock> held;
+    for (const ActiveLock &lock : stack)
+      if (lock.active)
+        held.push_back(lock);
+    if (!held.empty())
+      callWithHeld(held, callee, loc);
+  }
+
+  void walk(const clang::Stmt *stmt) {
+    if (stmt == nullptr)
+      return;
+    // A lambda body runs later on some other stack; locks taken there
+    // are not nested under locks held at the capture site.
+    if (llvm::isa<clang::LambdaExpr>(stmt))
+      return;
+    if (const auto *compound = llvm::dyn_cast<clang::CompoundStmt>(stmt)) {
+      const std::size_t mark = stack.size();
+      for (const clang::Stmt *child : compound->body())
+        walk(child);
+      stack.resize(mark);
+      return;
+    }
+    if (const auto *declStmt = llvm::dyn_cast<clang::DeclStmt>(stmt)) {
+      for (const clang::Decl *decl : declStmt->decls())
+        if (const auto *var = llvm::dyn_cast<clang::VarDecl>(decl))
+          handleVar(var);
+      return;
+    }
+    if (const auto *memberCall =
+            llvm::dyn_cast<clang::CXXMemberCallExpr>(stmt)) {
+      if (handleLockMemberCall(memberCall))
+        return;
+      noteCall(memberCall->getDirectCallee(), memberCall->getBeginLoc());
+      for (const clang::Stmt *child : memberCall->children())
+        walk(child);
+      return;
+    }
+    if (const auto *call = llvm::dyn_cast<clang::CallExpr>(stmt)) {
+      noteCall(call->getDirectCallee(), call->getBeginLoc());
+      for (const clang::Stmt *child : call->children())
+        walk(child);
+      return;
+    }
+    if (const auto *construct =
+            llvm::dyn_cast<clang::CXXConstructExpr>(stmt)) {
+      noteCall(construct->getConstructor(), construct->getBeginLoc());
+      for (const clang::Stmt *child : construct->children())
+        walk(child);
+      return;
+    }
+    for (const clang::Stmt *child : stmt->children())
+      walk(child);
+  }
+
+  const clang::FunctionDecl *enclosing = nullptr;
+  NestedFn nested;
+  AcquireFn acquire;
+  CallWithHeldFn callWithHeld;
+  std::vector<ActiveLock> stack;
+};
+
+} // namespace anytime_analysis
+
+#endif // ANYTIME_ANALYSIS_COMMON_LOCK_NESTING_H

@@ -17,6 +17,9 @@ CHECKS = {
     "anytime-no-wallclock-in-stage-body": "wallclock",
     "anytime-publish-discipline": "publish",
     "anytime-narrow-accumulator": "narrow",
+    "anytime-lock-order-hint": "lockhint",
+    "anytime-unordered-iteration-in-merge": "unordered",
+    "anytime-raw-float-in-kernel": "rawfloat",
 }
 
 
@@ -32,6 +35,11 @@ def main() -> int:
         config_text = clang_tidy_config.read_text()
         if "anytime-" not in config_text:
             failures.append(".clang-tidy does not enable the anytime-* checks")
+        for check in CHECKS:
+            if check not in config_text:
+                failures.append(
+                    f"{check} is missing from .clang-tidy WarningsAsErrors"
+                )
     else:
         failures.append(".clang-tidy missing at repo root")
 

@@ -8,6 +8,7 @@
 #ifndef ANYTIME_LINT_FIXTURES_ANYTIME_STUB_HPP
 #define ANYTIME_LINT_FIXTURES_ANYTIME_STUB_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -56,6 +57,60 @@ runPartitionedSweep(StageContext &ctx, SweepGang<P> &gang,
   window(partial, std::uint64_t{0}, layout.steps);
   return SweepStatus::completed;
 }
+
+// Shapes mirrored from src/support/sync.hpp: the lock checks key on
+// the qualified names anytime::Mutex / anytime::MutexLock.
+class Mutex {
+public:
+  void lock() {}
+  void unlock() {}
+};
+
+class MutexLock {
+public:
+  explicit MutexLock(Mutex &mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() { unlock(); }
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+  void lock() { mutex_.lock(); }
+  void unlock() { mutex_.unlock(); }
+
+private:
+  Mutex &mutex_;
+};
+
+// Data-plane shapes mirrored from src/image/image.hpp and
+// src/approx/storage.hpp: anytime-raw-float-in-kernel keys on
+// functions taking these by value or reference.
+template <typename T>
+class Image {
+public:
+  Image(int width, int height)
+      : width_(width), height_(height),
+        data_(new T[static_cast<unsigned>(width * height)]()) {}
+  int width() const { return width_; }
+  int height() const { return height_; }
+  T &at(int x, int y) { return data_[y * width_ + x]; }
+  const T &at(int x, int y) const { return data_[y * width_ + x]; }
+
+private:
+  int width_ = 0;
+  int height_ = 0;
+  std::unique_ptr<T[]> data_;
+};
+
+using GrayImage = Image<std::uint8_t>;
+
+template <typename T>
+class ApproxStorage {
+public:
+  explicit ApproxStorage(std::size_t size) : data_(new T[size]()) {}
+  T read(std::size_t index) const { return data_[index]; }
+  void write(std::size_t index, T value) { data_[index] = value; }
+
+private:
+  std::unique_ptr<T[]> data_;
+};
 
 } // namespace anytime
 

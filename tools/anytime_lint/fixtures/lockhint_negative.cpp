@@ -1,0 +1,88 @@
+// Fixture: anytime-lock-order-hint must stay completely silent.
+// Cross-class nesting (the whole-program lock graph in anytime_verify
+// owns that judgement), hand-off release-then-acquire, sequential
+// non-nested scopes, and a lock taken inside a deferred lambda are all
+// legitimate patterns in src/.
+
+#include "anytime_stub.hpp"
+
+namespace {
+
+struct Queue {
+  anytime::Mutex mutex;
+  int depth = 0;
+};
+
+struct Scheduler {
+  anytime::Mutex mutex;
+  int pending = 0;
+};
+
+// Cross-class nesting follows one global order; the per-TU hint has
+// nothing to say about it.
+void
+dispatch(Scheduler &scheduler, Queue &queue) {
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  anytime::MutexLock queueLock(queue.mutex);
+  ++scheduler.pending;
+  ++queue.depth;
+}
+
+// Hand-off: the first instance is released before the second of the
+// same class is acquired — never two held at once.
+void
+rebalance(Queue &from, Queue &to) {
+  anytime::MutexLock fromLock(from.mutex);
+  const int moved = from.depth;
+  from.depth = 0;
+  fromLock.unlock();
+  anytime::MutexLock toLock(to.mutex);
+  to.depth += moved;
+}
+
+// Sequential scopes, one lock each (the markDegradedFinal pattern in
+// core/buffer.hpp).
+void
+drainTwice(Queue &queue) {
+  {
+    anytime::MutexLock lock(queue.mutex);
+    queue.depth = 0;
+  }
+  {
+    anytime::MutexLock lock(queue.mutex);
+    queue.depth = 0;
+  }
+}
+
+// A lambda body runs later on another stack: the lock it takes is not
+// nested under the lock held at the capture site.
+template <typename Fn>
+void
+defer(Fn &&fn) {
+  fn();
+}
+
+void
+scheduleCallback(Scheduler &scheduler) {
+  anytime::MutexLock lock(scheduler.mutex);
+  ++scheduler.pending;
+  lock.unlock();
+  defer([&scheduler] {
+    anytime::MutexLock callbackLock(scheduler.mutex);
+    --scheduler.pending;
+  });
+}
+
+} // namespace
+
+int
+main() {
+  Scheduler scheduler;
+  Queue a;
+  Queue b;
+  dispatch(scheduler, a);
+  rebalance(a, b);
+  drainTwice(b);
+  scheduleCallback(scheduler);
+  return scheduler.pending + a.depth;
+}

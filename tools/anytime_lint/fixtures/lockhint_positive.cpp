@@ -1,0 +1,59 @@
+// Fixture: anytime-lock-order-hint must fire on every marked line.
+// Two ambiguous nestings: acquiring a second mutex of the same class
+// (instance order depends on the call site), and re-acquiring a mutex
+// this scope already holds (anytime::Mutex is non-recursive).
+
+#include "anytime_stub.hpp"
+
+namespace {
+
+struct Account {
+  anytime::Mutex mutex;
+  long balance = 0;
+};
+
+void
+transfer(Account &from, Account &to, long amount) {
+  anytime::MutexLock fromLock(from.mutex);
+  anytime::MutexLock toLock(to.mutex); // expect-warning
+  from.balance -= amount;
+  to.balance += amount;
+}
+
+class Ledger {
+public:
+  void
+  settle() {
+    anytime::MutexLock outer(mutex_);
+    anytime::MutexLock inner(mutex_); // expect-warning
+    ++generation_;
+  }
+
+private:
+  anytime::Mutex mutex_;
+  unsigned long generation_ = 0;
+};
+
+long
+auditLocal(anytime::Mutex &ledgerMutex) {
+  anytime::MutexLock first(ledgerMutex);
+  long sum = 0;
+  {
+    anytime::MutexLock again(ledgerMutex); // expect-warning
+    ++sum;
+  }
+  return sum;
+}
+
+} // namespace
+
+int
+main() {
+  Account a;
+  Account b;
+  transfer(a, b, 10);
+  Ledger ledger;
+  ledger.settle();
+  anytime::Mutex mutex;
+  return static_cast<int>(auditLocal(mutex)) - 1;
+}

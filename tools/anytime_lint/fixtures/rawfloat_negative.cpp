@@ -1,0 +1,72 @@
+// Fixture: anytime-raw-float-in-kernel must stay completely silent.
+// The exemptions are load-bearing: *Reference* functions are the
+// scalar oracle the SIMD spec is validated against, floating-point
+// returns mark quality metrics (reported, never published), integer
+// accumulation is the fixed-point path, and functions without
+// data-plane parameters don't touch published pixels.
+
+#include "anytime_stub.hpp"
+
+#include <cstdint>
+
+namespace {
+
+// The scalar oracle: deliberately plain accumulation, exempted by
+// name so tests can diff SIMD output against it.
+std::uint8_t
+convolveRowReference(const anytime::GrayImage &src, const float *taps,
+                     int count) {
+  float acc = 0.f;
+  for (int i = 0; i < count; ++i) {
+    acc += taps[i] * static_cast<float>(src.at(i, 0));
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+// Quality metric: floating-point return means the result is reported,
+// not written into a published buffer.
+double
+meanValue(const anytime::GrayImage &image) {
+  double sum = 0.0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      sum += static_cast<double>(image.at(x, y));
+    }
+  }
+  return sum / (image.width() * image.height());
+}
+
+// Integer accumulation: the fixed-point contract, not raw floats.
+std::uint64_t
+pixelSum(const anytime::GrayImage &image) {
+  std::uint64_t sum = 0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      sum += image.at(x, y);
+    }
+  }
+  return sum;
+}
+
+// No data-plane parameter: tap construction is setup math, not a
+// kernel loop over pixels.
+float
+taperWeight(const float *taps, int count) {
+  float total = 0.f;
+  for (int i = 0; i < count; ++i) {
+    total += taps[i];
+  }
+  return total;
+}
+
+} // namespace
+
+int
+main() {
+  anytime::GrayImage image(4, 4);
+  const float taps[3] = {0.25f, 0.5f, 0.25f};
+  return convolveRowReference(image, taps, 3) +
+         static_cast<int>(meanValue(image)) +
+         static_cast<int>(pixelSum(image)) +
+         static_cast<int>(taperWeight(taps, 3));
+}

@@ -1,0 +1,42 @@
+// Fixture: anytime-raw-float-in-kernel must fire on every marked
+// line. A hand-rolled floating-point accumulation loop in a
+// data-plane function re-derives the arithmetic with its own
+// association order, forking the SIMD ops-table specification.
+
+#include "anytime_stub.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace {
+
+std::uint8_t
+applyTaps(const anytime::GrayImage &src, const float *taps, int count) {
+  float acc = 0.f;
+  for (int i = 0; i < count; ++i) {
+    acc += taps[i] * static_cast<float>(src.at(i, 0)); // expect-warning
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+std::uint8_t
+foldStorage(anytime::ApproxStorage<std::uint8_t> &storage,
+            std::size_t count) {
+  float bias = 255.f;
+  std::size_t index = 0;
+  while (index < count) {
+    bias -= 0.5f * static_cast<float>(storage.read(index)); // expect-warning
+    ++index;
+  }
+  return static_cast<std::uint8_t>(bias);
+}
+
+} // namespace
+
+int
+main() {
+  anytime::GrayImage image(8, 8);
+  const float taps[3] = {0.25f, 0.5f, 0.25f};
+  anytime::ApproxStorage<std::uint8_t> storage(8);
+  return applyTaps(image, taps, 3) + foldStorage(storage, 8);
+}

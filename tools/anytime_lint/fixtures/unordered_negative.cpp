@@ -1,0 +1,64 @@
+// Fixture: anytime-unordered-iteration-in-merge must stay completely
+// silent. Ordered containers in merges are fine; unordered containers
+// are fine outside deterministic-replay context (export paths, debug
+// endpoints).
+
+#include "anytime_stub.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+
+// Ordered container in a merge: visit order is defined.
+double
+mergePartials(const std::map<unsigned, double> &partials) {
+  double sum = 0.0;
+  for (const auto &entry : partials) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+// Vector in a stage body: index order is defined.
+class SumStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    for (const unsigned value : values_) {
+      total_ += value;
+    }
+  }
+
+private:
+  std::vector<unsigned> values_;
+  std::uint64_t total_ = 0;
+};
+
+// Unordered iteration outside stage/merge context: the trace/metric
+// export path may emit in any order.
+std::size_t
+exportCounters(const std::unordered_map<std::string, long> &counters) {
+  std::size_t emitted = 0;
+  for (const auto &entry : counters) {
+    emitted += entry.first.size() + static_cast<bool>(entry.second);
+  }
+  return emitted;
+}
+
+} // namespace
+
+int
+main() {
+  std::map<unsigned, double> partials;
+  SumStage stage;
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  std::unordered_map<std::string, long> counters;
+  return static_cast<int>(mergePartials(partials)) +
+         static_cast<int>(exportCounters(counters));
+}

@@ -1,0 +1,66 @@
+// Fixture: anytime-unordered-iteration-in-merge must fire on every
+// marked line. Iterating a hash container in a stage body or leader
+// merge makes the visit order depend on hashing and insertion history,
+// which breaks bit-identity across worker counts.
+
+#include "anytime_stub.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace {
+
+class HistogramStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    for (const unsigned bin : touched_) { // expect-warning
+      total_ += bin;
+    }
+  }
+
+private:
+  std::unordered_set<unsigned> touched_;
+  std::uint64_t total_ = 0;
+};
+
+double
+mergePartials(const std::unordered_map<unsigned, double> &partials) {
+  double sum = 0.0;
+  for (const auto &entry : partials) { // expect-warning
+    sum += entry.second;
+  }
+  return sum;
+}
+
+int
+sweepOverBuckets(std::unordered_map<unsigned, int> &buckets) {
+  anytime::StageContext ctx;
+  anytime::SweepGang<int> gang;
+  anytime::SweepLayout layout;
+  layout.steps = 1;
+  anytime::runPartitionedSweep(
+      ctx, gang, layout, [](int &partial) { partial = 0; },
+      [&buckets](unsigned long, int &partial, anytime::StageContext &) {
+        for (const auto &entry : buckets) { // expect-warning
+          partial += entry.second;
+        }
+      },
+      [](int &, unsigned long, unsigned long) { return true; });
+  return gang.partial;
+}
+
+} // namespace
+
+int
+main() {
+  HistogramStage stage;
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  std::unordered_map<unsigned, double> partials;
+  std::unordered_map<unsigned, int> buckets;
+  return static_cast<int>(mergePartials(partials)) +
+         sweepOverBuckets(buckets);
+}

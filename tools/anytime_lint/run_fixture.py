@@ -5,12 +5,15 @@ A fixture marks every line that must produce a diagnostic with a
 trailing ``// expect-warning`` comment; a fixture with no markers is a
 negative fixture and must come back completely clean. The runner fails
 when a marked line stays silent, when an unmarked line fires, or when
-the fixture does not compile.
+the fixture does not compile. On failure it prints a unified diff of
+the expected-vs-actual diagnostic lines so the divergence is readable
+at a glance in CI logs.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import re
 import subprocess
 import sys
@@ -21,8 +24,9 @@ MARKER = "// expect-warning"
 
 def expected_lines(fixture: Path) -> set[int]:
     lines = set()
-    for number, text in enumerate(fixture.read_text().splitlines(), start=1):
-        if MARKER in text:
+    text = fixture.read_text()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if MARKER in line:
             lines.add(number)
     return lines
 
@@ -39,6 +43,51 @@ def reported_lines(output: str, fixture: Path, check: str) -> set[int]:
         if Path(match.group("file")).name == fixture.name:
             lines.add(int(match.group("line")))
     return lines
+
+
+def render_diagnostics(lines: set[int], check: str) -> list[str]:
+    """Canonical one-per-line rendering used for the failure diff."""
+    return [f"line {number}: warning [{check}]" for number in sorted(lines)]
+
+
+def diagnostics_diff(
+    expected: set[int], reported: set[int], check: str, fixture_name: str
+) -> str:
+    """Unified diff between expected and actual diagnostic sets."""
+    diff = difflib.unified_diff(
+        render_diagnostics(expected, check),
+        render_diagnostics(reported, check),
+        fromfile=f"{fixture_name} (expected diagnostics)",
+        tofile=f"{fixture_name} (actual diagnostics)",
+        lineterm="",
+    )
+    return "\n".join(diff)
+
+
+def grade(
+    expected: set[int], reported: set[int], check: str, fixture_name: str
+) -> tuple[bool, str]:
+    """Return (ok, report). The report explains a failing grade."""
+    if expected == reported:
+        kind = "positive" if expected else "negative"
+        return True, (
+            f"PASS: {check} on {fixture_name} "
+            f"({kind}, {len(expected)} expected diagnostics)"
+        )
+    lines = [diagnostics_diff(expected, reported, check, fixture_name)]
+    missing = sorted(expected - reported)
+    unexpected = sorted(reported - expected)
+    if missing:
+        lines.append(
+            f"FAIL: {check} stayed silent on marked line(s) "
+            f"{missing} of {fixture_name}"
+        )
+    if unexpected:
+        lines.append(
+            f"FAIL: {check} fired on unmarked line(s) "
+            f"{unexpected} of {fixture_name}"
+        )
+    return False, "\n".join(lines)
 
 
 def main() -> int:
@@ -68,28 +117,11 @@ def main() -> int:
 
     expected = expected_lines(args.fixture)
     reported = reported_lines(result.stdout, args.fixture, args.check)
-    missing = sorted(expected - reported)
-    unexpected = sorted(reported - expected)
-    if missing or unexpected:
+    ok, report = grade(expected, reported, args.check, args.fixture.name)
+    if not ok:
         print(output)
-        if missing:
-            print(
-                f"FAIL: {args.check} stayed silent on marked line(s) "
-                f"{missing} of {args.fixture.name}"
-            )
-        if unexpected:
-            print(
-                f"FAIL: {args.check} fired on unmarked line(s) "
-                f"{unexpected} of {args.fixture.name}"
-            )
-        return 1
-
-    kind = "positive" if expected else "negative"
-    print(
-        f"PASS: {args.check} on {args.fixture.name} "
-        f"({kind}, {len(expected)} expected diagnostics)"
-    )
-    return 0
+    print(report)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

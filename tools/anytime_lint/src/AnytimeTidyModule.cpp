@@ -13,9 +13,12 @@
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
+#include "LockOrderHintCheck.h"
 #include "NarrowAccumulatorCheck.h"
 #include "NoWallclockInStageBodyCheck.h"
 #include "PublishDisciplineCheck.h"
+#include "RawFloatInKernelCheck.h"
+#include "UnorderedIterationInMergeCheck.h"
 
 namespace clang::tidy {
 namespace anytime {
@@ -29,6 +32,12 @@ public:
         "anytime-publish-discipline");
     CheckFactories.registerCheck<NarrowAccumulatorCheck>(
         "anytime-narrow-accumulator");
+    CheckFactories.registerCheck<LockOrderHintCheck>(
+        "anytime-lock-order-hint");
+    CheckFactories.registerCheck<UnorderedIterationInMergeCheck>(
+        "anytime-unordered-iteration-in-merge");
+    CheckFactories.registerCheck<RawFloatInKernelCheck>(
+        "anytime-raw-float-in-kernel");
   }
 };
 

@@ -1,0 +1,51 @@
+//===--- LockOrderHintCheck.cpp -------------------------------------------===//
+
+#include "LockOrderHintCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+#include "LockNesting.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+void
+LockOrderHintCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(stmt())).bind("function"), this);
+}
+
+void
+LockOrderHintCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Function = Result.Nodes.getNodeAs<FunctionDecl>("function");
+  if (Function == nullptr || !Function->doesThisDeclarationHaveABody())
+    return;
+  anytime_analysis::LockNestingScanner Scanner;
+  Scanner.scan(Function, [this](const anytime_analysis::ActiveLock &Held,
+                                const anytime_analysis::ActiveLock &Incoming) {
+    if (!Held.instanceKey.empty() &&
+        Held.instanceKey == Incoming.instanceKey) {
+      diag(Incoming.loc,
+           "re-acquiring mutex '%0' already held in this scope; "
+           "anytime::Mutex is non-recursive, this self-deadlocks")
+          << Held.mutexKey;
+      diag(Held.loc, "first acquired here", DiagnosticIDs::Note);
+      return;
+    }
+    if (Held.mutexKey == Incoming.mutexKey ||
+        (!Held.mutexClass.empty() &&
+         Held.mutexClass == Incoming.mutexClass)) {
+      diag(Incoming.loc,
+           "acquiring '%0' while holding '%1' nests two mutexes of the "
+           "same class '%2'; two instances lock in call-site order, "
+           "which deadlocks under inverted pairs — order by a stable "
+           "key or restructure to hold one at a time")
+          << Incoming.mutexKey << Held.mutexKey << Held.mutexClass;
+      diag(Held.loc, "outer lock acquired here", DiagnosticIDs::Note);
+    }
+  });
+}
+
+} // namespace clang::tidy::anytime

@@ -1,0 +1,45 @@
+//===--- LockOrderHintCheck.h -----------------------------------*- C++ -*-===//
+//
+// anytime-lock-order-hint
+//
+// -Werror=thread-safety proves per-function lock discipline but says
+// nothing about acquisition ORDER, and the whole-program lock-order
+// pass in tools/anytime_verify only runs over the full compile
+// database in CI. This check is the fast per-TU early warning for the
+// two nestings that are deadlock-ambiguous on their face:
+//
+//  - acquiring a mutex while already holding a mutex that lives in the
+//    same class (two instances of one type lock in whatever order the
+//    call site happens to use — the classic transfer(a, b) /
+//    transfer(b, a) deadlock);
+//  - re-acquiring a mutex this function already holds (self-deadlock:
+//    anytime::Mutex is non-recursive).
+//
+// Cross-class nestings are left to anytime_verify, which sees every TU
+// and can certify the global graph acyclic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_LOCK_ORDER_HINT_CHECK_H
+#define ANYTIME_LINT_LOCK_ORDER_HINT_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class LockOrderHintCheck : public ClangTidyCheck {
+public:
+  LockOrderHintCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_LOCK_ORDER_HINT_CHECK_H

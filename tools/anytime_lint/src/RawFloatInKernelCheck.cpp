@@ -1,0 +1,65 @@
+//===--- RawFloatInKernelCheck.cpp ----------------------------------------===//
+
+#include "RawFloatInKernelCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+void
+RawFloatInKernelCheck::registerMatchers(MatchFinder *Finder) {
+  // A data-plane function touches pixel storage directly.
+  const auto DataPlaneClass = cxxRecordDecl(
+      hasAnyName("::anytime::Image", "::anytime::ApproxStorage"));
+  // Desugar through the GrayImage/ApproxStorage<T> typedef sugar to
+  // the underlying record, by value or by reference.
+  const auto DataPlaneType = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(DataPlaneClass))));
+  const auto TakesDataPlane = hasAnyParameter(
+      hasType(qualType(anyOf(DataPlaneType, references(DataPlaneType)))));
+  // Exemptions keep the rule honest: *Reference* functions are the
+  // scalar oracle the spec is checked against, and floating-point
+  // returns mark quality metrics (MSE/PSNR) whose result is reported,
+  // not published.
+  const auto KernelFunction =
+      functionDecl(TakesDataPlane,
+                   unless(returns(qualType(realFloatingPointType()))),
+                   unless(matchesName(".*[rR]eference.*")));
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("+=", "-="),
+                     hasLHS(expr(hasType(realFloatingPointType()))),
+                     anyOf(hasAncestor(forStmt()), hasAncestor(whileStmt()),
+                           hasAncestor(cxxForRangeStmt()),
+                           hasAncestor(doStmt())),
+                     forFunction(KernelFunction))
+          .bind("accumulate"),
+      this);
+}
+
+void
+RawFloatInKernelCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Accumulate =
+      Result.Nodes.getNodeAs<BinaryOperator>("accumulate");
+  if (Accumulate == nullptr)
+    return;
+  // src/simd/ defines the arithmetic specification; it is the one
+  // place raw lane arithmetic belongs.
+  const SourceManager &SM = *Result.SourceManager;
+  const StringRef File =
+      SM.getFilename(SM.getExpansionLoc(Accumulate->getOperatorLoc()));
+  if (File.contains("/simd/"))
+    return;
+  diag(Accumulate->getOperatorLoc(),
+       "raw floating-point accumulation in a kernel loop; the SIMD ops "
+       "table is the arithmetic specification (8-lane FMA, fixed "
+       "pairwise reduction), and a hand-rolled loop forks it — gather "
+       "the operands and call anytime::simd::ops().dotPadded8 (or a "
+       "sibling) instead")
+      << Accumulate->getSourceRange();
+}
+
+} // namespace clang::tidy::anytime

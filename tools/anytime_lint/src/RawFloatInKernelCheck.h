@@ -1,0 +1,46 @@
+//===--- RawFloatInKernelCheck.h --------------------------------*- C++ -*-===//
+//
+// anytime-raw-float-in-kernel
+//
+// The SIMD dispatch layer (src/simd/, DESIGN.md section 15) is not an
+// optimization detail: the ops table IS the arithmetic specification.
+// Every backend reproduces the same 8-lane FMA grouping and the same
+// fixed pairwise reduction, which is what keeps published pixels
+// bit-identical across ISAs and worker counts. A hand-written
+// `acc += tap * pixel` loop in kernel code re-derives the arithmetic
+// with a different association order, silently forking the spec.
+//
+// This check flags floating-point accumulation loops (+=, -= in a
+// loop) in data-plane functions — functions taking an anytime::Image
+// or anytime::ApproxStorage — that are not themselves part of the
+// spec: scalar reference implementations (anything named *Reference*)
+// and metric-style folds returning floating point (PSNR/MSE report
+// quality, they don't produce published pixels) are exempt, as is
+// everything under src/simd/ which defines the spec. Route the math
+// through anytime::simd::ops() instead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_RAW_FLOAT_IN_KERNEL_CHECK_H
+#define ANYTIME_LINT_RAW_FLOAT_IN_KERNEL_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class RawFloatInKernelCheck : public ClangTidyCheck {
+public:
+  RawFloatInKernelCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_RAW_FLOAT_IN_KERNEL_CHECK_H

@@ -1,0 +1,58 @@
+//===--- UnorderedIterationInMergeCheck.cpp -------------------------------===//
+
+#include "UnorderedIterationInMergeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::anytime {
+
+namespace {
+
+/** Loop sits in code that must replay bit-identically: a Stage method,
+ *  a lambda written inline into runPartitionedSweep(), or a function
+ *  whose name marks it as a merge/combine step. */
+auto
+inDeterministicContext()
+{
+  return anyOf(
+      hasAncestor(cxxMethodDecl(ofClass(cxxRecordDecl(
+          isSameOrDerivedFrom(hasName("::anytime::Stage")))))),
+      hasAncestor(callExpr(callee(functionDecl(
+          hasName("::anytime::runPartitionedSweep"))))),
+      forFunction(functionDecl(matchesName(
+          ".*([mM]erge|[cC]ombine|[rR]educe[A-Z_]).*"))));
+}
+
+} // namespace
+
+void
+UnorderedIterationInMergeCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedContainer = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(namedDecl(matchesName(
+          "^::std::unordered_(map|set|multimap|multiset)$"))))));
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(UnorderedContainer))),
+          inDeterministicContext())
+          .bind("loop"),
+      this);
+}
+
+void
+UnorderedIterationInMergeCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  if (Loop == nullptr)
+    return;
+  diag(Loop->getForLoc(),
+       "iterating an unordered container in a stage body or merge; the "
+       "visit order varies with hashing and insertion history, so the "
+       "result is not bit-identical across worker counts — iterate a "
+       "sorted view (std::map, std::vector, or sorted keys) instead")
+      << Loop->getSourceRange();
+}
+
+} // namespace clang::tidy::anytime

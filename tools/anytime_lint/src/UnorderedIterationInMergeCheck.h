@@ -1,0 +1,45 @@
+//===--- UnorderedIterationInMergeCheck.h -----------------------*- C++ -*-===//
+//
+// anytime-unordered-iteration-in-merge
+//
+// The bit-identity contract (paper Section IV-C1, DESIGN.md section 9)
+// requires every published version to equal the single-worker scalar
+// run. Stage bodies and leader merges therefore must not let their
+// result depend on any order the language leaves unspecified — and
+// iteration over std::unordered_map / std::unordered_set is exactly
+// that: the visit order depends on hash seeding, bucket count, and
+// insertion history, all of which vary across worker counts and runs.
+// Floating-point merges are not associative, so "same elements, any
+// order" is NOT equivalence here.
+//
+// This check flags range-for loops whose range is an unordered
+// container when the loop sits in deterministic context: a Stage
+// method, a runPartitionedSweep callback, or a function whose name
+// marks it as a merge. Use std::map/std::vector (or sort the keys
+// first) in these paths.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_LINT_UNORDERED_ITERATION_IN_MERGE_CHECK_H
+#define ANYTIME_LINT_UNORDERED_ITERATION_IN_MERGE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::anytime {
+
+class UnorderedIterationInMergeCheck : public ClangTidyCheck {
+public:
+  UnorderedIterationInMergeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::anytime
+
+#endif // ANYTIME_LINT_UNORDERED_ITERATION_IN_MERGE_CHECK_H

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Tests for the fixture grader itself (clang-free).
+
+The grader is the arbiter of every lint fixture test, so it gets its
+own coverage: marker parsing, diagnostic-line extraction, the
+unified-diff failure report, and an end-to-end run against a stub
+clang-tidy executable. Written as unittest.TestCase so it runs under
+both ``python3 test_run_fixture.py`` (ctest) and pytest.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import run_fixture  # noqa: E402
+
+CHECK = "anytime-example-check"
+
+STUB_CLANG_TIDY = """#!/usr/bin/env python3
+import sys
+fixture = next(a for a in sys.argv[1:] if a.endswith(".cpp"))
+print(f"{fixture}:3:5: warning: seeded diagnostic [anytime-example-check]")
+print(f"{fixture}:9:1: warning: seeded diagnostic [anytime-example-check]")
+"""
+
+
+class ExpectedLinesTest(unittest.TestCase):
+    def test_markers_map_to_line_numbers(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            fixture = Path(tmp) / "sample.cpp"
+            fixture.write_text(
+                "int a;\n"
+                "int b; // expect-warning\n"
+                "int c;\n"
+                "int d; // expect-warning\n"
+            )
+            self.assertEqual(run_fixture.expected_lines(fixture), {2, 4})
+
+    def test_unmarked_fixture_is_negative(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            fixture = Path(tmp) / "clean.cpp"
+            fixture.write_text("int a;\nint b;\n")
+            self.assertEqual(run_fixture.expected_lines(fixture), set())
+
+
+class ReportedLinesTest(unittest.TestCase):
+    def test_extracts_matching_check_only(self) -> None:
+        output = (
+            "/x/f.cpp:3:5: warning: bad thing [anytime-example-check]\n"
+            "/x/f.cpp:7:5: warning: other [some-other-check]\n"
+            "/x/other.cpp:9:5: warning: elsewhere [anytime-example-check]\n"
+        )
+        lines = run_fixture.reported_lines(output, Path("/x/f.cpp"), CHECK)
+        self.assertEqual(lines, {3})
+
+    def test_notes_and_errors_ignored(self) -> None:
+        output = (
+            "/x/f.cpp:3:5: note: context [anytime-example-check]\n"
+            "/x/f.cpp:4:5: error: boom\n"
+        )
+        lines = run_fixture.reported_lines(output, Path("/x/f.cpp"), CHECK)
+        self.assertEqual(lines, set())
+
+
+class GradeTest(unittest.TestCase):
+    def test_exact_match_passes(self) -> None:
+        ok, report = run_fixture.grade({3, 9}, {3, 9}, CHECK, "f.cpp")
+        self.assertTrue(ok)
+        self.assertIn("PASS", report)
+        self.assertIn("positive", report)
+
+    def test_negative_match_passes(self) -> None:
+        ok, report = run_fixture.grade(set(), set(), CHECK, "f.cpp")
+        self.assertTrue(ok)
+        self.assertIn("negative", report)
+
+    def test_failure_report_is_a_unified_diff(self) -> None:
+        ok, report = run_fixture.grade({3, 9}, {3, 12}, CHECK, "f.cpp")
+        self.assertFalse(ok)
+        self.assertIn("--- f.cpp (expected diagnostics)", report)
+        self.assertIn("+++ f.cpp (actual diagnostics)", report)
+        self.assertIn(f"-line 9: warning [{CHECK}]", report)
+        self.assertIn(f"+line 12: warning [{CHECK}]", report)
+        self.assertIn("stayed silent on marked line(s) [9]", report)
+        self.assertIn("fired on unmarked line(s) [12]", report)
+
+
+class EndToEndTest(unittest.TestCase):
+    """Drive run_fixture.py as a subprocess against a stub clang-tidy."""
+
+    def run_grader(self, fixture_text: str) -> subprocess.CompletedProcess:
+        with tempfile.TemporaryDirectory() as tmp:
+            stub = Path(tmp) / "stub-clang-tidy"
+            stub.write_text(STUB_CLANG_TIDY)
+            stub.chmod(0o755)
+            fixture = Path(tmp) / "fixture.cpp"
+            fixture.write_text(fixture_text)
+            return subprocess.run(
+                [
+                    sys.executable,
+                    str(Path(__file__).resolve().parent / "run_fixture.py"),
+                    "--clang-tidy",
+                    str(stub),
+                    "--plugin",
+                    "unused.so",
+                    "--check",
+                    CHECK,
+                    "--fixture",
+                    str(fixture),
+                ],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+
+    def test_matching_fixture_passes(self) -> None:
+        lines = ["int filler;"] * 10
+        lines[2] = "int bad1; // expect-warning"
+        lines[8] = "int bad2; // expect-warning"
+        result = self.run_grader("\n".join(lines) + "\n")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("PASS", result.stdout)
+
+    def test_mismatch_fails_with_diff(self) -> None:
+        lines = ["int filler;"] * 10
+        lines[4] = "int bad; // expect-warning"
+        result = self.run_grader("\n".join(lines) + "\n")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("--- fixture.cpp (expected diagnostics)", result.stdout)
+        self.assertIn("-line 5: warning", result.stdout)
+        self.assertIn("+line 3: warning", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Sanity-check the anytime_verify wiring without needing clang.
+
+Runs on every platform (ctest label ``verify``) so a toolchain without
+LLVM dev headers still catches configuration drift: sources present,
+fixtures paired, golden list well-formed, CI job wired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+FIXTURE_STEMS = ("lockcycle", "taint", "rawfloat")
+RULES = (
+    "anytime-verify-lock-order",
+    "anytime-verify-determinism",
+    "anytime-verify-simd-spec",
+)
+PROMETHEUS_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", required=True, type=Path)
+    args = parser.parse_args()
+    root = args.repo_root
+    tool = root / "tools/anytime_verify"
+    failures = []
+
+    for source in (
+        "src/AnytimeVerify.cpp",
+        "src/Collector.cpp",
+        "src/Collector.h",
+        "src/WholeProgram.h",
+        "src/Sarif.h",
+    ):
+        if not (tool / source).is_file():
+            failures.append(f"missing source {source}")
+
+    main_text = (tool / "src/AnytimeVerify.cpp").read_text() \
+        if (tool / "src/AnytimeVerify.cpp").is_file() else ""
+    collector_text = (tool / "src/Collector.cpp").read_text() \
+        if (tool / "src/Collector.cpp").is_file() else ""
+    for rule in RULES:
+        if rule not in main_text + collector_text:
+            failures.append(f"rule {rule} not emitted by the tool sources")
+
+    fixture_dir = tool / "fixtures"
+    for stem in FIXTURE_STEMS:
+        for kind in ("positive", "negative"):
+            fixture = fixture_dir / f"{stem}_{kind}.cpp"
+            if not fixture.is_file():
+                failures.append(f"missing fixture {fixture.name}")
+                continue
+            has_expectations = "// verify-expect:" in fixture.read_text()
+            if kind == "positive" and not has_expectations:
+                failures.append(
+                    f"{fixture.name} has no // verify-expect: lines"
+                )
+            if kind == "negative" and has_expectations:
+                failures.append(
+                    f"{fixture.name} is a negative fixture but declares "
+                    "expectations"
+                )
+
+    golden = tool / "metrics_golden.txt"
+    if golden.is_file():
+        for line in golden.read_text().splitlines():
+            name = line.strip()
+            if not name or name.startswith("#"):
+                continue
+            if not PROMETHEUS_NAME.match(name):
+                failures.append(
+                    f"metrics_golden.txt entry '{name}' is not a valid "
+                    "Prometheus metric name"
+                )
+    else:
+        failures.append("metrics_golden.txt missing")
+
+    ci = root / ".github/workflows/ci.yml"
+    if ci.is_file() and "anytime_verify" not in ci.read_text():
+        failures.append("CI workflow does not run anytime_verify")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"PASS: verify tool wired ({len(FIXTURE_STEMS)} fixture pairs, "
+        f"{len(RULES)} rules, golden list valid)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

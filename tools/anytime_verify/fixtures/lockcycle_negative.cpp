@@ -1,0 +1,65 @@
+// Fixture: the lock-order pass must come back clean. Both entry
+// points follow one global order (Scheduler::mutex before
+// Journal::mutex), a hand-off releases before re-acquiring, and a
+// call made while holding a lock only reaches a function whose lock
+// sits later in the order (advisory edge, same direction).
+
+#include "verify_stub.hpp"
+
+namespace demo {
+
+struct Scheduler {
+  anytime::Mutex mutex;
+  int pending = 0;
+};
+
+struct Journal {
+  anytime::Mutex mutex;
+  int entries = 0;
+};
+
+void
+appendEntry(Journal &journal) {
+  anytime::MutexLock journalLock(journal.mutex);
+  ++journal.entries;
+}
+
+// Scheduler -> Journal, lexically.
+void
+recordDispatch(Scheduler &scheduler, Journal &journal) {
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  ++scheduler.pending;
+  anytime::MutexLock journalLock(journal.mutex);
+  ++journal.entries;
+}
+
+// Scheduler -> Journal again, this time through a call while held:
+// same direction, so the advisory edge closes no cycle.
+void
+dispatchAndLog(Scheduler &scheduler, Journal &journal) {
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  ++scheduler.pending;
+  appendEntry(journal);
+}
+
+// Hand-off: Journal released before Scheduler is acquired — no edge.
+void
+replayJournal(Journal &journal, Scheduler &scheduler) {
+  anytime::MutexLock journalLock(journal.mutex);
+  --journal.entries;
+  journalLock.unlock();
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  --scheduler.pending;
+}
+
+} // namespace demo
+
+int
+main() {
+  demo::Scheduler scheduler;
+  demo::Journal journal;
+  demo::recordDispatch(scheduler, journal);
+  demo::dispatchAndLog(scheduler, journal);
+  demo::replayJournal(journal, scheduler);
+  return scheduler.pending + journal.entries;
+}

@@ -1,0 +1,49 @@
+// Fixture: the lock-order pass must report a cycle. Two entry points
+// acquire the same pair of class mutexes in opposite orders — the
+// canonical ABBA deadlock, invisible to per-function -Wthread-safety
+// but a 2-cycle in the global acquisition graph.
+// verify-expect: anytime-verify-lock-order
+
+#include "verify_stub.hpp"
+
+namespace demo {
+
+struct Scheduler {
+  anytime::Mutex mutex;
+  int pending = 0;
+};
+
+struct Journal {
+  anytime::Mutex mutex;
+  int entries = 0;
+};
+
+// Path 1: Scheduler::mutex, then Journal::mutex.
+void
+recordDispatch(Scheduler &scheduler, Journal &journal) {
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  ++scheduler.pending;
+  anytime::MutexLock journalLock(journal.mutex);
+  ++journal.entries;
+}
+
+// Path 2: Journal::mutex, then Scheduler::mutex. Two threads taking
+// these paths concurrently deadlock.
+void
+replayJournal(Journal &journal, Scheduler &scheduler) {
+  anytime::MutexLock journalLock(journal.mutex);
+  --journal.entries;
+  anytime::MutexLock schedulerLock(scheduler.mutex);
+  --scheduler.pending;
+}
+
+} // namespace demo
+
+int
+main() {
+  demo::Scheduler scheduler;
+  demo::Journal journal;
+  demo::recordDispatch(scheduler, journal);
+  demo::replayJournal(journal, scheduler);
+  return scheduler.pending + journal.entries;
+}

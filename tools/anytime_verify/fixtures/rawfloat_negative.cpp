@@ -1,0 +1,67 @@
+// Fixture: the SIMD-spec pass must come back clean. Reference
+// implementations are exempt by name, metric helpers are exempt by
+// their floating-point return type, integer accumulation is always
+// fine, and float math without a data-plane parameter is outside the
+// kernel contract.
+
+#include "verify_stub.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace demo {
+
+// Exempt: *Reference* functions define the scalar ground truth the
+// SIMD paths are checked against.
+std::uint8_t
+convolveRowReference(const anytime::GrayImage &src, const float *taps,
+                     std::size_t count) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += taps[i] * static_cast<float>(src.at(static_cast<int>(i), 0));
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+// Exempt: returns a floating-point metric (PSNR-style helpers), not
+// pixel data.
+double
+meanValue(const anytime::GrayImage &src, std::size_t count) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sum += static_cast<double>(src.at(static_cast<int>(i), 0));
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+// Integer accumulation in a kernel is always allowed.
+unsigned
+pixelSum(const anytime::GrayImage &src, std::size_t count) {
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sum += src.at(static_cast<int>(i), 0);
+  }
+  return sum;
+}
+
+// No data-plane parameter: plain numeric code, not a kernel.
+float
+taperWeight(const float *weights, std::size_t count) {
+  float total = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    total += weights[i];
+  }
+  return total;
+}
+
+} // namespace demo
+
+int
+main() {
+  anytime::GrayImage image(4, 1);
+  const float taps[4] = {0.25f, 0.25f, 0.25f, 0.25f};
+  return demo::convolveRowReference(image, taps, 4) +
+         static_cast<int>(demo::meanValue(image, 4)) +
+         static_cast<int>(demo::pixelSum(image, 4)) +
+         static_cast<int>(demo::taperWeight(taps, 4));
+}

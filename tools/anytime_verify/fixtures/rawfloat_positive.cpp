@@ -1,0 +1,52 @@
+// Fixture: the SIMD-spec pass must flag raw floating-point
+// accumulation inside kernel loops. Both functions take a data-plane
+// type and fold floats with +=/-= directly instead of going through
+// the ops table — exactly the pattern that diverges between scalar
+// and vector builds.
+// verify-expect: anytime-verify-simd-spec
+
+#include "verify_stub.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace demo {
+
+// Raw float accumulation over an Image row.
+std::uint8_t
+applyTaps(const anytime::GrayImage &src, const float *taps,
+          std::size_t count) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += taps[i] * static_cast<float>(src.at(static_cast<int>(i), 0));
+  }
+  if (acc < 0.0f)
+    acc = 0.0f;
+  if (acc > 255.0f)
+    acc = 255.0f;
+  return static_cast<std::uint8_t>(acc);
+}
+
+// Same violation through ApproxStorage and a while loop with -=.
+std::uint8_t
+foldStorage(const anytime::ApproxStorage<std::uint8_t> &storage,
+            std::size_t count) {
+  float bias = 255.0f;
+  std::size_t index = 0;
+  while (index < count) {
+    bias -= 0.5f * static_cast<float>(storage.read(index));
+    ++index;
+  }
+  return static_cast<std::uint8_t>(bias);
+}
+
+} // namespace demo
+
+int
+main() {
+  anytime::GrayImage image(4, 1);
+  const float taps[4] = {0.25f, 0.25f, 0.25f, 0.25f};
+  anytime::ApproxStorage<std::uint8_t> storage(4);
+  return demo::applyTaps(image, taps, 4) +
+         static_cast<int>(demo::foldStorage(storage, 4));
+}

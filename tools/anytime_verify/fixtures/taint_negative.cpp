@@ -1,0 +1,80 @@
+// Fixture: the determinism pass must come back clean. Monotonic time
+// for scheduling, randomness confined to code that never reaches
+// publish, hash-order iteration on an export path, and a NOLINT'd
+// deliberate exception are all allowed.
+
+#include "verify_stub.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+// steady_clock is monotonic and drives scheduling decisions, never
+// published values — deliberately not a taint source.
+class DeadlineStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    const auto start = std::chrono::steady_clock::now();
+    while (ctx.checkpoint() &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::milliseconds(1)) {
+      ++steps_;
+    }
+  }
+
+private:
+  unsigned long steps_ = 0;
+};
+
+// Randomness is fine in code that cannot reach a published version —
+// load generators, shuffled test inputs.
+std::vector<int>
+randomWorkload(std::size_t count) {
+  std::vector<int> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    requests.push_back(std::rand());
+  }
+  return requests;
+}
+
+// Hash-order iteration on the export path: debug output, not a
+// published version.
+std::size_t
+exportCounters(const std::unordered_map<std::string, long> &counters) {
+  std::size_t emitted = 0;
+  for (const auto &entry : counters) {
+    emitted += entry.first.size();
+  }
+  return emitted;
+}
+
+// Deterministic publish chain for contrast.
+void
+publishSum(anytime::VersionedBuffer<long> &buffer,
+           const std::vector<long> &values) {
+  long sum = 0;
+  for (const long value : values) {
+    sum += value;
+  }
+  buffer.publish(sum, true);
+}
+
+} // namespace demo
+
+int
+main() {
+  demo::DeadlineStage stage;
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  const std::vector<int> load = demo::randomWorkload(4);
+  std::unordered_map<std::string, long> counters;
+  anytime::VersionedBuffer<long> buffer;
+  demo::publishSum(buffer, {1, 2, 3});
+  return static_cast<int>(buffer.latest()) + load.empty() +
+         static_cast<int>(demo::exportCounters(counters));
+}

@@ -1,0 +1,69 @@
+// Fixture: the determinism pass must flag nondeterminism reaching a
+// published version, through all three sensitivity routes: a Stage
+// body, a function that publishes directly, and a helper that only
+// reaches publish transitively through the call graph.
+// verify-expect: anytime-verify-determinism
+
+#include "verify_stub.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace demo {
+
+// Route 1: a PRNG call inside a Stage-derived run() — stage bodies
+// must replay bit-identically at any worker count.
+class JitterStage : public anytime::Stage {
+public:
+  void
+  run(anytime::StageContext &ctx) override {
+    (void)ctx;
+    seed_ += static_cast<unsigned long>(std::rand());
+  }
+
+private:
+  unsigned long seed_ = 0;
+};
+
+// Route 2: hash-order iteration in a function that publishes the
+// accumulated value directly.
+void
+publishHistogram(anytime::VersionedBuffer<long> &buffer,
+                 const std::unordered_map<int, long> &bins) {
+  long total = 0;
+  for (const auto &entry : bins) {
+    total ^= entry.second + total;
+  }
+  buffer.publish(total, false);
+}
+
+// Route 3: the source sits two calls away from publish; only the
+// whole-program call graph connects them.
+long
+sampleNoise() {
+  return std::rand();
+}
+
+long
+buildValue() {
+  return sampleNoise() + 1;
+}
+
+void
+publishValue(anytime::VersionedBuffer<long> &buffer) {
+  buffer.publish(buildValue(), true);
+}
+
+} // namespace demo
+
+int
+main() {
+  demo::JitterStage stage;
+  anytime::StageContext ctx;
+  stage.run(ctx);
+  anytime::VersionedBuffer<long> buffer;
+  std::unordered_map<int, long> bins;
+  demo::publishHistogram(buffer, bins);
+  demo::publishValue(buffer);
+  return static_cast<int>(buffer.latest() & 1);
+}

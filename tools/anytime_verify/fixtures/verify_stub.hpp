@@ -1,0 +1,101 @@
+// Minimal stand-ins for the anytime types anytime_verify keys on
+// (anytime::MutexLock for the lock-order pass, anytime::Stage /
+// VersionedBuffer::publish for the determinism pass, anytime::Image /
+// ApproxStorage for the simd-spec pass). Shapes mirror
+// src/support/sync.hpp, src/core/buffer.hpp, src/image/image.hpp —
+// hermetic so fixtures parse with no repo include paths.
+
+#ifndef ANYTIME_VERIFY_FIXTURES_VERIFY_STUB_HPP
+#define ANYTIME_VERIFY_FIXTURES_VERIFY_STUB_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace anytime {
+
+class Mutex {
+public:
+  void lock() {}
+  void unlock() {}
+};
+
+class MutexLock {
+public:
+  explicit MutexLock(Mutex &mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() { unlock(); }
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+  void lock() { mutex_.lock(); }
+  void unlock() { mutex_.unlock(); }
+
+private:
+  Mutex &mutex_;
+};
+
+class StageContext {
+public:
+  bool checkpoint() { return true; }
+  unsigned workerId() const { return 0; }
+};
+
+class Stage {
+public:
+  virtual ~Stage() = default;
+  virtual void run(StageContext &ctx) = 0;
+};
+
+template <typename T>
+class VersionedBuffer {
+public:
+  void publish(const T &value, bool final) {
+    latest_ = value;
+    final_ = final;
+    ++version_;
+  }
+  void publishShared(std::shared_ptr<const T> value, bool final) {
+    latest_ = *value;
+    final_ = final;
+    ++version_;
+  }
+  const T &latest() const { return latest_; }
+
+private:
+  T latest_{};
+  bool final_ = false;
+  std::uint64_t version_ = 0;
+};
+
+template <typename T>
+class Image {
+public:
+  Image(int width, int height)
+      : width_(width), height_(height),
+        data_(new T[static_cast<unsigned>(width * height)]()) {}
+  int width() const { return width_; }
+  int height() const { return height_; }
+  T &at(int x, int y) { return data_[y * width_ + x]; }
+  const T &at(int x, int y) const { return data_[y * width_ + x]; }
+
+private:
+  int width_ = 0;
+  int height_ = 0;
+  std::unique_ptr<T[]> data_;
+};
+
+using GrayImage = Image<std::uint8_t>;
+
+template <typename T>
+class ApproxStorage {
+public:
+  explicit ApproxStorage(std::size_t size) : data_(new T[size]()) {}
+  T read(std::size_t index) const { return data_[index]; }
+  void write(std::size_t index, T value) { data_[index] = value; }
+
+private:
+  std::unique_ptr<T[]> data_;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_VERIFY_FIXTURES_VERIFY_STUB_HPP

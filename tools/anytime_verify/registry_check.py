@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Cross-check the three string registries the runtime keys on.
+
+These registries are stringly-typed contracts the compiler cannot see,
+so they drift silently; this checker runs clang-free (ctest label
+``verify``) and inside the CI verify job:
+
+- **Fault sites** — every ``ANYTIME_FAULT_POINT``/``corruptSeed`` base
+  string wired into src/ must be listed in the fault.hpp doc comment
+  (the operator-facing spec) and exercised somewhere under tests/.
+- **Metric names** — every ``anytime_*`` literal in src/ must appear in
+  metrics_golden.txt (and vice versa) and be a valid Prometheus metric
+  name; a typo'd or orphaned metric breaks dashboards silently.
+- **Trace spans** — async spans pair by name; a ``traceAsyncBegin``
+  name with no matching ``traceAsyncEnd`` (or the reverse) leaves
+  open-ended spans in every exported trace.
+
+``--fake-site`` injects a pretend wired-but-unregistered fault site so
+the drift regression test can assert the checker actually fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+FAULT_RULE = "anytime-verify-fault-registry"
+METRIC_RULE = "anytime-verify-metric-registry"
+TRACE_RULE = "anytime-verify-trace-registry"
+
+PROMETHEUS_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+# Call sites may break the line between '(' and the name literal.
+WIRED_SITE = re.compile(
+    r'(?:ANYTIME_FAULT_POINT\(|corruptSeed\()\s*"([a-z.]+)"', re.S
+)
+METRIC_LITERAL = re.compile(r'"(anytime_[a-z0-9_]+)"')
+ASYNC_BEGIN = re.compile(r'traceAsyncBegin\(\s*"([^"]+)"', re.S)
+ASYNC_END = re.compile(r'traceAsyncEnd\(\s*"([^"]+)"', re.S)
+DOC_SITE = re.compile(r"`([a-z.]+)(?::<[a-z]+>)?`")
+
+
+def finding(rule: str, message: str, file: str, line: int = 1) -> dict:
+    return {"rule": rule, "message": message, "file": file, "line": line}
+
+
+def iter_sources(root: Path, subdir: str) -> list[Path]:
+    base = root / subdir
+    if not base.is_dir():
+        return []
+    return sorted(
+        p
+        for p in base.rglob("*")
+        if p.suffix in {".cpp", ".hpp", ".h", ".cc"} and p.is_file()
+    )
+
+
+def wired_fault_sites(root: Path) -> dict[str, str]:
+    """site base -> first file that wires it."""
+    sites: dict[str, str] = {}
+    for path in iter_sources(root, "src"):
+        for match in WIRED_SITE.finditer(path.read_text(errors="replace")):
+            sites.setdefault(match.group(1), str(path.relative_to(root)))
+    return sites
+
+
+def documented_fault_sites(root: Path) -> set[str]:
+    fault_hpp = root / "src/fault/fault.hpp"
+    if not fault_hpp.is_file():
+        return set()
+    text = fault_hpp.read_text(errors="replace")
+    # The spec sentence may wrap across comment lines.
+    start_match = re.search(r"Sites wired\s*\*?\s*into the runtime:", text)
+    if start_match is None:
+        return set()
+    end = text.find("Kinds map onto", start_match.end())
+    if end < 0:
+        return set()
+    return {
+        m.group(1) for m in DOC_SITE.finditer(text[start_match.end() : end])
+    }
+
+
+def check_fault_sites(root: Path, fake_site: str | None) -> list[dict]:
+    findings = []
+    wired = wired_fault_sites(root)
+    if fake_site:
+        wired.setdefault(fake_site, "<injected by --fake-site>")
+    documented = documented_fault_sites(root)
+    test_text = "\n".join(
+        p.read_text(errors="replace") for p in iter_sources(root, "tests")
+    )
+    for site, where in sorted(wired.items()):
+        if site not in documented:
+            findings.append(
+                finding(
+                    FAULT_RULE,
+                    f"fault site '{site}' is wired in {where} but not "
+                    "listed in the fault.hpp site spec; operators "
+                    "cannot target what the doc does not name",
+                    "src/fault/fault.hpp",
+                )
+            )
+        if site not in test_text:
+            findings.append(
+                finding(
+                    FAULT_RULE,
+                    f"fault site '{site}' (wired in {where}) is never "
+                    "exercised under tests/; an untested injection "
+                    "site is dead chaos coverage",
+                    where,
+                )
+            )
+    for site in sorted(documented - set(wired)):
+        findings.append(
+            finding(
+                FAULT_RULE,
+                f"fault site '{site}' is documented in fault.hpp but "
+                "no longer wired anywhere in src/",
+                "src/fault/fault.hpp",
+            )
+        )
+    return findings
+
+
+def check_metric_names(root: Path) -> list[dict]:
+    findings = []
+    golden_path = root / "tools/anytime_verify/metrics_golden.txt"
+    golden = set()
+    if golden_path.is_file():
+        golden = {
+            line.strip()
+            for line in golden_path.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        }
+    else:
+        findings.append(
+            finding(METRIC_RULE, "metrics_golden.txt is missing", ".")
+        )
+    used: dict[str, str] = {}
+    for path in iter_sources(root, "src"):
+        for match in METRIC_LITERAL.finditer(
+            path.read_text(errors="replace")
+        ):
+            used.setdefault(match.group(1), str(path.relative_to(root)))
+    for name, where in sorted(used.items()):
+        if not PROMETHEUS_NAME.match(name):
+            findings.append(
+                finding(
+                    METRIC_RULE,
+                    f"metric '{name}' in {where} is not a valid "
+                    "Prometheus metric name",
+                    where,
+                )
+            )
+        if name not in golden:
+            findings.append(
+                finding(
+                    METRIC_RULE,
+                    f"metric '{name}' in {where} is not in "
+                    "metrics_golden.txt; add it (dashboards key on "
+                    "the golden list)",
+                    where,
+                )
+            )
+    for name in sorted(golden - set(used)):
+        findings.append(
+            finding(
+                METRIC_RULE,
+                f"metric '{name}' is in metrics_golden.txt but no "
+                "longer emitted anywhere in src/",
+                "tools/anytime_verify/metrics_golden.txt",
+            )
+        )
+    return findings
+
+
+def check_trace_spans(root: Path) -> list[dict]:
+    findings = []
+    begins: dict[str, str] = {}
+    ends: dict[str, str] = {}
+    for path in iter_sources(root, "src"):
+        if path.name in {"trace.hpp", "trace.cpp"}:
+            continue  # the facility itself, not a span site
+        text = path.read_text(errors="replace")
+        rel = str(path.relative_to(root))
+        for match in ASYNC_BEGIN.finditer(text):
+            begins.setdefault(match.group(1), rel)
+        for match in ASYNC_END.finditer(text):
+            ends.setdefault(match.group(1), rel)
+    for name, where in sorted(begins.items()):
+        if name not in ends:
+            findings.append(
+                finding(
+                    TRACE_RULE,
+                    f"async span '{name}' begins in {where} but never "
+                    "ends; every exported trace shows it open-ended",
+                    where,
+                )
+            )
+    for name, where in sorted(ends.items()):
+        if name not in begins:
+            findings.append(
+                finding(
+                    TRACE_RULE,
+                    f"async span '{name}' ends in {where} but never "
+                    "begins",
+                    where,
+                )
+            )
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", required=True, type=Path)
+    parser.add_argument(
+        "--fake-site",
+        help="pretend this fault site is wired (drift regression test)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        help="also write findings as a JSON array (for SARIF merging)",
+    )
+    args = parser.parse_args()
+    root = args.repo_root.resolve()
+
+    findings = (
+        check_fault_sites(root, args.fake_site)
+        + check_metric_names(root)
+        + check_trace_spans(root)
+    )
+    for entry in findings:
+        print(
+            f"{entry['file']}:{entry['line']}:1: warning: "
+            f"{entry['message']} [{entry['rule']}]"
+        )
+    if args.json is not None:
+        args.json.write_text(json.dumps(findings, indent=2) + "\n")
+    if findings:
+        print(f"FAIL: {len(findings)} registry finding(s)")
+        return 1
+    print("PASS: fault sites, metric names, and trace spans consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Run anytime_verify over one fixture TU and grade the outcome.
+
+Whole-program findings (a lock cycle, a taint path) do not pin to one
+marked line the way per-TU tidy diagnostics do, so verify fixtures
+declare expectations at file level: each ``// verify-expect: <rule>``
+line requires at least one finding for that rule, and a fixture with
+no expectations must come back completely clean (exit 0, no
+warnings). On failure the report shows the expected-vs-actual rule
+sets plus the tool output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT = re.compile(r"^//\s*verify-expect:\s*([a-z-]+)\s*$", re.M)
+FINDING = re.compile(r": warning: .*\[([a-z-]+)\]$", re.M)
+
+
+def expected_rules(fixture: Path) -> set[str]:
+    return set(EXPECT.findall(fixture.read_text()))
+
+
+def reported_rules(output: str) -> set[str]:
+    return set(FINDING.findall(output))
+
+
+def grade(
+    expected: set[str], reported: set[str], fixture_name: str
+) -> tuple[bool, str]:
+    if expected == reported:
+        kind = "positive" if expected else "negative"
+        return True, (
+            f"PASS: anytime_verify on {fixture_name} ({kind}, rules: "
+            f"{sorted(expected) or 'none'})"
+        )
+    lines = []
+    for rule in sorted(expected - reported):
+        lines.append(
+            f"FAIL: expected a [{rule}] finding on {fixture_name}, "
+            "got none"
+        )
+    for rule in sorted(reported - expected):
+        lines.append(
+            f"FAIL: unexpected [{rule}] finding on {fixture_name}"
+        )
+    return False, "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, type=Path)
+    parser.add_argument("--fixture", required=True, type=Path)
+    args = parser.parse_args()
+
+    if not args.binary.is_file():
+        print(f"SKIP: anytime_verify binary not found at {args.binary}")
+        return 0
+
+    result = subprocess.run(
+        [
+            str(args.binary),
+            str(args.fixture),
+            "--",
+            "-std=c++20",
+            f"-I{args.fixture.parent}",
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    output = result.stdout + result.stderr
+    if result.returncode == 2:
+        print(output)
+        print(f"FAIL: anytime_verify could not parse {args.fixture.name}")
+        return 1
+
+    expected = expected_rules(args.fixture)
+    reported = reported_rules(output)
+    ok, report = grade(expected, reported, args.fixture.name)
+    if not ok:
+        print(output)
+    print(report)
+    if ok and bool(expected) != (result.returncode == 1):
+        print(
+            f"FAIL: exit code {result.returncode} disagrees with "
+            f"{'expected findings' if expected else 'a clean fixture'}"
+        )
+        return 1
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

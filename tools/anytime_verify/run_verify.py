@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Drive the whole-program verification for CI.
+
+Runs the anytime_verify binary over every src/ TU in the compile
+database, then the clang-free registry cross-checks, and merges both
+result sets into one SARIF file for upload. Self-skips (exit 0 with a
+one-line SKIP) when the binary was not built — hosts without LLVM dev
+headers still run the registry half via ctest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def list_src_tus(build_dir: Path) -> list[str]:
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        print(f"FAIL: {database} not found (configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        raise SystemExit(1)
+    entries = json.loads(database.read_text())
+    files = sorted(
+        {
+            entry["file"]
+            for entry in entries
+            if "/src/" in entry["file"] and entry["file"].endswith(".cpp")
+        }
+    )
+    if not files:
+        print("FAIL: no src/ TUs in the compile database")
+        raise SystemExit(1)
+    return files
+
+
+def merge_registry_findings(sarif_path: Path, registry: list[dict]) -> None:
+    sarif = json.loads(sarif_path.read_text())
+    run = sarif["runs"][0]
+    rules = run["tool"]["driver"].setdefault("rules", [])
+    known = {rule["id"] for rule in rules}
+    for entry in registry:
+        if entry["rule"] not in known:
+            rules.append({"id": entry["rule"]})
+            known.add(entry["rule"])
+        run.setdefault("results", []).append(
+            {
+                "ruleId": entry["rule"],
+                "level": "error",
+                "message": {"text": entry["message"]},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": entry["file"]},
+                            "region": {"startLine": max(entry["line"], 1)},
+                        }
+                    }
+                ],
+            }
+        )
+    sarif_path.write_text(json.dumps(sarif, indent=2) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, type=Path)
+    parser.add_argument("--build-dir", required=True, type=Path)
+    parser.add_argument("--repo-root", required=True, type=Path)
+    parser.add_argument("--sarif", required=True, type=Path)
+    parser.add_argument("--lock-dot", required=True, type=Path)
+    parser.add_argument("--strict", action="store_true")
+    args = parser.parse_args()
+
+    if not args.binary.is_file():
+        print(f"SKIP: anytime_verify binary not built ({args.binary})")
+        return 0
+
+    files = list_src_tus(args.build_dir)
+    command = [
+        str(args.binary),
+        "-p",
+        str(args.build_dir),
+        f"--sarif={args.sarif}",
+        f"--lock-dot={args.lock_dot}",
+        *files,
+    ]
+    if args.strict:
+        command.insert(1, "--strict")
+    print(f"anytime_verify: analyzing {len(files)} TUs")
+    tool = subprocess.run(command, check=False)
+    if tool.returncode == 2:
+        print("FAIL: anytime_verify could not parse the tree")
+        return 2
+
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", delete=False
+    ) as handle:
+        registry_json = Path(handle.name)
+    registry = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve().parent / "registry_check.py"),
+            "--repo-root",
+            str(args.repo_root),
+            "--json",
+            str(registry_json),
+        ],
+        check=False,
+    )
+    registry_findings = json.loads(registry_json.read_text())
+    registry_json.unlink()
+    if args.sarif.is_file() and registry_findings:
+        merge_registry_findings(args.sarif, registry_findings)
+
+    if tool.returncode != 0 or registry.returncode != 0:
+        print(
+            f"FAIL: analyzer exit {tool.returncode}, registry exit "
+            f"{registry.returncode}"
+        )
+        return 1
+    print("PASS: whole-program verification clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

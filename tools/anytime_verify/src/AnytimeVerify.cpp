@@ -1,0 +1,214 @@
+//===--- AnytimeVerify.cpp ------------------------------------------------===//
+//
+// anytime_verify — whole-program static verification of the three
+// contracts the anytime automaton rests on (see DESIGN.md section 16):
+//
+//  1. lock-order: aggregate every MutexLock nesting across all TUs
+//     into one acquisition graph; a cycle breaks the global
+//     deadlock-freedom argument that per-function -Wthread-safety
+//     cannot make. Definite (lexical) cycles are errors; cycles that
+//     need an advisory call-while-held edge are notes (errors under
+//     --strict).
+//  2. determinism: a nondeterminism source (PRNG, wall clock,
+//     thread id, hash-order or pointer-order iteration) inside any
+//     function that can reach VersionedBuffer::publish, a Stage body,
+//     or a leader merge breaks bit-identity at any worker count.
+//  3. simd-spec: raw floating-point accumulation loops in kernel code
+//     outside src/simd/ fork the ops-table arithmetic specification.
+//
+// Usage:
+//   anytime_verify -p build/ src/**/*.cpp \
+//       --lock-dot=lock_order.dot --sarif=findings.sarif [--strict]
+//
+// Diagnostics print as `file:line:col: warning: msg [rule]`, the same
+// shape clang-tidy emits, so the fixture grader can parse both. Exit
+// codes: 0 clean, 1 findings, 2 tooling failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include "Collector.h"
+#include "Sarif.h"
+#include "WholeProgram.h"
+
+namespace {
+
+llvm::cl::OptionCategory
+    VerifyCategory("anytime_verify options");
+llvm::cl::opt<std::string> LockDotPath(
+    "lock-dot",
+    llvm::cl::desc("Write the global lock-order graph as Graphviz DOT"),
+    llvm::cl::value_desc("path"), llvm::cl::cat(VerifyCategory));
+llvm::cl::opt<std::string> SarifPath(
+    "sarif", llvm::cl::desc("Write findings as SARIF 2.1.0"),
+    llvm::cl::value_desc("path"), llvm::cl::cat(VerifyCategory));
+llvm::cl::opt<bool> Strict(
+    "strict",
+    llvm::cl::desc("Treat advisory (interprocedural) lock-order "
+                   "findings as errors"),
+    llvm::cl::cat(VerifyCategory));
+
+using anytime_verify::Finding;
+using anytime_verify::LockGraph;
+using anytime_verify::Program;
+
+std::string joinCycle(const std::vector<std::string> &cycle) {
+  std::string text;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0)
+      text += " -> ";
+    text += cycle[i];
+  }
+  return text;
+}
+
+void printFinding(const Finding &finding) {
+  std::cerr << finding.loc.file << ":" << finding.loc.line << ":"
+            << (finding.loc.column > 0 ? finding.loc.column : 1) << ": "
+            << (finding.advisory ? "note" : "warning") << ": "
+            << finding.message << " [" << finding.rule << "]\n";
+}
+
+/// Build the global graph: definite edges from lexical nesting,
+/// advisory edges from calling a function that (transitively)
+/// acquires M while holding H — implies H -> M at runtime, but
+/// through calls the lexical scan cannot see. Kept separate so a
+/// cycle that only closes through them is a note, not a hard failure.
+LockGraph buildLockGraph(const Program &program) {
+  LockGraph graph;
+  for (const anytime_verify::LockEdge &edge : program.lockEdges())
+    graph.addDefinite(edge);
+  const auto transitive = program.transitiveAcquires();
+  for (const anytime_verify::CallWhileHeld &call :
+       program.callsWhileHeld()) {
+    const auto acquiredIt = transitive.find(call.callee);
+    if (acquiredIt == transitive.end())
+      continue;
+    for (const std::string &held : call.held)
+      for (const std::string &acquired : acquiredIt->second)
+        graph.addAdvisory(held, acquired, call.loc);
+  }
+  return graph;
+}
+
+/// Convert cycles in the graph into findings.
+void checkLockOrder(const LockGraph &graph, std::vector<Finding> &findings,
+                    bool strict) {
+  const std::vector<std::string> definiteCycle = graph.findCycle(false);
+  if (!definiteCycle.empty()) {
+    Finding finding;
+    finding.rule = "anytime-verify-lock-order";
+    finding.message =
+        "lock acquisition cycle (lexically observed): " +
+        joinCycle(definiteCycle) +
+        " — two threads taking this loop from different entry points "
+        "deadlock; impose one global order";
+    finding.loc =
+        graph.edgeLoc(definiteCycle[0], definiteCycle[1]);
+    findings.push_back(finding);
+    return;
+  }
+
+  const std::vector<std::string> combinedCycle = graph.findCycle(true);
+  if (!combinedCycle.empty()) {
+    Finding finding;
+    finding.rule = "anytime-verify-lock-order";
+    finding.message =
+        "potential lock cycle through a call made while holding a "
+        "lock: " +
+        joinCycle(combinedCycle) +
+        " — verify the callee cannot run under this caller's lock, or "
+        "restructure";
+    finding.loc = graph.edgeLoc(combinedCycle[0], combinedCycle[1]);
+    finding.advisory = !strict;
+    findings.push_back(finding);
+  }
+}
+
+void writeFileOrDie(const std::string &path, const std::string &content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::cerr << "anytime_verify: cannot write " << path << "\n";
+    std::exit(2);
+  }
+}
+
+} // namespace
+
+int
+main(int argc, const char **argv) {
+  auto expectedParser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, VerifyCategory);
+  if (!expectedParser) {
+    llvm::errs() << llvm::toString(expectedParser.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser &options = *expectedParser;
+  clang::tooling::ClangTool tool(options.getCompilations(),
+                                 options.getSourcePathList());
+  // Analysis wants the AST, not the project's warning posture; -w
+  // also keeps -Werror flags in the compile database from turning
+  // unrelated warnings into parse failures.
+  tool.appendArgumentsAdjuster(clang::tooling::getInsertArgumentAdjuster(
+      "-w", clang::tooling::ArgumentInsertPosition::END));
+
+  Program program;
+  const int toolStatus = tool.run(makeCollectorFactory(program).get());
+  if (toolStatus != 0) {
+    std::cerr << "anytime_verify: failed to parse one or more TUs\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+
+  // Pass 1: lock order. (The DOT is written even when clean — the
+  // artifact documents the current global order.)
+  const LockGraph graph = buildLockGraph(program);
+  if (!LockDotPath.empty())
+    writeFileOrDie(LockDotPath, graph.toDot());
+  checkLockOrder(graph, findings, Strict);
+
+  // Pass 2: determinism taint — a source only matters inside the
+  // publish-reachable region.
+  const std::set<std::string> sensitive = program.publishReachable();
+  for (const auto &[function, source] : program.taintCandidates()) {
+    if (!sensitive.count(function))
+      continue;
+    Finding finding = source;
+    finding.message += " in '" + function +
+                       "', which can reach a published version; "
+                       "published values must replay bit-identically";
+    findings.push_back(finding);
+  }
+
+  // Pass 3: simd-spec (collected unconditionally per TU).
+  for (const Finding &finding : program.findings())
+    findings.push_back(finding);
+
+  for (const Finding &finding : findings)
+    printFinding(finding);
+  if (!SarifPath.empty())
+    writeFileOrDie(SarifPath, anytime_verify::toSarif(findings, "1.0"));
+
+  int errors = 0;
+  for (const Finding &finding : findings)
+    errors += finding.advisory ? 0 : 1;
+  std::cerr << "anytime_verify: " << program.functions().size()
+            << " functions, " << program.lockEdges().size()
+            << " lock nestings, " << errors << " error finding(s), "
+            << (findings.size() - static_cast<std::size_t>(errors))
+            << " advisory\n";
+  return errors > 0 ? 1 : 0;
+}

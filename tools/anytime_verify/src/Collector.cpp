@@ -1,0 +1,436 @@
+//===--- Collector.cpp ----------------------------------------------------===//
+
+#include "Collector.h"
+
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+
+#include "LockNesting.h"
+
+namespace anytime_verify {
+
+namespace {
+
+using anytime_analysis::ActiveLock;
+using anytime_analysis::LockNestingScanner;
+using anytime_analysis::lockRecordName;
+
+Loc toLoc(clang::SourceLocation location, const clang::SourceManager &SM) {
+  const clang::SourceLocation expansion = SM.getExpansionLoc(location);
+  Loc loc;
+  loc.file = SM.getFilename(expansion).str();
+  loc.line = SM.getExpansionLineNumber(expansion);
+  loc.column = SM.getExpansionColumnNumber(expansion);
+  return loc;
+}
+
+/// A finding on a line carrying a NOLINT comment is suppressed, same
+/// convention as clang-tidy.
+bool lineHasNolint(clang::SourceLocation location,
+                   const clang::SourceManager &SM) {
+  const clang::SourceLocation expansion = SM.getExpansionLoc(location);
+  bool invalid = false;
+  const llvm::StringRef buffer = SM.getBufferData(
+      SM.getFileID(expansion), &invalid);
+  if (invalid)
+    return false;
+  const unsigned offset = SM.getFileOffset(expansion);
+  if (offset >= buffer.size())
+    return false;
+  const std::size_t lineEnd = buffer.find('\n', offset);
+  const std::size_t lineStart = buffer.rfind('\n', offset);
+  const std::size_t begin =
+      lineStart == llvm::StringRef::npos ? 0 : lineStart + 1;
+  const std::size_t end =
+      lineEnd == llvm::StringRef::npos ? buffer.size() : lineEnd;
+  return buffer.slice(begin, end).contains("NOLINT");
+}
+
+bool derivesFromStage(const clang::CXXRecordDecl *record) {
+  if (record == nullptr || !record->hasDefinition())
+    return false;
+  if (lockRecordName(record) == "anytime::Stage")
+    return true;
+  for (const clang::CXXBaseSpecifier &base :
+       record->getDefinition()->bases()) {
+    const clang::CXXRecordDecl *baseRecord =
+        base.getType()->getAsCXXRecordDecl();
+    if (derivesFromStage(baseRecord))
+      return true;
+  }
+  return false;
+}
+
+bool nameMarksMerge(llvm::StringRef name) {
+  return name.contains("merge") || name.contains("Merge") ||
+         name.contains("combine") || name.contains("Combine");
+}
+
+const clang::ClassTemplateSpecializationDecl *
+rangeSpecialization(const clang::Expr *rangeInit) {
+  if (rangeInit == nullptr)
+    return nullptr;
+  const clang::QualType type = rangeInit->getType();
+  if (type.isNull())
+    return nullptr;
+  const clang::CXXRecordDecl *record =
+      type.getNonReferenceType()->getAsCXXRecordDecl();
+  if (record == nullptr)
+    return nullptr;
+  return llvm::dyn_cast<clang::ClassTemplateSpecializationDecl>(record);
+}
+
+/// Determinism sources: calls/constructs whose value varies run to
+/// run. steady_clock is deliberately absent — monotonic time drives
+/// scheduling decisions, never published values.
+bool isNondeterministicCallee(llvm::StringRef qualified) {
+  static const char *const kSources[] = {
+      "rand",
+      "srand",
+      "random",
+      "srandom",
+      "drand48",
+      "lrand48",
+      "time",
+      "gettimeofday",
+      "clock_gettime",
+      "pthread_self",
+      "std::rand",
+      "std::srand",
+      "std::time",
+      "std::chrono::system_clock::now",
+      "std::chrono::high_resolution_clock::now",
+      "std::this_thread::get_id",
+  };
+  for (const char *source : kSources)
+    if (qualified == source)
+      return true;
+  return false;
+}
+
+/// Walks one function body for the determinism and simd-spec passes
+/// plus the call graph. Lambda bodies are analyzed as separate
+/// functions by the outer visitor, so this walk stops at LambdaExpr.
+class BodyWalker {
+public:
+  BodyWalker(FunctionRecord &record, const clang::SourceManager &SM,
+             bool kernelCandidate, bool inSimdDir)
+      : record_(record), SM_(SM), kernelCandidate_(kernelCandidate),
+        inSimdDir_(inSimdDir) {}
+
+  // Unlike the lock scanner, this walk DOES descend into lambda
+  // bodies: a determinism source inside a sweep-step lambda belongs to
+  // the enclosing stage function for taint purposes, and the enclosing
+  // function's callee set should include calls the lambda makes.
+  void walk(const clang::Stmt *stmt, unsigned loopDepth) {
+    if (stmt == nullptr)
+      return;
+    const bool isLoop = llvm::isa<clang::ForStmt>(stmt) ||
+                        llvm::isa<clang::WhileStmt>(stmt) ||
+                        llvm::isa<clang::DoStmt>(stmt) ||
+                        llvm::isa<clang::CXXForRangeStmt>(stmt);
+    if (isLoop)
+      ++loopDepth;
+    inspect(stmt, loopDepth);
+    for (const clang::Stmt *child : stmt->children())
+      walk(child, loopDepth);
+  }
+
+private:
+  void addSource(clang::SourceLocation location, const std::string &what) {
+    if (lineHasNolint(location, SM_))
+      return;
+    Finding finding;
+    finding.rule = "anytime-verify-determinism";
+    finding.message = what;
+    finding.loc = toLoc(location, SM_);
+    record_.sources.push_back(finding);
+  }
+
+  void inspect(const clang::Stmt *stmt, unsigned loopDepth) {
+    if (const auto *call = llvm::dyn_cast<clang::CallExpr>(stmt)) {
+      const clang::FunctionDecl *callee = call->getDirectCallee();
+      if (callee != nullptr) {
+        const std::string qualified = callee->getQualifiedNameAsString();
+        record_.callees.insert(qualified);
+        if (isNondeterministicCallee(qualified))
+          addSource(call->getBeginLoc(),
+                    "call to nondeterminism source '" + qualified + "'");
+        if (const auto *memberCall =
+                llvm::dyn_cast<clang::CXXMemberCallExpr>(call)) {
+          const clang::CXXMethodDecl *method = memberCall->getMethodDecl();
+          if (method != nullptr &&
+              (method->getName() == "publish" ||
+               method->getName() == "publishShared") &&
+              lockRecordName(method->getParent()) ==
+                  "anytime::VersionedBuffer")
+            record_.callsPublish = true;
+        }
+      }
+      return;
+    }
+    if (const auto *construct =
+            llvm::dyn_cast<clang::CXXConstructExpr>(stmt)) {
+      const clang::CXXConstructorDecl *ctor = construct->getConstructor();
+      if (ctor != nullptr &&
+          lockRecordName(ctor->getParent()) == "std::random_device")
+        addSource(construct->getBeginLoc(),
+                  "std::random_device construction");
+      return;
+    }
+    if (const auto *rangeFor =
+            llvm::dyn_cast<clang::CXXForRangeStmt>(stmt)) {
+      inspectRangeFor(rangeFor);
+      return;
+    }
+    if (const auto *binary = llvm::dyn_cast<clang::BinaryOperator>(stmt)) {
+      inspectAccumulate(binary, loopDepth);
+      return;
+    }
+  }
+
+  void inspectRangeFor(const clang::CXXForRangeStmt *rangeFor) {
+    const clang::ClassTemplateSpecializationDecl *spec =
+        rangeSpecialization(rangeFor->getRangeInit());
+    if (spec == nullptr)
+      return;
+    const std::string name = spec->getQualifiedNameAsString();
+    if (name.rfind("std::unordered_", 0) == 0) {
+      addSource(rangeFor->getForLoc(),
+                "iteration over '" + name +
+                    "' (visit order depends on hashing)");
+      return;
+    }
+    // Ordered container, but ordered by pointer value: addresses vary
+    // run to run, so the order is still nondeterministic.
+    if (name == "std::map" || name == "std::set" ||
+        name == "std::multimap" || name == "std::multiset") {
+      const clang::TemplateArgumentList &args = spec->getTemplateArgs();
+      if (args.size() > 0 &&
+          args[0].getKind() == clang::TemplateArgument::Type &&
+          args[0].getAsType()->isPointerType())
+        addSource(rangeFor->getForLoc(),
+                  "iteration over '" + name +
+                      "' keyed by pointer value (address order varies "
+                      "run to run)");
+    }
+  }
+
+  void inspectAccumulate(const clang::BinaryOperator *binary,
+                         unsigned loopDepth) {
+    if (!kernelCandidate_ || inSimdDir_ || loopDepth == 0)
+      return;
+    if (binary->getOpcode() != clang::BO_AddAssign &&
+        binary->getOpcode() != clang::BO_SubAssign)
+      return;
+    const clang::QualType lhsType = binary->getLHS()->getType();
+    if (lhsType.isNull() || !lhsType->isRealFloatingType())
+      return;
+    if (lineHasNolint(binary->getOperatorLoc(), SM_))
+      return;
+    Finding finding;
+    finding.rule = "anytime-verify-simd-spec";
+    finding.message =
+        "raw floating-point accumulation in a kernel loop outside "
+        "src/simd/; route the arithmetic through the ops table so the "
+        "association order matches the SIMD specification";
+    finding.loc = toLoc(binary->getOperatorLoc(), SM_);
+    record_.rawFloat.push_back(finding);
+  }
+
+  FunctionRecord &record_;
+  const clang::SourceManager &SM_;
+  const bool kernelCandidate_;
+  const bool inSimdDir_;
+};
+
+/// True when the function takes an anytime::Image / ApproxStorage
+/// parameter and is neither a float-returning metric nor a *Reference*
+/// oracle — the same rule as the anytime-raw-float-in-kernel tidy
+/// check, so per-TU and whole-program enforcement agree.
+bool isKernelCandidate(const clang::FunctionDecl *function) {
+  const clang::QualType returnType = function->getReturnType();
+  if (!returnType.isNull() && returnType->isRealFloatingType())
+    return false;
+  const std::string name = function->getQualifiedNameAsString();
+  if (name.find("Reference") != std::string::npos ||
+      name.find("reference") != std::string::npos)
+    return false;
+  for (const clang::ParmVarDecl *param : function->parameters()) {
+    const clang::CXXRecordDecl *record =
+        param->getType().getNonReferenceType()->getAsCXXRecordDecl();
+    if (record == nullptr)
+      continue;
+    const std::string recordName = lockRecordName(record);
+    if (recordName == "anytime::Image" ||
+        recordName == "anytime::ApproxStorage")
+      return true;
+  }
+  return false;
+}
+
+class FunctionCollector
+    : public clang::RecursiveASTVisitor<FunctionCollector> {
+public:
+  FunctionCollector(Program &program, clang::ASTContext &context)
+      : program_(program), SM_(context.getSourceManager()) {}
+
+  bool shouldVisitTemplateInstantiations() const { return true; }
+  bool shouldVisitLambdaBody() const { return true; }
+
+  bool VisitFunctionDecl(const clang::FunctionDecl *function) {
+    if (!function->doesThisDeclarationHaveABody() ||
+        function->getBody() == nullptr)
+      return true;
+    const clang::SourceLocation location = function->getLocation();
+    if (location.isInvalid() || SM_.isInSystemHeader(location))
+      return true;
+    analyze(function);
+    return true;
+  }
+
+  // The lock scanner deliberately skips lambda bodies inside their
+  // enclosing function (deferred execution), so each lambda's call
+  // operator gets its own lock scan here under a synthetic name.
+  bool VisitLambdaExpr(const clang::LambdaExpr *lambda) {
+    const clang::CXXMethodDecl *op = lambda->getCallOperator();
+    if (op == nullptr || !op->hasBody())
+      return true;
+    const clang::SourceLocation location = lambda->getBeginLoc();
+    if (location.isInvalid() || SM_.isInSystemHeader(location))
+      return true;
+    const Loc loc = toLoc(location, SM_);
+    FunctionRecord record;
+    record.name = "lambda@" + loc.file + ":" + std::to_string(loc.line);
+    record.loc = loc;
+    scanLocks(op, record);
+    program_.add(record);
+    for (const LockEdge &edge : record.lockEdges)
+      program_.addLockEdge(edge);
+    for (const CallWhileHeld &call : record.callsWhileHeld)
+      program_.addCallWhileHeld(call);
+    return true;
+  }
+
+private:
+  void analyze(const clang::FunctionDecl *function) {
+    FunctionRecord record;
+    record.name = function->getQualifiedNameAsString();
+    record.loc = toLoc(function->getLocation(), SM_);
+    record.isMergeNamed = nameMarksMerge(record.name);
+    if (const auto *method =
+            llvm::dyn_cast<clang::CXXMethodDecl>(function)) {
+      if (!method->isStatic() && derivesFromStage(method->getParent()) &&
+          lockRecordName(method->getParent()) != "anytime::Stage")
+        record.isStageMethod = true;
+    }
+
+    const bool inSimd = record.loc.file.find("/simd/") != std::string::npos;
+    BodyWalker walker(record, SM_, isKernelCandidate(function), inSimd);
+    walker.walk(function->getBody(), 0);
+
+    scanLocks(function, record);
+
+    program_.add(record);
+    // The merged record in the program deduplicates by name; findings
+    // and lock edges are forwarded separately so an inline function
+    // parsed by many TUs reports each site exactly once. Sources park
+    // as candidates until reachability is known; raw-float findings
+    // are unconditional.
+    for (const Finding &finding : record.sources)
+      program_.addTaintCandidate(record.name, finding);
+    for (const Finding &finding : record.rawFloat)
+      program_.addFinding(finding);
+    for (const LockEdge &edge : record.lockEdges)
+      program_.addLockEdge(edge);
+    for (const CallWhileHeld &call : record.callsWhileHeld)
+      program_.addCallWhileHeld(call);
+  }
+
+  void scanLocks(const clang::FunctionDecl *function,
+                 FunctionRecord &record) {
+    LockNestingScanner scanner;
+    scanner.scan(
+        function,
+        [&record, this](const ActiveLock &held, const ActiveLock &incoming) {
+          LockEdge edge;
+          edge.held = held.mutexKey;
+          edge.incoming = incoming.mutexKey;
+          edge.loc = toLoc(incoming.loc, SM_);
+          record.lockEdges.push_back(edge);
+        },
+        [&record](const ActiveLock &acquired) {
+          record.acquires.insert(acquired.mutexKey);
+        },
+        [&record, this](const std::vector<ActiveLock> &held,
+                        const clang::FunctionDecl *callee,
+                        clang::SourceLocation location) {
+          CallWhileHeld call;
+          for (const ActiveLock &lock : held)
+            call.held.push_back(lock.mutexKey);
+          call.callee = callee->getQualifiedNameAsString();
+          call.loc = toLoc(location, SM_);
+          record.callsWhileHeld.push_back(call);
+        });
+  }
+
+  Program &program_;
+  const clang::SourceManager &SM_;
+};
+
+class CollectConsumer : public clang::ASTConsumer {
+public:
+  explicit CollectConsumer(Program &program) : program_(program) {}
+
+  void HandleTranslationUnit(clang::ASTContext &context) override {
+    FunctionCollector visitor(program_, context);
+    visitor.TraverseDecl(context.getTranslationUnitDecl());
+  }
+
+private:
+  Program &program_;
+};
+
+class CollectAction : public clang::ASTFrontendAction {
+public:
+  explicit CollectAction(Program &program) : program_(program) {}
+
+  std::unique_ptr<clang::ASTConsumer>
+  CreateASTConsumer(clang::CompilerInstance &, llvm::StringRef) override {
+    return std::make_unique<CollectConsumer>(program_);
+  }
+
+private:
+  Program &program_;
+};
+
+class CollectActionFactory : public clang::tooling::FrontendActionFactory {
+public:
+  explicit CollectActionFactory(Program &program) : program_(program) {}
+
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<CollectAction>(program_);
+  }
+
+private:
+  Program &program_;
+};
+
+} // namespace
+
+std::unique_ptr<clang::tooling::FrontendActionFactory>
+makeCollectorFactory(Program &program) {
+  return std::make_unique<CollectActionFactory>(program);
+}
+
+} // namespace anytime_verify

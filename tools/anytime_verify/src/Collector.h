@@ -1,0 +1,29 @@
+//===--- Collector.h --------------------------------------------*- C++ -*-===//
+//
+// Per-TU collection for anytime_verify. One Collector instance is
+// shared by every TU's frontend action; it appends FunctionRecords to
+// the Program under analysis. All semantic judgement (cycle detection,
+// publish reachability) happens later in the aggregation step — the
+// collector only records what one function's body literally contains.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_VERIFY_COLLECTOR_H
+#define ANYTIME_VERIFY_COLLECTOR_H
+
+#include <memory>
+
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "WholeProgram.h"
+
+namespace anytime_verify {
+
+/// Factory for frontend actions that feed one shared Program.
+std::unique_ptr<clang::tooling::FrontendActionFactory>
+makeCollectorFactory(Program &program);
+
+} // namespace anytime_verify
+
+#endif // ANYTIME_VERIFY_COLLECTOR_H

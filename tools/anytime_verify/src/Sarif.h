@@ -1,0 +1,102 @@
+//===--- Sarif.h ------------------------------------------------*- C++ -*-===//
+//
+// Minimal SARIF 2.1.0 writer for anytime_verify findings. Hand-rolled
+// JSON (the tool links only LLVM/Clang, and the schema subset CI's
+// code-scanning upload needs is tiny): one run, one driver, explicit
+// rules, one result per finding.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_VERIFY_SARIF_H
+#define ANYTIME_VERIFY_SARIF_H
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "WholeProgram.h"
+
+namespace anytime_verify {
+
+inline std::string jsonEscape(const std::string &text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(c) & 0xff);
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+inline std::string toSarif(const std::vector<Finding> &findings,
+                           const std::string &toolVersion) {
+  std::set<std::string> ruleIds;
+  for (const Finding &finding : findings)
+    ruleIds.insert(finding.rule);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\n"
+       << "      \"name\": \"anytime-verify\",\n"
+       << "      \"version\": \"" << jsonEscape(toolVersion) << "\",\n"
+       << "      \"rules\": [";
+  bool first = true;
+  for (const std::string &rule : ruleIds) {
+    json << (first ? "" : ", ") << "{\"id\": \"" << jsonEscape(rule)
+         << "\"}";
+    first = false;
+  }
+  json << "]\n"
+       << "    }},\n"
+       << "    \"results\": [";
+  first = true;
+  for (const Finding &finding : findings) {
+    json << (first ? "\n" : ",\n")
+         << "      {\"ruleId\": \"" << jsonEscape(finding.rule) << "\", "
+         << "\"level\": \"" << (finding.advisory ? "note" : "error")
+         << "\", "
+         << "\"message\": {\"text\": \"" << jsonEscape(finding.message)
+         << "\"}, "
+         << "\"locations\": [{\"physicalLocation\": "
+         << "{\"artifactLocation\": {\"uri\": \""
+         << jsonEscape(finding.loc.file) << "\"}, "
+         << "\"region\": {\"startLine\": "
+         << (finding.loc.line > 0 ? finding.loc.line : 1) << "}}}]}";
+    first = false;
+  }
+  json << "\n    ]\n"
+       << "  }]\n"
+       << "}\n";
+  return json.str();
+}
+
+} // namespace anytime_verify
+
+#endif // ANYTIME_VERIFY_SARIF_H

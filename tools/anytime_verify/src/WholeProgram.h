@@ -1,0 +1,338 @@
+//===--- WholeProgram.h -----------------------------------------*- C++ -*-===//
+//
+// Whole-program data model for anytime_verify: what the per-TU
+// collector records, and the pure-STL aggregation that runs after
+// every TU has been parsed (call-graph closure to
+// VersionedBuffer::publish, the global lock-order graph, cycle
+// detection, DOT emission). Deliberately free of clang dependencies so
+// the aggregation logic is readable on its own.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ANYTIME_VERIFY_WHOLE_PROGRAM_H
+#define ANYTIME_VERIFY_WHOLE_PROGRAM_H
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anytime_verify {
+
+/// One source location in repo-relative-ish form (as spelled by the
+/// compile database).
+struct Loc {
+  std::string file;
+  unsigned line = 0;
+  unsigned column = 0;
+};
+
+/// One diagnostic produced by a pass.
+struct Finding {
+  std::string rule;    // e.g. "anytime-verify-lock-order"
+  std::string message;
+  Loc loc;
+  bool advisory = false; // note-level unless --strict
+};
+
+/// A lexically observed "acquire B while holding A" edge.
+struct LockEdge {
+  std::string held;     // class-level mutex key
+  std::string incoming;
+  Loc loc;
+};
+
+/// A call made while >=1 lock was held (fuel for the advisory
+/// interprocedural edges).
+struct CallWhileHeld {
+  std::vector<std::string> held;
+  std::string callee;
+  Loc loc;
+};
+
+/// Everything the collector learned about one function definition.
+struct FunctionRecord {
+  std::string name; // qualified
+  Loc loc;
+  bool callsPublish = false;   // VersionedBuffer::publish[Shared]
+  bool isStageMethod = false;  // method of a Stage-derived class
+  bool isMergeNamed = false;   // name marks it as a merge/combine step
+  std::set<std::string> callees;
+  std::set<std::string> acquires; // mutex keys acquired directly
+  std::vector<LockEdge> lockEdges;
+  std::vector<CallWhileHeld> callsWhileHeld;
+  std::vector<Finding> sources;  // determinism-taint sources
+  std::vector<Finding> rawFloat; // simd-spec violations
+};
+
+/// Merged view over every TU. Functions deduplicate by qualified name
+/// (inline header functions are parsed once per including TU).
+class Program {
+public:
+  void add(const FunctionRecord &record) {
+    auto [it, inserted] = functions_.emplace(record.name, record);
+    if (inserted)
+      return;
+    FunctionRecord &existing = it->second;
+    existing.callsPublish |= record.callsPublish;
+    existing.isStageMethod |= record.isStageMethod;
+    existing.isMergeNamed |= record.isMergeNamed;
+    existing.callees.insert(record.callees.begin(), record.callees.end());
+    existing.acquires.insert(record.acquires.begin(),
+                             record.acquires.end());
+  }
+
+  const std::map<std::string, FunctionRecord> &functions() const {
+    return functions_;
+  }
+
+  /// Pass findings deduplicate by (rule, file, line): an inline header
+  /// function parsed by many TUs reports each site exactly once.
+  void addFinding(const Finding &finding) {
+    const std::string key = finding.rule + "|" + finding.loc.file + ":" +
+                            std::to_string(finding.loc.line);
+    if (seenFindings_.insert(key).second)
+      findings_.push_back(finding);
+  }
+
+  /// A determinism source only becomes a diagnostic when its owning
+  /// function turns out to be publish-reachable, which is decided
+  /// after every TU has been parsed — so sources park here with their
+  /// owner until aggregation.
+  void addTaintCandidate(const std::string &function,
+                         const Finding &finding) {
+    const std::string key = finding.loc.file + ":" +
+                            std::to_string(finding.loc.line) + "|" +
+                            finding.message;
+    if (seenTaint_.insert(key).second)
+      taintCandidates_.emplace_back(function, finding);
+  }
+
+  const std::vector<std::pair<std::string, Finding>> &
+  taintCandidates() const {
+    return taintCandidates_;
+  }
+
+  void addLockEdge(const LockEdge &edge) { lockEdges_.push_back(edge); }
+
+  void addCallWhileHeld(const CallWhileHeld &call) {
+    const std::string key = call.callee + "@" + call.loc.file + ":" +
+                            std::to_string(call.loc.line);
+    if (seenCalls_.insert(key).second)
+      callsWhileHeld_.push_back(call);
+  }
+
+  const std::vector<Finding> &findings() const { return findings_; }
+  const std::vector<LockEdge> &lockEdges() const { return lockEdges_; }
+  const std::vector<CallWhileHeld> &callsWhileHeld() const {
+    return callsWhileHeld_;
+  }
+
+  /// The deterministic-replay region: direct publishers, Stage
+  /// methods, and merge-named functions are roots. Callees of a root
+  /// execute under the replay contract (a helper whose return value
+  /// feeds the published result), so the forward closure over callees
+  /// starts from the roots. Callers of that region compute the values
+  /// it publishes, so a reverse closure over callers runs on top. The
+  /// forward closure deliberately does NOT restart from reverse-marked
+  /// functions: main() calling one publisher must not taint every
+  /// other function main() happens to call.
+  std::set<std::string> publishReachable() const {
+    std::set<std::string> sensitive;
+    std::vector<std::string> worklist;
+    for (const auto &[name, record] : functions_) {
+      if (record.callsPublish || record.isStageMethod ||
+          record.isMergeNamed) {
+        sensitive.insert(name);
+        worklist.push_back(name);
+      }
+    }
+    // Forward: everything the roots transitively call.
+    while (!worklist.empty()) {
+      const std::string current = worklist.back();
+      worklist.pop_back();
+      auto it = functions_.find(current);
+      if (it == functions_.end())
+        continue;
+      for (const std::string &callee : it->second.callees) {
+        if (functions_.count(callee) && sensitive.insert(callee).second)
+          worklist.push_back(callee);
+      }
+    }
+    // Reverse: everything that transitively calls into the region.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto &[name, record] : functions_) {
+        if (sensitive.count(name))
+          continue;
+        for (const std::string &callee : record.callees) {
+          if (sensitive.count(callee)) {
+            sensitive.insert(name);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return sensitive;
+  }
+
+  /// Mutexes each function acquires transitively (itself plus every
+  /// callee, to a fixpoint). Powers the advisory lock edges.
+  std::map<std::string, std::set<std::string>> transitiveAcquires() const {
+    std::map<std::string, std::set<std::string>> acquired;
+    for (const auto &[name, record] : functions_)
+      acquired[name] = record.acquires;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto &[name, record] : functions_) {
+        std::set<std::string> &mine = acquired[name];
+        const std::size_t before = mine.size();
+        for (const std::string &callee : record.callees) {
+          auto it = acquired.find(callee);
+          if (it != acquired.end())
+            mine.insert(it->second.begin(), it->second.end());
+        }
+        changed |= mine.size() != before;
+      }
+    }
+    return acquired;
+  }
+
+private:
+  std::map<std::string, FunctionRecord> functions_;
+  std::vector<Finding> findings_;
+  std::vector<std::pair<std::string, Finding>> taintCandidates_;
+  std::vector<LockEdge> lockEdges_;
+  std::vector<CallWhileHeld> callsWhileHeld_;
+  std::set<std::string> seenFindings_;
+  std::set<std::string> seenTaint_;
+  std::set<std::string> seenCalls_;
+};
+
+/// The global acquisition graph: definite edges come from lexical
+/// nesting inside one function; advisory edges come from calling a
+/// function that (transitively) acquires while a lock is held.
+class LockGraph {
+public:
+  void addDefinite(const LockEdge &edge) {
+    if (edge.held == edge.incoming)
+      return; // self-loops are the hint check's territory
+    nodes_.insert(edge.held);
+    nodes_.insert(edge.incoming);
+    auto [it, inserted] =
+        definite_.emplace(std::make_pair(edge.held, edge.incoming),
+                          edge.loc);
+    (void)it;
+    (void)inserted;
+  }
+
+  void addAdvisory(const std::string &held, const std::string &incoming,
+                   const Loc &loc) {
+    if (held == incoming)
+      return;
+    if (definite_.count({held, incoming}))
+      return;
+    nodes_.insert(held);
+    nodes_.insert(incoming);
+    advisory_.emplace(std::make_pair(held, incoming), loc);
+  }
+
+  /// Shortest-by-construction cycle through the given edge set, empty
+  /// when acyclic. Returns node names in order, first == last.
+  std::vector<std::string> findCycle(bool includeAdvisory) const {
+    std::map<std::string, std::vector<std::string>> out;
+    for (const auto &[edge, loc] : definite_)
+      out[edge.first].push_back(edge.second);
+    if (includeAdvisory)
+      for (const auto &[edge, loc] : advisory_)
+        out[edge.first].push_back(edge.second);
+    std::map<std::string, int> state; // 0 new, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::vector<std::string> cycle;
+    for (const std::string &root : nodes_) {
+      if (state[root] == 0 && dfs(root, out, state, stack, cycle))
+        return cycle;
+    }
+    return {};
+  }
+
+  const std::map<std::pair<std::string, std::string>, Loc> &
+  definite() const {
+    return definite_;
+  }
+  const std::map<std::pair<std::string, std::string>, Loc> &
+  advisory() const {
+    return advisory_;
+  }
+
+  /// Graphviz rendering: solid = lexical nesting, dashed = advisory
+  /// (call-while-held into a transitive acquirer).
+  std::string toDot() const {
+    std::ostringstream dot;
+    dot << "digraph lock_order {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (const std::string &node : nodes_)
+      dot << "  \"" << node << "\";\n";
+    for (const auto &[edge, loc] : definite_)
+      dot << "  \"" << edge.first << "\" -> \"" << edge.second
+          << "\" [style=solid, label=\"" << loc.file << ":" << loc.line
+          << "\"];\n";
+    for (const auto &[edge, loc] : advisory_)
+      dot << "  \"" << edge.first << "\" -> \"" << edge.second
+          << "\" [style=dashed, color=gray50];\n";
+    dot << "}\n";
+    return dot.str();
+  }
+
+  /// Location of one edge (definite preferred) for diagnostics.
+  Loc edgeLoc(const std::string &from, const std::string &to) const {
+    auto it = definite_.find({from, to});
+    if (it != definite_.end())
+      return it->second;
+    auto advisoryIt = advisory_.find({from, to});
+    if (advisoryIt != advisory_.end())
+      return advisoryIt->second;
+    return {};
+  }
+
+private:
+  static bool dfs(const std::string &node,
+                  const std::map<std::string, std::vector<std::string>> &out,
+                  std::map<std::string, int> &state,
+                  std::vector<std::string> &stack,
+                  std::vector<std::string> &cycle) {
+    state[node] = 1;
+    stack.push_back(node);
+    auto it = out.find(node);
+    if (it != out.end()) {
+      for (const std::string &next : it->second) {
+        if (state[next] == 1) {
+          auto start = std::find(stack.begin(), stack.end(), next);
+          cycle.assign(start, stack.end());
+          cycle.push_back(next);
+          return true;
+        }
+        if (state[next] == 0 && dfs(next, out, state, stack, cycle))
+          return true;
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  }
+
+  std::set<std::string> nodes_;
+  std::map<std::pair<std::string, std::string>, Loc> definite_;
+  std::map<std::pair<std::string, std::string>, Loc> advisory_;
+};
+
+} // namespace anytime_verify
+
+#endif // ANYTIME_VERIFY_WHOLE_PROGRAM_H

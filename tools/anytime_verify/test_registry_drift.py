@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Drift regressions for the registry cross-checks (clang-free).
+
+The core regression required by the verify contract: injecting a fake
+unregistered fault site must make the cross-check FAIL — proving the
+checker actually reads the tree rather than rubber-stamping it. Plus
+direct unit coverage of the extraction helpers against the real repo.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+TOOL_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOL_DIR.parent.parent
+
+sys.path.insert(0, str(TOOL_DIR))
+
+import registry_check  # noqa: E402
+
+EXPECTED_SITES = {
+    "stage.body",
+    "sweep.merge",
+    "pool.dispatch",
+    "publish",
+    "service.build",
+    "net.write",
+}
+
+
+class ExtractionTest(unittest.TestCase):
+    """The extraction helpers must see the real registries."""
+
+    def test_wired_sites_match_the_known_set(self) -> None:
+        wired = registry_check.wired_fault_sites(REPO_ROOT)
+        self.assertEqual(set(wired), EXPECTED_SITES)
+
+    def test_documented_sites_match_the_known_set(self) -> None:
+        documented = registry_check.documented_fault_sites(REPO_ROOT)
+        self.assertEqual(documented, EXPECTED_SITES)
+
+    def test_clean_tree_has_no_findings(self) -> None:
+        findings = (
+            registry_check.check_fault_sites(REPO_ROOT, None)
+            + registry_check.check_metric_names(REPO_ROOT)
+            + registry_check.check_trace_spans(REPO_ROOT)
+        )
+        self.assertEqual(findings, [], findings)
+
+
+class DriftTest(unittest.TestCase):
+    """Seeded drift must fail loudly."""
+
+    def run_checker(self, *extra: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [
+                sys.executable,
+                str(TOOL_DIR / "registry_check.py"),
+                "--repo-root",
+                str(REPO_ROOT),
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+    def test_clean_tree_passes(self) -> None:
+        result = self.run_checker()
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_fake_unregistered_site_fails(self) -> None:
+        result = self.run_checker("--fake-site", "ghost.site")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("ghost.site", result.stdout)
+        self.assertIn("anytime-verify-fault-registry", result.stdout)
+        # Both drift modes fire: undocumented AND unexercised.
+        self.assertIn("not listed in the fault.hpp site spec",
+                      result.stdout)
+        self.assertIn("never exercised under tests/", result.stdout)
+
+    def test_fake_site_findings_export_as_json(self) -> None:
+        import json
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "findings.json"
+            result = self.run_checker(
+                "--fake-site", "ghost.site", "--json", str(out)
+            )
+            self.assertEqual(result.returncode, 1)
+            findings = json.loads(out.read_text())
+        self.assertEqual(len(findings), 2)
+        for entry in findings:
+            self.assertEqual(entry["rule"],
+                             "anytime-verify-fault-registry")
+            self.assertIn("ghost.site", entry["message"])
+
+
+if __name__ == "__main__":
+    unittest.main()
