@@ -17,12 +17,18 @@
  * model exposes (every response is valid; slack buys accuracy).
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <random>
 #include <thread>
 #include <vector>
+
+#include "core/source_stage.hpp"
 
 #include "apps/conv2d.hpp"
 #include "apps/kmeans.hpp"
@@ -43,16 +49,17 @@ const std::chrono::nanoseconds kDeadlineMix[] = {5ms, 20ms, 80ms};
 
 ServiceRequest
 conv2dRequest(const GrayImage &scene, std::chrono::nanoseconds deadline,
-              unsigned stage_workers)
+              unsigned stage_workers, unsigned precision_bits = 8)
 {
     ServiceRequest request;
     request.name = "conv2d";
     request.deadline = deadline;
     request.stageWorkers = stage_workers;
-    request.factory = [&scene, stage_workers] {
+    request.factory = [&scene, stage_workers, precision_bits] {
         Conv2dConfig config;
         config.publishCount = 32;
         config.workers = stage_workers;
+        config.precisionBits = precision_bits;
         auto bundle = makeConv2dAutomaton(scene, Kernel::gaussianBlur(3),
                                           config);
         PreparedPipeline pipeline;
@@ -188,6 +195,328 @@ runOpenLoop(const std::string &workload, const RequestMaker &make,
         " ms)"));
 }
 
+// ---- Overload curves: brownout vs shed-only ------------------------
+
+/**
+ * The overload workload: a build-cheap, execution-dominated spin
+ * pipeline so the *executor pool*, not the (serial) pipeline builder,
+ * is the saturated resource — the regime where trading quality for
+ * capacity pays. One loose uniform deadline: under overload the EDF
+ * hard-stop converts excess load into partial-quality answers instead
+ * of queue expiries. The progress probe is concave (sqrt of step
+ * fraction), modelling the paper's refinement curves (Figs. 16-18):
+ * the first versions buy most of the answer, so an early stop costs
+ * far less quality than the capacity it frees.
+ */
+ServiceRequest
+overloadRequest(unsigned stage_workers, double min_quality)
+{
+    ServiceRequest request;
+    request.name = "spin-overload";
+    request.deadline = 80ms;
+    request.stageWorkers = stage_workers;
+    request.minQuality = min_quality;
+    request.factory = [stage_workers] {
+        constexpr std::uint64_t steps = 32;
+        auto automaton = std::make_unique<Automaton>();
+        auto out = automaton->makeBuffer<long>("spin");
+        automaton->addStage(
+            std::make_shared<DiffusiveSourceStage<long>>(
+                "spin", out, 0L, steps,
+                [](std::uint64_t, long &state, StageContext &) {
+                    state += 1;
+                    std::this_thread::sleep_for(750us);
+                },
+                /*publish_period=*/1, /*batch=*/1),
+            stage_workers);
+        PreparedPipeline pipeline;
+        pipeline.progress = [out] {
+            const auto snap = out->read();
+            return snap ? std::sqrt(static_cast<double>(*snap.value) /
+                                    static_cast<double>(steps))
+                        : 0.0;
+        };
+        pipeline.versionCount = [out] { return out->version(); };
+        pipeline.automaton = std::move(automaton);
+        return pipeline;
+    };
+    return request;
+}
+
+/** One (load multiplier, admission mode) measurement. */
+struct OverloadStats
+{
+    double multiplier = 0.0;
+    std::size_t total = 0;
+    std::size_t served = 0;
+    std::size_t shedTotal = 0;
+    /** (served + degraded) / total — answers with real output. */
+    double usefulFraction = 0.0;
+    /** Mean progress quality over served requests. */
+    double meanQuality = 0.0;
+    /** Quality amortized over *all* requests (sheds count as zero):
+     *  the quality-vs-load curve the brownout must keep above the
+     *  shed-only baseline. */
+    double usefulQuality = 0.0;
+    double hitRate = 0.0;
+    int maxLevel = 0;
+    std::uint64_t transitions = 0;
+    bool identityHolds = false;
+};
+
+/**
+ * Drive one open-loop burst at @p multiplier times the base arrival
+ * rate. With @p use_brownout the request maker consults the live
+ * brownout policy at submit time — gang capped, precision ceiling
+ * applied — so degradation reaches the pipelines, not just admission.
+ */
+OverloadStats
+runOverloadPoint(unsigned stage_workers, bool use_brownout,
+                 double multiplier, unsigned total,
+                 std::chrono::nanoseconds base_gap,
+                 std::uint64_t arrival_seed)
+{
+    ServerConfig config{.workers = 4, .maxQueueDepth = 16};
+    config.brownout.enabled = use_brownout;
+    // The bench bursts are short; evaluate every scheduler pass so the
+    // ladder can engage within the burst.
+    config.brownout.evalInterval = 1ms;
+    AnytimeServer server(config);
+
+    const auto make = [&] {
+        unsigned gang = stage_workers;
+        double min_quality = 0.0;
+        if (use_brownout) {
+            const BrownoutLevelPolicy policy = server.brownoutPolicy();
+            if (policy.maxStageWorkers != 0)
+                gang = std::min(gang, policy.maxStageWorkers);
+            // The in-process realization of the precision ceiling: a
+            // progress-quality target of ceiling/8. The server stops
+            // the request there *only while a backlog exists*, so
+            // surplus accuracy is traded exactly when someone waiting
+            // would otherwise get nothing.
+            if (policy.precisionBitsCeiling < 8)
+                min_quality =
+                    static_cast<double>(policy.precisionBitsCeiling) /
+                    8.0;
+        }
+        return overloadRequest(gang, min_quality);
+    };
+
+    std::mt19937_64 rng(arrival_seed);
+    std::exponential_distribution<double> gap(
+        multiplier /
+        std::chrono::duration<double>(base_gap).count());
+
+    OverloadStats stats;
+    stats.multiplier = multiplier;
+    std::vector<std::future<ServiceResponse>> futures;
+    futures.reserve(total);
+    for (unsigned i = 0; i < total; ++i) {
+        futures.push_back(server.submit(make()));
+        stats.maxLevel =
+            std::max(stats.maxLevel, server.brownoutLevel());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(gap(rng)));
+    }
+    for (auto &future : futures)
+        future.wait();
+    server.drain();
+    stats.maxLevel = std::max(stats.maxLevel, server.brownoutLevel());
+    stats.transitions = server.brownoutControl().transitions();
+
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    stats.total = metrics.total();
+    stats.served = metrics.served();
+    stats.shedTotal = metrics.shed();
+    stats.usefulFraction =
+        metrics.total() == 0
+            ? 0.0
+            : static_cast<double>(metrics.served() +
+                                  metrics.degraded()) /
+                  static_cast<double>(metrics.total());
+    stats.meanQuality = metrics.meanQuality();
+    stats.usefulQuality = stats.meanQuality * stats.usefulFraction;
+    stats.hitRate = metrics.hitRate();
+    stats.identityHolds =
+        metrics.total() == metrics.served() + metrics.shed() +
+                               metrics.expired() + metrics.failed() +
+                               metrics.cancelled() + metrics.degraded();
+    return stats;
+}
+
+/** Quality-vs-load comparison; returns EXIT_SUCCESS when the brownout
+ *  curve dominates shed-only at every multiplier >= 2. */
+int
+runBrownoutCurves(unsigned stage_workers, std::uint64_t arrival_seed,
+                  const std::string &json_path)
+{
+    // The base gap approximates one-server-capacity arrivals for the
+    // bench scene; multipliers express overload relative to it.
+    const auto base_gap = 12ms;
+    const double multipliers[] = {1.0, 2.0, 3.0};
+    // Enough arrivals per point that the post-engage steady state,
+    // not the controller's ramp-up transient, dominates the averages.
+    const unsigned total = 96;
+
+    std::vector<OverloadStats> shed_only;
+    std::vector<OverloadStats> brownout;
+    for (const double multiplier : multipliers) {
+        shed_only.push_back(runOverloadPoint(stage_workers, false,
+                                             multiplier, total,
+                                             base_gap, arrival_seed));
+        brownout.push_back(runOverloadPoint(stage_workers, true,
+                                            multiplier, total,
+                                            base_gap, arrival_seed));
+    }
+
+    std::printf("%-6s %-10s %8s %8s %8s %10s %10s %6s\n", "load",
+                "mode", "served", "shed", "useful", "quality",
+                "q*useful", "maxL");
+    bool dominates = true;
+    bool identity = true;
+    for (std::size_t i = 0; i < shed_only.size(); ++i) {
+        for (const OverloadStats *stats :
+             {&shed_only[i], &brownout[i]}) {
+            std::printf(
+                "%-6.1f %-10s %8zu %8zu %8.3f %10.3f %10.3f %6d\n",
+                stats->multiplier,
+                stats == &brownout[i] ? "brownout" : "shed-only",
+                stats->served, stats->shedTotal,
+                stats->usefulFraction, stats->meanQuality,
+                stats->usefulQuality, stats->maxLevel);
+            identity = identity && stats->identityHolds;
+        }
+        if (shed_only[i].multiplier >= 2.0 &&
+            brownout[i].usefulQuality < shed_only[i].usefulQuality)
+            dominates = false;
+    }
+    std::printf("\nbrownout %s the shed-only baseline at >=2x "
+                "capacity (quality amortized over all requests)\n",
+                dominates ? "dominates" : "DOES NOT dominate");
+    if (!identity)
+        std::printf("ACCOUNTING IDENTITY VIOLATED\n");
+
+    if (!json_path.empty()) {
+        std::FILE *out = std::fopen(json_path.c_str(), "w");
+        if (!out) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return EXIT_FAILURE;
+        }
+        std::fprintf(out, "{\n");
+        std::fprintf(out,
+                     "  \"bench\": \"service_load_brownout\",\n");
+        std::fprintf(out, "  \"arrival_seed\": %llu,\n",
+                     static_cast<unsigned long long>(arrival_seed));
+        std::fprintf(out, "  \"points\": [\n");
+        for (std::size_t i = 0; i < shed_only.size(); ++i) {
+            const auto emit = [&](const char *mode,
+                                  const OverloadStats &stats) {
+                std::fprintf(
+                    out,
+                    "    {\"multiplier\": %.1f, \"mode\": \"%s\", "
+                    "\"total\": %zu, \"served\": %zu, \"shed\": %zu, "
+                    "\"useful_fraction\": %.6f, "
+                    "\"mean_quality\": %.6f, "
+                    "\"useful_quality\": %.6f, \"hit_rate\": %.6f, "
+                    "\"max_level\": %d, \"transitions\": %llu}%s\n",
+                    stats.multiplier, mode, stats.total, stats.served,
+                    stats.shedTotal, stats.usefulFraction,
+                    stats.meanQuality, stats.usefulQuality,
+                    stats.hitRate, stats.maxLevel,
+                    static_cast<unsigned long long>(stats.transitions),
+                    mode == std::string("brownout") &&
+                            i + 1 == shed_only.size()
+                        ? ""
+                        : ",");
+            };
+            emit("shed_only", shed_only[i]);
+            emit("brownout", brownout[i]);
+        }
+        std::fprintf(out, "  ],\n");
+        std::fprintf(out, "  \"dominates_at_2x\": %s,\n",
+                     dominates ? "true" : "false");
+        std::fprintf(out, "  \"identity_holds\": %s\n",
+                     identity ? "true" : "false");
+        std::fprintf(out, "}\n");
+        std::fclose(out);
+        std::cout << "json written to " << json_path << "\n";
+    }
+    return identity && dominates ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+/** CI overload soak: sustained ~2x-capacity arrivals with brownout on;
+ *  the accounting identity must hold at the end. The spin workload
+ *  keeps the overload factor stable regardless of --scale or
+ *  sanitizer slowdown. */
+int
+runSoak(unsigned stage_workers, double seconds,
+        std::uint64_t arrival_seed)
+{
+    ServerConfig config{.workers = 4, .maxQueueDepth = 16};
+    config.brownout.enabled = true;
+    config.brownout.evalInterval = 1ms;
+    AnytimeServer server(config);
+
+    // Spin exec is ~24 ms over a 4-slot pool => capacity is one
+    // arrival per 6 ms; a 3 ms mean gap holds ~2x capacity.
+    const auto base_gap = 3ms;
+    std::mt19937_64 rng(arrival_seed);
+    std::exponential_distribution<double> gap(
+        1.0 / std::chrono::duration<double>(base_gap).count());
+
+    std::vector<std::future<ServiceResponse>> futures;
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    unsigned submitted = 0;
+    while (std::chrono::steady_clock::now() < until) {
+        unsigned gang = stage_workers;
+        double min_quality = 0.0;
+        const BrownoutLevelPolicy policy = server.brownoutPolicy();
+        if (policy.maxStageWorkers != 0)
+            gang = std::min(gang, policy.maxStageWorkers);
+        if (policy.precisionBitsCeiling < 8)
+            min_quality =
+                static_cast<double>(policy.precisionBitsCeiling) / 8.0;
+        futures.push_back(
+            server.submit(overloadRequest(gang, min_quality)));
+        ++submitted;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(gap(rng)));
+    }
+    for (auto &future : futures)
+        future.wait();
+    server.drain();
+
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    const bool identity =
+        metrics.total() == metrics.served() + metrics.shed() +
+                               metrics.expired() + metrics.failed() +
+                               metrics.cancelled() + metrics.degraded();
+    std::printf("soak: %u submitted over %.1f s — served %zu, shed "
+                "%zu, expired %zu, failed %zu, cancelled %zu, "
+                "degraded %zu; brownout transitions %llu, final level "
+                "L%d\n",
+                submitted, seconds, metrics.served(), metrics.shed(),
+                metrics.expired(), metrics.failed(),
+                metrics.cancelled(), metrics.degraded(),
+                static_cast<unsigned long long>(
+                    server.brownoutControl().transitions()),
+                server.brownoutLevel());
+    if (!identity) {
+        std::printf("ACCOUNTING IDENTITY VIOLATED: total %zu != sum "
+                    "of buckets\n",
+                    metrics.total());
+        return EXIT_FAILURE;
+    }
+    std::printf("accounting identity holds: total %zu == sum of "
+                "buckets\n",
+                metrics.total());
+    return EXIT_SUCCESS;
+}
+
 } // namespace
 
 int
@@ -215,6 +544,22 @@ main(int argc, char **argv)
     const std::uint64_t arrival_seed =
         arrival_seed_arg.empty() ? 0x5eed5eedULL
                                  : std::stoull(arrival_seed_arg);
+    // --brownout: run the overload quality-vs-load comparison instead
+    // of the standard scenarios — identical arrival schedules replayed
+    // against a shed-only server and a brownout-enabled one at 1x/2x/3x
+    // capacity; exits nonzero unless the brownout curve dominates at
+    // >=2x. --json <path>: dump the curves as bench JSON.
+    bool brownout_mode = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--brownout")
+            brownout_mode = true;
+    const std::string json_path =
+        parseStringOption(argc, argv, "--json");
+    // --soak-seconds <s>: CI overload soak — sustained ~2x-capacity
+    // arrivals with brownout enabled; exits nonzero if the accounting
+    // identity breaks.
+    const std::string soak_text =
+        parseStringOption(argc, argv, "--soak-seconds");
     // --fault-plan <file|spec>: arm the deterministic fault injector
     // for the whole run (chaos mode; see DESIGN.md section 12 for the
     // grammar, e.g. "stage.body:conv2d.sweep=throw@3"). --chaos-seed
@@ -243,6 +588,14 @@ main(int argc, char **argv)
                 "response is a valid snapshot, slack buys accuracy");
 
     const GrayImage gray_scene = generateScene(extent, extent, 11);
+
+    if (!soak_text.empty())
+        return runSoak(stage_workers, std::atof(soak_text.c_str()),
+                       arrival_seed);
+    if (brownout_mode)
+        return runBrownoutCurves(stage_workers, arrival_seed,
+                                 json_path);
+
     const RgbImage color_scene = generateColorScene(extent, extent, 13);
     std::cout << "scene: " << extent << "x" << extent
               << ", deadline mix 5/20/80 ms, pool of 4 workers, "

@@ -16,8 +16,16 @@
  * lands; a client that disconnects mid-stream cancels its request
  * server-side. That is the anytime contract over the wire: each frame
  * received is a valid answer, and patience buys accuracy.
+ *
+ * SIGTERM/SIGINT drain gracefully: the listener closes, open SSE
+ * streams get `event: drain`, in-flight requests finish (or salvage
+ * as `degraded` after a 2 s grace), and every final/DONE flushes
+ * before exit — the hot-lifecycle half of the anytime contract.
  */
 
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -46,6 +54,17 @@ stringOption(int argc, char **argv, const std::string &flag)
             return argv[i + 1];
     }
     return {};
+}
+
+/** Set by the SIGTERM/SIGINT handler; the main loop drains on it.
+ *  (Signal handlers may only touch lock-free atomics — the drain
+ *  itself runs on the main thread, not in the handler.) */
+std::atomic<int> stopSignal{0};
+
+extern "C" void
+onStopSignal(int signo)
+{
+    stopSignal.store(signo, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -101,14 +120,38 @@ main(int argc, char **argv)
               << "  debug:   curl http://127.0.0.1:" << server.port()
               << "/statusz  (and /requestz)\n";
 
+    // SIGTERM/SIGINT trigger a graceful drain instead of an abrupt
+    // exit: stop accepting, let in-flight requests finish (or salvage
+    // them degraded after the grace), flush every final/DONE. No
+    // SA_RESTART, so a signal also interrupts the blocking stdin read.
+    struct sigaction action{};
+    action.sa_handler = onStopSignal;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
     if (!duration_text.empty()) {
         const double seconds = std::atof(duration_text.c_str());
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(seconds));
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(seconds));
+        while (stopSignal.load(std::memory_order_relaxed) == 0 &&
+               std::chrono::steady_clock::now() < until)
+            std::this_thread::sleep_for(50ms);
     } else {
-        std::cout << "press Enter (or close stdin) to stop\n";
+        std::cout
+            << "press Enter (or close stdin) to stop; SIGTERM/SIGINT "
+               "drain gracefully\n";
         std::string line;
         std::getline(std::cin, line);
+    }
+
+    if (const int signo = stopSignal.load(std::memory_order_relaxed)) {
+        std::cout << "caught "
+                  << (signo == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << ": draining (2 s grace)...\n";
+        server.drain(2s);
     }
 
     const ServiceMetrics metrics = server.service().metricsSnapshot();

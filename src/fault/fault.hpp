@@ -26,7 +26,14 @@
  *    only), `service.build` (AnytimeServer pipeline build),
  *    `net.write:<peer>` (one hit per socket write on the network
  *    reactor — a thrown fault severs that connection mid-stream, which
- *    must cancel the orphaned request like a client disconnect).
+ *    must cancel the orphaned request like a client disconnect),
+ *    `service.brownout:<level>` (one hit per brownout level
+ *    transition — a thrown fault aborts that transition fail-static:
+ *    the level holds and a later evaluation retries),
+ *    `net.drain:<peer>` (one hit per connection announced to during a
+ *    graceful drain — a thrown fault severs that connection's drain
+ *    notice; its request cancels through the disconnect path and the
+ *    accounting identity still holds).
  *  - Kinds map onto the FaultKind taxonomy in support/error.hpp:
  *    `throw` raises StageError, `stall`/`overrun` sleep for delay_ms
  *    (stall defaults to 100 ms — long enough to trip a watchdog —

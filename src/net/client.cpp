@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
+#include "fault/fault.hpp"
 #include "net/http.hpp"
 #include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
@@ -222,6 +224,100 @@ runRequest(const ClientOptions &options, const RequestFrame &request,
         }
         reader.feed(buf, static_cast<std::size_t>(n));
     }
+}
+
+ResilientClientResult
+runResilientRequest(const ClientOptions &options,
+                    const RequestFrame &request,
+                    const ResilienceOptions &resilience,
+                    const std::function<bool(const VersionFrame &frame)>
+                        &onVersion)
+{
+    ResilientClientResult result;
+    // One trace id for the whole logical request: every reconnect
+    // attempt carries it, so the server-side spans of a severed-and-
+    // resumed stream stitch into a single trace.
+    RequestFrame framed = request;
+    if (framed.traceId == 0)
+        framed.traceId = obs::newTraceId();
+    result.traceId = framed.traceId;
+
+    Stopwatch overall;
+    const double deadlineSeconds =
+        std::chrono::duration<double>(resilience.overallDeadline)
+            .count();
+    const unsigned maxAttempts = std::max(1u, resilience.maxAttempts);
+
+    // The client-side monotone guard: versions at or below what we
+    // already hold are dropped (a same-version final upgrade passes),
+    // so the caller sees one strictly improving stream regardless of
+    // how many times the transport failed under it.
+    std::uint64_t lastSeen = framed.resumeFromVersion;
+    bool lastSeenFinal = false;
+
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        result.attempts = attempt;
+        framed.resumeFromVersion = lastSeen;
+        if (attempt > 1 && lastSeen > 0) {
+            ++result.resumes;
+            result.lastResumeVersion = lastSeen;
+        }
+        const auto guarded =
+            [&](const VersionFrame &frame) -> bool {
+            if (frame.version < lastSeen)
+                return true; // stale replay: drop, keep listening
+            if (frame.version == lastSeen &&
+                !(frame.final && !lastSeenFinal))
+                return true;
+            lastSeen = frame.version;
+            lastSeenFinal = frame.final;
+            if (result.versions.empty())
+                result.firstVersionSeconds = overall.seconds();
+            result.versions.push_back(frame);
+            return onVersion ? onVersion(frame) : true;
+        };
+        ClientResult one = runRequest(options, framed, guarded);
+        result.accepted = one.accepted;
+        if (one.ok) {
+            result.ok = true;
+            result.severed = one.severed;
+            result.done = one.done;
+            result.error.clear();
+            return result;
+        }
+        result.error = one.error;
+        if (one.serverError) {
+            // The server answered and refused: retrying would just be
+            // refused again (bad request, draining, shed). Final.
+            result.serverError = one.serverError;
+            return result;
+        }
+        if (attempt == maxAttempts)
+            return result;
+        // Deterministic jittered exponential backoff, the same shape
+        // the service's build retries use (mix64-seeded: reproducible,
+        // uncorrelated across attempts — no reconnect convoys).
+        const auto base = resilience.backoffBase;
+        auto wait = std::chrono::nanoseconds(base) *
+                    (1LL << (attempt - 1));
+        if (base.count() > 0)
+            wait += std::chrono::nanoseconds(
+                static_cast<std::int64_t>(
+                    fault::mix64(resilience.jitterSeed ^ attempt) %
+                    static_cast<std::uint64_t>(
+                        std::chrono::nanoseconds(base).count())));
+        if (deadlineSeconds > 0.0 &&
+            overall.seconds() +
+                    std::chrono::duration<double>(wait).count() >=
+                deadlineSeconds) {
+            // Deadline-aware give-up: sleeping past the caller's bound
+            // helps nobody — report the last transport error now.
+            result.error += " (gave up: overall deadline)";
+            return result;
+        }
+        std::this_thread::sleep_for(wait);
+    }
+    return result;
 }
 
 HttpResult

@@ -78,6 +78,51 @@ runRequest(const ClientOptions &options, const RequestFrame &request,
            const std::function<bool(const VersionFrame &frame)>
                &onVersion = nullptr);
 
+/** Retry/backoff/resume tuning for runResilientRequest(). */
+struct ResilienceOptions
+{
+    /** Total connection attempts (first try included). */
+    unsigned maxAttempts = 5;
+    /** Base of the exponential retry backoff: attempt n waits
+     *  base * 2^(n-1) plus a deterministic jitter in [0, base). */
+    std::chrono::milliseconds backoffBase{10};
+    /** Seed of the deterministic jitter sequence (reproducible runs). */
+    std::uint64_t jitterSeed = 1;
+    /** Overall give-up bound across all attempts and backoffs;
+     *  zero means attempts are the only limit. */
+    std::chrono::milliseconds overallDeadline{0};
+};
+
+/** runResilientRequest()'s aggregate across reconnect attempts. */
+struct ResilientClientResult : ClientResult
+{
+    /** Connection attempts made (>= 1). */
+    unsigned attempts = 0;
+    /** Times a reconnect resumed from a last-seen version (> 0 means
+     *  the stream was severed and continued monotone). */
+    unsigned resumes = 0;
+    /** The last-seen version the final attempt resumed from. */
+    std::uint64_t lastResumeVersion = 0;
+};
+
+/**
+ * runRequest() hardened for a lossy world: on a transport failure
+ * (connect refused, read timeout, connection severed before DONE) it
+ * backs off — deterministic jittered exponential, seeded — and
+ * reconnects with `resumeFromVersion` set to the last version it
+ * already holds. The server replays forward from its coalescing
+ * cache, so `versions` stays monotone across severances and the
+ * caller's @p onVersion never sees a duplicate or a regression. A
+ * server ERROR frame is not retried (the server meant it), and the
+ * overall deadline bounds the total time spent trying.
+ */
+ResilientClientResult
+runResilientRequest(const ClientOptions &options,
+                    const RequestFrame &request,
+                    const ResilienceOptions &resilience = {},
+                    const std::function<bool(const VersionFrame &frame)>
+                        &onVersion = nullptr);
+
 /** One plain HTTP exchange against the same listener. */
 struct HttpResult
 {

@@ -5,14 +5,32 @@
 namespace anytime::net {
 
 std::size_t
-StreamEntry::attach(const std::shared_ptr<StreamSubscriber> &subscriber)
+StreamEntry::attach(const std::shared_ptr<StreamSubscriber> &subscriber,
+                    std::uint64_t resume_from)
 {
     MutexLock lock(mutex);
     ++attached;
-    // Replay the current best approximation first: a late joiner
-    // starts from where the stream is, not from silence.
-    if (latest)
+    if (resume_from > 0) {
+        // Reconnect-and-resume: replay every cached version newer than
+        // the one the client already holds, oldest first, so the
+        // resumed stream continues monotone from where it was severed.
+        // If churn evicted the gap from the ring, the client still
+        // gets `latest` (a valid, newer approximation) — the anytime
+        // contract holds even when exact continuity is lost.
+        bool replayed = false;
+        for (const VersionFrame &frame : recent) {
+            if (frame.version > resume_from) {
+                subscriber->onVersion(frame);
+                replayed = true;
+            }
+        }
+        if (!replayed && latest && latest->version > resume_from)
+            subscriber->onVersion(*latest);
+    } else if (latest) {
+        // Replay the current best approximation first: a late joiner
+        // starts from where the stream is, not from silence.
         subscriber->onVersion(*latest);
+    }
     if (done) {
         subscriber->onDone(*done);
         return 0; // complete replay; nothing live to subscribe to
@@ -47,6 +65,15 @@ StreamEntry::publish(const VersionFrame &frame)
             return;
     }
     latest = frame;
+    // Resume replay ring: a same-version final upgrade replaces its
+    // non-final predecessor in place (a resumed client must never see
+    // the pair as two versions).
+    if (!recent.empty() && recent.back().version == frame.version)
+        recent.back() = frame;
+    else
+        recent.push_back(frame);
+    while (recent.size() > kReplayCacheSize)
+        recent.pop_front();
     for (const auto &subscriber : subscribers)
         subscriber->onVersion(frame);
 }
@@ -108,6 +135,13 @@ StreamEntry::attachCount() const
 {
     MutexLock lock(mutex);
     return attached;
+}
+
+std::size_t
+StreamEntry::subscriberCount() const
+{
+    MutexLock lock(mutex);
+    return subscribers.size();
 }
 
 CoalesceMap::FindResult

@@ -27,6 +27,7 @@
 #define ANYTIME_NET_COALESCE_HPP
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -89,8 +90,15 @@ class StreamEntry
      * the stream already completed — the done frame. Returns the
      * subscriber count after attach (0 when the stream was already
      * done: the subscriber got the full replay and was not retained).
+     *
+     * @p resume_from is the reconnect-and-resume hook: a reconnecting
+     * client passes the last version it already holds, and instead of
+     * the latest-only replay it receives every cached version newer
+     * than that, in publish order — the severed stream resumes
+     * monotone. 0 (a fresh subscriber) keeps the latest-only replay.
      */
-    std::size_t attach(const std::shared_ptr<StreamSubscriber> &subscriber);
+    std::size_t attach(const std::shared_ptr<StreamSubscriber> &subscriber,
+                       std::uint64_t resume_from = 0);
 
     /**
      * Remove @p subscriber. Returns {remaining subscribers, finished}:
@@ -122,11 +130,20 @@ class StreamEntry
     /** Subscribers attached over the entry's lifetime (stats). */
     std::size_t attachCount() const;
 
+    /** Currently attached subscribers. */
+    std::size_t subscriberCount() const;
+
+    /** Versions the resume replay ring holds (kReplayCacheSize cap). */
+    static constexpr std::size_t kReplayCacheSize = 8;
+
   private:
     mutable Mutex mutex;
     std::vector<std::shared_ptr<StreamSubscriber>> subscribers
         ANYTIME_GUARDED_BY(mutex);
     std::optional<VersionFrame> latest ANYTIME_GUARDED_BY(mutex);
+    /** The last kReplayCacheSize published versions, oldest first —
+     *  the reconnect-and-resume replay source. */
+    std::deque<VersionFrame> recent ANYTIME_GUARDED_BY(mutex);
     std::optional<DoneFrame> done ANYTIME_GUARDED_BY(mutex);
     std::uint64_t id ANYTIME_GUARDED_BY(mutex) = 0;
     std::uint64_t trace ANYTIME_GUARDED_BY(mutex) = 0;

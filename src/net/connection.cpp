@@ -308,8 +308,31 @@ Connection::beginServerSentEvents()
 }
 
 void
+Connection::announceDrain(std::uint64_t grace_millis)
+{
+    {
+        MutexLock lock(mutex);
+        if (mode != Mode::sse)
+            return;
+        enqueueLocked(
+            sseEvent("drain", "{\"graceMillis\":" +
+                                  std::to_string(grace_millis) + "}"),
+            false);
+    }
+    host.wakeReactor();
+}
+
+void
 Connection::onVersion(const VersionFrame &frame)
 {
+    // Brownout L2+: intermediate refinements are shed at the door —
+    // the client still gets its final (and DONE), just fewer steps on
+    // the way there. Cheaper than the outbox path: nothing is encoded.
+    if (!frame.final && host.shedIntermediates()) {
+        if (stats.brownoutDropped)
+            stats.brownoutDropped->add();
+        return;
+    }
     std::string bytes;
     {
         MutexLock lock(mutex);

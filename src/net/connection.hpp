@@ -51,6 +51,8 @@ struct ConnectionStats
     obs::Counter *versionsDropped = nullptr;
     obs::Counter *bytesSent = nullptr;
     obs::Counter *writeFaults = nullptr;
+    /** Intermediates shed at the net door by brownout (L2+). */
+    obs::Counter *brownoutDropped = nullptr;
 };
 
 /** The server-side callbacks a connection drives (reactor thread). */
@@ -72,6 +74,11 @@ class ConnectionHost
     /** Wake the reactor so it re-evaluates write interest. Must be
      *  callable from any thread. */
     virtual void wakeReactor() = 0;
+
+    /** True while the host wants droppable intermediate versions shed
+     *  at the door (brownout L2+). Any-thread safe; finals and DONE
+     *  are never affected. */
+    virtual bool shedIntermediates() const { return false; }
 };
 
 /** One accepted socket and its buffered, droppable outbox. */
@@ -150,6 +157,11 @@ class Connection : public StreamSubscriber,
     /** Switch to SSE mode (host does this when an HTTP request opens
      *  a stream; the headers must already be queued). */
     void beginServerSentEvents();
+
+    /** Queue the terminal `event: drain` notice on an SSE stream (the
+     *  graceful-drain announcement; non-droppable). No-op for binary
+     *  connections — their streams end with a DONE frame as usual. */
+    void announceDrain(std::uint64_t grace_millis);
 
   private:
     struct OutMessage

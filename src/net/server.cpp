@@ -19,6 +19,7 @@
 
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "net/http.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
@@ -84,6 +85,16 @@ NetServer::NetServer(NetServerConfig config)
     connectionStats.writeFaults = &registry->counter(
         "anytime_net_write_faults_total",
         "Writes severed by the net.write fault site.");
+    connectionStats.brownoutDropped = &registry->counter(
+        "anytime_brownout_intermediates_dropped_total",
+        "Intermediate versions shed at the net door by brownout.");
+    coalesceWidened = &registry->counter(
+        "anytime_brownout_coalesce_widened_total",
+        "Request deadlines quantized into the brownout coalescing "
+        "window.");
+    drainStreamsFlushed = &registry->counter(
+        "anytime_drain_streams_flushed_total",
+        "Open connections announced to during a graceful drain.");
 
     listenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
                                      SOCK_CLOEXEC,
@@ -181,7 +192,7 @@ NetServer::reactorLoop(std::stop_token stop)
         std::vector<std::shared_ptr<Connection>> dead;
         for (int i = 0; i < n; ++i) {
             const int fd = events[i].data.fd;
-            if (fd == listenFd) {
+            if (fd == listenFd && listenFd >= 0) {
                 acceptReady();
                 continue;
             }
@@ -201,10 +212,143 @@ NetServer::reactorLoop(std::stop_token stop)
         for (const auto &connection : dead)
             closeConnection(connection);
         maintainWriteInterest();
+        sweepOrphanedStreams(/*force=*/false);
+
+        if (drainRequested.load(std::memory_order_acquire)) {
+            if (!drainActive.load(std::memory_order_relaxed))
+                beginDrainOnReactor();
+            // Completion: every request answered and every outbox
+            // flushed. Idle connections (no stream, nothing queued)
+            // are closed here — a drain must terminate even when a
+            // client holds its socket open.
+            if (anytime->drainComplete()) {
+                sweepOrphanedStreams(/*force=*/true);
+                std::vector<std::shared_ptr<Connection>> idle;
+                for (const auto &[fd, connection] : connections)
+                    if (!connection->wantsWrite())
+                        idle.push_back(connection);
+                for (const auto &connection : idle)
+                    closeConnection(connection);
+                if (connections.empty()) {
+                    MutexLock lock(drainMutex);
+                    if (!drainDone) {
+                        drainDone = true;
+                        drainCv.notifyAll();
+                    }
+                }
+            }
+        }
     }
     // Shutdown: close everything still open (cancels orphans).
     while (!connections.empty())
         closeConnection(connections.begin()->second);
+    sweepOrphanedStreams(/*force=*/true);
+}
+
+void
+NetServer::beginDrainOnReactor()
+{
+    drainActive.store(true, std::memory_order_release);
+    // Stop accepting: close the listener so new connections are
+    // refused by the kernel, not parked in the backlog.
+    if (listenFd >= 0) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    const auto grace = std::chrono::nanoseconds(
+        drainGraceNanos.load(std::memory_order_relaxed));
+    const std::uint64_t grace_millis = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(grace)
+            .count());
+    obs::traceInstant(
+        "net.drain", "net",
+        {"connections", static_cast<double>(connections.size())},
+        {"grace_ms", static_cast<double>(grace_millis)});
+    std::vector<std::shared_ptr<Connection>> severed;
+    for (const auto &[fd, connection] : connections) {
+        try {
+            // Chaos site: a thrown fault severs this one connection's
+            // drain notice; its request is cancelled through the usual
+            // disconnect path and the accounting identity still holds.
+            ANYTIME_FAULT_POINT("net.drain", connection->peer(),
+                                ++drainAnnounceOrdinal);
+        } catch (const std::exception &) {
+            severed.push_back(connection);
+            continue;
+        }
+        connection->announceDrain(grace_millis);
+        drainStreamsFlushed->add();
+    }
+    for (const auto &connection : severed)
+        closeConnection(connection);
+    anytime->beginDrain(grace);
+}
+
+void
+NetServer::drain(std::chrono::nanoseconds grace)
+{
+    drainGraceNanos.store(grace.count(), std::memory_order_relaxed);
+    drainRequested.store(true, std::memory_order_release);
+    wakeReactor();
+    MutexLock lock(drainMutex);
+    drainCv.wait(lock, [&]() ANYTIME_REQUIRES(drainMutex) {
+        return drainDone;
+    });
+}
+
+bool
+NetServer::shedIntermediates() const
+{
+    return anytime->brownoutPolicy().dropIntermediates;
+}
+
+void
+NetServer::applyBrownoutDoorPolicy(StreamKey &key)
+{
+    const BrownoutLevelPolicy policy = anytime->brownoutPolicy();
+    if (policy.maxStageWorkers > 0 &&
+        key.stageWorkers > policy.maxStageWorkers) {
+        key.stageWorkers = policy.maxStageWorkers;
+        anytime->brownoutControl().noteGangCapped();
+    }
+    if (policy.coalesceWindowMicros > 0 &&
+        key.deadlineMicros > policy.coalesceWindowMicros) {
+        // Quantize the deadline DOWN onto the window grid: requests
+        // within one window now share a StreamKey (and so a pipeline
+        // execution), and nobody's deadline is ever extended.
+        const std::uint64_t quantized =
+            key.deadlineMicros -
+            key.deadlineMicros % policy.coalesceWindowMicros;
+        if (quantized != key.deadlineMicros) {
+            key.deadlineMicros = quantized;
+            coalesceWidened->add();
+        }
+    }
+}
+
+void
+NetServer::sweepOrphanedStreams(bool force)
+{
+    if (orphanedStreams.empty())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    std::erase_if(orphanedStreams, [&](const OrphanedStream &orphan) {
+        if (orphan.entry->finished())
+            return true; // completed while lingering: nothing to cancel
+        if (orphan.entry->subscriberCount() > 0)
+            return true; // a client reconnected and resumed
+        if (!force && now < orphan.expiry)
+            return false; // resume window still open
+        const std::uint64_t id = orphan.entry->requestId();
+        if (id != 0 && anytime->cancel(id))
+            obs::traceInstant("net.disconnect_cancel", "net",
+                              {"request", static_cast<double>(id)},
+                              {"lingered", 1.0});
+        if (configuration.coalesce)
+            streams.remove(orphan.key, orphan.entry);
+        return true;
+    });
 }
 
 void
@@ -311,17 +455,32 @@ NetServer::closeConnection(const std::shared_ptr<Connection> &connection)
         const auto [remaining, finished] =
             connection->stream->detach(connection);
         if (remaining == 0 && !finished) {
-            // Nobody is listening anymore: disconnect-as-cancel. The
-            // entry leaves the map so a later identical request builds
-            // fresh instead of joining a cancelled stream.
-            const std::uint64_t id = connection->stream->requestId();
-            if (id != 0 && anytime->cancel(id))
-                obs::traceInstant("net.disconnect_cancel", "net",
-                                  {"request",
-                                   static_cast<double>(id)});
-            if (configuration.coalesce)
-                streams.remove(connection->streamKey,
-                               connection->stream);
+            if (configuration.resumeLingerMicros > 0 &&
+                configuration.coalesce) {
+                // Reconnect-and-resume: keep the orphaned stream (and
+                // its pipeline) alive for the linger window. A client
+                // that reconnects with the same key before it expires
+                // finds the live entry and resumes from its replay
+                // ring; otherwise the sweep cancels as usual.
+                orphanedStreams.push_back(OrphanedStream{
+                    connection->streamKey, connection->stream,
+                    std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(
+                            configuration.resumeLingerMicros)});
+            } else {
+                // Nobody is listening anymore: disconnect-as-cancel.
+                // The entry leaves the map so a later identical request
+                // builds fresh instead of joining a cancelled stream.
+                const std::uint64_t id =
+                    connection->stream->requestId();
+                if (id != 0 && anytime->cancel(id))
+                    obs::traceInstant("net.disconnect_cancel", "net",
+                                      {"request",
+                                       static_cast<double>(id)});
+                if (configuration.coalesce)
+                    streams.remove(connection->streamKey,
+                                   connection->stream);
+            }
         }
         connection->stream.reset();
     }
@@ -361,7 +520,10 @@ NetServer::handleRequestFrame(
     const RequestFrame &frame)
 {
     requestsTotal->add();
-    if (frame.protocol != kProtocolVersion) {
+    // v2 clients are still served (resumeFromVersion defaults to 0);
+    // anything older or newer than this build speaks is refused.
+    if (frame.protocol < kMinProtocolVersion ||
+        frame.protocol > kProtocolVersion) {
         connection->enqueueFrame(ErrorFrame{
             "unsupported protocol version " +
             std::to_string(frame.protocol)});
@@ -374,15 +536,16 @@ NetServer::handleRequestFrame(
     key.deadlineMicros = frame.deadlineMicros;
     key.minQuality = frame.minQuality;
     key.stageWorkers = frame.stageWorkers;
-    startStream(connection, key, /*sse=*/false, frame.traceId,
-                frame.parentSpanId);
+    startStream(connection, std::move(key), /*sse=*/false,
+                frame.traceId, frame.parentSpanId,
+                frame.resumeFromVersion);
 }
 
 void
 NetServer::startStream(const std::shared_ptr<Connection> &connection,
-                       const StreamKey &key, bool sse,
-                       std::uint64_t trace_id,
-                       std::uint64_t parent_span_id)
+                       StreamKey key, bool sse, std::uint64_t trace_id,
+                       std::uint64_t parent_span_id,
+                       std::uint64_t resume_from)
 {
     // One trace id per request: the client's when it brought one (off
     // the REQUEST frame or the traceparent query param), minted here
@@ -423,6 +586,20 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
         reject("workers must be at least 1");
         return;
     }
+    // A draining server is closed for new business, promptly and
+    // explicitly (a race between accept and the listener closing).
+    if (drainActive.load(std::memory_order_acquire)) {
+        if (sse)
+            connection->enqueueBytes(httpResponse(
+                503, "text/plain", "server draining\n"));
+        else
+            connection->enqueueFrame(ErrorFrame{"server draining"});
+        connection->closeAfterFlush();
+        return;
+    }
+    // Brownout door: cap the gang and quantize the deadline into the
+    // coalescing window BEFORE the key becomes the stream identity.
+    applyBrownoutDoorPolicy(key);
 
     const auto accept = [&](std::uint64_t id,
                             std::uint64_t stream_trace) {
@@ -462,7 +639,7 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
         accept(entry->requestId(), connection->traceId);
         connection->stream = entry;
         connection->streamKey = key;
-        if (entry->attach(connection) == 0) {
+        if (entry->attach(connection, resume_from) == 0) {
             connection->stream.reset(); // stream already done: replayed
             connection->closeAfterFlush();
         }
@@ -535,7 +712,7 @@ NetServer::startStream(const std::shared_ptr<Connection> &connection,
     entry->setTraceId(trace_id);
     connection->stream = entry;
     connection->streamKey = key;
-    if (entry->attach(connection) == 0) {
+    if (entry->attach(connection, resume_from) == 0) {
         // Terminal before attach (e.g. shed at admission): the attach
         // replayed everything; nothing live remains to follow.
         connection->stream.reset();
@@ -575,6 +752,16 @@ NetServer::statuszJson() const
            "}";
     out += ",\"connections\":" + std::to_string(connectionCount());
     out += ",\"streams\":" + std::to_string(streams.size());
+    {
+        char pressureText[32];
+        std::snprintf(pressureText, sizeof pressureText, "%.3f",
+                      anytime->brownoutControl().pressure());
+        out += ",\"brownout\":{\"level\":" +
+               std::to_string(anytime->brownoutLevel()) +
+               ",\"pressure\":" + pressureText + "}";
+    }
+    out += ",\"draining\":";
+    out += draining() ? "true" : "false";
     out += ",\"accept_buckets\":" +
            std::to_string(
                acceptBucketCount.load(std::memory_order_relaxed));
@@ -701,13 +888,23 @@ NetServer::handleHttpRequest(
                 "malformed deadline_ms/min_quality/workers\n"));
             return;
         }
+        // Optional reconnect-and-resume: the last version this client
+        // already holds (malformed values are a client error).
+        std::uint64_t resumeFrom = 0;
+        try {
+            resumeFrom = std::stoull(param("resume_from", "0"));
+        } catch (const std::exception &) {
+            finishWith(httpResponse(400, "text/plain",
+                                    "malformed resume_from\n"));
+            return;
+        }
         requestsTotal->add();
         // Optional client trace context; malformed values parse to 0
         // and the server mints its own id instead.
         const std::uint64_t traceId =
             parseTraceParent(param("traceparent", ""));
-        startStream(connection, key, /*sse=*/true, traceId,
-                    /*parent_span_id=*/0);
+        startStream(connection, std::move(key), /*sse=*/true, traceId,
+                    /*parent_span_id=*/0, resumeFrom);
         return;
     }
     finishWith(httpResponse(404, "text/plain",

@@ -86,6 +86,16 @@ struct NetServerConfig
     /** Coalesce identical in-flight requests onto one pipeline. */
     bool coalesce = true;
 
+    /**
+     * Reconnect-and-resume: how long a coalesced stream whose last
+     * subscriber disconnected lingers (still computing) before the
+     * disconnect-as-cancel fires, giving the client time to reconnect
+     * and resume from its last-seen version. 0 (default) preserves
+     * immediate disconnect-as-cancel. Requires coalesce — the
+     * reconnecting request must find the live entry under its key.
+     */
+    std::uint64_t resumeLingerMicros = 0;
+
     /** Registry for net counters and GET /metrics; nullptr means
      *  obs::defaultRegistry(). Also forwarded to the service config
      *  when that left its registry unset. */
@@ -108,6 +118,22 @@ class NetServer : public ConnectionHost
     /** The owned serving runtime (metrics snapshots, drain). */
     AnytimeServer &service() { return *anytime; }
 
+    /**
+     * Graceful drain (the SIGTERM path): stop accepting, announce the
+     * drain on open SSE streams (`event: drain`), let in-flight
+     * requests finish — or salvage them `degraded` when @p grace
+     * expires — flush every final/DONE, and return once all
+     * connections closed cleanly. Blocking; callable from any thread
+     * except the reactor's; idempotent (later callers just wait).
+     */
+    void drain(std::chrono::nanoseconds grace);
+
+    /** True once drain() was requested. */
+    bool draining() const
+    {
+        return drainRequested.load(std::memory_order_relaxed);
+    }
+
     /** Connections currently open (reactor's view; approximate). */
     std::size_t connectionCount() const;
 
@@ -117,6 +143,7 @@ class NetServer : public ConnectionHost
     void handleHttpRequest(const std::shared_ptr<Connection> &connection,
                            const HttpRequest &request) override;
     void wakeReactor() override;
+    bool shedIntermediates() const override;
 
   private:
     /** Per-IP accept throttling state. */
@@ -142,11 +169,27 @@ class NetServer : public ConnectionHost
      * @p trace_id is the client-propagated trace context (0 mints a
      * fresh id here); the final id is echoed in the acknowledgement so
      * the client can stitch its own spans onto the server's trace.
+     * @p key is by value: the brownout door may cap its gang width and
+     * quantize its deadline before it becomes the coalescing identity.
+     * @p resume_from is the client's last-seen version (0 = fresh).
      */
     void startStream(const std::shared_ptr<Connection> &connection,
-                     const StreamKey &key, bool sse,
-                     std::uint64_t trace_id,
-                     std::uint64_t parent_span_id);
+                     StreamKey key, bool sse, std::uint64_t trace_id,
+                     std::uint64_t parent_span_id,
+                     std::uint64_t resume_from);
+
+    /** Apply the active brownout policy to @p key at the door (gang
+     *  cap, deadline quantization into the coalescing window). */
+    void applyBrownoutDoorPolicy(StreamKey &key);
+
+    /** Reactor-side: act on a pending drain request (close the
+     *  listener, announce on open streams, begin the service drain). */
+    void beginDrainOnReactor();
+
+    /** Reactor-side: cancel lingering subscriber-less streams whose
+     *  resume window expired (@p force cancels regardless of expiry —
+     *  the reactor exit path). */
+    void sweepOrphanedStreams(bool force);
 
     /** Render the GET /statusz body (server vitals JSON). */
     std::string statuszJson() const;
@@ -165,9 +208,32 @@ class NetServer : public ConnectionHost
     obs::Counter *requestsTotal = nullptr;
     obs::Counter *httpRequestsTotal = nullptr;
     obs::Counter *coalescedTotal = nullptr;
+    obs::Counter *coalesceWidened = nullptr;
+    obs::Counter *drainStreamsFlushed = nullptr;
     ConnectionStats connectionStats;
 
     CoalesceMap streams;
+
+    /** A stream whose last subscriber left but whose resume window is
+     *  still open (reactor-thread-owned, like `connections`). */
+    struct OrphanedStream
+    {
+        StreamKey key;
+        std::shared_ptr<StreamEntry> entry;
+        std::chrono::steady_clock::time_point expiry{};
+    };
+    std::vector<OrphanedStream> orphanedStreams;
+
+    /** Graceful-drain handshake: drain() requests, the reactor acts,
+     *  drainCv reports completion back. */
+    std::atomic<bool> drainRequested{false};
+    std::atomic<bool> drainActive{false};
+    std::atomic<std::int64_t> drainGraceNanos{0};
+    mutable Mutex drainMutex;
+    CondVar drainCv;
+    bool drainDone ANYTIME_GUARDED_BY(drainMutex) = false;
+    /** Reactor-side ordinal for the net.drain fault site. */
+    std::uint64_t drainAnnounceOrdinal = 0;
 
     int listenFd = -1;
     int epollFd = -1;

@@ -145,6 +145,10 @@ decodeBody(FrameType type, const char *data, std::size_t size)
         cursor.readU32(request.stageWorkers);
         cursor.readU64(request.traceId);
         cursor.readU64(request.parentSpanId);
+        // v3 grew the frame; a v2 body without the field must still
+        // decode exactly (exhausted() enforces both shapes strictly).
+        if (cursor.ok && request.protocol >= 3)
+            cursor.readU64(request.resumeFromVersion);
         frame = std::move(request);
         break;
       }
@@ -230,6 +234,8 @@ encodeFrame(const Frame &frame)
                 putU32(body, alternative.stageWorkers);
                 putU64(body, alternative.traceId);
                 putU64(body, alternative.parentSpanId);
+                if (alternative.protocol >= 3)
+                    putU64(body, alternative.resumeFromVersion);
             } else if constexpr (std::is_same_v<T, AcceptedFrame>) {
                 putU64(body, alternative.requestId);
                 putU64(body, alternative.traceId);

@@ -36,8 +36,13 @@ namespace anytime::net {
 
 /** Protocol revision; bumped on any incompatible frame change.
  *  v2 added trace-context fields (traceId, parentSpanId) to REQUEST
- *  and echoed the server-final traceId in ACCEPTED. */
-inline constexpr std::uint32_t kProtocolVersion = 2;
+ *  and echoed the server-final traceId in ACCEPTED.
+ *  v3 added resumeFromVersion to REQUEST (reconnect-and-resume); the
+ *  server still accepts v2 requests (the field defaults to 0). */
+inline constexpr std::uint32_t kProtocolVersion = 3;
+
+/** Oldest request protocol the server still accepts. */
+inline constexpr std::uint32_t kMinProtocolVersion = 2;
 
 /** Connection preamble distinguishing binary clients from HTTP. */
 inline constexpr char kMagic[4] = {'A', 'N', 'Y', 'T'};
@@ -84,6 +89,11 @@ struct RequestFrame
     std::uint64_t traceId = 0;
     /** Client-side span the server-side spans hang under (0 = root). */
     std::uint64_t parentSpanId = 0;
+    /** Reconnect-and-resume (v3): the last version this client already
+     *  holds; the server replays forward from its coalescing cache so
+     *  the resumed stream stays monotone. 0 = fresh request. Only
+     *  encoded/decoded when protocol >= 3. */
+    std::uint64_t resumeFromVersion = 0;
 };
 
 /** Server -> client: request admitted; id echoes into traces. */

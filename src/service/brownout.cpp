@@ -1,0 +1,164 @@
+#include "service/brownout.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+
+BrownoutController::BrownoutController(BrownoutConfig config,
+                                       obs::MetricsRegistry &registry)
+    : configuration(config)
+{
+    for (std::size_t i = 0; i < configuration.levels.size(); ++i) {
+        const BrownoutLevelPolicy &policy = configuration.levels[i];
+        fatalIf(policy.precisionBitsCeiling < 1 ||
+                    policy.precisionBitsCeiling > 8,
+                "brownout: precisionBitsCeiling out of [1, 8] at L", i);
+        fatalIf(policy.hardShedPercent > 100,
+                "brownout: hardShedPercent above 100 at L", i);
+    }
+    for (std::size_t i = 0; i < configuration.enterPressure.size(); ++i)
+        fatalIf(configuration.exitPressure[i] >=
+                    configuration.enterPressure[i],
+                "brownout: exitPressure must sit below enterPressure "
+                "at L",
+                i + 1, " or the level flaps");
+    levelGauge = &registry.gauge(
+        "anytime_brownout_level",
+        "Current brownout level (0 = normal, 3 = survival).");
+    transitionsCounter = &registry.counter(
+        "anytime_brownout_transitions_total",
+        "Brownout level transitions (either direction).");
+    shedCounter = &registry.counter(
+        "anytime_brownout_shed_total",
+        "Requests hard-shed by the brownout controller (L3).");
+    gangCappedCounter = &registry.counter(
+        "anytime_brownout_gang_capped_total",
+        "Requests whose stage-worker gang was capped by brownout.");
+    levelGauge->set(0.0);
+}
+
+double
+BrownoutController::pressureScore(const Signals &signals) const
+{
+    // Three normalized load signals, combined by max: any one of them
+    // saturating is enough to justify degradation (a build-bound server
+    // can brown out with an empty queue, and vice versa).
+    const double queue = std::max(0.0, signals.queueFraction);
+    const double miss =
+        configuration.missRateReference > 0.0
+            ? signals.missRate / configuration.missRateReference
+            : 0.0;
+    const double budget =
+        std::chrono::duration<double>(configuration.buildLatencyBudget)
+            .count();
+    const double build =
+        budget > 0.0 ? signals.p99BuildSeconds / budget : 0.0;
+    return std::max({queue, miss, build});
+}
+
+bool
+BrownoutController::evaluate(Stopwatch::Clock::time_point now,
+                             const Signals &signals)
+{
+    if (!configuration.enabled)
+        return false;
+    if (lastEval.time_since_epoch().count() != 0 &&
+        now - lastEval < configuration.evalInterval)
+        return false;
+    lastEval = now;
+
+    const double pressure = pressureScore(signals);
+    lastPressure.store(pressure, std::memory_order_relaxed);
+    const int level = currentLevel.load(std::memory_order_relaxed);
+
+    int next = level;
+    if (level < 3 &&
+        pressure >=
+            configuration.enterPressure[static_cast<std::size_t>(
+                level)]) {
+        belowStreak = 0;
+        if (++aboveStreak >= configuration.enterHysteresis)
+            next = level + 1;
+    } else if (level > 0 &&
+               pressure <
+                   configuration.exitPressure[static_cast<std::size_t>(
+                       level - 1)]) {
+        aboveStreak = 0;
+        if (++belowStreak >= configuration.exitHysteresis)
+            next = level - 1;
+    } else {
+        aboveStreak = 0;
+        belowStreak = 0;
+    }
+    if (next == level)
+        return false;
+
+    try {
+        // Chaos site: a thrown fault at a level transition must be
+        // absorbed fail-static — the level holds, the pressure signal
+        // persists, and a later evaluation retries the move.
+        ANYTIME_FAULT_POINT("service.brownout", levelName(next),
+                            ++transitionOrdinal);
+    } catch (const std::exception &) {
+        return false;
+    }
+    aboveStreak = 0;
+    belowStreak = 0;
+    currentLevel.store(next, std::memory_order_relaxed);
+    transitionsTotal.fetch_add(1, std::memory_order_relaxed);
+    levelGauge->set(static_cast<double>(next));
+    transitionsCounter->add();
+    obs::traceInstant("brownout.transition", "service",
+                      {"level", static_cast<double>(next)},
+                      {"pressure", pressure});
+    return true;
+}
+
+bool
+BrownoutController::shouldShed(std::uint64_t requestId) const
+{
+    const BrownoutLevelPolicy active = policy();
+    if (active.hardShedPercent == 0)
+        return false;
+    // Seeded, id-keyed verdict: reproducible under a fixed submission
+    // order, uncorrelated across neighbouring ids (no shed convoys).
+    const std::uint64_t draw =
+        fault::mix64(configuration.seed ^ requestId) % 100;
+    return draw < active.hardShedPercent;
+}
+
+void
+BrownoutController::noteShed()
+{
+    shedCounter->add();
+}
+
+void
+BrownoutController::noteGangCapped()
+{
+    gangCappedCounter->add();
+}
+
+const char *
+BrownoutController::levelName(int level)
+{
+    switch (level) {
+      case 0:
+        return "L0";
+      case 1:
+        return "L1";
+      case 2:
+        return "L2";
+      case 3:
+        return "L3";
+      default:
+        return "L?";
+    }
+}
+
+} // namespace anytime

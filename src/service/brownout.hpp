@@ -1,0 +1,211 @@
+/**
+ * @file
+ * BrownoutController: quality-aware graceful degradation under load.
+ *
+ * Under overload the server used to make a binary choice per request:
+ * full service or an EWMA-predicted shed. The anytime model offers a
+ * whole spectrum in between — every knob that trades answer quality
+ * for capacity (gang width, digit-plane precision, coalescing window,
+ * intermediate-version fan-out) can be turned *before* any request is
+ * refused outright. This controller walks that spectrum as discrete
+ * brownout levels:
+ *
+ *   L0 normal    — no degradation; admission behaves as before.
+ *   L1 elevated  — cap stage-worker gangs, trim precision ceilings.
+ *   L2 degraded  — narrower gangs, lower precision, widen the
+ *                  coalescing window (near-identical requests share one
+ *                  pipeline), stop fanning out intermediate versions.
+ *   L3 survival  — everything above plus a deterministic fraction of
+ *                  new requests hard-shed at admission.
+ *
+ * Level transitions are driven by three load signals — queue-depth
+ * fraction, deadline-miss EWMA, and p99 pipeline-build latency — folded
+ * into one pressure score, with enter/exit hysteresis (consecutive
+ * evaluations above/below the thresholds) so the level never flaps on a
+ * single noisy sample. All shed decisions are seeded and deterministic
+ * (fault::mix64 over the request id), so an overload replay produces
+ * the same accounting every run.
+ *
+ * Threading: evaluate() and the note*() accounting hooks are called
+ * under the owning AnytimeServer's mutex; level()/policy()/pressure()
+ * are lock-free atomic reads for the network layer and debug endpoints.
+ */
+
+#ifndef ANYTIME_SERVICE_BROWNOUT_HPP
+#define ANYTIME_SERVICE_BROWNOUT_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "support/stopwatch.hpp"
+
+namespace anytime {
+
+/** Degradation knobs applied while a brownout level is active. */
+struct BrownoutLevelPolicy
+{
+    /** Cap on a request's declared stage-worker gang (0 = no cap).
+     *  Applied where pipelines are configured (the net door, bench
+     *  request makers) — narrower gangs mean more EDF lanes. */
+    unsigned maxStageWorkers = 0;
+    /** Ceiling on QuantizedKernel digit planes (1..8; 8 = full
+     *  precision). Surfaced to factories via the owning server so
+     *  brownout trades least-significant bits first (paper §V). */
+    unsigned precisionBitsCeiling = 8;
+    /** Coalescing window in microseconds (0 = exact-match only): the
+     *  net door quantizes request deadlines down to this granularity
+     *  so near-identical requests share one pipeline execution. */
+    std::uint64_t coalesceWindowMicros = 0;
+    /** Drop droppable intermediate versions at the net door (finals
+     *  and DONE are never droppable). */
+    bool dropIntermediates = false;
+    /** Percent of new requests hard-shed at admission (deterministic
+     *  per request id). The last resort, not the first. */
+    unsigned hardShedPercent = 0;
+};
+
+/** Controller tuning; defaults degrade cheapest-quality-first. */
+struct BrownoutConfig
+{
+    /** Off by default: existing deployments keep binary EWMA shedding
+     *  until they opt in. */
+    bool enabled = false;
+
+    /** Pressure thresholds to *enter* L1/L2/L3 (index = level - 1). */
+    std::array<double, 3> enterPressure{0.50, 0.75, 0.90};
+    /** Pressure thresholds to *exit back below* L1/L2/L3. Must sit
+     *  below the matching enterPressure or the level flaps. */
+    std::array<double, 3> exitPressure{0.30, 0.55, 0.75};
+    /** Consecutive evaluations above enterPressure before escalating. */
+    unsigned enterHysteresis = 2;
+    /** Consecutive evaluations below exitPressure before recovering
+     *  (recovery is deliberately slower than escalation). */
+    unsigned exitHysteresis = 4;
+    /** Minimum spacing between evaluations (the scheduler loop runs on
+     *  events; this bounds how often the level can move). */
+    std::chrono::nanoseconds evalInterval = std::chrono::milliseconds(5);
+
+    /** Seed of the deterministic hard-shed decision sequence. */
+    std::uint64_t seed = 1;
+
+    /** Deadline-miss EWMA that maps to full pressure (1.0). */
+    double missRateReference = 0.5;
+    /** p99 build latency that maps to full pressure. */
+    std::chrono::nanoseconds buildLatencyBudget =
+        std::chrono::milliseconds(50);
+
+    /** Per-level degradation policies (index = level). L0 must stay
+     *  all-defaults: it is the "no degradation" contract. */
+    std::array<BrownoutLevelPolicy, 4> levels{{
+        {},
+        {.maxStageWorkers = 2, .precisionBitsCeiling = 6},
+        {.maxStageWorkers = 1,
+         .precisionBitsCeiling = 4,
+         .coalesceWindowMicros = 20'000,
+         .dropIntermediates = true},
+        {.maxStageWorkers = 1,
+         .precisionBitsCeiling = 2,
+         .coalesceWindowMicros = 50'000,
+         .dropIntermediates = true,
+         .hardShedPercent = 50},
+    }};
+};
+
+/** Discrete-level brownout state machine (see file comment). */
+class BrownoutController
+{
+  public:
+    /** Load signals sampled by the owning server each evaluation. */
+    struct Signals
+    {
+        /** pending / maxQueueDepth, in [0, 1+]. */
+        double queueFraction = 0.0;
+        /** Deadline-miss EWMA in [0, 1] (expired + served-empty). */
+        double missRate = 0.0;
+        /** p99 of recent pipeline-build wall times, seconds. */
+        double p99BuildSeconds = 0.0;
+    };
+
+    BrownoutController(BrownoutConfig config,
+                       obs::MetricsRegistry &registry);
+
+    /**
+     * Fold @p signals into the pressure score and move the level at
+     * most one step (rate-limited by evalInterval, gated by
+     * hysteresis). Returns true when the level changed. Passes the
+     * `service.brownout` fault site on every transition; an injected
+     * throw aborts that transition (fail-static — the level holds and
+     * a later evaluation retries), never escapes.
+     */
+    bool evaluate(Stopwatch::Clock::time_point now,
+                  const Signals &signals);
+
+    /** Current level in [0, 3]. Lock-free. */
+    int level() const
+    {
+        return currentLevel.load(std::memory_order_relaxed);
+    }
+
+    /** The active level's policy (by value: the level may move). */
+    BrownoutLevelPolicy policy() const
+    {
+        return configuration.levels[static_cast<std::size_t>(level())];
+    }
+
+    /** Last computed pressure score (debug endpoints). Lock-free. */
+    double pressure() const
+    {
+        return lastPressure.load(std::memory_order_relaxed);
+    }
+
+    /** Level transitions so far. Lock-free. */
+    std::uint64_t transitions() const
+    {
+        return transitionsTotal.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Deterministic hard-shed verdict for @p requestId at the current
+     * level: a seeded hash of the id against the level's
+     * hardShedPercent. Same seed + same id => same verdict, every run.
+     */
+    bool shouldShed(std::uint64_t requestId) const;
+
+    /** Count one brownout hard shed (admission). Any thread. */
+    void noteShed();
+
+    /** Count one gang capped to the level's maxStageWorkers. */
+    void noteGangCapped();
+
+    const BrownoutConfig &config() const { return configuration; }
+
+    /** Human-readable level name ("L0".."L3"). */
+    static const char *levelName(int level);
+
+  private:
+    double pressureScore(const Signals &signals) const;
+
+    BrownoutConfig configuration;
+
+    /** Only evaluate() mutates these (serialized by the owner). */
+    Stopwatch::Clock::time_point lastEval{};
+    unsigned aboveStreak = 0;
+    unsigned belowStreak = 0;
+    std::uint64_t transitionOrdinal = 0;
+
+    std::atomic<int> currentLevel{0};
+    std::atomic<double> lastPressure{0.0};
+    std::atomic<std::uint64_t> transitionsTotal{0};
+
+    obs::Gauge *levelGauge = nullptr;
+    obs::Counter *transitionsCounter = nullptr;
+    obs::Counter *shedCounter = nullptr;
+    obs::Counter *gangCappedCounter = nullptr;
+};
+
+} // namespace anytime
+
+#endif // ANYTIME_SERVICE_BROWNOUT_HPP

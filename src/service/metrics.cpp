@@ -31,6 +31,8 @@ serviceStatusName(ServiceStatus status)
         return "degraded";
       case ServiceStatus::shedCircuitOpen:
         return "shed-circuit-open";
+      case ServiceStatus::shedBrownout:
+        return "shed-brownout";
     }
     return "unknown";
 }
@@ -59,6 +61,7 @@ ServiceMetrics::record(const ServiceResponse &response)
       case ServiceStatus::shedQueueFull:
       case ServiceStatus::shedPredictedMiss:
       case ServiceStatus::shedCircuitOpen:
+      case ServiceStatus::shedBrownout:
         ++shedCount;
         break;
       case ServiceStatus::expired:

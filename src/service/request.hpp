@@ -200,6 +200,11 @@ enum class ServiceStatus
     /** Shed at admission: this pipeline's circuit breaker is open
      *  after repeated failures (cooling down). */
     shedCircuitOpen,
+    /** Shed at admission by the brownout controller in survival mode
+     *  (L3): a deterministic, seeded fraction of new requests is
+     *  refused after every cheaper degradation knob is already maxed.
+     *  Appended last — the enum value crosses the wire as a u8. */
+    shedBrownout,
 };
 
 /** True if the request actually executed (was dispatched and ran). */

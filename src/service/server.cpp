@@ -109,6 +109,18 @@ AnytimeServer::AnytimeServer(ServerConfig config)
         "anytime_time_to_quality_q99_seconds",
         "Seconds from submission to the first version with quality "
         ">= 0.99.");
+    live.drainBegun = &registry.counter(
+        "anytime_drain_begun_total",
+        "Graceful drains begun (beginDrain()).");
+    live.drainSalvaged = &registry.counter(
+        "anytime_drain_salvaged_total",
+        "Running requests salvaged degraded at drain-grace expiry.");
+    live.drainRejected = &registry.counter(
+        "anytime_drain_rejected_total",
+        "Submissions rejected because the server was draining.");
+    brownout =
+        std::make_unique<BrownoutController>(configuration.brownout,
+                                             registry);
     // ANYTIME_FLIGHT_DIR=<dir> arms the flight recorder without code
     // changes — how CI collects anomaly artifacts from chaos runs.
     // Only arm, never re-arm: test rigs construct many servers and
@@ -242,6 +254,15 @@ AnytimeServer::submitTracked(ServiceRequest request)
                            trace_id, {}, &request.onComplete);
         return submission;
     }
+    // Graceful drain: the door is closed but the answer is prompt —
+    // a client that races SIGTERM gets `cancelled` immediately, never
+    // a hang or a silently dropped connection.
+    if (draining) {
+        live.drainRejected->add();
+        respondImmediately(promise, ServiceStatus::cancelled, now, id,
+                           trace_id, {}, &request.onComplete);
+        return submission;
+    }
     // A deadline at or before "now" can never be met by dispatching:
     // answer immediately (empty quality) instead of queueing a request
     // that would only ever expire. This is the zero-deadline guarantee.
@@ -255,6 +276,16 @@ AnytimeServer::submitTracked(ServiceRequest request)
     // builder and the retry budget on every submission.
     if (circuitOpenLocked(request.name, now)) {
         respondImmediately(promise, ServiceStatus::shedCircuitOpen, now,
+                           id, trace_id, {}, &request.onComplete);
+        return submission;
+    }
+    // Brownout survival mode (L3): a deterministic fraction of new
+    // requests is hard-shed at the door. This is the last degradation
+    // rung — every cheaper knob (gangs, precision, coalescing,
+    // intermediate fan-out) is already turned by the lower levels.
+    if (configuration.brownout.enabled && brownout->shouldShed(id)) {
+        brownout->noteShed();
+        respondImmediately(promise, ServiceStatus::shedBrownout, now,
                            id, trace_id, {}, &request.onComplete);
         return submission;
     }
@@ -335,6 +366,12 @@ AnytimeServer::admissionVerdict(Clock::time_point now,
     }
     if (!configuration.predictiveShedding)
         return std::nullopt;
+    // With brownout enabled, the quality-degradation ladder is the
+    // first line of defense: below L2 the predictive shed stays
+    // holstered (the queue-full shed above always applies). From L2 up
+    // the knobs are maxed and prediction resumes as the backstop.
+    if (configuration.brownout.enabled && brownout->level() < 2)
+        return std::nullopt;
     // EDF position: everything running plus every queued request with
     // an earlier-or-equal deadline runs before this one. Queued entries
     // that still lack a pipeline also occupy the single builder first.
@@ -397,6 +434,7 @@ AnytimeServer::respondImmediately(
     response.status = status;
     response.totalSeconds = secondsBetween(submitted, Clock::now());
     response.failures = std::move(failures);
+    recordMissSignalLocked(response);
     metrics.record(response);
     updateLiveMetrics(response);
     if (id != 0)
@@ -508,6 +546,11 @@ AnytimeServer::integrateBuildResultsLocked()
         ewmaBuildSeconds =
             (1.0 - alpha) * ewmaBuildSeconds + alpha * result.seconds;
         ewmaBuildValid = true;
+        // Brownout p99 source: a bounded ring of recent build wall
+        // times (the EWMA hides tail latency, p99 is the signal).
+        buildRing[buildRingNext] = result.seconds;
+        buildRingNext = (buildRingNext + 1) % kBuildRingSize;
+        buildRingCount = std::min(buildRingCount + 1, kBuildRingSize);
         obs::traceInstant(
             "ewma.build", "service",
             {"build_ms", result.seconds * 1e3},
@@ -620,6 +663,18 @@ AnytimeServer::harvest(RunningEntry entry)
         response.status = ServiceStatus::preciseCompleted;
     } else if (entry.stopReason == StopReason::quality) {
         response.status = ServiceStatus::qualityStopped;
+    } else if (entry.stopReason == StopReason::drain) {
+        // Drain-grace expiry: the anytime salvage. Whatever the
+        // pipeline published before the stop is a valid snapshot —
+        // serve it flagged degraded rather than discard paid-for work;
+        // only a pipeline that never produced output is cancelled.
+        if (response.versionsPublished > 0) {
+            response.status = ServiceStatus::degraded;
+            response.degraded = true;
+            live.drainSalvaged->add();
+        } else {
+            response.status = ServiceStatus::cancelled;
+        }
     } else if (entry.stopReason == StopReason::shutdown) {
         response.status = ServiceStatus::cancelled;
     } else {
@@ -679,6 +734,7 @@ AnytimeServer::harvest(RunningEntry entry)
         obs::flightRecorderTrigger("deadline_miss", entry.id,
                                    entry.traceId);
 
+    recordMissSignalLocked(response);
     metrics.record(response);
     updateLiveMetrics(response);
     if (obs::tracingEnabled()) {
@@ -717,6 +773,7 @@ AnytimeServer::updateLiveMetrics(const ServiceResponse &response)
       case ServiceStatus::shedQueueFull:
       case ServiceStatus::shedPredictedMiss:
       case ServiceStatus::shedCircuitOpen:
+      case ServiceStatus::shedBrownout:
         live.shed->add();
         break;
       case ServiceStatus::expired:
@@ -778,6 +835,34 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
         // 2. Hard deadlines: stop every overdue pipeline; the anytime
         // model guarantees its buffers hold a valid snapshot.
         stopOverdueLocked(now);
+
+        // 2b. Brownout: fold the load signals into the controller and
+        // let the level move (rate-limited and hysteresis-gated there).
+        evaluateBrownoutLocked(now);
+
+        // 2c. Drain-grace expiry: the queue was given its chance; stop
+        // whatever still runs (harvest salvages published output as
+        // `degraded`) and cancel whatever never dispatched.
+        if (draining && !drainExpired && now >= drainDeadline) {
+            drainExpired = true;
+            for (auto &[deadline, entry] : pending)
+                respondImmediately(entry.promise,
+                                   ServiceStatus::cancelled,
+                                   entry.submitted, entry.id,
+                                   entry.request.traceId, {},
+                                   &entry.request.onComplete);
+            pending.clear();
+            updateDepthGaugesLocked();
+            for (auto &[id, entry] : running) {
+                if (entry.stopReason == StopReason::none) {
+                    entry.stopReason = StopReason::drain;
+                    obs::traceInstant(
+                        "drain.stop", "service",
+                        {"request", static_cast<double>(id)});
+                    entry.pipeline.automaton->stop();
+                }
+            }
+        }
 
         // 3. Graceful degradation: a backlogged server stops requests
         // that have reached their stated quality floor, trading their
@@ -984,6 +1069,15 @@ AnytimeServer::schedulerLoop(std::stop_token stop)
             if (!head.pipeline.automaton && head.notBefore > now)
                 next_wake = std::min(next_wake, head.notBefore);
         }
+        // A degraded server must recover without traffic: while the
+        // brownout level is raised, keep evaluating on the interval
+        // even if no request event arrives.
+        if (configuration.brownout.enabled && brownout->level() > 0)
+            next_wake = std::min(
+                next_wake, now + configuration.brownout.evalInterval);
+        // Drain grace expires on the clock, not on an event.
+        if (draining && !drainExpired)
+            next_wake = std::min(next_wake, drainDeadline);
 
         if (!finishedIds.empty() || !buildResults.empty() ||
             pendingDirty || stop.stop_requested())
@@ -1006,6 +1100,104 @@ AnytimeServer::drain()
     idleCv.wait(lock, [&]() ANYTIME_REQUIRES(mutex) {
         return pending.empty() && running.empty();
     });
+}
+
+void
+AnytimeServer::beginDrain(std::chrono::nanoseconds grace)
+{
+    MutexLock lock(mutex);
+    if (draining || stopping)
+        return;
+    draining = true;
+    drainDeadline = Clock::now() + grace;
+    // The scheduler may be parked on a next_wake computed before the
+    // drain began (e.g. a far-off request deadline); a bare notify is
+    // absorbed by its wait predicate. Flag a recompute so the sleep is
+    // re-derived with drainDeadline folded in.
+    pendingDirty = true;
+    live.drainBegun->add();
+    obs::traceInstant(
+        "drain.begin", "service",
+        {"grace_ms",
+         std::chrono::duration<double, std::milli>(grace).count()},
+        {"in_flight",
+         static_cast<double>(pending.size() + running.size())});
+    wake.notifyAll();
+}
+
+bool
+AnytimeServer::drainComplete() const
+{
+    MutexLock lock(mutex);
+    return draining && pending.empty() && running.empty();
+}
+
+int
+AnytimeServer::brownoutLevel() const
+{
+    return brownout->level();
+}
+
+BrownoutLevelPolicy
+AnytimeServer::brownoutPolicy() const
+{
+    return brownout->policy();
+}
+
+void
+AnytimeServer::recordMissSignalLocked(const ServiceResponse &response)
+{
+    // The miss EWMA feeds brownout pressure. Only outcomes a client
+    // experienced count: expired requests and served/salvaged answers
+    // that held nothing at the deadline are misses; sheds and cancels
+    // are controlled outcomes, not misses, and fold in as successes
+    // would distort recovery — so they don't fold in at all.
+    double miss;
+    switch (response.status) {
+      case ServiceStatus::expired:
+        miss = 1.0;
+        break;
+      case ServiceStatus::preciseCompleted:
+      case ServiceStatus::deadlineApprox:
+      case ServiceStatus::qualityStopped:
+      case ServiceStatus::degraded:
+        miss = response.deadlineMet ? 0.0 : 1.0;
+        break;
+      default:
+        return;
+    }
+    constexpr double alpha = 0.1;
+    ewmaMissRate = (1.0 - alpha) * ewmaMissRate + alpha * miss;
+}
+
+double
+AnytimeServer::p99BuildSecondsLocked() const
+{
+    if (buildRingCount == 0)
+        return 0.0;
+    std::array<double, kBuildRingSize> sorted;
+    std::copy_n(buildRing.begin(), buildRingCount, sorted.begin());
+    const std::size_t rank =
+        (buildRingCount * 99 + 99) / 100 - 1; // ceil(0.99 n) - 1
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                     sorted.begin() +
+                         static_cast<std::ptrdiff_t>(buildRingCount));
+    return sorted[rank];
+}
+
+void
+AnytimeServer::evaluateBrownoutLocked(Clock::time_point now)
+{
+    if (!configuration.brownout.enabled)
+        return;
+    BrownoutController::Signals signals;
+    signals.queueFraction =
+        static_cast<double>(pending.size()) /
+        static_cast<double>(configuration.maxQueueDepth);
+    signals.missRate = ewmaMissRate;
+    signals.p99BuildSeconds = p99BuildSecondsLocked();
+    brownout->evaluate(now, signals);
 }
 
 ServiceMetrics

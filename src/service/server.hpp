@@ -36,12 +36,14 @@
 #ifndef ANYTIME_SERVICE_SERVER_HPP
 #define ANYTIME_SERVICE_SERVER_HPP
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -50,6 +52,7 @@
 #include "core/worker_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "service/brownout.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 #include "support/stopwatch.hpp"
@@ -107,6 +110,17 @@ struct ServerConfig
     /** How long an open circuit sheds before admitting a probe. */
     std::chrono::nanoseconds circuitCooldown =
         std::chrono::milliseconds(250);
+
+    // --- Overload robustness (see DESIGN.md section 17) ---
+
+    /**
+     * Brownout controller: discrete quality-degradation levels that
+     * absorb overload before any request is hard-shed. While enabled
+     * and below L2, EWMA predictive shedding is suppressed — the
+     * degradation knobs are the first line of defense, the shed the
+     * last. Disabled by default (binary EWMA shedding as before).
+     */
+    BrownoutConfig brownout;
 };
 
 /** A submitted request's handle: its id (for cancel()) + response. */
@@ -156,6 +170,35 @@ class AnytimeServer
     /** Block until every accepted request has been responded to. */
     void drain();
 
+    /**
+     * Begin a graceful drain (the SIGTERM path): new submissions are
+     * rejected promptly (`cancelled`), accepted work keeps dispatching
+     * and running, and when @p grace expires every leftover pipeline is
+     * stopped and harvested — precise if it finished, `degraded` if it
+     * published anything (the anytime salvage), `cancelled` only when
+     * it never produced output. Non-blocking and idempotent; pair with
+     * drain() to wait for the queue to empty. The accounting identity
+     * holds throughout: every request lands in exactly one bucket.
+     */
+    void beginDrain(std::chrono::nanoseconds grace);
+
+    /** True once beginDrain() ran and everything has been answered. */
+    bool drainComplete() const;
+
+    /** Current brownout level (0 when the controller is disabled). */
+    int brownoutLevel() const;
+
+    /** The active brownout level's degradation policy (by value). */
+    BrownoutLevelPolicy brownoutPolicy() const;
+
+    /** The brownout controller (level/pressure reads, shed/cap
+     *  accounting from the network door). */
+    BrownoutController &brownoutControl() { return *brownout; }
+    const BrownoutController &brownoutControl() const
+    {
+        return *brownout;
+    }
+
     /** Copy of the aggregate metrics so far. */
     ServiceMetrics metricsSnapshot() const;
 
@@ -200,6 +243,9 @@ class AnytimeServer
         shutdown,
         /** Explicit cancel() — e.g. the streaming client disconnected. */
         client,
+        /** Graceful-drain grace expired; harvest salvages published
+         *  output as `degraded` instead of discarding it. */
+        drain,
     };
 
     struct PendingEntry
@@ -331,6 +377,19 @@ class AnytimeServer
     Clock::duration retryBackoffLocked(const PendingEntry &entry) const
         ANYTIME_REQUIRES(mutex);
 
+    /** Fold one terminal response into the deadline-miss EWMA that
+     *  feeds the brownout pressure score (caller locked). */
+    void recordMissSignalLocked(const ServiceResponse &response)
+        ANYTIME_REQUIRES(mutex);
+
+    /** p99 over the recent-build-latency ring (caller locked). */
+    double p99BuildSecondsLocked() const ANYTIME_REQUIRES(mutex);
+
+    /** Sample the load signals and let the brownout controller move
+     *  (caller locked). */
+    void evaluateBrownoutLocked(Clock::time_point now)
+        ANYTIME_REQUIRES(mutex);
+
     ServerConfig configuration;
 
     mutable Mutex mutex;
@@ -354,6 +413,13 @@ class AnytimeServer
     /** Set by submit(), cleared by the scheduler each iteration. */
     bool pendingDirty ANYTIME_GUARDED_BY(mutex) = false;
 
+    /** Graceful drain: reject new work, run down the accepted queue,
+     *  salvage whatever is still running at drainDeadline. */
+    bool draining ANYTIME_GUARDED_BY(mutex) = false;
+    Clock::time_point drainDeadline ANYTIME_GUARDED_BY(mutex){};
+    /** Grace-expiry stops already issued (idempotence guard). */
+    bool drainExpired ANYTIME_GUARDED_BY(mutex) = false;
+
     /** EWMA model of observed service behavior (admission control). */
     double ewmaExecSeconds ANYTIME_GUARDED_BY(mutex) = 0.0;
     double ewmaGang ANYTIME_GUARDED_BY(mutex) = 0.0;
@@ -362,6 +428,15 @@ class AnytimeServer
      *  the single builder, so queueing delay is too. */
     double ewmaBuildSeconds ANYTIME_GUARDED_BY(mutex) = 0.0;
     bool ewmaBuildValid ANYTIME_GUARDED_BY(mutex) = false;
+
+    /** Brownout load signals: deadline-miss EWMA and a bounded ring of
+     *  recent build wall times (p99 source). */
+    double ewmaMissRate ANYTIME_GUARDED_BY(mutex) = 0.0;
+    static constexpr std::size_t kBuildRingSize = 64;
+    std::array<double, kBuildRingSize>
+        buildRing ANYTIME_GUARDED_BY(mutex){};
+    std::size_t buildRingNext ANYTIME_GUARDED_BY(mutex) = 0;
+    std::size_t buildRingCount ANYTIME_GUARDED_BY(mutex) = 0;
 
     /** Circuit breaker per pipeline name. */
     std::map<std::string, CircuitState>
@@ -395,6 +470,10 @@ class AnytimeServer
         obs::LogHistogram *timeToQ50 = nullptr;
         obs::LogHistogram *timeToQ90 = nullptr;
         obs::LogHistogram *timeToQ99 = nullptr;
+        /** Graceful-drain accounting (see beginDrain()). */
+        obs::Counter *drainBegun = nullptr;
+        obs::Counter *drainSalvaged = nullptr;
+        obs::Counter *drainRejected = nullptr;
     };
 
     /** Fold a terminal response into the live registry metrics. */
@@ -408,6 +487,10 @@ class AnytimeServer
     /** Per-request QoR staircases (own internal lock; safe from the
      *  publishing worker threads and the debug endpoints alike). */
     obs::TimelineStore timelineStore;
+
+    /** Brownout state machine (constructed before the scheduler thread
+     *  starts; its reads are lock-free, its mutations scheduler-only). */
+    std::unique_ptr<BrownoutController> brownout;
 
     WorkerPool workers;
     std::jthread builder;

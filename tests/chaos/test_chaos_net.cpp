@@ -116,5 +116,63 @@ TEST_F(ChaosNetTest, MidStreamWriteFaultCancelsTheRequest)
                   ServiceStatus::preciseCompleted));
 }
 
+TEST_F(ChaosNetTest, DrainAnnounceFaultSeversOnlyThatConnection)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // The net.drain site throws while the reactor announces a graceful
+    // drain to its (only) open connection: that connection is severed
+    // instead of notified, its request cancels through the usual
+    // disconnect path, and the drain still runs to completion with the
+    // books balanced.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("net.drain=throw@1"));
+
+    obs::MetricsRegistry registry;
+    NetServerConfig config;
+    config.catalog = std::make_shared<PipelineCatalog>();
+    registerCounterPipeline(*config.catalog);
+    config.metricsRegistry = &registry;
+    config.service.workers = 2;
+    NetServer server(std::move(config));
+
+    ClientOptions client;
+    client.port = server.port();
+    client.timeout = 10000ms;
+    RequestFrame request;
+    request.pipeline = "counter";
+    request.input = "8000:1000:100"; // ~8 s, publishing every 100 ms
+    request.deadlineMicros = 30000000;
+
+    ClientResult result;
+    std::thread streamer(
+        [&] { result = runRequest(client, request); });
+    // Wait for the stream to be live before draining.
+    ASSERT_TRUE([&] {
+        const auto start = std::chrono::steady_clock::now();
+        while (std::chrono::steady_clock::now() - start < 5s) {
+            if (server.connectionCount() > 0 &&
+                server.service().runningCount() > 0)
+                return true;
+            std::this_thread::sleep_for(5ms);
+        }
+        return false;
+    }());
+
+    server.drain(2s); // blocks until every connection closed
+    streamer.join();
+
+    // The severed client saw a dead stream, not a DONE frame.
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.done.has_value());
+
+    ASSERT_TRUE(awaitTotal(server.service(), 1, 5000ms));
+    const ServiceMetrics metrics = server.service().metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 1u);
+    EXPECT_EQ(metrics.cancelled(), 1u);
+    expectAccountingIdentity(metrics);
+    EXPECT_EQ(server.connectionCount(), 0u);
+}
+
 } // namespace
 } // namespace anytime::net

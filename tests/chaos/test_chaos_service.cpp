@@ -229,6 +229,50 @@ TEST(ChaosServiceCircuit, SuccessClosesTheBreaker)
     expectAccountingIdentity(server.metricsSnapshot());
 }
 
+TEST_F(ChaosServiceTest, BrownoutTransitionFaultIsFailStatic)
+{
+    if (!ANYTIME_FAULTS_ENABLED)
+        GTEST_SKIP() << "built with ANYTIME_FAULTS=OFF";
+    // The first brownout level transition throws at the
+    // service.brownout fault site. Fail-static means the transition is
+    // aborted but nothing else breaks: the pressure signal persists, a
+    // later evaluation retries the move, and the level still climbs
+    // while requests keep being served.
+    fault::FaultInjector::arm(
+        fault::FaultPlan::parse("service.brownout=throw@1"));
+    ServerConfig config;
+    config.workers = 1;
+    config.maxQueueDepth = 4;
+    config.brownout.enabled = true;
+    config.brownout.evalInterval = 1ms;
+    config.brownout.enterHysteresis = 1;
+    config.brownout.exitHysteresis = 1000;
+    config.brownout.enterPressure = {0.05, 0.10, 0.15};
+    config.brownout.exitPressure = {0.01, 0.02, 0.03};
+    AnytimeServer server(config);
+
+    // A runner plus a backlog keeps the queue-fraction pressure above
+    // every enter threshold for the whole climb.
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(server.submit(counterRequest(
+            "bo" + std::to_string(i), 300, 1000, 30s)));
+    const auto start = std::chrono::steady_clock::now();
+    while (server.brownoutLevel() < 3 &&
+           std::chrono::steady_clock::now() - start < 5s)
+        std::this_thread::sleep_for(1ms);
+    // The aborted first transition was retried: survival mode reached.
+    EXPECT_EQ(server.brownoutLevel(), 3);
+    EXPECT_GE(server.brownoutControl().transitions(), 3u);
+
+    for (auto &future : futures)
+        ASSERT_EQ(future.wait_for(20s), std::future_status::ready);
+    server.drain();
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 4u);
+    expectAccountingIdentity(metrics);
+}
+
 TEST_F(ChaosServiceTest, AccountingIdentityHoldsUnderMixedChaos)
 {
     if (!ANYTIME_FAULTS_ENABLED)

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Resilience of the network front-end: reconnect-and-resume through
+ * the coalescing replay ring (bit-identical to an unsevered run),
+ * linger-expiry cancel of orphaned streams, the resilient client's
+ * retry/backoff/give-up policy, a slow SSE consumer still receiving
+ * its final, and a graceful drain over the wire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace anytime::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+double
+counterValue(const obs::MetricsRegistry &registry,
+             const std::string &name)
+{
+    for (const auto &row : registry.snapshot())
+        if (row.name == name)
+            return row.value;
+    return -1.0;
+}
+
+void
+expectAccountingIdentity(const ServiceMetrics &metrics)
+{
+    EXPECT_EQ(metrics.total(),
+              metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed() + metrics.cancelled() +
+                  metrics.degraded());
+}
+
+bool
+awaitTotal(AnytimeServer &service, std::size_t total,
+           std::chrono::milliseconds budget)
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < budget) {
+        if (service.metricsSnapshot().total() >= total)
+            return true;
+        std::this_thread::sleep_for(5ms);
+    }
+    return service.metricsSnapshot().total() >= total;
+}
+
+struct Rig
+{
+    obs::MetricsRegistry registry;
+    std::unique_ptr<NetServer> server;
+
+    explicit Rig(std::function<void(NetServerConfig &)> tune = nullptr)
+    {
+        NetServerConfig config;
+        config.catalog = std::make_shared<PipelineCatalog>();
+        registerCounterPipeline(*config.catalog);
+        config.metricsRegistry = &registry;
+        config.service.workers = 2;
+        if (tune)
+            tune(config);
+        server = std::make_unique<NetServer>(std::move(config));
+    }
+
+    ClientOptions
+    client(std::chrono::milliseconds timeout = 10000ms) const
+    {
+        ClientOptions options;
+        options.port = server->port();
+        options.timeout = timeout;
+        return options;
+    }
+};
+
+RequestFrame
+counterRequestFrame(std::string input, std::uint64_t deadline_us,
+                    double min_quality = 0.0)
+{
+    RequestFrame frame;
+    frame.pipeline = "counter";
+    frame.input = std::move(input);
+    frame.deadlineMicros = deadline_us;
+    frame.minQuality = min_quality;
+    return frame;
+}
+
+TEST(NetResume, ReconnectResumesMonotoneAndBitIdenticalToUnsevered)
+{
+    // Ground truth: the same request run unsevered on a plain rig.
+    const std::string input = "60:3000:6"; // ~180 ms, 10 versions
+    Rig baselineRig;
+    const auto baseline = runRequest(
+        baselineRig.client(), counterRequestFrame(input, 10'000'000));
+    ASSERT_TRUE(baseline.ok) << baseline.error;
+    ASSERT_TRUE(baseline.done.has_value());
+    ASSERT_FALSE(baseline.versions.empty());
+    const VersionFrame baselineFinal = baseline.versions.back();
+    ASSERT_TRUE(baselineFinal.final);
+
+    // Rig under test: a generous resume window keeps the orphaned
+    // stream computing after the sever.
+    Rig rig([](NetServerConfig &config) {
+        config.resumeLingerMicros = 2'000'000;
+    });
+
+    // First connection: sever from the client side after two versions
+    // (the callback-returns-false rehearsal of a dropped link).
+    std::uint64_t lastSeen = 0;
+    const auto severed = runRequest(
+        rig.client(), counterRequestFrame(input, 10'000'000),
+        [&](const VersionFrame &frame) {
+            lastSeen = frame.version;
+            return frame.version < 2;
+        });
+    ASSERT_TRUE(severed.severed);
+    ASSERT_GE(lastSeen, 2u);
+
+    // Reconnect with the last-seen version: the identical frame finds
+    // the lingering entry under its coalescing key and the replay ring
+    // fills the gap — every frame strictly after lastSeen, strictly
+    // monotone, ending in the same final bits the unsevered run got.
+    RequestFrame resume = counterRequestFrame(input, 10'000'000);
+    resume.resumeFromVersion = lastSeen;
+    const auto resumed = runRequest(rig.client(), resume);
+    ASSERT_TRUE(resumed.ok) << resumed.error;
+    ASSERT_TRUE(resumed.done.has_value());
+    ASSERT_FALSE(resumed.versions.empty());
+    std::uint64_t previous = lastSeen;
+    for (const VersionFrame &frame : resumed.versions) {
+        EXPECT_GT(frame.version, lastSeen);
+        if (!frame.final)
+            EXPECT_GT(frame.version, previous);
+        previous = frame.version;
+    }
+    const VersionFrame &resumedFinal = resumed.versions.back();
+    EXPECT_TRUE(resumedFinal.final);
+    EXPECT_EQ(resumedFinal.version, baselineFinal.version);
+    EXPECT_EQ(resumedFinal.payload, baselineFinal.payload);
+
+    // Both connections fed ONE service request: the reconnect
+    // coalesced onto the live entry instead of re-running the work.
+    ASSERT_TRUE(awaitTotal(rig.server->service(), 1, 5000ms));
+    const ServiceMetrics metrics =
+        rig.server->service().metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 1u);
+    EXPECT_EQ(metrics.served(), 1u);
+    expectAccountingIdentity(metrics);
+    EXPECT_GE(counterValue(rig.registry,
+                           "anytime_net_coalesced_total"),
+              1.0);
+}
+
+TEST(NetResume, LingerExpiryCancelsTheOrphanedStream)
+{
+    Rig rig([](NetServerConfig &config) {
+        config.resumeLingerMicros = 100'000;
+    });
+    // ~8 s pipeline, severed after the first version: nobody resumes
+    // within the 100 ms window, so the sweep must cancel the orphan
+    // long before its natural runtime.
+    const auto started = std::chrono::steady_clock::now();
+    const auto severed = runRequest(
+        rig.client(), counterRequestFrame("8000:1000:100", 30'000'000),
+        [](const VersionFrame &) { return false; });
+    ASSERT_TRUE(severed.severed);
+    ASSERT_TRUE(awaitTotal(rig.server->service(), 1, 5000ms));
+    EXPECT_LT(std::chrono::steady_clock::now() - started, 6s);
+    const ServiceMetrics metrics =
+        rig.server->service().metricsSnapshot();
+    EXPECT_EQ(metrics.cancelled(), 1u);
+    expectAccountingIdentity(metrics);
+}
+
+TEST(NetResilientClient, ResumesAcrossReadTimeoutsMonotone)
+{
+    // Version cadence slower than the client's read timeout: every
+    // attempt times out mid-stream, reconnects, and resumes from its
+    // last-seen version against the lingering entry. 120 steps of
+    // 5 ms publishing every 40 → versions at ~200/~400 ms, final at
+    // ~600 ms, all gaps (200 ms) beyond the 150 ms timeout.
+    Rig rig([](NetServerConfig &config) {
+        config.resumeLingerMicros = 5'000'000;
+    });
+    ResilienceOptions resilience;
+    resilience.maxAttempts = 20;
+    resilience.backoffBase = 5ms;
+    const auto result = runResilientRequest(
+        rig.client(150ms), counterRequestFrame("120:5000:40", 30'000'000),
+        resilience);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.done.has_value());
+    EXPECT_GE(result.attempts, 2u);
+    EXPECT_GE(result.resumes, 1u);
+    ASSERT_FALSE(result.versions.empty());
+
+    // The caller-visible stream is strictly monotone across however
+    // many transports failed under it, and ends precise.
+    for (std::size_t i = 1; i < result.versions.size(); ++i)
+        EXPECT_GT(result.versions[i].version,
+                  result.versions[i - 1].version);
+    EXPECT_TRUE(result.versions.back().final);
+    EXPECT_EQ(result.versions.back().payload, "120");
+    expectAccountingIdentity(rig.server->service().metricsSnapshot());
+}
+
+TEST(NetResilientClient, DeadEndpointExhaustsItsAttempts)
+{
+    // Reserve a port with no listener: every connect is refused, so
+    // the client burns exactly maxAttempts and reports the transport
+    // error (nothing to resume: resumes stays 0).
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr),
+              0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    const std::uint16_t deadPort = ntohs(addr.sin_port);
+    ::close(fd); // bound but never listening: connects are refused
+
+    ClientOptions options;
+    options.port = deadPort;
+    options.timeout = 500ms;
+    ResilienceOptions resilience;
+    resilience.maxAttempts = 3;
+    resilience.backoffBase = 1ms;
+    const auto result = runResilientRequest(
+        options, counterRequestFrame("8:100:2", 1'000'000), resilience);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.attempts, 3u);
+    EXPECT_EQ(result.resumes, 0u);
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(NetResilientClient, OverallDeadlineBoundsTheRetrying)
+{
+    // Long backoffs against a dead port under a tight overall
+    // deadline: the client gives up before sleeping past the bound
+    // instead of burning all its attempts.
+    ClientOptions options;
+    options.port = 1; // reserved port: connection refused
+    options.timeout = 200ms;
+    ResilienceOptions resilience;
+    resilience.maxAttempts = 50;
+    resilience.backoffBase = 100ms;
+    resilience.overallDeadline = 250ms;
+    const auto started = std::chrono::steady_clock::now();
+    const auto result = runResilientRequest(
+        options, counterRequestFrame("8:100:2", 1'000'000), resilience);
+    EXPECT_FALSE(result.ok);
+    EXPECT_LT(result.attempts, 50u);
+    EXPECT_LT(std::chrono::steady_clock::now() - started, 5s);
+    EXPECT_NE(result.error.find("gave up: overall deadline"),
+              std::string::npos)
+        << result.error;
+}
+
+TEST(NetSse, SlowConsumerStillReceivesItsFinal)
+{
+    // A consumer dribbling 1 byte per 100 ms while the pipeline runs
+    // to precise: backpressure may shed intermediates, but the final
+    // and DONE must reach even the slowest reader.
+    Rig rig;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(rig.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const std::string request =
+        "GET /stream?pipeline=counter&input=30:2000:6&deadline_ms="
+        "10000 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+
+    // ~60 ms pipeline; dribble for ~1.2 s so the whole stream is
+    // produced (and buffered server-side) while we crawl.
+    std::string raw;
+    for (int i = 0; i < 12; ++i) {
+        char byte;
+        const ssize_t n = ::recv(fd, &byte, 1, 0);
+        ASSERT_GT(n, 0) << "stream ended early at byte " << i;
+        raw.push_back(byte);
+        std::this_thread::sleep_for(100ms);
+    }
+    // Then drain the rest at full speed until the server closes.
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    EXPECT_NE(raw.find("event: version"), std::string::npos);
+    EXPECT_NE(raw.find("\"final\":true"), std::string::npos);
+    EXPECT_NE(raw.find("event: done"), std::string::npos);
+    EXPECT_NE(raw.find("\"status\":\"precise\""), std::string::npos);
+    ASSERT_TRUE(awaitTotal(rig.server->service(), 1, 5000ms));
+    expectAccountingIdentity(rig.server->service().metricsSnapshot());
+}
+
+TEST(NetDrain, DrainAnnouncesSalvagesAndRefusesNewConnections)
+{
+    Rig rig;
+    // An in-flight SSE stream over a ~10 s pipeline: the drain must
+    // announce itself, salvage the request degraded at grace expiry,
+    // and flush the terminal events before closing.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(rig.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const std::string request =
+        "GET /stream?pipeline=counter&input=10000:1000:50&deadline_ms="
+        "30000 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+
+    std::string raw;
+    std::thread reader([&] {
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0)
+                break;
+            raw.append(buf, static_cast<std::size_t>(n));
+        }
+    });
+
+    // Let the stream publish a few versions, then drain with a grace
+    // far shorter than the pipeline's remaining runtime.
+    std::this_thread::sleep_for(300ms);
+    rig.server->drain(200ms);
+    reader.join();
+    ::close(fd);
+
+    EXPECT_NE(raw.find("event: drain"), std::string::npos);
+    EXPECT_NE(raw.find("event: done"), std::string::npos);
+    EXPECT_NE(raw.find("\"status\":\"degraded\""), std::string::npos);
+    EXPECT_TRUE(rig.server->draining());
+
+    // The listener is gone: new clients are refused at connect.
+    const auto refused = httpGet(rig.client(1000ms), "/healthz");
+    EXPECT_FALSE(refused.ok);
+
+    const ServiceMetrics metrics =
+        rig.server->service().metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 1u);
+    EXPECT_EQ(metrics.degraded(), 1u);
+    expectAccountingIdentity(metrics);
+    EXPECT_GE(counterValue(rig.registry,
+                           "anytime_drain_streams_flushed_total"),
+              1.0);
+    EXPECT_GE(counterValue(rig.registry, "anytime_drain_begun_total"),
+              1.0);
+    EXPECT_GE(counterValue(rig.registry,
+                           "anytime_drain_salvaged_total"),
+              1.0);
+}
+
+} // namespace
+} // namespace anytime::net

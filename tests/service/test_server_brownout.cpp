@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Brownout controller tests: the pressure score, hysteresis-gated
+ * level walk, deterministic seeded hard-shed verdicts, and the
+ * end-to-end admission path — a loaded server climbing to survival
+ * mode and shedding deterministically while the accounting identity
+ * holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/brownout.hpp"
+#include "service/server.hpp"
+#include "service_test_util.hpp"
+#include "support/error.hpp"
+
+namespace anytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+double
+counterValue(const obs::MetricsRegistry &registry,
+             const std::string &name)
+{
+    for (const auto &row : registry.snapshot())
+        if (row.name == name)
+            return row.value;
+    return -1.0;
+}
+
+void
+expectAccountingIdentity(const ServiceMetrics &metrics)
+{
+    EXPECT_EQ(metrics.total(),
+              metrics.served() + metrics.shed() + metrics.expired() +
+                  metrics.failed() + metrics.cancelled() +
+                  metrics.degraded());
+}
+
+/** Enabled controller config with handy test hysteresis. */
+BrownoutConfig
+testConfig()
+{
+    BrownoutConfig config;
+    config.enabled = true;
+    config.evalInterval = 1ms;
+    config.enterHysteresis = 2;
+    config.exitHysteresis = 3;
+    return config;
+}
+
+/** Evaluate with @p signals at a fresh timestamp (past the rate
+ *  limit), advancing @p now by 2 ms per call. */
+bool
+step(BrownoutController &controller,
+     Stopwatch::Clock::time_point &now,
+     const BrownoutController::Signals &signals)
+{
+    now += 2ms;
+    return controller.evaluate(now, signals);
+}
+
+TEST(BrownoutController, PressureIsTheMaxOfTheNormalizedSignals)
+{
+    obs::MetricsRegistry registry;
+    BrownoutController controller(testConfig(), registry);
+    auto now = Stopwatch::Clock::now();
+
+    // Miss-rate EWMA normalizes against missRateReference (0.5).
+    step(controller, now, {.missRate = 0.25});
+    EXPECT_DOUBLE_EQ(controller.pressure(), 0.5);
+
+    // Build p99 normalizes against buildLatencyBudget (50 ms).
+    step(controller, now, {.p99BuildSeconds = 0.05});
+    EXPECT_DOUBLE_EQ(controller.pressure(), 1.0);
+
+    // max(), not sum: the dominant signal alone sets the score.
+    step(controller, now,
+         {.queueFraction = 0.9, .missRate = 0.1,
+          .p99BuildSeconds = 0.001});
+    EXPECT_DOUBLE_EQ(controller.pressure(), 0.9);
+}
+
+TEST(BrownoutController, HysteresisGatesTheLevelWalkBothWays)
+{
+    obs::MetricsRegistry registry;
+    BrownoutController controller(testConfig(), registry);
+    auto now = Stopwatch::Clock::now();
+    const BrownoutController::Signals high{.queueFraction = 1.0};
+    const BrownoutController::Signals low{.queueFraction = 0.0};
+
+    // Escalation: one level per enterHysteresis (2) high evaluations,
+    // never more than one step at a time.
+    EXPECT_EQ(controller.level(), 0);
+    EXPECT_FALSE(step(controller, now, high));
+    EXPECT_EQ(controller.level(), 0);
+    EXPECT_TRUE(step(controller, now, high));
+    EXPECT_EQ(controller.level(), 1);
+    EXPECT_FALSE(step(controller, now, high));
+    EXPECT_TRUE(step(controller, now, high));
+    EXPECT_EQ(controller.level(), 2);
+    EXPECT_FALSE(step(controller, now, high));
+    EXPECT_TRUE(step(controller, now, high));
+    EXPECT_EQ(controller.level(), 3);
+
+    // Saturated: more pressure cannot push past L3.
+    EXPECT_FALSE(step(controller, now, high));
+    EXPECT_EQ(controller.level(), 3);
+
+    // Recovery is slower: exitHysteresis (3) low evaluations per step.
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_TRUE(step(controller, now, low));
+    EXPECT_EQ(controller.level(), 2);
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_TRUE(step(controller, now, low));
+    EXPECT_EQ(controller.level(), 1);
+
+    // A pressure spike resets the below-streak: recovery starts over.
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_FALSE(step(controller, now, high));
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_FALSE(step(controller, now, low));
+    EXPECT_TRUE(step(controller, now, low));
+    EXPECT_EQ(controller.level(), 0);
+
+    EXPECT_EQ(controller.transitions(), 6u);
+    EXPECT_DOUBLE_EQ(
+        counterValue(registry, "anytime_brownout_transitions_total"),
+        6.0);
+    EXPECT_DOUBLE_EQ(counterValue(registry, "anytime_brownout_level"),
+                     0.0);
+}
+
+TEST(BrownoutController, EvaluationIsRateLimitedAndOffByDefault)
+{
+    obs::MetricsRegistry registry;
+    BrownoutConfig eager = testConfig();
+    eager.enterHysteresis = 1;
+    BrownoutController limited(eager, registry);
+    const auto base = Stopwatch::Clock::now();
+    const BrownoutController::Signals high{.queueFraction = 1.0};
+
+    // Two samples inside one evalInterval: the second is ignored, so
+    // the level moves once, not twice.
+    EXPECT_TRUE(limited.evaluate(base, high));
+    EXPECT_FALSE(limited.evaluate(base + 100us, high));
+    EXPECT_EQ(limited.level(), 1);
+
+    // Disabled controller never moves, whatever the pressure.
+    obs::MetricsRegistry registry2;
+    BrownoutController disabled(BrownoutConfig{}, registry2);
+    auto now = base;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(step(disabled, now, high));
+    EXPECT_EQ(disabled.level(), 0);
+    EXPECT_FALSE(disabled.shouldShed(42));
+}
+
+TEST(BrownoutController, RejectsAThresholdOrderingThatWouldFlap)
+{
+    obs::MetricsRegistry registry;
+    BrownoutConfig bad = testConfig();
+    bad.exitPressure[1] = bad.enterPressure[1]; // exit must sit below
+    EXPECT_THROW(BrownoutController(bad, registry), FatalError);
+}
+
+TEST(BrownoutController, HardShedVerdictsAreSeededAndDeterministic)
+{
+    // Drive two identically-configured controllers to L3 and compare
+    // their per-id verdicts: the shed decision is a pure function of
+    // (seed, request id), so an overload replay accounts identically.
+    BrownoutConfig config = testConfig();
+    config.enterHysteresis = 1;
+    config.seed = 7;
+    const BrownoutController::Signals high{.queueFraction = 1.0};
+
+    obs::MetricsRegistry registryA;
+    obs::MetricsRegistry registryB;
+    BrownoutController a(config, registryA);
+    BrownoutController b(config, registryB);
+    auto nowA = Stopwatch::Clock::now();
+    auto nowB = nowA;
+    for (int i = 0; i < 3; ++i) {
+        step(a, nowA, high);
+        step(b, nowB, high);
+    }
+    ASSERT_EQ(a.level(), 3);
+    ASSERT_EQ(b.level(), 3);
+
+    // Default L3 sheds 50%: over many ids the rate lands near it, and
+    // the two controllers agree on every single verdict.
+    unsigned shed = 0;
+    for (std::uint64_t id = 1; id <= 1000; ++id) {
+        EXPECT_EQ(a.shouldShed(id), b.shouldShed(id)) << id;
+        if (a.shouldShed(id))
+            ++shed;
+    }
+    EXPECT_GT(shed, 350u);
+    EXPECT_LT(shed, 650u);
+
+    // A different seed draws a different (still deterministic) set.
+    BrownoutConfig reseeded = config;
+    reseeded.seed = 8;
+    obs::MetricsRegistry registryC;
+    BrownoutController c(reseeded, registryC);
+    auto nowC = Stopwatch::Clock::now();
+    for (int i = 0; i < 3; ++i)
+        step(c, nowC, high);
+    ASSERT_EQ(c.level(), 3);
+    bool differs = false;
+    for (std::uint64_t id = 1; id <= 1000 && !differs; ++id)
+        differs = a.shouldShed(id) != c.shouldShed(id);
+    EXPECT_TRUE(differs);
+}
+
+/** Aggressive thresholds: any queue backlog pushes straight to L3. */
+ServerConfig
+overloadedServerConfig(obs::MetricsRegistry &registry)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.maxQueueDepth = 4;
+    config.metricsRegistry = &registry;
+    config.brownout.enabled = true;
+    config.brownout.evalInterval = 1ms;
+    config.brownout.enterHysteresis = 1;
+    config.brownout.exitHysteresis = 1000; // pin the level once up
+    config.brownout.enterPressure = {0.05, 0.10, 0.15};
+    config.brownout.exitPressure = {0.01, 0.02, 0.03};
+    config.brownout.levels[3].hardShedPercent = 100;
+    return config;
+}
+
+TEST(ServerBrownout, SurvivalModeShedsAtAdmissionAndBooksBalance)
+{
+    obs::MetricsRegistry registry;
+    AnytimeServer server(overloadedServerConfig(registry));
+
+    // One runner occupying the only worker plus a backlog: queue
+    // fraction 3/4 clears every enter threshold, so the controller
+    // climbs to L3 within a few scheduler evaluations.
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(server.submit(counterRequest(
+            "load" + std::to_string(i), 300, 1000, 30s)));
+    const auto start = std::chrono::steady_clock::now();
+    while (server.brownoutLevel() < 3 &&
+           std::chrono::steady_clock::now() - start < 5s)
+        std::this_thread::sleep_for(1ms);
+    ASSERT_EQ(server.brownoutLevel(), 3);
+    EXPECT_EQ(server.brownoutPolicy().hardShedPercent, 100u);
+    EXPECT_GE(server.brownoutControl().transitions(), 3u);
+
+    // At 100% hard shed every new submission is refused immediately,
+    // with the brownout-specific status (not a queue-full shed: the
+    // queue still has room).
+    auto shedFuture =
+        server.submit(counterRequest("late", 300, 1000, 30s));
+    ASSERT_EQ(shedFuture.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(shedFuture.get().status, ServiceStatus::shedBrownout);
+
+    for (auto &future : futures)
+        ASSERT_EQ(future.wait_for(20s), std::future_status::ready);
+    server.drain();
+
+    const ServiceMetrics metrics = server.metricsSnapshot();
+    EXPECT_EQ(metrics.total(), 5u);
+    EXPECT_EQ(metrics.shed(), 1u);
+    expectAccountingIdentity(metrics);
+    EXPECT_GE(counterValue(registry, "anytime_brownout_shed_total"),
+              1.0);
+    EXPECT_GE(
+        counterValue(registry, "anytime_brownout_transitions_total"),
+        3.0);
+
+    // The level gauge is live in the Prometheus exposition (the
+    // operator's first overload signal).
+    std::ostringstream exposition;
+    registry.writePrometheus(exposition);
+    EXPECT_NE(exposition.str().find(
+                  "# TYPE anytime_brownout_level gauge"),
+              std::string::npos);
+    EXPECT_NE(exposition.str().find("anytime_brownout_level 3"),
+              std::string::npos);
+}
+
+TEST(ServerBrownout, DisabledControllerKeepsLegacyAdmission)
+{
+    // Same overload shape with brownout off: nothing is brownout-shed
+    // and the level never leaves 0 — existing deployments see the
+    // binary queue-full/EWMA behavior unchanged.
+    obs::MetricsRegistry registry;
+    ServerConfig config = overloadedServerConfig(registry);
+    config.brownout.enabled = false;
+    AnytimeServer server(config);
+
+    std::vector<std::future<ServiceResponse>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(server.submit(counterRequest(
+            "flat" + std::to_string(i), 100, 1000, 30s)));
+    for (auto &future : futures)
+        ASSERT_EQ(future.wait_for(20s), std::future_status::ready);
+    server.drain();
+    EXPECT_EQ(server.brownoutLevel(), 0);
+    EXPECT_DOUBLE_EQ(
+        counterValue(registry, "anytime_brownout_shed_total"), 0.0);
+    expectAccountingIdentity(server.metricsSnapshot());
+}
+
+} // namespace
+} // namespace anytime

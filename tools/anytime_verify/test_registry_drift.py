@@ -27,7 +27,9 @@ EXPECTED_SITES = {
     "pool.dispatch",
     "publish",
     "service.build",
+    "service.brownout",
     "net.write",
+    "net.drain",
 }
 
 
